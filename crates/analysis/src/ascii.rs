@@ -1,0 +1,125 @@
+//! Terminal rendering of figure data: sparkline-style daily series and
+//! box-and-whisker tables, so the repro harness output reads like the
+//! paper's figures.
+
+use crate::stats::BoxStats;
+
+const BLOCKS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+
+/// Render a numeric series as a one-line sparkline.
+pub fn sparkline(values: &[f64]) -> String {
+    let max = values.iter().cloned().fold(f64::NAN, f64::max);
+    if values.is_empty() || !max.is_finite() || max <= 0.0 {
+        return String::new();
+    }
+    values
+        .iter()
+        .map(|&v| {
+            let idx = ((v / max) * 7.0).round().clamp(0.0, 7.0) as usize;
+            BLOCKS[idx]
+        })
+        .collect()
+}
+
+/// Render a daily series with a label and min/max annotations.
+pub fn daily_series(label: &str, values: &[f64]) -> String {
+    let max = values.iter().cloned().fold(0.0f64, f64::max);
+    let min = values.iter().cloned().fold(f64::INFINITY, f64::min);
+    format!(
+        "{label:<32} {}  [min {:.3}, max {:.3}]",
+        sparkline(values),
+        if min.is_finite() { min } else { 0.0 },
+        max
+    )
+}
+
+/// Format bytes human-readably.
+pub fn fmt_bytes(b: f64) -> String {
+    const UNITS: [&str; 5] = ["B", "KB", "MB", "GB", "TB"];
+    let mut v = b;
+    let mut u = 0;
+    while v >= 1000.0 && u < UNITS.len() - 1 {
+        v /= 1000.0;
+        u += 1;
+    }
+    if u == 0 {
+        format!("{v:.0} {}", UNITS[u])
+    } else {
+        format!("{v:.2} {}", UNITS[u])
+    }
+}
+
+/// One row of a box-stats table.
+pub fn box_row(label: &str, b: Option<&BoxStats>, fmt: impl Fn(f64) -> String) -> String {
+    match b {
+        None => format!("{label:<28} (no samples)"),
+        Some(b) => format!(
+            "{label:<28} n={:<6} p1={:<10} q1={:<10} med={:<10} q3={:<10} p95={:<10}",
+            b.n,
+            fmt(b.p1),
+            fmt(b.q1),
+            fmt(b.median),
+            fmt(b.q3),
+            fmt(b.p95)
+        ),
+    }
+}
+
+/// Render an hour-of-week profile (Figure 3 style) compressed to one
+/// char per 2 hours, Thursday-first.
+pub fn hour_of_week(label: &str, values: &[f64]) -> String {
+    let compressed: Vec<f64> = values
+        .chunks(2)
+        .map(|c| c.iter().sum::<f64>() / c.len() as f64)
+        .collect();
+    format!("{label:<20} |{}|", sparkline(&compressed))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sparkline_scales() {
+        let s = sparkline(&[0.0, 1.0, 2.0, 4.0]);
+        assert_eq!(s.chars().count(), 4);
+        assert!(s.ends_with('█'));
+        assert_eq!(sparkline(&[]), "");
+        assert_eq!(sparkline(&[0.0, 0.0]), "");
+    }
+
+    #[test]
+    fn bytes_formatting() {
+        assert_eq!(fmt_bytes(512.0), "512 B");
+        assert_eq!(fmt_bytes(1_500.0), "1.50 KB");
+        assert_eq!(fmt_bytes(2.5e9), "2.50 GB");
+        assert_eq!(fmt_bytes(3.2e12), "3.20 TB");
+    }
+
+    #[test]
+    fn box_row_renders() {
+        let b = BoxStats {
+            n: 10,
+            p1: 1.0,
+            q1: 2.0,
+            median: 3.0,
+            q3: 4.0,
+            p95: 5.0,
+            p99: 6.0,
+        };
+        let row = box_row("February (dom)", Some(&b), |v| format!("{v:.1}"));
+        assert!(row.contains("n=10"));
+        assert!(row.contains("med=3.0"));
+        let empty = box_row("x", None, |v| format!("{v}"));
+        assert!(empty.contains("no samples"));
+    }
+
+    #[test]
+    fn hour_of_week_compresses() {
+        let v = vec![1.0; 168];
+        let s = hour_of_week("Week of 2/20/20", &v);
+        // 168 hours → 84 chars between the pipes.
+        let inner = s.split('|').nth(1).unwrap();
+        assert_eq!(inner.chars().count(), 84);
+    }
+}

@@ -1,0 +1,334 @@
+//! The streaming study collector.
+//!
+//! One pass over the normalized, DNS-labeled flow stream feeds every
+//! figure and statistic. The collector is day-local and mergeable:
+//! workers each collect a disjoint set of days against a shared immutable
+//! [`PipelineCtx`], then merge. Classification and population
+//! segmentation happen once, at finalize time, exactly as the paper's
+//! pipeline classifies devices over the full dataset.
+
+use crate::matrix::{HourWeekMatrix, SparseDaily, VolumeMatrix};
+use appsig::{App, MatchCache, SessionStitcher, SignatureSet};
+use devclass::{is_iot_backend, DeviceProfile, SwitchDetector};
+use dnslog::{DistinctSiteCounter, DomainTable, LabeledFlow};
+use geoloc::{GeoDb, MidpointAccumulator};
+use nettrace::ip::PrefixSet;
+use nettrace::time::{Day, Month, StudyCalendar};
+use nettrace::{DeviceId, Oui};
+use std::collections::HashMap;
+
+/// Immutable context shared by all collection workers.
+pub struct PipelineCtx {
+    /// Application signatures (§5).
+    pub signatures: SignatureSet,
+    /// Geolocation database (§4.2).
+    pub geodb: GeoDb,
+    /// CDN prefixes excluded from midpoints (§4.2).
+    pub cdns: PrefixSet,
+}
+
+impl PipelineCtx {
+    /// Standard study context.
+    pub fn study() -> Self {
+        PipelineCtx {
+            signatures: appsig::study_signatures(),
+            geodb: geoloc::builtin_geodb(),
+            cdns: geoloc::cdn_prefixes(),
+        }
+    }
+}
+
+/// Per-device Steam usage by month: (bytes, connections).
+pub type SteamMonthly = [(u64, u32); 4];
+
+/// Per-device social durations: `[app][month]` hours.
+/// App order: Facebook, Instagram, TikTok.
+pub type SocialHours = [[f64; 4]; 3];
+
+/// Index of a social app in [`SocialHours`].
+pub fn social_index(app: App) -> Option<usize> {
+    match app {
+        App::Facebook => Some(0),
+        App::Instagram => Some(1),
+        App::TikTok => Some(2),
+        _ => None,
+    }
+}
+
+/// Everything accumulated over the study.
+#[derive(Default)]
+pub struct StudyCollector {
+    /// Per-device daily total bytes.
+    pub volume: VolumeMatrix,
+    /// Per-device daily Zoom bytes.
+    pub zoom: VolumeMatrix,
+    /// Per-device hourly bytes in the four Figure 3 weeks.
+    pub hourweek: HourWeekMatrix,
+    /// Per-device Steam usage by month.
+    pub steam: HashMap<DeviceId, SteamMonthly>,
+    /// Per-device social-app session durations by month.
+    pub social_hours: HashMap<DeviceId, SocialHours>,
+    /// Per-device daily Switch *gameplay* bytes (update domains filtered).
+    pub switch_gameplay: SparseDaily,
+    /// Classification evidence per device.
+    pub profiles: HashMap<DeviceId, DeviceProfile>,
+    /// Nintendo-traffic-fraction Switch detection.
+    pub switch_detect: SwitchDetector,
+    /// February destination midpoints (CDNs excluded).
+    pub midpoints: HashMap<DeviceId, MidpointAccumulator>,
+    /// Distinct registered domains per device per month.
+    pub sites: DistinctSiteCounter,
+    /// Domain classification memo (worker-local, not merged).
+    cache: MatchCache,
+}
+
+impl StudyCollector {
+    /// Empty collector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record hardware metadata for a device (from the DHCP stage, where
+    /// the pipeline still sees the raw MAC before anonymization).
+    pub fn observe_device_meta(&mut self, device: DeviceId, oui: Oui, locally_administered: bool) {
+        let p = self.profiles.entry(device).or_default();
+        if p.oui.is_none() {
+            p.oui = Some(oui);
+        }
+        p.locally_administered |= locally_administered;
+    }
+
+    /// Record a User-Agent sighting.
+    pub fn observe_ua(&mut self, device: DeviceId, ua: &str) {
+        let p = self.profiles.entry(device).or_default();
+        if !p.user_agents.iter().any(|u| u == ua) && p.user_agents.len() < 16 {
+            p.user_agents.push(ua.to_string());
+        }
+    }
+
+    /// Process one day's labeled flows (must be sorted by start time).
+    pub fn observe_day(
+        &mut self,
+        ctx: &PipelineCtx,
+        table: &DomainTable,
+        day: Day,
+        flows: &[LabeledFlow],
+    ) {
+        let month = day.month();
+        let mut stitcher = SessionStitcher::new();
+        for lf in flows {
+            let f = &lf.flow;
+            let bytes = f.total_bytes();
+            let app = ctx.signatures.classify_flow(lf, table, &mut self.cache);
+
+            self.volume.add(f.device, day, bytes);
+            self.hourweek.add(f.device, f.ts, bytes);
+
+            if app == Some(App::Zoom) {
+                self.zoom.add(f.device, day, bytes);
+            }
+
+            // Steam usage (Figure 7): bytes and connection counts.
+            if app == Some(App::Steam) {
+                let e = self.steam.entry(f.device).or_default();
+                e[month.index()].0 += bytes;
+                e[month.index()].1 += 1;
+            }
+
+            // Switch gameplay (Figure 8): update/download domains filtered.
+            if app == Some(App::SwitchGameplay) {
+                self.switch_gameplay.add(f.device, day, bytes);
+            }
+            self.switch_detect.observe(f.device, f.ts, app, bytes);
+
+            // Classification evidence.
+            let profile = self.profiles.entry(f.device).or_default();
+            profile.total_bytes += bytes;
+            if matches!(app, Some(App::SwitchGameplay | App::SwitchServices)) {
+                profile.console_bytes += bytes;
+            }
+            let is_backend = lf
+                .domain
+                .map(|d| is_iot_backend(table.name(d)))
+                .unwrap_or(false);
+            profile.iot.add(bytes, is_backend);
+
+            // Geographic midpoint (February destinations, CDNs excluded).
+            if StudyCalendar::month_of(f.ts) == Some(Month::Feb) && !ctx.cdns.contains(f.remote) {
+                if let Some(entry) = ctx.geodb.lookup(f.remote) {
+                    self.midpoints.entry(f.device).or_default().add(
+                        entry.lat,
+                        entry.lon,
+                        bytes as f64,
+                    );
+                }
+            }
+
+            // Distinct sites.
+            if let Some(dom) = lf.domain {
+                self.sites.record(f.device, month, dom, table);
+            }
+
+            // Social session stitching (Figure 6).
+            if matches!(app, Some(App::Facebook | App::Instagram | App::TikTok)) {
+                stitcher.push(f.device, app.expect("matched above"), f.ts, f.end(), bytes);
+            }
+        }
+        for session in stitcher.finish() {
+            let Some(ai) = social_index(session.app) else {
+                continue;
+            };
+            let Some(m) = StudyCalendar::month_of(session.start) else {
+                continue;
+            };
+            self.social_hours.entry(session.device).or_default()[ai][m.index()] +=
+                session.duration_hours();
+        }
+    }
+
+    /// Merge a worker's collector into this one.
+    pub fn merge(&mut self, other: StudyCollector) {
+        self.volume.merge(other.volume);
+        self.zoom.merge(other.zoom);
+        self.hourweek.merge(other.hourweek);
+        for (dev, months) in other.steam {
+            let mine = self.steam.entry(dev).or_default();
+            for (i, (b, c)) in months.into_iter().enumerate() {
+                mine[i].0 += b;
+                mine[i].1 += c;
+            }
+        }
+        for (dev, apps) in other.social_hours {
+            let mine = self.social_hours.entry(dev).or_default();
+            for (ai, months) in apps.into_iter().enumerate() {
+                for (mi, h) in months.into_iter().enumerate() {
+                    mine[ai][mi] += h;
+                }
+            }
+        }
+        self.switch_gameplay.merge(other.switch_gameplay);
+        for (dev, p) in other.profiles {
+            self.profiles.entry(dev).or_default().merge(p);
+        }
+        self.switch_detect.merge(other.switch_detect);
+        for (dev, acc) in other.midpoints {
+            self.midpoints.entry(dev).or_default().merge(acc);
+        }
+        self.sites.merge(other.sites);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dnslog::DomainTable;
+    use nettrace::flow::{DeviceFlow, Proto};
+    use nettrace::Timestamp;
+    use std::net::Ipv4Addr;
+
+    fn lf(
+        device: u64,
+        ts: Timestamp,
+        remote: Ipv4Addr,
+        bytes: u64,
+        domain: Option<dnslog::DomainId>,
+    ) -> LabeledFlow {
+        LabeledFlow {
+            domain,
+            flow: DeviceFlow {
+                device: DeviceId(device),
+                ts,
+                duration_micros: 60_000_000,
+                remote,
+                remote_port: 443,
+                proto: Proto::Tcp,
+                tx_bytes: bytes / 10,
+                rx_bytes: bytes - bytes / 10,
+            },
+        }
+    }
+
+    #[test]
+    fn observe_day_populates_everything() {
+        let ctx = PipelineCtx::study();
+        let mut table = DomainTable::new();
+        let zoom = table.intern_str("us04web.zoom.us").unwrap();
+        let fb = table.intern_str("www.facebook.com").unwrap();
+        let ig = table.intern_str("i.instagram.com").unwrap();
+        let steam = table.intern_str("cache1.steamcontent.com").unwrap();
+        let play = table.intern_str("nncs1-lp1.n.n.srv.nintendo.net").unwrap();
+
+        let day = Day(10); // February
+        let t0 = day.start().add_secs(12 * 3600);
+        let us_east = Ipv4Addr::new(34, 16, 0, 50);
+        let mut c = StudyCollector::new();
+        let flows = vec![
+            lf(1, t0, us_east, 1_000_000, Some(zoom)),
+            lf(1, t0.add_secs(100), us_east, 2_000_000, Some(fb)),
+            lf(1, t0.add_secs(130), us_east, 500_000, Some(ig)),
+            lf(2, t0, us_east, 9_000_000, Some(steam)),
+            lf(3, t0, us_east, 800_000, Some(play)),
+        ];
+        c.observe_day(&ctx, &table, day, &flows);
+
+        assert_eq!(c.volume.get(DeviceId(1), day), 3_500_000);
+        assert_eq!(c.zoom.get(DeviceId(1), day), 1_000_000);
+        assert_eq!(c.steam[&DeviceId(2)][0], (9_000_000, 1));
+        assert_eq!(c.switch_gameplay.get(DeviceId(3), day), 800_000);
+        assert!(c.switch_detect.is_switch(DeviceId(3)));
+        // The FB+IG overlapping flows stitched into one Instagram session.
+        let hours = c.social_hours[&DeviceId(1)];
+        assert!(hours[1][0] > 0.0, "instagram hours {hours:?}");
+        assert_eq!(hours[0][0], 0.0, "no separate facebook session");
+        // Midpoints recorded (February, non-CDN, geolocatable).
+        assert!(c.midpoints.contains_key(&DeviceId(1)));
+        // Sites counted.
+        assert!(c.sites.count(DeviceId(1), Month::Feb) >= 2);
+    }
+
+    #[test]
+    fn merge_matches_sequential() {
+        let ctx = PipelineCtx::study();
+        let mut table = DomainTable::new();
+        let fb = table.intern_str("www.facebook.com").unwrap();
+        let day_a = Day(5);
+        let day_b = Day(6);
+        let remote = Ipv4Addr::new(34, 16, 0, 50);
+        let fa = vec![lf(1, day_a.start().add_secs(100), remote, 1_000, Some(fb))];
+        let fbv = vec![lf(1, day_b.start().add_secs(100), remote, 2_000, Some(fb))];
+
+        let mut seq = StudyCollector::new();
+        seq.observe_day(&ctx, &table, day_a, &fa);
+        seq.observe_day(&ctx, &table, day_b, &fbv);
+
+        let mut w1 = StudyCollector::new();
+        let mut w2 = StudyCollector::new();
+        w1.observe_day(&ctx, &table, day_a, &fa);
+        w2.observe_day(&ctx, &table, day_b, &fbv);
+        w1.merge(w2);
+
+        assert_eq!(
+            seq.volume.get(DeviceId(1), day_a),
+            w1.volume.get(DeviceId(1), day_a)
+        );
+        assert_eq!(
+            seq.volume.get(DeviceId(1), day_b),
+            w1.volume.get(DeviceId(1), day_b)
+        );
+        let sh_seq = seq.social_hours[&DeviceId(1)];
+        let sh_par = w1.social_hours[&DeviceId(1)];
+        assert!((sh_seq[0][0] - sh_par[0][0]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ua_and_meta_feed_profiles() {
+        let mut c = StudyCollector::new();
+        let dev = DeviceId(9);
+        c.observe_device_meta(dev, Oui::new(0x18, 0xdb, 0xf2), false);
+        c.observe_ua(dev, "Mozilla/5.0 (Windows NT 10.0; Win64; x64)");
+        c.observe_ua(dev, "Mozilla/5.0 (Windows NT 10.0; Win64; x64)"); // dup
+        let p = &c.profiles[&dev];
+        assert_eq!(p.oui, Some(Oui::new(0x18, 0xdb, 0xf2)));
+        assert_eq!(p.user_agents.len(), 1);
+    }
+}

@@ -1,0 +1,220 @@
+//! Machine-readable export of figure data (CSV and JSON).
+//!
+//! The repro harness writes one file per figure so results can be
+//! compared against the paper (EXPERIMENTS.md) or re-plotted elsewhere.
+
+use crate::figures::{Fig1, Fig2, Fig3, Fig4, Fig4Series, Fig5, Fig6, Fig7, Fig8};
+use crate::stats::BoxStats;
+use devclass::FigureBucket;
+use nettrace::time::{Day, StudyCalendar};
+use serde::Serialize;
+
+/// CSV for Figure 1: day, per-bucket counts, total.
+pub fn fig1_csv(f: &Fig1) -> String {
+    let mut out = String::from("date,mobile,laptop_desktop,iot,unclassified,total\n");
+    for d in 0..StudyCalendar::NUM_DAYS as usize {
+        out.push_str(&format!(
+            "{},{},{},{},{},{}\n",
+            Day(d as u16).label(),
+            f.per_bucket[0][d],
+            f.per_bucket[1][d],
+            f.per_bucket[2][d],
+            f.per_bucket[3][d],
+            f.total[d]
+        ));
+    }
+    out
+}
+
+/// CSV for Figure 2: day, mean/median per bucket (bytes).
+pub fn fig2_csv(f: &Fig2) -> String {
+    let mut out = String::from("date");
+    for b in FigureBucket::ALL {
+        out.push_str(&format!(
+            ",mean_{0},median_{0}",
+            b.name().to_lowercase().replace([' ', '&'], "_")
+        ));
+    }
+    out.push('\n');
+    for d in 0..StudyCalendar::NUM_DAYS as usize {
+        out.push_str(&Day(d as u16).label());
+        for b in 0..4 {
+            out.push_str(&format!(",{:.0},{:.0}", f.mean[b][d], f.median[b][d]));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// CSV for Figure 3: hour-of-week rows, one column per week.
+pub fn fig3_csv(f: &Fig3) -> String {
+    let mut out = String::from("hour_of_week");
+    for l in f.labels {
+        out.push_str(&format!(",{}", l.replace(' ', "_")));
+    }
+    out.push('\n');
+    for h in 0..168 {
+        out.push_str(&format!("{h}"));
+        for w in 0..4 {
+            out.push_str(&format!(",{:.4}", f.weeks[w][h]));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// CSV for Figure 4: day, four median series (bytes).
+pub fn fig4_csv(f: &Fig4) -> String {
+    let mut out = String::from("date");
+    for s in Fig4Series::ALL {
+        out.push_str(&format!(",{}", s.label().replace(' ', "_").to_lowercase()));
+    }
+    out.push('\n');
+    for d in 0..StudyCalendar::NUM_DAYS as usize {
+        out.push_str(&Day(d as u16).label());
+        for i in 0..4 {
+            out.push_str(&format!(",{:.0}", f.series[i][d]));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// CSV for Figure 5: day, zoom bytes.
+pub fn fig5_csv(f: &Fig5) -> String {
+    let mut out = String::from("date,zoom_bytes\n");
+    for d in 0..StudyCalendar::NUM_DAYS as usize {
+        out.push_str(&format!("{},{:.0}\n", Day(d as u16).label(), f.daily[d]));
+    }
+    out
+}
+
+#[derive(Serialize)]
+struct BoxJson {
+    n: usize,
+    p1: f64,
+    q1: f64,
+    median: f64,
+    q3: f64,
+    p95: f64,
+    p99: f64,
+}
+
+impl From<&BoxStats> for BoxJson {
+    fn from(b: &BoxStats) -> Self {
+        BoxJson {
+            n: b.n,
+            p1: b.p1,
+            q1: b.q1,
+            median: b.median,
+            q3: b.q3,
+            p95: b.p95,
+            p99: b.p99,
+        }
+    }
+}
+
+/// JSON for Figure 6: app → subpop → month → box stats.
+pub fn fig6_json(f: &Fig6) -> String {
+    #[derive(Serialize)]
+    struct Out<'a> {
+        app: &'a str,
+        subpop: &'a str,
+        month: &'a str,
+        stats: Option<BoxJson>,
+    }
+    let apps = ["Facebook", "Instagram", "TikTok"];
+    let subpops = ["Domestic", "International"];
+    let months = ["February", "March", "April", "May"];
+    let mut rows = Vec::new();
+    for (ai, app) in apps.iter().enumerate() {
+        for (si, sp) in subpops.iter().enumerate() {
+            for (mi, m) in months.iter().enumerate() {
+                rows.push(Out {
+                    app,
+                    subpop: sp,
+                    month: m,
+                    stats: f.boxes[ai][si][mi].as_ref().map(BoxJson::from),
+                });
+            }
+        }
+    }
+    serde_json::to_string_pretty(&rows).expect("plain data serializes")
+}
+
+/// JSON for Figure 7: metric → subpop → month → box stats.
+pub fn fig7_json(f: &Fig7) -> String {
+    #[derive(Serialize)]
+    struct Out<'a> {
+        metric: &'a str,
+        subpop: &'a str,
+        month: &'a str,
+        stats: Option<BoxJson>,
+    }
+    let subpops = ["Domestic", "International"];
+    let months = ["February", "March", "April", "May"];
+    let mut rows = Vec::new();
+    for (metric, table) in [("bytes", &f.bytes), ("connections", &f.conns)] {
+        for (si, sp) in subpops.iter().enumerate() {
+            for (mi, m) in months.iter().enumerate() {
+                rows.push(Out {
+                    metric,
+                    subpop: sp,
+                    month: m,
+                    stats: table[si][mi].as_ref().map(BoxJson::from),
+                });
+            }
+        }
+    }
+    serde_json::to_string_pretty(&rows).expect("plain data serializes")
+}
+
+/// CSV for Figure 8: day, 3-day-MA gameplay bytes.
+pub fn fig8_csv(f: &Fig8) -> String {
+    let mut out = String::from("date,gameplay_bytes_ma3\n");
+    for d in 0..StudyCalendar::NUM_DAYS as usize {
+        out.push_str(&format!("{},{:.0}\n", Day(d as u16).label(), f.daily_ma[d]));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collect::StudyCollector;
+    use crate::figures::{self, StudySummary};
+
+    fn empty_figs() -> (StudyCollector, StudySummary) {
+        let c = StudyCollector::new();
+        let s = StudySummary::finalize(&c);
+        (c, s)
+    }
+
+    #[test]
+    fn csvs_have_expected_shape() {
+        let (c, s) = empty_figs();
+        let f1 = figures::figure1(&c, &s);
+        let csv = fig1_csv(&f1);
+        assert_eq!(csv.lines().count(), 122); // header + 121 days
+        assert!(csv.starts_with("date,mobile"));
+        assert!(csv.contains("2020-02-01"));
+        assert!(csv.contains("2020-05-31"));
+
+        let f3 = figures::figure3(&c, &s);
+        assert_eq!(fig3_csv(&f3).lines().count(), 169);
+
+        let f5 = figures::figure5(&c, &s);
+        assert_eq!(fig5_csv(&f5).lines().count(), 122);
+    }
+
+    #[test]
+    fn jsons_parse_back() {
+        let (c, s) = empty_figs();
+        let f6 = figures::figure6(&c, &s);
+        let v: serde_json::Value = serde_json::from_str(&fig6_json(&f6)).unwrap();
+        assert_eq!(v.as_array().unwrap().len(), 3 * 2 * 4);
+        let f7 = figures::figure7(&c, &s);
+        let v: serde_json::Value = serde_json::from_str(&fig7_json(&f7)).unwrap();
+        assert_eq!(v.as_array().unwrap().len(), 2 * 2 * 4);
+    }
+}

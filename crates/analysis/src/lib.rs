@@ -1,0 +1,21 @@
+//! # analysis — statistics, collectors, and figure extraction
+//!
+//! One streaming pass over the labeled flow stream (the
+//! [`collect::StudyCollector`]) feeds every figure and headline
+//! statistic of the paper; [`figures`] reduces the collected state after
+//! classification and segmentation; [`ascii`] and [`export`] render the
+//! results for terminals and files.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ascii;
+pub mod collect;
+pub mod export;
+pub mod figures;
+pub mod matrix;
+pub mod stats;
+
+pub use collect::{PipelineCtx, StudyCollector};
+pub use figures::{headline_stats, HeadlineStats, StudySummary};
+pub use stats::BoxStats;

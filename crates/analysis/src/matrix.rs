@@ -1,0 +1,317 @@
+//! Per-device daily accumulation structures.
+//!
+//! The study's daily figures reduce to "bytes per device per day" under
+//! various filters. A dense 121-slot row per device keeps this compact
+//! (< 1 KB per device) and mergeable for day-parallel collection.
+
+use nettrace::time::{Day, Month, StudyCalendar};
+use nettrace::DeviceId;
+use std::collections::HashMap;
+
+/// Dense per-device daily byte counters.
+#[derive(Debug, Default)]
+pub struct VolumeMatrix {
+    rows: HashMap<DeviceId, Box<[u64; StudyCalendar::NUM_DAYS as usize]>>,
+}
+
+impl VolumeMatrix {
+    /// Empty matrix.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add bytes for (device, day).
+    pub fn add(&mut self, device: DeviceId, day: Day, bytes: u64) {
+        let row = self
+            .rows
+            .entry(device)
+            .or_insert_with(|| Box::new([0; StudyCalendar::NUM_DAYS as usize]));
+        row[day.0 as usize] += bytes;
+    }
+
+    /// Bytes for (device, day).
+    pub fn get(&self, device: DeviceId, day: Day) -> u64 {
+        self.rows.get(&device).map_or(0, |r| r[day.0 as usize])
+    }
+
+    /// The device's whole row, if any activity was recorded.
+    pub fn row(&self, device: DeviceId) -> Option<&[u64; StudyCalendar::NUM_DAYS as usize]> {
+        self.rows.get(&device).map(|b| &**b)
+    }
+
+    /// Devices with any recorded activity.
+    pub fn devices(&self) -> impl Iterator<Item = DeviceId> + '_ {
+        self.rows.keys().copied()
+    }
+
+    /// Number of devices with activity.
+    pub fn device_count(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Was the device active (any bytes) on `day`?
+    pub fn active_on(&self, device: DeviceId, day: Day) -> bool {
+        self.get(device, day) > 0
+    }
+
+    /// First day with activity.
+    pub fn first_active_day(&self, device: DeviceId) -> Option<Day> {
+        let row = self.rows.get(&device)?;
+        row.iter().position(|&b| b > 0).map(|i| Day(i as u16))
+    }
+
+    /// Last day with activity.
+    pub fn last_active_day(&self, device: DeviceId) -> Option<Day> {
+        let row = self.rows.get(&device)?;
+        row.iter().rposition(|&b| b > 0).map(|i| Day(i as u16))
+    }
+
+    /// Number of distinct active days (the paper's ≥14-day visitor filter).
+    pub fn active_day_count(&self, device: DeviceId) -> usize {
+        self.rows
+            .get(&device)
+            .map_or(0, |r| r.iter().filter(|&&b| b > 0).count())
+    }
+
+    /// Total bytes for a device over a month.
+    pub fn month_total(&self, device: DeviceId, month: Month) -> u64 {
+        let Some(row) = self.rows.get(&device) else {
+            return 0;
+        };
+        let start = month.first_day().0 as usize;
+        row[start..start + month.num_days() as usize].iter().sum()
+    }
+
+    /// Total bytes across all devices on a day.
+    pub fn day_total(&self, day: Day) -> u64 {
+        self.rows.values().map(|r| r[day.0 as usize]).sum()
+    }
+
+    /// Was the device active at any point on/after the given day?
+    pub fn active_since(&self, device: DeviceId, day: Day) -> bool {
+        self.last_active_day(device).is_some_and(|d| d >= day)
+    }
+
+    /// Merge another matrix (parallel reduction).
+    pub fn merge(&mut self, other: VolumeMatrix) {
+        for (dev, row) in other.rows {
+            match self.rows.entry(dev) {
+                std::collections::hash_map::Entry::Occupied(mut e) => {
+                    let mine = e.get_mut();
+                    for (a, b) in mine.iter_mut().zip(row.iter()) {
+                        *a += b;
+                    }
+                }
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(row);
+                }
+            }
+        }
+    }
+}
+
+/// Per-device per-hour byte counters for the four Figure 3 weeks.
+/// Index: `week * 168 + hour_of_week`.
+#[derive(Debug, Default)]
+pub struct HourWeekMatrix {
+    rows: HashMap<DeviceId, Box<[u64; 4 * 168]>>,
+}
+
+impl HourWeekMatrix {
+    /// Empty matrix.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Which figure-3 week (0..4) a day belongs to, if any.
+    pub fn week_of(day: Day) -> Option<usize> {
+        StudyCalendar::figure3_weeks()
+            .iter()
+            .position(|(_, thu)| day.0 >= thu.0 && day.0 < thu.0 + 7)
+    }
+
+    /// Record bytes at a timestamp (no-op outside the four weeks).
+    pub fn add(&mut self, device: DeviceId, ts: nettrace::Timestamp, bytes: u64) {
+        let Some(day) = StudyCalendar::day_of(ts) else {
+            return;
+        };
+        let Some(week) = Self::week_of(day) else {
+            return;
+        };
+        let hour = StudyCalendar::hour_of_week(ts);
+        let row = self
+            .rows
+            .entry(device)
+            .or_insert_with(|| Box::new([0; 4 * 168]));
+        row[week * 168 + hour] += bytes;
+    }
+
+    /// Per-hour values of one device in one week.
+    pub fn row(&self, device: DeviceId, week: usize) -> Option<&[u64]> {
+        self.rows
+            .get(&device)
+            .map(|r| &r[week * 168..(week + 1) * 168])
+    }
+
+    /// Devices with any activity in any figure week.
+    pub fn devices(&self) -> impl Iterator<Item = DeviceId> + '_ {
+        self.rows.keys().copied()
+    }
+
+    /// Merge (parallel reduction).
+    pub fn merge(&mut self, other: HourWeekMatrix) {
+        for (dev, row) in other.rows {
+            match self.rows.entry(dev) {
+                std::collections::hash_map::Entry::Occupied(mut e) => {
+                    for (a, b) in e.get_mut().iter_mut().zip(row.iter()) {
+                        *a += b;
+                    }
+                }
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(row);
+                }
+            }
+        }
+    }
+}
+
+/// Sparse per-device daily counters (for low-population signals like
+/// Switch gameplay bytes).
+#[derive(Debug, Default)]
+pub struct SparseDaily {
+    rows: HashMap<DeviceId, HashMap<u16, u64>>,
+}
+
+impl SparseDaily {
+    /// Empty.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add bytes.
+    pub fn add(&mut self, device: DeviceId, day: Day, bytes: u64) {
+        *self
+            .rows
+            .entry(device)
+            .or_default()
+            .entry(day.0)
+            .or_default() += bytes;
+    }
+
+    /// Bytes for (device, day).
+    pub fn get(&self, device: DeviceId, day: Day) -> u64 {
+        self.rows
+            .get(&device)
+            .and_then(|r| r.get(&day.0))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Devices present.
+    pub fn devices(&self) -> impl Iterator<Item = DeviceId> + '_ {
+        self.rows.keys().copied()
+    }
+
+    /// Any bytes in the given month?
+    pub fn active_in_month(&self, device: DeviceId, month: Month) -> bool {
+        let Some(row) = self.rows.get(&device) else {
+            return false;
+        };
+        let start = month.first_day().0;
+        row.keys()
+            .any(|&d| d >= start && d < start + month.num_days())
+    }
+
+    /// Merge.
+    pub fn merge(&mut self, other: SparseDaily) {
+        for (dev, row) in other.rows {
+            let mine = self.rows.entry(dev).or_default();
+            for (d, b) in row {
+                *mine.entry(d).or_default() += b;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DEV: DeviceId = DeviceId(42);
+
+    #[test]
+    fn volume_matrix_roundtrip() {
+        let mut m = VolumeMatrix::new();
+        m.add(DEV, Day(3), 100);
+        m.add(DEV, Day(3), 50);
+        m.add(DEV, Day(90), 7);
+        assert_eq!(m.get(DEV, Day(3)), 150);
+        assert_eq!(m.get(DEV, Day(4)), 0);
+        assert_eq!(m.get(DeviceId(1), Day(3)), 0);
+        assert!(m.active_on(DEV, Day(3)));
+        assert!(!m.active_on(DEV, Day(4)));
+        assert_eq!(m.first_active_day(DEV), Some(Day(3)));
+        assert_eq!(m.last_active_day(DEV), Some(Day(90)));
+        assert_eq!(m.active_day_count(DEV), 2);
+        assert_eq!(m.month_total(DEV, Month::Feb), 150);
+        assert_eq!(m.month_total(DEV, Month::May), 7);
+        assert_eq!(m.month_total(DEV, Month::Apr), 0);
+        assert_eq!(m.day_total(Day(3)), 150);
+        assert!(m.active_since(DEV, Day(47)));
+        assert!(!m.active_since(DEV, Day(91)));
+    }
+
+    #[test]
+    fn volume_matrix_merge() {
+        let mut a = VolumeMatrix::new();
+        let mut b = VolumeMatrix::new();
+        a.add(DEV, Day(0), 10);
+        b.add(DEV, Day(0), 5);
+        b.add(DeviceId(7), Day(1), 3);
+        a.merge(b);
+        assert_eq!(a.get(DEV, Day(0)), 15);
+        assert_eq!(a.get(DeviceId(7), Day(1)), 3);
+        assert_eq!(a.device_count(), 2);
+    }
+
+    #[test]
+    fn hour_week_indexing() {
+        let mut m = HourWeekMatrix::new();
+        // Week of 3/19 starts study day 47 (a Thursday).
+        assert_eq!(HourWeekMatrix::week_of(Day(47)), Some(1));
+        assert_eq!(HourWeekMatrix::week_of(Day(53)), Some(1));
+        assert_eq!(HourWeekMatrix::week_of(Day(54)), None);
+        let ts = Day(47).start().add_secs(5 * 3600);
+        m.add(DEV, ts, 99);
+        let row = m.row(DEV, 1).unwrap();
+        assert_eq!(row[5], 99);
+        assert_eq!(row.iter().sum::<u64>(), 99);
+        assert!(m.row(DEV, 0).unwrap().iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn hour_week_merge() {
+        let mut a = HourWeekMatrix::new();
+        let mut b = HourWeekMatrix::new();
+        let ts = Day(19).start(); // week 0 Thursday 00:00
+        a.add(DEV, ts, 1);
+        b.add(DEV, ts, 2);
+        a.merge(b);
+        assert_eq!(a.row(DEV, 0).unwrap()[0], 3);
+    }
+
+    #[test]
+    fn sparse_daily() {
+        let mut m = SparseDaily::new();
+        m.add(DEV, Day(10), 5);
+        m.add(DEV, Day(100), 7);
+        assert_eq!(m.get(DEV, Day(10)), 5);
+        assert!(m.active_in_month(DEV, Month::Feb));
+        assert!(!m.active_in_month(DEV, Month::Mar));
+        assert!(m.active_in_month(DEV, Month::May));
+        let mut other = SparseDaily::new();
+        other.add(DEV, Day(10), 5);
+        m.merge(other);
+        assert_eq!(m.get(DEV, Day(10)), 10);
+    }
+}

@@ -1,0 +1,103 @@
+//! Application classes the study analyzes.
+
+use std::fmt;
+
+/// The applications §5 of the paper measures, plus the service classes the
+//  pipeline must recognize to exclude or filter them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum App {
+    /// Zoom video conferencing (§5.1) — the university's online-class tool.
+    Zoom,
+    /// Facebook (§5.2).
+    Facebook,
+    /// Instagram (§5.2). Shares serving domains with Facebook; see
+    /// [`crate::session`] for the disambiguation heuristic.
+    Instagram,
+    /// TikTok (§5.2).
+    TikTok,
+    /// Steam PC-game platform (§5.3.1).
+    Steam,
+    /// Nintendo Switch gameplay traffic (§5.3.2), after filtering the
+    /// update/download domains.
+    SwitchGameplay,
+    /// Nintendo Switch system/game updates, downloads and other
+    /// non-gameplay services — measured only to be filtered out of
+    /// Figure 8.
+    SwitchServices,
+    /// Content-delivery networks (Akamai, AWS, CloudFront, Optimizely) —
+    /// excluded from geolocation midpoints (§4.2).
+    Cdn,
+}
+
+impl App {
+    /// All classified applications.
+    pub const ALL: [App; 8] = [
+        App::Zoom,
+        App::Facebook,
+        App::Instagram,
+        App::TikTok,
+        App::Steam,
+        App::SwitchGameplay,
+        App::SwitchServices,
+        App::Cdn,
+    ];
+
+    /// Human-readable name for figures and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            App::Zoom => "Zoom",
+            App::Facebook => "Facebook",
+            App::Instagram => "Instagram",
+            App::TikTok => "TikTok",
+            App::Steam => "Steam",
+            App::SwitchGameplay => "Switch gameplay",
+            App::SwitchServices => "Switch services",
+            App::Cdn => "CDN",
+        }
+    }
+
+    /// The session-stitching family: Facebook and Instagram flows stitch
+    /// into one combined session because their domains overlap (§5.2);
+    /// every other app stitches within itself.
+    pub fn family(self) -> Family {
+        match self {
+            App::Facebook | App::Instagram => Family::Meta,
+            other => Family::Single(other),
+        }
+    }
+}
+
+impl fmt::Display for App {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Stitching family (see [`App::family`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Family {
+    /// The Facebook/Instagram shared-domain family.
+    Meta,
+    /// An app whose domains are its own.
+    Single(App),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn families() {
+        assert_eq!(App::Facebook.family(), Family::Meta);
+        assert_eq!(App::Instagram.family(), Family::Meta);
+        assert_eq!(App::Zoom.family(), Family::Single(App::Zoom));
+        assert_eq!(App::Steam.family(), Family::Single(App::Steam));
+    }
+
+    #[test]
+    fn names_unique() {
+        use std::collections::HashSet;
+        let names: HashSet<_> = App::ALL.iter().map(|a| a.name()).collect();
+        assert_eq!(names.len(), App::ALL.len());
+    }
+}

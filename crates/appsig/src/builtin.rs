@@ -1,0 +1,251 @@
+//! The built-in signature catalogue.
+//!
+//! Domain sets follow the sources the paper names: Zoom's domain plus its
+//! published server IP list (with "historical" ranges recovered via the
+//! Wayback Machine, §5.1); manual captures for Facebook/Instagram/TikTok
+//! (§5.2); Steam's support-page whitelist (§5.3.1); and a measured
+//! Nintendo Switch domain list cross-checked against 90DNS and
+//! SwitchBlockerForPiHole, split into gameplay vs. update/download
+//! domains (§5.3.2).
+//!
+//! Besides the matching rules this module also exports, per application,
+//! the concrete hostnames the synthetic workload generator uses when it
+//! fabricates DNS activity — so the generator and the classifier agree on
+//! the world without sharing code paths.
+
+use crate::app::App;
+use crate::signature::SignatureSet;
+use nettrace::ip::Ipv4Cidr;
+use std::net::Ipv4Addr;
+
+/// Domain suffixes per application (the matching rules).
+pub fn domain_rules() -> Vec<(&'static str, App)> {
+    vec![
+        // Zoom (§5.1): everything under zoom.us.
+        ("zoom.us", App::Zoom),
+        // Facebook family (§5.2): these three serve both Facebook and
+        // Instagram content; sessions are later disambiguated.
+        ("facebook.com", App::Facebook),
+        ("facebook.net", App::Facebook),
+        ("fbcdn.net", App::Facebook),
+        // Instagram-only domains (§5.2): their presence marks a session
+        // as Instagram.
+        ("instagram.com", App::Instagram),
+        ("cdninstagram.com", App::Instagram),
+        // TikTok (§5.2).
+        ("tiktok.com", App::TikTok),
+        ("tiktokv.com", App::TikTok),
+        ("tiktokcdn.com", App::TikTok),
+        ("musical.ly", App::TikTok),
+        ("byteoversea.com", App::TikTok),
+        // Steam (§5.3.1): the support-page whitelist domains.
+        ("steampowered.com", App::Steam),
+        ("steamcommunity.com", App::Steam),
+        ("steamcontent.com", App::Steam),
+        ("steamstatic.com", App::Steam),
+        ("steamusercontent.com", App::Steam),
+        // Nintendo Switch (§5.3.2): broad gameplay rule with specific
+        // update/download/eShop domains carved out (longest suffix wins).
+        ("nintendo.net", App::SwitchGameplay),
+        ("srv.nintendo.net", App::SwitchGameplay),
+        ("d4c.nintendo.net", App::SwitchServices), // game/system downloads
+        ("cdn.nintendo.net", App::SwitchServices), // content delivery
+        ("eshop.nintendo.net", App::SwitchServices),
+        ("accounts.nintendo.com", App::SwitchServices),
+        // CDNs excluded from geolocation (§4.2).
+        ("akamai.net", App::Cdn),
+        ("akamaiedge.net", App::Cdn),
+        ("amazonaws.com", App::Cdn),
+        ("cloudfront.net", App::Cdn),
+        ("optimizely.com", App::Cdn),
+    ]
+}
+
+/// Zoom server IP ranges currently on the support page (synthetic
+/// allocations inside the us-east hosting region of the atlas).
+pub fn zoom_current_ranges() -> Vec<Ipv4Cidr> {
+    vec![
+        Ipv4Cidr::new(Ipv4Addr::new(34, 18, 0, 0), 16),
+        Ipv4Cidr::new(Ipv4Addr::new(34, 19, 0, 0), 17),
+    ]
+}
+
+/// Zoom ranges that were once listed and later removed; the paper
+/// recovers these from the Internet Archive and matches them too.
+pub fn zoom_historical_ranges() -> Vec<Ipv4Cidr> {
+    vec![Ipv4Cidr::new(Ipv4Addr::new(34, 20, 128, 0), 17)]
+}
+
+/// Build the full signature set the study uses.
+pub fn study_signatures() -> SignatureSet {
+    let mut s = SignatureSet::new();
+    for (suffix, app) in domain_rules() {
+        s.add_domain(suffix, app);
+    }
+    for r in zoom_current_ranges() {
+        s.add_ip_range(r, App::Zoom);
+    }
+    for r in zoom_historical_ranges() {
+        s.add_ip_range(r, App::Zoom);
+    }
+    s
+}
+
+/// Concrete hostnames the synthetic workload resolves per application.
+/// Every name must classify back to its application (tested below), and
+/// multi-domain sets exercise the session-stitching logic the same way
+/// real app traffic does.
+pub fn hostnames(app: App) -> &'static [&'static str] {
+    match app {
+        App::Zoom => &[
+            "us04web.zoom.us",
+            "us05web.zoom.us",
+            "zoomdatacenter.zoom.us",
+            "web.zoom.us",
+        ],
+        App::Facebook => &[
+            "www.facebook.com",
+            "edge-chat.facebook.com",
+            "star-mini.c10r.facebook.com",
+            "connect.facebook.net",
+            "scontent.fbcdn.net",
+            "video.fbcdn.net",
+        ],
+        App::Instagram => &[
+            "www.instagram.com",
+            "i.instagram.com",
+            "scontent.cdninstagram.com",
+        ],
+        App::TikTok => &[
+            "www.tiktok.com",
+            "api.tiktokv.com",
+            "v16.tiktokcdn.com",
+            "log.byteoversea.com",
+        ],
+        App::Steam => &[
+            "store.steampowered.com",
+            "api.steampowered.com",
+            "steamcommunity.com",
+            "cache1.steamcontent.com",
+            "cache2.steamcontent.com",
+            "cdn.steamstatic.com",
+        ],
+        App::SwitchGameplay => &[
+            "nncs1-lp1.n.n.srv.nintendo.net",
+            "conntest.srv.nintendo.net",
+            "g1234abcd-lp1.s.n.srv.nintendo.net",
+            "mm-p2p.srv.nintendo.net",
+        ],
+        App::SwitchServices => &[
+            "atum.hac.lp1.d4c.nintendo.net",
+            "sun.hac.lp1.d4c.nintendo.net",
+            "ctest.cdn.nintendo.net",
+            "bugyo.hac.lp1.eshop.nintendo.net",
+            "accounts.nintendo.com",
+        ],
+        App::Cdn => &[
+            "e1234.a.akamaiedge.net",
+            "a248.e.akamai.net",
+            "d1234abcd.cloudfront.net",
+            "s3.us-west-2.amazonaws.com",
+            "cdn.optimizely.com",
+        ],
+    }
+}
+
+/// Generic non-app web hostnames the workload also visits (news, search,
+/// e-mail, streaming, campus services). These must *not* classify to any
+/// measured application.
+pub fn background_hostnames() -> &'static [&'static str] {
+    &[
+        "www.wikipedia.org",
+        "mail.google.com",
+        "www.netflix.com",
+        "video.netflix.com",
+        "www.nytimes.com",
+        "canvas.ucsd.edu",
+        "www.reddit.com",
+        "open.spotify.com",
+        "github.com",
+        "stackoverflow.com",
+        "drive.google.com",
+        "music.apple.com",
+    ]
+}
+
+/// Foreign-hosted hostnames favoured by the international sub-population
+/// (Chinese, Korean, Japanese and Indian services in the synthetic
+/// world). None classify to a measured application; their role is to
+/// shape the geographic midpoint (§4.2).
+pub fn foreign_hostnames() -> &'static [&'static str] {
+    &[
+        "www.weibo.com.cn",
+        "v.qq.com.cn",
+        "www.bilibili.com.cn",
+        "y.music.163.com.cn",
+        "www.baidu.com.cn",
+        "www.naver.co.kr",
+        "tv.kakao.co.kr",
+        "www.nicovideo.co.jp",
+        "hotstar.co.in",
+        "www.zee5.co.in",
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dnslog::DomainName;
+
+    #[test]
+    fn every_hostname_classifies_to_its_app() {
+        let sigs = study_signatures();
+        for app in App::ALL {
+            for h in hostnames(app) {
+                let d = DomainName::parse(h).unwrap();
+                assert_eq!(
+                    sigs.classify_domain(&d),
+                    Some(app),
+                    "hostname {h} should classify as {app}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn background_and_foreign_hostnames_do_not_classify() {
+        let sigs = study_signatures();
+        for h in background_hostnames().iter().chain(foreign_hostnames()) {
+            let d = DomainName::parse(h).unwrap();
+            assert_eq!(sigs.classify_domain(&d), None, "hostname {h}");
+        }
+    }
+
+    #[test]
+    fn zoom_ranges_match_as_zoom() {
+        let sigs = study_signatures();
+        for r in zoom_current_ranges()
+            .into_iter()
+            .chain(zoom_historical_ranges())
+        {
+            assert_eq!(sigs.classify_ip(r.first_host()), Some(App::Zoom));
+        }
+        assert_eq!(sigs.classify_ip(Ipv4Addr::new(8, 8, 8, 8)), None);
+    }
+
+    #[test]
+    fn switch_services_carved_out_of_gameplay() {
+        let sigs = study_signatures();
+        let update = DomainName::parse("atum.hac.lp1.d4c.nintendo.net").unwrap();
+        let play = DomainName::parse("nncs1-lp1.n.n.srv.nintendo.net").unwrap();
+        assert_eq!(sigs.classify_domain(&update), Some(App::SwitchServices));
+        assert_eq!(sigs.classify_domain(&play), Some(App::SwitchGameplay));
+    }
+
+    #[test]
+    fn rule_counts() {
+        let sigs = study_signatures();
+        assert!(sigs.domain_rule_count() >= 25);
+        assert_eq!(sigs.ip_rule_count(), 3);
+    }
+}

@@ -1,0 +1,25 @@
+//! # appsig — application signatures and session stitching
+//!
+//! Implements §5 of the paper: identifying Zoom, Facebook, Instagram,
+//! TikTok, Steam and Nintendo Switch traffic from labeled flows, and
+//! stitching multi-domain flows into user sessions with the paper's
+//! Facebook/Instagram disambiguation heuristic.
+//!
+//! * [`app`] — the application classes and stitching families.
+//! * [`signature`] — domain-suffix + IP-range matching with memoization.
+//! * [`builtin`] — the study's signature catalogue and the hostname
+//!   inventories the synthetic workload draws from.
+//! * [`session`] — overlapping-flow session stitching (§5.2).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod app;
+pub mod builtin;
+pub mod session;
+pub mod signature;
+
+pub use app::{App, Family};
+pub use builtin::study_signatures;
+pub use session::{Session, SessionStitcher, DEFAULT_MERGE_GAP_SECS};
+pub use signature::{MatchCache, SignatureSet};

@@ -1,0 +1,289 @@
+//! Session stitching: from flows to user sessions.
+//!
+//! §5.2 of the paper: "the social media sites often use multiple domains
+//! to serve content to users … to compute the duration of an entire user
+//! session, we find the bounds of overlapping flows from different
+//! domains belonging to the same site." And for the Facebook/Instagram
+//! ambiguity: "if any of the domains in a set of overlapping flows
+//! delivers Instagram-only content … we mark the entire session as an
+//! Instagram session. Otherwise, we mark the session as Facebook."
+//!
+//! The stitcher keeps one open interval per (device, family); a new flow
+//! merges into the open interval when it starts within `merge_gap` of the
+//! interval's end (gap 0 = strict overlap), otherwise the interval is
+//! emitted as a [`Session`] and a new one opens. Flows must be pushed in
+//! start-time order *per device* — global order is not required.
+
+use crate::app::{App, Family};
+use nettrace::{DeviceId, Timestamp};
+use std::collections::HashMap;
+
+/// Default merge gap: flows separated by less than this continue the same
+/// user session. 60 s absorbs the keep-alive pauses real apps exhibit;
+/// the `ablate_session_gap` bench sweeps this knob.
+pub const DEFAULT_MERGE_GAP_SECS: i64 = 60;
+
+/// A stitched application session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Session {
+    /// The device that held the session.
+    pub device: DeviceId,
+    /// The application, after family disambiguation.
+    pub app: App,
+    /// Session start (first flow start).
+    pub start: Timestamp,
+    /// Session end (latest flow end seen).
+    pub end: Timestamp,
+    /// Total bytes across the session's flows.
+    pub bytes: u64,
+    /// Number of flows stitched together.
+    pub flows: u32,
+}
+
+impl Session {
+    /// Session duration in microseconds.
+    pub fn duration_micros(&self) -> i64 {
+        self.end.delta_micros(self.start)
+    }
+
+    /// Session duration in fractional hours (the unit of Figure 6).
+    pub fn duration_hours(&self) -> f64 {
+        self.duration_micros() as f64 / 3.6e9
+    }
+}
+
+#[derive(Debug)]
+struct OpenSession {
+    start: Timestamp,
+    end: Timestamp,
+    bytes: u64,
+    flows: u32,
+    saw_instagram: bool,
+}
+
+/// The streaming session stitcher.
+#[derive(Debug)]
+pub struct SessionStitcher {
+    merge_gap_micros: i64,
+    open: HashMap<(DeviceId, Family), OpenSession>,
+    completed: Vec<Session>,
+}
+
+impl SessionStitcher {
+    /// Stitcher with the default merge gap.
+    pub fn new() -> Self {
+        Self::with_gap_secs(DEFAULT_MERGE_GAP_SECS)
+    }
+
+    /// Stitcher with a custom merge gap in seconds (0 = strict overlap).
+    pub fn with_gap_secs(gap_secs: i64) -> Self {
+        SessionStitcher {
+            merge_gap_micros: gap_secs * 1_000_000,
+            open: HashMap::new(),
+            completed: Vec::new(),
+        }
+    }
+
+    fn close(&mut self, device: DeviceId, family: Family, s: OpenSession) {
+        let app = match family {
+            Family::Meta => {
+                if s.saw_instagram {
+                    App::Instagram
+                } else {
+                    App::Facebook
+                }
+            }
+            Family::Single(app) => app,
+        };
+        self.completed.push(Session {
+            device,
+            app,
+            start: s.start,
+            end: s.end,
+            bytes: s.bytes,
+            flows: s.flows,
+        });
+    }
+
+    /// Feed one classified flow (`app` as the signature matcher labeled
+    /// it; Facebook-family flows may carry either Facebook or Instagram).
+    pub fn push(
+        &mut self,
+        device: DeviceId,
+        app: App,
+        start: Timestamp,
+        end: Timestamp,
+        bytes: u64,
+    ) {
+        let family = app.family();
+        let key = (device, family);
+        let end = end.max(start);
+        if let Some(open) = self.open.get_mut(&key) {
+            if start.delta_micros(open.end) <= self.merge_gap_micros {
+                // Merge into the open session.
+                open.end = open.end.max(end);
+                open.bytes += bytes;
+                open.flows += 1;
+                open.saw_instagram |= app == App::Instagram;
+                return;
+            }
+            let done = self.open.remove(&key).expect("present above");
+            self.close(device, family, done);
+        }
+        self.open.insert(
+            key,
+            OpenSession {
+                start,
+                end,
+                bytes,
+                flows: 1,
+                saw_instagram: app == App::Instagram,
+            },
+        );
+    }
+
+    /// Take sessions completed so far (already-closed intervals only).
+    pub fn drain_completed(&mut self) -> Vec<Session> {
+        std::mem::take(&mut self.completed)
+    }
+
+    /// Close every open interval and return all remaining sessions,
+    /// sorted by (device, start) for determinism.
+    pub fn finish(mut self) -> Vec<Session> {
+        let open: Vec<_> = self.open.drain().collect();
+        for ((device, family), s) in open {
+            self.close(device, family, s);
+        }
+        let mut out = self.completed;
+        out.sort_by_key(|s| (s.device, s.start, s.app));
+        out
+    }
+
+    /// Number of currently open sessions.
+    pub fn open_count(&self) -> usize {
+        self.open.len()
+    }
+}
+
+impl Default for SessionStitcher {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DEV: DeviceId = DeviceId(7);
+
+    fn t(secs: i64) -> Timestamp {
+        Timestamp::from_secs(secs)
+    }
+
+    #[test]
+    fn overlapping_flows_merge() {
+        let mut st = SessionStitcher::with_gap_secs(0);
+        st.push(DEV, App::Facebook, t(0), t(100), 10);
+        st.push(DEV, App::Facebook, t(50), t(200), 20);
+        st.push(DEV, App::Facebook, t(200), t(250), 5); // touches end
+        let sessions = st.finish();
+        assert_eq!(sessions.len(), 1);
+        let s = &sessions[0];
+        assert_eq!(s.start, t(0));
+        assert_eq!(s.end, t(250));
+        assert_eq!(s.bytes, 35);
+        assert_eq!(s.flows, 3);
+        assert_eq!(s.app, App::Facebook);
+        assert!((s.duration_hours() - 250.0 / 3600.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gap_splits_sessions() {
+        let mut st = SessionStitcher::with_gap_secs(60);
+        st.push(DEV, App::TikTok, t(0), t(100), 1);
+        st.push(DEV, App::TikTok, t(161), t(200), 1); // 61 s gap > 60
+        let sessions = st.finish();
+        assert_eq!(sessions.len(), 2);
+        assert_eq!(sessions[0].end, t(100));
+        assert_eq!(sessions[1].start, t(161));
+    }
+
+    #[test]
+    fn gap_within_threshold_merges() {
+        let mut st = SessionStitcher::with_gap_secs(60);
+        st.push(DEV, App::TikTok, t(0), t(100), 1);
+        st.push(DEV, App::TikTok, t(159), t(200), 1); // 59 s gap
+        assert_eq!(st.finish().len(), 1);
+    }
+
+    #[test]
+    fn instagram_marker_claims_whole_meta_session() {
+        let mut st = SessionStitcher::with_gap_secs(0);
+        // Facebook-domain flows bracketing one Instagram-only flow.
+        st.push(DEV, App::Facebook, t(0), t(100), 10);
+        st.push(DEV, App::Instagram, t(50), t(150), 10);
+        st.push(DEV, App::Facebook, t(140), t(300), 10);
+        let sessions = st.finish();
+        assert_eq!(sessions.len(), 1);
+        assert_eq!(sessions[0].app, App::Instagram);
+        assert_eq!(sessions[0].end, t(300));
+    }
+
+    #[test]
+    fn pure_facebook_session_stays_facebook() {
+        let mut st = SessionStitcher::with_gap_secs(0);
+        st.push(DEV, App::Facebook, t(0), t(100), 10);
+        let sessions = st.finish();
+        assert_eq!(sessions[0].app, App::Facebook);
+    }
+
+    #[test]
+    fn meta_sessions_split_by_gap_disambiguate_independently() {
+        let mut st = SessionStitcher::with_gap_secs(0);
+        st.push(DEV, App::Instagram, t(0), t(100), 1);
+        st.push(DEV, App::Facebook, t(500), t(600), 1);
+        let sessions = st.finish();
+        assert_eq!(sessions.len(), 2);
+        assert_eq!(sessions[0].app, App::Instagram);
+        assert_eq!(sessions[1].app, App::Facebook);
+    }
+
+    #[test]
+    fn different_apps_do_not_merge() {
+        let mut st = SessionStitcher::with_gap_secs(60);
+        st.push(DEV, App::Steam, t(0), t(100), 1);
+        st.push(DEV, App::Zoom, t(50), t(150), 1);
+        let sessions = st.finish();
+        assert_eq!(sessions.len(), 2);
+    }
+
+    #[test]
+    fn different_devices_do_not_merge() {
+        let mut st = SessionStitcher::with_gap_secs(60);
+        st.push(DeviceId(1), App::Zoom, t(0), t(100), 1);
+        st.push(DeviceId(2), App::Zoom, t(50), t(150), 1);
+        assert_eq!(st.finish().len(), 2);
+    }
+
+    #[test]
+    fn degenerate_flow_with_end_before_start_is_clamped() {
+        let mut st = SessionStitcher::with_gap_secs(0);
+        st.push(DEV, App::Zoom, t(100), t(50), 1);
+        let sessions = st.finish();
+        assert_eq!(sessions[0].start, t(100));
+        assert_eq!(sessions[0].end, t(100));
+        assert_eq!(sessions[0].duration_micros(), 0);
+    }
+
+    #[test]
+    fn drain_yields_only_closed_sessions() {
+        let mut st = SessionStitcher::with_gap_secs(0);
+        st.push(DEV, App::Zoom, t(0), t(10), 1);
+        st.push(DEV, App::Zoom, t(1000), t(1010), 1); // closes the first
+        let done = st.drain_completed();
+        assert_eq!(done.len(), 1);
+        assert_eq!(st.open_count(), 1);
+        assert_eq!(st.finish().len(), 1);
+    }
+}

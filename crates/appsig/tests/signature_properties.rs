@@ -1,0 +1,84 @@
+//! Property tests: signature matching and session stitching invariants.
+
+use appsig::{App, SessionStitcher};
+use dnslog::DomainName;
+use nettrace::{DeviceId, Timestamp};
+use proptest::prelude::*;
+
+proptest! {
+    /// The study signature set labels any subdomain of a rule's suffix
+    /// identically to the suffix itself (modulo longer carve-outs), and
+    /// never labels unrelated domains.
+    #[test]
+    fn subdomains_inherit_labels(label in "[a-z][a-z0-9]{0,10}") {
+        let sigs = appsig::study_signatures();
+        for (suffix, app) in appsig::builtin::domain_rules() {
+            let sub = DomainName::parse(&format!("{label}.{suffix}")).unwrap();
+            let got = sigs.classify_domain(&sub).expect("subdomain must classify");
+            // Longest-suffix carve-outs may refine within the same family
+            // (e.g. SwitchServices under nintendo.net); anything else must
+            // match the rule's app.
+            let same_family = got == app
+                || (matches!(app, App::SwitchGameplay | App::SwitchServices)
+                    && matches!(got, App::SwitchGameplay | App::SwitchServices));
+            prop_assert!(same_family, "{label}.{suffix}: {got:?} vs {app:?}");
+        }
+        // A domain built from the label alone never matches.
+        let unrelated = DomainName::parse(&format!("{label}.example-unrelated.org")).unwrap();
+        prop_assert_eq!(sigs.classify_domain(&unrelated), None);
+    }
+
+    /// Stitching is insensitive to jitter that does not cross the gap
+    /// threshold: shifting every flow by a constant shifts sessions
+    /// without changing their count or byte totals.
+    #[test]
+    fn stitching_is_shift_invariant(
+        flows in proptest::collection::vec((0i64..5_000, 1i64..600, 1u64..1_000_000), 1..40),
+        shift in 0i64..100_000
+    ) {
+        let run = |offset: i64| {
+            let mut sorted = flows.clone();
+            sorted.sort();
+            let mut st = SessionStitcher::with_gap_secs(60);
+            for &(start, dur, bytes) in &sorted {
+                st.push(
+                    DeviceId(1),
+                    App::Steam,
+                    Timestamp::from_secs(start + offset),
+                    Timestamp::from_secs(start + offset + dur),
+                    bytes,
+                );
+            }
+            st.finish()
+        };
+        let a = run(0);
+        let b = run(shift);
+        prop_assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            prop_assert_eq!(x.bytes, y.bytes);
+            prop_assert_eq!(x.flows, y.flows);
+            prop_assert_eq!(x.duration_micros(), y.duration_micros());
+            prop_assert_eq!(y.start.delta_secs(x.start), shift);
+        }
+    }
+
+    /// Meta-family disambiguation: a session is Instagram iff at least
+    /// one of its flows was Instagram-labeled.
+    #[test]
+    fn instagram_iff_marker(labels in proptest::collection::vec(any::<bool>(), 1..20)) {
+        let mut st = SessionStitcher::with_gap_secs(3600); // everything merges
+        for (i, &is_ig) in labels.iter().enumerate() {
+            let app = if is_ig { App::Instagram } else { App::Facebook };
+            let t = Timestamp::from_secs(i as i64 * 10);
+            st.push(DeviceId(1), app, t, t.add_secs(60), 1);
+        }
+        let sessions = st.finish();
+        prop_assert_eq!(sessions.len(), 1);
+        let expect = if labels.iter().any(|&b| b) {
+            App::Instagram
+        } else {
+            App::Facebook
+        };
+        prop_assert_eq!(sessions[0].app, expect);
+    }
+}

@@ -1,0 +1,54 @@
+//! One benchmark per paper figure: each target regenerates its figure's
+//! series from a pre-collected study, measuring the reduction cost and —
+//! more importantly — pinning an executable entry point per experiment
+//! (see DESIGN.md's experiment index; the `repro` binary prints the same
+//! series at larger scale).
+
+use analysis::figures::{self, StudySummary};
+use criterion::{criterion_group, criterion_main, Criterion};
+use lockdown_bench::bench_config;
+use lockdown_core::Study;
+use std::sync::OnceLock;
+
+fn study() -> &'static Study {
+    static STUDY: OnceLock<Study> = OnceLock::new();
+    STUDY.get_or_init(|| Study::run(bench_config(), 8))
+}
+
+fn bench_figures(c: &mut Criterion) {
+    let s = study();
+    let col = &s.collector;
+    let sum = &s.summary;
+
+    c.bench_function("fig1_active_devices", |b| {
+        b.iter(|| figures::figure1(col, sum))
+    });
+    c.bench_function("fig2_volume_by_type", |b| {
+        b.iter(|| figures::figure2(col, sum))
+    });
+    c.bench_function("fig3_hour_of_week", |b| {
+        b.iter(|| figures::figure3(col, sum))
+    });
+    c.bench_function("fig4_subpop_volume", |b| {
+        b.iter(|| figures::figure4(col, sum))
+    });
+    c.bench_function("fig5_zoom", |b| b.iter(|| figures::figure5(col, sum)));
+    c.bench_function("fig6_social_duration", |b| {
+        b.iter(|| figures::figure6(col, sum))
+    });
+    c.bench_function("fig7_steam", |b| b.iter(|| figures::figure7(col, sum)));
+    c.bench_function("fig8_switch", |b| b.iter(|| figures::figure8(col, sum)));
+    c.bench_function("headline_stats", |b| {
+        b.iter(|| figures::headline_stats(col, sum))
+    });
+    c.bench_function("summary_finalize", |b| {
+        b.iter(|| StudySummary::finalize(col))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_figures
+}
+criterion_main!(benches);

@@ -1,0 +1,176 @@
+//! Performance benchmarks for every pipeline stage: trace generation,
+//! DHCP indexing/normalization, DNS labeling, signature matching, session
+//! stitching, and the packet path (render + assemble).
+
+use appsig::{App, MatchCache, SessionStitcher};
+use campussim::{packets, CampusSim};
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use dhcplog::{LeaseIndex, Normalizer, DEFAULT_MAX_LEASE_SECS};
+use dnslog::ResolverMap;
+use lockdown_bench::bench_config;
+use nettrace::assembler::FlowAssembler;
+use nettrace::ip::campus;
+use nettrace::time::Day;
+
+fn bench_pipeline(c: &mut Criterion) {
+    let sim = CampusSim::new(bench_config());
+    let day = Day(75); // busy online-term weekday
+    let trace = sim.day_trace(day);
+    let n_flows = trace.flows.len() as u64;
+
+    let mut g = c.benchmark_group("generation");
+    g.throughput(Throughput::Elements(n_flows));
+    g.bench_function("day_trace", |b| {
+        b.iter(|| sim.day_trace(day));
+    });
+    g.finish();
+
+    let mut g = c.benchmark_group("dhcp");
+    g.throughput(Throughput::Elements(trace.leases.len() as u64));
+    g.bench_function("lease_index_build", |b| {
+        b.iter(|| LeaseIndex::build(&trace.leases, DEFAULT_MAX_LEASE_SECS));
+    });
+    let index = LeaseIndex::build(&trace.leases, DEFAULT_MAX_LEASE_SECS);
+    g.throughput(Throughput::Elements(n_flows));
+    g.bench_function("normalize_flows", |b| {
+        b.iter(|| {
+            let mut norm = Normalizer::new(&index, campus::residential_pool(), 42);
+            trace.flows.iter().filter_map(|f| norm.normalize(f)).count()
+        });
+    });
+    g.finish();
+
+    let mut resolver = ResolverMap::new();
+    for q in &trace.dns {
+        resolver.record(q);
+    }
+    let mut norm = Normalizer::new(&index, campus::residential_pool(), sim.config().anon_key);
+    let labeled: Vec<_> = trace
+        .flows
+        .iter()
+        .filter_map(|f| norm.normalize(f))
+        .map(|df| resolver.label(df))
+        .collect();
+
+    let mut g = c.benchmark_group("dns");
+    g.throughput(Throughput::Elements(trace.dns.len() as u64));
+    g.bench_function("resolver_build", |b| {
+        b.iter(|| {
+            let mut r = ResolverMap::new();
+            for q in &trace.dns {
+                r.record(q);
+            }
+            r
+        });
+    });
+    g.throughput(Throughput::Elements(n_flows));
+    g.bench_function("label_flows", |b| {
+        b.iter(|| {
+            trace
+                .flows
+                .iter()
+                .filter_map(|f| {
+                    let mut n = Normalizer::new(&index, campus::residential_pool(), 42);
+                    n.normalize(f)
+                })
+                .map(|df| resolver.lookup(df.remote, df.ts))
+                .filter(Option::is_some)
+                .count()
+        });
+    });
+    g.finish();
+
+    let sigs = appsig::study_signatures();
+    let table = sim.directory().table();
+    let mut g = c.benchmark_group("signatures");
+    g.throughput(Throughput::Elements(labeled.len() as u64));
+    g.bench_function("classify_flows_memoized", |b| {
+        b.iter_batched(
+            MatchCache::new,
+            |mut cache| {
+                labeled
+                    .iter()
+                    .filter_map(|lf| sigs.classify_flow(lf, table, &mut cache))
+                    .count()
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    g.finish();
+
+    // Session stitching over the day's social flows.
+    let mut cache = MatchCache::new();
+    let social: Vec<_> = labeled
+        .iter()
+        .filter_map(|lf| {
+            sigs.classify_flow(lf, table, &mut cache).and_then(|app| {
+                matches!(app, App::Facebook | App::Instagram | App::TikTok).then_some((
+                    lf.flow.device,
+                    app,
+                    lf.flow.ts,
+                    lf.flow.end(),
+                    lf.flow.total_bytes(),
+                ))
+            })
+        })
+        .collect();
+    let mut g = c.benchmark_group("sessions");
+    g.throughput(Throughput::Elements(social.len() as u64));
+    g.bench_function("stitch_social_day", |b| {
+        b.iter(|| {
+            let mut st = SessionStitcher::new();
+            for &(dev, app, start, end, bytes) in &social {
+                st.push(dev, app, start, end, bytes);
+            }
+            st.finish().len()
+        });
+    });
+    g.finish();
+
+    // Packet path: render one device's flows and re-assemble.
+    let device = &sim.population().devices[0];
+    let ip = sim.device_ip(device.index, day);
+    let dev_flows: Vec<_> = trace
+        .flows
+        .iter()
+        .filter(|f| f.orig == ip)
+        .copied()
+        .collect();
+    if !dev_flows.is_empty() {
+        let mut frames = Vec::new();
+        for f in &dev_flows {
+            frames.extend(packets::render_flow(f, device.mac));
+        }
+        frames.sort_by_key(|(ts, _)| *ts);
+        let mut g = c.benchmark_group("packet_path");
+        g.throughput(Throughput::Elements(frames.len() as u64));
+        g.bench_function("render_flows", |b| {
+            b.iter(|| {
+                let mut out = Vec::new();
+                for f in &dev_flows {
+                    out.extend(packets::render_flow(f, device.mac));
+                }
+                out.len()
+            });
+        });
+        g.bench_function("assemble_packets", |b| {
+            b.iter(|| {
+                let mut asm = FlowAssembler::with_defaults();
+                for (ts, frame) in &frames {
+                    if let Some(meta) = nettrace::packet::parse_frame(*ts, frame).unwrap() {
+                        asm.push(&meta);
+                    }
+                }
+                asm.flush().len()
+            });
+        });
+        g.finish();
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_pipeline
+}
+criterion_main!(benches);

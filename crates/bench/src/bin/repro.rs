@@ -1,0 +1,133 @@
+//! The reproduction harness: regenerates every figure and headline
+//! statistic of *Locked-In during Lock-Down* (IMC '21).
+//!
+//! ```text
+//! repro [--scale S] [--threads N] [--seed X] [--out DIR] [all|fig1..fig8|stats]
+//! ```
+//!
+//! `all` (default) runs the full study plus the 2019 counterfactual and
+//! prints the complete report; individual figure subcommands print just
+//! that figure's series. `--out DIR` additionally writes the
+//! machine-readable figure files.
+
+use campussim::SimConfig;
+use lockdown_core::{report, run_with_counterfactual, Study};
+use std::path::PathBuf;
+
+struct Args {
+    scale: f64,
+    threads: usize,
+    seed: u64,
+    out: Option<PathBuf>,
+    command: String,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        scale: 0.05,
+        threads: std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4),
+        seed: 0x5eed_2020,
+        out: None,
+        command: "all".to_string(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--scale" => {
+                args.scale = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--scale needs a number")
+            }
+            "--threads" => {
+                args.threads = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--threads needs a number")
+            }
+            "--seed" => {
+                args.seed = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--seed needs a number")
+            }
+            "--out" => args.out = Some(PathBuf::from(it.next().expect("--out needs a path"))),
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: repro [--scale S] [--threads N] [--seed X] [--out DIR] [all|fig1..fig8|stats]"
+                );
+                std::process::exit(0);
+            }
+            cmd => args.command = cmd.to_string(),
+        }
+    }
+    args
+}
+
+fn main() {
+    let args = parse_args();
+    let cfg = SimConfig {
+        scale: args.scale,
+        seed: args.seed,
+        ..Default::default()
+    };
+    eprintln!(
+        "running study at scale {} ({} students) on {} threads…",
+        args.scale,
+        cfg.num_students(),
+        args.threads
+    );
+    let t0 = std::time::Instant::now();
+
+    match args.command.as_str() {
+        "all" => {
+            let (study, _cf, growth) = run_with_counterfactual(cfg, args.threads);
+            eprintln!(
+                "study + counterfactual done in {:.1}s",
+                t0.elapsed().as_secs_f64()
+            );
+            println!("{}", report::text_report(&study, Some(growth)));
+            if let Some(dir) = &args.out {
+                report::write_figure_files(&study, dir).expect("write figure files");
+                eprintln!("figure data written to {}", dir.display());
+            }
+        }
+        cmd => {
+            let study = Study::run(cfg, args.threads);
+            eprintln!("study done in {:.1}s", t0.elapsed().as_secs_f64());
+            print_one(&study, cmd);
+            if let Some(dir) = &args.out {
+                report::write_figure_files(&study, dir).expect("write figure files");
+            }
+        }
+    }
+}
+
+fn print_one(study: &Study, cmd: &str) {
+    use analysis::export;
+    use analysis::figures as f;
+    let c = &study.collector;
+    let s = &study.summary;
+    match cmd {
+        "fig1" => print!("{}", export::fig1_csv(&f::figure1(c, s))),
+        "fig2" => print!("{}", export::fig2_csv(&f::figure2(c, s))),
+        "fig3" => print!("{}", export::fig3_csv(&f::figure3(c, s))),
+        "fig4" => print!("{}", export::fig4_csv(&f::figure4(c, s))),
+        "fig5" => print!("{}", export::fig5_csv(&f::figure5(c, s))),
+        "fig6" => print!("{}", export::fig6_json(&f::figure6(c, s))),
+        "fig7" => print!("{}", export::fig7_json(&f::figure7(c, s))),
+        "fig8" => print!("{}", export::fig8_csv(&f::figure8(c, s))),
+        "stats" => {
+            let h = study.headline();
+            println!("{h:#?}");
+            let audit = study.classification_audit(100);
+            println!("{audit:#?}");
+        }
+        other => {
+            eprintln!("unknown subcommand {other}; see --help");
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,26 @@
+//! Shared helpers for the benchmark suite and the repro harness.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use campussim::SimConfig;
+
+/// The scale used inside criterion benches: small enough that one
+/// iteration is sub-second, large enough that every figure has samples.
+pub const BENCH_SCALE: f64 = 0.01;
+
+/// Bench configuration at [`BENCH_SCALE`].
+pub fn bench_config() -> SimConfig {
+    SimConfig {
+        scale: BENCH_SCALE,
+        ..Default::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn bench_config_is_small() {
+        assert!(super::bench_config().num_students() < 500);
+    }
+}

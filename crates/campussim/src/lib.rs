@@ -1,0 +1,34 @@
+//! # campussim — the synthetic campus workload
+//!
+//! The paper's trace is proprietary; this crate substitutes a calibrated
+//! synthetic campus (see DESIGN.md §1 for the substitution argument).
+//! The generator produces the *raw inputs* of the measurement pipeline —
+//! IP-keyed flow records, DHCP lease logs, DNS query logs, User-Agent
+//! sightings — so every later stage runs the real pipeline code.
+//!
+//! * [`config`] — scale, seed, pandemic on/off (2019 counterfactual).
+//! * [`rng`] — deterministic per-(seed, stream, day, entity) randomness.
+//! * [`population`] — students, devices, sub-populations, the March
+//!   exodus, lock-down console purchases.
+//! * [`domains`] — the synthetic Internet with geolocatable hosting.
+//! * [`model`] — the behavioural calibration tables (each constant cites
+//!   the claim in the paper it encodes).
+//! * [`generator`] — day-by-day materialization into traces.
+//! * [`packets`] — optional packet-level rendering of a trace for
+//!   validating the flow assembler end to end.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod domains;
+pub mod generator;
+pub mod model;
+pub mod packets;
+pub mod population;
+pub mod rng;
+
+pub use config::SimConfig;
+pub use domains::{Service, ServiceDirectory, ServiceId, ServiceKind};
+pub use generator::{CampusSim, DayTrace, UaSighting};
+pub use population::{Device, DeviceOs, Population, Student, TrueKind};

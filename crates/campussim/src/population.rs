@@ -1,0 +1,718 @@
+//! The student population and device inventory.
+//!
+//! Each student gets a sub-population label (domestic/international), a
+//! departure decision (stay on campus post-shutdown, or leave on a day
+//! sampled from the mid-March exodus), and a set of devices with real
+//! vendor OUIs, operating systems, and observation quirks (randomized
+//! MACs, silent User-Agents) that feed the classifier's error model.
+
+use crate::config::SimConfig;
+use crate::rng::{self, Stream};
+use devclass::{DeviceType, OuiDb, VendorClass};
+use geoloc::SubPop;
+use nettrace::time::Day;
+use nettrace::{DeviceId, MacAddr, Oui};
+use rand::Rng;
+
+/// Ground-truth device kinds the generator knows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TrueKind {
+    /// Smartphone (iOS or Android).
+    Phone,
+    /// Laptop.
+    Laptop,
+    /// Desktop.
+    Desktop,
+    /// IoT gadget (speaker, TV stick, plug, bulb, …).
+    Iot,
+    /// Nintendo Switch.
+    Switch,
+    /// Companion device with no classifiable footprint (tablet in
+    /// desktop-UA mode, e-reader, device behind a randomized MAC that
+    /// never speaks cleartext HTTP). These are what the paper suspects
+    /// its "unclassified" devices are.
+    Companion,
+}
+
+impl TrueKind {
+    /// The device type an ideal classifier would assign.
+    pub fn true_type(self) -> DeviceType {
+        match self {
+            TrueKind::Phone => DeviceType::Mobile,
+            TrueKind::Laptop | TrueKind::Desktop => DeviceType::LaptopDesktop,
+            TrueKind::Iot => DeviceType::Iot,
+            TrueKind::Switch => DeviceType::Console,
+            // Companions are genuinely mobile/desktop-class hardware; the
+            // audit scores an Unclassified verdict on them as an omission.
+            TrueKind::Companion => DeviceType::Mobile,
+        }
+    }
+}
+
+/// Mobile/desktop operating system of a device (drives UA strings).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeviceOs {
+    /// Apple iOS.
+    Ios,
+    /// Android.
+    Android,
+    /// Microsoft Windows.
+    Windows,
+    /// Apple macOS.
+    MacOs,
+    /// Desktop Linux.
+    Linux,
+    /// Device has no browser OS (IoT firmware, consoles, companions).
+    None,
+}
+
+/// One device in the study.
+#[derive(Debug, Clone)]
+pub struct Device {
+    /// Dense device index (stable across runs with the same config).
+    pub index: u32,
+    /// Hardware address.
+    pub mac: MacAddr,
+    /// Anonymized identifier, as the pipeline sees it.
+    pub id: DeviceId,
+    /// Ground-truth kind.
+    pub kind: TrueKind,
+    /// Operating system (for UA synthesis).
+    pub os: DeviceOs,
+    /// True when the MAC is randomized (locally administered).
+    pub randomized_mac: bool,
+    /// True when the device emits observable User-Agent strings.
+    pub ua_visible: bool,
+    /// Index of the owning student.
+    pub owner: u32,
+    /// Multiplicative volume factor (log-normal per device, with a
+    /// heavy-tail boost on a few IoT/companion devices — the cause of the
+    /// paper's mean ≫ median observation in Figure 2).
+    pub volume_factor: f64,
+    /// For Switches acquired mid-study (the paper's "40 new Switches"):
+    /// the day the console first comes online.
+    pub acquired: Option<Day>,
+}
+
+/// One student.
+#[derive(Debug, Clone)]
+pub struct Student {
+    /// Dense student index.
+    pub index: u32,
+    /// Sub-population ground truth.
+    pub subpop: SubPop,
+    /// First day on campus (Day(0) for residents; later for visitors).
+    pub arrives: Day,
+    /// `None` = stays on campus all study (post-shutdown user);
+    /// `Some(d)` = last day on campus.
+    pub departs: Option<Day>,
+    /// Indices into the population device vector.
+    pub devices: Vec<u32>,
+    /// Is this student a PC gamer (owns/plays Steam)?
+    pub steam_gamer: bool,
+    /// Leisure engagement factor (log-normal, median 1).
+    pub leisure_factor: f64,
+    /// True for campus *visitors* (weekend guests, tour groups): short
+    /// windows of presence that the pipeline's 14-day filter must remove
+    /// (§3). Visitors were forbidden once the lock-down began.
+    pub visitor: bool,
+}
+
+impl Student {
+    /// Is the student on campus on `day`?
+    pub fn on_campus(&self, day: Day) -> bool {
+        if day < self.arrives {
+            return false;
+        }
+        match self.departs {
+            None => true,
+            Some(d) => day <= d,
+        }
+    }
+
+    /// Is the student a post-shutdown user (present after the stay-at-home
+    /// order through end of study)?
+    pub fn stays(&self) -> bool {
+        self.departs.is_none()
+    }
+}
+
+/// The whole campus.
+#[derive(Debug)]
+pub struct Population {
+    /// All students.
+    pub students: Vec<Student>,
+    /// All devices.
+    pub devices: Vec<Device>,
+}
+
+/// Per-kind device prevalence for leavers and stayers. Stayers carry more
+/// gear (they live here); the asymmetry calibrates the post-shutdown
+/// device mix in which unclassified devices dominate counts (Figure 1).
+struct Prevalence {
+    phone: f64,
+    laptop: f64,
+    desktop: f64,
+    iot_mean: f64,
+    switch_: f64,
+    companion_mean: f64,
+}
+
+const LEAVER: Prevalence = Prevalence {
+    phone: 0.96,
+    laptop: 0.92,
+    desktop: 0.08,
+    iot_mean: 0.24,
+    switch_: 0.084,
+    companion_mean: 0.22,
+};
+
+const STAYER: Prevalence = Prevalence {
+    phone: 0.96,
+    laptop: 0.93,
+    desktop: 0.14,
+    iot_mean: 0.55,
+    switch_: 0.13,
+    companion_mean: 1.35,
+};
+
+impl Population {
+    /// Build the population for `cfg`. Deterministic in `cfg.seed`.
+    pub fn build(cfg: &SimConfig) -> Population {
+        let oui_db = OuiDb::builtin();
+        let mobile_ouis = oui_db.ouis_of_class(VendorClass::Mobile);
+        let computer_ouis = oui_db.ouis_of_class(VendorClass::Computer);
+        let iot_ouis = oui_db.ouis_of_class(VendorClass::Iot);
+        let ambiguous_ouis = oui_db.ouis_of_class(VendorClass::Ambiguous);
+        let nintendo_ouis: Vec<Oui> = oui_db
+            .ouis_of_class(VendorClass::Console)
+            .into_iter()
+            .filter(|o| {
+                matches!(
+                    oui_db.lookup(*o).map(|v| v.name),
+                    Some(name) if name.contains("Nintendo")
+                )
+            })
+            .collect();
+
+        let n = cfg.num_students();
+        let mut students = Vec::with_capacity(n);
+        let mut devices: Vec<Device> = Vec::new();
+
+        for s in 0..n {
+            let mut rng = rng::rng_for(cfg.seed, Stream::Population, s as u64, 0);
+            let subpop = if rng.gen::<f64>() < cfg.intl_fraction {
+                SubPop::International
+            } else {
+                SubPop::Domestic
+            };
+            let stay_rate = match subpop {
+                SubPop::Domestic => cfg.domestic_stay_rate,
+                SubPop::International => cfg.intl_stay_rate,
+            };
+            // Draw unconditionally so the 2019 counterfactual consumes the
+            // same RNG stream and realizes a bit-identical population.
+            let stay_draw = rng.gen::<f64>();
+            let departure_day = sample_departure_day(&mut rng);
+            let departs = if !cfg.pandemic || stay_draw < stay_rate {
+                None
+            } else {
+                Some(departure_day)
+            };
+            // Keyed on the run-invariant stay *draw*, not on realized
+            // departure: device ownership is a selection effect (students
+            // with more gear in the dorm were likelier to stay), so the
+            // 2019 counterfactual realizes the identical inventory.
+            let prev = if stay_draw < stay_rate {
+                &STAYER
+            } else {
+                &LEAVER
+            };
+            let steam_gamer = rng.gen::<f64>()
+                < match subpop {
+                    SubPop::Domestic => 0.52,
+                    SubPop::International => 0.72,
+                };
+            let leisure_factor = rng::lognormal_med(&mut rng, 1.0, 0.45);
+
+            let mut my_devices = Vec::new();
+            let add = |kind: TrueKind,
+                       devices: &mut Vec<Device>,
+                       my: &mut Vec<u32>,
+                       rng: &mut rand::rngs::SmallRng,
+                       acquired: Option<Day>| {
+                let index = devices.len() as u32;
+                let (oui, os, randomized, ua_visible) = match kind {
+                    TrueKind::Phone => {
+                        let ios = rng.gen::<f64>() < 0.55;
+                        let oui = if ios {
+                            ambiguous_ouis[rng.gen_range(0..ambiguous_ouis.len())]
+                        } else {
+                            mobile_ouis[rng.gen_range(0..mobile_ouis.len())]
+                        };
+                        // A sliver of phones browse in desktop-site mode:
+                        // their UA claims a desktop OS, producing the
+                        // paper's rare *affirmative* misclassifications.
+                        let os = if rng.gen::<f64>() < 0.03 {
+                            DeviceOs::Windows
+                        } else if ios {
+                            DeviceOs::Ios
+                        } else {
+                            DeviceOs::Android
+                        };
+                        // Modern phones randomize WiFi MACs ~40% of the time
+                        // in this era; most still emit UAs via app traffic.
+                        (oui, os, rng.gen::<f64>() < 0.40, rng.gen::<f64>() < 0.84)
+                    }
+                    TrueKind::Laptop => {
+                        let mac_book = rng.gen::<f64>() < 0.45;
+                        let oui = if mac_book {
+                            ambiguous_ouis[rng.gen_range(0..ambiguous_ouis.len())]
+                        } else {
+                            computer_ouis[rng.gen_range(0..computer_ouis.len())]
+                        };
+                        let os = if mac_book {
+                            DeviceOs::MacOs
+                        } else if rng.gen::<f64>() < 0.92 {
+                            DeviceOs::Windows
+                        } else {
+                            DeviceOs::Linux
+                        };
+                        (oui, os, rng.gen::<f64>() < 0.08, rng.gen::<f64>() < 0.85)
+                    }
+                    TrueKind::Desktop => {
+                        let oui = computer_ouis[rng.gen_range(0..computer_ouis.len())];
+                        (oui, DeviceOs::Windows, false, rng.gen::<f64>() < 0.85)
+                    }
+                    TrueKind::Iot => {
+                        let oui = iot_ouis[rng.gen_range(0..iot_ouis.len())];
+                        (oui, DeviceOs::None, false, false)
+                    }
+                    TrueKind::Switch => {
+                        let oui = nintendo_ouis[rng.gen_range(0..nintendo_ouis.len())];
+                        (oui, DeviceOs::None, false, false)
+                    }
+                    TrueKind::Companion => {
+                        // Tablets/e-readers: ambiguous vendor or randomized
+                        // address. A quarter browse with a recognizable
+                        // mobile UA (classifiable tablets); the rest never
+                        // speak observable HTTP — the paper's conservative
+                        // "unknown" devices.
+                        let oui = ambiguous_ouis[rng.gen_range(0..ambiguous_ouis.len())];
+                        let tablet_ua = rng.gen::<f64>() < 0.18;
+                        let os = if tablet_ua {
+                            DeviceOs::Ios
+                        } else {
+                            DeviceOs::None
+                        };
+                        (oui, os, rng.gen::<f64>() < 0.6, tablet_ua)
+                    }
+                };
+                let mut mac = MacAddr::from_oui_suffix(oui, index);
+                if randomized {
+                    // Set the locally-administered bit, as OS randomization
+                    // does; the original OUI is no longer meaningful.
+                    let mut octets = mac.0;
+                    octets[0] |= 0x02;
+                    octets[1] ^= (index >> 3) as u8; // decouple from vendor
+                    mac = MacAddr(octets);
+                }
+                // Device-level volume heterogeneity; a few IoT/companion
+                // devices are extreme (always-on cameras, seed boxes).
+                let mut volume_factor = rng::lognormal_med(rng, 1.0, 0.55);
+                if matches!(kind, TrueKind::Iot | TrueKind::Companion) && rng.gen::<f64>() < 0.03 {
+                    volume_factor *= rng.gen_range(80.0..400.0);
+                }
+                devices.push(Device {
+                    index,
+                    mac,
+                    id: DeviceId::anonymize(mac, 0), // re-keyed below
+                    kind,
+                    os,
+                    randomized_mac: randomized,
+                    ua_visible,
+                    owner: s as u32,
+                    volume_factor,
+                    acquired,
+                });
+                my.push(index);
+            };
+
+            if rng.gen::<f64>() < prev.phone {
+                add(
+                    TrueKind::Phone,
+                    &mut devices,
+                    &mut my_devices,
+                    &mut rng,
+                    None,
+                );
+            }
+            if rng.gen::<f64>() < prev.laptop {
+                add(
+                    TrueKind::Laptop,
+                    &mut devices,
+                    &mut my_devices,
+                    &mut rng,
+                    None,
+                );
+            }
+            if rng.gen::<f64>() < prev.desktop {
+                add(
+                    TrueKind::Desktop,
+                    &mut devices,
+                    &mut my_devices,
+                    &mut rng,
+                    None,
+                );
+            }
+            for _ in 0..rng::poisson(&mut rng, prev.iot_mean) {
+                add(TrueKind::Iot, &mut devices, &mut my_devices, &mut rng, None);
+            }
+            let has_switch = rng.gen::<f64>() < prev.switch_;
+            let buys_switch = rng.gen::<f64>() < 0.028;
+            let buy_day = Day(rng.gen_range(60..115));
+            if has_switch {
+                add(
+                    TrueKind::Switch,
+                    &mut devices,
+                    &mut my_devices,
+                    &mut rng,
+                    None,
+                );
+            } else if stay_draw < stay_rate && buys_switch {
+                // Lock-down console purchases (Animal Crossing effect,
+                // §5.3.2): a new Switch appears in April or May. The
+                // branch condition must not depend on `cfg.pandemic`, so
+                // the counterfactual realizes the identical device list
+                // (there the console simply exists all along).
+                let acquired = if cfg.pandemic { Some(buy_day) } else { None };
+                add(
+                    TrueKind::Switch,
+                    &mut devices,
+                    &mut my_devices,
+                    &mut rng,
+                    acquired,
+                );
+            }
+            for _ in 0..rng::poisson(&mut rng, prev.companion_mean) {
+                add(
+                    TrueKind::Companion,
+                    &mut devices,
+                    &mut my_devices,
+                    &mut rng,
+                    None,
+                );
+            }
+            // Everyone has at least a phone: guarantee non-empty inventory.
+            if my_devices.is_empty() {
+                add(
+                    TrueKind::Phone,
+                    &mut devices,
+                    &mut my_devices,
+                    &mut rng,
+                    None,
+                );
+            }
+
+            students.push(Student {
+                index: s as u32,
+                subpop,
+                arrives: Day(0),
+                departs,
+                devices: my_devices,
+                steam_gamer,
+                leisure_factor,
+                visitor: false,
+            });
+        }
+
+        // Campus visitors: short-stay guests whose devices appear for a
+        // few days and must be discarded by the §3 visitor filter. The
+        // lock-down banned visitors, so every window ends before the
+        // stay-at-home order.
+        let n_visitors = (n as f64 * 0.30).round() as usize;
+        for v in 0..n_visitors {
+            let mut rng = rng::rng_for(cfg.seed, Stream::Population, v as u64, 1);
+            let arrive = Day(rng.gen_range(0..42));
+            let stay_days: u16 = 1 + rng.gen_range(0..6);
+            let depart = Day((arrive.0 + stay_days).min(46));
+            let s_index = students.len() as u32;
+            let mut my_devices = Vec::new();
+            // Visitors bring a phone; a third also carry a laptop.
+            let phone_ios = rng.gen::<f64>() < 0.55;
+            let (oui, os) = if phone_ios {
+                (
+                    ambiguous_ouis[rng.gen_range(0..ambiguous_ouis.len())],
+                    DeviceOs::Ios,
+                )
+            } else {
+                (
+                    mobile_ouis[rng.gen_range(0..mobile_ouis.len())],
+                    DeviceOs::Android,
+                )
+            };
+            let mut push_visitor_device =
+                |kind: TrueKind, oui: Oui, os: DeviceOs, rng: &mut rand::rngs::SmallRng| {
+                    let index = devices.len() as u32;
+                    let randomized = rng.gen::<f64>() < 0.5;
+                    let mut mac = MacAddr::from_oui_suffix(oui, 0x40_0000 + index);
+                    if randomized {
+                        let mut octets = mac.0;
+                        octets[0] |= 0x02;
+                        mac = MacAddr(octets);
+                    }
+                    devices.push(Device {
+                        index,
+                        mac,
+                        id: DeviceId::anonymize(mac, 0),
+                        kind,
+                        os,
+                        randomized_mac: randomized,
+                        ua_visible: rng.gen::<f64>() < 0.6,
+                        owner: s_index,
+                        volume_factor: rng::lognormal_med(rng, 1.0, 0.5),
+                        acquired: None,
+                    });
+                    my_devices.push(index);
+                };
+            push_visitor_device(TrueKind::Phone, oui, os, &mut rng);
+            if rng.gen::<f64>() < 0.33 {
+                let oui = computer_ouis[rng.gen_range(0..computer_ouis.len())];
+                push_visitor_device(TrueKind::Laptop, oui, DeviceOs::Windows, &mut rng);
+            }
+            students.push(Student {
+                index: s_index,
+                subpop: SubPop::Domestic,
+                arrives: arrive,
+                departs: Some(depart),
+                devices: my_devices,
+                steam_gamer: false,
+                leisure_factor: rng::lognormal_med(&mut rng, 1.0, 0.4),
+                visitor: true,
+            });
+        }
+
+        // Re-key anonymized ids under the configured anonymization key.
+        for d in &mut devices {
+            d.id = DeviceId::anonymize(d.mac, cfg.anon_key);
+        }
+
+        Population { students, devices }
+    }
+
+    /// Devices owned by post-shutdown (staying) students, excluding
+    /// consoles acquired later than the study start.
+    pub fn post_shutdown_devices(&self) -> Vec<&Device> {
+        self.devices
+            .iter()
+            .filter(|d| self.students[d.owner as usize].stays())
+            .collect()
+    }
+
+    /// The owning student of a device.
+    pub fn owner_of(&self, d: &Device) -> &Student {
+        &self.students[d.owner as usize]
+    }
+
+    /// Is `device` present on campus on `day`? (Owner present, and the
+    /// device already acquired.)
+    pub fn device_present(&self, device: &Device, day: Day) -> bool {
+        if let Some(acq) = device.acquired {
+            if day < acq {
+                return false;
+            }
+        }
+        self.students[device.owner as usize].on_campus(day)
+    }
+}
+
+/// Sample a departure day from the mid-March exodus: students start
+/// leaving as the pandemic is declared (§4: "students started leaving
+/// campus even before classes became fully remote"), with the bulk gone
+/// by the start of break.
+fn sample_departure_day<R: Rng>(rng: &mut R) -> Day {
+    // Triangular-ish distribution over Mar 8 .. Mar 24, peaking Mar 15.
+    let a = 36.0; // Mar 8  (study day)
+    let c = 43.0; // Mar 15 (peak)
+    let b = 52.0; // Mar 24
+    let u: f64 = rng.gen();
+    let fc = (c - a) / (b - a);
+    let d = if u < fc {
+        a + (u * (b - a) * (c - a)).sqrt()
+    } else {
+        b - ((1.0 - u) * (b - a) * (b - c)).sqrt()
+    };
+    Day(d.round().clamp(a, b) as u16)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_cfg() -> SimConfig {
+        SimConfig {
+            scale: 0.05,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn visitors_are_short_stay_and_pre_lockdown() {
+        let p = Population::build(&small_cfg());
+        let visitors: Vec<&Student> = p.students.iter().filter(|s| s.visitor).collect();
+        assert!(!visitors.is_empty());
+        for v in visitors {
+            let dep = v.departs.expect("visitors always depart");
+            assert!(dep.0 < 47, "visitor on campus after the stay-at-home order");
+            assert!(dep.0 >= v.arrives.0);
+            assert!(dep.0 - v.arrives.0 <= 7, "visit too long");
+            assert!(!v.on_campus(Day(dep.0 + 1)));
+            assert!(!v.on_campus(Day(v.arrives.0.saturating_sub(1))) || v.arrives.0 == 0);
+            assert!((1..=2).contains(&v.devices.len()));
+        }
+    }
+
+    #[test]
+    fn population_is_deterministic() {
+        let cfg = small_cfg();
+        let a = Population::build(&cfg);
+        let b = Population::build(&cfg);
+        assert_eq!(a.students.len(), b.students.len());
+        assert_eq!(a.devices.len(), b.devices.len());
+        for (x, y) in a.devices.iter().zip(&b.devices) {
+            assert_eq!(x.mac, y.mac);
+            assert_eq!(x.kind, y.kind);
+            assert_eq!(x.id, y.id);
+        }
+    }
+
+    #[test]
+    fn population_counts_scale() {
+        let cfg = small_cfg();
+        let p = Population::build(&cfg);
+        let residents = p.students.iter().filter(|s| !s.visitor).count();
+        assert_eq!(residents, 650);
+        // Visitors are ~30% of the resident count.
+        let visitors = p.students.iter().filter(|s| s.visitor).count();
+        assert_eq!(visitors, 195);
+        // ~2.7 devices per resident on average.
+        let resident_devices = p
+            .devices
+            .iter()
+            .filter(|d| !p.students[d.owner as usize].visitor)
+            .count();
+        let per_student = resident_devices as f64 / residents as f64;
+        assert!((2.0..3.6).contains(&per_student), "{per_student}");
+    }
+
+    #[test]
+    fn stayers_match_configured_rates_roughly() {
+        let cfg = SimConfig {
+            scale: 0.5,
+            ..Default::default()
+        };
+        let p = Population::build(&cfg);
+        let residents = p.students.iter().filter(|s| !s.visitor).count();
+        let stayers = p.students.iter().filter(|s| s.stays()).count();
+        let frac = stayers as f64 / residents as f64;
+        // Blended stay rate ≈ 0.75*0.14 + 0.25*0.18 = 0.15.
+        assert!((0.12..0.19).contains(&frac), "stay fraction {frac}");
+        // International over-representation among stayers.
+        let intl_stayers = p
+            .students
+            .iter()
+            .filter(|s| s.stays() && s.subpop == SubPop::International)
+            .count();
+        let intl_frac = intl_stayers as f64 / stayers as f64;
+        assert!(
+            intl_frac > cfg.intl_fraction,
+            "intl stayer fraction {intl_frac} should exceed enrollment {}",
+            cfg.intl_fraction
+        );
+    }
+
+    #[test]
+    fn departure_days_fall_in_march_window() {
+        let cfg = small_cfg();
+        let p = Population::build(&cfg);
+        for s in p.students.iter().filter(|s| !s.visitor) {
+            if let Some(d) = s.departs {
+                assert!(
+                    (36..=52).contains(&d.0),
+                    "departure {} outside exodus window",
+                    d.0
+                );
+                assert!(!s.on_campus(Day(d.0 + 1)));
+                assert!(s.on_campus(d));
+            }
+        }
+    }
+
+    #[test]
+    fn counterfactual_has_no_departures_or_new_switches() {
+        let cfg = small_cfg().counterfactual();
+        let p = Population::build(&cfg);
+        // Residents all stay; visitors remain short-stay guests in 2019
+        // too (their windows are pandemic-independent by construction).
+        assert!(p.students.iter().filter(|s| !s.visitor).all(|s| s.stays()));
+        assert!(p.devices.iter().all(|d| d.acquired.is_none()));
+    }
+
+    #[test]
+    fn macs_are_unique() {
+        let p = Population::build(&small_cfg());
+        let mut macs: Vec<MacAddr> = p.devices.iter().map(|d| d.mac).collect();
+        macs.sort();
+        macs.dedup();
+        assert_eq!(macs.len(), p.devices.len());
+    }
+
+    #[test]
+    fn randomized_macs_have_local_bit() {
+        let p = Population::build(&small_cfg());
+        for d in &p.devices {
+            if d.randomized_mac {
+                assert!(d.mac.is_locally_administered(), "{}", d.mac);
+            }
+        }
+    }
+
+    #[test]
+    fn acquired_switches_only_on_stayers_in_april_may() {
+        let p = Population::build(&SimConfig {
+            scale: 0.5,
+            ..Default::default()
+        });
+        let acquired: Vec<&Device> = p.devices.iter().filter(|d| d.acquired.is_some()).collect();
+        assert!(!acquired.is_empty(), "expected some lock-down Switch buys");
+        for d in &acquired {
+            assert_eq!(d.kind, TrueKind::Switch);
+            assert!(p.owner_of(d).stays());
+            let day = d.acquired.unwrap();
+            assert!(day.0 >= 60, "acquired day {}", day.0);
+            assert!(!p.device_present(d, Day(day.0 - 1)));
+            assert!(p.device_present(d, day));
+        }
+    }
+
+    #[test]
+    fn post_shutdown_devices_belong_to_stayers() {
+        let p = Population::build(&small_cfg());
+        for d in p.post_shutdown_devices() {
+            assert!(p.owner_of(d).stays());
+        }
+    }
+
+    #[test]
+    fn device_presence_follows_owner() {
+        let p = Population::build(&small_cfg());
+        let leaver_dev = p
+            .devices
+            .iter()
+            .find(|d| !p.owner_of(d).stays() && d.acquired.is_none())
+            .expect("some leaver device");
+        let dep = p.owner_of(leaver_dev).departs.unwrap();
+        assert!(p.device_present(leaver_dev, Day(0)));
+        assert!(!p.device_present(leaver_dev, Day(dep.0 + 5)));
+    }
+}

@@ -1,0 +1,25 @@
+//! # lockdown-core — the study orchestrator
+//!
+//! Ties the reproduction together: the synthetic campus (`campussim`)
+//! feeds the measurement pipeline (`dhcplog` normalization + `dnslog`
+//! labeling), whose output streams into the `analysis` collectors; the
+//! finalized summary yields every figure and headline statistic of
+//! *Locked-In during Lock-Down* (IMC '21).
+//!
+//! ```no_run
+//! use lockdown_core::Study;
+//! use campussim::SimConfig;
+//!
+//! let study = Study::run(SimConfig::at_scale(0.05), 8);
+//! println!("{}", lockdown_core::report::text_report(&study, None));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod pipeline;
+pub mod report;
+pub mod study;
+
+pub use pipeline::process_day;
+pub use study::{run_with_counterfactual, Study};

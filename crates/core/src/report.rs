@@ -1,0 +1,317 @@
+//! Human-readable study reports and figure-file output.
+
+use crate::study::Study;
+use analysis::ascii;
+use analysis::export;
+use analysis::figures::{self, Fig4Series};
+use devclass::FigureBucket;
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// Render the full text report: every figure as terminal graphics plus
+/// the headline statistics, with the paper's values alongside.
+pub fn text_report(study: &Study, growth_vs_2019: Option<f64>) -> String {
+    let c = &study.collector;
+    let s = &study.summary;
+    let mut out = String::new();
+    let scale = study.sim.config().scale;
+    let rescale = 1.0 / scale;
+
+    let f1 = figures::figure1(c, s);
+    let f2 = figures::figure2(c, s);
+    let f3 = figures::figure3(c, s);
+    let f4 = figures::figure4(c, s);
+    let f5 = figures::figure5(c, s);
+    let f6 = figures::figure6(c, s);
+    let f7 = figures::figure7(c, s);
+    let f8 = figures::figure8(c, s);
+    let h = study.headline();
+
+    let _ = writeln!(
+        out,
+        "== Locked-In during Lock-Down: reproduction report (scale {scale}, ×{rescale:.0} to paper population) =="
+    );
+    let _ = writeln!(out);
+
+    let _ = writeln!(out, "-- Figure 1: active devices per day by type --");
+    for b in FigureBucket::ALL {
+        let vals: Vec<f64> = f1.per_bucket[b.index()].iter().map(|&x| x as f64).collect();
+        let _ = writeln!(out, "{}", ascii::daily_series(b.name(), &vals));
+    }
+    let total: Vec<f64> = f1.total.iter().map(|&x| x as f64).collect();
+    let _ = writeln!(out, "{}", ascii::daily_series("Total", &total));
+    let _ = writeln!(out);
+
+    let _ = writeln!(
+        out,
+        "-- Figure 2: mean vs median bytes per active device per day --"
+    );
+    for b in FigureBucket::ALL {
+        let _ = writeln!(
+            out,
+            "{}",
+            ascii::daily_series(&format!("mean   {}", b.name()), &f2.mean[b.index()])
+        );
+        let _ = writeln!(
+            out,
+            "{}",
+            ascii::daily_series(&format!("median {}", b.name()), &f2.median[b.index()])
+        );
+    }
+    let _ = writeln!(out);
+
+    let _ = writeln!(
+        out,
+        "-- Figure 3: normalized median traffic per device per hour of week (Thu-first) --"
+    );
+    for (w, label) in f3.labels.iter().enumerate() {
+        let _ = writeln!(out, "{}", ascii::hour_of_week(label, &f3.weeks[w]));
+    }
+    let _ = writeln!(out);
+
+    let _ = writeln!(
+        out,
+        "-- Figure 4: median daily non-Zoom bytes per post-shutdown device --"
+    );
+    for (i, series) in Fig4Series::ALL.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "{}",
+            ascii::daily_series(series.label(), &f4.series[i])
+        );
+    }
+    let _ = writeln!(out);
+
+    let _ = writeln!(out, "-- Figure 5: daily aggregate Zoom traffic --");
+    let _ = writeln!(out, "{}", ascii::daily_series("Zoom bytes/day", &f5.daily));
+    let peak = f5.daily.iter().cloned().fold(0.0f64, f64::max);
+    let _ = writeln!(
+        out,
+        "   peak day: {} (×{rescale:.0} ≈ {} at paper scale)",
+        ascii::fmt_bytes(peak),
+        ascii::fmt_bytes(peak * rescale),
+    );
+    let _ = writeln!(out);
+
+    let _ = writeln!(
+        out,
+        "-- Figure 6: monthly social session duration per mobile device (hours) --"
+    );
+    let apps = ["Facebook", "Instagram", "TikTok"];
+    let months = ["February", "March", "April", "May"];
+    for (ai, app) in apps.iter().enumerate() {
+        let _ = writeln!(out, " {app}:");
+        for (si, sp) in ["Domestic", "International"].iter().enumerate() {
+            for (mi, m) in months.iter().enumerate() {
+                let _ = writeln!(
+                    out,
+                    "  {}",
+                    ascii::box_row(
+                        &format!("{m} ({sp})"),
+                        f6.boxes[ai][si][mi].as_ref(),
+                        |v| format!("{v:.3}h")
+                    )
+                );
+            }
+        }
+    }
+    let _ = writeln!(out);
+
+    let _ = writeln!(out, "-- Figure 7: monthly Steam usage per device --");
+    for (metric, table) in [("bytes", &f7.bytes), ("connections", &f7.conns)] {
+        let _ = writeln!(out, " {metric}:");
+        for (si, sp) in ["Domestic", "International"].iter().enumerate() {
+            for (mi, m) in months.iter().enumerate() {
+                let fmt: fn(f64) -> String = if metric == "bytes" {
+                    |v| ascii::fmt_bytes(v)
+                } else {
+                    |v| format!("{v:.0}")
+                };
+                let _ = writeln!(
+                    out,
+                    "  {}",
+                    ascii::box_row(&format!("{m} ({sp})"), table[si][mi].as_ref(), fmt)
+                );
+            }
+        }
+    }
+    let _ = writeln!(out);
+
+    let _ = writeln!(
+        out,
+        "-- Figure 8: Switch gameplay traffic, 3-day moving average (n={} Switches) --",
+        f8.n_switches
+    );
+    let _ = writeln!(
+        out,
+        "{}",
+        ascii::daily_series("gameplay bytes", &f8.daily_ma)
+    );
+    let _ = writeln!(out);
+
+    let _ = writeln!(
+        out,
+        "-- Headline statistics (measured | rescaled | paper) --"
+    );
+    let row = |label: &str, measured: f64, paper: &str| {
+        format!(
+            "{label:<46} {measured:>12.0} | {:>12.0} | {paper}",
+            measured * rescale
+        )
+    };
+    let _ = writeln!(
+        out,
+        "{}",
+        row("peak active devices", h.peak_active as f64, "32,019")
+    );
+    let _ = writeln!(
+        out,
+        "{}",
+        row(
+            "trough active devices (shutdown)",
+            h.trough_active as f64,
+            "4,973"
+        )
+    );
+    let _ = writeln!(
+        out,
+        "{}",
+        row(
+            "post-shutdown devices",
+            h.post_shutdown_devices as f64,
+            "6,522"
+        )
+    );
+    let _ = writeln!(
+        out,
+        "{}",
+        row("international devices", h.intl_devices as f64, "1,022")
+    );
+    let _ = writeln!(
+        out,
+        "{:<46} {:>11.1}%                | 18%",
+        "international share of identified",
+        100.0 * h.intl_devices as f64 / h.identified_devices.max(1) as f64
+    );
+    let _ = writeln!(
+        out,
+        "{:<46} {:>11.1}%                | +58%",
+        "traffic growth Feb -> Apr/May",
+        100.0 * h.traffic_growth_feb_to_aprmay
+    );
+    if let Some(g) = growth_vs_2019 {
+        let _ = writeln!(
+            out,
+            "{:<46} {:>11.1}%                | +53%",
+            "traffic vs 2019 counterfactual (Apr/May)",
+            100.0 * g
+        );
+    }
+    let _ = writeln!(
+        out,
+        "{:<46} {:>11.1}%                | +34%",
+        "distinct sites growth Feb -> Apr/May",
+        100.0 * h.sites_growth
+    );
+    let _ = writeln!(
+        out,
+        "{}",
+        row("Switches pre-shutdown", h.switches_pre as f64, "1,097")
+    );
+    let _ = writeln!(
+        out,
+        "{}",
+        row("Switches post-shutdown", h.switches_post as f64, "267")
+    );
+    let _ = writeln!(
+        out,
+        "{}",
+        row("new Switches in Apr/May", h.switches_new as f64, "40")
+    );
+    let audit = study.classification_audit(100);
+    let _ = writeln!(
+        out,
+        "classification audit: {}/{} correct, {} affirmative errors, {} conservative unknowns (paper: 84/100, 2, 14)",
+        audit.correct, audit.sampled, audit.affirmative_errors, audit.conservative_unknown
+    );
+
+    out
+}
+
+/// Write every figure's machine-readable data into `dir`.
+pub fn write_figure_files(study: &Study, dir: &Path) -> std::io::Result<()> {
+    std::fs::create_dir_all(dir)?;
+    let c = &study.collector;
+    let s = &study.summary;
+    std::fs::write(
+        dir.join("fig1.csv"),
+        export::fig1_csv(&figures::figure1(c, s)),
+    )?;
+    std::fs::write(
+        dir.join("fig2.csv"),
+        export::fig2_csv(&figures::figure2(c, s)),
+    )?;
+    std::fs::write(
+        dir.join("fig3.csv"),
+        export::fig3_csv(&figures::figure3(c, s)),
+    )?;
+    std::fs::write(
+        dir.join("fig4.csv"),
+        export::fig4_csv(&figures::figure4(c, s)),
+    )?;
+    std::fs::write(
+        dir.join("fig5.csv"),
+        export::fig5_csv(&figures::figure5(c, s)),
+    )?;
+    std::fs::write(
+        dir.join("fig6.json"),
+        export::fig6_json(&figures::figure6(c, s)),
+    )?;
+    std::fs::write(
+        dir.join("fig7.json"),
+        export::fig7_json(&figures::figure7(c, s)),
+    )?;
+    std::fs::write(
+        dir.join("fig8.csv"),
+        export::fig8_csv(&figures::figure8(c, s)),
+    )?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use campussim::SimConfig;
+
+    #[test]
+    fn report_renders_and_files_write() {
+        let study = Study::run(
+            SimConfig {
+                scale: 0.01,
+                ..Default::default()
+            },
+            4,
+        );
+        let text = text_report(&study, Some(0.5));
+        assert!(text.contains("Figure 1"));
+        assert!(text.contains("Figure 8"));
+        assert!(text.contains("classification audit"));
+        assert!(text.contains("paper"));
+
+        let dir = std::env::temp_dir().join("lockdown_report_test");
+        write_figure_files(&study, &dir).unwrap();
+        for f in [
+            "fig1.csv",
+            "fig2.csv",
+            "fig3.csv",
+            "fig4.csv",
+            "fig5.csv",
+            "fig6.json",
+            "fig7.json",
+            "fig8.csv",
+        ] {
+            assert!(dir.join(f).exists(), "{f}");
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,161 @@
+//! IoT device detection in the style of Saidi et al.
+//!
+//! "For IoT devices specifically, we employ the methods devised by Saidi
+//! et al. with a threshold of 0.5" (§3). The method identifies IoT
+//! devices by the backend domains they contact: consumer IoT products
+//! talk overwhelmingly to their manufacturer clouds. A device whose
+//! traffic fraction to known IoT backend domains meets the threshold is
+//! classified IoT.
+
+use dnslog::DomainName;
+
+/// The detection threshold the paper uses.
+pub const SAIDI_THRESHOLD: f64 = 0.5;
+
+/// Domain suffixes of IoT backend clouds. As with the application
+/// signatures, the synthetic workload resolves concrete hostnames under
+/// these suffixes, so detector and generator agree on the world.
+pub const IOT_BACKEND_SUFFIXES: &[&str] = &[
+    "amazonalexa.com",
+    "device-metrics-us.amazon.com",
+    "tuyaus.com",
+    "tuyaeu.com",
+    "smartthings.com",
+    "nest.com",
+    "home.nest.com",
+    "meethue.com",
+    "lifx.co",
+    "wemo2.com",
+    "roku.com",
+    "rokutime.com",
+    "sonos.com",
+    "ring.com",
+    "wyze.com",
+    "ecobee.com",
+    "smartcamera.api.io.mi.com.cn",
+    "chromecast.google.com",
+    "clients3.google.com",
+];
+
+/// Concrete IoT backend hostnames for the synthetic workload.
+pub fn iot_hostnames() -> &'static [&'static str] {
+    &[
+        "avs-alexa-na.amazonalexa.com",
+        "api.amazonalexa.com",
+        "device-metrics-us.amazon.com",
+        "a2.tuyaus.com",
+        "api.smartthings.com",
+        "frontdoor.nest.com",
+        "time.meethue.com",
+        "v2.broker.lifx.co",
+        "api.roku.com",
+        "ntp.rokutime.com",
+        "ws.sonos.com",
+        "fw.ring.com",
+        "api.wyze.com",
+        "home.ecobee.com",
+        "tools.chromecast.google.com",
+        "connectivitycheck.clients3.google.com",
+    ]
+}
+
+/// Is this domain an IoT backend?
+pub fn is_iot_backend(name: &DomainName) -> bool {
+    IOT_BACKEND_SUFFIXES.iter().any(|s| name.is_under(s))
+}
+
+/// Streaming per-device IoT score: fraction of bytes to IoT backends.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct IotScore {
+    /// Bytes to IoT backend domains.
+    pub backend_bytes: u64,
+    /// All bytes.
+    pub total_bytes: u64,
+}
+
+impl IotScore {
+    /// Record a flow's bytes; `is_backend` per [`is_iot_backend`].
+    pub fn add(&mut self, bytes: u64, is_backend: bool) {
+        self.total_bytes += bytes;
+        if is_backend {
+            self.backend_bytes += bytes;
+        }
+    }
+
+    /// The backend-traffic fraction in `[0, 1]`, or 0 with no traffic.
+    pub fn fraction(&self) -> f64 {
+        if self.total_bytes == 0 {
+            0.0
+        } else {
+            self.backend_bytes as f64 / self.total_bytes as f64
+        }
+    }
+
+    /// Does the score meet `threshold`?
+    pub fn is_iot(&self, threshold: f64) -> bool {
+        self.total_bytes > 0 && self.fraction() >= threshold
+    }
+
+    /// Merge another score (parallel reduction).
+    pub fn merge(&mut self, other: IotScore) {
+        self.backend_bytes += other.backend_bytes;
+        self.total_bytes += other.total_bytes;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backend_suffix_matching() {
+        let d = DomainName::parse("avs-alexa-na.amazonalexa.com").unwrap();
+        assert!(is_iot_backend(&d));
+        let d = DomainName::parse("www.amazon.com").unwrap();
+        assert!(!is_iot_backend(&d));
+        let d = DomainName::parse("frontdoor.nest.com").unwrap();
+        assert!(is_iot_backend(&d));
+        let d = DomainName::parse("www.facebook.com").unwrap();
+        assert!(!is_iot_backend(&d));
+    }
+
+    #[test]
+    fn every_synthetic_hostname_is_a_backend() {
+        for h in iot_hostnames() {
+            let d = DomainName::parse(h).unwrap();
+            assert!(is_iot_backend(&d), "{h}");
+        }
+    }
+
+    #[test]
+    fn score_threshold_semantics() {
+        let mut s = IotScore::default();
+        assert!(!s.is_iot(SAIDI_THRESHOLD)); // no traffic: abstain
+        s.add(400, true);
+        s.add(600, false);
+        assert!((s.fraction() - 0.4).abs() < 1e-12);
+        assert!(!s.is_iot(SAIDI_THRESHOLD));
+        s.add(400, true);
+        assert!(s.fraction() > 0.5);
+        assert!(s.is_iot(SAIDI_THRESHOLD));
+    }
+
+    #[test]
+    fn exact_threshold_counts_as_iot() {
+        let mut s = IotScore::default();
+        s.add(500, true);
+        s.add(500, false);
+        assert!(s.is_iot(SAIDI_THRESHOLD));
+    }
+
+    #[test]
+    fn merge_sums_components() {
+        let mut a = IotScore::default();
+        let mut b = IotScore::default();
+        a.add(100, true);
+        b.add(300, false);
+        a.merge(b);
+        assert_eq!(a.backend_bytes, 100);
+        assert_eq!(a.total_bytes, 400);
+    }
+}

@@ -1,0 +1,32 @@
+//! # devclass — device classification
+//!
+//! Implements the device-type heuristics of §3: User-Agent analysis, OUI
+//! vendor lookup, Saidi-style IoT detection (threshold 0.5), the Nintendo
+//! Switch rule of §5.3.2, the combining classifier, and the accuracy
+//! audit reproducing the paper's 84/100 manual review.
+//!
+//! * [`types`] — the device taxonomy and the four figure buckets.
+//! * [`oui`] — vendor database keyed by hardware-address prefix.
+//! * [`useragent`] — OS-family extraction from User-Agent strings.
+//! * [`iot`] — backend-domain IoT scoring.
+//! * [`switch`] — Nintendo Switch detection and first-appearance dates.
+//! * [`classify`] — the priority-ordered evidence combiner.
+//! * [`audit`] — deterministic sampling audit against ground truth.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod audit;
+pub mod classify;
+pub mod iot;
+pub mod oui;
+pub mod switch;
+pub mod types;
+pub mod useragent;
+
+pub use audit::{audit_sample, AuditOutcome, AuditReport};
+pub use classify::{Classifier, DeviceProfile};
+pub use iot::{is_iot_backend, IotScore, SAIDI_THRESHOLD};
+pub use oui::{OuiDb, Vendor, VendorClass};
+pub use switch::{SwitchDetector, SWITCH_THRESHOLD};
+pub use types::{DeviceType, FigureBucket};

@@ -1,0 +1,215 @@
+//! OUI vendor database.
+//!
+//! "Organizationally unique identifiers (OUIs) extracted from traffic
+//! data" are one of the paper's classification heuristics (§3). This is a
+//! compact vendor table covering the manufacturers that dominate a
+//! residential campus network, each mapped to the device class its
+//! hardware most likely is. OUIs are real IEEE assignments.
+
+use crate::types::DeviceType;
+use nettrace::Oui;
+use std::collections::HashMap;
+
+/// What an OUI's vendor predominantly ships.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum VendorClass {
+    /// Phone/tablet vendors (or mobile-dominant product lines).
+    Mobile,
+    /// Laptop/desktop vendors.
+    Computer,
+    /// IoT device vendors.
+    Iot,
+    /// Game-console vendors.
+    Console,
+    /// Vendors shipping many device classes (classification abstains).
+    Ambiguous,
+}
+
+impl VendorClass {
+    /// The device type this vendor class implies, if unambiguous.
+    pub fn implied_type(self) -> Option<DeviceType> {
+        match self {
+            VendorClass::Mobile => Some(DeviceType::Mobile),
+            VendorClass::Computer => Some(DeviceType::LaptopDesktop),
+            VendorClass::Iot => Some(DeviceType::Iot),
+            VendorClass::Console => Some(DeviceType::Console),
+            VendorClass::Ambiguous => None,
+        }
+    }
+}
+
+/// A vendor entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Vendor {
+    /// Manufacturer name.
+    pub name: &'static str,
+    /// Dominant device class.
+    pub class: VendorClass,
+}
+
+/// The static vendor table: (OUI octets, vendor name, class).
+pub const VENDOR_TABLE: &[([u8; 3], &str, VendorClass)] = &[
+    // Apple ships phones, tablets and laptops — ambiguous by OUI alone.
+    ([0xf0, 0x18, 0x98], "Apple", VendorClass::Ambiguous),
+    ([0xa4, 0x83, 0xe7], "Apple", VendorClass::Ambiguous),
+    ([0x3c, 0x22, 0xfb], "Apple", VendorClass::Ambiguous),
+    // Samsung mobile lines.
+    (
+        [0x8c, 0x71, 0xf8],
+        "Samsung Electronics",
+        VendorClass::Mobile,
+    ),
+    (
+        [0xa8, 0xdb, 0x03],
+        "Samsung Electronics",
+        VendorClass::Mobile,
+    ),
+    // Other phone vendors.
+    ([0x94, 0x65, 0x2d], "OnePlus", VendorClass::Mobile),
+    ([0x64, 0xcc, 0x2e], "Xiaomi", VendorClass::Mobile),
+    ([0xac, 0x37, 0x43], "HTC", VendorClass::Mobile),
+    ([0x28, 0x6c, 0x07], "OPPO", VendorClass::Mobile),
+    // PC vendors.
+    ([0x3c, 0x52, 0x82], "Hewlett Packard", VendorClass::Computer),
+    ([0x18, 0xdb, 0xf2], "Dell", VendorClass::Computer),
+    ([0x54, 0xee, 0x75], "Lenovo", VendorClass::Computer),
+    ([0x8c, 0x16, 0x45], "LCFC (Lenovo)", VendorClass::Computer),
+    (
+        [0x00, 0xd8, 0x61],
+        "Micro-Star (MSI)",
+        VendorClass::Computer,
+    ),
+    ([0x30, 0x9c, 0x23], "ASUSTek", VendorClass::Computer),
+    ([0xf8, 0x59, 0x71], "Intel", VendorClass::Computer),
+    ([0x00, 0x28, 0xf8], "Intel", VendorClass::Computer),
+    // IoT vendors.
+    ([0xfc, 0x65, 0xde], "Amazon Technologies", VendorClass::Iot),
+    ([0x74, 0xc2, 0x46], "Amazon Technologies", VendorClass::Iot),
+    ([0x64, 0x16, 0x66], "Nest Labs", VendorClass::Iot),
+    ([0xd0, 0x73, 0xd5], "LIFX", VendorClass::Iot),
+    ([0x50, 0xc7, 0xbf], "TP-Link", VendorClass::Iot),
+    ([0xb0, 0xbe, 0x76], "TP-Link", VendorClass::Iot),
+    ([0x24, 0x0a, 0xc4], "Espressif", VendorClass::Iot),
+    ([0xdc, 0xa6, 0x32], "Raspberry Pi", VendorClass::Iot),
+    ([0x64, 0x52, 0x99], "Chamberlain (myQ)", VendorClass::Iot),
+    ([0xc8, 0x3a, 0x6b], "Roku", VendorClass::Iot),
+    ([0x88, 0xde, 0xa9], "Roku", VendorClass::Iot),
+    ([0xf4, 0xf5, 0xd8], "Google", VendorClass::Iot),
+    ([0x1c, 0xf2, 0x9a], "Google", VendorClass::Iot),
+    ([0x68, 0x54, 0xfd], "Amazon Technologies", VendorClass::Iot),
+    ([0x78, 0xe1, 0x03], "Amazon Technologies", VendorClass::Iot),
+    ([0x68, 0x9a, 0x87], "Amazon Technologies", VendorClass::Iot),
+    ([0xec, 0xfa, 0xbc], "Espressif", VendorClass::Iot),
+    ([0x2c, 0x3a, 0xe8], "Espressif", VendorClass::Iot),
+    ([0x00, 0x17, 0x88], "Philips Hue", VendorClass::Iot),
+    ([0x00, 0x0d, 0x4b], "Sonos", VendorClass::Iot),
+    ([0x5c, 0xaa, 0xfd], "Sonos", VendorClass::Iot),
+    ([0x70, 0xee, 0x50], "Netatmo", VendorClass::Iot),
+    ([0x44, 0x73, 0xd6], "Logitech (Harmony)", VendorClass::Iot),
+    ([0xd8, 0xf1, 0x5b], "Espressif", VendorClass::Iot),
+    // Consoles.
+    ([0x7c, 0xbb, 0x8a], "Nintendo", VendorClass::Console),
+    ([0x98, 0xb6, 0xe9], "Nintendo", VendorClass::Console),
+    ([0x04, 0x03, 0xd6], "Nintendo", VendorClass::Console),
+    (
+        [0x00, 0xd9, 0xd1],
+        "Sony Interactive (PlayStation)",
+        VendorClass::Console,
+    ),
+    (
+        [0x28, 0x3f, 0x69],
+        "Sony Interactive (PlayStation)",
+        VendorClass::Console,
+    ),
+    ([0x98, 0x5f, 0xd3], "Microsoft (Xbox)", VendorClass::Console),
+];
+
+/// The vendor lookup table.
+#[derive(Debug)]
+pub struct OuiDb {
+    by_oui: HashMap<Oui, Vendor>,
+}
+
+impl OuiDb {
+    /// Build the built-in database.
+    pub fn builtin() -> Self {
+        let mut by_oui = HashMap::with_capacity(VENDOR_TABLE.len());
+        for &(octets, name, class) in VENDOR_TABLE {
+            by_oui.insert(Oui(octets), Vendor { name, class });
+        }
+        OuiDb { by_oui }
+    }
+
+    /// Look up a vendor.
+    pub fn lookup(&self, oui: Oui) -> Option<Vendor> {
+        self.by_oui.get(&oui).copied()
+    }
+
+    /// All OUIs registered for a vendor class (used by the synthetic
+    /// population to assign realistic hardware addresses).
+    pub fn ouis_of_class(&self, class: VendorClass) -> Vec<Oui> {
+        let mut v: Vec<Oui> = self
+            .by_oui
+            .iter()
+            .filter(|(_, vend)| vend.class == class)
+            .map(|(o, _)| *o)
+            .collect();
+        v.sort();
+        v
+    }
+
+    /// Number of registered OUIs.
+    pub fn len(&self) -> usize {
+        self.by_oui.len()
+    }
+
+    /// Is the database empty?
+    pub fn is_empty(&self) -> bool {
+        self.by_oui.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builtin_table_loads_without_duplicate_ouis() {
+        let db = OuiDb::builtin();
+        assert_eq!(db.len(), VENDOR_TABLE.len(), "duplicate OUI in table");
+    }
+
+    #[test]
+    fn lookups() {
+        let db = OuiDb::builtin();
+        let nintendo = db.lookup(Oui::new(0x7c, 0xbb, 0x8a)).unwrap();
+        assert_eq!(nintendo.class, VendorClass::Console);
+        let apple = db.lookup(Oui::new(0xf0, 0x18, 0x98)).unwrap();
+        assert_eq!(apple.class, VendorClass::Ambiguous);
+        assert!(db.lookup(Oui::new(0x00, 0x00, 0x00)).is_none());
+    }
+
+    #[test]
+    fn class_queries_cover_all_classes() {
+        let db = OuiDb::builtin();
+        for class in [
+            VendorClass::Mobile,
+            VendorClass::Computer,
+            VendorClass::Iot,
+            VendorClass::Console,
+            VendorClass::Ambiguous,
+        ] {
+            assert!(!db.ouis_of_class(class).is_empty(), "no OUIs for {class:?}");
+        }
+    }
+
+    #[test]
+    fn implied_types() {
+        assert_eq!(VendorClass::Mobile.implied_type(), Some(DeviceType::Mobile));
+        assert_eq!(VendorClass::Ambiguous.implied_type(), None);
+        assert_eq!(
+            VendorClass::Console.implied_type(),
+            Some(DeviceType::Console)
+        );
+    }
+}

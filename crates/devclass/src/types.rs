@@ -1,0 +1,123 @@
+//! Device-type taxonomy.
+
+use std::fmt;
+
+/// The device classes the study plots (Figure 1 buckets), plus an internal
+/// console class that the figures fold into IoT.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum DeviceType {
+    /// Phones and tablets.
+    Mobile,
+    /// Laptops and desktops (the paper treats them as one class).
+    LaptopDesktop,
+    /// Internet-of-Things devices (smart speakers, TVs, plugs, …).
+    Iot,
+    /// Game consoles (Nintendo Switch, PlayStation, Xbox). The paper
+    /// identifies consoles but plots them inside the IoT bucket; see
+    /// [`DeviceType::figure_bucket`].
+    Console,
+    /// Could not be classified by any heuristic — the paper's dominant
+    /// error class ("devices conservatively classified as unknown").
+    Unclassified,
+}
+
+impl DeviceType {
+    /// All classes.
+    pub const ALL: [DeviceType; 5] = [
+        DeviceType::Mobile,
+        DeviceType::LaptopDesktop,
+        DeviceType::Iot,
+        DeviceType::Console,
+        DeviceType::Unclassified,
+    ];
+
+    /// Figure-1 legend label.
+    pub fn name(self) -> &'static str {
+        match self {
+            DeviceType::Mobile => "Mobile",
+            DeviceType::LaptopDesktop => "Laptop & Desktop",
+            DeviceType::Iot => "IoT",
+            DeviceType::Console => "Console",
+            DeviceType::Unclassified => "Unclassified",
+        }
+    }
+
+    /// The four buckets Figures 1 and 2 actually plot: consoles are
+    /// folded into IoT.
+    pub fn figure_bucket(self) -> FigureBucket {
+        match self {
+            DeviceType::Mobile => FigureBucket::Mobile,
+            DeviceType::LaptopDesktop => FigureBucket::LaptopDesktop,
+            DeviceType::Iot | DeviceType::Console => FigureBucket::Iot,
+            DeviceType::Unclassified => FigureBucket::Unclassified,
+        }
+    }
+}
+
+impl fmt::Display for DeviceType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The four plotted buckets of Figures 1 and 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum FigureBucket {
+    /// Phones and tablets.
+    Mobile,
+    /// Laptops and desktops.
+    LaptopDesktop,
+    /// IoT devices and consoles.
+    Iot,
+    /// Everything unclassified.
+    Unclassified,
+}
+
+impl FigureBucket {
+    /// All buckets in legend order.
+    pub const ALL: [FigureBucket; 4] = [
+        FigureBucket::Mobile,
+        FigureBucket::LaptopDesktop,
+        FigureBucket::Iot,
+        FigureBucket::Unclassified,
+    ];
+
+    /// Legend label.
+    pub fn name(self) -> &'static str {
+        match self {
+            FigureBucket::Mobile => "Mobile",
+            FigureBucket::LaptopDesktop => "Laptop & Desktop",
+            FigureBucket::Iot => "IoT",
+            FigureBucket::Unclassified => "Unclassified",
+        }
+    }
+
+    /// Index 0..4 for array-backed accumulators.
+    pub fn index(self) -> usize {
+        match self {
+            FigureBucket::Mobile => 0,
+            FigureBucket::LaptopDesktop => 1,
+            FigureBucket::Iot => 2,
+            FigureBucket::Unclassified => 3,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn console_folds_into_iot_bucket() {
+        assert_eq!(DeviceType::Console.figure_bucket(), FigureBucket::Iot);
+        assert_eq!(DeviceType::Iot.figure_bucket(), FigureBucket::Iot);
+        assert_eq!(DeviceType::Mobile.figure_bucket(), FigureBucket::Mobile);
+    }
+
+    #[test]
+    fn bucket_indices_are_dense() {
+        for (i, b) in FigureBucket::ALL.iter().enumerate() {
+            assert_eq!(b.index(), i);
+        }
+    }
+}

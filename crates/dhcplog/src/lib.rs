@@ -1,0 +1,21 @@
+//! # dhcplog — DHCP lease logs and dynamic-IP normalization
+//!
+//! The second stage of the measurement pipeline (§3 of the paper):
+//! "Devices in the network are assigned dynamic, temporary IP addresses by
+//! DHCP, which we normalize using contemporaneous DHCP logs to convert
+//! these dynamic IP addresses to per-device MAC addresses."
+//!
+//! * [`lease`] — lease events and a line-oriented log codec.
+//! * [`normalize`] — the interval index answering "who held this IP at
+//!   this time?", plus the flow normalizer that rewrites raw
+//!   [`nettrace::FlowRecord`]s into device-attributed
+//!   [`nettrace::flow::DeviceFlow`]s with anonymized identifiers.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod lease;
+pub mod normalize;
+
+pub use lease::{LeaseAction, LeaseEvent};
+pub use normalize::{LeaseIndex, NormalizeStats, Normalizer, DEFAULT_MAX_LEASE_SECS};

@@ -1,0 +1,233 @@
+//! Domain names and interning.
+//!
+//! Application signatures match on domain suffixes (`*.zoom.us`,
+//! `facebook.com`, …) and the distinct-site statistic counts *registered*
+//! domains (eTLD+1), so both operations live here. Domains are interned
+//! into small integer [`DomainId`]s — flows carry ids, not strings, which
+//! keeps the streaming pipeline allocation-free on the hot path.
+
+use nettrace::{Error, Result};
+use std::collections::HashMap;
+use std::fmt;
+
+/// A validated, lower-case DNS name (no trailing dot).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct DomainName(String);
+
+impl DomainName {
+    /// Validate and normalize a name: non-empty labels of `[a-z0-9-_]`,
+    /// at most 253 bytes, case-folded, optional trailing dot stripped.
+    pub fn parse(s: &str) -> Result<DomainName> {
+        let s = s.strip_suffix('.').unwrap_or(s);
+        let bad = |detail| Error::Malformed {
+            what: "domain name",
+            detail,
+        };
+        if s.is_empty() {
+            return Err(bad("empty name"));
+        }
+        if s.len() > 253 {
+            return Err(bad("name longer than 253 bytes"));
+        }
+        let lower = s.to_ascii_lowercase();
+        for label in lower.split('.') {
+            if label.is_empty() {
+                return Err(bad("empty label"));
+            }
+            if label.len() > 63 {
+                return Err(bad("label longer than 63 bytes"));
+            }
+            if !label
+                .bytes()
+                .all(|b| b.is_ascii_lowercase() || b.is_ascii_digit() || b == b'-' || b == b'_')
+            {
+                return Err(bad("label has invalid character"));
+            }
+        }
+        Ok(DomainName(lower))
+    }
+
+    /// The name as a string slice.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+
+    /// Number of labels.
+    pub fn label_count(&self) -> usize {
+        self.0.split('.').count()
+    }
+
+    /// Is `self` equal to `suffix` or a subdomain of it?
+    /// (`api.zoom.us` is under `zoom.us`; `notzoom.us` is not.)
+    pub fn is_under(&self, suffix: &str) -> bool {
+        let suffix = suffix.strip_suffix('.').unwrap_or(suffix);
+        if self.0.len() == suffix.len() {
+            return self.0 == suffix;
+        }
+        self.0.len() > suffix.len()
+            && self.0.ends_with(suffix)
+            && self.0.as_bytes()[self.0.len() - suffix.len() - 1] == b'.'
+    }
+
+    /// The registered domain (eTLD+1) under a small public-suffix list:
+    /// two labels normally, three under multi-part suffixes like `co.uk`
+    /// or `com.cn`. This is the unit the "distinct sites" statistic counts.
+    pub fn registered_domain(&self) -> &str {
+        const MULTI_PART_SUFFIXES: &[&str] = &[
+            "co.uk", "ac.uk", "org.uk", "com.cn", "net.cn", "org.cn", "edu.cn", "com.au", "co.jp",
+            "ne.jp", "co.kr", "or.kr", "com.br", "com.mx", "co.in", "ac.in",
+        ];
+        let labels: Vec<&str> = self.0.split('.').collect();
+        if labels.len() <= 2 {
+            return &self.0;
+        }
+        let last_two = &self.0
+            [self.0.len() - labels[labels.len() - 2].len() - labels[labels.len() - 1].len() - 1..];
+        let take = if MULTI_PART_SUFFIXES.contains(&last_two) {
+            3
+        } else {
+            2
+        };
+        let keep = &labels[labels.len() - take..];
+        // Re-slice the original string: total length of kept labels + dots.
+        let len: usize = keep.iter().map(|l| l.len()).sum::<usize>() + keep.len() - 1;
+        &self.0[self.0.len() - len..]
+    }
+}
+
+impl fmt::Display for DomainName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Interned domain identifier. Ids are dense and start at 0.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct DomainId(pub u32);
+
+/// An append-only domain interner.
+#[derive(Debug, Default)]
+pub struct DomainTable {
+    names: Vec<DomainName>,
+    ids: HashMap<DomainName, DomainId>,
+}
+
+impl DomainTable {
+    /// An empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Intern a validated name.
+    pub fn intern(&mut self, name: DomainName) -> DomainId {
+        if let Some(&id) = self.ids.get(&name) {
+            return id;
+        }
+        let id = DomainId(self.names.len() as u32);
+        self.names.push(name.clone());
+        self.ids.insert(name, id);
+        id
+    }
+
+    /// Intern from a string, validating it.
+    pub fn intern_str(&mut self, s: &str) -> Result<DomainId> {
+        Ok(self.intern(DomainName::parse(s)?))
+    }
+
+    /// Resolve an id back to its name.
+    pub fn name(&self, id: DomainId) -> &DomainName {
+        &self.names[id.0 as usize]
+    }
+
+    /// Look up a name without interning.
+    pub fn get(&self, name: &DomainName) -> Option<DomainId> {
+        self.ids.get(name).copied()
+    }
+
+    /// Number of interned names.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Is the table empty?
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Iterate `(id, name)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (DomainId, &DomainName)> {
+        self.names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (DomainId(i as u32), n))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_normalizes() {
+        let d = DomainName::parse("API.Zoom.US.").unwrap();
+        assert_eq!(d.as_str(), "api.zoom.us");
+        assert_eq!(d.label_count(), 3);
+    }
+
+    #[test]
+    fn parse_rejects_invalid() {
+        assert!(DomainName::parse("").is_err());
+        assert!(DomainName::parse(".").is_err());
+        assert!(DomainName::parse("a..b").is_err());
+        assert!(DomainName::parse("white space.com").is_err());
+        assert!(DomainName::parse(&"x".repeat(64)).is_err()); // long label
+        let long = vec!["abcdefgh"; 32].join("."); // > 253 bytes
+        assert!(DomainName::parse(&long).is_err());
+    }
+
+    #[test]
+    fn underscore_allowed() {
+        // Real DNS logs contain service labels like _dns.resolver.arpa.
+        assert!(DomainName::parse("_tcp.example.com").is_ok());
+    }
+
+    #[test]
+    fn is_under_requires_label_boundary() {
+        let d = DomainName::parse("api.zoom.us").unwrap();
+        assert!(d.is_under("zoom.us"));
+        assert!(d.is_under("api.zoom.us"));
+        assert!(!d.is_under("oom.us"));
+        assert!(!d.is_under("api.zoom.us.extra"));
+        let tricky = DomainName::parse("notzoom.us").unwrap();
+        assert!(!tricky.is_under("zoom.us"));
+    }
+
+    #[test]
+    fn registered_domain_basic_and_multipart() {
+        let d = DomainName::parse("edge-chat.facebook.com").unwrap();
+        assert_eq!(d.registered_domain(), "facebook.com");
+        let d = DomainName::parse("video.weibo.com.cn").unwrap();
+        assert_eq!(d.registered_domain(), "weibo.com.cn");
+        let d = DomainName::parse("bbc.co.uk").unwrap();
+        assert_eq!(d.registered_domain(), "bbc.co.uk");
+        let d = DomainName::parse("a.b.c.d.steamcontent.com").unwrap();
+        assert_eq!(d.registered_domain(), "steamcontent.com");
+        let d = DomainName::parse("localhost").unwrap();
+        assert_eq!(d.registered_domain(), "localhost");
+    }
+
+    #[test]
+    fn interner_dedupes_and_roundtrips() {
+        let mut t = DomainTable::new();
+        let a = t.intern_str("zoom.us").unwrap();
+        let b = t.intern_str("ZOOM.us").unwrap();
+        let c = t.intern_str("steam.com").unwrap();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.name(a).as_str(), "zoom.us");
+        assert_eq!(t.get(&DomainName::parse("steam.com").unwrap()), Some(c));
+        let pairs: Vec<_> = t.iter().map(|(i, n)| (i.0, n.as_str())).collect();
+        assert_eq!(pairs, vec![(0, "zoom.us"), (1, "steam.com")]);
+    }
+}

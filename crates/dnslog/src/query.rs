@@ -1,0 +1,141 @@
+//! DNS query-log records and codec.
+//!
+//! Each record is one successful A-record resolution observed at the
+//! campus resolver: which device asked, when, for what name, and which
+//! addresses came back. Only the fields the pipeline consumes are kept.
+
+use crate::domain::{DomainId, DomainName, DomainTable};
+use nettrace::{DeviceId, Error, Result, Timestamp};
+use std::net::Ipv4Addr;
+
+/// One resolved query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DnsQuery {
+    /// When the answer was observed.
+    pub ts: Timestamp,
+    /// The (anonymized) requesting device.
+    pub device: DeviceId,
+    /// The interned query name.
+    pub qname: DomainId,
+    /// A-record answers.
+    pub answers: Vec<Ipv4Addr>,
+}
+
+/// Serialize queries to a line format:
+/// `secs.micros dev:<hex> <name> <ip>[,<ip>...]`.
+pub fn write_log<'a, I>(queries: I, table: &DomainTable) -> String
+where
+    I: IntoIterator<Item = &'a DnsQuery>,
+{
+    let mut out = String::new();
+    for q in queries {
+        out.push_str(&format!(
+            "{}.{:06} {} {} ",
+            q.ts.secs(),
+            q.ts.subsec_micros(),
+            q.device,
+            table.name(q.qname)
+        ));
+        for (i, ip) in q.answers.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&ip.to_string());
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Parse a log produced by [`write_log`], interning names into `table`.
+/// Blank lines and `#` comments are skipped.
+pub fn parse_log(text: &str, table: &mut DomainTable) -> Result<Vec<DnsQuery>> {
+    let bad = |detail| Error::Malformed {
+        what: "dns query",
+        detail,
+    };
+    let mut out = Vec::new();
+    for line in text.lines().map(str::trim) {
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let ts_str = parts.next().ok_or(bad("missing timestamp"))?;
+        let (secs, micros) = ts_str.split_once('.').ok_or(bad("timestamp not s.us"))?;
+        let secs: i64 = secs.parse().map_err(|_| bad("bad seconds"))?;
+        let micros: u32 = micros.parse().map_err(|_| bad("bad microseconds"))?;
+        if micros >= 1_000_000 {
+            return Err(bad("microseconds out of range"));
+        }
+        let dev_str = parts.next().ok_or(bad("missing device"))?;
+        let dev_hex = dev_str
+            .strip_prefix("dev:")
+            .ok_or(bad("device token missing dev: prefix"))?;
+        let device = DeviceId(u64::from_str_radix(dev_hex, 16).map_err(|_| bad("bad device hex"))?);
+        let name = DomainName::parse(parts.next().ok_or(bad("missing qname"))?)?;
+        let qname = table.intern(name);
+        let answers_str = parts.next().ok_or(bad("missing answers"))?;
+        let answers: Vec<Ipv4Addr> = answers_str
+            .split(',')
+            .map(|s| s.parse().map_err(|_| bad("bad answer ip")))
+            .collect::<Result<_>>()?;
+        if answers.is_empty() {
+            return Err(bad("no answers"));
+        }
+        if parts.next().is_some() {
+            return Err(bad("trailing fields"));
+        }
+        out.push(DnsQuery {
+            ts: Timestamp::from_secs_micros(secs, micros),
+            device,
+            qname,
+            answers,
+        });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn log_roundtrip() {
+        let mut table = DomainTable::new();
+        let zoom = table.intern_str("us04web.zoom.us").unwrap();
+        let fb = table.intern_str("edge-chat.facebook.com").unwrap();
+        let queries = vec![
+            DnsQuery {
+                ts: Timestamp::from_secs_micros(1_580_515_200, 42),
+                device: DeviceId(0xdead_beef),
+                qname: zoom,
+                answers: vec![Ipv4Addr::new(3, 235, 69, 1)],
+            },
+            DnsQuery {
+                ts: Timestamp::from_secs_micros(1_580_515_201, 0),
+                device: DeviceId(1),
+                qname: fb,
+                answers: vec![Ipv4Addr::new(157, 240, 1, 1), Ipv4Addr::new(157, 240, 1, 2)],
+            },
+        ];
+        let text = write_log(&queries, &table);
+        let mut table2 = DomainTable::new();
+        let parsed = parse_log(&text, &mut table2).unwrap();
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed[0].device, DeviceId(0xdead_beef));
+        assert_eq!(table2.name(parsed[0].qname).as_str(), "us04web.zoom.us");
+        assert_eq!(parsed[1].answers.len(), 2);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        let mut t = DomainTable::new();
+        assert!(parse_log("1.0 nodev zoom.us 1.2.3.4", &mut t).is_err());
+        assert!(parse_log("1.0 dev:zz zoom.us 1.2.3.4", &mut t).is_err());
+        assert!(parse_log("1.0 dev:1 zoom.us 1.2.3.999", &mut t).is_err());
+        assert!(parse_log("1.0 dev:1 zoom.us", &mut t).is_err());
+        assert!(parse_log("nots dev:1 zoom.us 1.2.3.4", &mut t).is_err());
+        // Comments and blanks are fine.
+        assert_eq!(parse_log("# hi\n\n", &mut t).unwrap().len(), 0);
+    }
+}

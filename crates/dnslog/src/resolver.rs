@@ -1,0 +1,206 @@
+//! The temporal remote-IP → domain map.
+//!
+//! "We use contemporaneous DNS logs to convert remote IP addresses (i.e.,
+//! the servers communicating with the devices we study) to domain names
+//! (hence, allowing us to distinguish between different services in use)."
+//! (§3)
+//!
+//! A remote IP may serve different names over time (CDN rotation), so the
+//! map is temporal: a flow to `ip` at time `t` is labeled with the domain
+//! most recently resolved to `ip` at or before `t`, provided the
+//! resolution is not older than a freshness horizon.
+
+use crate::domain::DomainId;
+use crate::query::DnsQuery;
+use nettrace::flow::DeviceFlow;
+use nettrace::Timestamp;
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+/// Default freshness horizon: resolutions older than a week stop labeling
+/// flows. Long enough to survive caching, short enough to track CDN moves.
+pub const DEFAULT_FRESHNESS_SECS: i64 = 7 * 24 * 3600;
+
+/// A device-attributed flow with its resolved service domain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LabeledFlow {
+    /// The underlying flow.
+    pub flow: DeviceFlow,
+    /// The domain the remote IP resolved to, if any resolution was fresh.
+    pub domain: Option<DomainId>,
+}
+
+#[derive(Debug, Default)]
+struct IpHistory {
+    // (resolution time, domain), sorted by time.
+    entries: Vec<(Timestamp, DomainId)>,
+}
+
+/// The temporal reverse-resolution index.
+#[derive(Debug, Default)]
+pub struct ResolverMap {
+    by_ip: HashMap<Ipv4Addr, IpHistory>,
+    freshness_secs: i64,
+}
+
+impl ResolverMap {
+    /// Empty map with the default freshness horizon.
+    pub fn new() -> Self {
+        ResolverMap {
+            by_ip: HashMap::new(),
+            freshness_secs: DEFAULT_FRESHNESS_SECS,
+        }
+    }
+
+    /// Empty map with a custom freshness horizon in seconds.
+    pub fn with_freshness(freshness_secs: i64) -> Self {
+        ResolverMap {
+            by_ip: HashMap::new(),
+            freshness_secs,
+        }
+    }
+
+    /// Record one DNS answer set. Queries must be fed roughly in time
+    /// order; exact order is restored lazily at lookup time if needed.
+    pub fn record(&mut self, q: &DnsQuery) {
+        for &ip in &q.answers {
+            let h = self.by_ip.entry(ip).or_default();
+            // Common case: appended in order. Otherwise insert sorted.
+            match h.entries.last() {
+                Some(&(last_ts, _)) if last_ts > q.ts => {
+                    let pos = h.entries.partition_point(|&(t, _)| t <= q.ts);
+                    h.entries.insert(pos, (q.ts, q.qname));
+                }
+                _ => h.entries.push((q.ts, q.qname)),
+            }
+        }
+    }
+
+    /// The domain `ip` most recently resolved to at or before `ts`,
+    /// within the freshness horizon.
+    pub fn lookup(&self, ip: Ipv4Addr, ts: Timestamp) -> Option<DomainId> {
+        let h = self.by_ip.get(&ip)?;
+        let idx = h.entries.partition_point(|&(t, _)| t <= ts);
+        if idx == 0 {
+            return None;
+        }
+        let (t, dom) = h.entries[idx - 1];
+        (ts.delta_secs(t) <= self.freshness_secs).then_some(dom)
+    }
+
+    /// Label a flow with its service domain.
+    pub fn label(&self, flow: DeviceFlow) -> LabeledFlow {
+        LabeledFlow {
+            domain: self.lookup(flow.remote, flow.ts),
+            flow,
+        }
+    }
+
+    /// Number of distinct remote IPs known.
+    pub fn ip_count(&self) -> usize {
+        self.by_ip.len()
+    }
+
+    /// Total number of recorded resolutions.
+    pub fn resolution_count(&self) -> usize {
+        self.by_ip.values().map(|h| h.entries.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::domain::DomainTable;
+    use nettrace::flow::Proto;
+    use nettrace::DeviceId;
+
+    const IP: Ipv4Addr = Ipv4Addr::new(151, 101, 1, 1);
+
+    fn q(ts: i64, qname: DomainId, ip: Ipv4Addr) -> DnsQuery {
+        DnsQuery {
+            ts: Timestamp::from_secs(ts),
+            device: DeviceId(1),
+            qname,
+            answers: vec![ip],
+        }
+    }
+
+    #[test]
+    fn lookup_uses_most_recent_resolution() {
+        let mut t = DomainTable::new();
+        let a = t.intern_str("a.example.com").unwrap();
+        let b = t.intern_str("b.example.com").unwrap();
+        let mut m = ResolverMap::new();
+        m.record(&q(100, a, IP));
+        m.record(&q(200, b, IP));
+        assert_eq!(m.lookup(IP, Timestamp::from_secs(150)), Some(a));
+        assert_eq!(m.lookup(IP, Timestamp::from_secs(250)), Some(b));
+        assert_eq!(m.lookup(IP, Timestamp::from_secs(99)), None);
+        assert_eq!(
+            m.lookup(Ipv4Addr::new(9, 9, 9, 9), Timestamp::from_secs(150)),
+            None
+        );
+    }
+
+    #[test]
+    fn stale_resolutions_do_not_label() {
+        let mut t = DomainTable::new();
+        let a = t.intern_str("old.example.com").unwrap();
+        let mut m = ResolverMap::with_freshness(3600);
+        m.record(&q(0, a, IP));
+        assert_eq!(m.lookup(IP, Timestamp::from_secs(3600)), Some(a));
+        assert_eq!(m.lookup(IP, Timestamp::from_secs(3601)), None);
+    }
+
+    #[test]
+    fn out_of_order_records_are_inserted_sorted() {
+        let mut t = DomainTable::new();
+        let a = t.intern_str("a.example.com").unwrap();
+        let b = t.intern_str("b.example.com").unwrap();
+        let mut m = ResolverMap::new();
+        m.record(&q(200, b, IP));
+        m.record(&q(100, a, IP)); // arrives late
+        assert_eq!(m.lookup(IP, Timestamp::from_secs(150)), Some(a));
+        assert_eq!(m.lookup(IP, Timestamp::from_secs(250)), Some(b));
+        assert_eq!(m.resolution_count(), 2);
+    }
+
+    #[test]
+    fn label_attaches_domain() {
+        let mut t = DomainTable::new();
+        let a = t.intern_str("zoom.us").unwrap();
+        let mut m = ResolverMap::new();
+        m.record(&q(100, a, IP));
+        let flow = DeviceFlow {
+            device: DeviceId(7),
+            ts: Timestamp::from_secs(120),
+            duration_micros: 0,
+            remote: IP,
+            remote_port: 443,
+            proto: Proto::Tcp,
+            tx_bytes: 1,
+            rx_bytes: 2,
+        };
+        let lf = m.label(flow);
+        assert_eq!(lf.domain, Some(a));
+        assert_eq!(lf.flow, flow);
+    }
+
+    #[test]
+    fn multi_answer_queries_index_every_ip() {
+        let mut t = DomainTable::new();
+        let a = t.intern_str("cdn.example.com").unwrap();
+        let mut m = ResolverMap::new();
+        let ips = vec![Ipv4Addr::new(1, 0, 0, 1), Ipv4Addr::new(1, 0, 0, 2)];
+        m.record(&DnsQuery {
+            ts: Timestamp::from_secs(5),
+            device: DeviceId(1),
+            qname: a,
+            answers: ips.clone(),
+        });
+        for ip in ips {
+            assert_eq!(m.lookup(ip, Timestamp::from_secs(10)), Some(a));
+        }
+        assert_eq!(m.ip_count(), 2);
+    }
+}

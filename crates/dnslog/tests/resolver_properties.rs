@@ -1,0 +1,60 @@
+//! Property tests for the temporal resolver and domain machinery.
+
+use dnslog::{DnsQuery, DomainName, DomainTable, ResolverMap};
+use nettrace::{DeviceId, Timestamp};
+use proptest::prelude::*;
+use std::net::Ipv4Addr;
+
+proptest! {
+    /// The resolver always returns the most recent fresh resolution at or
+    /// before the query time, independent of record insertion order.
+    #[test]
+    fn lookup_matches_naive(
+        records in proptest::collection::vec((0i64..10_000, 0u32..6), 1..40),
+        probe in 0i64..12_000,
+        freshness in 1i64..20_000
+    ) {
+        let mut table = DomainTable::new();
+        let domains: Vec<_> = (0..6)
+            .map(|i| table.intern_str(&format!("svc{i}.example.com")).unwrap())
+            .collect();
+        let ip = Ipv4Addr::new(203, 0, 113, 7);
+
+        let mut m = ResolverMap::with_freshness(freshness);
+        // Shuffle-ish: insert as given (arbitrary order).
+        for &(ts, di) in &records {
+            m.record(&DnsQuery {
+                ts: Timestamp::from_secs(ts),
+                device: DeviceId(1),
+                qname: domains[di as usize],
+                answers: vec![ip],
+            });
+        }
+        let got = m.lookup(ip, Timestamp::from_secs(probe));
+
+        // Naive: latest record with ts <= probe; break ties by keeping the
+        // later-inserted one (matching sorted-insert stability).
+        let naive = records
+            .iter()
+            .enumerate()
+            .filter(|(_, &(ts, _))| ts <= probe)
+            .max_by_key(|(i, &(ts, _))| (ts, *i))
+            .and_then(|(_, &(ts, di))| {
+                (probe - ts <= freshness).then(|| domains[di as usize])
+            });
+        prop_assert_eq!(got, naive);
+    }
+
+    /// Domain parsing normalizes case and trailing dots without changing
+    /// identity, and registered domains are suffixes of the input.
+    #[test]
+    fn domain_normalization(labels in proptest::collection::vec("[a-zA-Z][a-zA-Z0-9]{0,8}", 1..5)) {
+        let name = labels.join(".");
+        let a = DomainName::parse(&name).unwrap();
+        let b = DomainName::parse(&format!("{}.", name.to_uppercase())).unwrap();
+        prop_assert_eq!(&a, &b);
+        let reg = a.registered_domain().to_owned();
+        prop_assert!(a.as_str().ends_with(&reg));
+        prop_assert!(a.is_under(&reg));
+    }
+}

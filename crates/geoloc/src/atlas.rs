@@ -1,0 +1,333 @@
+//! The IP-prefix geolocation atlas.
+//!
+//! The paper geolocates every destination IP that post-shutdown users
+//! visited in February (§4.2) using a commercial-style geolocation
+//! database. We substitute a synthetic but internally consistent atlas:
+//! prefixes are allocated to countries with representative coordinates,
+//! and the synthetic trace draws server addresses from the same atlas —
+//! so lookups during analysis behave exactly as MaxMind-style lookups do
+//! against real traffic.
+
+use nettrace::ip::{Ipv4Cidr, PrefixSet};
+use std::collections::HashMap;
+use std::fmt;
+use std::net::Ipv4Addr;
+
+/// ISO-3166-style two-letter country code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CountryCode(pub [u8; 2]);
+
+impl CountryCode {
+    /// Construct from a two-ASCII-letter string.
+    pub const fn new(code: &str) -> CountryCode {
+        let b = code.as_bytes();
+        assert!(b.len() == 2, "country code must be two letters");
+        CountryCode([b[0], b[1]])
+    }
+
+    /// The United States.
+    pub const US: CountryCode = CountryCode::new("US");
+
+    /// The code as a string.
+    pub fn as_str(&self) -> &str {
+        std::str::from_utf8(&self.0).expect("constructed from ASCII")
+    }
+}
+
+impl fmt::Display for CountryCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Where a prefix lives.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GeoEntry {
+    /// Country.
+    pub country: CountryCode,
+    /// Latitude in degrees.
+    pub lat: f64,
+    /// Longitude in degrees.
+    pub lon: f64,
+}
+
+/// Longest-prefix-match geolocation database.
+#[derive(Debug, Default)]
+pub struct GeoDb {
+    prefixes: PrefixSet,
+    entries: HashMap<Ipv4Cidr, GeoEntry>,
+}
+
+impl GeoDb {
+    /// An empty database.
+    pub fn new() -> Self {
+        GeoDb {
+            prefixes: PrefixSet::new(),
+            entries: HashMap::new(),
+        }
+    }
+
+    /// Register a prefix. More-specific prefixes override broader ones at
+    /// lookup time (longest-prefix match).
+    pub fn insert(&mut self, prefix: Ipv4Cidr, entry: GeoEntry) {
+        self.prefixes.insert(prefix);
+        self.entries.insert(prefix, entry);
+    }
+
+    /// Geolocate an address.
+    pub fn lookup(&self, addr: Ipv4Addr) -> Option<GeoEntry> {
+        let p = self.prefixes.longest_match(addr)?;
+        self.entries.get(&p).copied()
+    }
+
+    /// Number of prefixes registered.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Is the database empty?
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// A hosting region of the synthetic world: a country, a city-level
+/// coordinate, and the address space allocated to servers there.
+#[derive(Debug, Clone, Copy)]
+pub struct Region {
+    /// Stable name for diagnostics ("us-west", "cn-east", …).
+    pub name: &'static str,
+    /// Country of the region.
+    pub country: CountryCode,
+    /// Representative latitude.
+    pub lat: f64,
+    /// Representative longitude.
+    pub lon: f64,
+    /// First octet pair of the /16s allocated to this region; the region
+    /// owns `16.0.0.0/8`-style space carved as `base.0.0.0/12`.
+    pub prefix: Ipv4Cidr,
+}
+
+/// The built-in synthetic world: enough regions to host every service
+/// class the study names, US and foreign. Coordinates are real city
+/// coordinates so midpoints are meaningful.
+pub fn builtin_regions() -> Vec<Region> {
+    fn cidr(a: u8, b: u8, len: u8) -> Ipv4Cidr {
+        Ipv4Cidr::new(Ipv4Addr::new(a, b, 0, 0), len)
+    }
+    vec![
+        Region {
+            name: "us-west",
+            country: CountryCode::new("US"),
+            lat: 37.77,
+            lon: -122.42,
+            prefix: cidr(23, 0, 12),
+        },
+        Region {
+            name: "us-east",
+            country: CountryCode::new("US"),
+            lat: 39.04,
+            lon: -77.49,
+            prefix: cidr(34, 16, 12),
+        },
+        Region {
+            name: "us-central",
+            country: CountryCode::new("US"),
+            lat: 41.26,
+            lon: -95.94,
+            prefix: cidr(45, 32, 12),
+        },
+        Region {
+            name: "cn-east",
+            country: CountryCode::new("CN"),
+            lat: 31.23,
+            lon: 121.47,
+            prefix: cidr(101, 0, 12),
+        },
+        Region {
+            name: "cn-north",
+            country: CountryCode::new("CN"),
+            lat: 39.90,
+            lon: 116.40,
+            prefix: cidr(106, 16, 12),
+        },
+        Region {
+            name: "kr-seoul",
+            country: CountryCode::new("KR"),
+            lat: 37.57,
+            lon: 126.98,
+            prefix: cidr(110, 32, 12),
+        },
+        Region {
+            name: "jp-tokyo",
+            country: CountryCode::new("JP"),
+            lat: 35.68,
+            lon: 139.69,
+            prefix: cidr(126, 48, 12),
+        },
+        Region {
+            name: "in-mumbai",
+            country: CountryCode::new("IN"),
+            lat: 19.08,
+            lon: 72.88,
+            prefix: cidr(117, 64, 12),
+        },
+        Region {
+            name: "sg",
+            country: CountryCode::new("SG"),
+            lat: 1.35,
+            lon: 103.82,
+            prefix: cidr(119, 80, 12),
+        },
+        Region {
+            name: "de-frankfurt",
+            country: CountryCode::new("DE"),
+            lat: 50.11,
+            lon: 8.68,
+            prefix: cidr(141, 96, 12),
+        },
+        Region {
+            name: "gb-london",
+            country: CountryCode::new("GB"),
+            lat: 51.51,
+            lon: -0.13,
+            prefix: cidr(151, 112, 12),
+        },
+        Region {
+            name: "br-saopaulo",
+            country: CountryCode::new("BR"),
+            lat: -23.55,
+            lon: -46.63,
+            prefix: cidr(177, 128, 12),
+        },
+        Region {
+            name: "mx-mexico",
+            country: CountryCode::new("MX"),
+            lat: 19.43,
+            lon: -99.13,
+            prefix: cidr(187, 144, 12),
+        },
+        Region {
+            name: "ca-toronto",
+            country: CountryCode::new("CA"),
+            lat: 43.65,
+            lon: -79.38,
+            prefix: cidr(192, 160, 12),
+        },
+        Region {
+            name: "cdn-global",
+            country: CountryCode::new("US"),
+            lat: 37.77,
+            lon: -122.42,
+            prefix: cidr(205, 176, 12),
+        },
+    ]
+}
+
+/// Build a [`GeoDb`] covering every builtin region.
+pub fn builtin_geodb() -> GeoDb {
+    let mut db = GeoDb::new();
+    for r in builtin_regions() {
+        db.insert(
+            r.prefix,
+            GeoEntry {
+                country: r.country,
+                lat: r.lat,
+                lon: r.lon,
+            },
+        );
+    }
+    db
+}
+
+/// The region whose prefix space is reserved for CDN edge servers.
+/// The paper excludes CDN destinations from midpoint computation because
+/// "they give information about the user's device location, but not the
+/// location of the sites the user is visiting" (§4.2).
+pub fn cdn_region() -> Region {
+    builtin_regions()
+        .into_iter()
+        .find(|r| r.name == "cdn-global")
+        .expect("builtin region list contains cdn-global")
+}
+
+/// Prefix set of CDN space (Akamai/AWS/CloudFront/Optimizely equivalents).
+pub fn cdn_prefixes() -> PrefixSet {
+    PrefixSet::from_iter([cdn_region().prefix])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn country_code_roundtrip() {
+        let us = CountryCode::new("US");
+        assert_eq!(us.as_str(), "US");
+        assert_eq!(us, CountryCode::US);
+        assert_eq!(us.to_string(), "US");
+    }
+
+    #[test]
+    fn lookup_longest_prefix_wins() {
+        let mut db = GeoDb::new();
+        db.insert(
+            "10.0.0.0/8".parse().unwrap(),
+            GeoEntry {
+                country: CountryCode::new("US"),
+                lat: 1.0,
+                lon: 2.0,
+            },
+        );
+        db.insert(
+            "10.1.0.0/16".parse().unwrap(),
+            GeoEntry {
+                country: CountryCode::new("CN"),
+                lat: 3.0,
+                lon: 4.0,
+            },
+        );
+        assert_eq!(
+            db.lookup(Ipv4Addr::new(10, 1, 2, 3)).unwrap().country,
+            CountryCode::new("CN")
+        );
+        assert_eq!(
+            db.lookup(Ipv4Addr::new(10, 2, 2, 3)).unwrap().country,
+            CountryCode::new("US")
+        );
+        assert!(db.lookup(Ipv4Addr::new(11, 0, 0, 1)).is_none());
+    }
+
+    #[test]
+    fn builtin_regions_do_not_overlap() {
+        let regions = builtin_regions();
+        for (i, a) in regions.iter().enumerate() {
+            for b in &regions[i + 1..] {
+                assert!(
+                    !a.prefix.contains(b.prefix.network())
+                        && !b.prefix.contains(a.prefix.network()),
+                    "{} overlaps {}",
+                    a.name,
+                    b.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn builtin_geodb_covers_all_regions() {
+        let db = builtin_geodb();
+        for r in builtin_regions() {
+            let hit = db.lookup(r.prefix.first_host()).unwrap();
+            assert_eq!(hit.country, r.country, "{}", r.name);
+        }
+    }
+
+    #[test]
+    fn cdn_space_is_identified() {
+        let cdns = cdn_prefixes();
+        let r = cdn_region();
+        assert!(cdns.contains(r.prefix.first_host()));
+        assert!(!cdns.contains(Ipv4Addr::new(23, 0, 0, 1))); // us-west is not CDN
+    }
+}

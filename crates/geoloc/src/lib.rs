@@ -1,0 +1,23 @@
+//! # geoloc — geolocation and sub-population segmentation
+//!
+//! Implements §4.2 of the paper: geolocate the destinations each device
+//! contacted in February (excluding CDNs), compute the byte-weighted
+//! geographic midpoint per device, and classify the device as domestic or
+//! international depending on whether that midpoint falls inside the
+//! United States.
+//!
+//! * [`atlas`] — the longest-prefix-match geolocation database and the
+//!   built-in synthetic world the trace generator and pipeline share.
+//! * [`midpoint`] — spherical weighted midpoints, the US border test, and
+//!   the [`midpoint::IntlClassifier`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod atlas;
+pub mod midpoint;
+
+pub use atlas::{
+    builtin_geodb, builtin_regions, cdn_prefixes, CountryCode, GeoDb, GeoEntry, Region,
+};
+pub use midpoint::{in_united_states, IntlClassifier, MidpointAccumulator, SubPop};

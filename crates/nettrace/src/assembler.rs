@@ -1,0 +1,403 @@
+//! The flow assembler: packets in, Zeek-style flow records out.
+//!
+//! This is the reproduction's stand-in for the Zeek connection tracker the
+//! campus pipeline runs (§3). It maintains a table of live flows keyed by
+//! the bidirectional 5-tuple; the *originator* of a flow is the source of
+//! its first observed packet. Flows complete when
+//!
+//! * a TCP connection closes (FIN seen from both sides, or an RST), or
+//! * the flow sits idle past a protocol-specific timeout, or
+//! * the caller flushes the table at end of capture.
+//!
+//! Timeouts default to Zeek's: 5 minutes of inactivity for TCP, 1 minute
+//! for UDP and other protocols. These are the knobs the
+//! `ablate_assembler_timeout` bench sweeps.
+//!
+//! Expiry is amortized: the table is swept for idle flows at most once per
+//! `sweep_interval`, so per-packet cost stays O(1) expected.
+
+use crate::flow::{FlowKey, FlowRecord, Proto};
+use crate::packet::PacketMeta;
+use crate::tcp::Flags;
+use crate::time::Timestamp;
+use std::collections::HashMap;
+
+/// Tunable timeouts for flow completion.
+#[derive(Debug, Clone, Copy)]
+pub struct AssemblerConfig {
+    /// Idle timeout for TCP flows, seconds.
+    pub tcp_idle_timeout_secs: i64,
+    /// Idle timeout for UDP flows, seconds.
+    pub udp_idle_timeout_secs: i64,
+    /// Idle timeout for other IP protocols, seconds.
+    pub other_idle_timeout_secs: i64,
+    /// How often (in trace time) to sweep for idle flows, seconds.
+    pub sweep_interval_secs: i64,
+}
+
+impl Default for AssemblerConfig {
+    fn default() -> Self {
+        AssemblerConfig {
+            tcp_idle_timeout_secs: 300,
+            udp_idle_timeout_secs: 60,
+            other_idle_timeout_secs: 60,
+            sweep_interval_secs: 30,
+        }
+    }
+}
+
+#[derive(Debug)]
+struct FlowState {
+    first_ts: Timestamp,
+    last_ts: Timestamp,
+    orig_bytes: u64,
+    resp_bytes: u64,
+    orig_pkts: u32,
+    resp_pkts: u32,
+    orig_fin: bool,
+    resp_fin: bool,
+}
+
+impl FlowState {
+    fn to_record(&self, key: FlowKey) -> FlowRecord {
+        FlowRecord {
+            ts: self.first_ts,
+            duration_micros: self.last_ts.delta_micros(self.first_ts),
+            orig: key.orig,
+            orig_port: key.orig_port,
+            resp: key.resp,
+            resp_port: key.resp_port,
+            proto: key.proto,
+            orig_bytes: self.orig_bytes,
+            resp_bytes: self.resp_bytes,
+            orig_pkts: self.orig_pkts,
+            resp_pkts: self.resp_pkts,
+        }
+    }
+}
+
+/// The packet-to-flow assembler. See the module docs.
+pub struct FlowAssembler {
+    cfg: AssemblerConfig,
+    table: HashMap<FlowKey, FlowState>,
+    completed: Vec<FlowRecord>,
+    last_sweep: Option<Timestamp>,
+}
+
+impl FlowAssembler {
+    /// Create an assembler with the given configuration.
+    pub fn new(cfg: AssemblerConfig) -> Self {
+        FlowAssembler {
+            cfg,
+            table: HashMap::new(),
+            completed: Vec::new(),
+            last_sweep: None,
+        }
+    }
+
+    /// Create an assembler with Zeek-like default timeouts.
+    pub fn with_defaults() -> Self {
+        Self::new(AssemblerConfig::default())
+    }
+
+    /// Number of flows currently live in the table.
+    pub fn live_flows(&self) -> usize {
+        self.table.len()
+    }
+
+    fn timeout_for(&self, proto: Proto) -> i64 {
+        match proto {
+            Proto::Tcp => self.cfg.tcp_idle_timeout_secs,
+            Proto::Udp => self.cfg.udp_idle_timeout_secs,
+            Proto::Other(_) => self.cfg.other_idle_timeout_secs,
+        }
+    }
+
+    /// Feed one packet into the table. Packets must be fed in
+    /// non-decreasing timestamp order for timeouts to behave; minor
+    /// reordering only perturbs flow boundaries, never panics.
+    pub fn push(&mut self, pkt: &PacketMeta) {
+        self.maybe_sweep(pkt.ts);
+
+        let fwd = FlowKey {
+            orig: pkt.src_ip,
+            orig_port: pkt.src_port,
+            resp: pkt.dst_ip,
+            resp_port: pkt.dst_port,
+            proto: pkt.proto,
+        };
+        let rev = fwd.reversed();
+
+        // Find the live flow this packet belongs to, honoring orientation.
+        let (key, is_orig) = if self.table.contains_key(&fwd) {
+            (fwd, true)
+        } else if self.table.contains_key(&rev) {
+            (rev, false)
+        } else {
+            (fwd, true)
+        };
+
+        // Idle-expire the matched flow first if this packet arrives after
+        // its timeout horizon: the packet then starts a *new* flow, which
+        // is how Zeek splits long-lived chatty services into sessions.
+        let timeout = self.timeout_for(pkt.proto);
+        if let Some(state) = self.table.get(&key) {
+            if pkt.ts.delta_secs(state.last_ts) > timeout {
+                let state = self.table.remove(&key).expect("checked above");
+                self.completed.push(state.to_record(key));
+            }
+        }
+
+        let entry = self.table.entry(key).or_insert_with(|| FlowState {
+            first_ts: pkt.ts,
+            last_ts: pkt.ts,
+            orig_bytes: 0,
+            resp_bytes: 0,
+            orig_pkts: 0,
+            resp_pkts: 0,
+            orig_fin: false,
+            resp_fin: false,
+        });
+        if pkt.ts > entry.last_ts {
+            entry.last_ts = pkt.ts;
+        }
+        if is_orig {
+            entry.orig_bytes += u64::from(pkt.payload_len);
+            entry.orig_pkts += 1;
+        } else {
+            entry.resp_bytes += u64::from(pkt.payload_len);
+            entry.resp_pkts += 1;
+        }
+
+        // TCP teardown.
+        if let Some(flags) = pkt.tcp_flags {
+            if flags.contains(Flags::RST) {
+                let state = self.table.remove(&key).expect("just inserted");
+                self.completed.push(state.to_record(key));
+                return;
+            }
+            if flags.contains(Flags::FIN) {
+                if is_orig {
+                    entry.orig_fin = true;
+                } else {
+                    entry.resp_fin = true;
+                }
+                if entry.orig_fin && entry.resp_fin {
+                    let state = self.table.remove(&key).expect("just inserted");
+                    self.completed.push(state.to_record(key));
+                }
+            }
+        }
+    }
+
+    fn maybe_sweep(&mut self, now: Timestamp) {
+        match self.last_sweep {
+            Some(t) if now.delta_secs(t) < self.cfg.sweep_interval_secs => return,
+            _ => {}
+        }
+        self.last_sweep = Some(now);
+        let cfg = self.cfg;
+        let expired: Vec<FlowKey> = self
+            .table
+            .iter()
+            .filter(|(k, s)| {
+                let timeout = match k.proto {
+                    Proto::Tcp => cfg.tcp_idle_timeout_secs,
+                    Proto::Udp => cfg.udp_idle_timeout_secs,
+                    Proto::Other(_) => cfg.other_idle_timeout_secs,
+                };
+                now.delta_secs(s.last_ts) > timeout
+            })
+            .map(|(k, _)| *k)
+            .collect();
+        for k in expired {
+            let state = self.table.remove(&k).expect("collected above");
+            self.completed.push(state.to_record(k));
+        }
+    }
+
+    /// Take all flows completed so far.
+    pub fn drain_completed(&mut self) -> Vec<FlowRecord> {
+        std::mem::take(&mut self.completed)
+    }
+
+    /// Close every live flow (end of capture) and return all remaining
+    /// records, completed-then-flushed, sorted by start time for
+    /// determinism.
+    pub fn flush(&mut self) -> Vec<FlowRecord> {
+        let mut out = std::mem::take(&mut self.completed);
+        for (k, s) in self.table.drain() {
+            out.push(s.to_record(k));
+        }
+        out.sort_by_key(|f| (f.ts, f.orig, f.orig_port, f.resp, f.resp_port));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mac::MacAddr;
+    use std::net::Ipv4Addr;
+
+    fn pkt(
+        ts_secs: i64,
+        src: (Ipv4Addr, u16),
+        dst: (Ipv4Addr, u16),
+        proto: Proto,
+        len: u32,
+        flags: Option<Flags>,
+    ) -> PacketMeta {
+        PacketMeta {
+            ts: Timestamp::from_secs(ts_secs),
+            src_mac: MacAddr::new(0, 0, 0, 0, 0, 1),
+            dst_mac: MacAddr::new(0, 0, 0, 0, 0, 2),
+            src_ip: src.0,
+            dst_ip: dst.0,
+            proto,
+            src_port: src.1,
+            dst_port: dst.1,
+            payload_len: len,
+            tcp_flags: flags,
+        }
+    }
+
+    const CLIENT: Ipv4Addr = Ipv4Addr::new(10, 40, 0, 1);
+    const SERVER: Ipv4Addr = Ipv4Addr::new(93, 184, 216, 34);
+
+    #[test]
+    fn tcp_handshake_data_teardown_yields_one_flow() {
+        let mut a = FlowAssembler::with_defaults();
+        let c = (CLIENT, 50_000u16);
+        let s = (SERVER, 443u16);
+        a.push(&pkt(100, c, s, Proto::Tcp, 0, Some(Flags::SYN)));
+        a.push(&pkt(
+            100,
+            s,
+            c,
+            Proto::Tcp,
+            0,
+            Some(Flags::SYN.union(Flags::ACK)),
+        ));
+        a.push(&pkt(101, c, s, Proto::Tcp, 500, Some(Flags::ACK)));
+        a.push(&pkt(102, s, c, Proto::Tcp, 40_000, Some(Flags::ACK)));
+        a.push(&pkt(
+            103,
+            c,
+            s,
+            Proto::Tcp,
+            0,
+            Some(Flags::FIN.union(Flags::ACK)),
+        ));
+        a.push(&pkt(
+            103,
+            s,
+            c,
+            Proto::Tcp,
+            0,
+            Some(Flags::FIN.union(Flags::ACK)),
+        ));
+        let flows = a.flush();
+        assert_eq!(flows.len(), 1);
+        let f = &flows[0];
+        assert_eq!(f.orig, CLIENT);
+        assert_eq!(f.resp_port, 443);
+        assert_eq!(f.orig_bytes, 500);
+        assert_eq!(f.resp_bytes, 40_000);
+        assert_eq!(f.orig_pkts, 3);
+        assert_eq!(f.resp_pkts, 3);
+        assert_eq!(f.duration_micros, 3_000_000);
+    }
+
+    #[test]
+    fn rst_closes_immediately() {
+        let mut a = FlowAssembler::with_defaults();
+        let c = (CLIENT, 50_001u16);
+        let s = (SERVER, 80u16);
+        a.push(&pkt(10, c, s, Proto::Tcp, 0, Some(Flags::SYN)));
+        a.push(&pkt(11, s, c, Proto::Tcp, 0, Some(Flags::RST)));
+        assert_eq!(a.live_flows(), 0);
+        assert_eq!(a.drain_completed().len(), 1);
+    }
+
+    #[test]
+    fn udp_idle_timeout_splits_sessions() {
+        let mut a = FlowAssembler::with_defaults(); // udp timeout 60s
+        let c = (CLIENT, 40_000u16);
+        let s = (SERVER, 53u16);
+        a.push(&pkt(0, c, s, Proto::Udp, 60, None));
+        a.push(&pkt(1, s, c, Proto::Udp, 200, None));
+        // 100 s of silence > 60 s timeout: next packet starts a new flow.
+        a.push(&pkt(101, c, s, Proto::Udp, 60, None));
+        let flows = a.flush();
+        assert_eq!(flows.len(), 2);
+        assert_eq!(flows[0].orig_bytes, 60);
+        assert_eq!(flows[0].resp_bytes, 200);
+        assert_eq!(flows[1].orig_bytes, 60);
+        assert_eq!(flows[1].resp_bytes, 0);
+    }
+
+    #[test]
+    fn orientation_follows_first_packet() {
+        let mut a = FlowAssembler::with_defaults();
+        let c = (CLIENT, 60_000u16);
+        let s = (SERVER, 443u16);
+        // Server-first (e.g. capture started mid-flow): server becomes orig.
+        a.push(&pkt(5, s, c, Proto::Tcp, 100, Some(Flags::ACK)));
+        a.push(&pkt(6, c, s, Proto::Tcp, 50, Some(Flags::ACK)));
+        let flows = a.flush();
+        assert_eq!(flows.len(), 1);
+        assert_eq!(flows[0].orig, SERVER);
+        assert_eq!(flows[0].orig_bytes, 100);
+        assert_eq!(flows[0].resp_bytes, 50);
+    }
+
+    #[test]
+    fn sweep_expires_idle_flows_of_other_keys() {
+        let mut a = FlowAssembler::new(AssemblerConfig {
+            tcp_idle_timeout_secs: 10,
+            udp_idle_timeout_secs: 10,
+            other_idle_timeout_secs: 10,
+            sweep_interval_secs: 5,
+        });
+        let c1 = (CLIENT, 1u16);
+        let c2 = (CLIENT, 2u16);
+        let s = (SERVER, 443u16);
+        a.push(&pkt(0, c1, s, Proto::Tcp, 10, Some(Flags::ACK)));
+        // Unrelated traffic 100 s later triggers the sweep.
+        a.push(&pkt(100, c2, s, Proto::Tcp, 10, Some(Flags::ACK)));
+        let done = a.drain_completed();
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].orig_port, 1);
+        assert_eq!(a.live_flows(), 1);
+    }
+
+    #[test]
+    fn flush_orders_deterministically() {
+        let mut a = FlowAssembler::with_defaults();
+        let s = (SERVER, 443u16);
+        for port in [5u16, 3, 4, 1, 2] {
+            a.push(&pkt(
+                i64::from(port),
+                (CLIENT, port),
+                s,
+                Proto::Udp,
+                10,
+                None,
+            ));
+        }
+        let flows = a.flush();
+        let starts: Vec<i64> = flows.iter().map(|f| f.ts.secs()).collect();
+        assert_eq!(starts, vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn non_tcp_udp_flows_are_tracked() {
+        let mut a = FlowAssembler::with_defaults();
+        a.push(&pkt(0, (CLIENT, 0), (SERVER, 0), Proto::Other(1), 64, None));
+        let flows = a.flush();
+        assert_eq!(flows.len(), 1);
+        assert_eq!(flows[0].proto, Proto::Other(1));
+        assert_eq!(flows[0].orig_bytes, 64);
+    }
+}

@@ -1,0 +1,100 @@
+//! Error type shared across the substrate.
+
+use std::fmt;
+
+/// Errors produced while parsing or emitting wire formats.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// The buffer is shorter than the header (or payload length field)
+    /// requires. Carries the number of bytes that were needed.
+    Truncated {
+        /// What was being parsed when the buffer ran out.
+        what: &'static str,
+        /// Bytes required to make progress.
+        needed: usize,
+        /// Bytes actually available.
+        available: usize,
+    },
+    /// A field holds a value the codec cannot represent or forward
+    /// (e.g. an EtherType we do not speak, an IP version that is not 4).
+    Unsupported {
+        /// What was being parsed.
+        what: &'static str,
+        /// The offending value, widened for display.
+        value: u64,
+    },
+    /// A structurally invalid field (e.g. IHL < 5, checksum mismatch when
+    /// verification is requested, bad magic number in a pcap file).
+    Malformed {
+        /// What was being parsed.
+        what: &'static str,
+        /// Human-readable description of the violation.
+        detail: &'static str,
+    },
+    /// Wrapper for I/O errors from the pcap reader/writer, flattened to a
+    /// string so the error stays `Clone + Eq` (the underlying `io::Error`
+    /// is neither).
+    Io(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Truncated {
+                what,
+                needed,
+                available,
+            } => write!(f, "truncated {what}: need {needed} bytes, have {available}"),
+            Error::Unsupported { what, value } => {
+                write!(f, "unsupported {what}: value {value:#x}")
+            }
+            Error::Malformed { what, detail } => write!(f, "malformed {what}: {detail}"),
+            Error::Io(msg) => write!(f, "i/o error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Self {
+        Error::Io(e.to_string())
+    }
+}
+
+/// Convenience alias used throughout the substrate.
+pub type Result<T> = std::result::Result<T, Error>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_truncated() {
+        let e = Error::Truncated {
+            what: "ipv4 header",
+            needed: 20,
+            available: 7,
+        };
+        assert_eq!(
+            e.to_string(),
+            "truncated ipv4 header: need 20 bytes, have 7"
+        );
+    }
+
+    #[test]
+    fn display_unsupported() {
+        let e = Error::Unsupported {
+            what: "ethertype",
+            value: 0x86dd,
+        };
+        assert!(e.to_string().contains("0x86dd"));
+    }
+
+    #[test]
+    fn io_error_converts() {
+        let io = std::io::Error::new(std::io::ErrorKind::UnexpectedEof, "eof");
+        let e: Error = io.into();
+        assert!(matches!(e, Error::Io(_)));
+    }
+}

@@ -1,0 +1,137 @@
+//! Ethernet II frame codec.
+//!
+//! Zero-copy wrapper over a byte buffer, in the `smoltcp` idiom: a `Frame`
+//! borrows the buffer, getters read fields at fixed offsets, setters write
+//! them. Only regular Ethernet II is supported (no 802.1Q, no jumbo
+//! frames) — the campus mirror delivers plain frames.
+
+use crate::error::{Error, Result};
+use crate::mac::MacAddr;
+
+/// Length of an Ethernet II header in bytes.
+pub const HEADER_LEN: usize = 14;
+
+/// EtherType values the pipeline understands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EtherType {
+    /// IPv4 (0x0800).
+    Ipv4,
+    /// ARP (0x0806) — parsed so the assembler can skip it cleanly.
+    Arp,
+    /// IPv6 (0x86DD) — recognized but not decoded further.
+    Ipv6,
+    /// Anything else.
+    Unknown(u16),
+}
+
+impl EtherType {
+    /// Wire value.
+    pub fn value(self) -> u16 {
+        match self {
+            EtherType::Ipv4 => 0x0800,
+            EtherType::Arp => 0x0806,
+            EtherType::Ipv6 => 0x86dd,
+            EtherType::Unknown(v) => v,
+        }
+    }
+
+    /// Classify a wire value.
+    pub fn from_value(v: u16) -> EtherType {
+        match v {
+            0x0800 => EtherType::Ipv4,
+            0x0806 => EtherType::Arp,
+            0x86dd => EtherType::Ipv6,
+            other => EtherType::Unknown(other),
+        }
+    }
+}
+
+/// An immutable view of an Ethernet II frame.
+#[derive(Debug, Clone, Copy)]
+pub struct Frame<'a> {
+    buf: &'a [u8],
+}
+
+impl<'a> Frame<'a> {
+    /// Wrap a buffer, verifying it is long enough for the header.
+    pub fn parse(buf: &'a [u8]) -> Result<Frame<'a>> {
+        if buf.len() < HEADER_LEN {
+            return Err(Error::Truncated {
+                what: "ethernet frame",
+                needed: HEADER_LEN,
+                available: buf.len(),
+            });
+        }
+        Ok(Frame { buf })
+    }
+
+    /// Destination MAC address.
+    pub fn dst(&self) -> MacAddr {
+        let mut m = [0u8; 6];
+        m.copy_from_slice(&self.buf[0..6]);
+        MacAddr(m)
+    }
+
+    /// Source MAC address.
+    pub fn src(&self) -> MacAddr {
+        let mut m = [0u8; 6];
+        m.copy_from_slice(&self.buf[6..12]);
+        MacAddr(m)
+    }
+
+    /// EtherType field.
+    pub fn ethertype(&self) -> EtherType {
+        EtherType::from_value(u16::from_be_bytes([self.buf[12], self.buf[13]]))
+    }
+
+    /// The payload following the header.
+    pub fn payload(&self) -> &'a [u8] {
+        &self.buf[HEADER_LEN..]
+    }
+}
+
+/// Serialize an Ethernet II header followed by `payload` into a fresh
+/// vector.
+pub fn emit(dst: MacAddr, src: MacAddr, ethertype: EtherType, payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
+    out.extend_from_slice(&dst.0);
+    out.extend_from_slice(&src.0);
+    out.extend_from_slice(&ethertype.value().to_be_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn emit_parse_roundtrip() {
+        let dst = MacAddr::new(0xaa, 0xbb, 0xcc, 0xdd, 0xee, 0xff);
+        let src = MacAddr::new(0x11, 0x22, 0x33, 0x44, 0x55, 0x66);
+        let frame = emit(dst, src, EtherType::Ipv4, b"payload");
+        let parsed = Frame::parse(&frame).unwrap();
+        assert_eq!(parsed.dst(), dst);
+        assert_eq!(parsed.src(), src);
+        assert_eq!(parsed.ethertype(), EtherType::Ipv4);
+        assert_eq!(parsed.payload(), b"payload");
+    }
+
+    #[test]
+    fn parse_rejects_short_buffer() {
+        let e = Frame::parse(&[0u8; 13]).unwrap_err();
+        assert!(matches!(e, Error::Truncated { needed: 14, .. }));
+    }
+
+    #[test]
+    fn ethertype_values_roundtrip() {
+        for t in [
+            EtherType::Ipv4,
+            EtherType::Arp,
+            EtherType::Ipv6,
+            EtherType::Unknown(0x1234),
+        ] {
+            assert_eq!(EtherType::from_value(t.value()), t);
+        }
+    }
+}

@@ -1,0 +1,215 @@
+//! Flow records — the lingua franca of the measurement pipeline.
+//!
+//! The campus system "uses Zeek to extract flows from the set of
+//! connections between each device and remote server" (§3). We model two
+//! stages of that data:
+//!
+//! * [`FlowRecord`] — a raw, IP-addressed bidirectional flow as the flow
+//!   extractor emits it (the analogue of a Zeek `conn.log` row).
+//! * [`DeviceFlow`] — the same flow after DHCP normalization: the dynamic
+//!   campus-side IP has been replaced by an anonymized [`DeviceId`] and the
+//!   byte counters re-oriented as device-transmit / device-receive.
+
+use crate::mac::DeviceId;
+use crate::time::Timestamp;
+use std::net::Ipv4Addr;
+
+/// Transport protocol of a flow. The pipeline only distinguishes TCP and
+/// UDP (everything the paper measures rides on one of the two); other IP
+/// protocols are bucketed as `Other`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Proto {
+    /// Transmission Control Protocol.
+    Tcp,
+    /// User Datagram Protocol.
+    Udp,
+    /// Any other IP protocol (carries the IP protocol number).
+    Other(u8),
+}
+
+impl Proto {
+    /// IP protocol number.
+    pub fn number(self) -> u8 {
+        match self {
+            Proto::Tcp => 6,
+            Proto::Udp => 17,
+            Proto::Other(n) => n,
+        }
+    }
+
+    /// Classify an IP protocol number.
+    pub fn from_number(n: u8) -> Proto {
+        match n {
+            6 => Proto::Tcp,
+            17 => Proto::Udp,
+            other => Proto::Other(other),
+        }
+    }
+}
+
+/// The 5-tuple identifying a flow, oriented originator → responder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FlowKey {
+    /// Originator (first-packet source) address.
+    pub orig: Ipv4Addr,
+    /// Originator port.
+    pub orig_port: u16,
+    /// Responder address.
+    pub resp: Ipv4Addr,
+    /// Responder port.
+    pub resp_port: u16,
+    /// Transport protocol.
+    pub proto: Proto,
+}
+
+impl FlowKey {
+    /// The same key with the endpoints swapped (responder's view).
+    pub fn reversed(self) -> FlowKey {
+        FlowKey {
+            orig: self.resp,
+            orig_port: self.resp_port,
+            resp: self.orig,
+            resp_port: self.orig_port,
+            proto: self.proto,
+        }
+    }
+}
+
+/// A bidirectional flow record in the style of Zeek's `conn.log`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlowRecord {
+    /// Start of the flow (first packet).
+    pub ts: Timestamp,
+    /// Flow duration in microseconds (last packet minus first).
+    pub duration_micros: i64,
+    /// Originator address (for monitored traffic, the campus device).
+    pub orig: Ipv4Addr,
+    /// Originator port.
+    pub orig_port: u16,
+    /// Responder address (the remote server).
+    pub resp: Ipv4Addr,
+    /// Responder port.
+    pub resp_port: u16,
+    /// Transport protocol.
+    pub proto: Proto,
+    /// Payload bytes sent by the originator.
+    pub orig_bytes: u64,
+    /// Payload bytes sent by the responder.
+    pub resp_bytes: u64,
+    /// Packets sent by the originator.
+    pub orig_pkts: u32,
+    /// Packets sent by the responder.
+    pub resp_pkts: u32,
+}
+
+impl FlowRecord {
+    /// The flow's 5-tuple key.
+    pub fn key(&self) -> FlowKey {
+        FlowKey {
+            orig: self.orig,
+            orig_port: self.orig_port,
+            resp: self.resp,
+            resp_port: self.resp_port,
+            proto: self.proto,
+        }
+    }
+
+    /// Total payload bytes in both directions.
+    pub fn total_bytes(&self) -> u64 {
+        self.orig_bytes + self.resp_bytes
+    }
+
+    /// Timestamp of the end of the flow.
+    pub fn end(&self) -> Timestamp {
+        self.ts.add_micros(self.duration_micros)
+    }
+
+    /// Flow duration in fractional seconds (Zeek's representation).
+    pub fn duration_secs(&self) -> f64 {
+        self.duration_micros as f64 / 1e6
+    }
+}
+
+/// A flow after DHCP normalization: attributed to an anonymized device.
+///
+/// Orientation is device-centric: `tx_bytes` left the device, `rx_bytes`
+/// arrived at it, regardless of which endpoint originated the connection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeviceFlow {
+    /// The anonymized on-campus device.
+    pub device: DeviceId,
+    /// Start of the flow.
+    pub ts: Timestamp,
+    /// Flow duration in microseconds.
+    pub duration_micros: i64,
+    /// The remote (off-device) endpoint.
+    pub remote: Ipv4Addr,
+    /// Remote port (the service port for outbound connections).
+    pub remote_port: u16,
+    /// Transport protocol.
+    pub proto: Proto,
+    /// Bytes transmitted by the device.
+    pub tx_bytes: u64,
+    /// Bytes received by the device.
+    pub rx_bytes: u64,
+}
+
+impl DeviceFlow {
+    /// Total payload bytes in both directions.
+    pub fn total_bytes(&self) -> u64 {
+        self.tx_bytes + self.rx_bytes
+    }
+
+    /// Timestamp of the end of the flow.
+    pub fn end(&self) -> Timestamp {
+        self.ts.add_micros(self.duration_micros)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> FlowRecord {
+        FlowRecord {
+            ts: Timestamp::from_secs(1_580_515_200),
+            duration_micros: 2_500_000,
+            orig: Ipv4Addr::new(10, 40, 1, 2),
+            orig_port: 50_123,
+            resp: Ipv4Addr::new(93, 184, 216, 34),
+            resp_port: 443,
+            proto: Proto::Tcp,
+            orig_bytes: 1_000,
+            resp_bytes: 50_000,
+            orig_pkts: 20,
+            resp_pkts: 45,
+        }
+    }
+
+    #[test]
+    fn totals_and_end() {
+        let f = sample();
+        assert_eq!(f.total_bytes(), 51_000);
+        assert_eq!(f.end().secs(), 1_580_515_202);
+        assert_eq!(f.end().subsec_micros(), 500_000);
+        assert!((f.duration_secs() - 2.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn key_reversal_is_involution() {
+        let k = sample().key();
+        assert_eq!(k.reversed().reversed(), k);
+        assert_ne!(k.reversed(), k);
+        assert_eq!(k.reversed().orig_port, 443);
+    }
+
+    #[test]
+    fn proto_numbers_roundtrip() {
+        for n in 0u8..=255 {
+            assert_eq!(Proto::from_number(n).number(), n);
+        }
+        assert_eq!(Proto::from_number(6), Proto::Tcp);
+        assert_eq!(Proto::from_number(17), Proto::Udp);
+        assert_eq!(Proto::from_number(1), Proto::Other(1));
+    }
+}

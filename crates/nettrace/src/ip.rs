@@ -1,0 +1,285 @@
+//! IPv4 address utilities: CIDR prefixes, prefix sets, and the campus
+//! address plan.
+//!
+//! The pipeline deals almost exclusively in IPv4 (the residential network
+//! under study is IPv4; the paper's Zoom signature is a list of IPv4
+//! ranges). We wrap `std::net::Ipv4Addr` with prefix arithmetic rather
+//! than re-implementing addresses.
+
+use crate::error::{Error, Result};
+use std::fmt;
+use std::net::Ipv4Addr;
+use std::str::FromStr;
+
+/// An IPv4 CIDR prefix such as `10.0.0.0/8`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Ipv4Cidr {
+    network: u32,
+    prefix_len: u8,
+}
+
+impl Ipv4Cidr {
+    /// Construct a prefix; the host bits of `addr` are masked off.
+    ///
+    /// # Panics
+    /// Panics if `prefix_len > 32`.
+    pub fn new(addr: Ipv4Addr, prefix_len: u8) -> Self {
+        assert!(prefix_len <= 32, "prefix length {prefix_len} out of range");
+        let mask = Self::mask_for(prefix_len);
+        Ipv4Cidr {
+            network: u32::from(addr) & mask,
+            prefix_len,
+        }
+    }
+
+    fn mask_for(prefix_len: u8) -> u32 {
+        if prefix_len == 0 {
+            0
+        } else {
+            u32::MAX << (32 - prefix_len)
+        }
+    }
+
+    /// The network address.
+    pub fn network(&self) -> Ipv4Addr {
+        Ipv4Addr::from(self.network)
+    }
+
+    /// The prefix length.
+    pub fn prefix_len(&self) -> u8 {
+        self.prefix_len
+    }
+
+    /// Number of addresses covered (saturates at `u32::MAX` for /0).
+    pub fn size(&self) -> u32 {
+        if self.prefix_len == 0 {
+            u32::MAX
+        } else {
+            1u32 << (32 - self.prefix_len)
+        }
+    }
+
+    /// Does this prefix contain `addr`?
+    pub fn contains(&self, addr: Ipv4Addr) -> bool {
+        u32::from(addr) & Self::mask_for(self.prefix_len) == self.network
+    }
+
+    /// The `index`-th address in the prefix (wrapping within the prefix),
+    /// useful for deterministically spreading synthetic hosts over a range.
+    pub fn nth(&self, index: u32) -> Ipv4Addr {
+        let span = self.size();
+        Ipv4Addr::from(self.network.wrapping_add(index % span))
+    }
+
+    /// First address strictly inside the prefix that is usable as a host
+    /// (network address + 1), for ranges wider than /31.
+    pub fn first_host(&self) -> Ipv4Addr {
+        if self.prefix_len >= 31 {
+            self.network()
+        } else {
+            Ipv4Addr::from(self.network + 1)
+        }
+    }
+}
+
+impl fmt::Display for Ipv4Cidr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.network(), self.prefix_len)
+    }
+}
+
+impl FromStr for Ipv4Cidr {
+    type Err = Error;
+
+    fn from_str(s: &str) -> Result<Self> {
+        let (addr, len) = s.split_once('/').ok_or(Error::Malformed {
+            what: "cidr",
+            detail: "missing '/'",
+        })?;
+        let addr: Ipv4Addr = addr.parse().map_err(|_| Error::Malformed {
+            what: "cidr",
+            detail: "bad address",
+        })?;
+        let len: u8 = len.parse().map_err(|_| Error::Malformed {
+            what: "cidr",
+            detail: "bad prefix length",
+        })?;
+        if len > 32 {
+            return Err(Error::Malformed {
+                what: "cidr",
+                detail: "prefix length > 32",
+            });
+        }
+        Ok(Ipv4Cidr::new(addr, len))
+    }
+}
+
+/// A set of CIDR prefixes supporting longest-prefix-match lookups.
+///
+/// Backed by a sorted vector per prefix length — simple and robust, and
+/// plenty fast for signature tables of a few hundred prefixes. (The design
+/// goal here is the smoltcp one: simplicity and robustness over cleverness.)
+#[derive(Debug, Clone)]
+pub struct PrefixSet {
+    // by_len[l] holds the sorted network addresses of all /l prefixes.
+    by_len: Vec<Vec<u32>>,
+    len: usize,
+}
+
+impl Default for PrefixSet {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PrefixSet {
+    /// An empty set.
+    pub fn new() -> Self {
+        PrefixSet {
+            by_len: vec![Vec::new(); 33],
+            len: 0,
+        }
+    }
+
+    /// Build from an iterator of prefixes.
+    pub fn from_iter<I: IntoIterator<Item = Ipv4Cidr>>(iter: I) -> Self {
+        let mut set = Self::new();
+        for p in iter {
+            set.insert(p);
+        }
+        set
+    }
+
+    /// Insert a prefix. Duplicates are ignored.
+    pub fn insert(&mut self, prefix: Ipv4Cidr) {
+        let bucket = &mut self.by_len[prefix.prefix_len as usize];
+        if let Err(pos) = bucket.binary_search(&prefix.network) {
+            bucket.insert(pos, prefix.network);
+            self.len += 1;
+        }
+    }
+
+    /// Number of prefixes stored.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Is the set empty?
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Does any prefix contain `addr`?
+    pub fn contains(&self, addr: Ipv4Addr) -> bool {
+        self.longest_match(addr).is_some()
+    }
+
+    /// The most specific prefix containing `addr`, if any.
+    pub fn longest_match(&self, addr: Ipv4Addr) -> Option<Ipv4Cidr> {
+        let a = u32::from(addr);
+        for len in (0..=32u8).rev() {
+            let bucket = &self.by_len[len as usize];
+            if bucket.is_empty() {
+                continue;
+            }
+            let network = a & Ipv4Cidr::mask_for(len);
+            if bucket.binary_search(&network).is_ok() {
+                return Some(Ipv4Cidr {
+                    network,
+                    prefix_len: len,
+                });
+            }
+        }
+        None
+    }
+}
+
+/// The campus residential address plan used by the synthetic trace.
+///
+/// The real network assigns dynamic addresses from RFC1918 space; we fix a
+/// /16 for residence-hall DHCP pools so "is this endpoint a monitored
+/// device?" is a prefix test, exactly as the mirror port's filter works.
+pub mod campus {
+    use super::*;
+
+    /// The residence-hall DHCP pool.
+    pub fn residential_pool() -> Ipv4Cidr {
+        Ipv4Cidr::new(Ipv4Addr::new(10, 40, 0, 0), 16)
+    }
+
+    /// Is `addr` inside the monitored residential network?
+    pub fn is_residential(addr: Ipv4Addr) -> bool {
+        residential_pool().contains(addr)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cidr_contains_and_masks() {
+        let c: Ipv4Cidr = "192.168.1.0/24".parse().unwrap();
+        assert!(c.contains(Ipv4Addr::new(192, 168, 1, 77)));
+        assert!(!c.contains(Ipv4Addr::new(192, 168, 2, 1)));
+        assert_eq!(c.size(), 256);
+        // Host bits are masked off at construction.
+        let d = Ipv4Cidr::new(Ipv4Addr::new(192, 168, 1, 99), 24);
+        assert_eq!(d.network(), Ipv4Addr::new(192, 168, 1, 0));
+    }
+
+    #[test]
+    fn cidr_edge_prefix_lengths() {
+        let all: Ipv4Cidr = "0.0.0.0/0".parse().unwrap();
+        assert!(all.contains(Ipv4Addr::new(255, 255, 255, 255)));
+        let host: Ipv4Cidr = "8.8.8.8/32".parse().unwrap();
+        assert!(host.contains(Ipv4Addr::new(8, 8, 8, 8)));
+        assert!(!host.contains(Ipv4Addr::new(8, 8, 8, 9)));
+        assert_eq!(host.size(), 1);
+    }
+
+    #[test]
+    fn cidr_parse_errors() {
+        assert!("10.0.0.0".parse::<Ipv4Cidr>().is_err());
+        assert!("10.0.0.0/33".parse::<Ipv4Cidr>().is_err());
+        assert!("10.0.0/8".parse::<Ipv4Cidr>().is_err());
+        assert!("10.0.0.0/x".parse::<Ipv4Cidr>().is_err());
+    }
+
+    #[test]
+    fn cidr_nth_wraps_within_prefix() {
+        let c: Ipv4Cidr = "10.0.0.0/30".parse().unwrap();
+        assert_eq!(c.nth(0), Ipv4Addr::new(10, 0, 0, 0));
+        assert_eq!(c.nth(3), Ipv4Addr::new(10, 0, 0, 3));
+        assert_eq!(c.nth(4), Ipv4Addr::new(10, 0, 0, 0));
+    }
+
+    #[test]
+    fn prefix_set_longest_match() {
+        let mut set = PrefixSet::new();
+        set.insert("10.0.0.0/8".parse().unwrap());
+        set.insert("10.1.0.0/16".parse().unwrap());
+        set.insert("10.1.2.0/24".parse().unwrap());
+        let m = set.longest_match(Ipv4Addr::new(10, 1, 2, 3)).unwrap();
+        assert_eq!(m.prefix_len(), 24);
+        let m = set.longest_match(Ipv4Addr::new(10, 1, 9, 9)).unwrap();
+        assert_eq!(m.prefix_len(), 16);
+        let m = set.longest_match(Ipv4Addr::new(10, 200, 0, 1)).unwrap();
+        assert_eq!(m.prefix_len(), 8);
+        assert!(set.longest_match(Ipv4Addr::new(11, 0, 0, 1)).is_none());
+    }
+
+    #[test]
+    fn prefix_set_dedupes() {
+        let mut set = PrefixSet::new();
+        set.insert("10.0.0.0/8".parse().unwrap());
+        set.insert("10.5.5.5/8".parse().unwrap()); // same network after masking
+        assert_eq!(set.len(), 1);
+    }
+
+    #[test]
+    fn campus_pool() {
+        assert!(campus::is_residential(Ipv4Addr::new(10, 40, 12, 34)));
+        assert!(!campus::is_residential(Ipv4Addr::new(10, 41, 0, 1)));
+    }
+}

@@ -1,0 +1,203 @@
+//! MAC addresses, vendor OUIs, and anonymized device identifiers.
+//!
+//! The campus pipeline normalizes dynamic IPs to per-device MAC addresses
+//! (via DHCP logs) and then *anonymizes* those MACs before any analysis —
+//! analyses only ever see an opaque [`DeviceId`]. The vendor prefix
+//! ([`Oui`]) is retained separately because device classification uses it
+//! (organizationally unique identifiers are one of the paper's
+//! classification heuristics, §3).
+
+use crate::error::{Error, Result};
+use std::fmt;
+use std::str::FromStr;
+
+/// A 48-bit IEEE 802 MAC address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct MacAddr(pub [u8; 6]);
+
+impl MacAddr {
+    /// The broadcast address `ff:ff:ff:ff:ff:ff`.
+    pub const BROADCAST: MacAddr = MacAddr([0xff; 6]);
+
+    /// Construct from the six octets.
+    pub const fn new(a: u8, b: u8, c: u8, d: u8, e: u8, f: u8) -> Self {
+        MacAddr([a, b, c, d, e, f])
+    }
+
+    /// Vendor prefix (first three octets).
+    pub const fn oui(self) -> Oui {
+        Oui([self.0[0], self.0[1], self.0[2]])
+    }
+
+    /// True if the locally-administered bit is set. Modern phones randomize
+    /// their WiFi MAC with this bit set, which degrades OUI-based
+    /// classification — exactly the noise source the paper's 84 % accuracy
+    /// audit observes.
+    pub const fn is_locally_administered(self) -> bool {
+        self.0[0] & 0x02 != 0
+    }
+
+    /// True for group (multicast/broadcast) addresses.
+    pub const fn is_multicast(self) -> bool {
+        self.0[0] & 0x01 != 0
+    }
+
+    /// Build a deterministic MAC from an OUI and a 24-bit device suffix.
+    pub const fn from_oui_suffix(oui: Oui, suffix: u32) -> Self {
+        MacAddr([
+            oui.0[0],
+            oui.0[1],
+            oui.0[2],
+            ((suffix >> 16) & 0xff) as u8,
+            ((suffix >> 8) & 0xff) as u8,
+            (suffix & 0xff) as u8,
+        ])
+    }
+}
+
+impl fmt::Display for MacAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:02x}:{:02x}:{:02x}:{:02x}:{:02x}:{:02x}",
+            self.0[0], self.0[1], self.0[2], self.0[3], self.0[4], self.0[5]
+        )
+    }
+}
+
+impl FromStr for MacAddr {
+    type Err = Error;
+
+    fn from_str(s: &str) -> Result<Self> {
+        let mut out = [0u8; 6];
+        let mut parts = s.split(':');
+        for slot in &mut out {
+            let part = parts.next().ok_or(Error::Malformed {
+                what: "mac address",
+                detail: "fewer than six octets",
+            })?;
+            *slot = u8::from_str_radix(part, 16).map_err(|_| Error::Malformed {
+                what: "mac address",
+                detail: "octet is not hex",
+            })?;
+        }
+        if parts.next().is_some() {
+            return Err(Error::Malformed {
+                what: "mac address",
+                detail: "more than six octets",
+            });
+        }
+        Ok(MacAddr(out))
+    }
+}
+
+/// A 24-bit organizationally unique identifier — the vendor prefix of a MAC
+/// address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Oui(pub [u8; 3]);
+
+impl Oui {
+    /// Construct from the three octets.
+    pub const fn new(a: u8, b: u8, c: u8) -> Self {
+        Oui([a, b, c])
+    }
+}
+
+impl fmt::Display for Oui {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:02x}:{:02x}:{:02x}", self.0[0], self.0[1], self.0[2])
+    }
+}
+
+/// An anonymized device token.
+///
+/// The real pipeline hashes MACs with a secret key and discards the raw
+/// data after processing (§3). We model the anonymization as a keyed
+/// 64-bit mix: one-way from the analyst's perspective, deterministic so
+/// DHCP normalization and the analyses agree on identity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct DeviceId(pub u64);
+
+impl DeviceId {
+    /// Anonymize a MAC under `key`. Uses the SplitMix64 finalizer, which is
+    /// a strong 64-bit mixer; with a secret random key the mapping is not
+    /// invertible in practice by an analyst who never sees raw MACs.
+    pub fn anonymize(mac: MacAddr, key: u64) -> DeviceId {
+        let mut x = u64::from(mac.0[0]) << 40
+            | u64::from(mac.0[1]) << 32
+            | u64::from(mac.0[2]) << 24
+            | u64::from(mac.0[3]) << 16
+            | u64::from(mac.0[4]) << 8
+            | u64::from(mac.0[5]);
+        x ^= key;
+        x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        DeviceId(x ^ (x >> 31))
+    }
+}
+
+impl fmt::Display for DeviceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "dev:{:016x}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_parse_roundtrip() {
+        let mac = MacAddr::new(0x00, 0x1a, 0x2b, 0x3c, 0x4d, 0x5e);
+        let s = mac.to_string();
+        assert_eq!(s, "00:1a:2b:3c:4d:5e");
+        assert_eq!(s.parse::<MacAddr>().unwrap(), mac);
+    }
+
+    #[test]
+    fn parse_rejects_bad_input() {
+        assert!("00:1a:2b:3c:4d".parse::<MacAddr>().is_err());
+        assert!("00:1a:2b:3c:4d:5e:6f".parse::<MacAddr>().is_err());
+        assert!("zz:1a:2b:3c:4d:5e".parse::<MacAddr>().is_err());
+    }
+
+    #[test]
+    fn oui_is_first_three_octets() {
+        let mac = MacAddr::new(0xf8, 0xff, 0xc2, 1, 2, 3);
+        assert_eq!(mac.oui(), Oui::new(0xf8, 0xff, 0xc2));
+    }
+
+    #[test]
+    fn locally_administered_bit() {
+        assert!(MacAddr::new(0x02, 0, 0, 0, 0, 0).is_locally_administered());
+        assert!(!MacAddr::new(0x00, 0, 0, 0, 0, 0).is_locally_administered());
+        assert!(MacAddr::BROADCAST.is_multicast());
+    }
+
+    #[test]
+    fn from_oui_suffix_assembles() {
+        let mac = MacAddr::from_oui_suffix(Oui::new(0xaa, 0xbb, 0xcc), 0x0102_03);
+        assert_eq!(mac, MacAddr::new(0xaa, 0xbb, 0xcc, 0x01, 0x02, 0x03));
+    }
+
+    #[test]
+    fn anonymization_is_deterministic_and_key_dependent() {
+        let mac = MacAddr::new(0x00, 0x1a, 0x2b, 0x3c, 0x4d, 0x5e);
+        let a = DeviceId::anonymize(mac, 42);
+        let b = DeviceId::anonymize(mac, 42);
+        let c = DeviceId::anonymize(mac, 43);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn anonymization_has_no_trivial_collisions() {
+        use std::collections::HashSet;
+        let mut seen = HashSet::new();
+        for i in 0u32..10_000 {
+            let mac = MacAddr::from_oui_suffix(Oui::new(0x00, 0x1a, 0x2b), i);
+            assert!(seen.insert(DeviceId::anonymize(mac, 7)), "collision at {i}");
+        }
+    }
+}

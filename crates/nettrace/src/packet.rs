@@ -1,0 +1,199 @@
+//! Whole-frame composition: parse an Ethernet frame down to transport
+//! metadata, or build one from scratch.
+//!
+//! The flow assembler does not need payload bytes, only accounting
+//! metadata; [`PacketMeta`] is that digest. Frames the pipeline does not
+//! monitor (ARP, IPv6, non-IP) parse to `None` rather than an error — they
+//! are legitimate traffic the tap simply skips, mirroring the production
+//! filter.
+
+use crate::error::Result;
+use crate::ethernet::{self, EtherType};
+use crate::flow::Proto;
+use crate::ipv4;
+use crate::mac::MacAddr;
+use crate::tcp::{self, Flags};
+use crate::time::Timestamp;
+use crate::udp;
+use std::net::Ipv4Addr;
+
+/// The per-packet digest consumed by the flow assembler.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PacketMeta {
+    /// Capture timestamp.
+    pub ts: Timestamp,
+    /// Source MAC (the campus device for outbound packets).
+    pub src_mac: MacAddr,
+    /// Destination MAC.
+    pub dst_mac: MacAddr,
+    /// Source IP.
+    pub src_ip: Ipv4Addr,
+    /// Destination IP.
+    pub dst_ip: Ipv4Addr,
+    /// Transport protocol.
+    pub proto: Proto,
+    /// Source port (0 for non-TCP/UDP).
+    pub src_port: u16,
+    /// Destination port (0 for non-TCP/UDP).
+    pub dst_port: u16,
+    /// Transport payload bytes (what Zeek counts as flow bytes).
+    pub payload_len: u32,
+    /// TCP flags, if TCP.
+    pub tcp_flags: Option<Flags>,
+}
+
+/// Parse a captured Ethernet frame into a [`PacketMeta`].
+///
+/// Returns `Ok(None)` for frames outside the monitored universe (ARP,
+/// IPv6, unknown EtherTypes, non-TCP/UDP transports are *kept* with zero
+/// ports). Malformed IPv4/TCP/UDP inside a frame is an error — the tap
+/// should never produce it and the caller decides whether to tolerate it.
+pub fn parse_frame(ts: Timestamp, frame: &[u8]) -> Result<Option<PacketMeta>> {
+    let eth = ethernet::Frame::parse(frame)?;
+    match eth.ethertype() {
+        EtherType::Ipv4 => {}
+        // Not an error: the monitor simply does not track these.
+        EtherType::Arp | EtherType::Ipv6 | EtherType::Unknown(_) => return Ok(None),
+    }
+    let ip = ipv4::Packet::parse(eth.payload())?;
+    let (src_port, dst_port, payload_len, tcp_flags) = match ip.protocol() {
+        Proto::Tcp => {
+            let seg = tcp::Segment::parse(ip.payload())?;
+            (
+                seg.src_port(),
+                seg.dst_port(),
+                seg.payload().len() as u32,
+                Some(seg.flags()),
+            )
+        }
+        Proto::Udp => {
+            let d = udp::Datagram::parse(ip.payload())?;
+            (d.src_port(), d.dst_port(), d.payload().len() as u32, None)
+        }
+        Proto::Other(_) => (0, 0, ip.payload().len() as u32, None),
+    };
+    Ok(Some(PacketMeta {
+        ts,
+        src_mac: eth.src(),
+        dst_mac: eth.dst(),
+        src_ip: ip.src(),
+        dst_ip: ip.dst(),
+        proto: ip.protocol(),
+        src_port,
+        dst_port,
+        payload_len,
+        tcp_flags,
+    }))
+}
+
+/// Parameters for building a synthetic frame.
+#[derive(Debug, Clone, Copy)]
+pub struct BuildSpec {
+    /// Source MAC.
+    pub src_mac: MacAddr,
+    /// Destination MAC.
+    pub dst_mac: MacAddr,
+    /// Source IP.
+    pub src_ip: Ipv4Addr,
+    /// Destination IP.
+    pub dst_ip: Ipv4Addr,
+    /// Source port.
+    pub src_port: u16,
+    /// Destination port.
+    pub dst_port: u16,
+    /// IP identification field (any value; used for variety in tests).
+    pub ident: u16,
+}
+
+/// Build a complete Ethernet+IPv4+TCP frame carrying `payload`.
+pub fn build_tcp(spec: BuildSpec, seq: u32, ack: u32, flags: Flags, payload: &[u8]) -> Vec<u8> {
+    let seg = tcp::emit(
+        spec.src_ip,
+        spec.dst_ip,
+        spec.src_port,
+        spec.dst_port,
+        seq,
+        ack,
+        flags,
+        payload,
+    );
+    let ip = ipv4::emit(spec.src_ip, spec.dst_ip, Proto::Tcp, spec.ident, &seg);
+    ethernet::emit(spec.dst_mac, spec.src_mac, EtherType::Ipv4, &ip)
+}
+
+/// Build a complete Ethernet+IPv4+UDP frame carrying `payload`.
+pub fn build_udp(spec: BuildSpec, payload: &[u8]) -> Vec<u8> {
+    let d = udp::emit(
+        spec.src_ip,
+        spec.dst_ip,
+        spec.src_port,
+        spec.dst_port,
+        payload,
+    );
+    let ip = ipv4::emit(spec.src_ip, spec.dst_ip, Proto::Udp, spec.ident, &d);
+    ethernet::emit(spec.dst_mac, spec.src_mac, EtherType::Ipv4, &ip)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> BuildSpec {
+        BuildSpec {
+            src_mac: MacAddr::new(0x00, 0x1a, 0x2b, 1, 2, 3),
+            dst_mac: MacAddr::new(0x00, 0x50, 0x56, 9, 9, 9),
+            src_ip: Ipv4Addr::new(10, 40, 1, 2),
+            dst_ip: Ipv4Addr::new(93, 184, 216, 34),
+            src_port: 49_152,
+            dst_port: 443,
+            ident: 0xbeef,
+        }
+    }
+
+    #[test]
+    fn tcp_frame_roundtrip() {
+        let t = Timestamp::from_secs(1_580_515_200);
+        let frame = build_tcp(spec(), 100, 0, Flags::SYN, b"hello");
+        let meta = parse_frame(t, &frame).unwrap().unwrap();
+        assert_eq!(meta.src_ip, Ipv4Addr::new(10, 40, 1, 2));
+        assert_eq!(meta.dst_port, 443);
+        assert_eq!(meta.payload_len, 5);
+        assert_eq!(meta.proto, Proto::Tcp);
+        assert!(meta.tcp_flags.unwrap().contains(Flags::SYN));
+        assert_eq!(meta.src_mac, spec().src_mac);
+    }
+
+    #[test]
+    fn udp_frame_roundtrip() {
+        let t = Timestamp::from_secs(0);
+        let frame = build_udp(spec(), &[0u8; 100]);
+        let meta = parse_frame(t, &frame).unwrap().unwrap();
+        assert_eq!(meta.proto, Proto::Udp);
+        assert_eq!(meta.payload_len, 100);
+        assert_eq!(meta.tcp_flags, None);
+    }
+
+    #[test]
+    fn non_ipv4_frames_are_skipped_not_errors() {
+        let arp = ethernet::emit(
+            MacAddr::BROADCAST,
+            spec().src_mac,
+            EtherType::Arp,
+            &[0u8; 28],
+        );
+        assert_eq!(parse_frame(Timestamp::from_secs(0), &arp).unwrap(), None);
+        let v6 = ethernet::emit(spec().dst_mac, spec().src_mac, EtherType::Ipv6, &[0u8; 40]);
+        assert_eq!(parse_frame(Timestamp::from_secs(0), &v6).unwrap(), None);
+    }
+
+    #[test]
+    fn malformed_inner_packet_is_error() {
+        let bad = ethernet::emit(
+            spec().dst_mac,
+            spec().src_mac,
+            EtherType::Ipv4,
+            &[0u8; 10], // too short for an IPv4 header
+        );
+        assert!(parse_frame(Timestamp::from_secs(0), &bad).is_err());
+    }
+}

@@ -1,0 +1,249 @@
+//! Classic libpcap file format reader and writer.
+//!
+//! Implements the original 24-byte-global-header format (magic
+//! `0xa1b2c3d4`, microsecond timestamps, LINKTYPE_ETHERNET), which every
+//! packet tool understands. Byte-swapped files (written on the other
+//! endianness) are read transparently.
+
+use crate::error::{Error, Result};
+use crate::time::Timestamp;
+use std::io::{Read, Write};
+
+/// Magic number for microsecond-resolution pcap, native byte order.
+pub const MAGIC: u32 = 0xa1b2_c3d4;
+/// LINKTYPE_ETHERNET.
+pub const LINKTYPE_ETHERNET: u32 = 1;
+/// Snap length we write (full frames; the synthetic path never exceeds it).
+pub const SNAPLEN: u32 = 65_535;
+
+/// A captured record: timestamp plus frame bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Capture {
+    /// Capture timestamp (microsecond resolution, as pcap stores).
+    pub ts: Timestamp,
+    /// The captured frame bytes.
+    pub frame: Vec<u8>,
+}
+
+/// Streaming pcap writer.
+pub struct Writer<W: Write> {
+    out: W,
+}
+
+impl<W: Write> Writer<W> {
+    /// Create a writer and emit the global header.
+    pub fn new(mut out: W) -> Result<Self> {
+        out.write_all(&MAGIC.to_le_bytes())?;
+        out.write_all(&2u16.to_le_bytes())?; // version major
+        out.write_all(&4u16.to_le_bytes())?; // version minor
+        out.write_all(&0i32.to_le_bytes())?; // thiszone
+        out.write_all(&0u32.to_le_bytes())?; // sigfigs
+        out.write_all(&SNAPLEN.to_le_bytes())?;
+        out.write_all(&LINKTYPE_ETHERNET.to_le_bytes())?;
+        Ok(Writer { out })
+    }
+
+    /// Append one frame.
+    pub fn write(&mut self, ts: Timestamp, frame: &[u8]) -> Result<()> {
+        if frame.len() > SNAPLEN as usize {
+            return Err(Error::Malformed {
+                what: "pcap record",
+                detail: "frame exceeds snap length",
+            });
+        }
+        self.out.write_all(&(ts.secs() as u32).to_le_bytes())?;
+        self.out.write_all(&ts.subsec_micros().to_le_bytes())?;
+        self.out.write_all(&(frame.len() as u32).to_le_bytes())?; // incl_len
+        self.out.write_all(&(frame.len() as u32).to_le_bytes())?; // orig_len
+        self.out.write_all(frame)?;
+        Ok(())
+    }
+
+    /// Flush and return the underlying writer.
+    pub fn finish(mut self) -> Result<W> {
+        self.out.flush()?;
+        Ok(self.out)
+    }
+}
+
+/// Streaming pcap reader.
+pub struct Reader<R: Read> {
+    input: R,
+    swapped: bool,
+}
+
+impl<R: Read> Reader<R> {
+    /// Open a pcap stream, validating the global header.
+    pub fn new(mut input: R) -> Result<Self> {
+        let mut hdr = [0u8; 24];
+        input.read_exact(&mut hdr)?;
+        let magic = u32::from_le_bytes([hdr[0], hdr[1], hdr[2], hdr[3]]);
+        let swapped = match magic {
+            MAGIC => false,
+            m if m == MAGIC.swap_bytes() => true,
+            _ => {
+                return Err(Error::Malformed {
+                    what: "pcap file",
+                    detail: "bad magic number",
+                })
+            }
+        };
+        let read32 = |b: &[u8]| {
+            let v = u32::from_le_bytes([b[0], b[1], b[2], b[3]]);
+            if swapped {
+                v.swap_bytes()
+            } else {
+                v
+            }
+        };
+        let linktype = read32(&hdr[20..24]);
+        if linktype != LINKTYPE_ETHERNET {
+            return Err(Error::Unsupported {
+                what: "pcap linktype",
+                value: u64::from(linktype),
+            });
+        }
+        Ok(Reader { input, swapped })
+    }
+
+    fn u32_field(&self, b: [u8; 4]) -> u32 {
+        let v = u32::from_le_bytes(b);
+        if self.swapped {
+            v.swap_bytes()
+        } else {
+            v
+        }
+    }
+
+    /// Read the next record, or `None` at a clean end of file.
+    pub fn next_record(&mut self) -> Result<Option<Capture>> {
+        let mut rec = [0u8; 16];
+        match self.input.read_exact(&mut rec) {
+            Ok(()) => {}
+            Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => return Ok(None),
+            Err(e) => return Err(e.into()),
+        }
+        let secs = self.u32_field([rec[0], rec[1], rec[2], rec[3]]);
+        let micros = self.u32_field([rec[4], rec[5], rec[6], rec[7]]);
+        let incl_len = self.u32_field([rec[8], rec[9], rec[10], rec[11]]);
+        if incl_len > SNAPLEN {
+            return Err(Error::Malformed {
+                what: "pcap record",
+                detail: "included length exceeds snap length",
+            });
+        }
+        if micros >= 1_000_000 {
+            return Err(Error::Malformed {
+                what: "pcap record",
+                detail: "microseconds field >= 1e6",
+            });
+        }
+        let mut frame = vec![0u8; incl_len as usize];
+        self.input.read_exact(&mut frame)?;
+        Ok(Some(Capture {
+            ts: Timestamp::from_secs_micros(i64::from(secs), micros),
+            frame,
+        }))
+    }
+
+    /// Iterate over all remaining records.
+    pub fn records(mut self) -> impl Iterator<Item = Result<Capture>> {
+        std::iter::from_fn(move || self.next_record().transpose())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(frames: &[(i64, u32, Vec<u8>)]) -> Vec<Capture> {
+        let mut w = Writer::new(Vec::new()).unwrap();
+        for (s, us, f) in frames {
+            w.write(Timestamp::from_secs_micros(*s, *us), f).unwrap();
+        }
+        let buf = w.finish().unwrap();
+        Reader::new(&buf[..])
+            .unwrap()
+            .records()
+            .collect::<Result<Vec<_>>>()
+            .unwrap()
+    }
+
+    #[test]
+    fn write_read_roundtrip() {
+        let frames = vec![
+            (1_580_515_200, 0, vec![1u8; 60]),
+            (1_580_515_201, 999_999, vec![2u8; 1514]),
+            (1_580_515_202, 500_000, vec![]),
+        ];
+        let got = roundtrip(&frames);
+        assert_eq!(got.len(), 3);
+        for ((s, us, f), cap) in frames.iter().zip(&got) {
+            assert_eq!(cap.ts, Timestamp::from_secs_micros(*s, *us));
+            assert_eq!(&cap.frame, f);
+        }
+    }
+
+    #[test]
+    fn empty_file_yields_no_records() {
+        let w = Writer::new(Vec::new()).unwrap();
+        let buf = w.finish().unwrap();
+        assert_eq!(buf.len(), 24);
+        let mut r = Reader::new(&buf[..]).unwrap();
+        assert_eq!(r.next_record().unwrap(), None);
+    }
+
+    #[test]
+    fn byte_swapped_file_is_read() {
+        // Hand-assemble a big-endian pcap with one 4-byte frame.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&MAGIC.to_be_bytes());
+        buf.extend_from_slice(&2u16.to_be_bytes());
+        buf.extend_from_slice(&4u16.to_be_bytes());
+        buf.extend_from_slice(&0u32.to_be_bytes());
+        buf.extend_from_slice(&0u32.to_be_bytes());
+        buf.extend_from_slice(&SNAPLEN.to_be_bytes());
+        buf.extend_from_slice(&LINKTYPE_ETHERNET.to_be_bytes());
+        buf.extend_from_slice(&123u32.to_be_bytes()); // secs
+        buf.extend_from_slice(&456u32.to_be_bytes()); // usecs
+        buf.extend_from_slice(&4u32.to_be_bytes()); // incl
+        buf.extend_from_slice(&4u32.to_be_bytes()); // orig
+        buf.extend_from_slice(&[9, 8, 7, 6]);
+        let caps: Vec<_> = Reader::new(&buf[..])
+            .unwrap()
+            .records()
+            .collect::<Result<Vec<_>>>()
+            .unwrap();
+        assert_eq!(caps.len(), 1);
+        assert_eq!(caps[0].ts, Timestamp::from_secs_micros(123, 456));
+        assert_eq!(caps[0].frame, vec![9, 8, 7, 6]);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let buf = [0u8; 24];
+        assert!(matches!(
+            Reader::new(&buf[..]),
+            Err(Error::Malformed { .. })
+        ));
+    }
+
+    #[test]
+    fn truncated_record_is_io_error() {
+        let mut w = Writer::new(Vec::new()).unwrap();
+        w.write(Timestamp::from_secs(1), &[1, 2, 3, 4]).unwrap();
+        let mut buf = w.finish().unwrap();
+        buf.truncate(buf.len() - 2); // cut the frame short
+        let mut r = Reader::new(&buf[..]).unwrap();
+        assert!(r.next_record().is_err());
+    }
+
+    #[test]
+    fn oversized_frame_rejected_on_write() {
+        let mut w = Writer::new(Vec::new()).unwrap();
+        let e = w
+            .write(Timestamp::from_secs(0), &vec![0u8; SNAPLEN as usize + 1])
+            .unwrap_err();
+        assert!(matches!(e, Error::Malformed { .. }));
+    }
+}

@@ -1,0 +1,218 @@
+//! TCP segment codec.
+//!
+//! Decodes the fields the flow assembler needs — ports, flags, payload —
+//! and emits well-formed segments (with a correct pseudo-header checksum)
+//! for the synthetic packet path. Options are carried opaquely.
+
+use crate::error::{Error, Result};
+use crate::ipv4;
+use std::net::Ipv4Addr;
+
+/// Minimum TCP header length (no options).
+pub const MIN_HEADER_LEN: usize = 20;
+
+/// TCP flag bits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Flags(pub u8);
+
+impl Flags {
+    /// FIN: sender is done.
+    pub const FIN: Flags = Flags(0x01);
+    /// SYN: connection setup.
+    pub const SYN: Flags = Flags(0x02);
+    /// RST: abort.
+    pub const RST: Flags = Flags(0x04);
+    /// PSH: push.
+    pub const PSH: Flags = Flags(0x08);
+    /// ACK: acknowledgment valid.
+    pub const ACK: Flags = Flags(0x10);
+
+    /// Union of two flag sets.
+    pub const fn union(self, other: Flags) -> Flags {
+        Flags(self.0 | other.0)
+    }
+
+    /// Does this set contain all bits of `other`?
+    pub const fn contains(self, other: Flags) -> bool {
+        self.0 & other.0 == other.0
+    }
+}
+
+/// An immutable view of a TCP segment.
+#[derive(Debug, Clone, Copy)]
+pub struct Segment<'a> {
+    buf: &'a [u8],
+}
+
+impl<'a> Segment<'a> {
+    /// Wrap a buffer, validating the data offset.
+    pub fn parse(buf: &'a [u8]) -> Result<Segment<'a>> {
+        if buf.len() < MIN_HEADER_LEN {
+            return Err(Error::Truncated {
+                what: "tcp header",
+                needed: MIN_HEADER_LEN,
+                available: buf.len(),
+            });
+        }
+        let data_off = usize::from(buf[12] >> 4) * 4;
+        if data_off < MIN_HEADER_LEN {
+            return Err(Error::Malformed {
+                what: "tcp header",
+                detail: "data offset < 5",
+            });
+        }
+        if buf.len() < data_off {
+            return Err(Error::Truncated {
+                what: "tcp options",
+                needed: data_off,
+                available: buf.len(),
+            });
+        }
+        Ok(Segment { buf })
+    }
+
+    /// Source port.
+    pub fn src_port(&self) -> u16 {
+        u16::from_be_bytes([self.buf[0], self.buf[1]])
+    }
+
+    /// Destination port.
+    pub fn dst_port(&self) -> u16 {
+        u16::from_be_bytes([self.buf[2], self.buf[3]])
+    }
+
+    /// Sequence number.
+    pub fn seq(&self) -> u32 {
+        u32::from_be_bytes([self.buf[4], self.buf[5], self.buf[6], self.buf[7]])
+    }
+
+    /// Acknowledgment number.
+    pub fn ack(&self) -> u32 {
+        u32::from_be_bytes([self.buf[8], self.buf[9], self.buf[10], self.buf[11]])
+    }
+
+    /// Flag bits.
+    pub fn flags(&self) -> Flags {
+        Flags(self.buf[13] & 0x3f)
+    }
+
+    /// Header length in bytes.
+    pub fn header_len(&self) -> usize {
+        usize::from(self.buf[12] >> 4) * 4
+    }
+
+    /// The payload after the header (and options).
+    pub fn payload(&self) -> &'a [u8] {
+        &self.buf[self.header_len()..]
+    }
+}
+
+/// Serialize a TCP segment with a valid checksum.
+#[allow(clippy::too_many_arguments)]
+pub fn emit(
+    src_addr: Ipv4Addr,
+    dst_addr: Ipv4Addr,
+    src_port: u16,
+    dst_port: u16,
+    seq: u32,
+    ack: u32,
+    flags: Flags,
+    payload: &[u8],
+) -> Vec<u8> {
+    let mut out = vec![0u8; MIN_HEADER_LEN];
+    out[0..2].copy_from_slice(&src_port.to_be_bytes());
+    out[2..4].copy_from_slice(&dst_port.to_be_bytes());
+    out[4..8].copy_from_slice(&seq.to_be_bytes());
+    out[8..12].copy_from_slice(&ack.to_be_bytes());
+    out[12] = 5 << 4; // data offset 5 words
+    out[13] = flags.0;
+    out[14..16].copy_from_slice(&0xffffu16.to_be_bytes()); // advertised window
+    out.extend_from_slice(payload);
+    let ck = pseudo_checksum(src_addr, dst_addr, 6, &out);
+    out[16..18].copy_from_slice(&ck.to_be_bytes());
+    out
+}
+
+/// The TCP/UDP pseudo-header checksum over `segment` (checksum field must
+/// be zero in the buffer).
+pub fn pseudo_checksum(src: Ipv4Addr, dst: Ipv4Addr, proto: u8, segment: &[u8]) -> u16 {
+    let mut pseudo = Vec::with_capacity(12 + segment.len());
+    pseudo.extend_from_slice(&src.octets());
+    pseudo.extend_from_slice(&dst.octets());
+    pseudo.push(0);
+    pseudo.push(proto);
+    pseudo.extend_from_slice(&(segment.len() as u16).to_be_bytes());
+    pseudo.extend_from_slice(segment);
+    ipv4::checksum(&pseudo)
+}
+
+/// Verify the transport checksum of a parsed segment.
+pub fn verify_checksum(src: Ipv4Addr, dst: Ipv4Addr, segment: &[u8]) -> bool {
+    if segment.len() < MIN_HEADER_LEN {
+        return false;
+    }
+    let mut copy = segment.to_vec();
+    let stored = u16::from_be_bytes([copy[16], copy[17]]);
+    copy[16] = 0;
+    copy[17] = 0;
+    pseudo_checksum(src, dst, 6, &copy) == stored
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn emit_parse_roundtrip() {
+        let src = Ipv4Addr::new(10, 40, 1, 2);
+        let dst = Ipv4Addr::new(151, 101, 1, 1);
+        let seg = emit(
+            src,
+            dst,
+            50_000,
+            443,
+            1000,
+            2000,
+            Flags::SYN.union(Flags::ACK),
+            b"data",
+        );
+        let p = Segment::parse(&seg).unwrap();
+        assert_eq!(p.src_port(), 50_000);
+        assert_eq!(p.dst_port(), 443);
+        assert_eq!(p.seq(), 1000);
+        assert_eq!(p.ack(), 2000);
+        assert!(p.flags().contains(Flags::SYN));
+        assert!(p.flags().contains(Flags::ACK));
+        assert!(!p.flags().contains(Flags::FIN));
+        assert_eq!(p.payload(), b"data");
+        assert!(verify_checksum(src, dst, &seg));
+    }
+
+    #[test]
+    fn checksum_detects_corruption() {
+        let src = Ipv4Addr::new(1, 1, 1, 1);
+        let dst = Ipv4Addr::new(2, 2, 2, 2);
+        let mut seg = emit(src, dst, 1, 2, 3, 4, Flags::ACK, b"abc");
+        seg[20] ^= 0x01;
+        assert!(!verify_checksum(src, dst, &seg));
+    }
+
+    #[test]
+    fn parse_rejects_short_and_bad_offset() {
+        assert!(Segment::parse(&[0u8; 10]).is_err());
+        let mut seg = vec![0u8; 20];
+        seg[12] = 4 << 4; // offset 4 < 5
+        assert!(matches!(Segment::parse(&seg), Err(Error::Malformed { .. })));
+        seg[12] = 8 << 4; // offset 8 but only 20 bytes
+        assert!(matches!(Segment::parse(&seg), Err(Error::Truncated { .. })));
+    }
+
+    #[test]
+    fn flags_algebra() {
+        let f = Flags::SYN.union(Flags::FIN);
+        assert!(f.contains(Flags::SYN));
+        assert!(f.contains(Flags::FIN));
+        assert!(!f.contains(Flags::RST));
+        assert!(!Flags::default().contains(Flags::SYN));
+    }
+}

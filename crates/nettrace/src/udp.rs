@@ -1,0 +1,178 @@
+//! UDP datagram codec.
+
+use crate::error::{Error, Result};
+use crate::tcp::pseudo_checksum;
+use std::net::Ipv4Addr;
+
+/// UDP header length.
+pub const HEADER_LEN: usize = 8;
+
+/// An immutable view of a UDP datagram.
+#[derive(Debug, Clone, Copy)]
+pub struct Datagram<'a> {
+    buf: &'a [u8],
+}
+
+impl<'a> Datagram<'a> {
+    /// Wrap a buffer, validating the length field.
+    pub fn parse(buf: &'a [u8]) -> Result<Datagram<'a>> {
+        if buf.len() < HEADER_LEN {
+            return Err(Error::Truncated {
+                what: "udp header",
+                needed: HEADER_LEN,
+                available: buf.len(),
+            });
+        }
+        let len = usize::from(u16::from_be_bytes([buf[4], buf[5]]));
+        if len < HEADER_LEN {
+            return Err(Error::Malformed {
+                what: "udp header",
+                detail: "length field < 8",
+            });
+        }
+        if buf.len() < len {
+            return Err(Error::Truncated {
+                what: "udp datagram",
+                needed: len,
+                available: buf.len(),
+            });
+        }
+        Ok(Datagram { buf })
+    }
+
+    /// Source port.
+    pub fn src_port(&self) -> u16 {
+        u16::from_be_bytes([self.buf[0], self.buf[1]])
+    }
+
+    /// Destination port.
+    pub fn dst_port(&self) -> u16 {
+        u16::from_be_bytes([self.buf[2], self.buf[3]])
+    }
+
+    /// Total length from the header.
+    pub fn len(&self) -> usize {
+        usize::from(u16::from_be_bytes([self.buf[4], self.buf[5]]))
+    }
+
+    /// True when the datagram carries no payload.
+    pub fn is_empty(&self) -> bool {
+        self.len() == HEADER_LEN
+    }
+
+    /// The payload (respecting the length field).
+    pub fn payload(&self) -> &'a [u8] {
+        &self.buf[HEADER_LEN..self.len()]
+    }
+}
+
+/// Serialize a UDP datagram with a valid checksum.
+pub fn emit(
+    src_addr: Ipv4Addr,
+    dst_addr: Ipv4Addr,
+    src_port: u16,
+    dst_port: u16,
+    payload: &[u8],
+) -> Vec<u8> {
+    let len = HEADER_LEN + payload.len();
+    assert!(len <= u16::MAX as usize, "udp datagram too large");
+    let mut out = vec![0u8; HEADER_LEN];
+    out[0..2].copy_from_slice(&src_port.to_be_bytes());
+    out[2..4].copy_from_slice(&dst_port.to_be_bytes());
+    out[4..6].copy_from_slice(&(len as u16).to_be_bytes());
+    out.extend_from_slice(payload);
+    let mut ck = pseudo_checksum(src_addr, dst_addr, 17, &out);
+    if ck == 0 {
+        ck = 0xffff; // RFC 768: transmitted as all-ones if computed zero
+    }
+    out[6..8].copy_from_slice(&ck.to_be_bytes());
+    out
+}
+
+/// Verify the checksum of a parsed datagram (zero checksum = unverified,
+/// accepted per RFC 768).
+pub fn verify_checksum(src: Ipv4Addr, dst: Ipv4Addr, dgram: &[u8]) -> bool {
+    if dgram.len() < HEADER_LEN {
+        return false;
+    }
+    let stored = u16::from_be_bytes([dgram[6], dgram[7]]);
+    if stored == 0 {
+        return true;
+    }
+    let mut copy = dgram.to_vec();
+    copy[6] = 0;
+    copy[7] = 0;
+    let mut ck = pseudo_checksum(src, dst, 17, &copy);
+    if ck == 0 {
+        ck = 0xffff;
+    }
+    ck == stored
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn emit_parse_roundtrip() {
+        let src = Ipv4Addr::new(10, 40, 2, 3);
+        let dst = Ipv4Addr::new(8, 8, 4, 4);
+        let d = emit(src, dst, 5353, 53, b"query");
+        let p = Datagram::parse(&d).unwrap();
+        assert_eq!(p.src_port(), 5353);
+        assert_eq!(p.dst_port(), 53);
+        assert_eq!(p.payload(), b"query");
+        assert!(!p.is_empty());
+        assert!(verify_checksum(src, dst, &d));
+    }
+
+    #[test]
+    fn empty_payload() {
+        let src = Ipv4Addr::new(1, 1, 1, 1);
+        let dst = Ipv4Addr::new(2, 2, 2, 2);
+        let d = emit(src, dst, 1, 2, b"");
+        let p = Datagram::parse(&d).unwrap();
+        assert!(p.is_empty());
+        assert_eq!(p.payload(), b"");
+    }
+
+    #[test]
+    fn corrupt_checksum_detected() {
+        let src = Ipv4Addr::new(1, 1, 1, 1);
+        let dst = Ipv4Addr::new(2, 2, 2, 2);
+        let mut d = emit(src, dst, 1, 2, b"abcdef");
+        d[9] ^= 0xff;
+        assert!(!verify_checksum(src, dst, &d));
+    }
+
+    #[test]
+    fn zero_checksum_accepted() {
+        let src = Ipv4Addr::new(1, 1, 1, 1);
+        let dst = Ipv4Addr::new(2, 2, 2, 2);
+        let mut d = emit(src, dst, 1, 2, b"abc");
+        d[6] = 0;
+        d[7] = 0;
+        assert!(verify_checksum(src, dst, &d));
+    }
+
+    #[test]
+    fn parse_rejects_bad_lengths() {
+        assert!(Datagram::parse(&[0u8; 4]).is_err());
+        let mut d = vec![0u8; 8];
+        d[5] = 4; // length 4 < 8
+        assert!(matches!(Datagram::parse(&d), Err(Error::Malformed { .. })));
+        let mut d = vec![0u8; 8];
+        d[5] = 20; // claims 20 bytes, has 8
+        assert!(matches!(Datagram::parse(&d), Err(Error::Truncated { .. })));
+    }
+
+    #[test]
+    fn payload_ignores_trailing_padding() {
+        let src = Ipv4Addr::new(1, 1, 1, 1);
+        let dst = Ipv4Addr::new(2, 2, 2, 2);
+        let mut d = emit(src, dst, 1, 2, b"xyz");
+        d.extend_from_slice(&[0u8; 5]);
+        let p = Datagram::parse(&d).unwrap();
+        assert_eq!(p.payload(), b"xyz");
+    }
+}

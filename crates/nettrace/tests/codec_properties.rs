@@ -1,0 +1,164 @@
+//! Property tests for the wire codecs: emit → parse is the identity for
+//! arbitrary field values, checksums validate, corruption is caught.
+
+use nettrace::flow::Proto;
+use nettrace::mac::MacAddr;
+use nettrace::packet::{self, BuildSpec};
+use nettrace::tcp::{self, Flags};
+use nettrace::{ethernet, ipv4, pcap, udp, Timestamp};
+use proptest::prelude::*;
+use std::net::Ipv4Addr;
+
+proptest! {
+    #[test]
+    fn ethernet_roundtrip(dst in any::<[u8; 6]>(), src in any::<[u8; 6]>(),
+                          ethertype in any::<u16>(), payload in proptest::collection::vec(any::<u8>(), 0..200)) {
+        let frame = ethernet::emit(
+            MacAddr(dst),
+            MacAddr(src),
+            ethernet::EtherType::from_value(ethertype),
+            &payload,
+        );
+        let p = ethernet::Frame::parse(&frame).unwrap();
+        prop_assert_eq!(p.dst(), MacAddr(dst));
+        prop_assert_eq!(p.src(), MacAddr(src));
+        prop_assert_eq!(p.ethertype().value(), ethertype);
+        prop_assert_eq!(p.payload(), &payload[..]);
+    }
+
+    #[test]
+    fn ipv4_roundtrip_and_checksum(src in any::<u32>(), dst in any::<u32>(),
+                                   proto in any::<u8>(), ident in any::<u16>(),
+                                   payload in proptest::collection::vec(any::<u8>(), 0..400)) {
+        let pkt = ipv4::emit(
+            Ipv4Addr::from(src),
+            Ipv4Addr::from(dst),
+            Proto::from_number(proto),
+            ident,
+            &payload,
+        );
+        let p = ipv4::Packet::parse(&pkt).unwrap();
+        prop_assert!(p.verify_checksum());
+        prop_assert_eq!(p.src(), Ipv4Addr::from(src));
+        prop_assert_eq!(p.dst(), Ipv4Addr::from(dst));
+        prop_assert_eq!(p.protocol().number(), proto);
+        prop_assert_eq!(p.payload(), &payload[..]);
+    }
+
+    #[test]
+    fn ipv4_header_corruption_detected(byte in 0usize..20, bit in 0u8..8) {
+        let mut pkt = ipv4::emit(
+            Ipv4Addr::new(10, 0, 0, 1),
+            Ipv4Addr::new(10, 0, 0, 2),
+            Proto::Udp,
+            7,
+            b"payload",
+        );
+        pkt[byte] ^= 1 << bit;
+        // Either parsing rejects the mangled header or the checksum fails.
+        match ipv4::Packet::parse(&pkt) {
+            Err(_) => {}
+            Ok(p) => prop_assert!(!p.verify_checksum()),
+        }
+    }
+
+    #[test]
+    fn tcp_roundtrip(sp in any::<u16>(), dp in any::<u16>(), seq in any::<u32>(), ack in any::<u32>(),
+                     flags in 0u8..0x40, payload in proptest::collection::vec(any::<u8>(), 0..300)) {
+        let src = Ipv4Addr::new(1, 2, 3, 4);
+        let dst = Ipv4Addr::new(5, 6, 7, 8);
+        let seg = tcp::emit(src, dst, sp, dp, seq, ack, Flags(flags), &payload);
+        let p = tcp::Segment::parse(&seg).unwrap();
+        prop_assert_eq!(p.src_port(), sp);
+        prop_assert_eq!(p.dst_port(), dp);
+        prop_assert_eq!(p.seq(), seq);
+        prop_assert_eq!(p.ack(), ack);
+        prop_assert_eq!(p.flags().0, flags);
+        prop_assert_eq!(p.payload(), &payload[..]);
+        prop_assert!(tcp::verify_checksum(src, dst, &seg));
+    }
+
+    #[test]
+    fn udp_roundtrip(sp in any::<u16>(), dp in any::<u16>(),
+                     payload in proptest::collection::vec(any::<u8>(), 0..300)) {
+        let src = Ipv4Addr::new(9, 9, 9, 9);
+        let dst = Ipv4Addr::new(8, 8, 8, 8);
+        let d = udp::emit(src, dst, sp, dp, &payload);
+        let p = udp::Datagram::parse(&d).unwrap();
+        prop_assert_eq!(p.src_port(), sp);
+        prop_assert_eq!(p.dst_port(), dp);
+        prop_assert_eq!(p.payload(), &payload[..]);
+        prop_assert!(udp::verify_checksum(src, dst, &d));
+    }
+
+    #[test]
+    fn whole_frame_roundtrip(sp in 1u16.., dp in 1u16.., seq in any::<u32>(),
+                             payload in proptest::collection::vec(any::<u8>(), 0..500)) {
+        let spec = BuildSpec {
+            src_mac: MacAddr::new(2, 0, 0, 0, 0, 1),
+            dst_mac: MacAddr::new(2, 0, 0, 0, 0, 2),
+            src_ip: Ipv4Addr::new(10, 40, 0, 1),
+            dst_ip: Ipv4Addr::new(34, 16, 0, 1),
+            src_port: sp,
+            dst_port: dp,
+            ident: 0,
+        };
+        let frame = packet::build_tcp(spec, seq, 0, Flags::ACK, &payload);
+        let meta = packet::parse_frame(Timestamp::from_secs(0), &frame)
+            .unwrap()
+            .unwrap();
+        prop_assert_eq!(meta.src_port, sp);
+        prop_assert_eq!(meta.dst_port, dp);
+        prop_assert_eq!(meta.payload_len as usize, payload.len());
+    }
+
+    #[test]
+    fn pcap_roundtrip(records in proptest::collection::vec(
+        (0u32..u32::MAX, 0u32..1_000_000, proptest::collection::vec(any::<u8>(), 0..200)),
+        0..20
+    )) {
+        let mut w = pcap::Writer::new(Vec::new()).unwrap();
+        for (s, us, frame) in &records {
+            w.write(Timestamp::from_secs_micros(i64::from(*s), *us), frame).unwrap();
+        }
+        let buf = w.finish().unwrap();
+        let got: Vec<_> = pcap::Reader::new(&buf[..])
+            .unwrap()
+            .records()
+            .collect::<Result<Vec<_>, _>>()
+            .unwrap();
+        prop_assert_eq!(got.len(), records.len());
+        for ((s, us, frame), cap) in records.iter().zip(&got) {
+            prop_assert_eq!(cap.ts, Timestamp::from_secs_micros(i64::from(*s), *us));
+            prop_assert_eq!(&cap.frame, frame);
+        }
+    }
+
+    #[test]
+    fn conn_log_roundtrip(flows in proptest::collection::vec(
+        (0i64..2_000_000_000, 0i64..1_000_000_000, any::<u32>(), any::<u16>(), any::<u32>(), any::<u16>(),
+         any::<u8>(), any::<u32>(), any::<u32>(), any::<u16>(), any::<u16>()),
+        0..20
+    )) {
+        use nettrace::flow::FlowRecord;
+        let flows: Vec<FlowRecord> = flows
+            .into_iter()
+            .map(|(ts, dur, o, op, r, rp, proto, ob, rb, opk, rpk)| FlowRecord {
+                ts: Timestamp::from_secs(ts),
+                duration_micros: dur,
+                orig: Ipv4Addr::from(o),
+                orig_port: op,
+                resp: Ipv4Addr::from(r),
+                resp_port: rp,
+                proto: Proto::from_number(proto),
+                orig_bytes: u64::from(ob),
+                resp_bytes: u64::from(rb),
+                orig_pkts: u32::from(opk),
+                resp_pkts: u32::from(rpk),
+            })
+            .collect();
+        let text = nettrace::zeek::write_conn_log(&flows);
+        let parsed = nettrace::zeek::parse_conn_log(&text).unwrap();
+        prop_assert_eq!(parsed, flows);
+    }
+}

@@ -1,0 +1,49 @@
+//! Quickstart: run a small version of the whole study and print the
+//! headline numbers.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use locked_in_lockdown::prelude::*;
+
+fn main() {
+    // 2% of the paper's campus: ~260 students, runs in a few seconds.
+    let cfg = SimConfig::at_scale(0.02);
+    println!(
+        "simulating {} students over {} days…",
+        cfg.num_students(),
+        StudyCalendar::NUM_DAYS
+    );
+
+    let study = Study::run(cfg, 4);
+    let h = study.headline();
+
+    println!();
+    println!("peak active devices:      {}", h.peak_active);
+    println!("trough during shutdown:   {}", h.trough_active);
+    println!("post-shutdown devices:    {}", h.post_shutdown_devices);
+    println!(
+        "international share:      {:.1}% of {} identified",
+        100.0 * h.intl_devices as f64 / h.identified_devices.max(1) as f64,
+        h.identified_devices
+    );
+    println!(
+        "traffic growth Feb→Apr/May: {:+.1}%  (paper: +58%)",
+        100.0 * h.traffic_growth_feb_to_aprmay
+    );
+    println!(
+        "distinct-sites growth:      {:+.1}%  (paper: +34%)",
+        100.0 * h.sites_growth
+    );
+    println!(
+        "Switches: {} pre-shutdown, {} post, {} new in Apr/May",
+        h.switches_pre, h.switches_post, h.switches_new
+    );
+
+    let audit = study.classification_audit(100);
+    println!(
+        "device classification audit: {}/{} correct ({} conservative unknowns)",
+        audit.correct, audit.sampled, audit.conservative_unknown
+    );
+}

@@ -1,0 +1,286 @@
+//! End-to-end shape tests: run one small study and assert the paper's
+//! qualitative claims, figure by figure. Thresholds are tolerant (the
+//! test-scale population is ~400 students), but every directional claim
+//! in the evaluation section is checked.
+
+use analysis::figures::{self, Fig4Series};
+use campussim::SimConfig;
+use lockdown_core::Study;
+use nettrace::time::{Day, Month, StudyCalendar};
+use std::sync::OnceLock;
+
+fn study() -> &'static Study {
+    static STUDY: OnceLock<Study> = OnceLock::new();
+    STUDY.get_or_init(|| Study::run(SimConfig::at_scale(0.06), 8))
+}
+
+fn mean(xs: &[f64]) -> f64 {
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+#[test]
+fn fig1_population_decline_and_unclassified_dominance() {
+    let s = study();
+    let f1 = figures::figure1(&s.collector, &s.summary);
+    // "Before the shutdown, there was a peak … this dipped to a low …"
+    let peak = *f1.total.iter().max().unwrap();
+    let trough = *f1.total[47..].iter().min().unwrap();
+    assert!(
+        peak as f64 > 4.0 * trough as f64,
+        "peak {peak} vs trough {trough}"
+    );
+    // Students left before classes went remote: the count on 3/29 is well
+    // below the count on 3/10.
+    assert!(f1.total[57] * 2 < f1.total[38]);
+    // Mobile : laptop+desktop ≈ 1:1 pre-shutdown.
+    let ratio = f1.per_bucket[0][10] as f64 / f1.per_bucket[1][10] as f64;
+    assert!((0.6..1.6).contains(&ratio), "mobile/laptop ratio {ratio}");
+    // "After the campus shutdown, the number of unclassified devices
+    // dominates the number of IoT, mobile, and desktop/laptop devices."
+    let d = 80usize; // late April
+    assert!(f1.per_bucket[3][d] > f1.per_bucket[0][d]);
+    assert!(f1.per_bucket[3][d] > f1.per_bucket[1][d]);
+    assert!(f1.per_bucket[3][d] > f1.per_bucket[2][d]);
+}
+
+#[test]
+fn fig2_means_skew_above_medians_for_iot_and_unclassified() {
+    let s = study();
+    let f2 = figures::figure2(&s.collector, &s.summary);
+    // "some high-volume traffic devices skew the means … especially
+    // noticeable for IoT and unclassified devices".
+    for bucket in [2usize, 3] {
+        let mut ratio_sum = 0.0;
+        let mut n = 0;
+        for d in 0..121 {
+            if f2.median[bucket][d] > 0.0 {
+                ratio_sum += f2.mean[bucket][d] / f2.median[bucket][d];
+                n += 1;
+            }
+        }
+        let avg_ratio = ratio_sum / n as f64;
+        assert!(
+            avg_ratio > 2.0,
+            "bucket {bucket}: mean/median ratio {avg_ratio}"
+        );
+    }
+    // Pre-shutdown, mobile devices carry the highest median volume.
+    let d = 12usize;
+    assert!(f2.median[0][d] > f2.median[2][d]); // mobile > iot
+    assert!(f2.median[0][d] > f2.median[3][d]); // mobile > unclassified
+}
+
+#[test]
+fn fig3_weekday_spike_earlier_weekends_stable() {
+    let s = study();
+    let f3 = figures::figure3(&s.collector, &s.summary);
+    // Compare the pre-pandemic week (2/20) to a lock-down week (4/9).
+    let pre = &f3.weeks[0];
+    let post = &f3.weeks[2];
+    // Weekday mornings (9:00–12:00 on the Thursday-first axis's weekday
+    // positions) carry much more relative traffic during lock-down.
+    let weekday_morning = |w: &Vec<f64>| {
+        // Thu, Fri, Mon, Tue, Wed at offsets 0,1,4,5,6; hours 9..12.
+        let mut v = Vec::new();
+        for day_idx in [0usize, 1, 4, 5, 6] {
+            for h in 9..12 {
+                v.push(w[day_idx * 24 + h]);
+            }
+        }
+        mean(&v)
+    };
+    let evening_peak = |w: &Vec<f64>| {
+        let mut v = Vec::new();
+        for day_idx in [0usize, 1, 4, 5, 6] {
+            for h in 19..22 {
+                v.push(w[day_idx * 24 + h]);
+            }
+        }
+        mean(&v)
+    };
+    let pre_shape = weekday_morning(pre) / evening_peak(pre);
+    let post_shape = weekday_morning(post) / evening_peak(post);
+    assert!(
+        post_shape > 1.3 * pre_shape,
+        "morning/evening: pre {pre_shape:.2}, post {post_shape:.2}"
+    );
+    // "weekends are relatively unchanged": Saturday+Sunday profiles stay
+    // within a modest factor, while weekday daytime more than doubles.
+    let weekend_mean = |w: &Vec<f64>| {
+        let mut v = Vec::new();
+        for day_idx in [2usize, 3] {
+            for h in 10..22 {
+                v.push(w[day_idx * 24 + h]);
+            }
+        }
+        mean(&v)
+    };
+    let weekend_change = weekend_mean(post) / weekend_mean(pre);
+    let weekday_change = weekday_morning(post) / weekday_morning(pre);
+    assert!(
+        weekday_change > weekend_change,
+        "weekday {weekday_change:.2} vs weekend {weekend_change:.2}"
+    );
+}
+
+#[test]
+fn fig4_international_elevated_during_break_and_term() {
+    let s = study();
+    let f4 = figures::figure4(&s.collector, &s.summary);
+    let intl = &f4.series[Fig4Series::ALL
+        .iter()
+        .position(|x| *x == Fig4Series::IntlMobileDesktop)
+        .unwrap()];
+    let dom = &f4.series[Fig4Series::ALL
+        .iter()
+        .position(|x| *x == Fig4Series::DomesticMobileDesktop)
+        .unwrap()];
+    // "the volume of traffic increases for international students [during
+    // break] but remains stable for domestic students" — compare each
+    // group's break level to its own February baseline.
+    let feb = 7..21usize;
+    let brk = 50..58usize;
+    let rel =
+        |series: &Vec<f64>, range: std::ops::Range<usize>| mean(&series[range.clone()].to_vec());
+    let intl_rise = rel(intl, brk.clone()) / rel(intl, feb.clone());
+    let dom_rise = rel(dom, brk) / rel(dom, feb);
+    assert!(
+        intl_rise > dom_rise + 0.2,
+        "break rise: intl {intl_rise:.2} dom {dom_rise:.2}"
+    );
+    // "stays elevated for international students for the duration of the
+    // term relative to their domestic counterparts".
+    let late = 95..115usize;
+    let feb2 = 7..21usize;
+    let intl_late = rel(intl, late.clone()) / rel(intl, feb2.clone());
+    let dom_late = rel(dom, late) / rel(dom, feb2);
+    assert!(
+        intl_late > dom_late,
+        "late-term: intl {intl_late:.2} dom {dom_late:.2}"
+    );
+}
+
+#[test]
+fn fig5_zoom_ramp_and_weekday_dominance() {
+    let s = study();
+    let f5 = figures::figure5(&s.collector, &s.summary);
+    let feb_mean = mean(&f5.daily[0..29]);
+    let term_mean = mean(&f5.daily[60..110]);
+    assert!(
+        term_mean > 10.0 * feb_mean.max(1.0),
+        "feb {feb_mean:.0} vs term {term_mean:.0}"
+    );
+    // Weekend dips during the online term.
+    let mut weekday = Vec::new();
+    let mut weekend = Vec::new();
+    for d in 60..120u16 {
+        let v = f5.daily[d as usize];
+        if Day(d).weekday().is_weekend() {
+            weekend.push(v);
+        } else {
+            weekday.push(v);
+        }
+    }
+    assert!(mean(&weekday) > 3.0 * mean(&weekend));
+}
+
+#[test]
+fn fig6_social_media_trends() {
+    let s = study();
+    let f6 = figures::figure6(&s.collector, &s.summary);
+    let med = |app: usize, sp: usize, m: usize| f6.boxes[app][sp][m].map(|b| b.median);
+    // Facebook (6a): domestic decreases by May …
+    let fb_dom_feb = med(0, 0, 0).expect("fb dom feb samples");
+    let fb_dom_may = med(0, 0, 3).expect("fb dom may samples");
+    assert!(fb_dom_may < fb_dom_feb, "{fb_dom_may} !< {fb_dom_feb}");
+    // International groups are small at test scale (n ≈ 15–30), so the
+    // strict rising-median claims live in figures_shape_large.rs (run
+    // with `cargo test --release -- --ignored`); here we check the weak
+    // form: pooled post-February months do not fall below February.
+    let pooled = |app: usize| {
+        let later: Vec<f64> = (1..4).filter_map(|m| med(app, 1, m)).collect();
+        later.iter().sum::<f64>() / later.len() as f64
+    };
+    let fb_intl_feb = med(0, 1, 0).expect("fb intl feb");
+    assert!(pooled(0) > 0.6 * fb_intl_feb, "FB intl collapsed post-Feb");
+    let ig_intl_feb = med(1, 1, 0).expect("ig intl feb");
+    assert!(pooled(1) > 0.6 * ig_intl_feb, "IG intl collapsed post-Feb");
+    // TikTok (6c): international much less active than domestic, and the
+    // domestic 3rd quartile keeps climbing Feb → April.
+    let tt_dom_feb = med(2, 0, 0).expect("tt dom feb");
+    let tt_intl_feb = med(2, 1, 0).expect("tt intl feb");
+    assert!(tt_intl_feb < tt_dom_feb);
+    let q3 = |m: usize| f6.boxes[2][0][m].map(|b| b.q3).expect("tt dom q3");
+    assert!(q3(2) > q3(0), "TikTok domestic q3 should rise by April");
+    // n grows over the months for TikTok domestic (adoption).
+    let n = |m: usize| f6.boxes[2][0][m].map(|b| b.n).unwrap_or(0);
+    assert!(n(3) > n(0), "TikTok n: Feb {} May {}", n(0), n(3));
+}
+
+#[test]
+fn fig7_steam_spike_and_decline() {
+    let s = study();
+    let f7 = figures::figure7(&s.collector, &s.summary);
+    let bytes = |sp: usize, m: usize| f7.bytes[sp][m].map(|b| b.median).expect("samples");
+    // March spike for domestic, then a May well below March.
+    assert!(bytes(0, 1) > 1.8 * bytes(0, 0));
+    assert!(bytes(0, 3) < bytes(0, 1));
+    // International's March/April levels exceed domestic's.
+    assert!(bytes(1, 1) > bytes(0, 1) * 0.8);
+    // Domestic connection medians do not rise over the study.
+    let conns = |sp: usize, m: usize| f7.conns[sp][m].map(|b| b.median).expect("samples");
+    assert!(conns(0, 3) <= conns(0, 0));
+}
+
+#[test]
+fn fig8_switch_break_spike_trough_and_return() {
+    let s = study();
+    let f8 = figures::figure8(&s.collector, &s.summary);
+    assert!(f8.n_switches > 0);
+    let feb = mean(&f8.daily_ma[7..28]);
+    let brk = mean(&f8.daily_ma[50..58]);
+    let late_apr = mean(&f8.daily_ma[80..95]);
+    let late_may = mean(&f8.daily_ma[100..120]);
+    assert!(brk > 1.5 * feb, "break {brk:.0} vs feb {feb:.0}");
+    assert!(late_apr < brk, "no trough: {late_apr:.0} vs {brk:.0}");
+    assert!(
+        late_may > late_apr,
+        "no May rise: {late_may:.0} vs {late_apr:.0}"
+    );
+}
+
+#[test]
+fn headline_statistics_have_paper_shape() {
+    let s = study();
+    let h = s.headline();
+    assert!(h.traffic_growth_feb_to_aprmay > 0.30);
+    assert!(h.traffic_growth_feb_to_aprmay < 1.0);
+    assert!(h.sites_growth > 0.15 && h.sites_growth < 0.6);
+    let share = h.intl_devices as f64 / h.identified_devices.max(1) as f64;
+    assert!((0.08..0.32).contains(&share), "intl share {share}");
+    assert!(h.switches_pre > h.switches_post);
+    // The visitor filter and calendar make peak:trough ≈ paper's ~6.4:1;
+    // allow wide tolerance at test scale.
+    let ratio = h.peak_active as f64 / h.trough_active.max(1) as f64;
+    assert!((3.0..12.0).contains(&ratio), "peak/trough {ratio}");
+}
+
+#[test]
+fn counterfactual_growth_is_positive_and_below_feb_growth() {
+    // Paper: +58% vs February, +53% vs 2019 — the 2019 number is lower.
+    let (study, _cf, growth) = lockdown_core::run_with_counterfactual(SimConfig::at_scale(0.02), 8);
+    let feb_growth = study.headline().traffic_growth_feb_to_aprmay;
+    assert!(growth > 0.2, "vs-2019 growth {growth}");
+    assert!(
+        growth < feb_growth,
+        "vs-2019 ({growth:.2}) should sit below vs-Feb ({feb_growth:.2})"
+    );
+}
+
+#[test]
+fn month_boundaries_used_by_figures_are_exact() {
+    // Guard the calendar the figures depend on.
+    assert_eq!(Month::Feb.first_day(), Day(0));
+    assert_eq!(Month::May.first_day().label(), "2020-05-01");
+    assert_eq!(StudyCalendar::figure3_weeks()[2].1.label(), "2020-04-09");
+}

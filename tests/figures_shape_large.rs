@@ -1,0 +1,71 @@
+//! Large-scale figure-shape tests: the sub-population trend claims need
+//! group sizes near the paper's (n in the hundreds), which requires a
+//! quarter-scale campus. Ignored by default; run with
+//!
+//! ```sh
+//! cargo test --release --test figures_shape_large -- --ignored
+//! ```
+
+use analysis::figures;
+use campussim::SimConfig;
+use lockdown_core::Study;
+
+#[test]
+#[ignore = "quarter-scale study: ~30 s in release mode"]
+fn fig6_international_trends_at_scale() {
+    let s = Study::run(SimConfig::at_scale(0.25), 8);
+    let f6 = figures::figure6(&s.collector, &s.summary);
+    let med = |app: usize, sp: usize, m: usize| {
+        f6.boxes[app][sp][m]
+            .expect("samples at quarter scale")
+            .median
+    };
+    // Facebook: international usage rises through the shutdown while the
+    // domestic median falls by May; the Feb gap narrows (§5.2).
+    assert!(med(0, 1, 2) > med(0, 1, 0), "FB intl Apr > Feb");
+    assert!(med(0, 0, 3) < med(0, 0, 0), "FB dom May < Feb");
+    let feb_gap = med(0, 0, 0) - med(0, 1, 0);
+    let may_gap = med(0, 0, 3) - med(0, 1, 3);
+    assert!(
+        may_gap < feb_gap,
+        "gap should narrow: {feb_gap:.2} -> {may_gap:.2}"
+    );
+    // Instagram: international May above April and February.
+    assert!(med(1, 1, 3) > med(1, 1, 0), "IG intl May > Feb");
+    // TikTok: international well below domestic in February.
+    assert!(med(2, 1, 0) < med(2, 0, 0), "TT intl < dom");
+    // Group sizes grow for TikTok (adoption) for both subpops.
+    let n = |sp: usize, m: usize| f6.boxes[2][sp][m].map(|b| b.n).unwrap_or(0);
+    assert!(n(0, 3) > n(0, 0));
+    assert!(n(1, 3) >= n(1, 0));
+}
+
+#[test]
+#[ignore = "quarter-scale study: ~30 s in release mode"]
+fn fig7_steam_connection_decline_at_scale() {
+    let s = Study::run(SimConfig::at_scale(0.25), 8);
+    let f7 = figures::figure7(&s.collector, &s.summary);
+    let conns = |sp: usize, m: usize| f7.conns[sp][m].expect("samples").median;
+    // Domestic connection medians decline over the study (Figure 7b).
+    // Session quantization flattens the tail months, so assert the
+    // trend's endpoints and the early decline rather than strict
+    // month-over-month monotonicity.
+    assert!(conns(0, 0) >= conns(0, 1));
+    assert!(
+        conns(0, 3) < conns(0, 0),
+        "May {} !< Feb {}",
+        conns(0, 3),
+        conns(0, 0)
+    );
+    assert!(conns(0, 2) < conns(0, 0));
+    // International connections spike in March.
+    assert!(conns(1, 1) > 1.5 * conns(1, 0));
+    // Domestic active-device count peaks in May (the paper's n row).
+    let n = |sp: usize, m: usize| f7.bytes[sp][m].map(|b| b.n).unwrap_or(0);
+    assert!(
+        n(0, 3) > n(0, 0),
+        "May n {} should exceed Feb n {}",
+        n(0, 3),
+        n(0, 0)
+    );
+}

@@ -1,0 +1,238 @@
+//! Property-based tests on the core data structures and invariants,
+//! spanning crates.
+
+use dhcplog::{LeaseAction, LeaseEvent, LeaseIndex};
+use nettrace::ip::{Ipv4Cidr, PrefixSet};
+use nettrace::time::{civil_from_days, days_from_civil, StudyCalendar, Timestamp};
+use nettrace::MacAddr;
+use proptest::prelude::*;
+use std::net::Ipv4Addr;
+
+proptest! {
+    /// Civil-date conversion is a bijection over a huge range.
+    #[test]
+    fn civil_date_bijection(day in -1_000_000i64..1_000_000) {
+        let (y, m, d) = civil_from_days(day);
+        prop_assert!((1..=12).contains(&m));
+        prop_assert!((1..=31).contains(&d));
+        prop_assert_eq!(days_from_civil(y, m, d), day);
+    }
+
+    /// Timestamp second/microsecond decomposition is consistent.
+    #[test]
+    fn timestamp_decomposition(micros in i64::MIN/2..i64::MAX/2) {
+        let t = Timestamp::from_micros(micros);
+        prop_assert_eq!(t.secs() * 1_000_000 + t.subsec_micros() as i64, micros);
+        prop_assert!(t.subsec_micros() < 1_000_000);
+    }
+
+    /// Hour-of-week is always in range and consistent with hour-of-day.
+    #[test]
+    fn hour_of_week_in_range(offset in 0i64..(121 * 86_400)) {
+        let ts = Timestamp::from_secs(StudyCalendar::STUDY_START_SECS + offset);
+        let h = StudyCalendar::hour_of_week(ts);
+        prop_assert!(h < 168);
+        prop_assert_eq!(h % 24, StudyCalendar::hour_of_day(ts) as usize);
+    }
+
+    /// PrefixSet::longest_match agrees with a naive scan.
+    #[test]
+    fn prefix_set_matches_naive(
+        prefixes in proptest::collection::vec((any::<u32>(), 8u8..=32), 1..20),
+        probe in any::<u32>()
+    ) {
+        let cidrs: Vec<Ipv4Cidr> = prefixes
+            .iter()
+            .map(|&(addr, len)| Ipv4Cidr::new(Ipv4Addr::from(addr), len))
+            .collect();
+        let set = PrefixSet::from_iter(cidrs.iter().copied());
+        let addr = Ipv4Addr::from(probe);
+        let naive = cidrs
+            .iter()
+            .filter(|c| c.contains(addr))
+            .max_by_key(|c| c.prefix_len())
+            .map(|c| c.prefix_len());
+        prop_assert_eq!(set.longest_match(addr).map(|c| c.prefix_len()), naive);
+    }
+
+    /// MAC parsing round-trips display output.
+    #[test]
+    fn mac_display_parse_roundtrip(octets in any::<[u8; 6]>()) {
+        let mac = MacAddr(octets);
+        prop_assert_eq!(mac.to_string().parse::<MacAddr>().unwrap(), mac);
+    }
+
+    /// The lease index never attributes an IP outside any lease interval
+    /// and agrees with a naive interval scan.
+    #[test]
+    fn lease_index_matches_naive(
+        events in proptest::collection::vec(
+            (0i64..10_000, 0u8..3, 0u8..4, 0u8..4),
+            1..40
+        ),
+        probe_ts in 0i64..12_000,
+        probe_ip in 0u8..4
+    ) {
+        let to_event = |&(ts, action, ip, mac): &(i64, u8, u8, u8)| LeaseEvent {
+            ts: Timestamp::from_secs(ts),
+            action: match action {
+                0 => LeaseAction::Assign,
+                1 => LeaseAction::Renew,
+                _ => LeaseAction::Release,
+            },
+            ip: Ipv4Addr::new(10, 40, 0, ip),
+            mac: MacAddr::new(0, 0, 0, 0, 0, mac),
+        };
+        let evs: Vec<LeaseEvent> = events.iter().map(to_event).collect();
+        let idx = LeaseIndex::build(&evs, 3600);
+        let got = idx.lookup(Ipv4Addr::new(10, 40, 0, probe_ip), Timestamp::from_secs(probe_ts));
+
+        // Naive re-simulation of the ownership rules.
+        let mut sorted = evs.clone();
+        sorted.sort_by_key(|e| e.ts);
+        let mut owner: Option<(MacAddr, i64, i64)> = None; // (mac, start, last_activity)
+        let mut naive = None;
+        let ip = Ipv4Addr::new(10, 40, 0, probe_ip);
+        let mut intervals: Vec<(i64, i64, MacAddr)> = Vec::new();
+        for e in &sorted {
+            if e.ip != ip { continue; }
+            let ts = e.ts.secs();
+            match e.action {
+                LeaseAction::Assign => {
+                    if let Some((m, s, la)) = owner.take() {
+                        if m == e.mac {
+                            owner = Some((m, s, ts));
+                            continue;
+                        }
+                        intervals.push((s, ts.min(la + 3600).max(s), m));
+                    }
+                    owner = Some((e.mac, ts, ts));
+                }
+                LeaseAction::Renew => {
+                    if let Some((m, _, la)) = &mut owner {
+                        if *m == e.mac { *la = ts; }
+                    }
+                }
+                LeaseAction::Release => {
+                    if let Some((m, s, la)) = owner.take() {
+                        if m == e.mac {
+                            intervals.push((s, ts.min(la + 3600).max(s), m));
+                        } else {
+                            owner = Some((m, s, la));
+                        }
+                    }
+                }
+            }
+        }
+        if let Some((m, s, la)) = owner {
+            intervals.push((s, la + 3600, m));
+        }
+        for (s, epoch_end, m) in intervals {
+            if (s..epoch_end).contains(&probe_ts) {
+                naive = Some(m);
+            }
+        }
+        prop_assert_eq!(got, naive);
+    }
+
+    /// Session stitching never produces overlapping sessions for the same
+    /// (device, family) and preserves total bytes.
+    #[test]
+    fn stitcher_invariants(
+        flows in proptest::collection::vec((0i64..5_000, 1i64..600, 1u64..1_000_000), 1..50),
+        gap in 0i64..120
+    ) {
+        use appsig::{App, SessionStitcher};
+        use nettrace::DeviceId;
+        let mut sorted = flows.clone();
+        sorted.sort();
+        let mut st = SessionStitcher::with_gap_secs(gap);
+        let mut total = 0u64;
+        for &(start, dur, bytes) in &sorted {
+            total += bytes;
+            st.push(
+                DeviceId(1),
+                App::TikTok,
+                Timestamp::from_secs(start),
+                Timestamp::from_secs(start + dur),
+                bytes,
+            );
+        }
+        let sessions = st.finish();
+        prop_assert_eq!(sessions.iter().map(|s| s.bytes).sum::<u64>(), total);
+        prop_assert_eq!(
+            sessions.iter().map(|s| s.flows as usize).sum::<usize>(),
+            sorted.len()
+        );
+        for w in sessions.windows(2) {
+            // Sorted by start; successive sessions separated by > gap.
+            prop_assert!(w[1].start.delta_secs(w[0].end) >= gap);
+        }
+    }
+
+    /// Box stats are ordered for arbitrary inputs.
+    #[test]
+    fn box_stats_ordered(values in proptest::collection::vec(0.0f64..1e12, 1..200)) {
+        let mut v = values.clone();
+        let b = analysis::BoxStats::compute(&mut v).unwrap();
+        prop_assert!(b.p1 <= b.q1);
+        prop_assert!(b.q1 <= b.median);
+        prop_assert!(b.median <= b.q3);
+        prop_assert!(b.q3 <= b.p95);
+        prop_assert!(b.p95 <= b.p99);
+        prop_assert_eq!(b.n, values.len());
+    }
+
+    /// Domain suffix matching is consistent with string semantics.
+    #[test]
+    fn domain_suffix_semantics(
+        label_a in "[a-z][a-z0-9]{0,8}",
+        label_b in "[a-z][a-z0-9]{0,8}",
+        label_c in "[a-z][a-z0-9]{0,8}"
+    ) {
+        use dnslog::DomainName;
+        let full = DomainName::parse(&format!("{label_a}.{label_b}.{label_c}")).unwrap();
+        let suffix = format!("{label_b}.{label_c}");
+        prop_assert!(full.is_under(&suffix));
+        prop_assert!(full.is_under(&label_c));
+        prop_assert!(full.is_under(full.as_str()));
+        // A mangled suffix must not match unless it coincides.
+        let bogus = format!("x{label_b}.{label_c}");
+        if format!("{label_a}.{label_b}") != format!("x{label_b}") {
+            prop_assert!(!full.is_under(&bogus));
+        }
+    }
+
+    /// Anonymization is injective in practice over dense MAC blocks.
+    #[test]
+    fn anonymization_injective(base in any::<u32>(), key in any::<u64>()) {
+        use nettrace::DeviceId;
+        use std::collections::HashSet;
+        let mut seen = HashSet::new();
+        for i in 0..64u32 {
+            let mac = MacAddr::from_oui_suffix(nettrace::Oui::new(0, 0x1a, 0x2b), base.wrapping_add(i) & 0xff_ffff);
+            seen.insert(DeviceId::anonymize(mac, key));
+        }
+        // 64 distinct MACs (suffixes may wrap to at most 64 distinct values).
+        let distinct_macs: HashSet<u32> = (0..64u32).map(|i| base.wrapping_add(i) & 0xff_ffff).collect();
+        prop_assert_eq!(seen.len(), distinct_macs.len());
+    }
+}
+
+#[test]
+fn generator_determinism_across_thread_counts() {
+    // Running the study sequentially and with 8 threads produces the
+    // same collected state (merge commutativity).
+    use campussim::SimConfig;
+    let a = lockdown_core::Study::run(SimConfig::at_scale(0.005), 1);
+    let b = lockdown_core::Study::run(SimConfig::at_scale(0.005), 8);
+    assert_eq!(a.norm_stats, b.norm_stats);
+    let ha = a.headline();
+    let hb = b.headline();
+    assert_eq!(ha.peak_active, hb.peak_active);
+    assert_eq!(ha.trough_active, hb.trough_active);
+    assert_eq!(ha.post_shutdown_devices, hb.post_shutdown_devices);
+    assert_eq!(ha.intl_devices, hb.intl_devices);
+    assert_eq!(ha.switches_pre, hb.switches_pre);
+    assert!((ha.sites_growth - hb.sites_growth).abs() < 1e-12);
+}
