@@ -80,6 +80,10 @@ pub struct StudyCollector {
     pub sites: DistinctSiteCounter,
     /// Domain classification memo (worker-local, not merged).
     cache: MatchCache,
+    /// Open social sessions for the day currently being streamed
+    /// (worker-local; drained by [`finish_day`](Self::finish_day),
+    /// never merged).
+    stitcher: SessionStitcher,
 }
 
 impl StudyCollector {
@@ -106,75 +110,84 @@ impl StudyCollector {
         }
     }
 
-    /// Process one day's labeled flows (must be sorted by start time).
-    pub fn observe_day(
+    /// Fold one labeled flow into every accumulator.
+    ///
+    /// This is the streaming heart of the collector: the pipeline calls
+    /// it once per flow, in per-device timestamp order, and nothing is
+    /// buffered except open social sessions. Call
+    /// [`finish_day`](Self::finish_day) after the day's last flow.
+    pub fn observe_flow(
         &mut self,
         ctx: &PipelineCtx,
         table: &DomainTable,
         day: Day,
-        flows: &[LabeledFlow],
+        lf: &LabeledFlow,
     ) {
         let month = day.month();
-        let mut stitcher = SessionStitcher::new();
-        for lf in flows {
-            let f = &lf.flow;
-            let bytes = f.total_bytes();
-            let app = ctx.signatures.classify_flow(lf, table, &mut self.cache);
+        let f = &lf.flow;
+        let bytes = f.total_bytes();
+        let app = ctx.signatures.classify_flow(lf, table, &mut self.cache);
 
-            self.volume.add(f.device, day, bytes);
-            self.hourweek.add(f.device, f.ts, bytes);
+        self.volume.add(f.device, day, bytes);
+        self.hourweek.add(f.device, f.ts, bytes);
 
-            if app == Some(App::Zoom) {
-                self.zoom.add(f.device, day, bytes);
-            }
+        if app == Some(App::Zoom) {
+            self.zoom.add(f.device, day, bytes);
+        }
 
-            // Steam usage (Figure 7): bytes and connection counts.
-            if app == Some(App::Steam) {
-                let e = self.steam.entry(f.device).or_default();
-                e[month.index()].0 += bytes;
-                e[month.index()].1 += 1;
-            }
+        // Steam usage (Figure 7): bytes and connection counts.
+        if app == Some(App::Steam) {
+            let e = self.steam.entry(f.device).or_default();
+            e[month.index()].0 += bytes;
+            e[month.index()].1 += 1;
+        }
 
-            // Switch gameplay (Figure 8): update/download domains filtered.
-            if app == Some(App::SwitchGameplay) {
-                self.switch_gameplay.add(f.device, day, bytes);
-            }
-            self.switch_detect.observe(f.device, f.ts, app, bytes);
+        // Switch gameplay (Figure 8): update/download domains filtered.
+        if app == Some(App::SwitchGameplay) {
+            self.switch_gameplay.add(f.device, day, bytes);
+        }
+        self.switch_detect.observe(f.device, f.ts, app, bytes);
 
-            // Classification evidence.
-            let profile = self.profiles.entry(f.device).or_default();
-            profile.total_bytes += bytes;
-            if matches!(app, Some(App::SwitchGameplay | App::SwitchServices)) {
-                profile.console_bytes += bytes;
-            }
-            let is_backend = lf
-                .domain
-                .map(|d| is_iot_backend(table.name(d)))
-                .unwrap_or(false);
-            profile.iot.add(bytes, is_backend);
+        // Classification evidence.
+        let profile = self.profiles.entry(f.device).or_default();
+        profile.total_bytes += bytes;
+        if matches!(app, Some(App::SwitchGameplay | App::SwitchServices)) {
+            profile.console_bytes += bytes;
+        }
+        let is_backend = lf
+            .domain
+            .map(|d| is_iot_backend(table.name(d)))
+            .unwrap_or(false);
+        profile.iot.add(bytes, is_backend);
 
-            // Geographic midpoint (February destinations, CDNs excluded).
-            if StudyCalendar::month_of(f.ts) == Some(Month::Feb) && !ctx.cdns.contains(f.remote) {
-                if let Some(entry) = ctx.geodb.lookup(f.remote) {
-                    self.midpoints.entry(f.device).or_default().add(
-                        entry.lat,
-                        entry.lon,
-                        bytes as f64,
-                    );
-                }
-            }
-
-            // Distinct sites.
-            if let Some(dom) = lf.domain {
-                self.sites.record(f.device, month, dom, table);
-            }
-
-            // Social session stitching (Figure 6).
-            if matches!(app, Some(App::Facebook | App::Instagram | App::TikTok)) {
-                stitcher.push(f.device, app.expect("matched above"), f.ts, f.end(), bytes);
+        // Geographic midpoint (February destinations, CDNs excluded).
+        if StudyCalendar::month_of(f.ts) == Some(Month::Feb) && !ctx.cdns.contains(f.remote) {
+            if let Some(entry) = ctx.geodb.lookup(f.remote) {
+                self.midpoints
+                    .entry(f.device)
+                    .or_default()
+                    .add(entry.lat, entry.lon, bytes as f64);
             }
         }
-        for session in stitcher.finish() {
+
+        // Distinct sites.
+        if let Some(dom) = lf.domain {
+            self.sites.record(f.device, month, dom, table);
+        }
+
+        // Social session stitching (Figure 6).
+        if matches!(app, Some(App::Facebook | App::Instagram | App::TikTok)) {
+            self.stitcher
+                .push(f.device, app.expect("matched above"), f.ts, f.end(), bytes);
+        }
+    }
+
+    /// Close out the day's streaming state: sessions still open in the
+    /// stitcher end, and their durations land in the monthly totals.
+    /// Must be called once after each day's flows (and before handing
+    /// this collector to [`merge`](Self::merge)).
+    pub fn finish_day(&mut self) {
+        for session in std::mem::take(&mut self.stitcher).finish() {
             let Some(ai) = social_index(session.app) else {
                 continue;
             };
@@ -186,8 +199,29 @@ impl StudyCollector {
         }
     }
 
+    /// Process one day's labeled flows (must be sorted by start time).
+    /// Batch wrapper over [`observe_flow`](Self::observe_flow) +
+    /// [`finish_day`](Self::finish_day).
+    pub fn observe_day(
+        &mut self,
+        ctx: &PipelineCtx,
+        table: &DomainTable,
+        day: Day,
+        flows: &[LabeledFlow],
+    ) {
+        for lf in flows {
+            self.observe_flow(ctx, table, day, lf);
+        }
+        self.finish_day();
+    }
+
     /// Merge a worker's collector into this one.
     pub fn merge(&mut self, other: StudyCollector) {
+        debug_assert_eq!(
+            other.stitcher.open_count(),
+            0,
+            "merge before finish_day: open social sessions would be lost"
+        );
         self.volume.merge(other.volume);
         self.zoom.merge(other.zoom);
         self.hourweek.merge(other.hourweek);

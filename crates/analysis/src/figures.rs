@@ -462,8 +462,8 @@ pub fn figure8(c: &StudyCollector, _s: &StudySummary) -> Fig8 {
         .collect();
     let mut daily = vec![0.0; nd];
     for &dev in &switches {
-        for d in 0..nd {
-            daily[d] += c.switch_gameplay.get(dev, Day(d as u16)) as f64;
+        for (d, total) in daily.iter_mut().enumerate() {
+            *total += c.switch_gameplay.get(dev, Day(d as u16)) as f64;
         }
     }
     Fig8 {
@@ -475,7 +475,9 @@ pub fn figure8(c: &StudyCollector, _s: &StudySummary) -> Fig8 {
 /// The paper's in-text headline statistics (DESIGN.md's STAT-* rows),
 /// computed from one study run. The 2019 comparison needs a second
 /// (counterfactual) run and lives in `lockdown-core`.
-#[derive(Debug, Clone)]
+/// `PartialEq` is exact (bitwise on the `f64` fields) so equivalence
+/// tests can assert that two pipeline variants agree to the last bit.
+#[derive(Debug, Clone, PartialEq)]
 pub struct HeadlineStats {
     /// Peak daily active device count (paper: 32,019).
     pub peak_active: u32,

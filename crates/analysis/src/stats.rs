@@ -22,13 +22,13 @@ pub fn percentile_sorted(sorted: &[f64], q: f64) -> Option<f64> {
 }
 
 /// Sort a vector and compute a percentile.
-pub fn percentile(values: &mut Vec<f64>, q: f64) -> Option<f64> {
+pub fn percentile(values: &mut [f64], q: f64) -> Option<f64> {
     values.sort_by(f64::total_cmp);
     percentile_sorted(values, q)
 }
 
 /// Median of unsorted values.
-pub fn median(values: &mut Vec<f64>) -> Option<f64> {
+pub fn median(values: &mut [f64]) -> Option<f64> {
     percentile(values, 50.0)
 }
 
@@ -63,7 +63,7 @@ pub struct BoxStats {
 
 impl BoxStats {
     /// Compute from unsorted values. Returns `None` on empty input.
-    pub fn compute(values: &mut Vec<f64>) -> Option<BoxStats> {
+    pub fn compute(values: &mut [f64]) -> Option<BoxStats> {
         values.sort_by(f64::total_cmp);
         Some(BoxStats {
             n: values.len(),

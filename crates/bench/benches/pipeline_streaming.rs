@@ -1,0 +1,68 @@
+//! Streamed vs. materialized per-day processing.
+//!
+//! `per_day_pipeline/materialized` is the legacy path: generate a full
+//! `DayTrace`, batch-build the lease index and resolver map, collect
+//! from a `Vec<LabeledFlow>`. `per_day_pipeline/streamed` pushes each
+//! record end-to-end through the stage pipeline as the generator emits
+//! it. Both include generation, so the numbers compare like with like.
+//! Criterion measures wall-clock only; see this crate's README for how
+//! to compare peak RSS, which is where the streamed path actually wins.
+
+use analysis::collect::{PipelineCtx, StudyCollector};
+use campussim::{CampusSim, DayEvent};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use lockdown_bench::bench_config;
+use lockdown_core::{process_day, process_day_streaming};
+use nettrace::time::Day;
+
+fn bench_streaming(c: &mut Criterion) {
+    let sim = CampusSim::new(bench_config());
+    let ctx = PipelineCtx::study();
+    let day = Day(75); // busy online-term weekday
+    let trace = sim.day_trace(day);
+    let n_flows = trace.flows.len() as u64;
+    let table = sim.directory().table();
+    let key = sim.config().anon_key;
+
+    let mut g = c.benchmark_group("day_generation");
+    g.throughput(Throughput::Elements(n_flows));
+    g.bench_function("materialize_day_trace", |b| {
+        b.iter(|| sim.day_trace(day));
+    });
+    g.bench_function("stream_day_drain", |b| {
+        b.iter(|| {
+            let mut flows = 0u64;
+            sim.stream_day(day, &mut |e: DayEvent| {
+                if matches!(e, DayEvent::Flow(_)) {
+                    flows += 1;
+                }
+            });
+            flows
+        });
+    });
+    g.finish();
+
+    let mut g = c.benchmark_group("per_day_pipeline");
+    g.throughput(Throughput::Elements(n_flows));
+    g.bench_function("materialized", |b| {
+        b.iter(|| {
+            let mut collector = StudyCollector::new();
+            let trace = sim.day_trace(day);
+            process_day(&ctx, table, &mut collector, day, &trace, key)
+        });
+    });
+    g.bench_function("streamed", |b| {
+        b.iter(|| {
+            let mut collector = StudyCollector::new();
+            process_day_streaming(&ctx, table, &mut collector, day, &sim, key)
+        });
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_streaming
+}
+criterion_main!(benches);

@@ -47,6 +47,75 @@ pub struct DayTrace {
     pub ua: Vec<UaSighting>,
 }
 
+/// A consumer of one day's event stream.
+///
+/// [`CampusSim::stream_day`] drives a `DaySink` device by device: for
+/// each present device it delivers that device's lease events, then its
+/// DNS queries, then its flows, then its User-Agent sightings, each
+/// group in timestamp order. The stream is therefore *device-major*:
+/// timestamps are monotone within a device but not across devices.
+/// That is exactly the [`nettrace::Stage`] contract — every event a
+/// flow depends on (its device's lease bracket, its service's DNS
+/// resolution) arrives before the flow itself, and day-level results
+/// must be invariant to device interleaving.
+pub trait DaySink {
+    /// One DHCP lease event.
+    fn lease(&mut self, event: LeaseEvent);
+    /// One DNS query with its answer set.
+    fn dns(&mut self, query: DnsQuery);
+    /// One flow record.
+    fn flow(&mut self, flow: FlowRecord);
+    /// One User-Agent sighting.
+    fn ua(&mut self, sighting: UaSighting);
+}
+
+/// A single event from the day stream, for closure-based sinks.
+#[derive(Debug, Clone)]
+pub enum DayEvent {
+    /// A DHCP lease event.
+    Lease(LeaseEvent),
+    /// A DNS query.
+    Dns(DnsQuery),
+    /// A flow record.
+    Flow(FlowRecord),
+    /// A User-Agent sighting.
+    Ua(UaSighting),
+}
+
+/// Any `FnMut(DayEvent)` is a sink, so ad-hoc consumers need no type.
+impl<F: FnMut(DayEvent)> DaySink for F {
+    fn lease(&mut self, event: LeaseEvent) {
+        self(DayEvent::Lease(event));
+    }
+    fn dns(&mut self, query: DnsQuery) {
+        self(DayEvent::Dns(query));
+    }
+    fn flow(&mut self, flow: FlowRecord) {
+        self(DayEvent::Flow(flow));
+    }
+    fn ua(&mut self, sighting: UaSighting) {
+        self(DayEvent::Ua(sighting));
+    }
+}
+
+/// Collecting into a [`DayTrace`] is the batch adapter over the stream.
+/// Events land unsorted here; [`CampusSim::day_trace`] restores the
+/// global timestamp order afterwards.
+impl DaySink for DayTrace {
+    fn lease(&mut self, event: LeaseEvent) {
+        self.leases.push(event);
+    }
+    fn dns(&mut self, query: DnsQuery) {
+        self.dns.push(query);
+    }
+    fn flow(&mut self, flow: FlowRecord) {
+        self.flows.push(flow);
+    }
+    fn ua(&mut self, sighting: UaSighting) {
+        self.ua.push(sighting);
+    }
+}
+
 /// The synthetic campus.
 pub struct CampusSim {
     cfg: SimConfig,
@@ -91,21 +160,51 @@ impl CampusSim {
         pool.nth(1 + idx as u32)
     }
 
-    /// Generate one day of traffic. Deterministic; thread-safe.
+    /// Generate one day of traffic as a materialized [`DayTrace`], each
+    /// event class globally timestamp-sorted. Thin adapter over
+    /// [`stream_day`](Self::stream_day), kept for tools that want random
+    /// access; the measurement pipeline itself consumes the stream.
     pub fn day_trace(&self, day: Day) -> DayTrace {
         let mut out = DayTrace::default();
-        for device in &self.population.devices {
-            if !self.population.device_present(device, day) {
-                continue;
-            }
-            let student = self.population.owner_of(device);
-            self.device_day(device, student, day, &mut out);
-        }
+        self.stream_day(day, &mut out);
         out.flows.sort_by_key(|f| (f.ts, f.orig, f.orig_port));
         out.dns.sort_by_key(|q| (q.ts, q.device));
         out.leases.sort_by_key(|l| (l.ts, l.ip));
         out.ua.sort_by_key(|u| (u.ts, u.device));
         out
+    }
+
+    /// Generate one day of traffic directly into `sink`, never holding
+    /// more than a single device's events in memory. Deterministic;
+    /// thread-safe; ordering contract documented on [`DaySink`].
+    pub fn stream_day<S: DaySink>(&self, day: Day, sink: &mut S) {
+        let mut scratch = DayTrace::default();
+        for device in &self.population.devices {
+            if !self.population.device_present(device, day) {
+                continue;
+            }
+            let student = self.population.owner_of(device);
+            self.device_day(device, student, day, &mut scratch);
+            // Per-device timestamp order. A device's flows all share one
+            // source IP for the day, so (ts, orig_port) is as fine a key
+            // as the global (ts, orig, orig_port) sort in `day_trace`.
+            scratch.flows.sort_by_key(|f| (f.ts, f.orig_port));
+            scratch.dns.sort_by_key(|q| q.ts);
+            scratch.leases.sort_by_key(|l| l.ts);
+            scratch.ua.sort_by_key(|u| u.ts);
+            for event in scratch.leases.drain(..) {
+                sink.lease(event);
+            }
+            for query in scratch.dns.drain(..) {
+                sink.dns(query);
+            }
+            for flow in scratch.flows.drain(..) {
+                sink.flow(flow);
+            }
+            for sighting in scratch.ua.drain(..) {
+                sink.ua(sighting);
+            }
+        }
     }
 
     fn device_day(&self, device: &Device, student: &Student, day: Day, out: &mut DayTrace) {
@@ -819,6 +918,45 @@ mod tests {
         assert_eq!(a.leases, b.leases);
         assert_eq!(a.ua, b.ua);
         assert!(!a.flows.is_empty());
+    }
+
+    #[test]
+    fn stream_day_matches_trace_and_orders_per_device() {
+        use std::collections::{HashMap, HashSet};
+        let sim = tiny_sim();
+        let day = Day(40);
+
+        let mut streamed = DayTrace::default();
+        let mut leased: HashSet<Ipv4Addr> = HashSet::new();
+        let mut last_flow_ts: HashMap<Ipv4Addr, Timestamp> = HashMap::new();
+        sim.stream_day(day, &mut |e: DayEvent| match e {
+            DayEvent::Lease(l) => {
+                leased.insert(l.ip);
+                streamed.leases.push(l);
+            }
+            DayEvent::Dns(q) => streamed.dns.push(q),
+            DayEvent::Flow(f) => {
+                // The stream contract: a device's lease bracket precedes
+                // its flows, and its flows arrive in timestamp order.
+                assert!(leased.contains(&f.orig), "flow before its lease");
+                if let Some(prev) = last_flow_ts.insert(f.orig, f.ts) {
+                    assert!(f.ts >= prev, "per-device flow order violated");
+                }
+                streamed.flows.push(f);
+            }
+            DayEvent::Ua(u) => streamed.ua.push(u),
+        });
+
+        // Same events as the batch trace, just differently interleaved.
+        streamed.flows.sort_by_key(|f| (f.ts, f.orig, f.orig_port));
+        streamed.dns.sort_by_key(|q| (q.ts, q.device));
+        streamed.leases.sort_by_key(|l| (l.ts, l.ip));
+        streamed.ua.sort_by_key(|u| (u.ts, u.device));
+        let batch = sim.day_trace(day);
+        assert_eq!(streamed.flows, batch.flows);
+        assert_eq!(streamed.dns, batch.dns);
+        assert_eq!(streamed.leases, batch.leases);
+        assert_eq!(streamed.ua, batch.ua);
     }
 
     #[test]

@@ -51,7 +51,7 @@ pub fn render_flow(f: &FlowRecord, device_mac: MacAddr) -> Vec<(Timestamp, Vec<u
         dst_ip: f.resp,
         src_port: f.orig_port,
         dst_port: f.resp_port,
-        ident: (f.orig_port ^ f.resp_port) as u16,
+        ident: f.orig_port ^ f.resp_port,
     };
     let rev = BuildSpec {
         src_mac: GATEWAY_MAC,
@@ -60,7 +60,7 @@ pub fn render_flow(f: &FlowRecord, device_mac: MacAddr) -> Vec<(Timestamp, Vec<u
         dst_ip: f.orig,
         src_port: f.resp_port,
         dst_port: f.orig_port,
-        ident: (f.orig_port ^ f.resp_port) as u16,
+        ident: f.orig_port ^ f.resp_port,
     };
 
     // Split `total` into chunks of at most `size`.

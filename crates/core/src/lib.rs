@@ -21,5 +21,5 @@ pub mod pipeline;
 pub mod report;
 pub mod study;
 
-pub use pipeline::process_day;
+pub use pipeline::{process_day, process_day_streaming, DayPipeline};
 pub use study::{run_with_counterfactual, Study};

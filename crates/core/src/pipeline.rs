@@ -8,14 +8,120 @@
 //! 3. DNS logs label each remote IP with the domain the device resolved;
 //! 4. the labeled stream feeds the study collector (classification
 //!    evidence, application usage, geolocation midpoints, …).
+//!
+//! Two drivers share those stages. [`process_day_streaming`] is the hot
+//! path: it plugs the stages together as a [`DaySink`] and pushes each
+//! record end-to-end the moment the generator emits it, so nothing
+//! day-sized is ever materialized. [`process_day`] is the legacy batch
+//! driver over a materialized [`DayTrace`], kept as the oracle the
+//! streaming path is tested against.
 
 use analysis::collect::{PipelineCtx, StudyCollector};
-use campussim::DayTrace;
-use dhcplog::{LeaseIndex, NormalizeStats, Normalizer, DEFAULT_MAX_LEASE_SECS};
-use dnslog::{DomainTable, LabeledFlow, ResolverMap};
+use campussim::{CampusSim, DaySink, DayTrace, UaSighting};
+use dhcplog::{
+    LeaseEvent, LeaseIndex, NormalizeStage, NormalizeStats, Normalizer, DEFAULT_MAX_LEASE_SECS,
+};
+use dnslog::{DnsQuery, DomainTable, LabeledFlow, ResolverMap};
 use nettrace::ip::campus;
 use nettrace::time::Day;
-use nettrace::DeviceId;
+use nettrace::{DeviceId, FlowRecord, Stage};
+
+/// The full §3 pipeline as a single [`DaySink`]: lease events build the
+/// DHCP state, DNS queries build the resolver map, and every flow runs
+/// normalize → label → collect immediately, one record deep.
+pub struct DayPipeline<'a> {
+    ctx: &'a PipelineCtx,
+    table: &'a DomainTable,
+    collector: &'a mut StudyCollector,
+    day: Day,
+    anon_key: u64,
+    normalize: NormalizeStage,
+    resolver: ResolverMap,
+}
+
+impl<'a> DayPipeline<'a> {
+    /// Wire the stages up for one day, accumulating into `collector`.
+    pub fn new(
+        ctx: &'a PipelineCtx,
+        table: &'a DomainTable,
+        collector: &'a mut StudyCollector,
+        day: Day,
+        anon_key: u64,
+    ) -> Self {
+        DayPipeline {
+            ctx,
+            table,
+            collector,
+            day,
+            anon_key,
+            normalize: NormalizeStage::new(
+                campus::residential_pool(),
+                anon_key,
+                DEFAULT_MAX_LEASE_SECS,
+            ),
+            resolver: ResolverMap::new(),
+        }
+    }
+
+    /// Flush day-scoped state (open social sessions) and return the
+    /// day's normalization statistics.
+    pub fn finish(self) -> NormalizeStats {
+        self.collector.finish_day();
+        self.normalize.stats()
+    }
+}
+
+impl DaySink for DayPipeline<'_> {
+    fn lease(&mut self, event: LeaseEvent) {
+        // Device hardware metadata is visible at this stage (the
+        // pipeline sees raw MACs while normalizing, §3), and only the
+        // anonymized token flows onward.
+        if event.action == dhcplog::LeaseAction::Assign {
+            let dev = DeviceId::anonymize(event.mac, self.anon_key);
+            self.collector.observe_device_meta(
+                dev,
+                event.mac.oui(),
+                event.mac.is_locally_administered(),
+            );
+        }
+        self.normalize.record_lease(&event);
+    }
+
+    fn dns(&mut self, query: DnsQuery) {
+        self.resolver.record(&query);
+    }
+
+    fn flow(&mut self, flow: FlowRecord) {
+        if let Some(df) = self.normalize.push(flow) {
+            if let Some(lf) = self.resolver.push(df) {
+                self.collector
+                    .observe_flow(self.ctx, self.table, self.day, &lf);
+            }
+        }
+    }
+
+    fn ua(&mut self, sighting: UaSighting) {
+        self.collector.observe_ua(sighting.device, sighting.ua);
+    }
+}
+
+/// Process one day by streaming the generator straight into the
+/// pipeline, never holding more than one device's events plus O(state)
+/// lease/resolver tables. Returns the day's normalization statistics;
+/// produces results identical to [`process_day`] over
+/// [`CampusSim::day_trace`].
+pub fn process_day_streaming(
+    ctx: &PipelineCtx,
+    table: &DomainTable,
+    collector: &mut StudyCollector,
+    day: Day,
+    sim: &CampusSim,
+    anon_key: u64,
+) -> NormalizeStats {
+    let mut pipeline = DayPipeline::new(ctx, table, collector, day, anon_key);
+    sim.stream_day(day, &mut pipeline);
+    pipeline.finish()
+}
 
 /// Process one day of raw trace through the full pipeline into the
 /// collector. Returns the normalization statistics for the day.
@@ -118,6 +224,46 @@ mod tests {
             sim.population().devices.iter().map(|d| d.id).collect();
         for dev in collector.volume.devices() {
             assert!(truth.contains(&dev), "unknown device {dev}");
+        }
+    }
+
+    #[test]
+    fn streaming_matches_batch_for_a_day() {
+        let sim = CampusSim::new(SimConfig {
+            scale: 0.01,
+            ..Default::default()
+        });
+        let ctx = PipelineCtx::study();
+        let day = Day(47); // shutdown day: mixed present/absent devices
+        let trace = sim.day_trace(day);
+        let mut batch = StudyCollector::new();
+        let batch_stats = process_day(
+            &ctx,
+            sim.directory().table(),
+            &mut batch,
+            day,
+            &trace,
+            sim.config().anon_key,
+        );
+        let mut streamed = StudyCollector::new();
+        let stream_stats = process_day_streaming(
+            &ctx,
+            sim.directory().table(),
+            &mut streamed,
+            day,
+            &sim,
+            sim.config().anon_key,
+        );
+        assert_eq!(batch_stats, stream_stats);
+        assert_eq!(batch.volume.device_count(), streamed.volume.device_count());
+        for dev in batch.volume.devices() {
+            for m in [nettrace::time::Month::Feb, nettrace::time::Month::Mar] {
+                assert_eq!(
+                    batch.volume.month_total(dev, m),
+                    streamed.volume.month_total(dev, m),
+                    "volume divergence for {dev}"
+                );
+            }
         }
     }
 }

@@ -1,7 +1,14 @@
 //! The study orchestrator: generate → pipeline → collect → finalize,
 //! in parallel over days.
+//!
+//! Parallelism is a work-stealing day queue: workers pull the next day
+//! index off a shared atomic cursor, stream it end-to-end through
+//! [`process_day_streaming`], and merge their collectors at the end.
+//! Which worker processes which day is nondeterministic, but results
+//! are not: days are independent and the collector merge is
+//! commutative, so any schedule produces the same study.
 
-use crate::pipeline::process_day;
+use crate::pipeline::process_day_streaming;
 use analysis::collect::{PipelineCtx, StudyCollector};
 use analysis::figures::{self, StudySummary};
 use analysis::HeadlineStats;
@@ -12,6 +19,45 @@ use geoloc::SubPop;
 use nettrace::time::{Day, Month, StudyCalendar};
 use nettrace::DeviceId;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// One worker's share: pull days off `cursor` until the queue is dry,
+/// streaming each through the pipeline into a private collector.
+fn drain_days(
+    sim: &CampusSim,
+    ctx: &PipelineCtx,
+    days: &[Day],
+    cursor: &AtomicUsize,
+) -> (StudyCollector, NormalizeStats) {
+    let mut collector = StudyCollector::new();
+    let mut stats = NormalizeStats::default();
+    loop {
+        let i = cursor.fetch_add(1, Ordering::Relaxed);
+        let Some(&day) = days.get(i) else { break };
+        stats += process_day_streaming(
+            ctx,
+            sim.directory().table(),
+            &mut collector,
+            day,
+            sim,
+            sim.config().anon_key,
+        );
+    }
+    (collector, stats)
+}
+
+/// Merge per-worker results into one collector + stats pair.
+fn merge_results(
+    results: impl IntoIterator<Item = (StudyCollector, NormalizeStats)>,
+) -> (StudyCollector, NormalizeStats) {
+    let mut collector = StudyCollector::new();
+    let mut stats = NormalizeStats::default();
+    for (c, s) in results {
+        collector.merge(c);
+        stats += s;
+    }
+    (collector, stats)
+}
 
 /// A completed study run.
 pub struct Study {
@@ -27,82 +73,32 @@ pub struct Study {
 
 impl Study {
     /// Run the full 121-day study, fanning days out over `threads`
-    /// workers (1 = sequential). Deterministic regardless of thread
-    /// count: each day is generated and processed independently and the
-    /// per-worker collectors merge commutatively.
+    /// workers (1 = sequential). Days are handed out through a shared
+    /// work-stealing cursor, so a slow day (e.g. peak-occupancy
+    /// February) never leaves the other workers idle the way static
+    /// round-robin chunking did. Deterministic regardless of thread
+    /// count: each day is streamed independently and the per-worker
+    /// collectors merge commutatively.
     pub fn run(cfg: SimConfig, threads: usize) -> Study {
         let sim = CampusSim::new(cfg);
         let ctx = PipelineCtx::study();
         let days: Vec<Day> = StudyCalendar::days().collect();
         let threads = threads.max(1);
+        let cursor = AtomicUsize::new(0);
 
         let (collector, norm_stats) = if threads == 1 {
-            let mut collector = StudyCollector::new();
-            let mut stats = NormalizeStats::default();
-            for &day in &days {
-                let trace = sim.day_trace(day);
-                let s = process_day(
-                    &ctx,
-                    sim.directory().table(),
-                    &mut collector,
-                    day,
-                    &trace,
-                    sim.config().anon_key,
-                );
-                stats.attributed += s.attributed;
-                stats.unattributed += s.unattributed;
-                stats.foreign += s.foreign;
-            }
-            (collector, stats)
+            drain_days(&sim, &ctx, &days, &cursor)
         } else {
-            let chunks: Vec<Vec<Day>> = (0..threads)
-                .map(|t| {
-                    days.iter()
-                        .copied()
-                        .skip(t)
-                        .step_by(threads)
-                        .collect::<Vec<_>>()
-                })
-                .collect();
-            let results: Vec<(StudyCollector, NormalizeStats)> = crossbeam::thread::scope(|s| {
-                let handles: Vec<_> = chunks
-                    .iter()
-                    .map(|chunk| {
-                        let sim = &sim;
-                        let ctx = &ctx;
-                        s.spawn(move |_| {
-                            let mut collector = StudyCollector::new();
-                            let mut stats = NormalizeStats::default();
-                            for &day in chunk {
-                                let trace = sim.day_trace(day);
-                                let st = process_day(
-                                    ctx,
-                                    sim.directory().table(),
-                                    &mut collector,
-                                    day,
-                                    &trace,
-                                    sim.config().anon_key,
-                                );
-                                stats.attributed += st.attributed;
-                                stats.unattributed += st.unattributed;
-                                stats.foreign += st.foreign;
-                            }
-                            (collector, stats)
-                        })
-                    })
+            let results: Vec<(StudyCollector, NormalizeStats)> = std::thread::scope(|s| {
+                let handles: Vec<_> = (0..threads)
+                    .map(|_| s.spawn(|| drain_days(&sim, &ctx, &days, &cursor)))
                     .collect();
-                handles.into_iter().map(|h| h.join().unwrap()).collect()
-            })
-            .expect("worker panicked");
-            let mut collector = StudyCollector::new();
-            let mut stats = NormalizeStats::default();
-            for (c, st) in results {
-                collector.merge(c);
-                stats.attributed += st.attributed;
-                stats.unattributed += st.unattributed;
-                stats.foreign += st.foreign;
-            }
-            (collector, stats)
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("worker panicked"))
+                    .collect()
+            });
+            merge_results(results)
         };
 
         let summary = StudySummary::finalize(&collector);
@@ -195,9 +191,67 @@ impl Study {
 /// (study, counterfactual, growth-vs-2019). The counterfactual shares
 /// the seed and population scale but has no pandemic; the paper reports
 /// Apr/May 2020 traffic 53% above 2019.
+///
+/// Both runs share one pool of scoped workers: each worker drains the
+/// study's day queue, then rolls straight into the counterfactual's,
+/// so no threads are torn down and respawned between the runs and the
+/// pool stays busy across the boundary.
 pub fn run_with_counterfactual(cfg: SimConfig, threads: usize) -> (Study, Study, f64) {
-    let study = Study::run(cfg.clone(), threads);
-    let cf = Study::run(cfg.counterfactual(), threads);
+    let cf_cfg = cfg.counterfactual();
+    let sim = CampusSim::new(cfg);
+    let cf_sim = CampusSim::new(cf_cfg);
+    let ctx = PipelineCtx::study();
+    let days: Vec<Day> = StudyCalendar::days().collect();
+    let threads = threads.max(1);
+    let cursor = AtomicUsize::new(0);
+    let cf_cursor = AtomicUsize::new(0);
+
+    type WorkerOut = (
+        (StudyCollector, NormalizeStats),
+        (StudyCollector, NormalizeStats),
+    );
+    let results: Vec<WorkerOut> = if threads == 1 {
+        vec![(
+            drain_days(&sim, &ctx, &days, &cursor),
+            drain_days(&cf_sim, &ctx, &days, &cf_cursor),
+        )]
+    } else {
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..threads)
+                .map(|_| {
+                    s.spawn(|| {
+                        (
+                            drain_days(&sim, &ctx, &days, &cursor),
+                            drain_days(&cf_sim, &ctx, &days, &cf_cursor),
+                        )
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker panicked"))
+                .collect()
+        })
+    };
+    let (study_results, cf_results): (Vec<_>, Vec<_>) = results.into_iter().unzip();
+    let (collector, norm_stats) = merge_results(study_results);
+    let (cf_collector, cf_norm_stats) = merge_results(cf_results);
+
+    let summary = StudySummary::finalize(&collector);
+    let cf_summary = StudySummary::finalize(&cf_collector);
+    let study = Study {
+        sim,
+        collector,
+        summary,
+        norm_stats,
+    };
+    let cf = Study {
+        sim: cf_sim,
+        collector: cf_collector,
+        summary: cf_summary,
+        norm_stats: cf_norm_stats,
+    };
+
     // Compare the *same cohort*: the 2020 post-shutdown users, whose
     // devices exist identically in the counterfactual population (same
     // seed, unconditional population draws).

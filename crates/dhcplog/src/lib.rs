@@ -16,6 +16,8 @@
 
 pub mod lease;
 pub mod normalize;
+pub mod stream;
 
 pub use lease::{LeaseAction, LeaseEvent};
 pub use normalize::{LeaseIndex, NormalizeStats, Normalizer, DEFAULT_MAX_LEASE_SECS};
+pub use stream::{LeaseTracker, NormalizeStage};

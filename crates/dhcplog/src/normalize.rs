@@ -162,6 +162,29 @@ pub struct NormalizeStats {
     pub foreign: u64,
 }
 
+impl NormalizeStats {
+    /// Fold another pass's counters into this one.
+    pub fn merge(&mut self, other: NormalizeStats) {
+        *self += other;
+    }
+}
+
+impl std::ops::AddAssign for NormalizeStats {
+    fn add_assign(&mut self, other: NormalizeStats) {
+        self.attributed += other.attributed;
+        self.unattributed += other.unattributed;
+        self.foreign += other.foreign;
+    }
+}
+
+impl std::ops::Add for NormalizeStats {
+    type Output = NormalizeStats;
+    fn add(mut self, other: NormalizeStats) -> NormalizeStats {
+        self += other;
+        self
+    }
+}
+
 /// Converts raw flows to device-attributed flows using a [`LeaseIndex`].
 pub struct Normalizer<'a> {
     index: &'a LeaseIndex,

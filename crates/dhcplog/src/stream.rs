@@ -1,0 +1,325 @@
+//! Streaming DHCP normalization.
+//!
+//! [`LeaseTracker`] is the incremental twin of
+//! [`LeaseIndex`](crate::LeaseIndex): instead of batch-building an
+//! immutable interval index from a complete day of lease events, it
+//! ingests events as they arrive and answers ownership queries against
+//! the state built *so far*. [`NormalizeStage`] wraps it into a
+//! [`Stage`] that re-keys raw flows to anonymized device identity one
+//! flow at a time.
+//!
+//! The two agree exactly whenever queries respect the stream contract:
+//! a flow's lease events are pushed before the flow itself (per device —
+//! the global stream may interleave devices). Under that contract every
+//! interval a batch index would have built is either closed identically
+//! here, or still open with the same `start`/`last_activity`, and the
+//! lookup rules below reproduce [`LeaseIndex::lookup`] answer for
+//! answer.
+
+use crate::lease::{LeaseAction, LeaseEvent};
+use crate::normalize::NormalizeStats;
+use nettrace::flow::{DeviceFlow, FlowRecord};
+use nettrace::ip::Ipv4Cidr;
+use nettrace::stage::Stage;
+use nettrace::{DeviceId, MacAddr, Timestamp};
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+#[derive(Debug, Clone, Copy)]
+struct Closed {
+    start: Timestamp,
+    end: Timestamp, // exclusive
+    mac: MacAddr,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Open {
+    start: Timestamp,
+    last_activity: Timestamp,
+    mac: MacAddr,
+}
+
+/// Incrementally-built IP-at-time → MAC state.
+///
+/// Ownership rules match [`LeaseIndex::build`](crate::LeaseIndex::build):
+/// `Assign` opens (same-MAC re-assign extends), `Renew` refreshes the
+/// activity horizon, `Release` closes, and an open binding silently
+/// lapses `max_lease_secs` after its last activity.
+#[derive(Debug)]
+pub struct LeaseTracker {
+    open: HashMap<Ipv4Addr, Open>,
+    closed: HashMap<Ipv4Addr, Vec<Closed>>,
+    max_lease_secs: i64,
+}
+
+impl LeaseTracker {
+    /// Empty tracker with the given lease lifetime cap.
+    pub fn new(max_lease_secs: i64) -> Self {
+        LeaseTracker {
+            open: HashMap::new(),
+            closed: HashMap::new(),
+            max_lease_secs,
+        }
+    }
+
+    fn close(&mut self, ip: Ipv4Addr, o: Open, end: Timestamp) {
+        let horizon = o.last_activity.add_secs(self.max_lease_secs);
+        let end = end.min(horizon).max(o.start);
+        self.closed.entry(ip).or_default().push(Closed {
+            start: o.start,
+            end,
+            mac: o.mac,
+        });
+    }
+
+    /// Ingest one lease event.
+    pub fn record(&mut self, e: &LeaseEvent) {
+        match e.action {
+            LeaseAction::Assign => {
+                if let Some(o) = self.open.get_mut(&e.ip) {
+                    if o.mac == e.mac {
+                        // Re-assign to the same device: just extend.
+                        o.last_activity = e.ts;
+                        return;
+                    }
+                    let o = self.open.remove(&e.ip).expect("present above");
+                    self.close(e.ip, o, e.ts);
+                }
+                self.open.insert(
+                    e.ip,
+                    Open {
+                        start: e.ts,
+                        last_activity: e.ts,
+                        mac: e.mac,
+                    },
+                );
+            }
+            LeaseAction::Renew => {
+                if let Some(o) = self.open.get_mut(&e.ip) {
+                    if o.mac == e.mac {
+                        o.last_activity = e.ts;
+                    }
+                    // Renew for a MAC we never saw assigned: dropped, as in
+                    // the batch index — prefer to under-attribute.
+                }
+            }
+            LeaseAction::Release => {
+                if let Some(o) = self.open.get(&e.ip) {
+                    if o.mac == e.mac {
+                        let o = self.open.remove(&e.ip).expect("present above");
+                        self.close(e.ip, o, e.ts);
+                    }
+                    // Release from the wrong MAC: keep the binding.
+                }
+            }
+        }
+    }
+
+    /// Who held `ip` at `ts`, given the events seen so far?
+    pub fn lookup(&self, ip: Ipv4Addr, ts: Timestamp) -> Option<MacAddr> {
+        if let Some(o) = self.open.get(&ip) {
+            // An open binding owns [start, last_activity + max_lease).
+            if ts >= o.start && ts < o.last_activity.add_secs(self.max_lease_secs) {
+                return Some(o.mac);
+            }
+        }
+        let closed = self.closed.get(&ip)?;
+        // Closed history is start-ordered per IP (events arrive in time
+        // order per device, and an IP's owners are sequential).
+        let idx = closed.partition_point(|c| c.start <= ts);
+        if idx == 0 {
+            return None;
+        }
+        let cand = &closed[idx - 1];
+        (ts < cand.end).then_some(cand.mac)
+    }
+
+    /// Intervals closed so far (diagnostics).
+    pub fn closed_count(&self) -> usize {
+        self.closed.values().map(Vec::len).sum()
+    }
+
+    /// Bindings currently open (diagnostics).
+    pub fn open_count(&self) -> usize {
+        self.open.len()
+    }
+}
+
+/// Streaming flow normalizer: the [`Stage`] twin of
+/// [`Normalizer`](crate::Normalizer), attributing flows against a
+/// [`LeaseTracker`] built incrementally from the same stream.
+pub struct NormalizeStage {
+    tracker: LeaseTracker,
+    pool: Ipv4Cidr,
+    anon_key: u64,
+    stats: NormalizeStats,
+}
+
+impl NormalizeStage {
+    /// `pool` is the monitored residential prefix; `anon_key` the secret
+    /// anonymization key (§3: MACs are anonymized before analysis).
+    pub fn new(pool: Ipv4Cidr, anon_key: u64, max_lease_secs: i64) -> Self {
+        NormalizeStage {
+            tracker: LeaseTracker::new(max_lease_secs),
+            pool,
+            anon_key,
+            stats: NormalizeStats::default(),
+        }
+    }
+
+    /// Ingest one lease event into the tracker state.
+    pub fn record_lease(&mut self, e: &LeaseEvent) {
+        self.tracker.record(e);
+    }
+
+    /// The lease state built so far.
+    pub fn tracker(&self) -> &LeaseTracker {
+        &self.tracker
+    }
+
+    /// Statistics accumulated so far.
+    pub fn stats(&self) -> NormalizeStats {
+        self.stats
+    }
+}
+
+impl Stage for NormalizeStage {
+    type In = FlowRecord;
+    type Out = DeviceFlow;
+
+    /// Normalize one flow. The campus side is whichever endpoint lies in
+    /// the residential pool; byte counters are re-oriented device-centric.
+    fn push(&mut self, f: FlowRecord) -> Option<DeviceFlow> {
+        let (local_ip, remote, remote_port, tx, rx) = if self.pool.contains(f.orig) {
+            (f.orig, f.resp, f.resp_port, f.orig_bytes, f.resp_bytes)
+        } else if self.pool.contains(f.resp) {
+            (f.resp, f.orig, f.orig_port, f.resp_bytes, f.orig_bytes)
+        } else {
+            self.stats.foreign += 1;
+            return None;
+        };
+        match self.tracker.lookup(local_ip, f.ts) {
+            Some(mac) => {
+                self.stats.attributed += 1;
+                Some(DeviceFlow {
+                    device: DeviceId::anonymize(mac, self.anon_key),
+                    ts: f.ts,
+                    duration_micros: f.duration_micros,
+                    remote,
+                    remote_port,
+                    proto: f.proto,
+                    tx_bytes: tx,
+                    rx_bytes: rx,
+                })
+            }
+            None => {
+                self.stats.unattributed += 1;
+                None
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::normalize::{LeaseIndex, DEFAULT_MAX_LEASE_SECS};
+    use nettrace::flow::Proto;
+
+    const IP: Ipv4Addr = Ipv4Addr::new(10, 40, 3, 7);
+    const MAC_A: MacAddr = MacAddr::new(0, 0, 0, 0, 0, 0xa);
+    const MAC_B: MacAddr = MacAddr::new(0, 0, 0, 0, 0, 0xb);
+
+    fn ev(secs: i64, action: LeaseAction, ip: Ipv4Addr, mac: MacAddr) -> LeaseEvent {
+        LeaseEvent {
+            ts: Timestamp::from_secs(secs),
+            action,
+            ip,
+            mac,
+        }
+    }
+
+    #[test]
+    fn tracker_agrees_with_batch_index() {
+        let events = [
+            ev(100, LeaseAction::Assign, IP, MAC_A),
+            ev(3_000, LeaseAction::Renew, IP, MAC_A),
+            ev(50_000, LeaseAction::Release, IP, MAC_A),
+            ev(60_000, LeaseAction::Assign, IP, MAC_B),
+            ev(61_000, LeaseAction::Release, IP, MAC_B),
+        ];
+        let idx = LeaseIndex::build(&events, DEFAULT_MAX_LEASE_SECS);
+        let mut tracker = LeaseTracker::new(DEFAULT_MAX_LEASE_SECS);
+        for e in &events {
+            tracker.record(e);
+        }
+        for secs in [
+            0, 99, 100, 2_999, 49_999, 50_000, 59_999, 60_000, 60_500, 61_000, 90_000,
+        ] {
+            let ts = Timestamp::from_secs(secs);
+            assert_eq!(
+                tracker.lookup(IP, ts),
+                idx.lookup(IP, ts),
+                "divergence at t={secs}"
+            );
+        }
+    }
+
+    #[test]
+    fn open_lease_lapses_after_max_lease() {
+        let mut t = LeaseTracker::new(3600);
+        t.record(&ev(0, LeaseAction::Assign, IP, MAC_A));
+        assert_eq!(t.lookup(IP, Timestamp::from_secs(3599)), Some(MAC_A));
+        assert_eq!(t.lookup(IP, Timestamp::from_secs(3601)), None);
+        t.record(&ev(3000, LeaseAction::Renew, IP, MAC_A));
+        assert_eq!(t.lookup(IP, Timestamp::from_secs(5000)), Some(MAC_A));
+    }
+
+    #[test]
+    fn reassignment_closes_previous_owner() {
+        let mut t = LeaseTracker::new(DEFAULT_MAX_LEASE_SECS);
+        t.record(&ev(100, LeaseAction::Assign, IP, MAC_A));
+        t.record(&ev(500, LeaseAction::Assign, IP, MAC_B));
+        assert_eq!(t.lookup(IP, Timestamp::from_secs(400)), Some(MAC_A));
+        assert_eq!(t.lookup(IP, Timestamp::from_secs(500)), Some(MAC_B));
+    }
+
+    #[test]
+    fn stage_normalizes_like_batch_normalizer() {
+        let mut stage = NormalizeStage::new(
+            nettrace::ip::campus::residential_pool(),
+            42,
+            DEFAULT_MAX_LEASE_SECS,
+        );
+        stage.record_lease(&ev(0, LeaseAction::Assign, IP, MAC_A));
+        let remote = Ipv4Addr::new(1, 2, 3, 4);
+        let f = FlowRecord {
+            ts: Timestamp::from_secs(100),
+            duration_micros: 1_000_000,
+            orig: IP,
+            orig_port: 50_000,
+            resp: remote,
+            resp_port: 443,
+            proto: Proto::Tcp,
+            orig_bytes: 100,
+            resp_bytes: 900,
+            orig_pkts: 2,
+            resp_pkts: 3,
+        };
+        let df = stage.push(f).unwrap();
+        assert_eq!(df.device, DeviceId::anonymize(MAC_A, 42));
+        assert_eq!(df.tx_bytes, 100);
+        assert_eq!(df.rx_bytes, 900);
+        // Neither endpoint residential → foreign.
+        assert!(stage
+            .push(FlowRecord {
+                orig: remote,
+                resp: remote,
+                ..f
+            })
+            .is_none());
+        let s = stage.stats();
+        assert_eq!(s.attributed, 1);
+        assert_eq!(s.foreign, 1);
+    }
+}

@@ -107,6 +107,21 @@ impl ResolverMap {
     }
 }
 
+/// The resolver map is already incremental, so it *is* a [`Stage`]:
+/// feed [`DnsQuery`]s via [`ResolverMap::record`] as they arrive, push
+/// device flows through, and each comes out labeled with the domain its
+/// remote most recently resolved to. Every input produces an output —
+/// a flow with no fresh resolution is labeled `domain: None`, not
+/// dropped.
+impl nettrace::Stage for ResolverMap {
+    type In = DeviceFlow;
+    type Out = LabeledFlow;
+
+    fn push(&mut self, flow: DeviceFlow) -> Option<LabeledFlow> {
+        Some(self.label(flow))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -184,6 +199,11 @@ mod tests {
         let lf = m.label(flow);
         assert_eq!(lf.domain, Some(a));
         assert_eq!(lf.flow, flow);
+
+        // The Stage view labels identically and never drops a flow.
+        use nettrace::Stage;
+        let staged = m.push(flow).unwrap();
+        assert_eq!(staged, lf);
     }
 
     #[test]

@@ -132,6 +132,16 @@ impl Default for PrefixSet {
     }
 }
 
+impl FromIterator<Ipv4Cidr> for PrefixSet {
+    fn from_iter<I: IntoIterator<Item = Ipv4Cidr>>(iter: I) -> Self {
+        let mut set = Self::new();
+        for p in iter {
+            set.insert(p);
+        }
+        set
+    }
+}
+
 impl PrefixSet {
     /// An empty set.
     pub fn new() -> Self {
@@ -139,15 +149,6 @@ impl PrefixSet {
             by_len: vec![Vec::new(); 33],
             len: 0,
         }
-    }
-
-    /// Build from an iterator of prefixes.
-    pub fn from_iter<I: IntoIterator<Item = Ipv4Cidr>>(iter: I) -> Self {
-        let mut set = Self::new();
-        for p in iter {
-            set.insert(p);
-        }
-        set
     }
 
     /// Insert a prefix. Duplicates are ignored.

@@ -38,6 +38,7 @@ pub mod ipv4;
 pub mod mac;
 pub mod packet;
 pub mod pcap;
+pub mod stage;
 pub mod tcp;
 pub mod time;
 pub mod udp;
@@ -46,4 +47,5 @@ pub mod zeek;
 pub use error::{Error, Result};
 pub use flow::{FlowKey, FlowRecord, Proto};
 pub use mac::{DeviceId, MacAddr, Oui};
+pub use stage::Stage;
 pub use time::{Day, Month, Phase, StudyCalendar, Timestamp};

@@ -177,7 +177,7 @@ mod tests {
 
     #[test]
     fn from_oui_suffix_assembles() {
-        let mac = MacAddr::from_oui_suffix(Oui::new(0xaa, 0xbb, 0xcc), 0x0102_03);
+        let mac = MacAddr::from_oui_suffix(Oui::new(0xaa, 0xbb, 0xcc), 0x0001_0203);
         assert_eq!(mac, MacAddr::new(0xaa, 0xbb, 0xcc, 0x01, 0x02, 0x03));
     }
 

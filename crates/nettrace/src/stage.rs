@@ -1,0 +1,52 @@
+//! The streaming stage abstraction.
+//!
+//! A [`Stage`] is one step of the measurement pipeline that consumes
+//! events one at a time and emits at most one output per input. Stages
+//! carry incrementally-built state (lease tables, resolver maps, session
+//! stitchers) instead of requiring the whole day's input up front, so a
+//! pipeline of stages runs in O(device state) memory rather than
+//! O(flows per day).
+//!
+//! The contract mirrors the paper's tap: events arrive in timestamp
+//! order *per device* (the global stream may interleave devices
+//! arbitrarily), and every stage must produce identical cumulative
+//! results under any device interleaving — which is what makes day-level
+//! parallelism and collector merging deterministic.
+
+/// One step of a streaming pipeline.
+pub trait Stage {
+    /// The event type this stage consumes.
+    type In;
+    /// The record type this stage produces.
+    type Out;
+
+    /// Feed one event. `None` means the event was absorbed (filtered,
+    /// counted, or folded into state) and nothing flows downstream.
+    fn push(&mut self, input: Self::In) -> Option<Self::Out>;
+
+    /// Signal end-of-stream. Stages that buffer (e.g. session stitchers)
+    /// finalize here; stateless stages keep the default no-op.
+    fn flush(&mut self) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Doubler;
+    impl Stage for Doubler {
+        type In = u32;
+        type Out = u32;
+        fn push(&mut self, input: u32) -> Option<u32> {
+            input.is_multiple_of(2).then_some(input * 2)
+        }
+    }
+
+    #[test]
+    fn stage_filters_and_maps() {
+        let mut s = Doubler;
+        assert_eq!(s.push(2), Some(4));
+        assert_eq!(s.push(3), None);
+        s.flush();
+    }
+}

@@ -202,10 +202,7 @@ mod tests {
         assert!(text.contains("#fields\tts\tuid\tid.orig_h"));
         assert!(text.trim_end().ends_with("#close"));
         // Exactly one data row.
-        assert_eq!(
-            text.lines().filter(|l| !l.starts_with('#')).count(),
-            1
-        );
+        assert_eq!(text.lines().filter(|l| !l.starts_with('#')).count(), 1);
     }
 
     #[test]
@@ -222,14 +219,8 @@ mod tests {
     #[test]
     fn parse_rejects_garbage() {
         assert!(parse_conn_log("1.0\tC\tbad").is_err());
-        assert!(parse_conn_log(
-            "notts\tC\t1.2.3.4\t1\t5.6.7.8\t2\ttcp\t0.1\t1\t2\t3\t4"
-        )
-        .is_err());
-        assert!(parse_conn_log(
-            "1.0\tC\t1.2.3.4\t1\t5.6.7.8\t2\tsctp\t0.1\t1\t2\t3\t4"
-        )
-        .is_err());
+        assert!(parse_conn_log("notts\tC\t1.2.3.4\t1\t5.6.7.8\t2\ttcp\t0.1\t1\t2\t3\t4").is_err());
+        assert!(parse_conn_log("1.0\tC\t1.2.3.4\t1\t5.6.7.8\t2\tsctp\t0.1\t1\t2\t3\t4").is_err());
         // Comments-only is fine.
         assert_eq!(parse_conn_log("#close\n").unwrap().len(), 0);
     }

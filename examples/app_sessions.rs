@@ -51,9 +51,9 @@ fn main() {
     let sigs = appsig::study_signatures();
     let mut cache = appsig::MatchCache::new();
     let mut st = SessionStitcher::new();
-    let mut leases = dhcplog::LeaseIndex::build(&trace.leases, dhcplog::DEFAULT_MAX_LEASE_SECS);
+    let leases = dhcplog::LeaseIndex::build(&trace.leases, dhcplog::DEFAULT_MAX_LEASE_SECS);
     let mut norm = dhcplog::Normalizer::new(
-        &mut leases,
+        &leases,
         nettrace::ip::campus::residential_pool(),
         sim.config().anon_key,
     );

@@ -1,0 +1,315 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the macro + builder surface this workspace's benches use, but
+//! with a radically simplified runner: each benchmark executes its routine a
+//! handful of times and prints mean wall-clock time. There is no warm-up, no
+//! statistics, no HTML report. The point is that `cargo bench`/`cargo test`
+//! compile and run offline; real measurements belong to real criterion. See
+//! `offline/README.md`.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Iterations per `iter` call in this stand-in (upstream: adaptive).
+const SAMPLES: u32 = 3;
+
+/// Prevent the optimizer from discarding a value (best-effort).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Throughput annotation; stored but only echoed in output.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Bytes, decimal multiples.
+    BytesDecimal(u64),
+}
+
+/// How `iter_batched` sizes its input batches. Ignored here.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// Batch size chosen per routine.
+    PerIteration,
+    /// Fixed number of iterations per batch.
+    NumIterations(u64),
+}
+
+/// Identifier combining a function name and a parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter`.
+    pub fn new<P: fmt::Display>(function_name: &str, parameter: P) -> Self {
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// Parameter-only id (joined to the group name).
+    pub fn from_parameter<P: fmt::Display>(parameter: P) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Types usable as a benchmark name.
+pub trait IntoBenchmarkId {
+    /// Render to the printed id.
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+/// Passed to each benchmark closure; runs the routine and records time.
+pub struct Bencher {
+    elapsed: Duration,
+    iters: u32,
+}
+
+impl Bencher {
+    fn new() -> Self {
+        Bencher {
+            elapsed: Duration::ZERO,
+            iters: 0,
+        }
+    }
+
+    /// Time `routine`, keeping its output alive via [`black_box`].
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..SAMPLES {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+        self.iters = SAMPLES;
+    }
+
+    /// Time `routine` over inputs built by `setup` (setup excluded).
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut total = Duration::ZERO;
+        for _ in 0..SAMPLES {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.elapsed = total;
+        self.iters = SAMPLES;
+    }
+
+    /// `iter_batched` variant passing the input by reference.
+    pub fn iter_batched_ref<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(&mut I) -> O,
+    {
+        let mut total = Duration::ZERO;
+        for _ in 0..SAMPLES {
+            let mut input = setup();
+            let start = Instant::now();
+            black_box(routine(&mut input));
+            total += start.elapsed();
+        }
+        self.elapsed = total;
+        self.iters = SAMPLES;
+    }
+
+    fn report(&self, name: &str, throughput: Option<Throughput>) {
+        if self.iters == 0 {
+            println!("bench {name:<50} (routine never ran)");
+            return;
+        }
+        let per_iter = self.elapsed / self.iters;
+        match throughput {
+            Some(Throughput::Elements(n)) if !per_iter.is_zero() => {
+                let rate = n as f64 / per_iter.as_secs_f64();
+                println!("bench {name:<50} {per_iter:>12.2?}/iter  {rate:>14.0} elem/s");
+            }
+            Some(Throughput::Bytes(n) | Throughput::BytesDecimal(n)) if !per_iter.is_zero() => {
+                let rate = n as f64 / per_iter.as_secs_f64();
+                println!("bench {name:<50} {per_iter:>12.2?}/iter  {rate:>14.0} B/s");
+            }
+            _ => println!("bench {name:<50} {per_iter:>12.2?}/iter"),
+        }
+    }
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    _sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { _sample_size: 100 }
+    }
+}
+
+impl Criterion {
+    /// Set sample count (accepted, unused in this stand-in).
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self._sample_size = n;
+        self
+    }
+
+    /// Set measurement time (accepted, unused).
+    pub fn measurement_time(self, _d: Duration) -> Self {
+        self
+    }
+
+    /// Set warm-up time (accepted, unused).
+    pub fn warm_up_time(self, _d: Duration) -> Self {
+        self
+    }
+
+    /// Configure from CLI args (accepted, unused).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let name = id.into_id();
+        let mut b = Bencher::new();
+        f(&mut b);
+        b.report(&name, None);
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and throughput.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Set the throughput annotation for subsequent benches.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Set per-group sample count (accepted, unused).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Set per-group measurement time (accepted, unused).
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Run one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let name = format!("{}/{}", self.name, id.into_id());
+        let mut b = Bencher::new();
+        f(&mut b);
+        b.report(&name, self.throughput);
+        self
+    }
+
+    /// Run one parameterized benchmark in the group.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let name = format!("{}/{}", self.name, id.id);
+        let mut b = Bencher::new();
+        f(&mut b, input);
+        b.report(&name, self.throughput);
+        self
+    }
+
+    /// Close the group.
+    pub fn finish(self) {}
+}
+
+/// Define a benchmark group; both the `name/config/targets` struct form and
+/// the positional form are supported, as in upstream criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Define the bench binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // Ignore harness flags cargo passes (e.g. --bench, --test, filters).
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,129 @@
+//! Offline stand-in for `serde_derive`: a `#[derive(Serialize)]` that is
+//! hand-parsed from the raw token stream (no `syn`/`quote`). Supports plain
+//! named-field structs whose generics, if any, are lifetimes or unbounded
+//! type parameters — the only shapes this workspace derives on. See
+//! `offline/README.md`.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derive `serde::Serialize` by lowering each field with `to_content`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+
+    let mut i = 0;
+    // Skip attributes, doc comments, and visibility before `struct`.
+    while i < tokens.len() {
+        if let TokenTree::Ident(id) = &tokens[i] {
+            if id.to_string() == "struct" {
+                break;
+            }
+        }
+        i += 1;
+    }
+    assert!(i < tokens.len(), "derive(Serialize) stub: only structs are supported");
+    i += 1;
+
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("derive(Serialize) stub: expected struct name, got {other}"),
+    };
+    i += 1;
+
+    // Capture `<...>` generics verbatim (angle-depth tracked).
+    let mut generics = String::new();
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            let mut depth = 0usize;
+            loop {
+                let tok = tokens
+                    .get(i)
+                    .unwrap_or_else(|| panic!("derive(Serialize) stub: unterminated generics"));
+                if let TokenTree::Punct(p) = tok {
+                    match p.as_char() {
+                        '<' => depth += 1,
+                        '>' => depth -= 1,
+                        _ => {}
+                    }
+                }
+                let is_ident = matches!(tok, TokenTree::Ident(_));
+                generics.push_str(&tok.to_string());
+                if is_ident {
+                    // Space only after idents: keeps `'a` intact while
+                    // separating keyword/ident pairs like `const N`.
+                    generics.push(' ');
+                }
+                i += 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+        }
+    }
+
+    // Find the brace-delimited field body.
+    let body = tokens[i..]
+        .iter()
+        .find_map(|t| match t {
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => Some(g.stream()),
+            _ => None,
+        })
+        .unwrap_or_else(|| panic!("derive(Serialize) stub: struct {name} has no named fields"));
+
+    let fields = field_names(body);
+    let pushes: String = fields
+        .iter()
+        .map(|f| {
+            format!(
+                "map.push((::std::string::String::from(\"{f}\"), \
+                 ::serde::Serialize::to_content(&self.{f})));"
+            )
+        })
+        .collect();
+
+    format!(
+        "impl {generics} ::serde::Serialize for {name} {generics} {{\n\
+             fn to_content(&self) -> ::serde::Content {{\n\
+                 let mut map = ::std::vec::Vec::new();\n\
+                 {pushes}\n\
+                 ::serde::Content::Map(map)\n\
+             }}\n\
+         }}"
+    )
+    .parse()
+    .expect("derive(Serialize) stub: generated impl parses")
+}
+
+/// Extract field names: the identifier preceding each top-level `:`.
+fn field_names(body: TokenStream) -> Vec<String> {
+    let mut names = Vec::new();
+    let mut angle_depth = 0usize;
+    let mut prev_ident: Option<String> = None;
+    let mut taken_this_field = false;
+    for tok in body {
+        match tok {
+            TokenTree::Punct(p) => match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth = angle_depth.saturating_sub(1),
+                ':' if angle_depth == 0 && !taken_this_field => {
+                    if let Some(name) = prev_ident.take() {
+                        names.push(name);
+                        taken_this_field = true;
+                    }
+                }
+                ',' if angle_depth == 0 => {
+                    taken_this_field = false;
+                    prev_ident = None;
+                }
+                _ => {}
+            },
+            TokenTree::Ident(id) => {
+                if !taken_this_field {
+                    prev_ident = Some(id.to_string());
+                }
+            }
+            _ => {}
+        }
+    }
+    names
+}

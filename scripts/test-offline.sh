@@ -1,0 +1,37 @@
+#!/usr/bin/env sh
+# Run the tier-1 gate (or another cargo subcommand) against the offline
+# dependency stand-ins in offline/stubs — see offline/README.md.
+set -eu
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+cmd="${1:-test}"
+shift 2>/dev/null || true
+
+replace="--config source.crates-io.replace-with=\"offline-stubs\" \
+--config source.offline-stubs.directory=\"$repo/offline/stubs\""
+
+run() {
+  # shellcheck disable=SC2086
+  (cd "$repo" && cargo "$@" \
+    --config 'source.crates-io.replace-with="offline-stubs"' \
+    --config "source.offline-stubs.directory=\"$repo/offline/stubs\"")
+}
+
+case "$cmd" in
+  test)
+    run build --release "$@"
+    run test -q "$@"
+    ;;
+  check)
+    run check --workspace --all-targets "$@"
+    ;;
+  bench)
+    run bench "$@"
+    ;;
+  *)
+    run "$cmd" "$@"
+    ;;
+esac
+
+# Don't leave stub versions pinned for networked builds.
+rm -f "$repo/Cargo.lock"

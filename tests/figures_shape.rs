@@ -140,8 +140,7 @@ fn fig4_international_elevated_during_break_and_term() {
     // group's break level to its own February baseline.
     let feb = 7..21usize;
     let brk = 50..58usize;
-    let rel =
-        |series: &Vec<f64>, range: std::ops::Range<usize>| mean(&series[range.clone()].to_vec());
+    let rel = |series: &[f64], range: std::ops::Range<usize>| mean(&series[range]);
     let intl_rise = rel(intl, brk.clone()) / rel(intl, feb.clone());
     let dom_rise = rel(dom, brk) / rel(dom, feb);
     assert!(

@@ -1,0 +1,86 @@
+//! Streaming pipeline vs. legacy batch pipeline equivalence.
+//!
+//! `Study::run` streams every day end-to-end through the stage pipeline
+//! (`process_day_streaming`), never materializing a day of flows. The
+//! legacy batch path — materialize a `DayTrace`, batch-build the lease
+//! index and resolver map, collect from a `Vec<LabeledFlow>` — is kept
+//! as `process_day` precisely so this test can hold the two up against
+//! each other: same campus, same days, results must be *identical*,
+//! down to the bitwise-equal `f64`s in the headline statistics.
+
+use analysis::collect::{PipelineCtx, StudyCollector};
+use analysis::figures::{headline_stats, StudySummary};
+use campussim::{CampusSim, SimConfig};
+use dhcplog::NormalizeStats;
+use lockdown_core::{process_day, Study};
+use nettrace::time::{Day, StudyCalendar};
+
+/// The legacy driver: sequential days, each fully materialized.
+fn run_batch(cfg: SimConfig) -> (CampusSim, StudyCollector, NormalizeStats) {
+    let sim = CampusSim::new(cfg);
+    let ctx = PipelineCtx::study();
+    let mut collector = StudyCollector::new();
+    let mut stats = NormalizeStats::default();
+    let days: Vec<Day> = StudyCalendar::days().collect();
+    for &day in &days {
+        let trace = sim.day_trace(day);
+        stats += process_day(
+            &ctx,
+            sim.directory().table(),
+            &mut collector,
+            day,
+            &trace,
+            sim.config().anon_key,
+        );
+    }
+    (sim, collector, stats)
+}
+
+#[test]
+fn streaming_study_matches_batch_study() {
+    let cfg = SimConfig {
+        scale: 0.01,
+        ..Default::default()
+    };
+
+    let streamed = Study::run(cfg.clone(), 1);
+    let (_sim, batch_collector, batch_stats) = run_batch(cfg);
+
+    assert_eq!(
+        streamed.norm_stats, batch_stats,
+        "normalization statistics diverge between streaming and batch"
+    );
+
+    let batch_summary = StudySummary::finalize(&batch_collector);
+    assert_eq!(streamed.summary.resident, batch_summary.resident);
+    assert_eq!(streamed.summary.post_shutdown, batch_summary.post_shutdown);
+    assert_eq!(streamed.summary.device_types, batch_summary.device_types);
+
+    let hs = streamed.headline();
+    let hb = headline_stats(&batch_collector, &batch_summary);
+    assert_eq!(hs, hb, "headline statistics diverge");
+}
+
+#[test]
+fn parallel_streaming_matches_batch_study() {
+    // The work-stealing scheduler assigns days to workers
+    // nondeterministically; the result must not care.
+    let cfg = SimConfig {
+        scale: 0.01,
+        ..Default::default()
+    };
+    let streamed = Study::run(cfg.clone(), 4);
+    let (_sim, batch_collector, batch_stats) = run_batch(cfg);
+    assert_eq!(streamed.norm_stats, batch_stats);
+    let batch_summary = StudySummary::finalize(&batch_collector);
+    let hs = streamed.headline();
+    let hb = headline_stats(&batch_collector, &batch_summary);
+    assert_eq!(hs.peak_active, hb.peak_active);
+    assert_eq!(hs.post_shutdown_devices, hb.post_shutdown_devices);
+    assert_eq!(hs.intl_devices, hb.intl_devices);
+    assert_eq!(hs.switches_pre, hb.switches_pre);
+    // f64 aggregates may regroup across workers; same tolerance the
+    // sequential/parallel oracle uses.
+    assert!((hs.traffic_growth_feb_to_aprmay - hb.traffic_growth_feb_to_aprmay).abs() < 1e-9);
+    assert!((hs.sites_growth - hb.sites_growth).abs() < 1e-9);
+}
