@@ -12,7 +12,7 @@ use std::sync::OnceLock;
 
 fn study() -> &'static Study {
     static STUDY: OnceLock<Study> = OnceLock::new();
-    STUDY.get_or_init(|| Study::run(bench_config(), 8))
+    STUDY.get_or_init(|| Study::builder(bench_config()).threads(8).run().into_study())
 }
 
 fn bench_figures(c: &mut Criterion) {

@@ -12,7 +12,8 @@ use analysis::collect::{PipelineCtx, StudyCollector};
 use campussim::{CampusSim, DayEvent};
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use lockdown_bench::bench_config;
-use lockdown_core::{process_day, process_day_streaming};
+use lockdown_core::{process_day, process_day_streaming, PipelineOptions};
+use lockdown_obs::MetricsRegistry;
 use nettrace::time::Day;
 
 fn bench_streaming(c: &mut Criterion) {
@@ -44,17 +45,28 @@ fn bench_streaming(c: &mut Criterion) {
 
     let mut g = c.benchmark_group("per_day_pipeline");
     g.throughput(Throughput::Elements(n_flows));
+    let opts = PipelineOptions::new(&ctx, table, day, key);
     g.bench_function("materialized", |b| {
         b.iter(|| {
             let mut collector = StudyCollector::new();
             let trace = sim.day_trace(day);
-            process_day(&ctx, table, &mut collector, day, &trace, key)
+            process_day(opts, &mut collector, &trace)
         });
     });
     g.bench_function("streamed", |b| {
         b.iter(|| {
             let mut collector = StudyCollector::new();
-            process_day_streaming(&ctx, table, &mut collector, day, &sim, key)
+            process_day_streaming(opts, &mut collector, &sim)
+        });
+    });
+    // Same streamed path with per-stage metrics on: the delta is the
+    // whole cost of the observability layer (must stay within noise of
+    // the uninstrumented run).
+    let registry = MetricsRegistry::new();
+    g.bench_function("streamed_metrics", |b| {
+        b.iter(|| {
+            let mut collector = StudyCollector::new();
+            process_day_streaming(opts.metrics(&registry), &mut collector, &sim)
         });
     });
     g.finish();

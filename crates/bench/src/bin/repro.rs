@@ -2,16 +2,18 @@
 //! statistic of *Locked-In during Lock-Down* (IMC '21).
 //!
 //! ```text
-//! repro [--scale S] [--threads N] [--seed X] [--out DIR] [all|fig1..fig8|stats]
+//! repro [--scale S] [--threads N] [--seed X] [--out DIR] [--progress] [all|fig1..fig8|stats|metrics]
 //! ```
 //!
 //! `all` (default) runs the full study plus the 2019 counterfactual and
 //! prints the complete report; individual figure subcommands print just
-//! that figure's series. `--out DIR` additionally writes the
-//! machine-readable figure files.
+//! that figure's series; `metrics` dumps the run's per-stage counters as
+//! JSON. `--out DIR` additionally writes the machine-readable figure
+//! files; `--progress` streams per-day progress lines to stderr.
 
 use campussim::SimConfig;
-use lockdown_core::{report, run_with_counterfactual, Study};
+use lockdown_core::{report, Study};
+use lockdown_obs::TextProgress;
 use std::path::PathBuf;
 
 struct Args {
@@ -19,6 +21,7 @@ struct Args {
     threads: usize,
     seed: u64,
     out: Option<PathBuf>,
+    progress: bool,
     command: String,
 }
 
@@ -30,6 +33,7 @@ fn parse_args() -> Args {
             .unwrap_or(4),
         seed: 0x5eed_2020,
         out: None,
+        progress: false,
         command: "all".to_string(),
     };
     let mut it = std::env::args().skip(1);
@@ -54,9 +58,10 @@ fn parse_args() -> Args {
                     .expect("--seed needs a number")
             }
             "--out" => args.out = Some(PathBuf::from(it.next().expect("--out needs a path"))),
+            "--progress" => args.progress = true,
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: repro [--scale S] [--threads N] [--seed X] [--out DIR] [all|fig1..fig8|stats]"
+                    "usage: repro [--scale S] [--threads N] [--seed X] [--out DIR] [--progress] [all|fig1..fig8|stats|metrics]"
                 );
                 std::process::exit(0);
             }
@@ -81,26 +86,42 @@ fn main() {
     );
     let t0 = std::time::Instant::now();
 
+    let builder = |cfg: SimConfig| {
+        let b = Study::builder(cfg).threads(args.threads);
+        if args.progress {
+            b.observer(TextProgress::stderr())
+        } else {
+            b
+        }
+    };
+    let write_figures = |study: &Study| {
+        if let Some(dir) = &args.out {
+            let written = report::write_figure_files(study, dir).expect("write figure files");
+            eprintln!("{written} figure files written to {}", dir.display());
+        }
+    };
+
     match args.command.as_str() {
         "all" => {
-            let (study, _cf, growth) = run_with_counterfactual(cfg, args.threads);
+            let run = builder(cfg).with_counterfactual().run();
             eprintln!(
                 "study + counterfactual done in {:.1}s",
                 t0.elapsed().as_secs_f64()
             );
-            println!("{}", report::text_report(&study, Some(growth)));
-            if let Some(dir) = &args.out {
-                report::write_figure_files(&study, dir).expect("write figure files");
-                eprintln!("figure data written to {}", dir.display());
-            }
+            println!("{}", report::text_report(&run.study, run.growth_vs_2019()));
+            write_figures(&run.study);
+        }
+        "metrics" => {
+            let study = builder(cfg).run().into_study();
+            eprintln!("study done in {:.1}s", t0.elapsed().as_secs_f64());
+            println!("{}", report::metrics_report_json(&study));
+            write_figures(&study);
         }
         cmd => {
-            let study = Study::run(cfg, args.threads);
+            let study = builder(cfg).run().into_study();
             eprintln!("study done in {:.1}s", t0.elapsed().as_secs_f64());
             print_one(&study, cmd);
-            if let Some(dir) = &args.out {
-                report::write_figure_files(&study, dir).expect("write figure files");
-            }
+            write_figures(&study);
         }
     }
 }

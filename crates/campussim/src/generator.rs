@@ -47,6 +47,39 @@ pub struct DayTrace {
     pub ua: Vec<UaSighting>,
 }
 
+/// Generation tallies for one [`CampusSim::stream_day`] call.
+///
+/// The generator is the pipeline's upstream tap: these counts are what
+/// an operator compares against the downstream attribution counters to
+/// verify nothing was dropped in between. The study driver publishes
+/// them as `gen.*` metrics.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct DayGenStats {
+    /// Devices on campus this day (owner not departed).
+    pub devices_present: u64,
+    /// Present devices that actually generated traffic sessions.
+    pub devices_active: u64,
+    /// Flow records emitted.
+    pub flows: u64,
+    /// DNS queries emitted.
+    pub dns_queries: u64,
+    /// DHCP lease events emitted.
+    pub lease_events: u64,
+    /// User-Agent sightings emitted.
+    pub ua_sightings: u64,
+}
+
+impl std::ops::AddAssign for DayGenStats {
+    fn add_assign(&mut self, o: DayGenStats) {
+        self.devices_present += o.devices_present;
+        self.devices_active += o.devices_active;
+        self.flows += o.flows;
+        self.dns_queries += o.dns_queries;
+        self.lease_events += o.lease_events;
+        self.ua_sightings += o.ua_sightings;
+    }
+}
+
 /// A consumer of one day's event stream.
 ///
 /// [`CampusSim::stream_day`] drives a `DaySink` device by device: for
@@ -177,14 +210,26 @@ impl CampusSim {
     /// Generate one day of traffic directly into `sink`, never holding
     /// more than a single device's events in memory. Deterministic;
     /// thread-safe; ordering contract documented on [`DaySink`].
-    pub fn stream_day<S: DaySink>(&self, day: Day, sink: &mut S) {
+    /// Returns the day's generation tallies so callers can report
+    /// generated-session counts without re-counting the stream.
+    pub fn stream_day<S: DaySink>(&self, day: Day, sink: &mut S) -> DayGenStats {
+        let mut stats = DayGenStats::default();
         let mut scratch = DayTrace::default();
         for device in &self.population.devices {
             if !self.population.device_present(device, day) {
                 continue;
             }
+            stats.devices_present += 1;
             let student = self.population.owner_of(device);
             self.device_day(device, student, day, &mut scratch);
+            if scratch.flows.is_empty() && scratch.leases.is_empty() {
+                continue;
+            }
+            stats.devices_active += 1;
+            stats.flows += scratch.flows.len() as u64;
+            stats.dns_queries += scratch.dns.len() as u64;
+            stats.lease_events += scratch.leases.len() as u64;
+            stats.ua_sightings += scratch.ua.len() as u64;
             // Per-device timestamp order. A device's flows all share one
             // source IP for the day, so (ts, orig_port) is as fine a key
             // as the global (ts, orig, orig_port) sort in `day_trace`.
@@ -205,6 +250,7 @@ impl CampusSim {
                 sink.ua(sighting);
             }
         }
+        stats
     }
 
     fn device_day(&self, device: &Device, student: &Student, day: Day, out: &mut DayTrace) {
@@ -957,6 +1003,24 @@ mod tests {
         assert_eq!(streamed.dns, batch.dns);
         assert_eq!(streamed.leases, batch.leases);
         assert_eq!(streamed.ua, batch.ua);
+    }
+
+    #[test]
+    fn stream_day_stats_count_every_emitted_event() {
+        let sim = tiny_sim();
+        let day = Day(40);
+        let mut streamed = DayTrace::default();
+        let stats = sim.stream_day(day, &mut streamed);
+        assert_eq!(stats.flows, streamed.flows.len() as u64);
+        assert_eq!(stats.dns_queries, streamed.dns.len() as u64);
+        assert_eq!(stats.lease_events, streamed.leases.len() as u64);
+        assert_eq!(stats.ua_sightings, streamed.ua.len() as u64);
+        assert!(stats.devices_active > 0);
+        assert!(stats.devices_present >= stats.devices_active);
+        // Tallies accumulate across days.
+        let mut total = stats;
+        total += sim.stream_day(Day(41), &mut DayTrace::default());
+        assert!(total.flows > stats.flows);
     }
 
     #[test]

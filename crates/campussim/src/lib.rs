@@ -30,5 +30,5 @@ pub mod rng;
 
 pub use config::SimConfig;
 pub use domains::{Service, ServiceDirectory, ServiceId, ServiceKind};
-pub use generator::{CampusSim, DayEvent, DaySink, DayTrace, UaSighting};
+pub use generator::{CampusSim, DayEvent, DayGenStats, DaySink, DayTrace, UaSighting};
 pub use population::{Device, DeviceOs, Population, Student, TrueKind};

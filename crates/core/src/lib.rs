@@ -10,8 +10,12 @@
 //! use lockdown_core::Study;
 //! use campussim::SimConfig;
 //!
-//! let study = Study::run(SimConfig::at_scale(0.05), 8);
+//! let study = Study::builder(SimConfig::at_scale(0.05))
+//!     .threads(8)
+//!     .run()
+//!     .into_study();
 //! println!("{}", lockdown_core::report::text_report(&study, None));
+//! println!("{}", lockdown_core::report::metrics_report(&study));
 //! ```
 
 #![forbid(unsafe_code)]
@@ -21,5 +25,7 @@ pub mod pipeline;
 pub mod report;
 pub mod study;
 
-pub use pipeline::{process_day, process_day_streaming, DayPipeline};
-pub use study::{run_with_counterfactual, Study};
+pub use pipeline::{process_day, process_day_streaming, DayPipeline, PipelineOptions};
+#[allow(deprecated)]
+pub use study::run_with_counterfactual;
+pub use study::{Counterfactual, Study, StudyBuilder, StudyRun};

@@ -15,6 +15,13 @@
 //! day-sized is ever materialized. [`process_day`] is the legacy batch
 //! driver over a materialized [`DayTrace`], kept as the oracle the
 //! streaming path is tested against.
+//!
+//! Everything a day pipeline needs besides its input stream and its
+//! collector travels in one [`PipelineOptions`] value: the shared
+//! context, the day, the anonymization key, and the optional
+//! observability hooks (a [`MetricsRegistry`] and a [`RunObserver`]).
+//! With the hooks left off the per-record cost is a single predictable
+//! branch on a `None`.
 
 use analysis::collect::{PipelineCtx, StudyCollector};
 use campussim::{CampusSim, DaySink, DayTrace, UaSighting};
@@ -22,52 +29,164 @@ use dhcplog::{
     LeaseEvent, LeaseIndex, NormalizeStage, NormalizeStats, Normalizer, DEFAULT_MAX_LEASE_SECS,
 };
 use dnslog::{DnsQuery, DomainTable, LabeledFlow, ResolverMap};
+use lockdown_obs::{Counter, Gauge, MetricsRegistry, NullObserver, RunObserver};
 use nettrace::ip::campus;
 use nettrace::time::Day;
 use nettrace::{DeviceId, FlowRecord, Stage};
+
+/// Everything a [`DayPipeline`] needs besides its input stream and its
+/// output collector, bundled so call sites name what they change.
+///
+/// ```ignore
+/// let opts = PipelineOptions::new(&ctx, table, day, key).metrics(&registry);
+/// ```
+#[derive(Clone, Copy)]
+pub struct PipelineOptions<'a> {
+    /// Shared lookup tables (signatures, geolocation, …).
+    pub ctx: &'a PipelineCtx,
+    /// The interned domain universe.
+    pub table: &'a DomainTable,
+    /// The day being processed.
+    pub day: Day,
+    /// Secret key for MAC anonymization (§3).
+    pub anon_key: u64,
+    labeling: bool,
+    metrics: Option<&'a MetricsRegistry>,
+    observer: &'a dyn RunObserver,
+}
+
+impl<'a> PipelineOptions<'a> {
+    /// Options with labeling on and observability off — the exact
+    /// behaviour of the pre-options pipeline.
+    pub fn new(ctx: &'a PipelineCtx, table: &'a DomainTable, day: Day, anon_key: u64) -> Self {
+        PipelineOptions {
+            ctx,
+            table,
+            day,
+            anon_key,
+            labeling: true,
+            metrics: None,
+            observer: &NullObserver,
+        }
+    }
+
+    /// Toggle DNS labeling. Off skips the resolver stage entirely: flows
+    /// pass through with `domain: None` (device-level analyses still
+    /// run; service-level ones see only unlabeled traffic).
+    pub fn labeling(mut self, on: bool) -> Self {
+        self.labeling = on;
+        self
+    }
+
+    /// Record per-stage counters into `registry`.
+    pub fn metrics(mut self, registry: &'a MetricsRegistry) -> Self {
+        self.metrics = Some(registry);
+        self
+    }
+
+    /// Record per-stage counters into `registry` if one is given.
+    pub fn metrics_opt(mut self, registry: Option<&'a MetricsRegistry>) -> Self {
+        self.metrics = registry;
+        self
+    }
+
+    /// Report coarse progress events (stage flushes) to `observer`.
+    pub fn observer(mut self, observer: &'a dyn RunObserver) -> Self {
+        self.observer = observer;
+        self
+    }
+}
+
+/// Hot-path counter handles, acquired once per day at registration time
+/// so the per-record cost is a `Relaxed` add, never a name lookup.
+struct PipelineCounters {
+    flows_in: Counter,
+    flows_collected: Counter,
+    dns_queries: Counter,
+    ua_sightings: Counter,
+    tracker_open_peak: Gauge,
+}
+
+impl PipelineCounters {
+    fn register(reg: &MetricsRegistry) -> Self {
+        PipelineCounters {
+            flows_in: reg.counter("pipeline.flows_in"),
+            flows_collected: reg.counter("pipeline.flows_collected"),
+            dns_queries: reg.counter("pipeline.dns_queries"),
+            ua_sightings: reg.counter("pipeline.ua_sightings"),
+            tracker_open_peak: reg.gauge("normalize.tracker.open_peak"),
+        }
+    }
+}
 
 /// The full §3 pipeline as a single [`DaySink`]: lease events build the
 /// DHCP state, DNS queries build the resolver map, and every flow runs
 /// normalize → label → collect immediately, one record deep.
 pub struct DayPipeline<'a> {
-    ctx: &'a PipelineCtx,
-    table: &'a DomainTable,
+    opts: PipelineOptions<'a>,
     collector: &'a mut StudyCollector,
-    day: Day,
-    anon_key: u64,
     normalize: NormalizeStage,
     resolver: ResolverMap,
+    counters: Option<PipelineCounters>,
 }
 
 impl<'a> DayPipeline<'a> {
     /// Wire the stages up for one day, accumulating into `collector`.
-    pub fn new(
-        ctx: &'a PipelineCtx,
-        table: &'a DomainTable,
-        collector: &'a mut StudyCollector,
-        day: Day,
-        anon_key: u64,
-    ) -> Self {
+    pub fn new(opts: PipelineOptions<'a>, collector: &'a mut StudyCollector) -> Self {
         DayPipeline {
-            ctx,
-            table,
             collector,
-            day,
-            anon_key,
             normalize: NormalizeStage::new(
                 campus::residential_pool(),
-                anon_key,
+                opts.anon_key,
                 DEFAULT_MAX_LEASE_SECS,
             ),
             resolver: ResolverMap::new(),
+            counters: opts.metrics.map(PipelineCounters::register),
+            opts,
         }
     }
 
-    /// Flush day-scoped state (open social sessions) and return the
-    /// day's normalization statistics.
+    /// Flush day-scoped state (open social sessions), publish the
+    /// stages' own statistics to the registry and observer, and return
+    /// the day's normalization statistics.
     pub fn finish(self) -> NormalizeStats {
         self.collector.finish_day();
-        self.normalize.stats()
+        let stats = self.normalize.stats();
+        if let Some(reg) = self.opts.metrics {
+            reg.counter("normalize.attributed").add(stats.attributed);
+            reg.counter("normalize.unattributed")
+                .add(stats.unattributed);
+            reg.counter("normalize.foreign").add(stats.foreign);
+            reg.counter("normalize.lease_events")
+                .add(self.normalize.lease_events());
+            reg.gauge("normalize.tracker.closed_peak")
+                .set_max(self.normalize.tracker().closed_count() as u64);
+            let labels = self.resolver.label_stats();
+            reg.counter("resolver.labeled").add(labels.labeled);
+            reg.counter("resolver.unlabeled").add(labels.unlabeled);
+            reg.gauge("resolver.ips_peak")
+                .set_max(self.resolver.ip_count() as u64);
+        }
+        let labels = self.resolver.label_stats();
+        self.opts
+            .observer
+            .stage_flushed(self.opts.day, "normalize", stats.attributed);
+        self.opts.observer.stage_flushed(
+            self.opts.day,
+            "resolver",
+            labels.labeled + labels.unlabeled,
+        );
+        stats
+    }
+
+    /// Pass one device-attributed flow through labeling into the
+    /// collector.
+    fn collect(&mut self, lf: LabeledFlow) {
+        if let Some(c) = &self.counters {
+            c.flows_collected.inc();
+        }
+        self.collector
+            .observe_flow(self.opts.ctx, self.opts.table, self.opts.day, &lf);
     }
 }
 
@@ -77,7 +196,7 @@ impl DaySink for DayPipeline<'_> {
         // pipeline sees raw MACs while normalizing, §3), and only the
         // anonymized token flows onward.
         if event.action == dhcplog::LeaseAction::Assign {
-            let dev = DeviceId::anonymize(event.mac, self.anon_key);
+            let dev = DeviceId::anonymize(event.mac, self.opts.anon_key);
             self.collector.observe_device_meta(
                 dev,
                 event.mac.oui(),
@@ -85,22 +204,43 @@ impl DaySink for DayPipeline<'_> {
             );
         }
         self.normalize.record_lease(&event);
+        // Lease events are rare relative to flows, so sampling the
+        // tracker's live-binding peak here costs nothing measurable.
+        if let Some(c) = &self.counters {
+            c.tracker_open_peak
+                .set_max(self.normalize.tracker().open_count() as u64);
+        }
     }
 
     fn dns(&mut self, query: DnsQuery) {
+        if let Some(c) = &self.counters {
+            c.dns_queries.inc();
+        }
         self.resolver.record(&query);
     }
 
     fn flow(&mut self, flow: FlowRecord) {
+        if let Some(c) = &self.counters {
+            c.flows_in.inc();
+        }
         if let Some(df) = self.normalize.push(flow) {
-            if let Some(lf) = self.resolver.push(df) {
-                self.collector
-                    .observe_flow(self.ctx, self.table, self.day, &lf);
+            if self.opts.labeling {
+                if let Some(lf) = self.resolver.push(df) {
+                    self.collect(lf);
+                }
+            } else {
+                self.collect(LabeledFlow {
+                    flow: df,
+                    domain: None,
+                });
             }
         }
     }
 
     fn ua(&mut self, sighting: UaSighting) {
+        if let Some(c) = &self.counters {
+            c.ua_sightings.inc();
+        }
         self.collector.observe_ua(sighting.device, sighting.ua);
     }
 }
@@ -111,27 +251,33 @@ impl DaySink for DayPipeline<'_> {
 /// produces results identical to [`process_day`] over
 /// [`CampusSim::day_trace`].
 pub fn process_day_streaming(
-    ctx: &PipelineCtx,
-    table: &DomainTable,
+    opts: PipelineOptions<'_>,
     collector: &mut StudyCollector,
-    day: Day,
     sim: &CampusSim,
-    anon_key: u64,
 ) -> NormalizeStats {
-    let mut pipeline = DayPipeline::new(ctx, table, collector, day, anon_key);
-    sim.stream_day(day, &mut pipeline);
+    let day = opts.day;
+    let metrics = opts.metrics;
+    let mut pipeline = DayPipeline::new(opts, collector);
+    let gen_stats = sim.stream_day(day, &mut pipeline);
+    if let Some(reg) = metrics {
+        reg.counter("gen.devices_present")
+            .add(gen_stats.devices_present);
+        reg.counter("gen.devices_active")
+            .add(gen_stats.devices_active);
+        reg.counter("gen.flows").add(gen_stats.flows);
+        reg.counter("gen.dns_queries").add(gen_stats.dns_queries);
+        reg.counter("gen.lease_events").add(gen_stats.lease_events);
+        reg.counter("gen.ua_sightings").add(gen_stats.ua_sightings);
+    }
     pipeline.finish()
 }
 
 /// Process one day of raw trace through the full pipeline into the
 /// collector. Returns the normalization statistics for the day.
 pub fn process_day(
-    ctx: &PipelineCtx,
-    table: &DomainTable,
+    opts: PipelineOptions<'_>,
     collector: &mut StudyCollector,
-    day: Day,
     trace: &DayTrace,
-    anon_key: u64,
 ) -> NormalizeStats {
     // Stage 2 inputs: the day's lease log.
     let leases = LeaseIndex::build(&trace.leases, DEFAULT_MAX_LEASE_SECS);
@@ -141,7 +287,7 @@ pub fn process_day(
     // token flows onward.
     for ev in &trace.leases {
         if ev.action == dhcplog::LeaseAction::Assign {
-            let dev = DeviceId::anonymize(ev.mac, anon_key);
+            let dev = DeviceId::anonymize(ev.mac, opts.anon_key);
             collector.observe_device_meta(dev, ev.mac.oui(), ev.mac.is_locally_administered());
         }
     }
@@ -153,11 +299,18 @@ pub fn process_day(
     }
 
     // Stages 2+3 over the flow stream.
-    let mut normalizer = Normalizer::new(&leases, campus::residential_pool(), anon_key);
+    let mut normalizer = Normalizer::new(&leases, campus::residential_pool(), opts.anon_key);
     let mut labeled: Vec<LabeledFlow> = Vec::with_capacity(trace.flows.len());
     for f in &trace.flows {
         if let Some(df) = normalizer.normalize(f) {
-            labeled.push(resolver.label(df));
+            labeled.push(if opts.labeling {
+                resolver.label(df)
+            } else {
+                LabeledFlow {
+                    flow: df,
+                    domain: None,
+                }
+            });
         }
     }
 
@@ -167,8 +320,32 @@ pub fn process_day(
     }
 
     // Stage 4: collection.
-    collector.observe_day(ctx, table, day, &labeled);
-    normalizer.stats()
+    collector.observe_day(opts.ctx, opts.table, opts.day, &labeled);
+
+    let stats = normalizer.stats();
+    if let Some(reg) = opts.metrics {
+        reg.counter("pipeline.flows_in")
+            .add(trace.flows.len() as u64);
+        reg.counter("pipeline.flows_collected")
+            .add(labeled.len() as u64);
+        reg.counter("pipeline.dns_queries")
+            .add(trace.dns.len() as u64);
+        reg.counter("pipeline.ua_sightings")
+            .add(trace.ua.len() as u64);
+        reg.counter("normalize.attributed").add(stats.attributed);
+        reg.counter("normalize.unattributed")
+            .add(stats.unattributed);
+        reg.counter("normalize.foreign").add(stats.foreign);
+        reg.counter("normalize.lease_events")
+            .add(trace.leases.len() as u64);
+        reg.gauge("resolver.ips_peak")
+            .set_max(resolver.ip_count() as u64);
+    }
+    opts.observer
+        .stage_flushed(opts.day, "normalize", stats.attributed);
+    opts.observer
+        .stage_flushed(opts.day, "resolver", labeled.len() as u64);
+    stats
 }
 
 #[cfg(test)]
@@ -176,24 +353,22 @@ mod tests {
     use super::*;
     use campussim::{CampusSim, SimConfig};
 
-    #[test]
-    fn pipeline_attributes_every_generated_flow() {
-        let sim = CampusSim::new(SimConfig {
+    fn sim_1pct() -> CampusSim {
+        CampusSim::new(SimConfig {
             scale: 0.01,
             ..Default::default()
-        });
+        })
+    }
+
+    #[test]
+    fn pipeline_attributes_every_generated_flow() {
+        let sim = sim_1pct();
         let ctx = PipelineCtx::study();
         let mut collector = StudyCollector::new();
         let day = Day(10);
         let trace = sim.day_trace(day);
-        let stats = process_day(
-            &ctx,
-            sim.directory().table(),
-            &mut collector,
-            day,
-            &trace,
-            sim.config().anon_key,
-        );
+        let opts = PipelineOptions::new(&ctx, sim.directory().table(), day, sim.config().anon_key);
+        let stats = process_day(opts, &mut collector, &trace);
         assert_eq!(stats.unattributed, 0, "{stats:?}");
         assert_eq!(stats.foreign, 0);
         assert_eq!(stats.attributed as usize, trace.flows.len());
@@ -204,22 +379,13 @@ mod tests {
     fn pipeline_identity_matches_generator_ground_truth() {
         // The device ids the pipeline derives via DHCP + anonymization
         // must be exactly the generator's ground-truth ids.
-        let sim = CampusSim::new(SimConfig {
-            scale: 0.01,
-            ..Default::default()
-        });
+        let sim = sim_1pct();
         let ctx = PipelineCtx::study();
         let mut collector = StudyCollector::new();
         let day = Day(20);
         let trace = sim.day_trace(day);
-        process_day(
-            &ctx,
-            sim.directory().table(),
-            &mut collector,
-            day,
-            &trace,
-            sim.config().anon_key,
-        );
+        let opts = PipelineOptions::new(&ctx, sim.directory().table(), day, sim.config().anon_key);
+        process_day(opts, &mut collector, &trace);
         let truth: std::collections::HashSet<DeviceId> =
             sim.population().devices.iter().map(|d| d.id).collect();
         for dev in collector.volume.devices() {
@@ -229,31 +395,15 @@ mod tests {
 
     #[test]
     fn streaming_matches_batch_for_a_day() {
-        let sim = CampusSim::new(SimConfig {
-            scale: 0.01,
-            ..Default::default()
-        });
+        let sim = sim_1pct();
         let ctx = PipelineCtx::study();
         let day = Day(47); // shutdown day: mixed present/absent devices
         let trace = sim.day_trace(day);
+        let opts = PipelineOptions::new(&ctx, sim.directory().table(), day, sim.config().anon_key);
         let mut batch = StudyCollector::new();
-        let batch_stats = process_day(
-            &ctx,
-            sim.directory().table(),
-            &mut batch,
-            day,
-            &trace,
-            sim.config().anon_key,
-        );
+        let batch_stats = process_day(opts, &mut batch, &trace);
         let mut streamed = StudyCollector::new();
-        let stream_stats = process_day_streaming(
-            &ctx,
-            sim.directory().table(),
-            &mut streamed,
-            day,
-            &sim,
-            sim.config().anon_key,
-        );
+        let stream_stats = process_day_streaming(opts, &mut streamed, &sim);
         assert_eq!(batch_stats, stream_stats);
         assert_eq!(batch.volume.device_count(), streamed.volume.device_count());
         for dev in batch.volume.devices() {
@@ -265,5 +415,56 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn metrics_and_labeling_options_are_honored() {
+        let sim = sim_1pct();
+        let ctx = PipelineCtx::study();
+        let day = Day(10);
+        let reg = MetricsRegistry::new();
+        let opts = PipelineOptions::new(&ctx, sim.directory().table(), day, sim.config().anon_key)
+            .metrics(&reg);
+        let mut collector = StudyCollector::new();
+        let stats = process_day_streaming(opts, &mut collector, &sim);
+        let snap = reg.snapshot();
+        // Every generated flow went in, was attributed, and came out.
+        assert_eq!(snap.counter("gen.flows"), snap.counter("pipeline.flows_in"));
+        assert_eq!(snap.counter("normalize.attributed"), stats.attributed);
+        assert_eq!(
+            snap.counter("pipeline.flows_collected"),
+            stats.attributed,
+            "{snap:?}"
+        );
+        // Labeling stage saw every attributed flow.
+        assert_eq!(
+            snap.counter("resolver.labeled") + snap.counter("resolver.unlabeled"),
+            stats.attributed
+        );
+        assert_eq!(
+            snap.counter("gen.lease_events"),
+            snap.counter("normalize.lease_events")
+        );
+        assert!(snap.gauge("resolver.ips_peak") > 0);
+
+        // Labeling off: same flow universe, no resolver traffic.
+        let reg_off = MetricsRegistry::new();
+        let opts_off =
+            PipelineOptions::new(&ctx, sim.directory().table(), day, sim.config().anon_key)
+                .metrics(&reg_off)
+                .labeling(false);
+        let mut off = StudyCollector::new();
+        let stats_off = process_day_streaming(opts_off, &mut off, &sim);
+        assert_eq!(stats_off, stats);
+        let snap_off = reg_off.snapshot();
+        assert_eq!(
+            snap_off.counter("pipeline.flows_collected"),
+            stats.attributed
+        );
+        assert_eq!(
+            snap_off.counter("resolver.labeled") + snap_off.counter("resolver.unlabeled"),
+            0
+        );
+        assert_eq!(off.volume.device_count(), collector.volume.device_count());
     }
 }

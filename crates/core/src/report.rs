@@ -238,44 +238,50 @@ pub fn text_report(study: &Study, growth_vs_2019: Option<f64>) -> String {
     out
 }
 
-/// Write every figure's machine-readable data into `dir`.
-pub fn write_figure_files(study: &Study, dir: &Path) -> std::io::Result<()> {
+/// Write every figure's machine-readable data into `dir`, creating the
+/// directory if it does not exist. Returns the number of files written.
+pub fn write_figure_files(study: &Study, dir: &Path) -> std::io::Result<usize> {
     std::fs::create_dir_all(dir)?;
     let c = &study.collector;
     let s = &study.summary;
-    std::fs::write(
-        dir.join("fig1.csv"),
-        export::fig1_csv(&figures::figure1(c, s)),
-    )?;
-    std::fs::write(
-        dir.join("fig2.csv"),
-        export::fig2_csv(&figures::figure2(c, s)),
-    )?;
-    std::fs::write(
-        dir.join("fig3.csv"),
-        export::fig3_csv(&figures::figure3(c, s)),
-    )?;
-    std::fs::write(
-        dir.join("fig4.csv"),
-        export::fig4_csv(&figures::figure4(c, s)),
-    )?;
-    std::fs::write(
-        dir.join("fig5.csv"),
-        export::fig5_csv(&figures::figure5(c, s)),
-    )?;
-    std::fs::write(
-        dir.join("fig6.json"),
-        export::fig6_json(&figures::figure6(c, s)),
-    )?;
-    std::fs::write(
-        dir.join("fig7.json"),
-        export::fig7_json(&figures::figure7(c, s)),
-    )?;
-    std::fs::write(
-        dir.join("fig8.csv"),
-        export::fig8_csv(&figures::figure8(c, s)),
-    )?;
-    Ok(())
+    let files: [(&str, String); 8] = [
+        ("fig1.csv", export::fig1_csv(&figures::figure1(c, s))),
+        ("fig2.csv", export::fig2_csv(&figures::figure2(c, s))),
+        ("fig3.csv", export::fig3_csv(&figures::figure3(c, s))),
+        ("fig4.csv", export::fig4_csv(&figures::figure4(c, s))),
+        ("fig5.csv", export::fig5_csv(&figures::figure5(c, s))),
+        ("fig6.json", export::fig6_json(&figures::figure6(c, s))),
+        ("fig7.json", export::fig7_json(&figures::figure7(c, s))),
+        ("fig8.csv", export::fig8_csv(&figures::figure8(c, s))),
+    ];
+    let mut written = 0;
+    for (name, content) in files {
+        std::fs::write(dir.join(name), content)?;
+        written += 1;
+    }
+    Ok(written)
+}
+
+/// Render the run's per-stage counters as an aligned text block, with a
+/// one-line attribution/labeling summary on top. Empty-run safe.
+pub fn metrics_report(study: &Study) -> String {
+    let m = study.metrics();
+    let flows = m.counter("pipeline.flows_in");
+    let attributed = m.counter("normalize.attributed");
+    let labeled = m.counter("resolver.labeled");
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "-- Pipeline metrics: {flows} flows in, {attributed} attributed, {labeled} labeled --"
+    );
+    out.push_str(&m.to_text());
+    out
+}
+
+/// The run's per-stage counters as a JSON object (see
+/// [`lockdown_obs::MetricsSnapshot::to_json`]).
+pub fn metrics_report_json(study: &Study) -> String {
+    study.metrics().to_json()
 }
 
 #[cfg(test)]
@@ -285,21 +291,30 @@ mod tests {
 
     #[test]
     fn report_renders_and_files_write() {
-        let study = Study::run(
-            SimConfig {
-                scale: 0.01,
-                ..Default::default()
-            },
-            4,
-        );
+        let study = Study::builder(SimConfig {
+            scale: 0.01,
+            ..Default::default()
+        })
+        .threads(4)
+        .run()
+        .into_study();
         let text = text_report(&study, Some(0.5));
         assert!(text.contains("Figure 1"));
         assert!(text.contains("Figure 8"));
         assert!(text.contains("classification audit"));
         assert!(text.contains("paper"));
 
-        let dir = std::env::temp_dir().join("lockdown_report_test");
-        write_figure_files(&study, &dir).unwrap();
+        let metrics = metrics_report(&study);
+        assert!(metrics.contains("Pipeline metrics"));
+        assert!(metrics.contains("normalize.attributed"));
+        assert!(metrics_report_json(&study).contains("\"counters\""));
+
+        let base = std::env::temp_dir().join("lockdown_report_test");
+        // The directory is created on demand, even nested.
+        std::fs::remove_dir_all(&base).ok();
+        let dir = base.join("nested");
+        let written = write_figure_files(&study, &dir).unwrap();
+        assert_eq!(written, 8);
         for f in [
             "fig1.csv",
             "fig2.csv",
@@ -312,6 +327,6 @@ mod tests {
         ] {
             assert!(dir.join(f).exists(), "{f}");
         }
-        std::fs::remove_dir_all(&dir).ok();
+        std::fs::remove_dir_all(&base).ok();
     }
 }

@@ -7,8 +7,16 @@
 //! Which worker processes which day is nondeterministic, but results
 //! are not: days are independent and the collector merge is
 //! commutative, so any schedule produces the same study.
+//!
+//! Runs are configured through [`StudyBuilder`] (see
+//! [`Study::builder`]): thread count, an optional [`RunObserver`] for
+//! progress events, per-stage metrics collection, and the 2019
+//! counterfactual. Each worker owns a private [`MetricsRegistry`] —
+//! never contended across threads — and the run folds the per-worker
+//! snapshots into the run-level [`Study::metrics`] at merge time, the
+//! same way collectors merge.
 
-use crate::pipeline::process_day_streaming;
+use crate::pipeline::{process_day_streaming, PipelineOptions};
 use analysis::collect::{PipelineCtx, StudyCollector};
 use analysis::figures::{self, StudySummary};
 use analysis::HeadlineStats;
@@ -16,47 +24,66 @@ use campussim::{CampusSim, SimConfig};
 use devclass::{audit_sample, AuditReport, DeviceType};
 use dhcplog::NormalizeStats;
 use geoloc::SubPop;
+use lockdown_obs::{MetricsRegistry, MetricsSnapshot, NullObserver, RunObserver};
 use nettrace::time::{Day, Month, StudyCalendar};
 use nettrace::DeviceId;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
+/// Everything one worker hands back when its queue runs dry.
+struct WorkerYield {
+    collector: StudyCollector,
+    stats: NormalizeStats,
+    metrics: MetricsSnapshot,
+}
+
 /// One worker's share: pull days off `cursor` until the queue is dry,
-/// streaming each through the pipeline into a private collector.
+/// streaming each through the pipeline into a private collector and a
+/// private metrics registry (no cross-thread contention on either).
 fn drain_days(
     sim: &CampusSim,
     ctx: &PipelineCtx,
     days: &[Day],
     cursor: &AtomicUsize,
-) -> (StudyCollector, NormalizeStats) {
+    worker: usize,
+    observer: &dyn RunObserver,
+    collect_metrics: bool,
+) -> WorkerYield {
+    let registry = collect_metrics.then(MetricsRegistry::new);
     let mut collector = StudyCollector::new();
     let mut stats = NormalizeStats::default();
     loop {
         let i = cursor.fetch_add(1, Ordering::Relaxed);
         let Some(&day) = days.get(i) else { break };
-        stats += process_day_streaming(
-            ctx,
-            sim.directory().table(),
-            &mut collector,
-            day,
-            sim,
-            sim.config().anon_key,
-        );
+        observer.day_started(worker, day);
+        let opts = PipelineOptions::new(ctx, sim.directory().table(), day, sim.config().anon_key)
+            .observer(observer)
+            .metrics_opt(registry.as_ref());
+        let day_stats = process_day_streaming(opts, &mut collector, sim);
+        observer.day_finished(worker, day, day_stats.attributed);
+        stats += day_stats;
     }
-    (collector, stats)
+    observer.worker_idle(worker);
+    WorkerYield {
+        collector,
+        stats,
+        metrics: registry.map(|r| r.snapshot()).unwrap_or_default(),
+    }
 }
 
-/// Merge per-worker results into one collector + stats pair.
+/// Merge per-worker results into one collector/stats/metrics triple.
 fn merge_results(
-    results: impl IntoIterator<Item = (StudyCollector, NormalizeStats)>,
-) -> (StudyCollector, NormalizeStats) {
+    results: impl IntoIterator<Item = WorkerYield>,
+) -> (StudyCollector, NormalizeStats, MetricsSnapshot) {
     let mut collector = StudyCollector::new();
     let mut stats = NormalizeStats::default();
-    for (c, s) in results {
-        collector.merge(c);
-        stats += s;
+    let mut metrics = MetricsSnapshot::default();
+    for y in results {
+        collector.merge(y.collector);
+        stats += y.stats;
+        metrics.merge(&y.metrics);
     }
-    (collector, stats)
+    (collector, stats, metrics)
 }
 
 /// A completed study run.
@@ -69,45 +96,31 @@ pub struct Study {
     pub summary: StudySummary,
     /// Aggregate normalization statistics.
     pub norm_stats: NormalizeStats,
+    metrics: MetricsSnapshot,
 }
 
 impl Study {
+    /// Configure a run: `Study::builder(cfg).threads(8).run()`.
+    pub fn builder(cfg: SimConfig) -> StudyBuilder {
+        StudyBuilder::new(cfg)
+    }
+
     /// Run the full 121-day study, fanning days out over `threads`
-    /// workers (1 = sequential). Days are handed out through a shared
-    /// work-stealing cursor, so a slow day (e.g. peak-occupancy
-    /// February) never leaves the other workers idle the way static
-    /// round-robin chunking did. Deterministic regardless of thread
-    /// count: each day is streamed independently and the per-worker
-    /// collectors merge commutatively.
+    /// workers (1 = sequential).
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `Study::builder(cfg).threads(n).run()` instead"
+    )]
     pub fn run(cfg: SimConfig, threads: usize) -> Study {
-        let sim = CampusSim::new(cfg);
-        let ctx = PipelineCtx::study();
-        let days: Vec<Day> = StudyCalendar::days().collect();
-        let threads = threads.max(1);
-        let cursor = AtomicUsize::new(0);
+        Study::builder(cfg).threads(threads).run().into_study()
+    }
 
-        let (collector, norm_stats) = if threads == 1 {
-            drain_days(&sim, &ctx, &days, &cursor)
-        } else {
-            let results: Vec<(StudyCollector, NormalizeStats)> = std::thread::scope(|s| {
-                let handles: Vec<_> = (0..threads)
-                    .map(|_| s.spawn(|| drain_days(&sim, &ctx, &days, &cursor)))
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("worker panicked"))
-                    .collect()
-            });
-            merge_results(results)
-        };
-
-        let summary = StudySummary::finalize(&collector);
-        Study {
-            sim,
-            collector,
-            summary,
-            norm_stats,
-        }
+    /// Run-level per-stage counters (sessions generated, flows
+    /// assembled, leases normalized, labels resolved, …), folded
+    /// together from the per-worker registries. Empty if the run was
+    /// built with [`StudyBuilder::metrics`]`(false)`.
+    pub fn metrics(&self) -> &MetricsSnapshot {
+        &self.metrics
     }
 
     /// The paper's headline statistics for this run.
@@ -187,87 +200,237 @@ impl Study {
     }
 }
 
-/// Run the study plus its 2019 counterfactual and return
-/// (study, counterfactual, growth-vs-2019). The counterfactual shares
-/// the seed and population scale but has no pandemic; the paper reports
-/// Apr/May 2020 traffic 53% above 2019.
+/// Configures and launches a study run.
 ///
-/// Both runs share one pool of scoped workers: each worker drains the
-/// study's day queue, then rolls straight into the counterfactual's,
-/// so no threads are torn down and respawned between the runs and the
-/// pool stays busy across the boundary.
+/// ```no_run
+/// use campussim::SimConfig;
+/// use lockdown_core::Study;
+/// use lockdown_obs::TextProgress;
+///
+/// let run = Study::builder(SimConfig::at_scale(0.05))
+///     .threads(8)
+///     .observer(TextProgress::stderr())
+///     .with_counterfactual()
+///     .run();
+/// println!("growth vs 2019: {:?}", run.growth_vs_2019());
+/// ```
+pub struct StudyBuilder {
+    cfg: SimConfig,
+    threads: usize,
+    observer: Box<dyn RunObserver>,
+    counterfactual: bool,
+    collect_metrics: bool,
+}
+
+impl StudyBuilder {
+    /// Defaults: sequential, silent observer, metrics on, no
+    /// counterfactual.
+    pub fn new(cfg: SimConfig) -> Self {
+        StudyBuilder {
+            cfg,
+            threads: 1,
+            observer: Box::new(NullObserver),
+            counterfactual: false,
+            collect_metrics: true,
+        }
+    }
+
+    /// Fan days out over `n` workers (clamped to at least 1). Days are
+    /// handed out through a shared work-stealing cursor, so a slow day
+    /// (e.g. peak-occupancy February) never leaves the other workers
+    /// idle the way static round-robin chunking did. Deterministic
+    /// regardless of thread count: each day is streamed independently
+    /// and the per-worker collectors merge commutatively.
+    pub fn threads(mut self, n: usize) -> Self {
+        self.threads = n.max(1);
+        self
+    }
+
+    /// Receive progress events ([`RunObserver`]) during the run.
+    pub fn observer(mut self, observer: impl RunObserver + 'static) -> Self {
+        self.observer = Box::new(observer);
+        self
+    }
+
+    /// Toggle per-stage metrics collection (on by default; the off
+    /// path costs one branch per record).
+    pub fn metrics(mut self, on: bool) -> Self {
+        self.collect_metrics = on;
+        self
+    }
+
+    /// Also run the 2019 counterfactual (same seed and population
+    /// scale, no pandemic) and report Apr/May traffic growth against
+    /// it; the paper reports +53%. Both runs share one pool of scoped
+    /// workers: each worker drains the study's day queue, then rolls
+    /// straight into the counterfactual's, so no threads are torn down
+    /// and respawned between the runs and the pool stays busy across
+    /// the boundary.
+    pub fn with_counterfactual(mut self) -> Self {
+        self.counterfactual = true;
+        self
+    }
+
+    /// Execute the configured run.
+    pub fn run(self) -> StudyRun {
+        let StudyBuilder {
+            cfg,
+            threads,
+            observer,
+            counterfactual,
+            collect_metrics,
+        } = self;
+        let cf_cfg = counterfactual.then(|| cfg.counterfactual());
+        let sim = CampusSim::new(cfg);
+        let cf_sim = cf_cfg.map(CampusSim::new);
+        let ctx = PipelineCtx::study();
+        let days: Vec<Day> = StudyCalendar::days().collect();
+        let cursor = AtomicUsize::new(0);
+        let cf_cursor = AtomicUsize::new(0);
+
+        let worker = |w: usize| {
+            let main = drain_days(
+                &sim,
+                &ctx,
+                &days,
+                &cursor,
+                w,
+                observer.as_ref(),
+                collect_metrics,
+            );
+            let cf = cf_sim.as_ref().map(|cf_sim| {
+                drain_days(
+                    cf_sim,
+                    &ctx,
+                    &days,
+                    &cf_cursor,
+                    w,
+                    observer.as_ref(),
+                    collect_metrics,
+                )
+            });
+            (main, cf)
+        };
+
+        let results: Vec<(WorkerYield, Option<WorkerYield>)> = if threads == 1 {
+            vec![worker(0)]
+        } else {
+            let worker = &worker;
+            std::thread::scope(|s| {
+                let handles: Vec<_> = (0..threads).map(|w| s.spawn(move || worker(w))).collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("worker panicked"))
+                    .collect()
+            })
+        };
+
+        let (study_results, cf_results): (Vec<_>, Vec<_>) = results.into_iter().unzip();
+        let (collector, norm_stats, metrics) = merge_results(study_results);
+        let summary = StudySummary::finalize(&collector);
+        let study = Study {
+            sim,
+            collector,
+            summary,
+            norm_stats,
+            metrics,
+        };
+
+        let counterfactual = cf_sim.map(|cf_sim| {
+            let (cf_collector, cf_norm_stats, cf_metrics) =
+                merge_results(cf_results.into_iter().flatten());
+            let cf_summary = StudySummary::finalize(&cf_collector);
+            let cf = Study {
+                sim: cf_sim,
+                collector: cf_collector,
+                summary: cf_summary,
+                norm_stats: cf_norm_stats,
+                metrics: cf_metrics,
+            };
+            // Compare the *same cohort*: the 2020 post-shutdown users,
+            // whose devices exist identically in the counterfactual
+            // population (same seed, unconditional population draws).
+            let cohort = &study.summary.post_shutdown;
+            let cf_traffic = cf.aprmay_daily_traffic_over(cohort);
+            let growth_vs_2019 = if cf_traffic > 0.0 {
+                study.aprmay_daily_traffic_over(cohort) / cf_traffic - 1.0
+            } else {
+                0.0
+            };
+            Counterfactual {
+                study: cf,
+                growth_vs_2019,
+            }
+        });
+
+        StudyRun {
+            study,
+            counterfactual,
+        }
+    }
+}
+
+/// The 2019 no-pandemic twin of a study run.
+pub struct Counterfactual {
+    /// The counterfactual study itself.
+    pub study: Study,
+    /// Apr/May traffic growth of the 2020 post-shutdown cohort over the
+    /// same cohort in 2019 (the paper reports +53%).
+    pub growth_vs_2019: f64,
+}
+
+/// What [`StudyBuilder::run`] returns: the study plus, when requested,
+/// its 2019 counterfactual. Dereferences to the main [`Study`].
+pub struct StudyRun {
+    /// The main (2020) study.
+    pub study: Study,
+    /// The 2019 counterfactual, if [`StudyBuilder::with_counterfactual`]
+    /// was requested.
+    pub counterfactual: Option<Counterfactual>,
+}
+
+impl StudyRun {
+    /// Discard the counterfactual (if any) and keep the main study.
+    pub fn into_study(self) -> Study {
+        self.study
+    }
+
+    /// Apr/May traffic growth vs the 2019 counterfactual, if one ran.
+    pub fn growth_vs_2019(&self) -> Option<f64> {
+        self.counterfactual.as_ref().map(|c| c.growth_vs_2019)
+    }
+}
+
+impl std::ops::Deref for StudyRun {
+    type Target = Study;
+
+    fn deref(&self) -> &Study {
+        &self.study
+    }
+}
+
+/// Run the study plus its 2019 counterfactual and return
+/// (study, counterfactual, growth-vs-2019).
+#[deprecated(
+    since = "0.2.0",
+    note = "use `Study::builder(cfg).threads(n).with_counterfactual().run()` instead"
+)]
 pub fn run_with_counterfactual(cfg: SimConfig, threads: usize) -> (Study, Study, f64) {
-    let cf_cfg = cfg.counterfactual();
-    let sim = CampusSim::new(cfg);
-    let cf_sim = CampusSim::new(cf_cfg);
-    let ctx = PipelineCtx::study();
-    let days: Vec<Day> = StudyCalendar::days().collect();
-    let threads = threads.max(1);
-    let cursor = AtomicUsize::new(0);
-    let cf_cursor = AtomicUsize::new(0);
-
-    type WorkerOut = (
-        (StudyCollector, NormalizeStats),
-        (StudyCollector, NormalizeStats),
-    );
-    let results: Vec<WorkerOut> = if threads == 1 {
-        vec![(
-            drain_days(&sim, &ctx, &days, &cursor),
-            drain_days(&cf_sim, &ctx, &days, &cf_cursor),
-        )]
-    } else {
-        std::thread::scope(|s| {
-            let handles: Vec<_> = (0..threads)
-                .map(|_| {
-                    s.spawn(|| {
-                        (
-                            drain_days(&sim, &ctx, &days, &cursor),
-                            drain_days(&cf_sim, &ctx, &days, &cf_cursor),
-                        )
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("worker panicked"))
-                .collect()
-        })
-    };
-    let (study_results, cf_results): (Vec<_>, Vec<_>) = results.into_iter().unzip();
-    let (collector, norm_stats) = merge_results(study_results);
-    let (cf_collector, cf_norm_stats) = merge_results(cf_results);
-
-    let summary = StudySummary::finalize(&collector);
-    let cf_summary = StudySummary::finalize(&cf_collector);
-    let study = Study {
-        sim,
-        collector,
-        summary,
-        norm_stats,
-    };
-    let cf = Study {
-        sim: cf_sim,
-        collector: cf_collector,
-        summary: cf_summary,
-        norm_stats: cf_norm_stats,
-    };
-
-    // Compare the *same cohort*: the 2020 post-shutdown users, whose
-    // devices exist identically in the counterfactual population (same
-    // seed, unconditional population draws).
-    let cohort = &study.summary.post_shutdown;
-    let cf_traffic = cf.aprmay_daily_traffic_over(cohort);
-    let growth = if cf_traffic > 0.0 {
-        study.aprmay_daily_traffic_over(cohort) / cf_traffic - 1.0
-    } else {
-        0.0
-    };
-    (study, cf, growth)
+    let run = Study::builder(cfg)
+        .threads(threads)
+        .with_counterfactual()
+        .run();
+    let cf = run
+        .counterfactual
+        .expect("with_counterfactual() always yields one");
+    (run.study, cf.study, cf.growth_vs_2019)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use lockdown_obs::CountingObserver;
+    use std::sync::Arc;
 
     fn tiny() -> SimConfig {
         SimConfig {
@@ -278,8 +441,8 @@ mod tests {
 
     #[test]
     fn sequential_and_parallel_agree() {
-        let a = Study::run(tiny(), 1);
-        let b = Study::run(tiny(), 4);
+        let a = Study::builder(tiny()).run().into_study();
+        let b = Study::builder(tiny()).threads(4).run().into_study();
         assert_eq!(a.norm_stats, b.norm_stats);
         assert_eq!(a.summary.resident.len(), b.summary.resident.len());
         assert_eq!(a.summary.post_shutdown.len(), b.summary.post_shutdown.len());
@@ -288,11 +451,14 @@ mod tests {
         assert_eq!(ha.peak_active, hb.peak_active);
         assert_eq!(ha.intl_devices, hb.intl_devices);
         assert!((ha.traffic_growth_feb_to_aprmay - hb.traffic_growth_feb_to_aprmay).abs() < 1e-9);
+        // Metrics are deterministic too: per-worker registries merge
+        // commutatively, so thread count cannot change the totals.
+        assert_eq!(a.metrics().counters, b.metrics().counters);
     }
 
     #[test]
     fn study_produces_plausible_shape() {
-        let s = Study::run(tiny(), 4);
+        let s = Study::builder(tiny()).threads(4).run().into_study();
         let h = s.headline();
         // Population declines into shutdown.
         assert!(h.peak_active > 2 * h.trough_active, "{h:?}");
@@ -308,7 +474,7 @@ mod tests {
 
     #[test]
     fn audit_mostly_correct() {
-        let s = Study::run(tiny(), 4);
+        let s = Study::builder(tiny()).threads(4).run().into_study();
         let audit = s.classification_audit(100);
         assert!(audit.sampled > 50);
         assert!(
@@ -317,5 +483,22 @@ mod tests {
             audit.accuracy(),
             audit
         );
+    }
+
+    #[test]
+    fn observer_sees_every_day_and_metrics_can_be_disabled() {
+        let obs = Arc::new(CountingObserver::new());
+        let run = Study::builder(tiny())
+            .threads(2)
+            .observer(Arc::clone(&obs))
+            .metrics(false)
+            .run();
+        let days = StudyCalendar::days().count() as u64;
+        assert_eq!(obs.days_started(), days);
+        assert_eq!(obs.days_finished(), days);
+        assert_eq!(obs.workers_idled(), 2);
+        assert_eq!(obs.flows(), run.study.norm_stats.attributed);
+        // metrics(false) leaves the snapshot empty.
+        assert!(run.study.metrics().counters.is_empty());
     }
 }

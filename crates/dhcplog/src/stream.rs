@@ -13,8 +13,8 @@
 //! the global stream may interleave devices). Under that contract every
 //! interval a batch index would have built is either closed identically
 //! here, or still open with the same `start`/`last_activity`, and the
-//! lookup rules below reproduce [`LeaseIndex::lookup`] answer for
-//! answer.
+//! lookup rules below reproduce [`LeaseIndex::lookup`](crate::LeaseIndex::lookup)
+//! answer for answer.
 
 use crate::lease::{LeaseAction, LeaseEvent};
 use crate::normalize::NormalizeStats;
@@ -153,6 +153,7 @@ pub struct NormalizeStage {
     pool: Ipv4Cidr,
     anon_key: u64,
     stats: NormalizeStats,
+    lease_events: u64,
 }
 
 impl NormalizeStage {
@@ -164,12 +165,21 @@ impl NormalizeStage {
             pool,
             anon_key,
             stats: NormalizeStats::default(),
+            lease_events: 0,
         }
     }
 
     /// Ingest one lease event into the tracker state.
     pub fn record_lease(&mut self, e: &LeaseEvent) {
+        self.lease_events += 1;
         self.tracker.record(e);
+    }
+
+    /// Lease events normalized into tracker state so far. Kept outside
+    /// [`NormalizeStats`] so the flow-equivalence oracle (which never
+    /// sees leases) still compares bitwise against the batch path.
+    pub fn lease_events(&self) -> u64 {
+        self.lease_events
     }
 
     /// The lease state built so far.
@@ -321,5 +331,6 @@ mod tests {
         let s = stage.stats();
         assert_eq!(s.attributed, 1);
         assert_eq!(s.foreign, 1);
+        assert_eq!(stage.lease_events(), 1);
     }
 }

@@ -22,5 +22,5 @@ pub mod sites;
 
 pub use domain::{DomainId, DomainName, DomainTable};
 pub use query::DnsQuery;
-pub use resolver::{LabeledFlow, ResolverMap};
+pub use resolver::{LabelStats, LabeledFlow, ResolverMap};
 pub use sites::DistinctSiteCounter;

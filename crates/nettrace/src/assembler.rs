@@ -76,12 +76,38 @@ impl FlowState {
     }
 }
 
+/// Completion counters split by cause, plus table-occupancy extremes.
+/// These are the numbers a production flow monitor watches to trust its
+/// feed: a spike in `completed_idle` means the timeout is splitting
+/// real sessions, a runaway `peak_live_flows` means the table is not
+/// draining. Exported as `assembler.*` metrics by
+/// `lockdown_obs::record_assembler_stats`.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct AssemblerStats {
+    /// Packets fed into the table.
+    pub packets: u64,
+    /// Flows completed by a FIN handshake from both sides.
+    pub completed_fin: u64,
+    /// Flows completed by an RST.
+    pub completed_rst: u64,
+    /// Flows split inline because a packet arrived past the idle
+    /// timeout of its own flow.
+    pub completed_idle: u64,
+    /// Flows expired by the periodic idle sweep.
+    pub completed_sweep: u64,
+    /// Flows closed by the end-of-capture [`FlowAssembler::flush`].
+    pub flushed: u64,
+    /// Largest number of simultaneously live flows observed.
+    pub peak_live_flows: u64,
+}
+
 /// The packet-to-flow assembler. See the module docs.
 pub struct FlowAssembler {
     cfg: AssemblerConfig,
     table: HashMap<FlowKey, FlowState>,
     completed: Vec<FlowRecord>,
     last_sweep: Option<Timestamp>,
+    stats: AssemblerStats,
 }
 
 impl FlowAssembler {
@@ -92,6 +118,7 @@ impl FlowAssembler {
             table: HashMap::new(),
             completed: Vec::new(),
             last_sweep: None,
+            stats: AssemblerStats::default(),
         }
     }
 
@@ -103,6 +130,11 @@ impl FlowAssembler {
     /// Number of flows currently live in the table.
     pub fn live_flows(&self) -> usize {
         self.table.len()
+    }
+
+    /// Completion/occupancy counters accumulated so far.
+    pub fn stats(&self) -> AssemblerStats {
+        self.stats
     }
 
     fn timeout_for(&self, proto: Proto) -> i64 {
@@ -117,6 +149,7 @@ impl FlowAssembler {
     /// non-decreasing timestamp order for timeouts to behave; minor
     /// reordering only perturbs flow boundaries, never panics.
     pub fn push(&mut self, pkt: &PacketMeta) {
+        self.stats.packets += 1;
         self.maybe_sweep(pkt.ts);
 
         let fwd = FlowKey {
@@ -145,9 +178,15 @@ impl FlowAssembler {
             if pkt.ts.delta_secs(state.last_ts) > timeout {
                 let state = self.table.remove(&key).expect("checked above");
                 self.completed.push(state.to_record(key));
+                self.stats.completed_idle += 1;
             }
         }
 
+        let will_insert = !self.table.contains_key(&key);
+        self.stats.peak_live_flows = self
+            .stats
+            .peak_live_flows
+            .max((self.table.len() + usize::from(will_insert)) as u64);
         let entry = self.table.entry(key).or_insert_with(|| FlowState {
             first_ts: pkt.ts,
             last_ts: pkt.ts,
@@ -174,6 +213,7 @@ impl FlowAssembler {
             if flags.contains(Flags::RST) {
                 let state = self.table.remove(&key).expect("just inserted");
                 self.completed.push(state.to_record(key));
+                self.stats.completed_rst += 1;
                 return;
             }
             if flags.contains(Flags::FIN) {
@@ -185,6 +225,7 @@ impl FlowAssembler {
                 if entry.orig_fin && entry.resp_fin {
                     let state = self.table.remove(&key).expect("just inserted");
                     self.completed.push(state.to_record(key));
+                    self.stats.completed_fin += 1;
                 }
             }
         }
@@ -213,6 +254,7 @@ impl FlowAssembler {
         for k in expired {
             let state = self.table.remove(&k).expect("collected above");
             self.completed.push(state.to_record(k));
+            self.stats.completed_sweep += 1;
         }
     }
 
@@ -226,6 +268,7 @@ impl FlowAssembler {
     /// determinism.
     pub fn flush(&mut self) -> Vec<FlowRecord> {
         let mut out = std::mem::take(&mut self.completed);
+        self.stats.flushed += self.table.len() as u64;
         for (k, s) in self.table.drain() {
             out.push(s.to_record(k));
         }
@@ -389,6 +432,40 @@ mod tests {
         let flows = a.flush();
         let starts: Vec<i64> = flows.iter().map(|f| f.ts.secs()).collect();
         assert_eq!(starts, vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn stats_split_completions_by_cause() {
+        let mut a = FlowAssembler::with_defaults();
+        let s = (SERVER, 443u16);
+        // RST close.
+        a.push(&pkt(0, (CLIENT, 1), s, Proto::Tcp, 10, Some(Flags::SYN)));
+        a.push(&pkt(1, s, (CLIENT, 1), Proto::Tcp, 0, Some(Flags::RST)));
+        // FIN close from both sides.
+        a.push(&pkt(2, (CLIENT, 2), s, Proto::Tcp, 10, Some(Flags::ACK)));
+        a.push(&pkt(3, (CLIENT, 2), s, Proto::Tcp, 0, Some(Flags::FIN)));
+        a.push(&pkt(3, s, (CLIENT, 2), Proto::Tcp, 0, Some(Flags::FIN)));
+        // Idle split on the flow's own key (UDP timeout 60 s).
+        a.push(&pkt(10, (CLIENT, 3), s, Proto::Udp, 10, None));
+        a.push(&pkt(200, (CLIENT, 3), s, Proto::Udp, 10, None));
+        // The second flow of the split stays live into the flush.
+        let flushed = a.flush();
+        let st = a.stats();
+        assert_eq!(st.packets, 7);
+        assert_eq!(st.completed_rst, 1);
+        assert_eq!(st.completed_fin, 1);
+        assert_eq!(st.completed_idle + st.completed_sweep, 1);
+        assert_eq!(st.flushed, 1);
+        assert!(st.peak_live_flows >= 1);
+        // Every completion cause sums to the record count.
+        assert_eq!(
+            flushed.len() as u64,
+            st.completed_rst
+                + st.completed_fin
+                + st.completed_idle
+                + st.completed_sweep
+                + st.flushed
+        );
     }
 
     #[test]

@@ -1,0 +1,84 @@
+//! # lockdown-obs — pipeline observability
+//!
+//! A lightweight, dependency-free metrics and tracing layer for the
+//! measurement pipeline. Campus monitors earn trust in their numbers by
+//! continuously watching their own counters — per-stage throughput,
+//! flow-table occupancy, attribution rates — and this crate gives the
+//! reproduction the same vantage point:
+//!
+//! * [`MetricsRegistry`] — named atomic counters, gauges and
+//!   fixed-bucket histograms. Handles ([`Counter`], [`Gauge`],
+//!   [`Histogram`]) are acquired once per stage and are then pure
+//!   `Relaxed` atomics on the hot path.
+//! * [`StageTimer`] — wraps any [`nettrace::Stage`] and records
+//!   per-record latency plus per-push record/byte counts.
+//! * [`RunObserver`] — progress events (`day_started`, `day_finished`,
+//!   `stage_flushed`, `worker_idle`) with a no-op [`NullObserver`], a
+//!   stderr [`TextProgress`], and a machine-readable [`JsonlSink`].
+//!
+//! Instrumentation is zero-cost when off: every instrumented call site
+//! takes an `Option` of a handle (or the [`NullObserver`]), so the
+//! disabled path is a single predictable branch.
+//!
+//! ```
+//! use lockdown_obs::MetricsRegistry;
+//!
+//! let reg = MetricsRegistry::new();
+//! let flows = reg.counter("pipeline.flows_in");
+//! flows.add(3);
+//! let snap = reg.snapshot();
+//! assert_eq!(snap.counter("pipeline.flows_in"), 3);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod metrics;
+pub mod observer;
+pub mod timer;
+
+pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry, MetricsSnapshot};
+pub use observer::{CountingObserver, JsonlSink, NullObserver, RunObserver, TextProgress};
+pub use timer::{BytesOf, StageTimer};
+
+/// Publish a [`nettrace::assembler::AssemblerStats`] into a registry as
+/// the conventional `assembler.*` gauges and counters. Lives here (and
+/// not in `nettrace`) so the codec crate stays metrics-agnostic.
+pub fn record_assembler_stats(reg: &MetricsRegistry, stats: &nettrace::assembler::AssemblerStats) {
+    reg.counter("assembler.packets").add(stats.packets);
+    reg.counter("assembler.completed.fin")
+        .add(stats.completed_fin);
+    reg.counter("assembler.completed.rst")
+        .add(stats.completed_rst);
+    reg.counter("assembler.completed.idle")
+        .add(stats.completed_idle);
+    reg.counter("assembler.completed.sweep")
+        .add(stats.completed_sweep);
+    reg.counter("assembler.flushed").add(stats.flushed);
+    reg.gauge("assembler.peak_live_flows")
+        .set_max(stats.peak_live_flows);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn assembler_stats_export_lands_in_registry() {
+        let reg = MetricsRegistry::new();
+        let stats = nettrace::assembler::AssemblerStats {
+            packets: 10,
+            completed_fin: 2,
+            completed_rst: 1,
+            completed_idle: 3,
+            completed_sweep: 1,
+            flushed: 1,
+            peak_live_flows: 7,
+        };
+        record_assembler_stats(&reg, &stats);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("assembler.packets"), 10);
+        assert_eq!(snap.counter("assembler.completed.fin"), 2);
+        assert_eq!(snap.gauge("assembler.peak_live_flows"), 7);
+    }
+}

@@ -1,0 +1,277 @@
+//! Run-level progress events.
+//!
+//! A [`RunObserver`] is shared by every worker of a study run and
+//! receives coarse progress events — one per day or per worker, never
+//! per record, so even a chatty observer cannot slow the pipeline
+//! down. [`NullObserver`] is the zero-cost default; [`TextProgress`]
+//! streams human-readable lines to stderr; [`JsonlSink`] appends one
+//! JSON object per event to any writer for offline analysis.
+
+use nettrace::time::Day;
+use std::io::Write;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Receives progress events from a study run. All methods default to
+/// no-ops so observers implement only what they care about; the
+/// observer is shared across workers, hence `Send + Sync`.
+pub trait RunObserver: Send + Sync {
+    /// A worker pulled `day` off the queue and is about to stream it.
+    fn day_started(&self, worker: usize, day: Day) {
+        let _ = (worker, day);
+    }
+
+    /// A worker finished streaming `day`; `flows` is the number of
+    /// flow records attributed during that day.
+    fn day_finished(&self, worker: usize, day: Day, flows: u64) {
+        let _ = (worker, day, flows);
+    }
+
+    /// A pipeline stage flushed its day-scoped state. `records` is the
+    /// stage's cumulative output record count for that day.
+    fn stage_flushed(&self, day: Day, stage: &'static str, records: u64) {
+        let _ = (day, stage, records);
+    }
+
+    /// A worker found the day queue empty and is shutting down.
+    fn worker_idle(&self, worker: usize) {
+        let _ = worker;
+    }
+}
+
+/// Forwarding impls so a caller can hand a run a shared (or owned)
+/// handle and keep another for itself — e.g. an `Arc<CountingObserver>`
+/// it inspects after the run.
+macro_rules! forward_observer {
+    ($ty:ty) => {
+        impl<T: RunObserver + ?Sized> RunObserver for $ty {
+            fn day_started(&self, worker: usize, day: Day) {
+                (**self).day_started(worker, day)
+            }
+
+            fn day_finished(&self, worker: usize, day: Day, flows: u64) {
+                (**self).day_finished(worker, day, flows)
+            }
+
+            fn stage_flushed(&self, day: Day, stage: &'static str, records: u64) {
+                (**self).stage_flushed(day, stage, records)
+            }
+
+            fn worker_idle(&self, worker: usize) {
+                (**self).worker_idle(worker)
+            }
+        }
+    };
+}
+
+forward_observer!(std::sync::Arc<T>);
+forward_observer!(Box<T>);
+forward_observer!(&T);
+
+/// The do-nothing observer: every callback inlines to nothing.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullObserver;
+
+impl RunObserver for NullObserver {}
+
+/// Streams one human-readable line per event to stderr.
+#[derive(Debug, Default)]
+pub struct TextProgress {
+    days_done: AtomicU64,
+}
+
+impl TextProgress {
+    /// A fresh stderr progress printer.
+    pub fn stderr() -> Self {
+        TextProgress::default()
+    }
+}
+
+impl RunObserver for TextProgress {
+    fn day_finished(&self, worker: usize, day: Day, flows: u64) {
+        let done = self.days_done.fetch_add(1, Ordering::Relaxed) + 1;
+        eprintln!(
+            "[obs] day {:>3} done on worker {worker} ({flows} flows, {done} days total)",
+            day.0
+        );
+    }
+
+    fn worker_idle(&self, worker: usize) {
+        eprintln!("[obs] worker {worker} idle: day queue drained");
+    }
+}
+
+/// Appends one JSON object per event to a writer (e.g. a `.jsonl`
+/// file). Events carry only numbers and static stage names, so the
+/// encoding is hand-rolled and dependency-free.
+#[derive(Debug)]
+pub struct JsonlSink<W: Write + Send> {
+    out: Mutex<W>,
+}
+
+impl<W: Write + Send> JsonlSink<W> {
+    /// Wrap any writer.
+    pub fn new(out: W) -> Self {
+        JsonlSink {
+            out: Mutex::new(out),
+        }
+    }
+
+    /// Recover the writer (e.g. to inspect a `Vec<u8>` in tests).
+    pub fn into_inner(self) -> W {
+        self.out.into_inner().expect("jsonl sink poisoned")
+    }
+
+    fn line(&self, json: &str) {
+        let mut w = self.out.lock().expect("jsonl sink poisoned");
+        // A failed write must not abort the measurement run.
+        let _ = writeln!(w, "{json}");
+    }
+}
+
+impl JsonlSink<std::fs::File> {
+    /// Create (truncating) a `.jsonl` event log at `path`.
+    pub fn create(path: &std::path::Path) -> std::io::Result<Self> {
+        Ok(JsonlSink::new(std::fs::File::create(path)?))
+    }
+}
+
+impl<W: Write + Send> RunObserver for JsonlSink<W> {
+    fn day_started(&self, worker: usize, day: Day) {
+        self.line(&format!(
+            "{{\"event\":\"day_started\",\"worker\":{worker},\"day\":{}}}",
+            day.0
+        ));
+    }
+
+    fn day_finished(&self, worker: usize, day: Day, flows: u64) {
+        self.line(&format!(
+            "{{\"event\":\"day_finished\",\"worker\":{worker},\"day\":{},\"flows\":{flows}}}",
+            day.0
+        ));
+    }
+
+    fn stage_flushed(&self, day: Day, stage: &'static str, records: u64) {
+        self.line(&format!(
+            "{{\"event\":\"stage_flushed\",\"day\":{},\"stage\":\"{stage}\",\"records\":{records}}}",
+            day.0
+        ));
+    }
+
+    fn worker_idle(&self, worker: usize) {
+        self.line(&format!(
+            "{{\"event\":\"worker_idle\",\"worker\":{worker}}}"
+        ));
+    }
+}
+
+/// Tallies events without rendering them — handy in tests and as a
+/// cheap liveness probe.
+#[derive(Debug, Default)]
+pub struct CountingObserver {
+    days_started: AtomicU64,
+    days_finished: AtomicU64,
+    stages_flushed: AtomicU64,
+    workers_idled: AtomicU64,
+    flows: AtomicU64,
+}
+
+impl CountingObserver {
+    /// A fresh zeroed counter set.
+    pub fn new() -> Self {
+        CountingObserver::default()
+    }
+
+    /// Days started so far.
+    pub fn days_started(&self) -> u64 {
+        self.days_started.load(Ordering::Relaxed)
+    }
+
+    /// Days finished so far.
+    pub fn days_finished(&self) -> u64 {
+        self.days_finished.load(Ordering::Relaxed)
+    }
+
+    /// Stage flushes seen so far.
+    pub fn stages_flushed(&self) -> u64 {
+        self.stages_flushed.load(Ordering::Relaxed)
+    }
+
+    /// Workers that reported idle.
+    pub fn workers_idled(&self) -> u64 {
+        self.workers_idled.load(Ordering::Relaxed)
+    }
+
+    /// Total flows reported through `day_finished`.
+    pub fn flows(&self) -> u64 {
+        self.flows.load(Ordering::Relaxed)
+    }
+}
+
+impl RunObserver for CountingObserver {
+    fn day_started(&self, _worker: usize, _day: Day) {
+        self.days_started.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn day_finished(&self, _worker: usize, _day: Day, flows: u64) {
+        self.days_finished.fetch_add(1, Ordering::Relaxed);
+        self.flows.fetch_add(flows, Ordering::Relaxed);
+    }
+
+    fn stage_flushed(&self, _day: Day, _stage: &'static str, _records: u64) {
+        self.stages_flushed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn worker_idle(&self, _worker: usize) {
+        self.workers_idled.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jsonl_sink_writes_one_line_per_event() {
+        let sink = JsonlSink::new(Vec::new());
+        sink.day_started(0, Day(3));
+        sink.stage_flushed(Day(3), "normalize", 42);
+        sink.day_finished(0, Day(3), 42);
+        sink.worker_idle(0);
+        let text = String::from_utf8(sink.into_inner()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert_eq!(
+            lines[0],
+            "{\"event\":\"day_started\",\"worker\":0,\"day\":3}"
+        );
+        assert!(lines[1].contains("\"stage\":\"normalize\""));
+        assert!(lines[2].contains("\"flows\":42"));
+        assert!(lines[3].contains("worker_idle"));
+    }
+
+    #[test]
+    fn counting_observer_tallies() {
+        let obs = CountingObserver::new();
+        obs.day_started(1, Day(0));
+        obs.day_finished(1, Day(0), 10);
+        obs.day_finished(2, Day(1), 5);
+        obs.stage_flushed(Day(0), "resolver", 10);
+        obs.worker_idle(1);
+        assert_eq!(obs.days_started(), 1);
+        assert_eq!(obs.days_finished(), 2);
+        assert_eq!(obs.flows(), 15);
+        assert_eq!(obs.stages_flushed(), 1);
+        assert_eq!(obs.workers_idled(), 1);
+    }
+
+    #[test]
+    fn null_observer_is_shareable_across_threads() {
+        let obs = NullObserver;
+        let r: &dyn RunObserver = &obs;
+        std::thread::scope(|s| {
+            s.spawn(|| r.day_started(0, Day(0)));
+            s.spawn(|| r.worker_idle(1));
+        });
+    }
+}

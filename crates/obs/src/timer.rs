@@ -1,0 +1,201 @@
+//! [`StageTimer`]: per-stage instrumentation for any [`Stage`].
+//!
+//! Wraps a stage and counts records in/out, optionally bytes out, and
+//! per-record push latency into a registry histogram. Built disabled
+//! (no registry) it degrades to a handful of `Option` branches, so a
+//! pipeline can keep the wrapper in place permanently and pay only when
+//! someone is watching.
+
+use crate::metrics::{Counter, Histogram, MetricsRegistry};
+use nettrace::Stage;
+use std::time::Instant;
+
+/// How a [`StageTimer`] sizes an output record for `stage.<name>.bytes_out`.
+pub type BytesOf<T> = fn(&T) -> u64;
+
+/// An instrumented wrapper around an inner [`Stage`].
+///
+/// ```
+/// use lockdown_obs::{MetricsRegistry, StageTimer};
+/// use nettrace::Stage;
+///
+/// struct Halve;
+/// impl Stage for Halve {
+///     type In = u64;
+///     type Out = u64;
+///     fn push(&mut self, v: u64) -> Option<u64> {
+///         (v & 1 == 0).then_some(v / 2)
+///     }
+/// }
+///
+/// let reg = MetricsRegistry::new();
+/// let mut stage = StageTimer::new("halve", Halve, Some(&reg));
+/// assert_eq!(stage.push(4), Some(2));
+/// assert_eq!(stage.push(3), None);
+/// let snap = reg.snapshot();
+/// assert_eq!(snap.counter("stage.halve.in"), 2);
+/// assert_eq!(snap.counter("stage.halve.out"), 1);
+/// ```
+pub struct StageTimer<S: Stage> {
+    inner: S,
+    records_in: Option<Counter>,
+    records_out: Option<Counter>,
+    latency_ns: Option<Histogram>,
+    bytes_out: Option<(Counter, BytesOf<S::Out>)>,
+}
+
+impl<S: Stage> StageTimer<S> {
+    /// Wrap `inner`, registering `stage.<name>.{in,out,latency_ns}`
+    /// in `registry`. With `None` the wrapper is a transparent no-op.
+    pub fn new(name: &str, inner: S, registry: Option<&MetricsRegistry>) -> Self {
+        match registry {
+            Some(reg) => StageTimer {
+                inner,
+                records_in: Some(reg.counter(&format!("stage.{name}.in"))),
+                records_out: Some(reg.counter(&format!("stage.{name}.out"))),
+                latency_ns: Some(reg.histogram(&format!("stage.{name}.latency_ns"))),
+                bytes_out: None,
+            },
+            None => StageTimer {
+                inner,
+                records_in: None,
+                records_out: None,
+                latency_ns: None,
+                bytes_out: None,
+            },
+        }
+    }
+
+    /// Additionally count output bytes (as measured by `bytes_of`) into
+    /// `stage.<name>.bytes_out`. No-op if built without a registry.
+    pub fn measuring_bytes(
+        mut self,
+        name: &str,
+        registry: Option<&MetricsRegistry>,
+        bytes_of: BytesOf<S::Out>,
+    ) -> Self {
+        if let Some(reg) = registry {
+            self.bytes_out = Some((reg.counter(&format!("stage.{name}.bytes_out")), bytes_of));
+        }
+        self
+    }
+
+    /// The wrapped stage.
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+
+    /// The wrapped stage, mutably.
+    pub fn inner_mut(&mut self) -> &mut S {
+        &mut self.inner
+    }
+
+    /// Unwrap, discarding the instrumentation handles.
+    pub fn into_inner(self) -> S {
+        self.inner
+    }
+}
+
+impl<S: Stage> Stage for StageTimer<S> {
+    type In = S::In;
+    type Out = S::Out;
+
+    #[inline]
+    fn push(&mut self, input: S::In) -> Option<S::Out> {
+        if let Some(c) = &self.records_in {
+            c.inc();
+        }
+        let out = match &self.latency_ns {
+            Some(h) => {
+                let t0 = Instant::now();
+                let out = self.inner.push(input);
+                h.record(t0.elapsed().as_nanos() as u64);
+                out
+            }
+            None => self.inner.push(input),
+        };
+        if let Some(out) = &out {
+            if let Some(c) = &self.records_out {
+                c.inc();
+            }
+            if let Some((c, bytes_of)) = &self.bytes_out {
+                c.add(bytes_of(out));
+            }
+        }
+        out
+    }
+
+    fn flush(&mut self) {
+        self.inner.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Emits its input unchanged; counts flushes.
+    struct Echo {
+        flushed: u32,
+    }
+    impl Stage for Echo {
+        type In = u64;
+        type Out = u64;
+        fn push(&mut self, v: u64) -> Option<u64> {
+            Some(v)
+        }
+        fn flush(&mut self) {
+            self.flushed += 1;
+        }
+    }
+
+    #[test]
+    fn counts_records_bytes_and_latency() {
+        let reg = MetricsRegistry::new();
+        let mut stage = StageTimer::new("echo", Echo { flushed: 0 }, Some(&reg)).measuring_bytes(
+            "echo",
+            Some(&reg),
+            |v| *v,
+        );
+        for v in [10u64, 20, 30] {
+            assert_eq!(stage.push(v), Some(v));
+        }
+        stage.flush();
+        assert_eq!(stage.inner().flushed, 1);
+
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("stage.echo.in"), 3);
+        assert_eq!(snap.counter("stage.echo.out"), 3);
+        assert_eq!(snap.counter("stage.echo.bytes_out"), 60);
+        let lat = snap.histogram("stage.echo.latency_ns").unwrap();
+        assert_eq!(lat.count(), 3);
+    }
+
+    #[test]
+    fn disabled_timer_is_transparent() {
+        let mut stage = StageTimer::new("echo", Echo { flushed: 0 }, None);
+        assert_eq!(stage.push(7), Some(7));
+        stage.flush();
+        assert_eq!(stage.into_inner().flushed, 1);
+    }
+
+    #[test]
+    fn filtered_records_count_in_but_not_out() {
+        struct DropOdd;
+        impl Stage for DropOdd {
+            type In = u64;
+            type Out = u64;
+            fn push(&mut self, v: u64) -> Option<u64> {
+                (v & 1 == 0).then_some(v)
+            }
+        }
+        let reg = MetricsRegistry::new();
+        let mut stage = StageTimer::new("drop_odd", DropOdd, Some(&reg));
+        for v in 0..10 {
+            stage.push(v);
+        }
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("stage.drop_odd.in"), 10);
+        assert_eq!(snap.counter("stage.drop_odd.out"), 5);
+    }
+}

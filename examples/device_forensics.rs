@@ -9,7 +9,7 @@
 use analysis::collect::{PipelineCtx, StudyCollector};
 use campussim::{CampusSim, SimConfig};
 use devclass::{DeviceType, FigureBucket};
-use lockdown_core::process_day;
+use lockdown_core::{process_day, PipelineOptions};
 use nettrace::time::Day;
 use std::collections::HashMap;
 
@@ -22,14 +22,8 @@ fn main() {
     for d in 0..14u16 {
         let day = Day(d);
         let trace = sim.day_trace(day);
-        process_day(
-            &ctx,
-            sim.directory().table(),
-            &mut collector,
-            day,
-            &trace,
-            sim.config().anon_key,
-        );
+        let opts = PipelineOptions::new(&ctx, sim.directory().table(), day, sim.config().anon_key);
+        process_day(opts, &mut collector, &trace);
     }
 
     let classifier = devclass::Classifier::new();

@@ -14,6 +14,7 @@
 
 use campussim::packets;
 use campussim::{CampusSim, SimConfig};
+use lockdown_obs::{record_assembler_stats, MetricsRegistry};
 use nettrace::assembler::FlowAssembler;
 use nettrace::pcap;
 use nettrace::time::Day;
@@ -79,6 +80,12 @@ fn main() {
         "assembler extracted {} flows from {packets_read} packets",
         extracted.len()
     );
+
+    // The assembler keeps its own completion/occupancy counters; publish
+    // them through the observability layer to show the cause split.
+    let reg = MetricsRegistry::new();
+    record_assembler_stats(&reg, &asm.stats());
+    print!("{}", reg.snapshot().to_text());
 
     // Compare byte totals per flow key.
     let mut expected: HashMap<_, (u64, u64)> = HashMap::new();

@@ -16,7 +16,7 @@ fn main() {
         StudyCalendar::NUM_DAYS
     );
 
-    let study = Study::run(cfg, 4);
+    let study = Study::builder(cfg).threads(4).run().into_study();
     let h = study.headline();
 
     println!();

@@ -11,7 +11,7 @@
 use analysis::collect::{PipelineCtx, StudyCollector};
 use campussim::{CampusSim, SimConfig};
 use geoloc::{in_united_states, SubPop};
-use lockdown_core::process_day;
+use lockdown_core::{process_day, PipelineOptions};
 use nettrace::time::Day;
 
 fn main() {
@@ -23,14 +23,8 @@ fn main() {
     for d in 0..29u16 {
         let day = Day(d);
         let trace = sim.day_trace(day);
-        process_day(
-            &ctx,
-            sim.directory().table(),
-            &mut collector,
-            day,
-            &trace,
-            sim.config().anon_key,
-        );
+        let opts = PipelineOptions::new(&ctx, sim.directory().table(), day, sim.config().anon_key);
+        process_day(opts, &mut collector, &trace);
     }
 
     let truth: std::collections::HashMap<_, _> = sim

@@ -8,9 +8,13 @@
 //! ```no_run
 //! use locked_in_lockdown::prelude::*;
 //!
-//! let study = Study::run(SimConfig::at_scale(0.02), 4);
+//! let study = Study::builder(SimConfig::at_scale(0.02))
+//!     .threads(4)
+//!     .run()
+//!     .into_study();
 //! let stats = study.headline();
 //! println!("post-shutdown devices: {}", stats.post_shutdown_devices);
+//! println!("flows assembled: {}", study.metrics().counter("pipeline.flows_in"));
 //! ```
 
 #![forbid(unsafe_code)]
@@ -24,6 +28,7 @@ pub use dhcplog;
 pub use dnslog;
 pub use geoloc;
 pub use lockdown_core;
+pub use lockdown_obs;
 pub use nettrace;
 
 /// Convenient imports for the common workflow.
@@ -31,6 +36,9 @@ pub mod prelude {
     pub use analysis::collect::{PipelineCtx, StudyCollector};
     pub use analysis::figures::StudySummary;
     pub use campussim::{CampusSim, SimConfig};
-    pub use lockdown_core::{report, run_with_counterfactual, Study};
+    pub use lockdown_core::{report, Study, StudyBuilder, StudyRun};
+    pub use lockdown_obs::{
+        MetricsRegistry, MetricsSnapshot, NullObserver, RunObserver, TextProgress,
+    };
     pub use nettrace::time::{Day, Month, Phase, StudyCalendar};
 }

@@ -1,0 +1,123 @@
+//! The `StudyBuilder` API against its deprecated positional
+//! predecessors, plus the run-level metrics it exposes.
+//!
+//! The builder is a pure re-packaging of the old entry points: same
+//! worker pool, same work-stealing cursor, same merge. These tests hold
+//! the two against each other (bitwise-identical `HeadlineStats`) and
+//! sanity-check that the observability layer's numbers agree with what
+//! the pipeline itself reports.
+
+use campussim::SimConfig;
+use lockdown_obs::CountingObserver;
+use locked_in_lockdown::prelude::*;
+use std::sync::Arc;
+
+fn tiny() -> SimConfig {
+    SimConfig {
+        scale: 0.01,
+        ..Default::default()
+    }
+}
+
+#[test]
+fn builder_matches_deprecated_run_bitwise() {
+    #[allow(deprecated)]
+    let legacy = Study::run(tiny(), 4);
+    let built = Study::builder(tiny()).threads(4).run().into_study();
+    assert_eq!(legacy.norm_stats, built.norm_stats);
+    assert_eq!(legacy.summary.resident, built.summary.resident);
+    assert_eq!(legacy.summary.post_shutdown, built.summary.post_shutdown);
+    assert_eq!(legacy.summary.device_types, built.summary.device_types);
+    // Bitwise: HeadlineStats derives PartialEq over its f64 fields.
+    assert_eq!(legacy.headline(), built.headline());
+}
+
+#[test]
+fn builder_matches_deprecated_counterfactual() {
+    #[allow(deprecated)]
+    let (legacy, legacy_cf, legacy_growth) = lockdown_core::run_with_counterfactual(tiny(), 2);
+    let run = Study::builder(tiny())
+        .threads(2)
+        .with_counterfactual()
+        .run();
+    let cf = run.counterfactual.as_ref().expect("requested");
+    assert_eq!(legacy.headline(), run.study.headline());
+    assert_eq!(legacy_cf.headline(), cf.study.headline());
+    assert_eq!(legacy_growth.to_bits(), cf.growth_vs_2019.to_bits());
+    assert_eq!(run.growth_vs_2019(), Some(legacy_growth));
+    // StudyRun derefs to the main study.
+    assert_eq!(run.norm_stats, run.study.norm_stats);
+}
+
+#[test]
+fn metrics_agree_with_pipeline_totals() {
+    let study = Study::builder(tiny()).threads(4).run().into_study();
+    let m = study.metrics();
+
+    // Flow accounting closes: every generated flow entered the
+    // pipeline, every attributed flow reached the collector, and the
+    // collector's own observed-flow total matches.
+    assert_eq!(m.counter("gen.flows"), m.counter("pipeline.flows_in"));
+    assert_eq!(
+        m.counter("normalize.attributed"),
+        study.norm_stats.attributed
+    );
+    assert_eq!(
+        m.counter("normalize.unattributed"),
+        study.norm_stats.unattributed
+    );
+    assert_eq!(m.counter("normalize.foreign"), study.norm_stats.foreign);
+    assert_eq!(
+        m.counter("pipeline.flows_in"),
+        m.counter("normalize.attributed")
+            + m.counter("normalize.unattributed")
+            + m.counter("normalize.foreign")
+    );
+    assert_eq!(
+        m.counter("pipeline.flows_collected"),
+        m.counter("normalize.attributed")
+    );
+    // Every collected flow went through the labeling stage.
+    assert_eq!(
+        m.counter("resolver.labeled") + m.counter("resolver.unlabeled"),
+        m.counter("pipeline.flows_collected")
+    );
+    // Non-zero per-stage activity: sessions generated, leases
+    // normalized, labels resolved.
+    assert!(m.counter("gen.devices_active") > 0);
+    assert!(m.counter("normalize.lease_events") > 0);
+    assert_eq!(
+        m.counter("gen.lease_events"),
+        m.counter("normalize.lease_events")
+    );
+    assert!(m.counter("resolver.labeled") > 0);
+    assert!(m.gauge("resolver.ips_peak") > 0);
+    assert!(m.gauge("normalize.tracker.open_peak") > 0);
+}
+
+#[test]
+fn observer_event_stream_covers_the_run() {
+    let obs = Arc::new(CountingObserver::new());
+    let run = Study::builder(tiny())
+        .threads(3)
+        .observer(Arc::clone(&obs))
+        .run();
+    let days = StudyCalendar::days().count() as u64;
+    assert_eq!(obs.days_started(), days);
+    assert_eq!(obs.days_finished(), days);
+    assert_eq!(obs.workers_idled(), 3);
+    // normalize + resolver flush once per day.
+    assert_eq!(obs.stages_flushed(), 2 * days);
+    assert_eq!(obs.flows(), run.norm_stats.attributed);
+}
+
+#[test]
+fn metrics_report_renders_the_counters() {
+    let study = Study::builder(tiny()).run().into_study();
+    let text = report::metrics_report(&study);
+    assert!(text.contains("Pipeline metrics"));
+    assert!(text.contains("pipeline.flows_in"));
+    let json = report::metrics_report_json(&study);
+    assert!(json.starts_with("{\"counters\":{"));
+    assert!(json.contains("\"normalize.attributed\":"));
+}

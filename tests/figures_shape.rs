@@ -11,7 +11,12 @@ use std::sync::OnceLock;
 
 fn study() -> &'static Study {
     static STUDY: OnceLock<Study> = OnceLock::new();
-    STUDY.get_or_init(|| Study::run(SimConfig::at_scale(0.06), 8))
+    STUDY.get_or_init(|| {
+        Study::builder(SimConfig::at_scale(0.06))
+            .threads(8)
+            .run()
+            .into_study()
+    })
 }
 
 fn mean(xs: &[f64]) -> f64 {
@@ -267,7 +272,12 @@ fn headline_statistics_have_paper_shape() {
 #[test]
 fn counterfactual_growth_is_positive_and_below_feb_growth() {
     // Paper: +58% vs February, +53% vs 2019 — the 2019 number is lower.
-    let (study, _cf, growth) = lockdown_core::run_with_counterfactual(SimConfig::at_scale(0.02), 8);
+    let run = lockdown_core::Study::builder(SimConfig::at_scale(0.02))
+        .threads(8)
+        .with_counterfactual()
+        .run();
+    let growth = run.growth_vs_2019().expect("counterfactual requested");
+    let study = run.into_study();
     let feb_growth = study.headline().traffic_growth_feb_to_aprmay;
     assert!(growth > 0.2, "vs-2019 growth {growth}");
     assert!(

@@ -13,7 +13,10 @@ use lockdown_core::Study;
 #[test]
 #[ignore = "quarter-scale study: ~30 s in release mode"]
 fn fig6_international_trends_at_scale() {
-    let s = Study::run(SimConfig::at_scale(0.25), 8);
+    let s = Study::builder(SimConfig::at_scale(0.25))
+        .threads(8)
+        .run()
+        .into_study();
     let f6 = figures::figure6(&s.collector, &s.summary);
     let med = |app: usize, sp: usize, m: usize| {
         f6.boxes[app][sp][m]
@@ -43,7 +46,10 @@ fn fig6_international_trends_at_scale() {
 #[test]
 #[ignore = "quarter-scale study: ~30 s in release mode"]
 fn fig7_steam_connection_decline_at_scale() {
-    let s = Study::run(SimConfig::at_scale(0.25), 8);
+    let s = Study::builder(SimConfig::at_scale(0.25))
+        .threads(8)
+        .run()
+        .into_study();
     let f7 = figures::figure7(&s.collector, &s.summary);
     let conns = |sp: usize, m: usize| f7.conns[sp][m].expect("samples").median;
     // Domestic connection medians decline over the study (Figure 7b).

@@ -76,14 +76,13 @@ fn pipeline_attributes_all_flows_across_many_days() {
         let day = Day(d);
         let trace = sim.day_trace(day);
         total_flows += trace.flows.len();
-        let stats = lockdown_core::process_day(
+        let opts = lockdown_core::PipelineOptions::new(
             &ctx,
             sim.directory().table(),
-            &mut collector,
             day,
-            &trace,
             sim.config().anon_key,
         );
+        let stats = lockdown_core::process_day(opts, &mut collector, &trace);
         assert_eq!(stats.unattributed, 0, "day {d}");
         assert_eq!(stats.foreign, 0, "day {d}");
     }
@@ -138,14 +137,13 @@ fn ground_truth_device_kinds_survive_the_pipeline() {
     for d in 0..21u16 {
         let day = Day(d);
         let trace = sim.day_trace(day);
-        lockdown_core::process_day(
+        let opts = lockdown_core::PipelineOptions::new(
             &ctx,
             sim.directory().table(),
-            &mut collector,
             day,
-            &trace,
             sim.config().anon_key,
         );
+        lockdown_core::process_day(opts, &mut collector, &trace);
     }
     let detected: HashSet<DeviceId> = collector.switch_detect.switches().into_iter().collect();
     let true_switches: HashSet<DeviceId> = sim

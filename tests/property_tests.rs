@@ -224,8 +224,13 @@ fn generator_determinism_across_thread_counts() {
     // Running the study sequentially and with 8 threads produces the
     // same collected state (merge commutativity).
     use campussim::SimConfig;
-    let a = lockdown_core::Study::run(SimConfig::at_scale(0.005), 1);
-    let b = lockdown_core::Study::run(SimConfig::at_scale(0.005), 8);
+    let a = lockdown_core::Study::builder(SimConfig::at_scale(0.005))
+        .run()
+        .into_study();
+    let b = lockdown_core::Study::builder(SimConfig::at_scale(0.005))
+        .threads(8)
+        .run()
+        .into_study();
     assert_eq!(a.norm_stats, b.norm_stats);
     let ha = a.headline();
     let hb = b.headline();

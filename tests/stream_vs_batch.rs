@@ -1,6 +1,6 @@
 //! Streaming pipeline vs. legacy batch pipeline equivalence.
 //!
-//! `Study::run` streams every day end-to-end through the stage pipeline
+//! A study run streams every day end-to-end through the stage pipeline
 //! (`process_day_streaming`), never materializing a day of flows. The
 //! legacy batch path — materialize a `DayTrace`, batch-build the lease
 //! index and resolver map, collect from a `Vec<LabeledFlow>` — is kept
@@ -12,7 +12,7 @@ use analysis::collect::{PipelineCtx, StudyCollector};
 use analysis::figures::{headline_stats, StudySummary};
 use campussim::{CampusSim, SimConfig};
 use dhcplog::NormalizeStats;
-use lockdown_core::{process_day, Study};
+use lockdown_core::{process_day, PipelineOptions, Study};
 use nettrace::time::{Day, StudyCalendar};
 
 /// The legacy driver: sequential days, each fully materialized.
@@ -24,14 +24,8 @@ fn run_batch(cfg: SimConfig) -> (CampusSim, StudyCollector, NormalizeStats) {
     let days: Vec<Day> = StudyCalendar::days().collect();
     for &day in &days {
         let trace = sim.day_trace(day);
-        stats += process_day(
-            &ctx,
-            sim.directory().table(),
-            &mut collector,
-            day,
-            &trace,
-            sim.config().anon_key,
-        );
+        let opts = PipelineOptions::new(&ctx, sim.directory().table(), day, sim.config().anon_key);
+        stats += process_day(opts, &mut collector, &trace);
     }
     (sim, collector, stats)
 }
@@ -43,7 +37,7 @@ fn streaming_study_matches_batch_study() {
         ..Default::default()
     };
 
-    let streamed = Study::run(cfg.clone(), 1);
+    let streamed = Study::builder(cfg.clone()).run().into_study();
     let (_sim, batch_collector, batch_stats) = run_batch(cfg);
 
     assert_eq!(
@@ -69,7 +63,7 @@ fn parallel_streaming_matches_batch_study() {
         scale: 0.01,
         ..Default::default()
     };
-    let streamed = Study::run(cfg.clone(), 4);
+    let streamed = Study::builder(cfg.clone()).threads(4).run().into_study();
     let (_sim, batch_collector, batch_stats) = run_batch(cfg);
     assert_eq!(streamed.norm_stats, batch_stats);
     let batch_summary = StudySummary::finalize(&batch_collector);
