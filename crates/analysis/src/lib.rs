@@ -19,3 +19,6 @@ pub mod stats;
 pub use collect::{PipelineCtx, StudyCollector};
 pub use figures::{headline_stats, HeadlineStats, StudySummary};
 pub use stats::BoxStats;
+
+/// This crate's version, for provenance manifests.
+pub const VERSION: &str = env!("CARGO_PKG_VERSION");

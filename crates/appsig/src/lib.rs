@@ -23,3 +23,6 @@ pub use app::{App, Family};
 pub use builtin::study_signatures;
 pub use session::{Session, SessionStitcher, DEFAULT_MERGE_GAP_SECS};
 pub use signature::{MatchCache, SignatureSet};
+
+/// This crate's version, for provenance manifests.
+pub const VERSION: &str = env!("CARGO_PKG_VERSION");

@@ -13,7 +13,7 @@ use campussim::{CampusSim, DayEvent};
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use lockdown_bench::bench_config;
 use lockdown_core::{process_day, process_day_streaming, PipelineOptions};
-use lockdown_obs::MetricsRegistry;
+use lockdown_obs::{MetricsRegistry, SpanRecorder};
 use nettrace::time::Day;
 
 fn bench_streaming(c: &mut Criterion) {
@@ -67,6 +67,18 @@ fn bench_streaming(c: &mut Criterion) {
         b.iter(|| {
             let mut collector = StudyCollector::new();
             process_day_streaming(opts.metrics(&registry), &mut collector, &sim)
+        });
+    });
+    // Same streamed path with span tracing on: a recorder lane is
+    // installed, so the pipeline emits per-stage aggregate spans. See
+    // `trace_overhead` (src/bin) for the off-vs-on comparison artifact.
+    let recorder = SpanRecorder::new();
+    let _lane = recorder.install(0, "bench");
+    g.bench_function("streamed_traced", |b| {
+        b.iter(|| {
+            let mut collector = StudyCollector::new();
+            let _day = lockdown_obs::trace::span("day");
+            process_day_streaming(opts, &mut collector, &sim)
         });
     });
     g.finish();

@@ -2,7 +2,9 @@
 //! statistic of *Locked-In during Lock-Down* (IMC '21).
 //!
 //! ```text
-//! repro [--scale S] [--threads N] [--seed X] [--out DIR] [--progress] [all|fig1..fig8|stats|metrics]
+//! repro [--scale S] [--threads N] [--seed X] [--out DIR]
+//!       [--trace FILE] [--flame FILE] [--progress]
+//!       [all|fig1..fig8|stats|metrics]
 //! ```
 //!
 //! `all` (default) runs the full study plus the 2019 counterfactual and
@@ -10,10 +12,18 @@
 //! that figure's series; `metrics` dumps the run's per-stage counters as
 //! JSON. `--out DIR` additionally writes the machine-readable figure
 //! files; `--progress` streams per-day progress lines to stderr.
+//!
+//! `--trace FILE` records a span timeline of the whole run (workers,
+//! days, pipeline stages, report emission) and writes it as Chrome
+//! trace-event JSON — load it in [Perfetto](https://ui.perfetto.dev) or
+//! `chrome://tracing`. `--flame FILE` writes the same timeline as
+//! collapsed stacks for flamegraph tooling. Either flag also writes a
+//! `manifest.json` provenance record (as does `--out`); see
+//! `docs/TRACING.md`.
 
 use campussim::SimConfig;
 use lockdown_core::{report, Study};
-use lockdown_obs::TextProgress;
+use lockdown_obs::{trace, SpanRecorder, TextProgress};
 use std::path::PathBuf;
 
 struct Args {
@@ -21,6 +31,8 @@ struct Args {
     threads: usize,
     seed: u64,
     out: Option<PathBuf>,
+    trace: Option<PathBuf>,
+    flame: Option<PathBuf>,
     progress: bool,
     command: String,
 }
@@ -33,6 +45,8 @@ fn parse_args() -> Args {
             .unwrap_or(4),
         seed: 0x5eed_2020,
         out: None,
+        trace: None,
+        flame: None,
         progress: false,
         command: "all".to_string(),
     };
@@ -58,10 +72,12 @@ fn parse_args() -> Args {
                     .expect("--seed needs a number")
             }
             "--out" => args.out = Some(PathBuf::from(it.next().expect("--out needs a path"))),
+            "--trace" => args.trace = Some(PathBuf::from(it.next().expect("--trace needs a path"))),
+            "--flame" => args.flame = Some(PathBuf::from(it.next().expect("--flame needs a path"))),
             "--progress" => args.progress = true,
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: repro [--scale S] [--threads N] [--seed X] [--out DIR] [--progress] [all|fig1..fig8|stats|metrics]"
+                    "usage: repro [--scale S] [--threads N] [--seed X] [--out DIR] [--trace FILE] [--flame FILE] [--progress] [all|fig1..fig8|stats|metrics]"
                 );
                 std::process::exit(0);
             }
@@ -69,6 +85,16 @@ fn parse_args() -> Args {
         }
     }
     args
+}
+
+fn write_text(path: &std::path::Path, content: &str, what: &str) {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent).expect("create output directory");
+        }
+    }
+    std::fs::write(path, content).unwrap_or_else(|e| panic!("write {what}: {e}"));
+    eprintln!("{what} written to {}", path.display());
 }
 
 fn main() {
@@ -84,24 +110,27 @@ fn main() {
         cfg.num_students(),
         args.threads
     );
+    let recorder = (args.trace.is_some() || args.flame.is_some()).then(SpanRecorder::new);
+    // The CLI itself records on the main lane: argument handling, the
+    // report, and figure emission all land on one timeline row beside
+    // the workers.
+    let main_lane = recorder
+        .as_ref()
+        .map(|rec| rec.install(trace::MAIN_LANE, "main"));
     let t0 = std::time::Instant::now();
 
     let builder = |cfg: SimConfig| {
-        let b = Study::builder(cfg).threads(args.threads);
+        let mut b = Study::builder(cfg).threads(args.threads);
+        if let Some(rec) = &recorder {
+            b = b.trace(rec);
+        }
         if args.progress {
-            b.observer(TextProgress::stderr())
-        } else {
-            b
+            b = b.observer(TextProgress::stderr());
         }
-    };
-    let write_figures = |study: &Study| {
-        if let Some(dir) = &args.out {
-            let written = report::write_figure_files(study, dir).expect("write figure files");
-            eprintln!("{written} figure files written to {}", dir.display());
-        }
+        b
     };
 
-    match args.command.as_str() {
+    let study = match args.command.as_str() {
         "all" => {
             let run = builder(cfg).with_counterfactual().run();
             eprintln!(
@@ -109,19 +138,59 @@ fn main() {
                 t0.elapsed().as_secs_f64()
             );
             println!("{}", report::text_report(&run.study, run.growth_vs_2019()));
-            write_figures(&run.study);
+            run.into_study()
         }
         "metrics" => {
             let study = builder(cfg).run().into_study();
             eprintln!("study done in {:.1}s", t0.elapsed().as_secs_f64());
             println!("{}", report::metrics_report_json(&study));
-            write_figures(&study);
+            study
         }
         cmd => {
             let study = builder(cfg).run().into_study();
             eprintln!("study done in {:.1}s", t0.elapsed().as_secs_f64());
             print_one(&study, cmd);
-            write_figures(&study);
+            study
+        }
+    };
+
+    if let Some(dir) = &args.out {
+        let written = report::write_figure_files(&study, dir).expect("write figure files");
+        eprintln!("{written} figure files written to {}", dir.display());
+    }
+
+    // Close the main lane so the recorder sees every buffer, then
+    // export the timeline and the provenance manifest.
+    drop(main_lane);
+    let trace_data = recorder.map(|rec| rec.finish());
+    if let Some(t) = &trace_data {
+        if let Some(path) = &args.trace {
+            write_text(path, &t.to_chrome_json(), "chrome trace");
+        }
+        if let Some(path) = &args.flame {
+            write_text(path, &t.to_collapsed(), "collapsed stacks");
+        }
+    }
+    if args.out.is_some() || args.trace.is_some() || args.flame.is_some() {
+        let mut manifest = report::run_manifest(&study, args.threads, trace_data.as_ref());
+        if manifest.wall_ns == 0 {
+            manifest.wall_ns = t0.elapsed().as_nanos() as u64;
+        }
+        let mut targets: Vec<PathBuf> = Vec::new();
+        for dir in args.out.iter().cloned().chain(
+            args.trace
+                .iter()
+                .chain(args.flame.iter())
+                .filter_map(|p| p.parent().map(|d| d.to_path_buf())),
+        ) {
+            let path = dir.join("manifest.json");
+            if !targets.contains(&path) {
+                targets.push(path);
+            }
+        }
+        for path in targets {
+            manifest.write(&path).expect("write manifest");
+            eprintln!("manifest written to {}", path.display());
         }
     }
 }

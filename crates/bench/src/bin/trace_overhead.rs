@@ -1,0 +1,154 @@
+//! Measures the span-tracing layer's overhead on the streaming day
+//! pipeline and writes `results/BENCH_trace_overhead.json`.
+//!
+//! Three measurement series over the same busy study days:
+//!
+//! * `off_a`, `off_b` — tracing compiled in but no recorder installed
+//!   (the production default). Run twice; the spread between the two
+//!   series is the measurement noise band, and the two medians must
+//!   agree within it — the disabled path costs one branch per record,
+//!   so any systematic drift here is a regression.
+//! * `on` — a `SpanRecorder` lane installed and a `day` span open, so
+//!   every stage emits aggregate spans. Reported relative to `off_a`.
+//!
+//! ```text
+//! trace_overhead [--reps N] [--out FILE]
+//! ```
+
+use analysis::collect::{PipelineCtx, StudyCollector};
+use campussim::CampusSim;
+use lockdown_bench::bench_config;
+use lockdown_core::{process_day_streaming, PipelineOptions};
+use lockdown_obs::{trace, SpanRecorder};
+use nettrace::time::Day;
+use std::time::Instant;
+
+/// Busy online-term weekdays: one pass processes each once.
+const DAYS: [u16; 5] = [73, 74, 75, 76, 77];
+
+fn one_pass(sim: &CampusSim, ctx: &PipelineCtx, traced: bool) -> (u64, u64) {
+    let table = sim.directory().table();
+    let key = sim.config().anon_key;
+    let mut flows = 0u64;
+    let t0 = Instant::now();
+    for d in DAYS {
+        let day = Day(d);
+        let mut collector = StudyCollector::new();
+        let opts = PipelineOptions::new(ctx, table, day, key);
+        let stats = if traced {
+            let _day_span = trace::span("day").attr("day", u64::from(d));
+            process_day_streaming(opts, &mut collector, sim)
+        } else {
+            process_day_streaming(opts, &mut collector, sim)
+        };
+        flows += stats.attributed + stats.unattributed + stats.foreign;
+    }
+    (t0.elapsed().as_nanos() as u64, flows)
+}
+
+fn series(sim: &CampusSim, ctx: &PipelineCtx, reps: usize, traced: bool) -> Vec<f64> {
+    let mut out = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        let (ns, flows) = one_pass(sim, ctx, traced);
+        out.push(ns as f64 / flows.max(1) as f64);
+    }
+    out
+}
+
+fn median(xs: &[f64]) -> f64 {
+    let mut s = xs.to_vec();
+    s.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let n = s.len();
+    if n % 2 == 1 {
+        s[n / 2]
+    } else {
+        (s[n / 2 - 1] + s[n / 2]) / 2.0
+    }
+}
+
+fn fmt_series(xs: &[f64]) -> String {
+    let body: Vec<String> = xs.iter().map(|x| format!("{x:.1}")).collect();
+    format!("[{}]", body.join(","))
+}
+
+fn main() {
+    let mut reps = 7usize;
+    let mut out = std::path::PathBuf::from("results/BENCH_trace_overhead.json");
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--reps" => reps = it.next().and_then(|v| v.parse().ok()).expect("--reps N"),
+            "--out" => out = it.next().expect("--out FILE").into(),
+            other => {
+                panic!("unknown argument {other}; usage: trace_overhead [--reps N] [--out FILE]")
+            }
+        }
+    }
+
+    let sim = CampusSim::new(bench_config());
+    let ctx = PipelineCtx::study();
+    // Warm up caches and the page allocator before anything is timed.
+    let (_, flows_per_pass) = one_pass(&sim, &ctx, false);
+    eprintln!(
+        "{flows_per_pass} flows per pass over {} days, {reps} reps per series",
+        DAYS.len()
+    );
+
+    let off_a = series(&sim, &ctx, reps, false);
+    let recorder = SpanRecorder::new();
+    let lane = recorder.install(0, "bench");
+    let on = series(&sim, &ctx, reps, true);
+    drop(lane);
+    let spans = recorder.finish().spans.len();
+    let off_b = series(&sim, &ctx, reps, false);
+
+    let (ma, mb, mon) = (median(&off_a), median(&off_b), median(&on));
+    // Noise band: the widest spread seen inside either untraced series.
+    let spread = |xs: &[f64]| {
+        xs.iter().cloned().fold(f64::MIN, f64::max) - xs.iter().cloned().fold(f64::MAX, f64::min)
+    };
+    let noise_ns = spread(&off_a).max(spread(&off_b));
+    let off_delta_ns = (ma - mb).abs();
+    let overhead_on_pct = 100.0 * (mon - ma) / ma;
+
+    let json = format!(
+        concat!(
+            "{{\"bench\":\"trace_overhead\",\"scale\":{},\"days_per_pass\":{},",
+            "\"flows_per_pass\":{},\"reps\":{},\"spans_recorded\":{},",
+            "\"off_a_ns_per_flow\":{},\"off_b_ns_per_flow\":{},\"on_ns_per_flow\":{},",
+            "\"median_off_a\":{:.1},\"median_off_b\":{:.1},\"median_on\":{:.1},",
+            "\"noise_band_ns\":{:.1},\"off_delta_ns\":{:.1},\"overhead_on_pct\":{:.2},",
+            "\"off_within_noise\":{}}}"
+        ),
+        lockdown_bench::BENCH_SCALE,
+        DAYS.len(),
+        flows_per_pass,
+        reps,
+        spans,
+        fmt_series(&off_a),
+        fmt_series(&off_b),
+        fmt_series(&on),
+        ma,
+        mb,
+        mon,
+        noise_ns,
+        off_delta_ns,
+        overhead_on_pct,
+        off_delta_ns <= noise_ns,
+    );
+    if let Some(parent) = out.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent).expect("create results dir");
+        }
+    }
+    std::fs::write(&out, &json).expect("write bench json");
+    println!("{json}");
+    eprintln!("written to {}", out.display());
+
+    // The whole point of the Option-handle design: with no recorder
+    // installed the instrumented build must match itself run-to-run.
+    assert!(
+        off_delta_ns <= noise_ns.max(ma * 0.05),
+        "tracing-off medians differ by {off_delta_ns:.1} ns/flow, outside the {noise_ns:.1} ns noise band"
+    );
+}

@@ -1,0 +1,220 @@
+//! End-to-end acceptance test for `repro --trace`: the Chrome trace is
+//! strict-parser-valid with nested spans for the pipeline stages and
+//! every study day, and the manifest's span accounting agrees with the
+//! measured wall time.
+
+use std::collections::BTreeSet;
+use std::path::PathBuf;
+use std::process::Command;
+
+fn fresh_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("lockdown_{name}_{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
+
+#[test]
+fn traced_repro_produces_valid_timeline_and_manifest() {
+    let dir = fresh_dir("trace_repro");
+    let trace_path = dir.join("trace.json");
+    let flame_path = dir.join("flame.folded");
+    let out_dir = dir.join("figs");
+
+    // Single-threaded on purpose: execution is then sequential across
+    // lanes, so the sum of top-level spans must account for (almost)
+    // the whole wall clock — the 5% acceptance bound below.
+    let output = Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args(["--scale", "0.01", "--threads", "1", "--seed", "7"])
+        .arg("--trace")
+        .arg(&trace_path)
+        .arg("--flame")
+        .arg(&flame_path)
+        .arg("--out")
+        .arg(&out_dir)
+        .arg("metrics")
+        .output()
+        .expect("run repro");
+    assert!(
+        output.status.success(),
+        "repro failed: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+
+    // --- Chrome trace: strict parse, nesting, stage + day coverage ---
+    let trace_text = std::fs::read_to_string(&trace_path).expect("trace file exists");
+    let trace: serde_json::Value =
+        serde_json::from_str(&trace_text).expect("trace is strict-parser-valid JSON");
+    let events = trace
+        .get("traceEvents")
+        .expect("traceEvents key")
+        .as_array()
+        .expect("traceEvents is an array");
+    assert!(!events.is_empty());
+
+    let mut stage_names = BTreeSet::new();
+    let mut day_spans = 0usize;
+    let mut names = BTreeSet::new();
+    for e in events
+        .iter()
+        .filter(|e| e.get("ph").and_then(|p| p.as_str()) == Some("X"))
+    {
+        let name = e.get("name").and_then(|n| n.as_str()).expect("span name");
+        names.insert(name.to_string());
+        assert!(e.get("ts").and_then(|t| t.as_f64()).is_some(), "{name} ts");
+        assert!(
+            e.get("dur").and_then(|d| d.as_f64()).is_some(),
+            "{name} dur"
+        );
+        if e.get("cat").and_then(|c| c.as_str()) == Some("stage") {
+            stage_names.insert(name.to_string());
+        }
+        if name == "day" {
+            day_spans += 1;
+        }
+    }
+    assert!(
+        stage_names.len() >= 3,
+        "expected ≥3 distinct stage names, got {stage_names:?}"
+    );
+    for expected in ["generate", "normalize", "collect"] {
+        assert!(stage_names.contains(expected), "missing stage {expected}");
+    }
+    // One span per study day (Feb 1 .. May 31 = 121 days).
+    assert_eq!(day_spans, 121, "one day span per study day");
+    // Nesting: a stream_day span must sit inside some day span on the
+    // same lane (containment in [ts, ts+dur]).
+    let complete: Vec<&serde_json::Value> = events
+        .iter()
+        .filter(|e| e.get("ph").and_then(|p| p.as_str()) == Some("X"))
+        .collect();
+    let span_of = |e: &serde_json::Value| {
+        let ts = e.get("ts").unwrap().as_f64().unwrap();
+        let tid = e.get("tid").unwrap().as_f64().unwrap();
+        (tid, ts, ts + e.get("dur").unwrap().as_f64().unwrap())
+    };
+    let nested = complete
+        .iter()
+        .filter(|e| e.get("name").unwrap().as_str() == Some("stream_day"))
+        .all(|inner| {
+            let (itid, its, iend) = span_of(inner);
+            complete
+                .iter()
+                .filter(|e| e.get("name").unwrap().as_str() == Some("day"))
+                .any(|outer| {
+                    let (otid, ots, oend) = span_of(outer);
+                    otid == itid && ots <= its && iend <= oend + 1.0
+                })
+        });
+    assert!(nested, "every stream_day span nests inside a day span");
+    for key in ["worker", "build_sim", "finalize"] {
+        assert!(names.contains(key), "missing span {key}: {names:?}");
+    }
+
+    // --- Flamegraph export: well-formed collapsed stacks ---
+    let folded = std::fs::read_to_string(&flame_path).expect("flame file exists");
+    assert!(!folded.is_empty());
+    for line in folded.lines() {
+        let (stack, value) = line.rsplit_once(' ').expect("stack value");
+        assert!(!stack.is_empty());
+        value.parse::<u64>().expect("numeric self-time");
+    }
+    assert!(folded.lines().any(|l| l.contains(";day;")));
+
+    // --- Manifest: strict parse, provenance, 5% wall-time accounting ---
+    let manifest_text =
+        std::fs::read_to_string(dir.join("manifest.json")).expect("manifest next to trace");
+    let manifest: serde_json::Value =
+        serde_json::from_str(&manifest_text).expect("manifest is strict-parser-valid JSON");
+    assert_eq!(manifest.get("tool").unwrap().as_str(), Some("repro"));
+    assert_eq!(manifest.get("seed").unwrap().as_u64(), Some(7));
+    assert_eq!(manifest.get("threads").unwrap().as_u64(), Some(1));
+    assert_eq!(
+        manifest.get("config_hash").unwrap().as_str().map(str::len),
+        Some(16)
+    );
+    let crates = manifest.get("crates").unwrap().as_object().unwrap();
+    for krate in ["lockdown-core", "lockdown-obs", "campussim", "nettrace"] {
+        assert!(crates.contains_key(krate), "missing crate version {krate}");
+    }
+    let stage_totals = manifest
+        .get("stage_totals_ns")
+        .unwrap()
+        .as_object()
+        .unwrap();
+    assert!(stage_totals.len() >= 3, "{stage_totals:?}");
+    let metrics = manifest.get("metrics").unwrap();
+    assert!(
+        metrics
+            .get("counters")
+            .unwrap()
+            .get("pipeline.flows_in")
+            .unwrap()
+            .as_u64()
+            .unwrap()
+            > 0
+    );
+    // Worker idle-duration histogram (satellite of the tracing PR).
+    assert!(metrics
+        .get("histograms")
+        .unwrap()
+        .get("study.worker_idle_ns")
+        .is_some());
+
+    let wall = manifest.get("wall_ns").unwrap().as_f64().unwrap();
+    let top = manifest.get("top_level_span_ns").unwrap().as_f64().unwrap();
+    assert!(wall > 0.0);
+    // Sequential run: top-level spans tile the trace horizon. Anything
+    // beyond a 5% gap means un-instrumented time crept into the run.
+    let gap = (wall - top).abs() / wall;
+    assert!(
+        gap <= 0.05,
+        "top-level spans cover {:.1}% of wall time (wall {wall} ns, spans {top} ns)",
+        100.0 * top / wall
+    );
+
+    // The same manifest also landed beside the figures.
+    assert!(out_dir.join("manifest.json").exists());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn untraced_repro_is_unchanged_and_writes_manifest_with_out() {
+    let dir = fresh_dir("untraced_repro");
+    let out_dir = dir.join("figs");
+    let output = Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args(["--scale", "0.01", "--threads", "2", "--seed", "7"])
+        .arg("--out")
+        .arg(&out_dir)
+        .arg("metrics")
+        .output()
+        .expect("run repro");
+    assert!(
+        output.status.success(),
+        "repro failed: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    // stdout is the metrics JSON and still strict-parser-valid.
+    let stdout = String::from_utf8(output.stdout).unwrap();
+    let metrics: serde_json::Value =
+        serde_json::from_str(stdout.trim()).expect("metrics JSON parses");
+    assert!(metrics.get("counters").is_some());
+
+    let manifest_text =
+        std::fs::read_to_string(out_dir.join("manifest.json")).expect("manifest with --out");
+    let manifest: serde_json::Value = serde_json::from_str(&manifest_text).unwrap();
+    // No trace: wall time falls back to the CLI's own clock and span
+    // totals stay empty.
+    assert!(manifest.get("wall_ns").unwrap().as_f64().unwrap() > 0.0);
+    assert_eq!(manifest.get("top_level_span_ns").unwrap().as_u64(), Some(0));
+    assert_eq!(
+        manifest
+            .get("span_totals_ns")
+            .unwrap()
+            .as_object()
+            .unwrap()
+            .len(),
+        0
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -215,13 +215,24 @@ impl CampusSim {
     pub fn stream_day<S: DaySink>(&self, day: Day, sink: &mut S) -> DayGenStats {
         let mut stats = DayGenStats::default();
         let mut scratch = DayTrace::default();
+        // Busy time of synthesis proper (device_day), separated from
+        // time the sink spends consuming what we emit. Checked once per
+        // day, so the untraced hot path pays nothing per device.
+        let mut gen_busy_ns = lockdown_obs::trace::enabled().then_some(0u64);
         for device in &self.population.devices {
             if !self.population.device_present(device, day) {
                 continue;
             }
             stats.devices_present += 1;
             let student = self.population.owner_of(device);
-            self.device_day(device, student, day, &mut scratch);
+            match &mut gen_busy_ns {
+                Some(busy) => {
+                    let t0 = std::time::Instant::now();
+                    self.device_day(device, student, day, &mut scratch);
+                    *busy += t0.elapsed().as_nanos() as u64;
+                }
+                None => self.device_day(device, student, day, &mut scratch),
+            }
             if scratch.flows.is_empty() && scratch.leases.is_empty() {
                 continue;
             }
@@ -249,6 +260,14 @@ impl CampusSim {
             for sighting in scratch.ua.drain(..) {
                 sink.ua(sighting);
             }
+        }
+        if let Some(busy) = gen_busy_ns {
+            lockdown_obs::trace::aggregate(
+                "stage",
+                "generate",
+                busy,
+                &[("devices", stats.devices_active), ("flows", stats.flows)],
+            );
         }
         stats
     }

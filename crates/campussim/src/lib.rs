@@ -32,3 +32,6 @@ pub use config::SimConfig;
 pub use domains::{Service, ServiceDirectory, ServiceId, ServiceKind};
 pub use generator::{CampusSim, DayEvent, DayGenStats, DaySink, DayTrace, UaSighting};
 pub use population::{Device, DeviceOs, Population, Student, TrueKind};
+
+/// This crate's version, for provenance manifests.
+pub const VERSION: &str = env!("CARGO_PKG_VERSION");

@@ -26,6 +26,10 @@ pub mod report;
 pub mod study;
 
 pub use pipeline::{process_day, process_day_streaming, DayPipeline, PipelineOptions};
+pub use report::run_manifest;
 #[allow(deprecated)]
 pub use study::run_with_counterfactual;
 pub use study::{Counterfactual, Study, StudyBuilder, StudyRun};
+
+/// This crate's version, for provenance manifests.
+pub const VERSION: &str = env!("CARGO_PKG_VERSION");

@@ -29,10 +29,11 @@ use dhcplog::{
     LeaseEvent, LeaseIndex, NormalizeStage, NormalizeStats, Normalizer, DEFAULT_MAX_LEASE_SECS,
 };
 use dnslog::{DnsQuery, DomainTable, LabeledFlow, ResolverMap};
-use lockdown_obs::{Counter, Gauge, MetricsRegistry, NullObserver, RunObserver};
+use lockdown_obs::{trace, Counter, Gauge, MetricsRegistry, NullObserver, RunObserver, StageTimer};
 use nettrace::ip::campus;
 use nettrace::time::Day;
 use nettrace::{DeviceId, FlowRecord, Stage};
+use std::time::Instant;
 
 /// Everything a [`DayPipeline`] needs besides its input stream and its
 /// output collector, bundled so call sites name what they change.
@@ -122,12 +123,22 @@ impl PipelineCounters {
 /// The full §3 pipeline as a single [`DaySink`]: lease events build the
 /// DHCP state, DNS queries build the resolver map, and every flow runs
 /// normalize → label → collect immediately, one record deep.
+///
+/// Each stage sits inside a [`StageTimer`] used purely as the tracing
+/// seam (the registry side stays off — the pipeline keeps its own
+/// hand-registered counters so the metrics schema and metrics-on cost
+/// are unchanged). When the constructing thread has a trace lane
+/// installed, [`DayPipeline::emit_stage_spans`] publishes one
+/// `"stage"`-category span per stage per day.
 pub struct DayPipeline<'a> {
     opts: PipelineOptions<'a>,
     collector: &'a mut StudyCollector,
-    normalize: NormalizeStage,
-    resolver: ResolverMap,
+    normalize: StageTimer<NormalizeStage>,
+    resolver: StageTimer<ResolverMap>,
     counters: Option<PipelineCounters>,
+    /// `(busy_ns, records)` for the collect stage, accumulated only
+    /// when tracing was on at construction.
+    collect_busy: Option<(u64, u64)>,
 }
 
 impl<'a> DayPipeline<'a> {
@@ -135,39 +146,61 @@ impl<'a> DayPipeline<'a> {
     pub fn new(opts: PipelineOptions<'a>, collector: &'a mut StudyCollector) -> Self {
         DayPipeline {
             collector,
-            normalize: NormalizeStage::new(
-                campus::residential_pool(),
-                opts.anon_key,
-                DEFAULT_MAX_LEASE_SECS,
+            normalize: StageTimer::new(
+                "normalize",
+                NormalizeStage::new(
+                    campus::residential_pool(),
+                    opts.anon_key,
+                    DEFAULT_MAX_LEASE_SECS,
+                ),
+                None,
             ),
-            resolver: ResolverMap::new(),
+            resolver: StageTimer::new("resolver", ResolverMap::new(), None),
             counters: opts.metrics.map(PipelineCounters::register),
+            collect_busy: trace::enabled().then_some((0, 0)),
             opts,
+        }
+    }
+
+    /// Publish each stage's accumulated busy time as one aggregate
+    /// trace span (no-ops when tracing is off). Call while the day's
+    /// umbrella span is still open so the stage spans nest under it;
+    /// [`DayPipeline::finish`] also calls it as a safety net.
+    pub fn emit_stage_spans(&mut self) {
+        self.normalize.emit_trace();
+        self.resolver.emit_trace();
+        if let Some((ns, records)) = &mut self.collect_busy {
+            if *records > 0 {
+                trace::aggregate("stage", "collect", *ns, &[("records", *records)]);
+                *ns = 0;
+                *records = 0;
+            }
         }
     }
 
     /// Flush day-scoped state (open social sessions), publish the
     /// stages' own statistics to the registry and observer, and return
     /// the day's normalization statistics.
-    pub fn finish(self) -> NormalizeStats {
+    pub fn finish(mut self) -> NormalizeStats {
+        self.emit_stage_spans();
         self.collector.finish_day();
-        let stats = self.normalize.stats();
+        let stats = self.normalize.inner().stats();
         if let Some(reg) = self.opts.metrics {
             reg.counter("normalize.attributed").add(stats.attributed);
             reg.counter("normalize.unattributed")
                 .add(stats.unattributed);
             reg.counter("normalize.foreign").add(stats.foreign);
             reg.counter("normalize.lease_events")
-                .add(self.normalize.lease_events());
+                .add(self.normalize.inner().lease_events());
             reg.gauge("normalize.tracker.closed_peak")
-                .set_max(self.normalize.tracker().closed_count() as u64);
-            let labels = self.resolver.label_stats();
+                .set_max(self.normalize.inner().tracker().closed_count() as u64);
+            let labels = self.resolver.inner().label_stats();
             reg.counter("resolver.labeled").add(labels.labeled);
             reg.counter("resolver.unlabeled").add(labels.unlabeled);
             reg.gauge("resolver.ips_peak")
-                .set_max(self.resolver.ip_count() as u64);
+                .set_max(self.resolver.inner().ip_count() as u64);
         }
-        let labels = self.resolver.label_stats();
+        let labels = self.resolver.inner().label_stats();
         self.opts
             .observer
             .stage_flushed(self.opts.day, "normalize", stats.attributed);
@@ -185,8 +218,18 @@ impl<'a> DayPipeline<'a> {
         if let Some(c) = &self.counters {
             c.flows_collected.inc();
         }
-        self.collector
-            .observe_flow(self.opts.ctx, self.opts.table, self.opts.day, &lf);
+        match &mut self.collect_busy {
+            Some((ns, records)) => {
+                let t0 = Instant::now();
+                self.collector
+                    .observe_flow(self.opts.ctx, self.opts.table, self.opts.day, &lf);
+                *ns += t0.elapsed().as_nanos() as u64;
+                *records += 1;
+            }
+            None => self
+                .collector
+                .observe_flow(self.opts.ctx, self.opts.table, self.opts.day, &lf),
+        }
     }
 }
 
@@ -203,12 +246,12 @@ impl DaySink for DayPipeline<'_> {
                 event.mac.is_locally_administered(),
             );
         }
-        self.normalize.record_lease(&event);
+        self.normalize.time(|n| n.record_lease(&event));
         // Lease events are rare relative to flows, so sampling the
         // tracker's live-binding peak here costs nothing measurable.
         if let Some(c) = &self.counters {
             c.tracker_open_peak
-                .set_max(self.normalize.tracker().open_count() as u64);
+                .set_max(self.normalize.inner().tracker().open_count() as u64);
         }
     }
 
@@ -216,7 +259,7 @@ impl DaySink for DayPipeline<'_> {
         if let Some(c) = &self.counters {
             c.dns_queries.inc();
         }
-        self.resolver.record(&query);
+        self.resolver.time(|r| r.record(&query));
     }
 
     fn flow(&mut self, flow: FlowRecord) {
@@ -258,7 +301,15 @@ pub fn process_day_streaming(
     let day = opts.day;
     let metrics = opts.metrics;
     let mut pipeline = DayPipeline::new(opts, collector);
-    let gen_stats = sim.stream_day(day, &mut pipeline);
+    let gen_stats = {
+        // The streaming phase gets its own span; stage aggregates are
+        // emitted before it closes so they nest as its children.
+        let stream_span = trace::span("stream_day");
+        let gen_stats = sim.stream_day(day, &mut pipeline);
+        pipeline.emit_stage_spans();
+        stream_span.set_attr("flows", gen_stats.flows);
+        gen_stats
+    };
     if let Some(reg) = metrics {
         reg.counter("gen.devices_present")
             .add(gen_stats.devices_present);
@@ -269,6 +320,7 @@ pub fn process_day_streaming(
         reg.counter("gen.lease_events").add(gen_stats.lease_events);
         reg.counter("gen.ua_sightings").add(gen_stats.ua_sightings);
     }
+    let _finish_span = trace::span("finish_day");
     pipeline.finish()
 }
 

@@ -1,16 +1,20 @@
-//! Human-readable study reports and figure-file output.
+//! Human-readable study reports, figure-file output, and the run
+//! provenance manifest.
 
 use crate::study::Study;
 use analysis::ascii;
 use analysis::export;
 use analysis::figures::{self, Fig4Series};
 use devclass::FigureBucket;
+use lockdown_obs::manifest::{fnv1a_64, RunManifest};
+use lockdown_obs::{trace, Trace};
 use std::fmt::Write as _;
 use std::path::Path;
 
 /// Render the full text report: every figure as terminal graphics plus
 /// the headline statistics, with the paper's values alongside.
 pub fn text_report(study: &Study, growth_vs_2019: Option<f64>) -> String {
+    let _span = trace::span("report.text");
     let c = &study.collector;
     let s = &study.summary;
     let mut out = String::new();
@@ -241,6 +245,7 @@ pub fn text_report(study: &Study, growth_vs_2019: Option<f64>) -> String {
 /// Write every figure's machine-readable data into `dir`, creating the
 /// directory if it does not exist. Returns the number of files written.
 pub fn write_figure_files(study: &Study, dir: &Path) -> std::io::Result<usize> {
+    let span = trace::span("report.figures");
     std::fs::create_dir_all(dir)?;
     let c = &study.collector;
     let s = &study.summary;
@@ -259,6 +264,7 @@ pub fn write_figure_files(study: &Study, dir: &Path) -> std::io::Result<usize> {
         std::fs::write(dir.join(name), content)?;
         written += 1;
     }
+    span.set_attr("files", written as u64);
     Ok(written)
 }
 
@@ -274,6 +280,15 @@ pub fn metrics_report(study: &Study) -> String {
         out,
         "-- Pipeline metrics: {flows} flows in, {attributed} attributed, {labeled} labeled --"
     );
+    if let Some(idle) = m.histogram("study.worker_idle_ns") {
+        let _ = writeln!(
+            out,
+            "-- Worker tail idle: {} workers, mean {:.1} ms, p99 ≤ {:.1} ms --",
+            idle.count(),
+            idle.mean() / 1e6,
+            idle.quantile(0.99) as f64 / 1e6,
+        );
+    }
     out.push_str(&m.to_text());
     out
 }
@@ -282,6 +297,45 @@ pub fn metrics_report(study: &Study) -> String {
 /// [`lockdown_obs::MetricsSnapshot::to_json`]).
 pub fn metrics_report_json(study: &Study) -> String {
     study.metrics().to_json()
+}
+
+/// Build the provenance manifest for a completed run: config hash,
+/// seed/scale/threads, the version of every pipeline crate, the metrics
+/// snapshot, and — when the run was traced — wall time and span totals
+/// from `trace`. Written alongside figures so the artifact directory is
+/// self-describing.
+pub fn run_manifest(study: &Study, threads: usize, trace: Option<&Trace>) -> RunManifest {
+    let cfg = study.sim.config();
+    let mut m = RunManifest::new("repro");
+    // The full config Debug rendering covers every knob, so any config
+    // change yields a different fingerprint.
+    m.config_hash_hex = format!("{:016x}", fnv1a_64(format!("{cfg:?}").as_bytes()));
+    m.seed = cfg.seed;
+    m.scale = cfg.scale;
+    m.threads = threads;
+    for (name, version) in [
+        ("lockdown-core", crate::VERSION),
+        ("lockdown-obs", lockdown_obs::VERSION),
+        ("nettrace", nettrace::VERSION),
+        ("campussim", campussim::VERSION),
+        ("analysis", analysis::VERSION),
+        ("dhcplog", dhcplog::VERSION),
+        ("dnslog", dnslog::VERSION),
+        ("devclass", devclass::VERSION),
+        ("geoloc", geoloc::VERSION),
+        ("appsig", appsig::VERSION),
+    ] {
+        m.crate_version(name, version);
+    }
+    if let Some(t) = trace {
+        m.record_trace(t);
+    }
+    let metrics = study.metrics();
+    if !(metrics.counters.is_empty() && metrics.gauges.is_empty() && metrics.histograms.is_empty())
+    {
+        m.metrics = Some(metrics.clone());
+    }
+    m
 }
 
 #[cfg(test)]

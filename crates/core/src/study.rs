@@ -24,11 +24,14 @@ use campussim::{CampusSim, SimConfig};
 use devclass::{audit_sample, AuditReport, DeviceType};
 use dhcplog::NormalizeStats;
 use geoloc::SubPop;
-use lockdown_obs::{MetricsRegistry, MetricsSnapshot, NullObserver, RunObserver};
+use lockdown_obs::{
+    trace, MetricsRegistry, MetricsSnapshot, NullObserver, RunObserver, SpanRecorder,
+};
 use nettrace::time::{Day, Month, StudyCalendar};
 use nettrace::DeviceId;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
 
 /// Everything one worker hands back when its queue runs dry.
 struct WorkerYield {
@@ -56,10 +59,15 @@ fn drain_days(
         let i = cursor.fetch_add(1, Ordering::Relaxed);
         let Some(&day) = days.get(i) else { break };
         observer.day_started(worker, day);
+        let day_span = trace::span("day")
+            .attr("day", u64::from(day.0))
+            .attr("worker", worker as u64);
         let opts = PipelineOptions::new(ctx, sim.directory().table(), day, sim.config().anon_key)
             .observer(observer)
             .metrics_opt(registry.as_ref());
         let day_stats = process_day_streaming(opts, &mut collector, sim);
+        day_span.set_attr("flows", day_stats.attributed);
+        drop(day_span);
         observer.day_finished(worker, day, day_stats.attributed);
         stats += day_stats;
     }
@@ -220,11 +228,12 @@ pub struct StudyBuilder {
     observer: Box<dyn RunObserver>,
     counterfactual: bool,
     collect_metrics: bool,
+    trace: Option<SpanRecorder>,
 }
 
 impl StudyBuilder {
-    /// Defaults: sequential, silent observer, metrics on, no
-    /// counterfactual.
+    /// Defaults: sequential, silent observer, metrics on, no tracing,
+    /// no counterfactual.
     pub fn new(cfg: SimConfig) -> Self {
         StudyBuilder {
             cfg,
@@ -232,6 +241,7 @@ impl StudyBuilder {
             observer: Box::new(NullObserver),
             counterfactual: false,
             collect_metrics: true,
+            trace: None,
         }
     }
 
@@ -259,6 +269,19 @@ impl StudyBuilder {
         self
     }
 
+    /// Record a span timeline of the run into `recorder`: each worker
+    /// gets a lane with nested `worker` → `day` → `stream_day` spans
+    /// plus per-stage busy aggregates, and the orchestration phases
+    /// (`build_sim`, `finalize`) land on the [`trace::MAIN_LANE`].
+    /// After the run, `recorder.finish()` yields the
+    /// [`lockdown_obs::Trace`] for export. Off by default — and when
+    /// off, the hot path pays a single thread-local check per day, not
+    /// per record.
+    pub fn trace(mut self, recorder: &SpanRecorder) -> Self {
+        self.trace = Some(recorder.clone());
+        self
+    }
+
     /// Also run the 2019 counterfactual (same seed and population
     /// scale, no pandemic) and report Apr/May traffic growth against
     /// it; the paper reports +53%. Both runs share one pool of scoped
@@ -279,26 +302,49 @@ impl StudyBuilder {
             observer,
             counterfactual,
             collect_metrics,
+            trace: trace_rec,
         } = self;
+        // If a recorder is configured and the calling thread is not
+        // already recording (e.g. the CLI installed its own main lane),
+        // give the orchestration phases a lane of their own. No span
+        // stays open across the worker phase, so on a sequential run
+        // the top-level spans of all lanes tile the timeline instead of
+        // double-counting it.
+        let _orchestration_lane = match &trace_rec {
+            Some(rec) if !trace::enabled() => Some(rec.install(trace::MAIN_LANE, "orchestrator")),
+            _ => None,
+        };
         let cf_cfg = counterfactual.then(|| cfg.counterfactual());
-        let sim = CampusSim::new(cfg);
-        let cf_sim = cf_cfg.map(CampusSim::new);
-        let ctx = PipelineCtx::study();
+        let (sim, cf_sim, ctx) = {
+            let _span = trace::span("build_sim");
+            (
+                CampusSim::new(cfg),
+                cf_cfg.map(CampusSim::new),
+                PipelineCtx::study(),
+            )
+        };
         let days: Vec<Day> = StudyCalendar::days().collect();
         let cursor = AtomicUsize::new(0);
         let cf_cursor = AtomicUsize::new(0);
 
+        let trace_rec = trace_rec.as_ref();
         let worker = |w: usize| {
-            let main = drain_days(
-                &sim,
-                &ctx,
-                &days,
-                &cursor,
-                w,
-                observer.as_ref(),
-                collect_metrics,
-            );
+            let _lane = trace_rec.map(|rec| rec.install(w as u32, &format!("worker {w}")));
+            let worker_span = trace::span("worker").attr("worker", w as u64);
+            let main = {
+                let _span = trace::span("drain.study");
+                drain_days(
+                    &sim,
+                    &ctx,
+                    &days,
+                    &cursor,
+                    w,
+                    observer.as_ref(),
+                    collect_metrics,
+                )
+            };
             let cf = cf_sim.as_ref().map(|cf_sim| {
+                let _span = trace::span("drain.counterfactual");
                 drain_days(
                     cf_sim,
                     &ctx,
@@ -309,10 +355,11 @@ impl StudyBuilder {
                     collect_metrics,
                 )
             });
-            (main, cf)
+            drop(worker_span);
+            (main, cf, Instant::now())
         };
 
-        let results: Vec<(WorkerYield, Option<WorkerYield>)> = if threads == 1 {
+        let results: Vec<(WorkerYield, Option<WorkerYield>, Instant)> = if threads == 1 {
             vec![worker(0)]
         } else {
             let worker = &worker;
@@ -325,8 +372,35 @@ impl StudyBuilder {
             })
         };
 
-        let (study_results, cf_results): (Vec<_>, Vec<_>) = results.into_iter().unzip();
-        let (collector, norm_stats, metrics) = merge_results(study_results);
+        let _finalize_span = trace::span("finalize");
+
+        // Tail idle per worker: the gap between a worker running out of
+        // work and the last worker finishing (the join barrier). The
+        // observer's `worker_idle` event marks *that* a worker went
+        // idle; this histogram records *how long* it sat idle.
+        let idle_registry = collect_metrics.then(MetricsRegistry::new);
+        if let Some(reg) = &idle_registry {
+            let latest = results
+                .iter()
+                .map(|(_, _, done)| *done)
+                .max()
+                .expect("at least one worker");
+            let idle = reg.histogram("study.worker_idle_ns");
+            for (_, _, done) in &results {
+                idle.record(latest.duration_since(*done).as_nanos() as u64);
+            }
+        }
+
+        let mut study_results = Vec::with_capacity(results.len());
+        let mut cf_results = Vec::with_capacity(results.len());
+        for (main, cf, _) in results {
+            study_results.push(main);
+            cf_results.push(cf);
+        }
+        let (collector, norm_stats, mut metrics) = merge_results(study_results);
+        if let Some(reg) = &idle_registry {
+            metrics.merge(&reg.snapshot());
+        }
         let summary = StudySummary::finalize(&collector);
         let study = Study {
             sim,

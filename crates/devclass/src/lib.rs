@@ -30,3 +30,6 @@ pub use iot::{is_iot_backend, IotScore, SAIDI_THRESHOLD};
 pub use oui::{OuiDb, Vendor, VendorClass};
 pub use switch::{SwitchDetector, SWITCH_THRESHOLD};
 pub use types::{DeviceType, FigureBucket};
+
+/// This crate's version, for provenance manifests.
+pub const VERSION: &str = env!("CARGO_PKG_VERSION");

@@ -21,3 +21,6 @@ pub mod stream;
 pub use lease::{LeaseAction, LeaseEvent};
 pub use normalize::{LeaseIndex, NormalizeStats, Normalizer, DEFAULT_MAX_LEASE_SECS};
 pub use stream::{LeaseTracker, NormalizeStage};
+
+/// This crate's version, for provenance manifests.
+pub const VERSION: &str = env!("CARGO_PKG_VERSION");

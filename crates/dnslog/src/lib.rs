@@ -24,3 +24,6 @@ pub use domain::{DomainId, DomainName, DomainTable};
 pub use query::DnsQuery;
 pub use resolver::{LabelStats, LabeledFlow, ResolverMap};
 pub use sites::DistinctSiteCounter;
+
+/// This crate's version, for provenance manifests.
+pub const VERSION: &str = env!("CARGO_PKG_VERSION");

@@ -21,3 +21,6 @@ pub use atlas::{
     builtin_geodb, builtin_regions, cdn_prefixes, CountryCode, GeoDb, GeoEntry, Region,
 };
 pub use midpoint::{in_united_states, IntlClassifier, MidpointAccumulator, SubPop};
+
+/// This crate's version, for provenance manifests.
+pub const VERSION: &str = env!("CARGO_PKG_VERSION");

@@ -49,3 +49,6 @@ pub use flow::{FlowKey, FlowRecord, Proto};
 pub use mac::{DeviceId, MacAddr, Oui};
 pub use stage::Stage;
 pub use time::{Day, Month, Phase, StudyCalendar, Timestamp};
+
+/// This crate's version, for provenance manifests.
+pub const VERSION: &str = env!("CARGO_PKG_VERSION");

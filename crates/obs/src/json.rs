@@ -1,0 +1,98 @@
+//! Minimal JSON string escaping shared by every hand-rolled emitter in
+//! this crate (metrics snapshots, the JSONL event sink, the Chrome
+//! trace exporter, the run manifest).
+//!
+//! The emitters in this workspace deliberately avoid a serialization
+//! dependency — their payloads are numbers and short identifiers — but
+//! "short identifier" is a convention, not an invariant: metric names,
+//! stage names, and manifest values are ordinary strings that may one
+//! day carry quotes, control characters, or non-ASCII text. This module
+//! makes every emitted string strict-parser safe: `"` and `\` are
+//! backslash-escaped, control characters use the conventional short
+//! escapes (falling back to `\u00XX`), and all non-ASCII characters are
+//! emitted as `\uXXXX` (UTF-16 units, surrogate pairs for astral
+//! code points), so the output is plain-ASCII JSON any parser accepts.
+
+use std::fmt::Write as _;
+
+/// Append `s` to `out` with every character JSON-escaped (no
+/// surrounding quotes).
+pub fn escape_into(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\u{8}' => out.push_str("\\b"),
+            '\u{c}' => out.push_str("\\f"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c if c.is_ascii() => out.push(c),
+            c => {
+                let mut units = [0u16; 2];
+                for unit in c.encode_utf16(&mut units) {
+                    let _ = write!(out, "\\u{unit:04x}");
+                }
+            }
+        }
+    }
+}
+
+/// `s` escaped and wrapped in double quotes, ready to splice into a
+/// JSON document as a string literal or object key.
+pub fn quoted(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    escape_into(&mut out, s);
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plain_ascii_passes_through() {
+        assert_eq!(quoted("pipeline.flows_in"), "\"pipeline.flows_in\"");
+    }
+
+    #[test]
+    fn quotes_backslashes_and_controls_escape() {
+        assert_eq!(
+            quoted("a\"b\\c\nd\te\rf\u{8}g\u{c}h\u{1}i"),
+            "\"a\\\"b\\\\c\\nd\\te\\rf\\bg\\fh\\u0001i\""
+        );
+    }
+
+    #[test]
+    fn non_ascii_becomes_u_escapes() {
+        assert_eq!(quoted("π"), "\"\\u03c0\"");
+        assert_eq!(quoted("é"), "\"\\u00e9\"");
+        // Astral plane → surrogate pair.
+        assert_eq!(quoted("\u{1F600}"), "\"\\ud83d\\ude00\"");
+        // Output is pure ASCII regardless of input.
+        assert!(quoted("日本語 ≠ ascii").is_ascii());
+    }
+
+    #[test]
+    fn escaped_strings_roundtrip_through_strict_parser() {
+        for nasty in [
+            "plain",
+            "with \"quotes\" and \\slashes\\",
+            "newline\nand\ttab",
+            "control\u{7}chars\u{1f}",
+            "bmp π é 中",
+        ] {
+            let doc = format!("{{{}:{}}}", quoted(nasty), quoted(nasty));
+            let v: serde_json::Value = serde_json::from_str(&doc).expect(nasty);
+            let obj = v.as_object().expect("object");
+            let (k, val) = obj.iter().next().expect("one entry");
+            assert_eq!(k, nasty);
+            assert_eq!(val.as_str(), Some(nasty));
+        }
+    }
+}

@@ -15,10 +15,18 @@
 //! * [`RunObserver`] — progress events (`day_started`, `day_finished`,
 //!   `stage_flushed`, `worker_idle`) with a no-op [`NullObserver`], a
 //!   stderr [`TextProgress`], and a machine-readable [`JsonlSink`].
+//! * [`trace`] — span-based timelines: a [`SpanRecorder`] collecting
+//!   nested, attributed spans per worker lane, exported as Chrome
+//!   trace-event JSON (Perfetto / `chrome://tracing`) or collapsed
+//!   stacks for flamegraphs.
+//! * [`manifest`] — [`RunManifest`], a provenance record (config hash,
+//!   seed, crate versions, span totals, metrics snapshot) that makes an
+//!   artifact directory self-describing.
 //!
 //! Instrumentation is zero-cost when off: every instrumented call site
-//! takes an `Option` of a handle (or the [`NullObserver`]), so the
-//! disabled path is a single predictable branch.
+//! takes an `Option` of a handle (or the [`NullObserver`]; for spans,
+//! the absence of an installed lane), so the disabled path is a single
+//! predictable branch.
 //!
 //! ```
 //! use lockdown_obs::MetricsRegistry;
@@ -33,13 +41,21 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod json;
+pub mod manifest;
 pub mod metrics;
 pub mod observer;
 pub mod timer;
+pub mod trace;
 
+pub use manifest::RunManifest;
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry, MetricsSnapshot};
 pub use observer::{CountingObserver, JsonlSink, NullObserver, RunObserver, TextProgress};
 pub use timer::{BytesOf, StageTimer};
+pub use trace::{SpanRecorder, Trace};
+
+/// This crate's version, for provenance manifests.
+pub const VERSION: &str = env!("CARGO_PKG_VERSION");
 
 /// Publish a [`nettrace::assembler::AssemblerStats`] into a registry as
 /// the conventional `assembler.*` gauges and counters. Lives here (and

@@ -1,0 +1,257 @@
+//! Run provenance manifests: a self-describing JSON record written
+//! alongside a run's figures and traces.
+//!
+//! A measurement study is only as auditable as its artifacts. A
+//! [`RunManifest`] captures everything needed to say *what produced
+//! this directory*: a hash of the simulation config, the seed, scale
+//! and thread count, the versions of every workspace crate in the
+//! pipeline, wall time, per-span and per-stage time totals from the
+//! [trace](crate::trace), and the final [metrics
+//! snapshot](crate::metrics::MetricsSnapshot). Like every emitter in
+//! this crate it is dependency-free: the JSON is hand-rolled over
+//! [`crate::json`] escaping and parses under a strict parser.
+
+use crate::json;
+use crate::metrics::MetricsSnapshot;
+use crate::trace::Trace;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// 64-bit FNV-1a hash — a tiny, dependency-free, stable fingerprint
+/// used to identify configurations in manifests. Not cryptographic.
+pub fn fnv1a_64(bytes: &[u8]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut hash = OFFSET;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(PRIME);
+    }
+    hash
+}
+
+/// Provenance record for one pipeline run.
+///
+/// Build one with [`RunManifest::new`], fill in the identity fields,
+/// fold in a trace with [`record_trace`](RunManifest::record_trace) and
+/// a metrics snapshot via the `metrics` field, then serialize with
+/// [`to_json`](RunManifest::to_json) or persist with
+/// [`write`](RunManifest::write).
+#[derive(Debug, Clone, Default)]
+pub struct RunManifest {
+    /// Name of the producing tool (e.g. `"repro"`).
+    pub tool: String,
+    /// Creation time, milliseconds since the Unix epoch (0 if the
+    /// clock is unavailable).
+    pub created_unix_ms: u64,
+    /// FNV-1a hash of the full simulation config, as 16 hex digits.
+    pub config_hash_hex: String,
+    /// RNG seed the run used.
+    pub seed: u64,
+    /// Population scale factor.
+    pub scale: f64,
+    /// Worker thread count.
+    pub threads: usize,
+    /// Versions of the workspace crates involved, by crate name.
+    pub crates: BTreeMap<String, String>,
+    /// Measured wall time of the run, nanoseconds.
+    pub wall_ns: u64,
+    /// Sum of top-level span durations from the trace (0 if untraced).
+    pub top_level_span_ns: u64,
+    /// Total duration by span name (empty if untraced).
+    pub span_totals_ns: BTreeMap<String, u64>,
+    /// Span count by span name (empty if untraced).
+    pub span_counts: BTreeMap<String, u64>,
+    /// Busy time by pipeline stage name (empty if untraced).
+    pub stage_totals_ns: BTreeMap<String, u64>,
+    /// Final merged metrics, when the run collected them.
+    pub metrics: Option<MetricsSnapshot>,
+}
+
+impl RunManifest {
+    /// An empty manifest for `tool`, stamped with the current time.
+    pub fn new(tool: &str) -> RunManifest {
+        let created_unix_ms = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_millis() as u64)
+            .unwrap_or(0);
+        RunManifest {
+            tool: tool.to_string(),
+            created_unix_ms,
+            ..RunManifest::default()
+        }
+    }
+
+    /// Record a crate version under `name`.
+    pub fn crate_version(&mut self, name: &str, version: &str) {
+        self.crates.insert(name.to_string(), version.to_string());
+    }
+
+    /// Fold a finished trace's aggregates into the manifest: wall time
+    /// horizon, top-level span sum, per-name totals and counts, and
+    /// per-stage busy totals.
+    pub fn record_trace(&mut self, trace: &Trace) {
+        self.wall_ns = self.wall_ns.max(trace.wall_ns());
+        self.top_level_span_ns = trace.top_level_ns();
+        self.span_totals_ns = trace
+            .totals_by_name()
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect();
+        self.span_counts = trace
+            .counts_by_name()
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect();
+        self.stage_totals_ns = trace
+            .stage_totals_ns()
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect();
+    }
+
+    /// Serialize as a strict-parser-safe JSON object.
+    pub fn to_json(&self) -> String {
+        fn map_u64(out: &mut String, key: &str, m: &BTreeMap<String, u64>) {
+            let _ = write!(out, "{}:{{", json::quoted(key));
+            let mut first = true;
+            for (k, v) in m {
+                if !first {
+                    out.push(',');
+                }
+                first = false;
+                let _ = write!(out, "{}:{v}", json::quoted(k));
+            }
+            out.push('}');
+        }
+        let mut out = String::from("{");
+        let _ = write!(out, "\"tool\":{}", json::quoted(&self.tool));
+        let _ = write!(out, ",\"created_unix_ms\":{}", self.created_unix_ms);
+        let _ = write!(
+            out,
+            ",\"config_hash\":{}",
+            json::quoted(&self.config_hash_hex)
+        );
+        let _ = write!(out, ",\"seed\":{}", self.seed);
+        // Scale is a small decimal; {:?} prints shortest roundtrip form.
+        let _ = write!(out, ",\"scale\":{:?}", self.scale);
+        let _ = write!(out, ",\"threads\":{}", self.threads);
+        out.push_str(",\"crates\":{");
+        let mut first = true;
+        for (k, v) in &self.crates {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let _ = write!(out, "{}:{}", json::quoted(k), json::quoted(v));
+        }
+        out.push('}');
+        let _ = write!(out, ",\"wall_ns\":{}", self.wall_ns);
+        let _ = write!(out, ",\"top_level_span_ns\":{}", self.top_level_span_ns);
+        out.push(',');
+        map_u64(&mut out, "span_totals_ns", &self.span_totals_ns);
+        out.push(',');
+        map_u64(&mut out, "span_counts", &self.span_counts);
+        out.push(',');
+        map_u64(&mut out, "stage_totals_ns", &self.stage_totals_ns);
+        out.push_str(",\"metrics\":");
+        match &self.metrics {
+            Some(m) => out.push_str(&m.to_json()),
+            None => out.push_str("null"),
+        }
+        out.push('}');
+        out
+    }
+
+    /// Write the manifest JSON to `path`.
+    pub fn write(&self, path: &std::path::Path) -> std::io::Result<()> {
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        std::fs::write(path, self.to_json())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{self, SpanRecorder};
+
+    #[test]
+    fn fnv_is_stable_and_sensitive() {
+        // Reference vectors for 64-bit FNV-1a.
+        assert_eq!(fnv1a_64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a_64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_ne!(fnv1a_64(b"config-a"), fnv1a_64(b"config-b"));
+    }
+
+    #[test]
+    fn manifest_json_is_strict_and_complete() {
+        let rec = SpanRecorder::new();
+        {
+            let _lane = rec.install(0, "w");
+            let _day = trace::span("day");
+            trace::aggregate("stage", "normalize", 1_000, &[]);
+        }
+        let t = rec.finish();
+
+        let mut m = RunManifest::new("repro");
+        m.config_hash_hex = format!("{:016x}", fnv1a_64(b"cfg"));
+        m.seed = 42;
+        m.scale = 0.05;
+        m.threads = 2;
+        m.crate_version("lockdown-obs", "0.1.0");
+        m.record_trace(&t);
+        let mut metrics = MetricsSnapshot::default();
+        metrics.counters.insert("pipeline.flows_in".into(), 7);
+        m.metrics = Some(metrics);
+
+        let j = m.to_json();
+        let v: serde_json::Value = serde_json::from_str(&j).expect("manifest parses");
+        assert_eq!(v.get("tool").unwrap().as_str(), Some("repro"));
+        assert_eq!(v.get("seed").unwrap().as_u64(), Some(42));
+        assert_eq!(v.get("scale").unwrap().as_f64(), Some(0.05));
+        assert_eq!(v.get("threads").unwrap().as_u64(), Some(2));
+        assert_eq!(
+            v.get("crates")
+                .unwrap()
+                .get("lockdown-obs")
+                .unwrap()
+                .as_str(),
+            Some("0.1.0")
+        );
+        assert_eq!(
+            v.get("stage_totals_ns")
+                .unwrap()
+                .get("normalize")
+                .unwrap()
+                .as_u64(),
+            Some(1_000)
+        );
+        assert_eq!(
+            v.get("span_counts").unwrap().get("day").unwrap().as_u64(),
+            Some(1)
+        );
+        assert!(v.get("wall_ns").unwrap().as_u64().unwrap() >= 1_000);
+        assert_eq!(
+            v.get("metrics")
+                .unwrap()
+                .get("counters")
+                .unwrap()
+                .get("pipeline.flows_in")
+                .unwrap()
+                .as_u64(),
+            Some(7)
+        );
+    }
+
+    #[test]
+    fn untraced_manifest_serializes_with_null_metrics() {
+        let m = RunManifest::new("repro");
+        let v: serde_json::Value = serde_json::from_str(&m.to_json()).expect("parses");
+        assert!(v.get("metrics").unwrap().is_null());
+        assert_eq!(v.get("top_level_span_ns").unwrap().as_u64(), Some(0));
+    }
+}

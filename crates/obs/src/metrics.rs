@@ -317,8 +317,11 @@ impl MetricsSnapshot {
         out
     }
 
-    /// Render as a JSON object (hand-rolled; metric names are plain
-    /// dotted identifiers, so no string escaping is required).
+    /// Render as a JSON object (hand-rolled). Metric names are
+    /// conventionally plain dotted identifiers, but the emitter does
+    /// not rely on that: every key goes through [`crate::json::quoted`]
+    /// so quotes, control characters, and non-ASCII text survive a
+    /// strict parser.
     pub fn to_json(&self) -> String {
         let mut out = String::from("{\"counters\":{");
         let mut first = true;
@@ -327,7 +330,7 @@ impl MetricsSnapshot {
                 out.push(',');
             }
             first = false;
-            let _ = write!(out, "\"{k}\":{v}");
+            let _ = write!(out, "{}:{v}", crate::json::quoted(k));
         }
         out.push_str("},\"gauges\":{");
         first = true;
@@ -336,7 +339,7 @@ impl MetricsSnapshot {
                 out.push(',');
             }
             first = false;
-            let _ = write!(out, "\"{k}\":{v}");
+            let _ = write!(out, "{}:{v}", crate::json::quoted(k));
         }
         out.push_str("},\"histograms\":{");
         first = true;
@@ -347,7 +350,8 @@ impl MetricsSnapshot {
             first = false;
             let _ = write!(
                 out,
-                "\"{k}\":{{\"count\":{},\"sum\":{},\"p50\":{},\"p99\":{}}}",
+                "{}:{{\"count\":{},\"sum\":{},\"p50\":{},\"p99\":{}}}",
+                crate::json::quoted(k),
                 h.count(),
                 h.sum,
                 h.quantile(0.5),
@@ -453,5 +457,31 @@ mod tests {
         assert!(json.contains("\"x.count\":2"));
         assert!(json.contains("\"x.peak\":5"));
         assert!(json.contains("\"count\":1"));
+    }
+
+    #[test]
+    fn json_snapshot_escapes_hostile_metric_names() {
+        let reg = MetricsRegistry::new();
+        reg.counter("quoted\"name").add(1);
+        reg.counter("tab\tand\nnewline").add(2);
+        reg.gauge("unicode.π").set(3);
+        reg.histogram("ctrl\u{1}hist").record(7);
+        let json = reg.snapshot().to_json();
+        assert!(json.is_ascii());
+        let v: serde_json::Value = serde_json::from_str(&json).expect("strict parse");
+        let counters = v.get("counters").unwrap().as_object().unwrap();
+        assert_eq!(
+            counters.get("quoted\"name").and_then(|x| x.as_u64()),
+            Some(1)
+        );
+        assert_eq!(
+            counters.get("tab\tand\nnewline").and_then(|x| x.as_u64()),
+            Some(2)
+        );
+        let gauges = v.get("gauges").unwrap().as_object().unwrap();
+        assert_eq!(gauges.get("unicode.π").and_then(|x| x.as_u64()), Some(3));
+        let hists = v.get("histograms").unwrap().as_object().unwrap();
+        let h = hists.get("ctrl\u{1}hist").expect("histogram key survives");
+        assert_eq!(h.get("count").and_then(|x| x.as_u64()), Some(1));
     }
 }

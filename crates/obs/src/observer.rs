@@ -152,9 +152,12 @@ impl<W: Write + Send> RunObserver for JsonlSink<W> {
     }
 
     fn stage_flushed(&self, day: Day, stage: &'static str, records: u64) {
+        // Stage names are static identifiers by convention, but the
+        // sink escapes anyway so the log stays strict-parser safe.
         self.line(&format!(
-            "{{\"event\":\"stage_flushed\",\"day\":{},\"stage\":\"{stage}\",\"records\":{records}}}",
-            day.0
+            "{{\"event\":\"stage_flushed\",\"day\":{},\"stage\":{},\"records\":{records}}}",
+            day.0,
+            crate::json::quoted(stage),
         ));
     }
 
@@ -248,6 +251,16 @@ mod tests {
         assert!(lines[1].contains("\"stage\":\"normalize\""));
         assert!(lines[2].contains("\"flows\":42"));
         assert!(lines[3].contains("worker_idle"));
+    }
+
+    #[test]
+    fn jsonl_stage_names_are_escaped() {
+        let sink = JsonlSink::new(Vec::new());
+        sink.stage_flushed(Day(0), "weird\"stage\nname", 1);
+        let text = String::from_utf8(sink.into_inner()).unwrap();
+        let line = text.lines().next().unwrap();
+        let v: serde_json::Value = serde_json::from_str(line).expect("strict parse");
+        assert_eq!(v.get("stage").unwrap().as_str(), Some("weird\"stage\nname"));
     }
 
     #[test]

@@ -1,17 +1,30 @@
 //! [`StageTimer`]: per-stage instrumentation for any [`Stage`].
 //!
 //! Wraps a stage and counts records in/out, optionally bytes out, and
-//! per-record push latency into a registry histogram. Built disabled
-//! (no registry) it degrades to a handful of `Option` branches, so a
-//! pipeline can keep the wrapper in place permanently and pay only when
-//! someone is watching.
+//! per-record push latency into a registry histogram. The same wrapper
+//! is the pipeline's tracing seam: when the constructing thread has a
+//! [trace lane](crate::trace) installed, the timer also accumulates
+//! per-record busy time and [`emit_trace`](StageTimer::emit_trace)
+//! publishes it as one `"stage"` aggregate span per flush — a timeline
+//! row per stage without a span per record. Built disabled (no
+//! registry, no lane) it degrades to a handful of `Option` branches, so
+//! a pipeline can keep the wrapper in place permanently and pay only
+//! when someone is watching.
 
 use crate::metrics::{Counter, Histogram, MetricsRegistry};
+use crate::trace;
 use nettrace::Stage;
 use std::time::Instant;
 
 /// How a [`StageTimer`] sizes an output record for `stage.<name>.bytes_out`.
 pub type BytesOf<T> = fn(&T) -> u64;
+
+/// Busy-time accumulator feeding [`trace::aggregate`].
+#[derive(Default)]
+struct Busy {
+    ns: u64,
+    records: u64,
+}
 
 /// An instrumented wrapper around an inner [`Stage`].
 ///
@@ -37,32 +50,38 @@ pub type BytesOf<T> = fn(&T) -> u64;
 /// assert_eq!(snap.counter("stage.halve.out"), 1);
 /// ```
 pub struct StageTimer<S: Stage> {
+    name: &'static str,
     inner: S,
     records_in: Option<Counter>,
     records_out: Option<Counter>,
     latency_ns: Option<Histogram>,
     bytes_out: Option<(Counter, BytesOf<S::Out>)>,
+    busy: Option<Busy>,
 }
 
 impl<S: Stage> StageTimer<S> {
     /// Wrap `inner`, registering `stage.<name>.{in,out,latency_ns}`
-    /// in `registry`. With `None` the wrapper is a transparent no-op.
-    pub fn new(name: &str, inner: S, registry: Option<&MetricsRegistry>) -> Self {
-        match registry {
-            Some(reg) => StageTimer {
-                inner,
-                records_in: Some(reg.counter(&format!("stage.{name}.in"))),
-                records_out: Some(reg.counter(&format!("stage.{name}.out"))),
-                latency_ns: Some(reg.histogram(&format!("stage.{name}.latency_ns"))),
-                bytes_out: None,
-            },
-            None => StageTimer {
-                inner,
-                records_in: None,
-                records_out: None,
-                latency_ns: None,
-                bytes_out: None,
-            },
+    /// in `registry`. With `None` the metrics side is a transparent
+    /// no-op. Tracing is decided here too: if the calling thread has a
+    /// [trace lane](crate::trace) installed at construction time, the
+    /// timer accumulates busy time for [`StageTimer::emit_trace`].
+    pub fn new(name: &'static str, inner: S, registry: Option<&MetricsRegistry>) -> Self {
+        let (records_in, records_out, latency_ns) = match registry {
+            Some(reg) => (
+                Some(reg.counter(&format!("stage.{name}.in"))),
+                Some(reg.counter(&format!("stage.{name}.out"))),
+                Some(reg.histogram(&format!("stage.{name}.latency_ns"))),
+            ),
+            None => (None, None, None),
+        };
+        StageTimer {
+            name,
+            inner,
+            records_in,
+            records_out,
+            latency_ns,
+            bytes_out: None,
+            busy: trace::enabled().then(Busy::default),
         }
     }
 
@@ -80,14 +99,52 @@ impl<S: Stage> StageTimer<S> {
         self
     }
 
+    /// The stage name this timer reports under.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
     /// The wrapped stage.
     pub fn inner(&self) -> &S {
         &self.inner
     }
 
-    /// The wrapped stage, mutably.
+    /// The wrapped stage, mutably. Work done through this reference is
+    /// *not* timed; use [`StageTimer::time`] for side-channel work that
+    /// should count toward the stage's busy time.
     pub fn inner_mut(&mut self) -> &mut S {
         &mut self.inner
+    }
+
+    /// Run `f` against the inner stage, attributing its duration to
+    /// this stage's busy time. For stage work that does not flow
+    /// through [`Stage::push`] (lookups, out-of-band inserts).
+    pub fn time<T>(&mut self, f: impl FnOnce(&mut S) -> T) -> T {
+        match &mut self.busy {
+            Some(busy) => {
+                let t0 = Instant::now();
+                let out = f(&mut self.inner);
+                busy.ns += t0.elapsed().as_nanos() as u64;
+                busy.records += 1;
+                out
+            }
+            None => f(&mut self.inner),
+        }
+    }
+
+    /// Publish accumulated busy time as one `"stage"`-category
+    /// [aggregate span](crate::trace::aggregate) named after this stage
+    /// (with a `records` attribute), then reset the accumulator. No-op
+    /// when tracing was off at construction or nothing accrued.
+    /// Called from [`Stage::flush`], so pipelines that flush per day
+    /// get one stage span per day for free.
+    pub fn emit_trace(&mut self) {
+        if let Some(busy) = &mut self.busy {
+            if busy.records > 0 {
+                trace::aggregate("stage", self.name, busy.ns, &[("records", busy.records)]);
+                *busy = Busy::default();
+            }
+        }
     }
 
     /// Unwrap, discarding the instrumentation handles.
@@ -105,14 +162,20 @@ impl<S: Stage> Stage for StageTimer<S> {
         if let Some(c) = &self.records_in {
             c.inc();
         }
-        let out = match &self.latency_ns {
-            Some(h) => {
-                let t0 = Instant::now();
-                let out = self.inner.push(input);
-                h.record(t0.elapsed().as_nanos() as u64);
-                out
+        let out = if self.latency_ns.is_some() || self.busy.is_some() {
+            let t0 = Instant::now();
+            let out = self.inner.push(input);
+            let ns = t0.elapsed().as_nanos() as u64;
+            if let Some(h) = &self.latency_ns {
+                h.record(ns);
             }
-            None => self.inner.push(input),
+            if let Some(busy) = &mut self.busy {
+                busy.ns += ns;
+                busy.records += 1;
+            }
+            out
+        } else {
+            self.inner.push(input)
         };
         if let Some(out) = &out {
             if let Some(c) = &self.records_out {
@@ -127,12 +190,14 @@ impl<S: Stage> Stage for StageTimer<S> {
 
     fn flush(&mut self) {
         self.inner.flush();
+        self.emit_trace();
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::trace::{AttrValue, SpanRecorder};
 
     /// Emits its input unchanged; counts flushes.
     struct Echo {
@@ -197,5 +262,41 @@ mod tests {
         let snap = reg.snapshot();
         assert_eq!(snap.counter("stage.drop_odd.in"), 10);
         assert_eq!(snap.counter("stage.drop_odd.out"), 5);
+    }
+
+    #[test]
+    fn flush_emits_one_stage_span_when_traced() {
+        let rec = SpanRecorder::new();
+        {
+            let _lane = rec.install(0, "w");
+            let _day = trace::span("day");
+            let mut stage = StageTimer::new("echo", Echo { flushed: 0 }, None);
+            stage.push(1);
+            stage.push(2);
+            stage.time(|inner| inner.push(3));
+            stage.flush();
+            // Second flush with nothing accrued emits nothing.
+            stage.flush();
+        }
+        let t = rec.finish();
+        let spans: Vec<_> = t.spans.iter().filter(|s| s.name == "echo").collect();
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].cat, "stage");
+        assert_eq!(spans[0].path, vec!["day"]);
+        assert!(spans[0].attrs.contains(&("records", AttrValue::U64(3))));
+    }
+
+    #[test]
+    fn untraced_construction_never_emits() {
+        let rec = SpanRecorder::new();
+        // Built before any lane exists → tracing permanently off for
+        // this wrapper, even if a lane appears later.
+        let mut stage = StageTimer::new("echo", Echo { flushed: 0 }, None);
+        {
+            let _lane = rec.install(0, "w");
+            stage.push(1);
+            stage.flush();
+        }
+        assert!(rec.finish().is_empty());
     }
 }

@@ -8,7 +8,7 @@
 //! the pipeline itself reports.
 
 use campussim::SimConfig;
-use lockdown_obs::CountingObserver;
+use lockdown_obs::{trace, CountingObserver, SpanRecorder};
 use locked_in_lockdown::prelude::*;
 use std::sync::Arc;
 
@@ -109,6 +109,55 @@ fn observer_event_stream_covers_the_run() {
     // normalize + resolver flush once per day.
     assert_eq!(obs.stages_flushed(), 2 * days);
     assert_eq!(obs.flows(), run.norm_stats.attributed);
+}
+
+#[test]
+fn trace_covers_every_day_regardless_of_thread_count() {
+    let days = StudyCalendar::days().count();
+    for threads in [1usize, 3] {
+        let recorder = SpanRecorder::new();
+        Study::builder(tiny())
+            .threads(threads)
+            .trace(&recorder)
+            .run();
+        let trace = recorder.finish();
+        assert!(!trace.is_empty());
+        let counts = trace.counts_by_name();
+        // One span per study day, however the days were sharded.
+        assert_eq!(counts.get("day").copied(), Some(days as u64));
+        assert_eq!(counts.get("stream_day").copied(), Some(days as u64));
+        assert_eq!(counts.get("worker").copied(), Some(threads as u64));
+        assert_eq!(counts.get("build_sim").copied(), Some(1));
+        assert_eq!(counts.get("finalize").copied(), Some(1));
+        // The pipeline stages show up as aggregate stage spans.
+        let stages = trace.stage_totals_ns();
+        for stage in ["generate", "normalize", "resolver", "collect"] {
+            assert!(stages.contains_key(stage), "missing stage {stage}");
+        }
+        // Lanes: one per worker plus the builder's orchestrator lane.
+        for w in 0..threads as u32 {
+            assert!(trace.lane_name(w).is_some(), "missing worker lane {w}");
+        }
+        assert!(trace.lane_name(trace::MAIN_LANE).is_some());
+    }
+}
+
+#[test]
+fn worker_idle_histogram_reaches_metrics_and_report() {
+    let threads = 3usize;
+    let study = Study::builder(tiny()).threads(threads).run().into_study();
+    let m = study.metrics();
+    let idle = m
+        .histogram("study.worker_idle_ns")
+        .expect("idle histogram recorded");
+    // One tail-idle sample per worker; the last-finishing worker
+    // contributes a zero, so the minimum is 0.
+    assert_eq!(idle.count(), threads as u64);
+    let text = report::metrics_report(&study);
+    assert!(
+        text.contains("Worker tail idle"),
+        "idle summary missing from report:\n{text}"
+    );
 }
 
 #[test]
