@@ -176,9 +176,8 @@ impl StudyCollector {
         }
 
         // Social session stitching (Figure 6).
-        if matches!(app, Some(App::Facebook | App::Instagram | App::TikTok)) {
-            self.stitcher
-                .push(f.device, app.expect("matched above"), f.ts, f.end(), bytes);
+        if let Some(a @ (App::Facebook | App::Instagram | App::TikTok)) = app {
+            self.stitcher.push(f.device, a, f.ts, f.end(), bytes);
         }
     }
 

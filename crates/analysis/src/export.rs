@@ -8,6 +8,27 @@ use crate::stats::BoxStats;
 use devclass::FigureBucket;
 use nettrace::time::{Day, StudyCalendar};
 use serde::Serialize;
+use std::fmt;
+
+/// A figure export failed to serialize. JSON encoding of plain figure
+/// structs cannot realistically fail, but the export surface is part of
+/// the study's fallible API: drivers report the typed error instead of
+/// unwinding mid-run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExportError {
+    /// Which figure was being exported (`"fig6"`, `"fig7"`).
+    pub figure: &'static str,
+    /// What the serializer said.
+    pub detail: String,
+}
+
+impl fmt::Display for ExportError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "exporting {} failed: {}", self.figure, self.detail)
+    }
+}
+
+impl std::error::Error for ExportError {}
 
 /// CSV for Figure 1: day, per-bucket counts, total.
 pub fn fig1_csv(f: &Fig1) -> String {
@@ -115,7 +136,7 @@ impl From<&BoxStats> for BoxJson {
 }
 
 /// JSON for Figure 6: app → subpop → month → box stats.
-pub fn fig6_json(f: &Fig6) -> String {
+pub fn fig6_json(f: &Fig6) -> Result<String, ExportError> {
     #[derive(Serialize)]
     struct Out<'a> {
         app: &'a str,
@@ -139,11 +160,14 @@ pub fn fig6_json(f: &Fig6) -> String {
             }
         }
     }
-    serde_json::to_string_pretty(&rows).expect("plain data serializes")
+    serde_json::to_string_pretty(&rows).map_err(|e| ExportError {
+        figure: "fig6",
+        detail: e.to_string(),
+    })
 }
 
 /// JSON for Figure 7: metric → subpop → month → box stats.
-pub fn fig7_json(f: &Fig7) -> String {
+pub fn fig7_json(f: &Fig7) -> Result<String, ExportError> {
     #[derive(Serialize)]
     struct Out<'a> {
         metric: &'a str,
@@ -166,7 +190,10 @@ pub fn fig7_json(f: &Fig7) -> String {
             }
         }
     }
-    serde_json::to_string_pretty(&rows).expect("plain data serializes")
+    serde_json::to_string_pretty(&rows).map_err(|e| ExportError {
+        figure: "fig7",
+        detail: e.to_string(),
+    })
 }
 
 /// CSV for Figure 8: day, 3-day-MA gameplay bytes.
@@ -211,10 +238,10 @@ mod tests {
     fn jsons_parse_back() {
         let (c, s) = empty_figs();
         let f6 = figures::figure6(&c, &s);
-        let v: serde_json::Value = serde_json::from_str(&fig6_json(&f6)).unwrap();
+        let v: serde_json::Value = serde_json::from_str(&fig6_json(&f6).unwrap()).unwrap();
         assert_eq!(v.as_array().unwrap().len(), 3 * 2 * 4);
         let f7 = figures::figure7(&c, &s);
-        let v: serde_json::Value = serde_json::from_str(&fig7_json(&f7)).unwrap();
+        let v: serde_json::Value = serde_json::from_str(&fig7_json(&f7).unwrap()).unwrap();
         assert_eq!(v.as_array().unwrap().len(), 2 * 2 * 4);
     }
 }

@@ -17,6 +17,7 @@ pub mod matrix;
 pub mod stats;
 
 pub use collect::{PipelineCtx, StudyCollector};
+pub use export::ExportError;
 pub use figures::{headline_stats, HeadlineStats, StudySummary};
 pub use stats::BoxStats;
 

@@ -52,7 +52,7 @@ impl Session {
     }
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone, Copy)]
 struct OpenSession {
     start: Timestamp,
     end: Timestamp,
@@ -127,7 +127,8 @@ impl SessionStitcher {
                 open.saw_instagram |= app == App::Instagram;
                 return;
             }
-            let done = self.open.remove(&key).expect("present above");
+            let done = *open;
+            self.open.remove(&key);
             self.close(device, family, done);
         }
         self.open.insert(

@@ -12,7 +12,13 @@ use std::sync::OnceLock;
 
 fn study() -> &'static Study {
     static STUDY: OnceLock<Study> = OnceLock::new();
-    STUDY.get_or_init(|| Study::builder(bench_config()).threads(8).run().into_study())
+    STUDY.get_or_init(|| {
+        Study::builder(bench_config())
+            .threads(8)
+            .run()
+            .expect("bench study")
+            .into_study()
+    })
 }
 
 fn bench_figures(c: &mut Criterion) {

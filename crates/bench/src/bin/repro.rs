@@ -4,6 +4,7 @@
 //! ```text
 //! repro [--scale S] [--threads N] [--seed X] [--out DIR]
 //!       [--trace FILE] [--flame FILE] [--progress]
+//!       [--fault-profile NAME] [--strict]
 //!       [all|fig1..fig8|stats|metrics]
 //! ```
 //!
@@ -20,11 +21,23 @@
 //! collapsed stacks for flamegraph tooling. Either flag also writes a
 //! `manifest.json` provenance record (as does `--out`); see
 //! `docs/TRACING.md`.
+//!
+//! `--fault-profile NAME` injects seeded, deterministic input
+//! corruption (`none` or `default`; see `docs/ROBUSTNESS.md`): the run
+//! completes gracefully, counts every dropped and repaired record
+//! under `pipeline.errors.*` / `assembler.malformed.*`, and reports
+//! quarantined days in the manifest's `degraded` section. `--strict`
+//! turns the first day failure into a non-zero exit instead — the CI
+//! posture.
+//!
+//! Exit codes: 0 success, 1 runtime failure (including strict-mode day
+//! failures), 2 usage error.
 
-use campussim::SimConfig;
-use lockdown_core::{report, Study};
+use campussim::{FaultProfile, SimConfig};
+use lockdown_core::{report, Study, StudyError, StudyRun};
 use lockdown_obs::{trace, SpanRecorder, TextProgress};
 use std::path::PathBuf;
+use std::process::ExitCode;
 
 struct Args {
     scale: f64,
@@ -34,10 +47,14 @@ struct Args {
     trace: Option<PathBuf>,
     flame: Option<PathBuf>,
     progress: bool,
+    fault: Option<FaultProfile>,
+    strict: bool,
     command: String,
 }
 
-fn parse_args() -> Args {
+const USAGE: &str = "usage: repro [--scale S] [--threads N] [--seed X] [--out DIR] [--trace FILE] [--flame FILE] [--progress] [--fault-profile none|default] [--strict] [all|fig1..fig8|stats|metrics]";
+
+fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         scale: 0.05,
         threads: std::thread::available_parallelism()
@@ -48,57 +65,86 @@ fn parse_args() -> Args {
         trace: None,
         flame: None,
         progress: false,
+        fault: None,
+        strict: false,
         command: "all".to_string(),
     };
+    fn value_of(it: &mut impl Iterator<Item = String>, flag: &str) -> Result<String, String> {
+        it.next().ok_or_else(|| format!("{flag} needs a value"))
+    }
+    fn number_of<T: std::str::FromStr>(
+        it: &mut impl Iterator<Item = String>,
+        flag: &str,
+    ) -> Result<T, String> {
+        value_of(it, flag)?
+            .parse()
+            .map_err(|_| format!("{flag} needs a number"))
+    }
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
-            "--scale" => {
-                args.scale = it
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .expect("--scale needs a number")
-            }
-            "--threads" => {
-                args.threads = it
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .expect("--threads needs a number")
-            }
-            "--seed" => {
-                args.seed = it
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .expect("--seed needs a number")
-            }
-            "--out" => args.out = Some(PathBuf::from(it.next().expect("--out needs a path"))),
-            "--trace" => args.trace = Some(PathBuf::from(it.next().expect("--trace needs a path"))),
-            "--flame" => args.flame = Some(PathBuf::from(it.next().expect("--flame needs a path"))),
+            "--scale" => args.scale = number_of(&mut it, "--scale")?,
+            "--threads" => args.threads = number_of(&mut it, "--threads")?,
+            "--seed" => args.seed = number_of(&mut it, "--seed")?,
+            "--out" => args.out = Some(PathBuf::from(value_of(&mut it, "--out")?)),
+            "--trace" => args.trace = Some(PathBuf::from(value_of(&mut it, "--trace")?)),
+            "--flame" => args.flame = Some(PathBuf::from(value_of(&mut it, "--flame")?)),
             "--progress" => args.progress = true,
+            "--fault-profile" => {
+                let name = value_of(&mut it, "--fault-profile")?;
+                args.fault = Some(FaultProfile::named(&name).ok_or_else(|| {
+                    format!("unknown fault profile {name:?} (try none, default)")
+                })?);
+            }
+            "--strict" => args.strict = true,
             "--help" | "-h" => {
-                eprintln!(
-                    "usage: repro [--scale S] [--threads N] [--seed X] [--out DIR] [--trace FILE] [--flame FILE] [--progress] [all|fig1..fig8|stats|metrics]"
-                );
+                eprintln!("{USAGE}");
                 std::process::exit(0);
+            }
+            cmd if cmd.starts_with('-') => {
+                return Err(format!("unknown flag {cmd}; {USAGE}"));
             }
             cmd => args.command = cmd.to_string(),
         }
     }
-    args
+    Ok(args)
 }
 
-fn write_text(path: &std::path::Path, content: &str, what: &str) {
+fn write_text(path: &std::path::Path, content: &str, what: &str) -> Result<(), StudyError> {
     if let Some(parent) = path.parent() {
         if !parent.as_os_str().is_empty() {
-            std::fs::create_dir_all(parent).expect("create output directory");
+            std::fs::create_dir_all(parent).map_err(|source| StudyError::Io {
+                path: parent.to_path_buf(),
+                source,
+            })?;
         }
     }
-    std::fs::write(path, content).unwrap_or_else(|e| panic!("write {what}: {e}"));
+    std::fs::write(path, content).map_err(|source| StudyError::Io {
+        path: path.to_path_buf(),
+        source,
+    })?;
     eprintln!("{what} written to {}", path.display());
+    Ok(())
 }
 
-fn main() {
-    let args = parse_args();
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(msg) => {
+            eprintln!("repro: {msg}");
+            return ExitCode::from(2);
+        }
+    };
+    match run(args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("repro: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: Args) -> Result<(), StudyError> {
     let cfg = SimConfig {
         scale: args.scale,
         seed: args.seed,
@@ -120,42 +166,52 @@ fn main() {
     let t0 = std::time::Instant::now();
 
     let builder = |cfg: SimConfig| {
-        let mut b = Study::builder(cfg).threads(args.threads);
+        let mut b = Study::builder(cfg)
+            .threads(args.threads)
+            .strict(args.strict);
         if let Some(rec) = &recorder {
             b = b.trace(rec);
         }
         if args.progress {
             b = b.observer(TextProgress::stderr());
         }
+        if let Some(fault) = &args.fault {
+            b = b.fault_profile(fault.clone());
+        }
         b
     };
 
     let study = match args.command.as_str() {
         "all" => {
-            let run = builder(cfg).with_counterfactual().run();
+            let run = builder(cfg).with_counterfactual().run()?;
             eprintln!(
                 "study + counterfactual done in {:.1}s",
                 t0.elapsed().as_secs_f64()
             );
+            report_degradation(&run);
             println!("{}", report::text_report(&run.study, run.growth_vs_2019()));
             run.into_study()
         }
         "metrics" => {
-            let study = builder(cfg).run().into_study();
+            let run = builder(cfg).run()?;
             eprintln!("study done in {:.1}s", t0.elapsed().as_secs_f64());
+            report_degradation(&run);
+            let study = run.into_study();
             println!("{}", report::metrics_report_json(&study));
             study
         }
         cmd => {
-            let study = builder(cfg).run().into_study();
+            let run = builder(cfg).run()?;
             eprintln!("study done in {:.1}s", t0.elapsed().as_secs_f64());
-            print_one(&study, cmd);
+            report_degradation(&run);
+            let study = run.into_study();
+            print_one(&study, cmd)?;
             study
         }
     };
 
     if let Some(dir) = &args.out {
-        let written = report::write_figure_files(&study, dir).expect("write figure files");
+        let written = report::write_figure_files(&study, dir)?;
         eprintln!("{written} figure files written to {}", dir.display());
     }
 
@@ -165,10 +221,10 @@ fn main() {
     let trace_data = recorder.map(|rec| rec.finish());
     if let Some(t) = &trace_data {
         if let Some(path) = &args.trace {
-            write_text(path, &t.to_chrome_json(), "chrome trace");
+            write_text(path, &t.to_chrome_json(), "chrome trace")?;
         }
         if let Some(path) = &args.flame {
-            write_text(path, &t.to_collapsed(), "collapsed stacks");
+            write_text(path, &t.to_collapsed(), "collapsed stacks")?;
         }
     }
     if args.out.is_some() || args.trace.is_some() || args.flame.is_some() {
@@ -189,13 +245,32 @@ fn main() {
             }
         }
         for path in targets {
-            manifest.write(&path).expect("write manifest");
+            manifest.write(&path).map_err(|source| StudyError::Io {
+                path: path.clone(),
+                source,
+            })?;
             eprintln!("manifest written to {}", path.display());
+        }
+    }
+    Ok(())
+}
+
+/// One stderr line summarizing how the run degraded, if it did.
+fn report_degradation(run: &StudyRun) {
+    let d = run.study.degraded();
+    if !d.is_empty() {
+        eprintln!(
+            "degraded run: {} day(s) recovered on retry, {} day(s) dropped",
+            d.recovered.len(),
+            d.failed.len()
+        );
+        for f in d.recovered.iter().chain(d.failed.iter()) {
+            eprintln!("  {f}");
         }
     }
 }
 
-fn print_one(study: &Study, cmd: &str) {
+fn print_one(study: &Study, cmd: &str) -> Result<(), StudyError> {
     use analysis::export;
     use analysis::figures as f;
     let c = &study.collector;
@@ -206,8 +281,8 @@ fn print_one(study: &Study, cmd: &str) {
         "fig3" => print!("{}", export::fig3_csv(&f::figure3(c, s))),
         "fig4" => print!("{}", export::fig4_csv(&f::figure4(c, s))),
         "fig5" => print!("{}", export::fig5_csv(&f::figure5(c, s))),
-        "fig6" => print!("{}", export::fig6_json(&f::figure6(c, s))),
-        "fig7" => print!("{}", export::fig7_json(&f::figure7(c, s))),
+        "fig6" => print!("{}", export::fig6_json(&f::figure6(c, s))?),
+        "fig7" => print!("{}", export::fig7_json(&f::figure7(c, s))?),
         "fig8" => print!("{}", export::fig8_csv(&f::figure8(c, s))),
         "stats" => {
             let h = study.headline();
@@ -220,4 +295,5 @@ fn print_one(study: &Study, cmd: &str) {
             std::process::exit(2);
         }
     }
+    Ok(())
 }

@@ -21,6 +21,7 @@ use lockdown_bench::bench_config;
 use lockdown_core::{process_day_streaming, PipelineOptions};
 use lockdown_obs::{trace, SpanRecorder};
 use nettrace::time::Day;
+use std::process::ExitCode;
 use std::time::Instant;
 
 /// Busy online-term weekdays: one pass processes each once.
@@ -57,7 +58,7 @@ fn series(sim: &CampusSim, ctx: &PipelineCtx, reps: usize, traced: bool) -> Vec<
 
 fn median(xs: &[f64]) -> f64 {
     let mut s = xs.to_vec();
-    s.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    s.sort_by(f64::total_cmp);
     let n = s.len();
     if n % 2 == 1 {
         s[n / 2]
@@ -71,16 +72,31 @@ fn fmt_series(xs: &[f64]) -> String {
     format!("[{}]", body.join(","))
 }
 
-fn main() {
+fn main() -> ExitCode {
     let mut reps = 7usize;
     let mut out = std::path::PathBuf::from("results/BENCH_trace_overhead.json");
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
-            "--reps" => reps = it.next().and_then(|v| v.parse().ok()).expect("--reps N"),
-            "--out" => out = it.next().expect("--out FILE").into(),
+            "--reps" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) => reps = n,
+                None => {
+                    eprintln!("trace_overhead: --reps needs a number");
+                    return ExitCode::from(2);
+                }
+            },
+            "--out" => match it.next() {
+                Some(path) => out = path.into(),
+                None => {
+                    eprintln!("trace_overhead: --out needs a path");
+                    return ExitCode::from(2);
+                }
+            },
             other => {
-                panic!("unknown argument {other}; usage: trace_overhead [--reps N] [--out FILE]")
+                eprintln!(
+                    "trace_overhead: unknown argument {other}; usage: trace_overhead [--reps N] [--out FILE]"
+                );
+                return ExitCode::from(2);
             }
         }
     }
@@ -138,17 +154,26 @@ fn main() {
     );
     if let Some(parent) = out.parent() {
         if !parent.as_os_str().is_empty() {
-            std::fs::create_dir_all(parent).expect("create results dir");
+            if let Err(e) = std::fs::create_dir_all(parent) {
+                eprintln!("trace_overhead: creating {} failed: {e}", parent.display());
+                return ExitCode::FAILURE;
+            }
         }
     }
-    std::fs::write(&out, &json).expect("write bench json");
+    if let Err(e) = std::fs::write(&out, &json) {
+        eprintln!("trace_overhead: writing {} failed: {e}", out.display());
+        return ExitCode::FAILURE;
+    }
     println!("{json}");
     eprintln!("written to {}", out.display());
 
     // The whole point of the Option-handle design: with no recorder
     // installed the instrumented build must match itself run-to-run.
-    assert!(
-        off_delta_ns <= noise_ns.max(ma * 0.05),
-        "tracing-off medians differ by {off_delta_ns:.1} ns/flow, outside the {noise_ns:.1} ns noise band"
-    );
+    if off_delta_ns > noise_ns.max(ma * 0.05) {
+        eprintln!(
+            "trace_overhead: tracing-off medians differ by {off_delta_ns:.1} ns/flow, outside the {noise_ns:.1} ns noise band"
+        );
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
 }

@@ -6,6 +6,45 @@
 //! international share). Counts scale linearly with `scale`; medians and
 //! shapes are scale-invariant.
 
+use std::fmt;
+
+/// A structurally invalid [`SimConfig`], caught by
+/// [`SimConfig::validate`] before a run starts rather than as a NaN or
+/// a panic deep inside the generator.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConfigError {
+    /// `scale` must be finite and strictly positive.
+    BadScale(f64),
+    /// A probability-like knob left the `[0, 1]` interval.
+    BadFraction {
+        /// Which field.
+        field: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// `yoy_growth` must be finite and strictly positive (it is a
+    /// multiplicative factor, not a rate).
+    BadGrowth(f64),
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::BadScale(v) => {
+                write!(f, "scale must be finite and > 0, got {v}")
+            }
+            ConfigError::BadFraction { field, value } => {
+                write!(f, "{field} must lie in [0, 1], got {value}")
+            }
+            ConfigError::BadGrowth(v) => {
+                write!(f, "yoy_growth must be finite and > 0, got {v}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
 /// Top-level simulation configuration.
 #[derive(Debug, Clone)]
 pub struct SimConfig {
@@ -66,6 +105,28 @@ impl SimConfig {
         ((self.base_students as f64) * self.scale).round().max(1.0) as usize
     }
 
+    /// Check every knob for structural validity. The study runner calls
+    /// this before building a population, so a bad config is one typed
+    /// error instead of a panic (or, worse, a silently absurd campus).
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if !self.scale.is_finite() || self.scale <= 0.0 {
+            return Err(ConfigError::BadScale(self.scale));
+        }
+        for (field, value) in [
+            ("intl_fraction", self.intl_fraction),
+            ("domestic_stay_rate", self.domestic_stay_rate),
+            ("intl_stay_rate", self.intl_stay_rate),
+        ] {
+            if !value.is_finite() || !(0.0..=1.0).contains(&value) {
+                return Err(ConfigError::BadFraction { field, value });
+            }
+        }
+        if !self.yoy_growth.is_finite() || self.yoy_growth <= 0.0 {
+            return Err(ConfigError::BadGrowth(self.yoy_growth));
+        }
+        Ok(())
+    }
+
     /// The counterfactual (2019) version of this config: same population
     /// and seed, pandemic disabled.
     pub fn counterfactual(&self) -> Self {
@@ -89,6 +150,44 @@ mod tests {
         assert_eq!(c.num_students(), 13_000);
         let c = SimConfig::at_scale(0.00001);
         assert_eq!(c.num_students(), 1);
+    }
+
+    #[test]
+    fn validate_accepts_defaults_and_rejects_nonsense() {
+        assert_eq!(SimConfig::default().validate(), Ok(()));
+        assert_eq!(SimConfig::default().counterfactual().validate(), Ok(()));
+        let bad = SimConfig {
+            scale: 0.0,
+            ..Default::default()
+        };
+        assert!(matches!(bad.validate(), Err(ConfigError::BadScale(_))));
+        let bad = SimConfig {
+            scale: f64::NAN,
+            ..Default::default()
+        };
+        assert!(matches!(bad.validate(), Err(ConfigError::BadScale(_))));
+        let bad = SimConfig {
+            intl_fraction: 1.5,
+            ..Default::default()
+        };
+        assert!(matches!(
+            bad.validate(),
+            Err(ConfigError::BadFraction {
+                field: "intl_fraction",
+                ..
+            })
+        ));
+        let bad = SimConfig {
+            yoy_growth: -1.0,
+            ..Default::default()
+        };
+        assert!(matches!(bad.validate(), Err(ConfigError::BadGrowth(_))));
+        // Errors render for operators.
+        assert!(bad
+            .validate()
+            .unwrap_err()
+            .to_string()
+            .contains("yoy_growth"));
     }
 
     #[test]

@@ -93,9 +93,13 @@ impl ServiceDirectory {
                     kind: ServiceKind,
                     region: &'static str|
          -> ServiceId {
-            let domain = table
-                .intern_str(hostname)
-                .expect("builtin hostnames are valid");
+            // Builtin hostnames are valid by construction; if one ever is
+            // not, interning a stable placeholder keeps directory
+            // construction total instead of panicking.
+            let domain = table.intern_str(hostname).unwrap_or_else(|_| {
+                debug_assert!(false, "builtin hostname {hostname:?} failed to validate");
+                table.intern(dnslog::DomainName::invalid_placeholder())
+            });
             let id = ServiceId(services.len() as u32);
             services.push(Service {
                 domain,

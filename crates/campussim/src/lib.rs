@@ -16,20 +16,24 @@
 //! * [`generator`] — day-by-day materialization into traces.
 //! * [`packets`] — optional packet-level rendering of a trace for
 //!   validating the flow assembler end to end.
+//! * [`fault`] — seeded, deterministic corruption of the raw inputs,
+//!   for exercising the pipeline's degradation paths.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod config;
 pub mod domains;
+pub mod fault;
 pub mod generator;
 pub mod model;
 pub mod packets;
 pub mod population;
 pub mod rng;
 
-pub use config::SimConfig;
+pub use config::{ConfigError, SimConfig};
 pub use domains::{Service, ServiceDirectory, ServiceId, ServiceKind};
+pub use fault::{FaultProfile, FaultStats, FaultingSink};
 pub use generator::{CampusSim, DayEvent, DayGenStats, DaySink, DayTrace, UaSighting};
 pub use population::{Device, DeviceOs, Population, Student, TrueKind};
 

@@ -11,7 +11,6 @@
 use nettrace::assembler::FlowAssembler;
 use nettrace::flow::{FlowRecord, Proto};
 use nettrace::mac::MacAddr;
-use nettrace::packet::PacketMeta;
 use nettrace::packet::{self, BuildSpec};
 use nettrace::tcp::Flags;
 use nettrace::Timestamp;
@@ -149,10 +148,16 @@ pub fn render_flow(f: &FlowRecord, device_mac: MacAddr) -> Vec<(Timestamp, Vec<u
 
 /// Render many flows, merge-sort by timestamp, and feed them through the
 /// assembler; returns the re-extracted flow records.
+///
+/// Frames rendered by [`render_flow`] always parse, so the only `Err`
+/// this can return is a bug in the renderer — but the assembler path is
+/// also used under fault injection, where damaged frames are expected,
+/// so the parse failure propagates as a typed [`nettrace::Error`]
+/// instead of a panic.
 pub fn roundtrip_through_assembler(
     flows: &[FlowRecord],
     device_mac_of: impl Fn(&FlowRecord) -> MacAddr,
-) -> Vec<FlowRecord> {
+) -> nettrace::Result<Vec<FlowRecord>> {
     let mut frames: Vec<(Timestamp, Vec<u8>)> = Vec::new();
     for f in flows {
         frames.extend(render_flow(f, device_mac_of(f)));
@@ -160,13 +165,9 @@ pub fn roundtrip_through_assembler(
     frames.sort_by_key(|(ts, _)| *ts);
     let mut asm = FlowAssembler::with_defaults();
     for (ts, frame) in &frames {
-        let meta: Option<PacketMeta> =
-            nettrace::packet::parse_frame(*ts, frame).expect("rendered frames must parse");
-        if let Some(m) = meta {
-            asm.push(&m);
-        }
+        asm.push_frame(*ts, frame)?;
     }
-    asm.flush()
+    Ok(asm.flush())
 }
 
 #[cfg(test)]
@@ -194,7 +195,7 @@ mod tests {
     fn tcp_roundtrip_preserves_key_and_bytes() {
         let f = sample_tcp();
         let mac = MacAddr::new(0, 0x1a, 0x2b, 7, 7, 7);
-        let got = roundtrip_through_assembler(&[f], |_| mac);
+        let got = roundtrip_through_assembler(&[f], |_| mac).unwrap();
         assert_eq!(got.len(), 1);
         let g = &got[0];
         assert_eq!(g.key(), f.key());
@@ -213,7 +214,7 @@ mod tests {
             ..sample_tcp()
         };
         let mac = MacAddr::new(0, 0x1a, 0x2b, 8, 8, 8);
-        let got = roundtrip_through_assembler(&[f], |_| mac);
+        let got = roundtrip_through_assembler(&[f], |_| mac).unwrap();
         assert_eq!(got.len(), 1);
         assert_eq!(got[0].orig_bytes + got[0].resp_bytes, 120_000);
         assert_eq!(got[0].key().proto, Proto::Udp);
@@ -241,7 +242,7 @@ mod tests {
         let pkts = render_flow(&f, MacAddr::new(0, 0, 0, 1, 2, 3));
         assert!(pkts.len() < 4_000, "{} packets", pkts.len());
         // Byte accounting still exact.
-        let got = roundtrip_through_assembler(&[f], |_| MacAddr::new(0, 0, 0, 9, 9, 9));
+        let got = roundtrip_through_assembler(&[f], |_| MacAddr::new(0, 0, 0, 9, 9, 9)).unwrap();
         assert_eq!(got[0].orig_bytes, 2_000_000);
         assert_eq!(got[0].resp_bytes, 90_000_000);
     }

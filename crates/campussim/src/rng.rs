@@ -45,6 +45,9 @@ pub enum Stream {
     Directory,
     /// Per-device engagement factors.
     Engagement,
+    /// Fault-injection decisions (which records a [`crate::fault::FaultProfile`]
+    /// corrupts, and how).
+    Faults,
 }
 
 impl Stream {
@@ -57,6 +60,7 @@ impl Stream {
             Stream::UserAgents => 5,
             Stream::Directory => 6,
             Stream::Engagement => 7,
+            Stream::Faults => 8,
         }
     }
 }

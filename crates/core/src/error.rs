@@ -1,0 +1,218 @@
+//! Typed errors for the study orchestrator.
+//!
+//! Every fallible surface of the runner reports through [`StudyError`]:
+//! configuration validation, day-level pipeline failures that survived a
+//! retry, figure export, and filesystem output. Day failures that *were*
+//! recovered by a retry do not error the run — they land in the
+//! [`DegradedReport`] attached to the completed [`crate::Study`] so the
+//! caller (and the run manifest) can see exactly which days degraded and
+//! why.
+
+use std::fmt;
+use std::path::PathBuf;
+
+/// One day that failed inside a worker: the day, the coarse stage the
+/// failure was attributed to, the rendered error (or panic payload), and
+/// which attempt it was (0 = first pass, 1 = retry).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DayFailure {
+    /// The study day (0-based from Feb 1) that failed.
+    pub day: u16,
+    /// Coarse stage label ("pipeline", "counterfactual").
+    pub stage: String,
+    /// The rendered error or panic payload.
+    pub error: String,
+    /// Attempt number: 0 for the first pass, 1 for the retry.
+    pub attempt: u32,
+}
+
+impl fmt::Display for DayFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "day {} failed in {} (attempt {}): {}",
+            self.day, self.stage, self.attempt, self.error
+        )
+    }
+}
+
+/// The degradation record of a completed run: days that failed once but
+/// succeeded on retry (`recovered`) and days that failed both attempts
+/// (`failed`). An empty report means every day processed cleanly on its
+/// first pass.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DegradedReport {
+    /// First attempt failed; the retry on a fresh worker succeeded, so
+    /// the day's data is present and exact.
+    pub recovered: Vec<DayFailure>,
+    /// Both attempts failed; the day contributes no data to the study.
+    pub failed: Vec<DayFailure>,
+}
+
+impl DegradedReport {
+    /// True when no day failed even once.
+    pub fn is_empty(&self) -> bool {
+        self.recovered.is_empty() && self.failed.is_empty()
+    }
+
+    /// Total failure events recorded (recovered + failed).
+    pub fn len(&self) -> usize {
+        self.recovered.len() + self.failed.len()
+    }
+
+    /// Sort both lists by day so reports are deterministic regardless of
+    /// worker interleaving.
+    pub(crate) fn sort(&mut self) {
+        self.recovered.sort_by_key(|f| f.day);
+        self.failed.sort_by_key(|f| f.day);
+    }
+}
+
+/// Any error the study runner can surface.
+#[derive(Debug)]
+pub enum StudyError {
+    /// The simulation configuration failed validation.
+    Config(campussim::ConfigError),
+    /// A day failed twice (or once, under `--strict`) and the run could
+    /// not be completed losslessly.
+    DayFailed(DayFailure),
+    /// A worker thread died outside the per-day isolation boundary.
+    WorkerPanicked {
+        /// The rendered panic payload.
+        detail: String,
+    },
+    /// Figure serialization failed.
+    Export(analysis::ExportError),
+    /// A filesystem write failed.
+    Io {
+        /// The path being written.
+        path: PathBuf,
+        /// The underlying I/O error.
+        source: std::io::Error,
+    },
+}
+
+impl fmt::Display for StudyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StudyError::Config(e) => write!(f, "invalid study configuration: {e}"),
+            StudyError::DayFailed(d) => write!(f, "{d}"),
+            StudyError::WorkerPanicked { detail } => {
+                write!(f, "worker thread panicked outside day isolation: {detail}")
+            }
+            StudyError::Export(e) => write!(f, "{e}"),
+            StudyError::Io { path, source } => {
+                write!(f, "writing {} failed: {source}", path.display())
+            }
+        }
+    }
+}
+
+impl std::error::Error for StudyError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StudyError::Config(e) => Some(e),
+            StudyError::Export(e) => Some(e),
+            StudyError::Io { source, .. } => Some(source),
+            StudyError::DayFailed(_) | StudyError::WorkerPanicked { .. } => None,
+        }
+    }
+}
+
+impl From<campussim::ConfigError> for StudyError {
+    fn from(e: campussim::ConfigError) -> Self {
+        StudyError::Config(e)
+    }
+}
+
+impl From<analysis::ExportError> for StudyError {
+    fn from(e: analysis::ExportError) -> Self {
+        StudyError::Export(e)
+    }
+}
+
+/// Render a `catch_unwind` payload as a string: `&str` and `String`
+/// payloads pass through, anything else gets a placeholder.
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn day_failure_renders_all_fields() {
+        let f = DayFailure {
+            day: 47,
+            stage: "pipeline".into(),
+            error: "boom".into(),
+            attempt: 1,
+        };
+        let s = f.to_string();
+        assert!(s.contains("day 47"), "{s}");
+        assert!(s.contains("pipeline"), "{s}");
+        assert!(s.contains("attempt 1"), "{s}");
+        assert!(s.contains("boom"), "{s}");
+    }
+
+    #[test]
+    fn degraded_report_counts_and_sorts() {
+        let mut r = DegradedReport::default();
+        assert!(r.is_empty());
+        r.recovered.push(DayFailure {
+            day: 90,
+            stage: "pipeline".into(),
+            error: "a".into(),
+            attempt: 0,
+        });
+        r.recovered.push(DayFailure {
+            day: 12,
+            stage: "pipeline".into(),
+            error: "b".into(),
+            attempt: 0,
+        });
+        r.failed.push(DayFailure {
+            day: 3,
+            stage: "pipeline".into(),
+            error: "c".into(),
+            attempt: 1,
+        });
+        r.sort();
+        assert_eq!(r.len(), 3);
+        assert!(!r.is_empty());
+        assert_eq!(r.recovered[0].day, 12);
+        assert_eq!(r.recovered[1].day, 90);
+    }
+
+    #[test]
+    fn study_error_displays_and_converts() {
+        let e: StudyError = campussim::ConfigError::BadScale(-1.0).into();
+        assert!(e.to_string().contains("configuration"));
+        let e = StudyError::Io {
+            path: PathBuf::from("/tmp/x"),
+            source: std::io::Error::other("denied"),
+        };
+        assert!(e.to_string().contains("/tmp/x"));
+        let e = StudyError::WorkerPanicked {
+            detail: "oops".into(),
+        };
+        assert!(e.to_string().contains("oops"));
+    }
+
+    #[test]
+    fn panic_payloads_render() {
+        let p: Box<dyn std::any::Any + Send> = Box::new("static str");
+        assert_eq!(panic_message(p.as_ref()), "static str");
+        let p: Box<dyn std::any::Any + Send> = Box::new(String::from("owned"));
+        assert_eq!(panic_message(p.as_ref()), "owned");
+        let p: Box<dyn std::any::Any + Send> = Box::new(42_u32);
+        assert_eq!(panic_message(p.as_ref()), "non-string panic payload");
+    }
+}

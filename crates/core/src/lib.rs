@@ -10,25 +10,35 @@
 //! use lockdown_core::Study;
 //! use campussim::SimConfig;
 //!
+//! # fn main() -> Result<(), lockdown_core::StudyError> {
 //! let study = Study::builder(SimConfig::at_scale(0.05))
 //!     .threads(8)
-//!     .run()
+//!     .run()?
 //!     .into_study();
 //! println!("{}", lockdown_core::report::text_report(&study, None));
 //! println!("{}", lockdown_core::report::metrics_report(&study));
+//! # Ok(())
+//! # }
 //! ```
+//!
+//! Every fallible surface returns a typed [`StudyError`]; day-level
+//! faults are isolated, retried, and reported through
+//! [`Study::degraded`] (see the `docs/ROBUSTNESS.md` chapter of the
+//! repository).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod error;
 pub mod pipeline;
 pub mod report;
 pub mod study;
 
-pub use pipeline::{process_day, process_day_streaming, DayPipeline, PipelineOptions};
+pub use error::{DayFailure, DegradedReport, StudyError};
+pub use pipeline::{
+    process_day, process_day_streaming, record_fault_stats, DayPipeline, PipelineOptions,
+};
 pub use report::run_manifest;
-#[allow(deprecated)]
-pub use study::run_with_counterfactual;
 pub use study::{Counterfactual, Study, StudyBuilder, StudyRun};
 
 /// This crate's version, for provenance manifests.

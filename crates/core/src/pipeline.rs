@@ -24,7 +24,7 @@
 //! branch on a `None`.
 
 use analysis::collect::{PipelineCtx, StudyCollector};
-use campussim::{CampusSim, DaySink, DayTrace, UaSighting};
+use campussim::{CampusSim, DaySink, DayTrace, FaultProfile, FaultStats, FaultingSink, UaSighting};
 use dhcplog::{
     LeaseEvent, LeaseIndex, NormalizeStage, NormalizeStats, Normalizer, DEFAULT_MAX_LEASE_SECS,
 };
@@ -54,6 +54,8 @@ pub struct PipelineOptions<'a> {
     labeling: bool,
     metrics: Option<&'a MetricsRegistry>,
     observer: &'a dyn RunObserver,
+    fault: Option<&'a FaultProfile>,
+    attempt: u32,
 }
 
 impl<'a> PipelineOptions<'a> {
@@ -68,6 +70,8 @@ impl<'a> PipelineOptions<'a> {
             labeling: true,
             metrics: None,
             observer: &NullObserver,
+            fault: None,
+            attempt: 0,
         }
     }
 
@@ -94,6 +98,22 @@ impl<'a> PipelineOptions<'a> {
     /// Report coarse progress events (stage flushes) to `observer`.
     pub fn observer(mut self, observer: &'a dyn RunObserver) -> Self {
         self.observer = observer;
+        self
+    }
+
+    /// Inject seeded faults into the day's record stream (a no-op when
+    /// `profile.is_noop()`). Corruption is keyed by `(profile.seed,
+    /// day)`, so a retry of the same day sees the same faults.
+    pub fn fault(mut self, profile: Option<&'a FaultProfile>) -> Self {
+        self.fault = profile;
+        self
+    }
+
+    /// Which processing attempt this is for the day (0 = first pass,
+    /// 1 = retry). Only consulted by the fault profile's injected-panic
+    /// trigger, which fires on attempt 0 only so retries succeed.
+    pub fn attempt(mut self, attempt: u32) -> Self {
+        self.attempt = attempt;
         self
     }
 }
@@ -300,12 +320,29 @@ pub fn process_day_streaming(
 ) -> NormalizeStats {
     let day = opts.day;
     let metrics = opts.metrics;
+    let fault = opts.fault.filter(|p| !p.is_noop());
+    if let Some(profile) = fault {
+        if profile.should_panic(day, opts.attempt) {
+            panic!("injected fault-profile panic on day {}", day.0);
+        }
+    }
     let mut pipeline = DayPipeline::new(opts, collector);
     let gen_stats = {
         // The streaming phase gets its own span; stage aggregates are
         // emitted before it closes so they nest as its children.
         let stream_span = trace::span("stream_day");
-        let gen_stats = sim.stream_day(day, &mut pipeline);
+        let gen_stats = match fault {
+            Some(profile) => {
+                let mut sink = FaultingSink::new(profile, day, &mut pipeline);
+                let gen_stats = sim.stream_day(day, &mut sink);
+                let fault_stats = sink.stats();
+                if let Some(reg) = metrics {
+                    record_fault_stats(reg, &fault_stats);
+                }
+                gen_stats
+            }
+            None => sim.stream_day(day, &mut pipeline),
+        };
         pipeline.emit_stage_spans();
         stream_span.set_attr("flows", gen_stats.flows);
         gen_stats
@@ -322,6 +359,33 @@ pub fn process_day_streaming(
     }
     let _finish_span = trace::span("finish_day");
     pipeline.finish()
+}
+
+/// Publish a day's fault-injection accounting under the conventional
+/// `pipeline.errors.*` (records lost or repaired before a stage saw
+/// them) and `assembler.malformed.*` (the frame-level loss taxonomy)
+/// counters. Merged across days and workers like every other counter.
+pub fn record_fault_stats(reg: &MetricsRegistry, stats: &FaultStats) {
+    reg.counter("pipeline.errors.flows_dropped")
+        .add(stats.flows_dropped);
+    reg.counter("pipeline.errors.flows_repaired")
+        .add(stats.flows_repaired);
+    reg.counter("pipeline.errors.leases_dropped")
+        .add(stats.leases_dropped);
+    reg.counter("pipeline.errors.leases_repaired")
+        .add(stats.leases_repaired);
+    reg.counter("pipeline.errors.dns_answers_dropped")
+        .add(stats.dns_answers_dropped);
+    reg.counter("pipeline.errors.dns_duplicated")
+        .add(stats.dns_duplicated);
+    reg.counter("assembler.malformed.frames_truncated")
+        .add(stats.frames_truncated);
+    reg.counter("assembler.malformed.frames_garbled")
+        .add(stats.frames_garbled);
+    reg.counter("assembler.malformed.frames_skipped")
+        .add(stats.frames_skipped);
+    reg.counter("assembler.malformed.pcap_truncated")
+        .add(stats.pcap_truncated);
 }
 
 /// Process one day of raw trace through the full pipeline into the
@@ -467,6 +531,64 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn fault_profile_drops_are_accounted() {
+        let sim = sim_1pct();
+        let ctx = PipelineCtx::study();
+        let day = Day(10);
+        let reg = MetricsRegistry::new();
+        let profile = campussim::FaultProfile::new()
+            .frame_corruption(0.05)
+            .dns_answer_drops(0.05);
+        let opts = PipelineOptions::new(&ctx, sim.directory().table(), day, sim.config().anon_key)
+            .metrics(&reg)
+            .fault(Some(&profile));
+        let mut collector = StudyCollector::new();
+        process_day_streaming(opts, &mut collector, &sim);
+        let snap = reg.snapshot();
+        assert!(snap.counter("pipeline.errors.flows_dropped") > 0);
+        // Every generated flow is either fed to the pipeline or counted
+        // as dropped by the fault layer — nothing vanishes silently.
+        assert_eq!(
+            snap.counter("gen.flows"),
+            snap.counter("pipeline.flows_in") + snap.counter("pipeline.errors.flows_dropped")
+        );
+        // The frame-level loss taxonomy sums to the dropped-flow count.
+        assert_eq!(
+            snap.counter("assembler.malformed.frames_truncated")
+                + snap.counter("assembler.malformed.frames_garbled")
+                + snap.counter("assembler.malformed.frames_skipped")
+                + snap.counter("assembler.malformed.pcap_truncated"),
+            snap.counter("pipeline.errors.flows_dropped")
+        );
+    }
+
+    #[test]
+    fn noop_fault_profile_is_invisible() {
+        let sim = sim_1pct();
+        let ctx = PipelineCtx::study();
+        let day = Day(10);
+        let profile = campussim::FaultProfile::new();
+        let reg = MetricsRegistry::new();
+        let opts = PipelineOptions::new(&ctx, sim.directory().table(), day, sim.config().anon_key)
+            .metrics(&reg)
+            .fault(Some(&profile));
+        let mut faulted = StudyCollector::new();
+        let faulted_stats = process_day_streaming(opts, &mut faulted, &sim);
+        let mut clean = StudyCollector::new();
+        let clean_stats = process_day_streaming(
+            PipelineOptions::new(&ctx, sim.directory().table(), day, sim.config().anon_key),
+            &mut clean,
+            &sim,
+        );
+        assert_eq!(faulted_stats, clean_stats);
+        assert_eq!(
+            reg.snapshot().counter("pipeline.errors.flows_dropped"),
+            0,
+            "no-op profile must not even register fault counters"
+        );
     }
 
     #[test]

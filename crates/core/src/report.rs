@@ -1,12 +1,13 @@
 //! Human-readable study reports, figure-file output, and the run
 //! provenance manifest.
 
+use crate::error::StudyError;
 use crate::study::Study;
 use analysis::ascii;
 use analysis::export;
 use analysis::figures::{self, Fig4Series};
 use devclass::FigureBucket;
-use lockdown_obs::manifest::{fnv1a_64, RunManifest};
+use lockdown_obs::manifest::{fnv1a_64, DegradedEntry, RunManifest};
 use lockdown_obs::{trace, Trace};
 use std::fmt::Write as _;
 use std::path::Path;
@@ -243,10 +244,15 @@ pub fn text_report(study: &Study, growth_vs_2019: Option<f64>) -> String {
 }
 
 /// Write every figure's machine-readable data into `dir`, creating the
-/// directory if it does not exist. Returns the number of files written.
-pub fn write_figure_files(study: &Study, dir: &Path) -> std::io::Result<usize> {
+/// directory if it does not exist. Returns the number of files written;
+/// every failure mode (serialization, directory creation, file write)
+/// surfaces as a typed [`StudyError`] naming the path involved.
+pub fn write_figure_files(study: &Study, dir: &Path) -> Result<usize, StudyError> {
     let span = trace::span("report.figures");
-    std::fs::create_dir_all(dir)?;
+    std::fs::create_dir_all(dir).map_err(|source| StudyError::Io {
+        path: dir.to_path_buf(),
+        source,
+    })?;
     let c = &study.collector;
     let s = &study.summary;
     let files: [(&str, String); 8] = [
@@ -255,13 +261,14 @@ pub fn write_figure_files(study: &Study, dir: &Path) -> std::io::Result<usize> {
         ("fig3.csv", export::fig3_csv(&figures::figure3(c, s))),
         ("fig4.csv", export::fig4_csv(&figures::figure4(c, s))),
         ("fig5.csv", export::fig5_csv(&figures::figure5(c, s))),
-        ("fig6.json", export::fig6_json(&figures::figure6(c, s))),
-        ("fig7.json", export::fig7_json(&figures::figure7(c, s))),
+        ("fig6.json", export::fig6_json(&figures::figure6(c, s))?),
+        ("fig7.json", export::fig7_json(&figures::figure7(c, s))?),
         ("fig8.csv", export::fig8_csv(&figures::figure8(c, s))),
     ];
     let mut written = 0;
     for (name, content) in files {
-        std::fs::write(dir.join(name), content)?;
+        let path = dir.join(name);
+        std::fs::write(&path, content).map_err(|source| StudyError::Io { path, source })?;
         written += 1;
     }
     span.set_attr("files", written as u64);
@@ -287,6 +294,28 @@ pub fn metrics_report(study: &Study) -> String {
             idle.count(),
             idle.mean() / 1e6,
             idle.quantile(0.99) as f64 / 1e6,
+        );
+    }
+    // Degraded-input accounting: what the fault layer (or a genuinely
+    // corrupt capture) cost the run, and how the run coped.
+    let dropped = m.counter("pipeline.errors.flows_dropped")
+        + m.counter("pipeline.errors.leases_dropped")
+        + m.counter("pipeline.errors.dns_answers_dropped");
+    let repaired =
+        m.counter("pipeline.errors.flows_repaired") + m.counter("pipeline.errors.leases_repaired");
+    if dropped + repaired > 0 {
+        let _ = writeln!(
+            out,
+            "-- Degraded input: {dropped} records dropped, {repaired} repaired (see pipeline.errors.* / assembler.malformed.*) --"
+        );
+    }
+    let degraded = study.degraded();
+    if !degraded.is_empty() {
+        let _ = writeln!(
+            out,
+            "-- Degraded days: {} recovered on retry, {} dropped --",
+            degraded.recovered.len(),
+            degraded.failed.len()
         );
     }
     out.push_str(&m.to_text());
@@ -330,6 +359,18 @@ pub fn run_manifest(study: &Study, threads: usize, trace: Option<&Trace>) -> Run
     if let Some(t) = trace {
         m.record_trace(t);
     }
+    let degraded = study.degraded();
+    for (list, recovered) in [(&degraded.recovered, true), (&degraded.failed, false)] {
+        for f in list.iter() {
+            m.degraded.push(DegradedEntry {
+                day: f.day,
+                stage: f.stage.clone(),
+                error: f.error.clone(),
+                attempt: f.attempt,
+                recovered,
+            });
+        }
+    }
     let metrics = study.metrics();
     if !(metrics.counters.is_empty() && metrics.gauges.is_empty() && metrics.histograms.is_empty())
     {
@@ -351,6 +392,7 @@ mod tests {
         })
         .threads(4)
         .run()
+        .unwrap()
         .into_study();
         let text = text_report(&study, Some(0.5));
         assert!(text.contains("Figure 1"));

@@ -10,17 +10,30 @@
 //!
 //! Runs are configured through [`StudyBuilder`] (see
 //! [`Study::builder`]): thread count, an optional [`RunObserver`] for
-//! progress events, per-stage metrics collection, and the 2019
-//! counterfactual. Each worker owns a private [`MetricsRegistry`] —
-//! never contended across threads — and the run folds the per-worker
-//! snapshots into the run-level [`Study::metrics`] at merge time, the
-//! same way collectors merge.
+//! progress events, per-stage metrics collection, the 2019
+//! counterfactual, a seeded [`FaultProfile`], and strict mode.
+//!
+//! ## Fault isolation
+//!
+//! Each day runs inside its own isolation boundary: a fresh per-day
+//! collector and metrics registry under `catch_unwind`, so a day that
+//! panics contributes *no* partial state — its collector and registry
+//! are simply discarded. The failed day is quarantined on a shared
+//! retry queue and re-attempted once by whichever worker drains its
+//! main queue first. A recovered day is exact (the merge is
+//! commutative and [`StudyCollector::finish_day`] closes all
+//! day-scoped state, so per-day merging equals per-worker
+//! accumulation); a day that fails both attempts is dropped and
+//! recorded in the run's [`DegradedReport`]. Under
+//! [`StudyBuilder::strict`] the first failure aborts the run with
+//! [`StudyError::DayFailed`] instead — the CI posture.
 
+use crate::error::{panic_message, DayFailure, DegradedReport, StudyError};
 use crate::pipeline::{process_day_streaming, PipelineOptions};
 use analysis::collect::{PipelineCtx, StudyCollector};
 use analysis::figures::{self, StudySummary};
 use analysis::HeadlineStats;
-use campussim::{CampusSim, SimConfig};
+use campussim::{CampusSim, FaultProfile, SimConfig};
 use devclass::{audit_sample, AuditReport, DeviceType};
 use dhcplog::NormalizeStats;
 use geoloc::SubPop;
@@ -30,52 +43,211 @@ use lockdown_obs::{
 use nettrace::time::{Day, Month, StudyCalendar};
 use nettrace::DeviceId;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Mutex, MutexGuard, PoisonError};
 use std::time::Instant;
 
-/// Everything one worker hands back when its queue runs dry.
+/// Poison-tolerant lock: a worker that panicked inside a day boundary
+/// cannot leave shared run state unusable (the per-day state it held
+/// was private and discarded).
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Everything one worker hands back when its queues run dry.
 struct WorkerYield {
     collector: StudyCollector,
     stats: NormalizeStats,
     metrics: MetricsSnapshot,
 }
 
-/// One worker's share: pull days off `cursor` until the queue is dry,
-/// streaming each through the pipeline into a private collector and a
-/// private metrics registry (no cross-thread contention on either).
-fn drain_days(
-    sim: &CampusSim,
+/// One drain's worth of shared inputs: which simulation, which day
+/// queue, which fault profile, and the stage label failures carry.
+struct DrainPlan<'a> {
+    sim: &'a CampusSim,
+    days: &'a [Day],
+    cursor: &'a AtomicUsize,
+    retry: &'a Mutex<Vec<DayFailure>>,
+    fault: Option<&'a FaultProfile>,
+    stage: &'static str,
+}
+
+/// Run-wide failure bookkeeping shared by every worker.
+struct RunShared {
+    degraded: Mutex<DegradedReport>,
+    abort: AtomicBool,
+    first_err: Mutex<Option<DayFailure>>,
+    strict: bool,
+}
+
+impl RunShared {
+    fn new(strict: bool) -> Self {
+        RunShared {
+            degraded: Mutex::new(DegradedReport::default()),
+            abort: AtomicBool::new(false),
+            first_err: Mutex::new(None),
+            strict,
+        }
+    }
+
+    /// Record a run-fatal failure (strict mode) and tell every worker
+    /// to stop pulling work.
+    fn record_fatal(&self, failure: DayFailure) {
+        let mut slot = lock(&self.first_err);
+        if slot.is_none() {
+            *slot = Some(failure);
+        }
+        self.abort.store(true, Ordering::Relaxed);
+    }
+}
+
+/// The per-day state a successful attempt yields for merging.
+struct DayOutcome {
+    collector: StudyCollector,
+    stats: NormalizeStats,
+    metrics: MetricsSnapshot,
+}
+
+/// Run one day inside the isolation boundary: a fresh collector and
+/// registry, under `catch_unwind`. On panic the day's partial state is
+/// discarded and the rendered payload is returned as the error.
+#[allow(clippy::too_many_arguments)]
+fn try_day(
+    plan: &DrainPlan<'_>,
     ctx: &PipelineCtx,
-    days: &[Day],
-    cursor: &AtomicUsize,
+    day: Day,
+    worker: usize,
+    attempt: u32,
+    observer: &dyn RunObserver,
+    collect_metrics: bool,
+    span_name: &'static str,
+) -> Result<DayOutcome, String> {
+    let registry = collect_metrics.then(MetricsRegistry::new);
+    let mut collector = StudyCollector::new();
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        let day_span = trace::span(span_name)
+            .attr("day", u64::from(day.0))
+            .attr("worker", worker as u64)
+            .attr("attempt", u64::from(attempt));
+        let opts = PipelineOptions::new(
+            ctx,
+            plan.sim.directory().table(),
+            day,
+            plan.sim.config().anon_key,
+        )
+        .observer(observer)
+        .metrics_opt(registry.as_ref())
+        .fault(plan.fault)
+        .attempt(attempt);
+        let day_stats = process_day_streaming(opts, &mut collector, plan.sim);
+        day_span.set_attr("flows", day_stats.attributed);
+        day_stats
+    }));
+    match result {
+        Ok(stats) => Ok(DayOutcome {
+            collector,
+            stats,
+            metrics: registry.map(|r| r.snapshot()).unwrap_or_default(),
+        }),
+        Err(payload) => Err(panic_message(payload.as_ref())),
+    }
+}
+
+/// One worker's share: pull days off the plan's cursor until the queue
+/// is dry, then adopt quarantined days off the retry queue (each
+/// retried exactly once, possibly pushed there by a different worker).
+/// Every worker that pushes to the retry queue also drains it
+/// afterwards, so no quarantined day is ever orphaned.
+fn drain_days(
+    plan: &DrainPlan<'_>,
+    ctx: &PipelineCtx,
     worker: usize,
     observer: &dyn RunObserver,
     collect_metrics: bool,
+    shared: &RunShared,
 ) -> WorkerYield {
-    let registry = collect_metrics.then(MetricsRegistry::new);
     let mut collector = StudyCollector::new();
     let mut stats = NormalizeStats::default();
+    let mut metrics = MetricsSnapshot::default();
+    let absorb = |collector: &mut StudyCollector,
+                  stats: &mut NormalizeStats,
+                  metrics: &mut MetricsSnapshot,
+                  out: DayOutcome| {
+        collector.merge(out.collector);
+        *stats += out.stats;
+        metrics.merge(&out.metrics);
+    };
+    // First pass over the shared day queue.
     loop {
-        let i = cursor.fetch_add(1, Ordering::Relaxed);
-        let Some(&day) = days.get(i) else { break };
+        if shared.abort.load(Ordering::Relaxed) {
+            break;
+        }
+        let i = plan.cursor.fetch_add(1, Ordering::Relaxed);
+        let Some(&day) = plan.days.get(i) else { break };
         observer.day_started(worker, day);
-        let day_span = trace::span("day")
-            .attr("day", u64::from(day.0))
-            .attr("worker", worker as u64);
-        let opts = PipelineOptions::new(ctx, sim.directory().table(), day, sim.config().anon_key)
-            .observer(observer)
-            .metrics_opt(registry.as_ref());
-        let day_stats = process_day_streaming(opts, &mut collector, sim);
-        day_span.set_attr("flows", day_stats.attributed);
-        drop(day_span);
-        observer.day_finished(worker, day, day_stats.attributed);
-        stats += day_stats;
+        match try_day(plan, ctx, day, worker, 0, observer, collect_metrics, "day") {
+            Ok(out) => {
+                observer.day_finished(worker, day, out.stats.attributed);
+                absorb(&mut collector, &mut stats, &mut metrics, out);
+            }
+            Err(error) => {
+                observer.day_failed(worker, day, 0, &error);
+                let failure = DayFailure {
+                    day: day.0,
+                    stage: plan.stage.to_string(),
+                    error,
+                    attempt: 0,
+                };
+                if shared.strict {
+                    shared.record_fatal(failure);
+                    break;
+                }
+                lock(plan.retry).push(failure);
+            }
+        }
+    }
+    // Retry pass: one fresh attempt per quarantined day.
+    loop {
+        if shared.abort.load(Ordering::Relaxed) {
+            break;
+        }
+        let Some(first) = lock(plan.retry).pop() else {
+            break;
+        };
+        let day = Day(first.day);
+        observer.day_started(worker, day);
+        match try_day(
+            plan,
+            ctx,
+            day,
+            worker,
+            1,
+            observer,
+            collect_metrics,
+            "day.retry",
+        ) {
+            Ok(out) => {
+                observer.day_finished(worker, day, out.stats.attributed);
+                absorb(&mut collector, &mut stats, &mut metrics, out);
+                lock(&shared.degraded).recovered.push(first);
+            }
+            Err(error) => {
+                observer.day_failed(worker, day, 1, &error);
+                lock(&shared.degraded).failed.push(DayFailure {
+                    day: day.0,
+                    stage: plan.stage.to_string(),
+                    error,
+                    attempt: 1,
+                });
+            }
+        }
     }
     observer.worker_idle(worker);
     WorkerYield {
         collector,
         stats,
-        metrics: registry.map(|r| r.snapshot()).unwrap_or_default(),
+        metrics,
     }
 }
 
@@ -105,22 +277,13 @@ pub struct Study {
     /// Aggregate normalization statistics.
     pub norm_stats: NormalizeStats,
     metrics: MetricsSnapshot,
+    degraded: DegradedReport,
 }
 
 impl Study {
-    /// Configure a run: `Study::builder(cfg).threads(8).run()`.
+    /// Configure a run: `Study::builder(cfg).threads(8).run()?`.
     pub fn builder(cfg: SimConfig) -> StudyBuilder {
         StudyBuilder::new(cfg)
-    }
-
-    /// Run the full 121-day study, fanning days out over `threads`
-    /// workers (1 = sequential).
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `Study::builder(cfg).threads(n).run()` instead"
-    )]
-    pub fn run(cfg: SimConfig, threads: usize) -> Study {
-        Study::builder(cfg).threads(threads).run().into_study()
     }
 
     /// Run-level per-stage counters (sessions generated, flows
@@ -129,6 +292,12 @@ impl Study {
     /// built with [`StudyBuilder::metrics`]`(false)`.
     pub fn metrics(&self) -> &MetricsSnapshot {
         &self.metrics
+    }
+
+    /// Which days failed and had to be retried (or were dropped). Empty
+    /// on a clean run; see [`DegradedReport`].
+    pub fn degraded(&self) -> &DegradedReport {
+        &self.degraded
     }
 
     /// The paper's headline statistics for this run.
@@ -215,12 +384,15 @@ impl Study {
 /// use lockdown_core::Study;
 /// use lockdown_obs::TextProgress;
 ///
+/// # fn main() -> Result<(), lockdown_core::StudyError> {
 /// let run = Study::builder(SimConfig::at_scale(0.05))
 ///     .threads(8)
 ///     .observer(TextProgress::stderr())
 ///     .with_counterfactual()
-///     .run();
+///     .run()?;
 /// println!("growth vs 2019: {:?}", run.growth_vs_2019());
+/// # Ok(())
+/// # }
 /// ```
 pub struct StudyBuilder {
     cfg: SimConfig,
@@ -229,11 +401,14 @@ pub struct StudyBuilder {
     counterfactual: bool,
     collect_metrics: bool,
     trace: Option<SpanRecorder>,
+    fault: Option<FaultProfile>,
+    strict: bool,
 }
 
 impl StudyBuilder {
     /// Defaults: sequential, silent observer, metrics on, no tracing,
-    /// no counterfactual.
+    /// no counterfactual, no fault injection, graceful (non-strict)
+    /// degradation.
     pub fn new(cfg: SimConfig) -> Self {
         StudyBuilder {
             cfg,
@@ -242,6 +417,8 @@ impl StudyBuilder {
             counterfactual: false,
             collect_metrics: true,
             trace: None,
+            fault: None,
+            strict: false,
         }
     }
 
@@ -282,6 +459,26 @@ impl StudyBuilder {
         self
     }
 
+    /// Inject seeded, deterministic faults into the main study's record
+    /// stream (the counterfactual always runs clean, so the 2019
+    /// baseline stays a controlled comparison). Dropped and repaired
+    /// records are accounted under the `pipeline.errors.*` and
+    /// `assembler.malformed.*` counters; an injected worker panic
+    /// exercises the quarantine-and-retry machinery.
+    pub fn fault_profile(mut self, profile: FaultProfile) -> Self {
+        self.fault = Some(profile);
+        self
+    }
+
+    /// Fail fast: abort the run with [`StudyError::DayFailed`] on the
+    /// first day failure instead of quarantining and retrying. The CI
+    /// posture — a fault that would silently degrade a nightly run
+    /// becomes a red build.
+    pub fn strict(mut self, on: bool) -> Self {
+        self.strict = on;
+        self
+    }
+
     /// Also run the 2019 counterfactual (same seed and population
     /// scale, no pandemic) and report Apr/May traffic growth against
     /// it; the paper reports +53%. Both runs share one pool of scoped
@@ -295,7 +492,14 @@ impl StudyBuilder {
     }
 
     /// Execute the configured run.
-    pub fn run(self) -> StudyRun {
+    ///
+    /// Errors when the configuration fails validation, when any day
+    /// fails under [`StudyBuilder::strict`], or when a worker dies
+    /// outside the per-day isolation boundary. A day that fails both
+    /// its attempts in non-strict mode does *not* error: the run
+    /// completes without that day and records it in
+    /// [`Study::degraded`].
+    pub fn run(self) -> Result<StudyRun, StudyError> {
         let StudyBuilder {
             cfg,
             threads,
@@ -303,7 +507,11 @@ impl StudyBuilder {
             counterfactual,
             collect_metrics,
             trace: trace_rec,
+            fault,
+            strict,
         } = self;
+        cfg.validate()?;
+        let fault = fault.filter(|p| !p.is_noop());
         // If a recorder is configured and the calling thread is not
         // already recording (e.g. the CLI installed its own main lane),
         // give the orchestration phases a lane of their own. No span
@@ -326,6 +534,26 @@ impl StudyBuilder {
         let days: Vec<Day> = StudyCalendar::days().collect();
         let cursor = AtomicUsize::new(0);
         let cf_cursor = AtomicUsize::new(0);
+        let retry = Mutex::new(Vec::new());
+        let cf_retry = Mutex::new(Vec::new());
+        let shared = RunShared::new(strict);
+
+        let plan = DrainPlan {
+            sim: &sim,
+            days: &days,
+            cursor: &cursor,
+            retry: &retry,
+            fault: fault.as_ref(),
+            stage: "pipeline",
+        };
+        let cf_plan = cf_sim.as_ref().map(|cf_sim| DrainPlan {
+            sim: cf_sim,
+            days: &days,
+            cursor: &cf_cursor,
+            retry: &cf_retry,
+            fault: None,
+            stage: "counterfactual",
+        });
 
         let trace_rec = trace_rec.as_ref();
         let worker = |w: usize| {
@@ -333,27 +561,11 @@ impl StudyBuilder {
             let worker_span = trace::span("worker").attr("worker", w as u64);
             let main = {
                 let _span = trace::span("drain.study");
-                drain_days(
-                    &sim,
-                    &ctx,
-                    &days,
-                    &cursor,
-                    w,
-                    observer.as_ref(),
-                    collect_metrics,
-                )
+                drain_days(&plan, &ctx, w, observer.as_ref(), collect_metrics, &shared)
             };
-            let cf = cf_sim.as_ref().map(|cf_sim| {
+            let cf = cf_plan.as_ref().map(|p| {
                 let _span = trace::span("drain.counterfactual");
-                drain_days(
-                    cf_sim,
-                    &ctx,
-                    &days,
-                    &cf_cursor,
-                    w,
-                    observer.as_ref(),
-                    collect_metrics,
-                )
+                drain_days(p, &ctx, w, observer.as_ref(), collect_metrics, &shared)
             });
             drop(worker_span);
             (main, cf, Instant::now())
@@ -363,14 +575,30 @@ impl StudyBuilder {
             vec![worker(0)]
         } else {
             let worker = &worker;
-            std::thread::scope(|s| {
+            let joined: Vec<_> = std::thread::scope(|s| {
                 let handles: Vec<_> = (0..threads).map(|w| s.spawn(move || worker(w))).collect();
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("worker panicked"))
-                    .collect()
-            })
+                handles.into_iter().map(|h| h.join()).collect()
+            });
+            let mut out = Vec::with_capacity(joined.len());
+            for j in joined {
+                match j {
+                    Ok(y) => out.push(y),
+                    // Day-level failures are caught inside `try_day`;
+                    // reaching here means the worker died outside the
+                    // isolation boundary.
+                    Err(payload) => {
+                        return Err(StudyError::WorkerPanicked {
+                            detail: panic_message(payload.as_ref()),
+                        })
+                    }
+                }
+            }
+            out
         };
+
+        if let Some(failure) = lock(&shared.first_err).take() {
+            return Err(StudyError::DayFailed(failure));
+        }
 
         let _finalize_span = trace::span("finalize");
 
@@ -380,16 +608,16 @@ impl StudyBuilder {
         // idle; this histogram records *how long* it sat idle.
         let idle_registry = collect_metrics.then(MetricsRegistry::new);
         if let Some(reg) = &idle_registry {
-            let latest = results
-                .iter()
-                .map(|(_, _, done)| *done)
-                .max()
-                .expect("at least one worker");
-            let idle = reg.histogram("study.worker_idle_ns");
-            for (_, _, done) in &results {
-                idle.record(latest.duration_since(*done).as_nanos() as u64);
+            if let Some(latest) = results.iter().map(|(_, _, done)| *done).max() {
+                let idle = reg.histogram("study.worker_idle_ns");
+                for (_, _, done) in &results {
+                    idle.record(latest.duration_since(*done).as_nanos() as u64);
+                }
             }
         }
+
+        let mut degraded = std::mem::take(&mut *lock(&shared.degraded));
+        degraded.sort();
 
         let mut study_results = Vec::with_capacity(results.len());
         let mut cf_results = Vec::with_capacity(results.len());
@@ -408,6 +636,7 @@ impl StudyBuilder {
             summary,
             norm_stats,
             metrics,
+            degraded,
         };
 
         let counterfactual = cf_sim.map(|cf_sim| {
@@ -420,6 +649,7 @@ impl StudyBuilder {
                 summary: cf_summary,
                 norm_stats: cf_norm_stats,
                 metrics: cf_metrics,
+                degraded: DegradedReport::default(),
             };
             // Compare the *same cohort*: the 2020 post-shutdown users,
             // whose devices exist identically in the counterfactual
@@ -437,10 +667,10 @@ impl StudyBuilder {
             }
         });
 
-        StudyRun {
+        Ok(StudyRun {
             study,
             counterfactual,
-        }
+        })
     }
 }
 
@@ -483,23 +713,6 @@ impl std::ops::Deref for StudyRun {
     }
 }
 
-/// Run the study plus its 2019 counterfactual and return
-/// (study, counterfactual, growth-vs-2019).
-#[deprecated(
-    since = "0.2.0",
-    note = "use `Study::builder(cfg).threads(n).with_counterfactual().run()` instead"
-)]
-pub fn run_with_counterfactual(cfg: SimConfig, threads: usize) -> (Study, Study, f64) {
-    let run = Study::builder(cfg)
-        .threads(threads)
-        .with_counterfactual()
-        .run();
-    let cf = run
-        .counterfactual
-        .expect("with_counterfactual() always yields one");
-    (run.study, cf.study, cf.growth_vs_2019)
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -515,8 +728,12 @@ mod tests {
 
     #[test]
     fn sequential_and_parallel_agree() {
-        let a = Study::builder(tiny()).run().into_study();
-        let b = Study::builder(tiny()).threads(4).run().into_study();
+        let a = Study::builder(tiny()).run().unwrap().into_study();
+        let b = Study::builder(tiny())
+            .threads(4)
+            .run()
+            .unwrap()
+            .into_study();
         assert_eq!(a.norm_stats, b.norm_stats);
         assert_eq!(a.summary.resident.len(), b.summary.resident.len());
         assert_eq!(a.summary.post_shutdown.len(), b.summary.post_shutdown.len());
@@ -528,11 +745,16 @@ mod tests {
         // Metrics are deterministic too: per-worker registries merge
         // commutatively, so thread count cannot change the totals.
         assert_eq!(a.metrics().counters, b.metrics().counters);
+        assert!(a.degraded().is_empty());
     }
 
     #[test]
     fn study_produces_plausible_shape() {
-        let s = Study::builder(tiny()).threads(4).run().into_study();
+        let s = Study::builder(tiny())
+            .threads(4)
+            .run()
+            .unwrap()
+            .into_study();
         let h = s.headline();
         // Population declines into shutdown.
         assert!(h.peak_active > 2 * h.trough_active, "{h:?}");
@@ -547,8 +769,24 @@ mod tests {
     }
 
     #[test]
+    fn invalid_config_is_a_typed_error() {
+        let err = Study::builder(SimConfig {
+            scale: -0.5,
+            ..Default::default()
+        })
+        .run()
+        .err()
+        .expect("negative scale must not run");
+        assert!(matches!(err, StudyError::Config(_)), "{err}");
+    }
+
+    #[test]
     fn audit_mostly_correct() {
-        let s = Study::builder(tiny()).threads(4).run().into_study();
+        let s = Study::builder(tiny())
+            .threads(4)
+            .run()
+            .unwrap()
+            .into_study();
         let audit = s.classification_audit(100);
         assert!(audit.sampled > 50);
         assert!(
@@ -566,13 +804,60 @@ mod tests {
             .threads(2)
             .observer(Arc::clone(&obs))
             .metrics(false)
-            .run();
+            .run()
+            .unwrap();
         let days = StudyCalendar::days().count() as u64;
         assert_eq!(obs.days_started(), days);
         assert_eq!(obs.days_finished(), days);
+        assert_eq!(obs.days_failed(), 0);
         assert_eq!(obs.workers_idled(), 2);
         assert_eq!(obs.flows(), run.study.norm_stats.attributed);
         // metrics(false) leaves the snapshot empty.
         assert!(run.study.metrics().counters.is_empty());
+    }
+
+    #[test]
+    fn injected_panic_is_quarantined_and_recovered() {
+        let obs = Arc::new(CountingObserver::new());
+        let run = Study::builder(tiny())
+            .threads(2)
+            .observer(Arc::clone(&obs))
+            .fault_profile(FaultProfile::new().panic_on_day(47))
+            .run()
+            .unwrap();
+        let degraded = run.study.degraded();
+        assert_eq!(degraded.recovered.len(), 1, "{degraded:?}");
+        assert!(degraded.failed.is_empty(), "{degraded:?}");
+        assert_eq!(degraded.recovered[0].day, 47);
+        assert_eq!(degraded.recovered[0].attempt, 0);
+        assert_eq!(degraded.recovered[0].stage, "pipeline");
+        assert_eq!(obs.days_failed(), 1);
+        // The retried day's data is present and exact: the run matches
+        // a clean one bit for bit.
+        let clean = Study::builder(tiny()).threads(2).run().unwrap();
+        assert_eq!(run.study.norm_stats, clean.study.norm_stats);
+        assert_eq!(
+            run.study.headline().peak_active,
+            clean.study.headline().peak_active
+        );
+    }
+
+    #[test]
+    fn strict_mode_fails_fast_on_injected_panic() {
+        let err = Study::builder(tiny())
+            .threads(2)
+            .fault_profile(FaultProfile::new().panic_on_day(47))
+            .strict(true)
+            .run()
+            .err()
+            .expect("strict run over a panicking day must error");
+        match err {
+            StudyError::DayFailed(f) => {
+                assert_eq!(f.day, 47);
+                assert_eq!(f.attempt, 0);
+                assert!(f.error.contains("injected"), "{f}");
+            }
+            other => panic!("expected DayFailed, got {other}"),
+        }
     }
 }

@@ -82,8 +82,9 @@ impl LeaseTracker {
                         o.last_activity = e.ts;
                         return;
                     }
-                    let o = self.open.remove(&e.ip).expect("present above");
-                    self.close(e.ip, o, e.ts);
+                    let prev = *o;
+                    self.open.remove(&e.ip);
+                    self.close(e.ip, prev, e.ts);
                 }
                 self.open.insert(
                     e.ip,
@@ -104,12 +105,15 @@ impl LeaseTracker {
                 }
             }
             LeaseAction::Release => {
-                if let Some(o) = self.open.get(&e.ip) {
-                    if o.mac == e.mac {
-                        let o = self.open.remove(&e.ip).expect("present above");
+                match self.open.get(&e.ip) {
+                    Some(o) if o.mac == e.mac => {
+                        let o = *o;
+                        self.open.remove(&e.ip);
                         self.close(e.ip, o, e.ts);
                     }
-                    // Release from the wrong MAC: keep the binding.
+                    // Release from the wrong MAC (or none open): keep
+                    // whatever binding exists.
+                    _ => {}
                 }
             }
         }

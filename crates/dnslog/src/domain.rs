@@ -47,6 +47,14 @@ impl DomainName {
         Ok(DomainName(lower))
     }
 
+    /// A well-formed placeholder (`invalid.example`, per RFC 2606) for
+    /// callers that must produce *some* domain after rejecting an
+    /// invalid one — a total fallback where propagating the parse error
+    /// is not worth failing the whole construction.
+    pub fn invalid_placeholder() -> DomainName {
+        DomainName("invalid.example".to_string())
+    }
+
     /// The name as a string slice.
     pub fn as_str(&self) -> &str {
         &self.0

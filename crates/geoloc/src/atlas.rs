@@ -28,9 +28,11 @@ impl CountryCode {
     /// The United States.
     pub const US: CountryCode = CountryCode::new("US");
 
-    /// The code as a string.
+    /// The code as a string. Codes are two ASCII letters by
+    /// construction; a (theoretically unreachable) non-UTF-8 pair
+    /// renders as `"??"` rather than panicking.
     pub fn as_str(&self) -> &str {
-        std::str::from_utf8(&self.0).expect("constructed from ASCII")
+        std::str::from_utf8(&self.0).unwrap_or("??")
     }
 }
 
@@ -214,13 +216,7 @@ pub fn builtin_regions() -> Vec<Region> {
             lon: -79.38,
             prefix: cidr(192, 160, 12),
         },
-        Region {
-            name: "cdn-global",
-            country: CountryCode::new("US"),
-            lat: 37.77,
-            lon: -122.42,
-            prefix: cidr(205, 176, 12),
-        },
+        cdn_region(),
     ]
 }
 
@@ -245,10 +241,13 @@ pub fn builtin_geodb() -> GeoDb {
 /// "they give information about the user's device location, but not the
 /// location of the sites the user is visiting" (§4.2).
 pub fn cdn_region() -> Region {
-    builtin_regions()
-        .into_iter()
-        .find(|r| r.name == "cdn-global")
-        .expect("builtin region list contains cdn-global")
+    Region {
+        name: "cdn-global",
+        country: CountryCode::new("US"),
+        lat: 37.77,
+        lon: -122.42,
+        prefix: Ipv4Cidr::new(Ipv4Addr::new(205, 176, 0, 0), 12),
+    }
 }
 
 /// Prefix set of CDN space (Akamai/AWS/CloudFront/Optimizely equivalents).

@@ -16,13 +16,27 @@
 //! Expiry is amortized: the table is swept for idle flows at most once per
 //! `sweep_interval`, so per-packet cost stays O(1) expected.
 
+use crate::error::Result;
 use crate::flow::{FlowKey, FlowRecord, Proto};
-use crate::packet::PacketMeta;
+use crate::packet::{self, PacketMeta};
 use crate::tcp::Flags;
 use crate::time::Timestamp;
 use std::collections::HashMap;
 
 /// Tunable timeouts for flow completion.
+///
+/// Follows the workspace's chainable-constructor convention (see
+/// DESIGN.md §8): start from [`AssemblerConfig::new`] and override only
+/// the knobs under study, e.g.
+///
+/// ```
+/// use nettrace::assembler::AssemblerConfig;
+///
+/// let cfg = AssemblerConfig::new()
+///     .tcp_idle_timeout_secs(120)
+///     .sweep_interval_secs(10);
+/// assert_eq!(cfg.udp_idle_timeout_secs, 60); // untouched default
+/// ```
 #[derive(Debug, Clone, Copy)]
 pub struct AssemblerConfig {
     /// Idle timeout for TCP flows, seconds.
@@ -43,6 +57,37 @@ impl Default for AssemblerConfig {
             other_idle_timeout_secs: 60,
             sweep_interval_secs: 30,
         }
+    }
+}
+
+impl AssemblerConfig {
+    /// Zeek-like defaults (5 min TCP idle, 1 min UDP/other, 30 s sweep).
+    pub fn new() -> Self {
+        AssemblerConfig::default()
+    }
+
+    /// Set the TCP idle timeout, seconds.
+    pub fn tcp_idle_timeout_secs(mut self, secs: i64) -> Self {
+        self.tcp_idle_timeout_secs = secs;
+        self
+    }
+
+    /// Set the UDP idle timeout, seconds.
+    pub fn udp_idle_timeout_secs(mut self, secs: i64) -> Self {
+        self.udp_idle_timeout_secs = secs;
+        self
+    }
+
+    /// Set the idle timeout for other IP protocols, seconds.
+    pub fn other_idle_timeout_secs(mut self, secs: i64) -> Self {
+        self.other_idle_timeout_secs = secs;
+        self
+    }
+
+    /// Set the idle-sweep interval, seconds.
+    pub fn sweep_interval_secs(mut self, secs: i64) -> Self {
+        self.sweep_interval_secs = secs;
+        self
     }
 }
 
@@ -99,6 +144,10 @@ pub struct AssemblerStats {
     pub flushed: u64,
     /// Largest number of simultaneously live flows observed.
     pub peak_live_flows: u64,
+    /// Frames handed to [`FlowAssembler::push_frame`] that failed to
+    /// parse and were dropped (a production tap sees these as capture
+    /// corruption; the table is unaffected).
+    pub malformed_frames: u64,
 }
 
 /// The packet-to-flow assembler. See the module docs.
@@ -174,9 +223,12 @@ impl FlowAssembler {
         // its timeout horizon: the packet then starts a *new* flow, which
         // is how Zeek splits long-lived chatty services into sessions.
         let timeout = self.timeout_for(pkt.proto);
-        if let Some(state) = self.table.get(&key) {
-            if pkt.ts.delta_secs(state.last_ts) > timeout {
-                let state = self.table.remove(&key).expect("checked above");
+        let idle_expired = self
+            .table
+            .get(&key)
+            .is_some_and(|state| pkt.ts.delta_secs(state.last_ts) > timeout);
+        if idle_expired {
+            if let Some(state) = self.table.remove(&key) {
                 self.completed.push(state.to_record(key));
                 self.stats.completed_idle += 1;
             }
@@ -211,9 +263,10 @@ impl FlowAssembler {
         // TCP teardown.
         if let Some(flags) = pkt.tcp_flags {
             if flags.contains(Flags::RST) {
-                let state = self.table.remove(&key).expect("just inserted");
-                self.completed.push(state.to_record(key));
-                self.stats.completed_rst += 1;
+                if let Some(state) = self.table.remove(&key) {
+                    self.completed.push(state.to_record(key));
+                    self.stats.completed_rst += 1;
+                }
                 return;
             }
             if flags.contains(Flags::FIN) {
@@ -223,10 +276,34 @@ impl FlowAssembler {
                     entry.resp_fin = true;
                 }
                 if entry.orig_fin && entry.resp_fin {
-                    let state = self.table.remove(&key).expect("just inserted");
-                    self.completed.push(state.to_record(key));
-                    self.stats.completed_fin += 1;
+                    if let Some(state) = self.table.remove(&key) {
+                        self.completed.push(state.to_record(key));
+                        self.stats.completed_fin += 1;
+                    }
                 }
+            }
+        }
+    }
+
+    /// Parse one captured frame and feed it into the table.
+    ///
+    /// The fallible front door for raw captures: frames outside the
+    /// monitored universe (ARP, IPv6, unknown EtherTypes) return
+    /// `Ok(false)` and are skipped; malformed frames return the parse
+    /// error after being counted in
+    /// [`AssemblerStats::malformed_frames`], leaving the flow table
+    /// untouched, so a corrupt capture degrades the feed instead of
+    /// aborting it. Returns `Ok(true)` when the frame was ingested.
+    pub fn push_frame(&mut self, ts: Timestamp, frame: &[u8]) -> Result<bool> {
+        match packet::parse_frame(ts, frame) {
+            Ok(Some(meta)) => {
+                self.push(&meta);
+                Ok(true)
+            }
+            Ok(None) => Ok(false),
+            Err(e) => {
+                self.stats.malformed_frames += 1;
+                Err(e)
             }
         }
     }
@@ -252,9 +329,10 @@ impl FlowAssembler {
             .map(|(k, _)| *k)
             .collect();
         for k in expired {
-            let state = self.table.remove(&k).expect("collected above");
-            self.completed.push(state.to_record(k));
-            self.stats.completed_sweep += 1;
+            if let Some(state) = self.table.remove(&k) {
+                self.completed.push(state.to_record(k));
+                self.stats.completed_sweep += 1;
+            }
         }
     }
 
@@ -466,6 +544,43 @@ mod tests {
                 + st.completed_sweep
                 + st.flushed
         );
+    }
+
+    #[test]
+    fn push_frame_tolerates_malformed_without_table_damage() {
+        use crate::packet::{build_udp, BuildSpec};
+        let mut a = FlowAssembler::with_defaults();
+        let spec = BuildSpec {
+            src_mac: MacAddr::new(0, 0, 0, 0, 0, 1),
+            dst_mac: MacAddr::new(0, 0, 0, 0, 0, 2),
+            src_ip: CLIENT,
+            dst_ip: SERVER,
+            src_port: 40_000,
+            dst_port: 53,
+            ident: 7,
+        };
+        let good = build_udp(spec, &[0u8; 64]);
+        assert!(a.push_frame(Timestamp::from_secs(0), &good).unwrap());
+        // Truncated frame: counted, dropped, table intact.
+        assert!(a.push_frame(Timestamp::from_secs(1), &good[..20]).is_err());
+        assert_eq!(a.stats().malformed_frames, 1);
+        assert_eq!(a.live_flows(), 1);
+        let flows = a.flush();
+        assert_eq!(flows.len(), 1);
+        assert_eq!(flows[0].orig_bytes, 64);
+    }
+
+    #[test]
+    fn config_builder_chains() {
+        let cfg = AssemblerConfig::new()
+            .tcp_idle_timeout_secs(11)
+            .udp_idle_timeout_secs(12)
+            .other_idle_timeout_secs(13)
+            .sweep_interval_secs(14);
+        assert_eq!(cfg.tcp_idle_timeout_secs, 11);
+        assert_eq!(cfg.udp_idle_timeout_secs, 12);
+        assert_eq!(cfg.other_idle_timeout_secs, 13);
+        assert_eq!(cfg.sweep_interval_secs, 14);
     }
 
     #[test]

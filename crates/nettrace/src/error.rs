@@ -37,6 +37,21 @@ pub enum Error {
     Io(String),
 }
 
+impl Error {
+    /// A stable, low-cardinality classifier for this error, suitable as
+    /// a metric key suffix (`assembler.malformed.<kind>`) or a log
+    /// field. One of `"truncated"`, `"unsupported"`, `"malformed"`,
+    /// `"io"`.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Error::Truncated { .. } => "truncated",
+            Error::Unsupported { .. } => "unsupported",
+            Error::Malformed { .. } => "malformed",
+            Error::Io(_) => "io",
+        }
+    }
+}
+
 impl fmt::Display for Error {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -89,6 +104,33 @@ mod tests {
             value: 0x86dd,
         };
         assert!(e.to_string().contains("0x86dd"));
+    }
+
+    #[test]
+    fn kinds_are_stable() {
+        let e = Error::Truncated {
+            what: "x",
+            needed: 1,
+            available: 0,
+        };
+        assert_eq!(e.kind(), "truncated");
+        assert_eq!(
+            Error::Unsupported {
+                what: "x",
+                value: 0
+            }
+            .kind(),
+            "unsupported"
+        );
+        assert_eq!(
+            Error::Malformed {
+                what: "x",
+                detail: "y"
+            }
+            .kind(),
+            "malformed"
+        );
+        assert_eq!(Error::Io(String::new()).kind(), "io");
     }
 
     #[test]

@@ -48,7 +48,7 @@ pub mod observer;
 pub mod timer;
 pub mod trace;
 
-pub use manifest::RunManifest;
+pub use manifest::{DegradedEntry, RunManifest};
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry, MetricsSnapshot};
 pub use observer::{CountingObserver, JsonlSink, NullObserver, RunObserver, TextProgress};
 pub use timer::{BytesOf, StageTimer};
@@ -71,6 +71,8 @@ pub fn record_assembler_stats(reg: &MetricsRegistry, stats: &nettrace::assembler
     reg.counter("assembler.completed.sweep")
         .add(stats.completed_sweep);
     reg.counter("assembler.flushed").add(stats.flushed);
+    reg.counter("assembler.malformed.frames")
+        .add(stats.malformed_frames);
     reg.gauge("assembler.peak_live_flows")
         .set_max(stats.peak_live_flows);
 }
@@ -89,12 +91,14 @@ mod tests {
             completed_idle: 3,
             completed_sweep: 1,
             flushed: 1,
+            malformed_frames: 4,
             peak_live_flows: 7,
         };
         record_assembler_stats(&reg, &stats);
         let snap = reg.snapshot();
         assert_eq!(snap.counter("assembler.packets"), 10);
         assert_eq!(snap.counter("assembler.completed.fin"), 2);
+        assert_eq!(snap.counter("assembler.malformed.frames"), 4);
         assert_eq!(snap.gauge("assembler.peak_live_flows"), 7);
     }
 }

@@ -30,6 +30,35 @@ pub fn fnv1a_64(bytes: &[u8]) -> u64 {
     hash
 }
 
+/// One quarantined day in a degraded run: what failed, where, and
+/// whether the retry recovered it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DegradedEntry {
+    /// Study day index (0-based).
+    pub day: u16,
+    /// Pipeline stage (or phase) the failure surfaced in.
+    pub stage: String,
+    /// Rendered error or panic message.
+    pub error: String,
+    /// Attempt the entry records (0 = first try, 1 = retry).
+    pub attempt: u32,
+    /// True when a later attempt completed the day.
+    pub recovered: bool,
+}
+
+impl DegradedEntry {
+    fn to_json(&self) -> String {
+        format!(
+            "{{\"day\":{},\"stage\":{},\"error\":{},\"attempt\":{},\"recovered\":{}}}",
+            self.day,
+            json::quoted(&self.stage),
+            json::quoted(&self.error),
+            self.attempt,
+            self.recovered,
+        )
+    }
+}
+
 /// Provenance record for one pipeline run.
 ///
 /// Build one with [`RunManifest::new`], fill in the identity fields,
@@ -66,6 +95,9 @@ pub struct RunManifest {
     pub stage_totals_ns: BTreeMap<String, u64>,
     /// Final merged metrics, when the run collected them.
     pub metrics: Option<MetricsSnapshot>,
+    /// Days that failed during the run (quarantined, retried, possibly
+    /// recovered). Empty for a clean run.
+    pub degraded: Vec<DegradedEntry>,
 }
 
 impl RunManifest {
@@ -154,6 +186,14 @@ impl RunManifest {
         map_u64(&mut out, "span_counts", &self.span_counts);
         out.push(',');
         map_u64(&mut out, "stage_totals_ns", &self.stage_totals_ns);
+        out.push_str(",\"degraded\":[");
+        for (i, d) in self.degraded.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&d.to_json());
+        }
+        out.push(']');
         out.push_str(",\"metrics\":");
         match &self.metrics {
             Some(m) => out.push_str(&m.to_json()),
@@ -207,6 +247,13 @@ mod tests {
         let mut metrics = MetricsSnapshot::default();
         metrics.counters.insert("pipeline.flows_in".into(), 7);
         m.metrics = Some(metrics);
+        m.degraded.push(DegradedEntry {
+            day: 47,
+            stage: "stream_day".into(),
+            error: "injected panic: \"boom\"".into(),
+            attempt: 1,
+            recovered: true,
+        });
 
         let j = m.to_json();
         let v: serde_json::Value = serde_json::from_str(&j).expect("manifest parses");
@@ -235,6 +282,14 @@ mod tests {
             Some(1)
         );
         assert!(v.get("wall_ns").unwrap().as_u64().unwrap() >= 1_000);
+        let deg = v.get("degraded").unwrap().as_array().unwrap();
+        assert_eq!(deg.len(), 1);
+        assert_eq!(deg[0].get("day").unwrap().as_u64(), Some(47));
+        assert_eq!(deg[0].get("recovered").unwrap().as_bool(), Some(true));
+        assert_eq!(
+            deg[0].get("error").unwrap().as_str(),
+            Some("injected panic: \"boom\"")
+        );
         assert_eq!(
             v.get("metrics")
                 .unwrap()
@@ -253,5 +308,6 @@ mod tests {
         let v: serde_json::Value = serde_json::from_str(&m.to_json()).expect("parses");
         assert!(v.get("metrics").unwrap().is_null());
         assert_eq!(v.get("top_level_span_ns").unwrap().as_u64(), Some(0));
+        assert_eq!(v.get("degraded").unwrap().as_array().unwrap().len(), 0);
     }
 }

@@ -195,19 +195,28 @@ impl MetricsRegistry {
 
     /// Handle to the counter named `name`, creating it at zero.
     pub fn counter(&self, name: &str) -> Counter {
-        let mut map = self.counters.lock().expect("metrics registry poisoned");
+        let mut map = self
+            .counters
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         map.entry(name.to_string()).or_default().clone()
     }
 
     /// Handle to the gauge named `name`, creating it at zero.
     pub fn gauge(&self, name: &str) -> Gauge {
-        let mut map = self.gauges.lock().expect("metrics registry poisoned");
+        let mut map = self
+            .gauges
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         map.entry(name.to_string()).or_default().clone()
     }
 
     /// Handle to the histogram named `name`, creating it empty.
     pub fn histogram(&self, name: &str) -> Histogram {
-        let mut map = self.histograms.lock().expect("metrics registry poisoned");
+        let mut map = self
+            .histograms
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         map.entry(name.to_string()).or_default().clone()
     }
 
@@ -216,21 +225,21 @@ impl MetricsRegistry {
         let counters = self
             .counters
             .lock()
-            .expect("metrics registry poisoned")
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
             .iter()
             .map(|(k, v)| (k.clone(), v.get()))
             .collect();
         let gauges = self
             .gauges
             .lock()
-            .expect("metrics registry poisoned")
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
             .iter()
             .map(|(k, v)| (k.clone(), v.get()))
             .collect();
         let histograms = self
             .histograms
             .lock()
-            .expect("metrics registry poisoned")
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
             .iter()
             .map(|(k, v)| (k.clone(), v.snapshot()))
             .collect();

@@ -33,6 +33,13 @@ pub trait RunObserver: Send + Sync {
         let _ = (day, stage, records);
     }
 
+    /// A worker's day processing failed (panic or typed error) on the
+    /// given attempt (0 = first try). The study runner quarantines the
+    /// day and retries it once; the observer just hears about it.
+    fn day_failed(&self, worker: usize, day: Day, attempt: u32, error: &str) {
+        let _ = (worker, day, attempt, error);
+    }
+
     /// A worker found the day queue empty and is shutting down.
     fn worker_idle(&self, worker: usize) {
         let _ = worker;
@@ -55,6 +62,10 @@ macro_rules! forward_observer {
 
             fn stage_flushed(&self, day: Day, stage: &'static str, records: u64) {
                 (**self).stage_flushed(day, stage, records)
+            }
+
+            fn day_failed(&self, worker: usize, day: Day, attempt: u32, error: &str) {
+                (**self).day_failed(worker, day, attempt, error)
             }
 
             fn worker_idle(&self, worker: usize) {
@@ -96,6 +107,13 @@ impl RunObserver for TextProgress {
         );
     }
 
+    fn day_failed(&self, worker: usize, day: Day, attempt: u32, error: &str) {
+        eprintln!(
+            "[obs] day {:>3} FAILED on worker {worker} (attempt {attempt}): {error}",
+            day.0
+        );
+    }
+
     fn worker_idle(&self, worker: usize) {
         eprintln!("[obs] worker {worker} idle: day queue drained");
     }
@@ -119,11 +137,19 @@ impl<W: Write + Send> JsonlSink<W> {
 
     /// Recover the writer (e.g. to inspect a `Vec<u8>` in tests).
     pub fn into_inner(self) -> W {
-        self.out.into_inner().expect("jsonl sink poisoned")
+        // A panic while holding the lock (worker unwound mid-write)
+        // poisons it; the bytes written so far are still the best log
+        // we have.
+        self.out
+            .into_inner()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
     }
 
     fn line(&self, json: &str) {
-        let mut w = self.out.lock().expect("jsonl sink poisoned");
+        let mut w = self
+            .out
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         // A failed write must not abort the measurement run.
         let _ = writeln!(w, "{json}");
     }
@@ -161,6 +187,14 @@ impl<W: Write + Send> RunObserver for JsonlSink<W> {
         ));
     }
 
+    fn day_failed(&self, worker: usize, day: Day, attempt: u32, error: &str) {
+        self.line(&format!(
+            "{{\"event\":\"day_failed\",\"worker\":{worker},\"day\":{},\"attempt\":{attempt},\"error\":{}}}",
+            day.0,
+            crate::json::quoted(error),
+        ));
+    }
+
     fn worker_idle(&self, worker: usize) {
         self.line(&format!(
             "{{\"event\":\"worker_idle\",\"worker\":{worker}}}"
@@ -176,6 +210,7 @@ pub struct CountingObserver {
     days_finished: AtomicU64,
     stages_flushed: AtomicU64,
     workers_idled: AtomicU64,
+    days_failed: AtomicU64,
     flows: AtomicU64,
 }
 
@@ -205,6 +240,11 @@ impl CountingObserver {
         self.workers_idled.load(Ordering::Relaxed)
     }
 
+    /// Day failures reported (every attempt counts).
+    pub fn days_failed(&self) -> u64 {
+        self.days_failed.load(Ordering::Relaxed)
+    }
+
     /// Total flows reported through `day_finished`.
     pub fn flows(&self) -> u64 {
         self.flows.load(Ordering::Relaxed)
@@ -225,6 +265,10 @@ impl RunObserver for CountingObserver {
         self.stages_flushed.fetch_add(1, Ordering::Relaxed);
     }
 
+    fn day_failed(&self, _worker: usize, _day: Day, _attempt: u32, _error: &str) {
+        self.days_failed.fetch_add(1, Ordering::Relaxed);
+    }
+
     fn worker_idle(&self, _worker: usize) {
         self.workers_idled.fetch_add(1, Ordering::Relaxed);
     }
@@ -240,17 +284,24 @@ mod tests {
         sink.day_started(0, Day(3));
         sink.stage_flushed(Day(3), "normalize", 42);
         sink.day_finished(0, Day(3), 42);
+        sink.day_failed(1, Day(4), 0, "stream_day: boom \"quoted\"");
         sink.worker_idle(0);
         let text = String::from_utf8(sink.into_inner()).unwrap();
         let lines: Vec<&str> = text.lines().collect();
-        assert_eq!(lines.len(), 4);
+        assert_eq!(lines.len(), 5);
         assert_eq!(
             lines[0],
             "{\"event\":\"day_started\",\"worker\":0,\"day\":3}"
         );
         assert!(lines[1].contains("\"stage\":\"normalize\""));
         assert!(lines[2].contains("\"flows\":42"));
-        assert!(lines[3].contains("worker_idle"));
+        let v: serde_json::Value = serde_json::from_str(lines[3]).expect("strict parse");
+        assert_eq!(v.get("event").unwrap().as_str(), Some("day_failed"));
+        assert_eq!(
+            v.get("error").unwrap().as_str(),
+            Some("stream_day: boom \"quoted\"")
+        );
+        assert!(lines[4].contains("worker_idle"));
     }
 
     #[test]
@@ -270,11 +321,13 @@ mod tests {
         obs.day_finished(1, Day(0), 10);
         obs.day_finished(2, Day(1), 5);
         obs.stage_flushed(Day(0), "resolver", 10);
+        obs.day_failed(0, Day(2), 0, "boom");
         obs.worker_idle(1);
         assert_eq!(obs.days_started(), 1);
         assert_eq!(obs.days_finished(), 2);
         assert_eq!(obs.flows(), 15);
         assert_eq!(obs.stages_flushed(), 1);
+        assert_eq!(obs.days_failed(), 1);
         assert_eq!(obs.workers_idled(), 1);
     }
 

@@ -182,7 +182,13 @@ impl SpanRecorder {
     /// count or completion order: spans sort by (lane, start, depth,
     /// name), and the per-lane buffers themselves are in close order.
     pub fn finish(&self) -> Trace {
-        let lanes = std::mem::take(&mut *self.shared.lanes.lock().expect("trace lanes poisoned"));
+        let lanes = std::mem::take(
+            &mut *self
+                .shared
+                .lanes
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner),
+        );
         let mut lane_names = BTreeMap::new();
         let mut spans = Vec::new();
         for log in lanes {
@@ -274,7 +280,7 @@ impl Drop for LaneGuard {
             ctx.shared
                 .lanes
                 .lock()
-                .expect("trace lanes poisoned")
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
                 .push(log);
         });
     }

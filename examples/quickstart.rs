@@ -16,7 +16,11 @@ fn main() {
         StudyCalendar::NUM_DAYS
     );
 
-    let study = Study::builder(cfg).threads(4).run().into_study();
+    let study = Study::builder(cfg)
+        .threads(4)
+        .run()
+        .expect("study run")
+        .into_study();
     let h = study.headline();
 
     println!();

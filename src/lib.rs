@@ -8,13 +8,16 @@
 //! ```no_run
 //! use locked_in_lockdown::prelude::*;
 //!
+//! # fn main() -> Result<(), StudyError> {
 //! let study = Study::builder(SimConfig::at_scale(0.02))
 //!     .threads(4)
-//!     .run()
+//!     .run()?
 //!     .into_study();
 //! let stats = study.headline();
 //! println!("post-shutdown devices: {}", stats.post_shutdown_devices);
 //! println!("flows assembled: {}", study.metrics().counter("pipeline.flows_in"));
+//! # Ok(())
+//! # }
 //! ```
 
 #![forbid(unsafe_code)]
@@ -35,8 +38,10 @@ pub use nettrace;
 pub mod prelude {
     pub use analysis::collect::{PipelineCtx, StudyCollector};
     pub use analysis::figures::StudySummary;
-    pub use campussim::{CampusSim, SimConfig};
-    pub use lockdown_core::{report, Study, StudyBuilder, StudyRun};
+    pub use campussim::{CampusSim, FaultProfile, SimConfig};
+    pub use lockdown_core::{
+        report, DayFailure, DegradedReport, Study, StudyBuilder, StudyError, StudyRun,
+    };
     pub use lockdown_obs::{
         MetricsRegistry, MetricsSnapshot, NullObserver, RunObserver, TextProgress,
     };

@@ -1,11 +1,11 @@
-//! The `StudyBuilder` API against its deprecated positional
-//! predecessors, plus the run-level metrics it exposes.
+//! The `StudyBuilder` API: run-to-run determinism across thread
+//! counts, the run-level metrics it exposes, and the typed-error
+//! surface of `run()`.
 //!
-//! The builder is a pure re-packaging of the old entry points: same
-//! worker pool, same work-stealing cursor, same merge. These tests hold
-//! the two against each other (bitwise-identical `HeadlineStats`) and
-//! sanity-check that the observability layer's numbers agree with what
-//! the pipeline itself reports.
+//! The builder is the only entry point to a run. These tests hold
+//! repeated invocations against each other (bitwise-identical
+//! `HeadlineStats`) and sanity-check that the observability layer's
+//! numbers agree with what the pipeline itself reports.
 
 use campussim::SimConfig;
 use lockdown_obs::{trace, CountingObserver, SpanRecorder};
@@ -20,38 +20,67 @@ fn tiny() -> SimConfig {
 }
 
 #[test]
-fn builder_matches_deprecated_run_bitwise() {
-    #[allow(deprecated)]
-    let legacy = Study::run(tiny(), 4);
-    let built = Study::builder(tiny()).threads(4).run().into_study();
-    assert_eq!(legacy.norm_stats, built.norm_stats);
-    assert_eq!(legacy.summary.resident, built.summary.resident);
-    assert_eq!(legacy.summary.post_shutdown, built.summary.post_shutdown);
-    assert_eq!(legacy.summary.device_types, built.summary.device_types);
+fn builder_runs_are_deterministic_across_thread_counts() {
+    let a = Study::builder(tiny())
+        .threads(4)
+        .run()
+        .unwrap()
+        .into_study();
+    let b = Study::builder(tiny())
+        .threads(1)
+        .run()
+        .unwrap()
+        .into_study();
+    assert_eq!(a.norm_stats, b.norm_stats);
+    assert_eq!(a.summary.resident, b.summary.resident);
+    assert_eq!(a.summary.post_shutdown, b.summary.post_shutdown);
+    assert_eq!(a.summary.device_types, b.summary.device_types);
     // Bitwise: HeadlineStats derives PartialEq over its f64 fields.
-    assert_eq!(legacy.headline(), built.headline());
+    assert_eq!(a.headline(), b.headline());
+    // A clean run records no degraded days.
+    assert!(a.degraded().is_empty());
 }
 
 #[test]
-fn builder_matches_deprecated_counterfactual() {
-    #[allow(deprecated)]
-    let (legacy, legacy_cf, legacy_growth) = lockdown_core::run_with_counterfactual(tiny(), 2);
+fn counterfactual_growth_is_deterministic() {
     let run = Study::builder(tiny())
         .threads(2)
         .with_counterfactual()
-        .run();
+        .run()
+        .unwrap();
+    let again = Study::builder(tiny())
+        .threads(3)
+        .with_counterfactual()
+        .run()
+        .unwrap();
     let cf = run.counterfactual.as_ref().expect("requested");
-    assert_eq!(legacy.headline(), run.study.headline());
-    assert_eq!(legacy_cf.headline(), cf.study.headline());
-    assert_eq!(legacy_growth.to_bits(), cf.growth_vs_2019.to_bits());
-    assert_eq!(run.growth_vs_2019(), Some(legacy_growth));
+    let cf2 = again.counterfactual.as_ref().expect("requested");
+    assert_eq!(cf.growth_vs_2019.to_bits(), cf2.growth_vs_2019.to_bits());
+    assert_eq!(run.growth_vs_2019(), Some(cf.growth_vs_2019));
+    assert_eq!(cf.study.headline(), cf2.study.headline());
     // StudyRun derefs to the main study.
     assert_eq!(run.norm_stats, run.study.norm_stats);
 }
 
 #[test]
+fn invalid_config_errors_before_any_work() {
+    let err = Study::builder(SimConfig {
+        scale: f64::NAN,
+        ..Default::default()
+    })
+    .run()
+    .err()
+    .expect("NaN scale must be rejected");
+    assert!(matches!(err, StudyError::Config(_)), "{err}");
+}
+
+#[test]
 fn metrics_agree_with_pipeline_totals() {
-    let study = Study::builder(tiny()).threads(4).run().into_study();
+    let study = Study::builder(tiny())
+        .threads(4)
+        .run()
+        .unwrap()
+        .into_study();
     let m = study.metrics();
 
     // Flow accounting closes: every generated flow entered the
@@ -101,7 +130,8 @@ fn observer_event_stream_covers_the_run() {
     let run = Study::builder(tiny())
         .threads(3)
         .observer(Arc::clone(&obs))
-        .run();
+        .run()
+        .unwrap();
     let days = StudyCalendar::days().count() as u64;
     assert_eq!(obs.days_started(), days);
     assert_eq!(obs.days_finished(), days);
@@ -119,7 +149,8 @@ fn trace_covers_every_day_regardless_of_thread_count() {
         Study::builder(tiny())
             .threads(threads)
             .trace(&recorder)
-            .run();
+            .run()
+            .unwrap();
         let trace = recorder.finish();
         assert!(!trace.is_empty());
         let counts = trace.counts_by_name();
@@ -145,7 +176,11 @@ fn trace_covers_every_day_regardless_of_thread_count() {
 #[test]
 fn worker_idle_histogram_reaches_metrics_and_report() {
     let threads = 3usize;
-    let study = Study::builder(tiny()).threads(threads).run().into_study();
+    let study = Study::builder(tiny())
+        .threads(threads)
+        .run()
+        .unwrap()
+        .into_study();
     let m = study.metrics();
     let idle = m
         .histogram("study.worker_idle_ns")
@@ -162,7 +197,7 @@ fn worker_idle_histogram_reaches_metrics_and_report() {
 
 #[test]
 fn metrics_report_renders_the_counters() {
-    let study = Study::builder(tiny()).run().into_study();
+    let study = Study::builder(tiny()).run().unwrap().into_study();
     let text = report::metrics_report(&study);
     assert!(text.contains("Pipeline metrics"));
     assert!(text.contains("pipeline.flows_in"));

@@ -15,6 +15,7 @@ fn study() -> &'static Study {
         Study::builder(SimConfig::at_scale(0.06))
             .threads(8)
             .run()
+            .unwrap()
             .into_study()
     })
 }
@@ -275,7 +276,8 @@ fn counterfactual_growth_is_positive_and_below_feb_growth() {
     let run = lockdown_core::Study::builder(SimConfig::at_scale(0.02))
         .threads(8)
         .with_counterfactual()
-        .run();
+        .run()
+        .unwrap();
     let growth = run.growth_vs_2019().expect("counterfactual requested");
     let study = run.into_study();
     let feb_growth = study.headline().traffic_growth_feb_to_aprmay;

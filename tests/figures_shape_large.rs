@@ -16,6 +16,7 @@ fn fig6_international_trends_at_scale() {
     let s = Study::builder(SimConfig::at_scale(0.25))
         .threads(8)
         .run()
+        .unwrap()
         .into_study();
     let f6 = figures::figure6(&s.collector, &s.summary);
     let med = |app: usize, sp: usize, m: usize| {
@@ -49,6 +50,7 @@ fn fig7_steam_connection_decline_at_scale() {
     let s = Study::builder(SimConfig::at_scale(0.25))
         .threads(8)
         .run()
+        .unwrap()
         .into_study();
     let f7 = figures::figure7(&s.collector, &s.summary);
     let conns = |sp: usize, m: usize| f7.conns[sp][m].expect("samples").median;

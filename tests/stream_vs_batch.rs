@@ -37,7 +37,7 @@ fn streaming_study_matches_batch_study() {
         ..Default::default()
     };
 
-    let streamed = Study::builder(cfg.clone()).run().into_study();
+    let streamed = Study::builder(cfg.clone()).run().unwrap().into_study();
     let (_sim, batch_collector, batch_stats) = run_batch(cfg);
 
     assert_eq!(
@@ -63,7 +63,11 @@ fn parallel_streaming_matches_batch_study() {
         scale: 0.01,
         ..Default::default()
     };
-    let streamed = Study::builder(cfg.clone()).threads(4).run().into_study();
+    let streamed = Study::builder(cfg.clone())
+        .threads(4)
+        .run()
+        .unwrap()
+        .into_study();
     let (_sim, batch_collector, batch_stats) = run_batch(cfg);
     assert_eq!(streamed.norm_stats, batch_stats);
     let batch_summary = StudySummary::finalize(&batch_collector);
