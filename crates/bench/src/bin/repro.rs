@@ -4,8 +4,10 @@
 //! ```text
 //! repro [--scale S] [--threads N] [--seed X] [--out DIR]
 //!       [--trace FILE] [--flame FILE] [--progress]
-//!       [--fault-profile NAME] [--strict]
+//!       [--serve ADDR] [--fault-profile NAME] [--strict]
 //!       [all|fig1..fig8|stats|metrics]
+//! repro watch ADDR
+//! repro probe ADDR
 //! ```
 //!
 //! `all` (default) runs the full study plus the 2019 counterfactual and
@@ -13,6 +15,17 @@
 //! that figure's series; `metrics` dumps the run's per-stage counters as
 //! JSON. `--out DIR` additionally writes the machine-readable figure
 //! files; `--progress` streams per-day progress lines to stderr.
+//!
+//! `--serve ADDR` (e.g. `127.0.0.1:9184`, or port `0` for an ephemeral
+//! one) exposes the run live over HTTP — `/metrics` in Prometheus text
+//! exposition, `/healthz`, and `/progress` — and logs the bound address
+//! to stderr before the run starts. Serving is observation-only:
+//! results are bit-identical to an unserved run at the same seed and
+//! thread count. `repro watch ADDR` follows a served run from another
+//! terminal with a one-line-per-worker live view, and `repro probe
+//! ADDR` hits all three endpoints once, strictly validating the
+//! exposition and JSON (the CI smoke check). See
+//! `docs/OBSERVABILITY.md`.
 //!
 //! `--trace FILE` records a span timeline of the whole run (workers,
 //! days, pipeline stages, report emission) and writes it as Chrome
@@ -34,8 +47,9 @@
 //! failures), 2 usage error.
 
 use campussim::{FaultProfile, SimConfig};
+use lockdown_bench::http;
 use lockdown_core::{report, Study, StudyError, StudyRun};
-use lockdown_obs::{trace, SpanRecorder, TextProgress};
+use lockdown_obs::{trace, LivePublisher, SpanRecorder, TelemetryServer, TextProgress};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -47,12 +61,16 @@ struct Args {
     trace: Option<PathBuf>,
     flame: Option<PathBuf>,
     progress: bool,
+    serve: Option<String>,
     fault: Option<FaultProfile>,
     strict: bool,
     command: String,
+    /// Second positional argument: the server address for the `watch`
+    /// and `probe` client commands.
+    command_arg: Option<String>,
 }
 
-const USAGE: &str = "usage: repro [--scale S] [--threads N] [--seed X] [--out DIR] [--trace FILE] [--flame FILE] [--progress] [--fault-profile none|default] [--strict] [all|fig1..fig8|stats|metrics]";
+const USAGE: &str = "usage: repro [--scale S] [--threads N] [--seed X] [--out DIR] [--trace FILE] [--flame FILE] [--progress] [--serve ADDR] [--fault-profile none|default] [--strict] [all|fig1..fig8|stats|metrics]\n       repro watch ADDR   follow a served run live\n       repro probe ADDR   hit /metrics, /healthz, /progress once, strictly validating each";
 
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
@@ -65,10 +83,13 @@ fn parse_args() -> Result<Args, String> {
         trace: None,
         flame: None,
         progress: false,
+        serve: None,
         fault: None,
         strict: false,
         command: "all".to_string(),
+        command_arg: None,
     };
+    let mut seen_command = false;
     fn value_of(it: &mut impl Iterator<Item = String>, flag: &str) -> Result<String, String> {
         it.next().ok_or_else(|| format!("{flag} needs a value"))
     }
@@ -90,6 +111,7 @@ fn parse_args() -> Result<Args, String> {
             "--trace" => args.trace = Some(PathBuf::from(value_of(&mut it, "--trace")?)),
             "--flame" => args.flame = Some(PathBuf::from(value_of(&mut it, "--flame")?)),
             "--progress" => args.progress = true,
+            "--serve" => args.serve = Some(value_of(&mut it, "--serve")?),
             "--fault-profile" => {
                 let name = value_of(&mut it, "--fault-profile")?;
                 args.fault = Some(FaultProfile::named(&name).ok_or_else(|| {
@@ -104,7 +126,12 @@ fn parse_args() -> Result<Args, String> {
             cmd if cmd.starts_with('-') => {
                 return Err(format!("unknown flag {cmd}; {USAGE}"));
             }
-            cmd => args.command = cmd.to_string(),
+            cmd if !seen_command => {
+                args.command = cmd.to_string();
+                seen_command = true;
+            }
+            cmd if args.command_arg.is_none() => args.command_arg = Some(cmd.to_string()),
+            cmd => return Err(format!("unexpected argument {cmd}; {USAGE}")),
         }
     }
     Ok(args)
@@ -135,6 +162,9 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    if matches!(args.command.as_str(), "watch" | "probe") {
+        return client_command(&args.command, args.command_arg.as_deref());
+    }
     match run(args) {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
@@ -142,6 +172,150 @@ fn main() -> ExitCode {
             ExitCode::FAILURE
         }
     }
+}
+
+/// Dispatch the telemetry client commands (`watch`, `probe`), which
+/// talk to a `--serve` endpoint instead of running a study.
+fn client_command(cmd: &str, addr: Option<&str>) -> ExitCode {
+    let Some(addr) = addr else {
+        eprintln!("repro: {cmd} needs a server address, e.g. `repro {cmd} 127.0.0.1:9184`");
+        return ExitCode::from(2);
+    };
+    let result = match cmd {
+        "watch" => watch(addr),
+        _ => probe(addr),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("repro: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// GET a telemetry endpoint, treating any non-2xx status as an error.
+fn http_ok(addr: &str, path: &str) -> Result<http::Response, String> {
+    let resp =
+        http::get(addr, path).map_err(|e| format!("cannot reach http://{addr}{path}: {e}"))?;
+    if !resp.is_ok() {
+        return Err(format!("http://{addr}{path} returned HTTP {}", resp.status));
+    }
+    Ok(resp)
+}
+
+/// `repro watch ADDR`: poll `/progress` every 500 ms and keep a live
+/// multi-line view on the terminal (redrawn in place when stdout is a
+/// TTY) until the served run reports `done` or the server goes away.
+fn watch(addr: &str) -> Result<(), String> {
+    use std::io::IsTerminal;
+    let redraw = std::io::stdout().is_terminal();
+    let mut reached_once = false;
+    let mut printed = 0usize;
+    loop {
+        let resp = match http::get(addr, "/progress") {
+            Ok(r) if r.is_ok() => r,
+            Ok(r) => return Err(format!("http://{addr}/progress returned HTTP {}", r.status)),
+            // Once we have seen the run, the server vanishing just
+            // means the repro process exited; that is a clean end.
+            Err(_) if reached_once => {
+                println!("server at {addr} gone — run finished or was stopped");
+                return Ok(());
+            }
+            Err(e) => return Err(format!("cannot reach http://{addr}/progress: {e}")),
+        };
+        reached_once = true;
+        let v: serde_json::Value = serde_json::from_str(&resp.body)
+            .map_err(|e| format!("/progress returned invalid JSON: {e}"))?;
+        let lines = render_progress(&v);
+        if redraw && printed > 0 {
+            // Move the cursor back over the previous frame and clear it.
+            print!("\x1b[{printed}A\x1b[J");
+        }
+        for line in &lines {
+            println!("{line}");
+        }
+        printed = lines.len();
+        if v.get("status").and_then(serde_json::Value::as_str) == Some("done") {
+            return Ok(());
+        }
+        std::thread::sleep(std::time::Duration::from_millis(500));
+    }
+}
+
+/// Format one `/progress` snapshot as the `watch` frame: a run summary
+/// line followed by one row per worker.
+fn render_progress(v: &serde_json::Value) -> Vec<String> {
+    let num = |v: &serde_json::Value, key: &str| {
+        v.get(key).and_then(serde_json::Value::as_u64).unwrap_or(0)
+    };
+    let secs = |ns: u64| ns as f64 / 1e9;
+    let eta = match v.get("eta_ns").and_then(serde_json::Value::as_u64) {
+        Some(ns) => format!("{:.1}s", secs(ns)),
+        None => "?".to_string(),
+    };
+    let status = v
+        .get("status")
+        .and_then(serde_json::Value::as_str)
+        .unwrap_or("unknown");
+    let mut lines = vec![format!(
+        "[{status}] {}/{} days · {} in flight · {} degraded · {} flows · elapsed {:.1}s · eta {eta}",
+        num(v, "days_completed"),
+        num(v, "days_total"),
+        num(v, "days_inflight"),
+        num(v, "degraded_days"),
+        num(v, "flows"),
+        secs(num(v, "elapsed_ns")),
+    )];
+    if let Some(workers) = v.get("workers").and_then(serde_json::Value::as_array) {
+        for w in workers {
+            let day = match w.get("day").and_then(serde_json::Value::as_u64) {
+                Some(d) => format!("day {d:>3}"),
+                None => "idle   ".to_string(),
+            };
+            lines.push(format!(
+                "  worker {:>2}: {day} · {:>8} flows in day · {:>3} days done",
+                num(w, "worker"),
+                num(w, "day_flows"),
+                num(w, "days_done"),
+            ));
+        }
+    }
+    lines
+}
+
+/// `repro probe ADDR`: hit all three endpoints once and validate them
+/// strictly — `/metrics` through the exposition parser, the JSON
+/// endpoints through a strict JSON parser. Exit 0 means a scraper
+/// would be happy; this is the CI smoke check.
+fn probe(addr: &str) -> Result<(), String> {
+    let metrics = http_ok(addr, "/metrics")?;
+    let exposition = lockdown_obs::prom::parse(&metrics.body)
+        .map_err(|e| format!("/metrics is not valid Prometheus exposition: {e}"))?;
+    let health = http_ok(addr, "/healthz")?;
+    let health: serde_json::Value = serde_json::from_str(&health.body)
+        .map_err(|e| format!("/healthz returned invalid JSON: {e}"))?;
+    let progress = http_ok(addr, "/progress")?;
+    let progress: serde_json::Value = serde_json::from_str(&progress.body)
+        .map_err(|e| format!("/progress returned invalid JSON: {e}"))?;
+    let status = health
+        .get("status")
+        .and_then(serde_json::Value::as_str)
+        .ok_or("/healthz has no status field")?;
+    let u = |key: &str| {
+        progress
+            .get(key)
+            .and_then(serde_json::Value::as_u64)
+            .unwrap_or(0)
+    };
+    println!(
+        "probe {addr}: {} metric families · health {status} · {}/{} days · {} flows",
+        exposition.families.len(),
+        u("days_completed"),
+        u("days_total"),
+        u("flows"),
+    );
+    Ok(())
 }
 
 fn run(args: Args) -> Result<(), StudyError> {
@@ -156,6 +330,22 @@ fn run(args: Args) -> Result<(), StudyError> {
         cfg.num_students(),
         args.threads
     );
+    // Bind the telemetry server before the run starts so the bound
+    // address (important with port 0) is known — and printed — while
+    // there is still time to attach `repro watch` or a scraper.
+    let telemetry = match &args.serve {
+        Some(addr) => {
+            let live = LivePublisher::new();
+            let server =
+                TelemetryServer::bind(addr, live.clone()).map_err(|source| StudyError::Serve {
+                    addr: addr.clone(),
+                    source,
+                })?;
+            eprintln!("telemetry: listening on http://{}/", server.addr());
+            Some((live, server))
+        }
+        None => None,
+    };
     let recorder = (args.trace.is_some() || args.flame.is_some()).then(SpanRecorder::new);
     // The CLI itself records on the main lane: argument handling, the
     // report, and figure emission all land on one timeline row beside
@@ -174,6 +364,9 @@ fn run(args: Args) -> Result<(), StudyError> {
         }
         if args.progress {
             b = b.observer(TextProgress::stderr());
+        }
+        if let Some((live, _)) = &telemetry {
+            b = b.live(live);
         }
         if let Some(fault) = &args.fault {
             b = b.fault_profile(fault.clone());
@@ -232,6 +425,9 @@ fn run(args: Args) -> Result<(), StudyError> {
         if manifest.wall_ns == 0 {
             manifest.wall_ns = t0.elapsed().as_nanos() as u64;
         }
+        manifest.serve_addr = telemetry
+            .as_ref()
+            .map(|(_, server)| server.addr().to_string());
         let mut targets: Vec<PathBuf> = Vec::new();
         for dir in args.out.iter().cloned().chain(
             args.trace

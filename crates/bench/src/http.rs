@@ -1,0 +1,85 @@
+//! A minimal blocking HTTP/1.1 GET client for the telemetry endpoints
+//! (`repro watch` / `repro probe`), dependency-free like the server it
+//! talks to ([`lockdown_obs::serve`]). One request per connection,
+//! short timeouts, no keep-alive — exactly what a local poll needs and
+//! nothing more.
+
+use std::io::{Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// Per-request socket timeout; the endpoints are local and tiny.
+const IO_TIMEOUT: Duration = Duration::from_secs(2);
+
+/// One parsed HTTP response: status code and body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// HTTP status code (e.g. 200).
+    pub status: u16,
+    /// Response body, headers stripped.
+    pub body: String,
+}
+
+impl Response {
+    /// True for 2xx statuses.
+    pub fn is_ok(&self) -> bool {
+        (200..300).contains(&self.status)
+    }
+}
+
+/// Issue `GET {path}` against `addr` (e.g. `"127.0.0.1:9184"`) and
+/// return the parsed response. Errors are connection-level; a non-2xx
+/// status is a successful round-trip and lands in
+/// [`Response::status`].
+pub fn get(addr: impl ToSocketAddrs, path: &str) -> std::io::Result<Response> {
+    let mut conn = TcpStream::connect(addr)?;
+    conn.set_read_timeout(Some(IO_TIMEOUT))?;
+    conn.set_write_timeout(Some(IO_TIMEOUT))?;
+    write!(
+        conn,
+        "GET {path} HTTP/1.1\r\nHost: localhost\r\nConnection: close\r\n\r\n"
+    )?;
+    conn.flush()?;
+    let mut raw = Vec::new();
+    conn.read_to_end(&mut raw)?;
+    parse_response(&String::from_utf8_lossy(&raw))
+        .ok_or_else(|| std::io::Error::other("malformed HTTP response"))
+}
+
+/// Split a raw HTTP/1.1 response into status code and body.
+fn parse_response(raw: &str) -> Option<Response> {
+    let status: u16 = raw.split_ascii_whitespace().nth(1)?.parse().ok()?;
+    let body = raw.split_once("\r\n\r\n").map(|(_, b)| b)?.to_string();
+    Some(Response { status, body })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lockdown_obs::{LivePublisher, TelemetryServer};
+
+    #[test]
+    fn parses_status_and_body() {
+        let r = parse_response("HTTP/1.1 200 OK\r\nContent-Length: 2\r\n\r\nhi").unwrap();
+        assert_eq!(r.status, 200);
+        assert_eq!(r.body, "hi");
+        assert!(r.is_ok());
+        let r = parse_response("HTTP/1.1 404 Not Found\r\n\r\nnope\n").unwrap();
+        assert_eq!(r.status, 404);
+        assert!(!r.is_ok());
+        assert!(parse_response("garbage").is_none());
+    }
+
+    #[test]
+    fn round_trips_against_a_live_server() {
+        let live = LivePublisher::new();
+        live.set_days_total(5);
+        let server = TelemetryServer::bind("127.0.0.1:0", live).expect("bind");
+        let r = get(server.addr(), "/progress").expect("GET /progress");
+        assert!(r.is_ok());
+        assert!(r.body.contains("\"days_total\":5"), "{}", r.body);
+        let r = get(server.addr(), "/nope").expect("GET /nope");
+        assert_eq!(r.status, 404);
+        server.shutdown();
+    }
+}

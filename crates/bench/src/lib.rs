@@ -5,6 +5,8 @@
 
 use campussim::SimConfig;
 
+pub mod http;
+
 /// The scale used inside criterion benches: small enough that one
 /// iteration is sub-second, large enough that every figure has samples.
 pub const BENCH_SCALE: f64 = 0.01;

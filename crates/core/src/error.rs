@@ -90,6 +90,13 @@ pub enum StudyError {
         /// The underlying I/O error.
         source: std::io::Error,
     },
+    /// The live telemetry server could not bind its listen address.
+    Serve {
+        /// The requested listen address.
+        addr: String,
+        /// The underlying I/O error.
+        source: std::io::Error,
+    },
 }
 
 impl fmt::Display for StudyError {
@@ -104,6 +111,9 @@ impl fmt::Display for StudyError {
             StudyError::Io { path, source } => {
                 write!(f, "writing {} failed: {source}", path.display())
             }
+            StudyError::Serve { addr, source } => {
+                write!(f, "binding telemetry server on {addr} failed: {source}")
+            }
         }
     }
 }
@@ -114,6 +124,7 @@ impl std::error::Error for StudyError {
             StudyError::Config(e) => Some(e),
             StudyError::Export(e) => Some(e),
             StudyError::Io { source, .. } => Some(source),
+            StudyError::Serve { source, .. } => Some(source),
             StudyError::DayFailed(_) | StudyError::WorkerPanicked { .. } => None,
         }
     }
@@ -204,6 +215,12 @@ mod tests {
             detail: "oops".into(),
         };
         assert!(e.to_string().contains("oops"));
+        let e = StudyError::Serve {
+            addr: "127.0.0.1:9".into(),
+            source: std::io::Error::other("in use"),
+        };
+        assert!(e.to_string().contains("127.0.0.1:9"), "{e}");
+        assert!(std::error::Error::source(&e).is_some());
     }
 
     #[test]

@@ -37,6 +37,7 @@ pub mod study;
 pub use error::{DayFailure, DegradedReport, StudyError};
 pub use pipeline::{
     process_day, process_day_streaming, record_fault_stats, DayPipeline, PipelineOptions,
+    DEFAULT_LIVE_TICK,
 };
 pub use report::run_manifest;
 pub use study::{Counterfactual, Study, StudyBuilder, StudyRun};

@@ -56,7 +56,15 @@ pub struct PipelineOptions<'a> {
     observer: &'a dyn RunObserver,
     fault: Option<&'a FaultProfile>,
     attempt: u32,
+    worker: usize,
+    live_tick: u32,
 }
+
+/// Default number of collected flows between two
+/// [`RunObserver::day_tick`] publications. Coarse enough that the tick
+/// is invisible next to per-record work, fine enough that a live view
+/// refreshes several times per day even at small scales.
+pub const DEFAULT_LIVE_TICK: u32 = 8192;
 
 impl<'a> PipelineOptions<'a> {
     /// Options with labeling on and observability off — the exact
@@ -72,6 +80,8 @@ impl<'a> PipelineOptions<'a> {
             observer: &NullObserver,
             fault: None,
             attempt: 0,
+            worker: 0,
+            live_tick: DEFAULT_LIVE_TICK,
         }
     }
 
@@ -114,6 +124,21 @@ impl<'a> PipelineOptions<'a> {
     /// trigger, which fires on attempt 0 only so retries succeed.
     pub fn attempt(mut self, attempt: u32) -> Self {
         self.attempt = attempt;
+        self
+    }
+
+    /// The worker lane index running this day, reported with every
+    /// [`RunObserver::day_tick`] publication.
+    pub fn worker(mut self, worker: usize) -> Self {
+        self.worker = worker;
+        self
+    }
+
+    /// Collected flows between two [`RunObserver::day_tick`]
+    /// publications (default [`DEFAULT_LIVE_TICK`]). `0` disables
+    /// mid-day ticks entirely.
+    pub fn live_tick(mut self, every: u32) -> Self {
+        self.live_tick = every;
         self
     }
 }
@@ -159,6 +184,11 @@ pub struct DayPipeline<'a> {
     /// `(busy_ns, records)` for the collect stage, accumulated only
     /// when tracing was on at construction.
     collect_busy: Option<(u64, u64)>,
+    /// Flows collected this day, driving the periodic `day_tick`
+    /// publication.
+    collected_total: u64,
+    /// Flows collected since the last `day_tick`.
+    since_tick: u32,
 }
 
 impl<'a> DayPipeline<'a> {
@@ -178,6 +208,8 @@ impl<'a> DayPipeline<'a> {
             resolver: StageTimer::new("resolver", ResolverMap::new(), None),
             counters: opts.metrics.map(PipelineCounters::register),
             collect_busy: trace::enabled().then_some((0, 0)),
+            collected_total: 0,
+            since_tick: 0,
             opts,
         }
     }
@@ -237,6 +269,19 @@ impl<'a> DayPipeline<'a> {
     fn collect(&mut self, lf: LabeledFlow) {
         if let Some(c) = &self.counters {
             c.flows_collected.inc();
+        }
+        self.collected_total += 1;
+        if self.opts.live_tick > 0 {
+            self.since_tick += 1;
+            if self.since_tick >= self.opts.live_tick {
+                self.since_tick = 0;
+                self.opts.observer.day_tick(
+                    self.opts.worker,
+                    self.opts.day,
+                    self.collected_total,
+                    self.opts.metrics,
+                );
+            }
         }
         match &mut self.collect_busy {
             Some((ns, records)) => {
@@ -589,6 +634,31 @@ mod tests {
             0,
             "no-op profile must not even register fault counters"
         );
+    }
+
+    #[test]
+    fn day_tick_publishes_at_the_configured_interval() {
+        let sim = sim_1pct();
+        let ctx = PipelineCtx::study();
+        let day = Day(10);
+        let obs = lockdown_obs::CountingObserver::new();
+        let opts = PipelineOptions::new(&ctx, sim.directory().table(), day, sim.config().anon_key)
+            .observer(&obs)
+            .worker(3)
+            .live_tick(100);
+        let mut collector = StudyCollector::new();
+        let stats = process_day_streaming(opts, &mut collector, &sim);
+        assert!(stats.attributed >= 100, "need enough flows to tick");
+        assert_eq!(obs.ticks(), stats.attributed / 100);
+
+        // live_tick(0) disables mid-day publication entirely.
+        let quiet = lockdown_obs::CountingObserver::new();
+        let opts = PipelineOptions::new(&ctx, sim.directory().table(), day, sim.config().anon_key)
+            .observer(&quiet)
+            .live_tick(0);
+        let mut collector = StudyCollector::new();
+        process_day_streaming(opts, &mut collector, &sim);
+        assert_eq!(quiet.ticks(), 0);
     }
 
     #[test]

@@ -287,6 +287,20 @@ pub fn metrics_report(study: &Study) -> String {
         out,
         "-- Pipeline metrics: {flows} flows in, {attributed} attributed, {labeled} labeled --"
     );
+    // Day-duration quantiles come from the same `study.day_duration_ns`
+    // samples that drive the live `/progress` ETA, so the post-run
+    // report and the in-run view can never disagree about pacing.
+    if let Some(days) = m.histogram("study.day_duration_ns") {
+        let _ = writeln!(
+            out,
+            "-- Day durations: {} days, mean {:.1} ms, p50 ≤ {:.1} ms, p95 ≤ {:.1} ms, p99 ≤ {:.1} ms --",
+            days.count(),
+            days.mean() / 1e6,
+            days.quantile(0.5) as f64 / 1e6,
+            days.quantile(0.95) as f64 / 1e6,
+            days.quantile(0.99) as f64 / 1e6,
+        );
+    }
     if let Some(idle) = m.histogram("study.worker_idle_ns") {
         let _ = writeln!(
             out,
@@ -403,6 +417,8 @@ mod tests {
         let metrics = metrics_report(&study);
         assert!(metrics.contains("Pipeline metrics"));
         assert!(metrics.contains("normalize.attributed"));
+        assert!(metrics.contains("Day durations:"), "{metrics}");
+        assert!(metrics.contains("p95"), "{metrics}");
         assert!(metrics_report_json(&study).contains("\"counters\""));
 
         let base = std::env::temp_dir().join("lockdown_report_test");

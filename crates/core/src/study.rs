@@ -38,13 +38,14 @@ use devclass::{audit_sample, AuditReport, DeviceType};
 use dhcplog::NormalizeStats;
 use geoloc::SubPop;
 use lockdown_obs::{
-    trace, MetricsRegistry, MetricsSnapshot, NullObserver, RunObserver, SpanRecorder,
+    trace, Fanout, LivePublisher, MetricsRegistry, MetricsSnapshot, NullObserver, RunObserver,
+    SpanRecorder, TelemetryServer,
 };
 use nettrace::time::{Day, Month, StudyCalendar};
 use nettrace::DeviceId;
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Mutex, MutexGuard, PoisonError};
 use std::time::Instant;
 
@@ -79,6 +80,9 @@ struct RunShared {
     abort: AtomicBool,
     first_err: Mutex<Option<DayFailure>>,
     strict: bool,
+    /// Days currently inside the isolation boundary, across all
+    /// workers — sampled into the `study.days_inflight` gauge.
+    inflight: AtomicU64,
 }
 
 impl RunShared {
@@ -88,6 +92,7 @@ impl RunShared {
             abort: AtomicBool::new(false),
             first_err: Mutex::new(None),
             strict,
+            inflight: AtomicU64::new(0),
         }
     }
 
@@ -107,6 +112,9 @@ struct DayOutcome {
     collector: StudyCollector,
     stats: NormalizeStats,
     metrics: MetricsSnapshot,
+    /// Wall duration of the attempt (the `study.day_duration_ns`
+    /// sample, also published through [`RunObserver::day_metrics`]).
+    duration_ns: u64,
 }
 
 /// Run one day inside the isolation boundary: a fresh collector and
@@ -121,10 +129,18 @@ fn try_day(
     attempt: u32,
     observer: &dyn RunObserver,
     collect_metrics: bool,
+    shared: &RunShared,
     span_name: &'static str,
 ) -> Result<DayOutcome, String> {
     let registry = collect_metrics.then(MetricsRegistry::new);
     let mut collector = StudyCollector::new();
+    // Sample run-wide concurrency into the day's registry: gauges merge
+    // by max, so the final value is the run's peak days-in-flight.
+    let inflight = shared.inflight.fetch_add(1, Ordering::Relaxed) + 1;
+    if let Some(reg) = &registry {
+        reg.gauge("study.days_inflight").set_max(inflight);
+    }
+    let t0 = Instant::now();
     let result = catch_unwind(AssertUnwindSafe(|| {
         let day_span = trace::span(span_name)
             .attr("day", u64::from(day.0))
@@ -139,17 +155,26 @@ fn try_day(
         .observer(observer)
         .metrics_opt(registry.as_ref())
         .fault(plan.fault)
-        .attempt(attempt);
+        .attempt(attempt)
+        .worker(worker);
         let day_stats = process_day_streaming(opts, &mut collector, plan.sim);
         day_span.set_attr("flows", day_stats.attributed);
         day_stats
     }));
+    let duration_ns = t0.elapsed().as_nanos() as u64;
+    shared.inflight.fetch_sub(1, Ordering::Relaxed);
     match result {
-        Ok(stats) => Ok(DayOutcome {
-            collector,
-            stats,
-            metrics: registry.map(|r| r.snapshot()).unwrap_or_default(),
-        }),
+        Ok(stats) => {
+            if let Some(reg) = &registry {
+                reg.histogram("study.day_duration_ns").record(duration_ns);
+            }
+            Ok(DayOutcome {
+                collector,
+                stats,
+                metrics: registry.map(|r| r.snapshot()).unwrap_or_default(),
+                duration_ns,
+            })
+        }
         Err(payload) => Err(panic_message(payload.as_ref())),
     }
 }
@@ -186,8 +211,19 @@ fn drain_days(
         let i = plan.cursor.fetch_add(1, Ordering::Relaxed);
         let Some(&day) = plan.days.get(i) else { break };
         observer.day_started(worker, day);
-        match try_day(plan, ctx, day, worker, 0, observer, collect_metrics, "day") {
+        match try_day(
+            plan,
+            ctx,
+            day,
+            worker,
+            0,
+            observer,
+            collect_metrics,
+            shared,
+            "day",
+        ) {
             Ok(out) => {
+                observer.day_metrics(worker, day, out.duration_ns, &out.metrics);
                 observer.day_finished(worker, day, out.stats.attributed);
                 absorb(&mut collector, &mut stats, &mut metrics, out);
             }
@@ -225,9 +261,11 @@ fn drain_days(
             1,
             observer,
             collect_metrics,
+            shared,
             "day.retry",
         ) {
             Ok(out) => {
+                observer.day_metrics(worker, day, out.duration_ns, &out.metrics);
                 observer.day_finished(worker, day, out.stats.attributed);
                 absorb(&mut collector, &mut stats, &mut metrics, out);
                 lock(&shared.degraded).recovered.push(first);
@@ -403,6 +441,8 @@ pub struct StudyBuilder {
     trace: Option<SpanRecorder>,
     fault: Option<FaultProfile>,
     strict: bool,
+    live: Option<LivePublisher>,
+    serve_addr: Option<String>,
 }
 
 impl StudyBuilder {
@@ -419,6 +459,8 @@ impl StudyBuilder {
             trace: None,
             fault: None,
             strict: false,
+            live: None,
+            serve_addr: None,
         }
     }
 
@@ -479,6 +521,29 @@ impl StudyBuilder {
         self
     }
 
+    /// Feed live run state into `publisher` (a cheap clone of shared
+    /// state): day boundaries, periodic mid-day snapshots, and — when
+    /// the run completes — the exact final merged metrics. Use this
+    /// when the caller owns the [`TelemetryServer`] (e.g. to learn the
+    /// bound port before the run starts); [`StudyBuilder::serve`] is
+    /// the one-call convenience that does both.
+    pub fn live(mut self, publisher: &LivePublisher) -> Self {
+        self.live = Some(publisher.clone());
+        self
+    }
+
+    /// Serve live telemetry (`/metrics`, `/healthz`, `/progress`) on
+    /// `addr` for the duration of the run. The bound server rides in
+    /// [`StudyRun::telemetry`], so with `"127.0.0.1:0"` the real port
+    /// is only discoverable after the run — bind a
+    /// [`TelemetryServer`] yourself and use [`StudyBuilder::live`] if
+    /// you need it earlier. Publication is observation-only: results
+    /// are bit-identical with or without a server attached.
+    pub fn serve(mut self, addr: impl Into<String>) -> Self {
+        self.serve_addr = Some(addr.into());
+        self
+    }
+
     /// Also run the 2019 counterfactual (same seed and population
     /// scale, no pandemic) and report Apr/May traffic growth against
     /// it; the paper reports +53%. Both runs share one pool of scoped
@@ -509,9 +574,27 @@ impl StudyBuilder {
             trace: trace_rec,
             fault,
             strict,
+            live,
+            serve_addr,
         } = self;
         cfg.validate()?;
         let fault = fault.filter(|p| !p.is_noop());
+        // A serve address implies a publisher even if the caller didn't
+        // attach one explicitly.
+        let live = live.or_else(|| serve_addr.as_ref().map(|_| LivePublisher::new()));
+        let telemetry = match (&live, serve_addr) {
+            (Some(live), Some(addr)) => Some(
+                TelemetryServer::bind(&addr, live.clone())
+                    .map_err(|source| StudyError::Serve { addr, source })?,
+            ),
+            _ => None,
+        };
+        // The caller's observer and the live publisher both hear every
+        // event; without a publisher the original box rides unchanged.
+        let observer: Box<dyn RunObserver> = match &live {
+            Some(l) => Box::new(Fanout(l.clone(), observer)),
+            None => observer,
+        };
         // If a recorder is configured and the calling thread is not
         // already recording (e.g. the CLI installed its own main lane),
         // give the orchestration phases a lane of their own. No span
@@ -532,6 +615,10 @@ impl StudyBuilder {
             )
         };
         let days: Vec<Day> = StudyCalendar::days().collect();
+        if let Some(live) = &live {
+            let passes = 1 + u64::from(cf_sim.is_some());
+            live.set_days_total(days.len() as u64 * passes);
+        }
         let cursor = AtomicUsize::new(0);
         let cf_cursor = AtomicUsize::new(0);
         let retry = Mutex::new(Vec::new());
@@ -667,9 +754,21 @@ impl StudyBuilder {
             }
         });
 
+        // Hand the live view the exact final merged metrics (a
+        // superset of everything published mid-run, so the view stays
+        // monotone) and mark the run done for `/healthz`.
+        if let Some(live) = &live {
+            let mut final_metrics = study.metrics.clone();
+            if let Some(cf) = &counterfactual {
+                final_metrics.merge(&cf.study.metrics);
+            }
+            live.finish(&final_metrics);
+        }
+
         Ok(StudyRun {
             study,
             counterfactual,
+            telemetry,
         })
     }
 }
@@ -691,6 +790,10 @@ pub struct StudyRun {
     /// The 2019 counterfactual, if [`StudyBuilder::with_counterfactual`]
     /// was requested.
     pub counterfactual: Option<Counterfactual>,
+    /// The live telemetry server, still serving the run's final state,
+    /// if [`StudyBuilder::serve`] was requested. Dropping the run shuts
+    /// it down.
+    pub telemetry: Option<TelemetryServer>,
 }
 
 impl StudyRun {
@@ -840,6 +943,75 @@ mod tests {
             run.study.headline().peak_active,
             clean.study.headline().peak_active
         );
+    }
+
+    #[test]
+    fn live_publisher_tracks_run_and_finishes_with_final_metrics() {
+        let live = LivePublisher::new();
+        let run = Study::builder(tiny()).threads(2).live(&live).run().unwrap();
+        assert!(live.is_finished());
+        let days = StudyCalendar::days().count() as u64;
+        let p = live.progress();
+        assert_eq!(p.status, "done");
+        assert_eq!(p.days_total, days);
+        assert_eq!(p.days_completed, days);
+        assert_eq!(p.days_inflight, 0);
+        assert_eq!(p.eta_ns, Some(0));
+        assert_eq!(p.flows, run.study.norm_stats.attributed);
+        // The final live view is the run's own merged metrics, exactly.
+        assert_eq!(&live.metrics(), run.study.metrics());
+        // Day-boundary instrumentation: one duration sample per day, and
+        // the inflight gauge saw at least one day in flight.
+        let h = run
+            .study
+            .metrics()
+            .histogram("study.day_duration_ns")
+            .expect("day duration histogram");
+        assert_eq!(h.count(), days);
+        assert!(h.quantile(0.99) >= h.quantile(0.5));
+        assert!(run.study.metrics().gauge("study.days_inflight") >= 1);
+    }
+
+    #[test]
+    fn serving_telemetry_does_not_change_results() {
+        let clean = Study::builder(tiny()).threads(2).run().unwrap();
+        let served = Study::builder(tiny())
+            .threads(2)
+            .serve("127.0.0.1:0")
+            .run()
+            .unwrap();
+        assert_eq!(
+            clean.study.metrics().counters,
+            served.study.metrics().counters
+        );
+        assert_eq!(clean.study.norm_stats, served.study.norm_stats);
+        assert_eq!(
+            clean.study.headline().peak_active,
+            served.study.headline().peak_active
+        );
+        // The server handle rides on the run and still answers with the
+        // final state.
+        let server = served.telemetry.as_ref().expect("server handle");
+        let mut conn = std::net::TcpStream::connect(server.addr()).expect("connect");
+        use std::io::{Read as _, Write as _};
+        write!(conn, "GET /healthz HTTP/1.1\r\nConnection: close\r\n\r\n").unwrap();
+        let mut raw = String::new();
+        conn.read_to_string(&mut raw).expect("read");
+        assert!(raw.contains("\"status\":\"done\""), "{raw}");
+    }
+
+    #[test]
+    fn serve_bind_failure_is_a_typed_error() {
+        // Occupy an ephemeral port so the builder's bind collides with
+        // it (privileged ports are no obstacle when tests run as root).
+        let taken = std::net::TcpListener::bind("127.0.0.1:0").expect("reserve port");
+        let addr = taken.local_addr().expect("local addr").to_string();
+        let err = Study::builder(tiny())
+            .serve(addr)
+            .run()
+            .err()
+            .expect("binding an occupied port must fail");
+        assert!(matches!(err, StudyError::Serve { .. }), "{err}");
     }
 
     #[test]

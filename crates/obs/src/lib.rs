@@ -13,8 +13,20 @@
 //! * [`StageTimer`] — wraps any [`nettrace::Stage`] and records
 //!   per-record latency plus per-push record/byte counts.
 //! * [`RunObserver`] — progress events (`day_started`, `day_finished`,
-//!   `stage_flushed`, `worker_idle`) with a no-op [`NullObserver`], a
-//!   stderr [`TextProgress`], and a machine-readable [`JsonlSink`].
+//!   `stage_flushed`, `worker_idle`) plus live-publication hooks
+//!   (`day_tick`, `day_metrics`), with a no-op [`NullObserver`], a
+//!   stderr [`TextProgress`], a machine-readable [`JsonlSink`], and a
+//!   [`Fanout`] combinator.
+//! * [`live`] — the live aggregation seam: a [`LivePublisher`] merges
+//!   coarse worker snapshots into a monotone read-side view with run
+//!   progress ([`Progress`]) and an EWMA-based ETA.
+//! * [`prom`] — Prometheus text exposition (format 0.0.4) rendering of
+//!   a [`MetricsSnapshot`], including histogram `_bucket`/`_sum`/
+//!   `_count` series and p50/p95/p99 quantile companions, plus a strict
+//!   parser used by tests and `repro probe`.
+//! * [`serve`] — [`TelemetryServer`], a dependency-free blocking HTTP
+//!   listener exposing `/metrics`, `/healthz`, and `/progress` from a
+//!   [`LivePublisher`] while a run is in flight.
 //! * [`trace`] — span-based timelines: a [`SpanRecorder`] collecting
 //!   nested, attributed spans per worker lane, exported as Chrome
 //!   trace-event JSON (Perfetto / `chrome://tracing`) or collapsed
@@ -42,15 +54,20 @@
 #![warn(missing_docs)]
 
 pub mod json;
+pub mod live;
 pub mod manifest;
 pub mod metrics;
 pub mod observer;
+pub mod prom;
+pub mod serve;
 pub mod timer;
 pub mod trace;
 
+pub use live::{LivePublisher, Progress, WorkerProgress};
 pub use manifest::{DegradedEntry, RunManifest};
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry, MetricsSnapshot};
-pub use observer::{CountingObserver, JsonlSink, NullObserver, RunObserver, TextProgress};
+pub use observer::{CountingObserver, Fanout, JsonlSink, NullObserver, RunObserver, TextProgress};
+pub use serve::TelemetryServer;
 pub use timer::{BytesOf, StageTimer};
 pub use trace::{SpanRecorder, Trace};
 

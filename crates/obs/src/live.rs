@@ -1,0 +1,499 @@
+//! The live aggregation seam: a [`LivePublisher`] that workers feed
+//! with cheap, periodic metric snapshots so an in-flight run can be
+//! observed from outside (see [`crate::serve`]).
+//!
+//! The end-of-run merge story is untouched: each worker still owns
+//! private per-day registries whose snapshots fold together after the
+//! run. The publisher is a *second reader* of the same data — it
+//! receives the [`RunObserver`] day-boundary events plus two publication
+//! hooks ([`RunObserver::day_tick`] every N records,
+//! [`RunObserver::day_metrics`] when a day completes) and maintains:
+//!
+//! * a `base` snapshot — the merged metrics of every *completed* day;
+//! * one `inflight` snapshot per worker — the latest mid-day snapshot,
+//!   **replaced** (not merged) on each tick so `base + Σ inflight`
+//!   stays monotonically nondecreasing while days run;
+//! * run progress — days completed/total, per-worker current day,
+//!   flows, elapsed wall clock, and an ETA from an EWMA of day
+//!   durations (the same duration samples the study runner records
+//!   into the `study.day_duration_ns` histogram).
+//!
+//! Publication is coarse — once per day boundary and once per tick
+//! interval — so the hot path never contends the publisher's mutex.
+//! Counters in the live view only ever decrease in one case: a day
+//! that *fails* has its partial inflight snapshot discarded, exactly
+//! mirroring the end-of-run semantics where a failed day contributes
+//! no state.
+
+use crate::metrics::{MetricsRegistry, MetricsSnapshot};
+use crate::observer::RunObserver;
+use nettrace::time::Day;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+use std::time::Instant;
+
+/// EWMA weight of the newest day-duration sample.
+const EWMA_ALPHA: f64 = 0.3;
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+#[derive(Debug, Default)]
+struct WorkerLive {
+    current_day: Option<u16>,
+    day_flows: u64,
+    days_done: u64,
+    inflight: MetricsSnapshot,
+}
+
+#[derive(Debug, Default)]
+struct LiveTables {
+    base: MetricsSnapshot,
+    workers: BTreeMap<usize, WorkerLive>,
+}
+
+#[derive(Debug)]
+struct LiveInner {
+    started: Instant,
+    days_total: AtomicU64,
+    days_completed: AtomicU64,
+    /// Failed day *attempts* observed (a recovered day counts once).
+    degraded: AtomicU64,
+    /// Flows from completed days.
+    flows: AtomicU64,
+    finished: AtomicBool,
+    /// EWMA of day wall durations in ns; 0 = no sample yet.
+    ewma_day_ns: AtomicU64,
+    tables: Mutex<LiveTables>,
+}
+
+/// Shared, cloneable live-telemetry state. Attach one to a run (it
+/// implements [`RunObserver`]) and hand a clone to a
+/// [`TelemetryServer`](crate::serve::TelemetryServer) — or poll
+/// [`LivePublisher::progress`] / [`LivePublisher::metrics`] directly.
+#[derive(Debug, Clone)]
+pub struct LivePublisher {
+    inner: Arc<LiveInner>,
+}
+
+impl Default for LivePublisher {
+    fn default() -> Self {
+        LivePublisher::new()
+    }
+}
+
+/// One worker's row in a [`Progress`] view.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkerProgress {
+    /// Worker index.
+    pub worker: usize,
+    /// The day currently streaming on this worker, if any.
+    pub day: Option<u16>,
+    /// Flows collected so far in the current day (updated per tick).
+    pub day_flows: u64,
+    /// Days this worker has completed.
+    pub days_done: u64,
+}
+
+/// A point-in-time progress view of the run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Progress {
+    /// `"running"` or `"done"`.
+    pub status: &'static str,
+    /// Days the run will process in total (both passes when a
+    /// counterfactual is configured).
+    pub days_total: u64,
+    /// Days completed so far.
+    pub days_completed: u64,
+    /// Days currently streaming (workers holding a day).
+    pub days_inflight: u64,
+    /// Failed day attempts observed so far.
+    pub degraded_days: u64,
+    /// Flows collected (completed days plus live per-worker progress).
+    pub flows: u64,
+    /// Wall clock since the publisher was created, nanoseconds.
+    pub elapsed_ns: u64,
+    /// Estimated remaining wall time from the day-duration EWMA,
+    /// nanoseconds; `None` until the first day completes (or once
+    /// finished).
+    pub eta_ns: Option<u64>,
+    /// Per-worker rows, ordered by worker index.
+    pub workers: Vec<WorkerProgress>,
+}
+
+impl Progress {
+    /// Render as a strict-parser-safe JSON object.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        let _ = write!(out, "\"status\":{}", crate::json::quoted(self.status));
+        let _ = write!(out, ",\"days_total\":{}", self.days_total);
+        let _ = write!(out, ",\"days_completed\":{}", self.days_completed);
+        let _ = write!(out, ",\"days_inflight\":{}", self.days_inflight);
+        let _ = write!(out, ",\"degraded_days\":{}", self.degraded_days);
+        let _ = write!(out, ",\"flows\":{}", self.flows);
+        let _ = write!(out, ",\"elapsed_ns\":{}", self.elapsed_ns);
+        match self.eta_ns {
+            Some(eta) => {
+                let _ = write!(out, ",\"eta_ns\":{eta}");
+            }
+            None => out.push_str(",\"eta_ns\":null"),
+        }
+        out.push_str(",\"workers\":[");
+        for (i, w) in self.workers.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{{\"worker\":{}", w.worker);
+            match w.day {
+                Some(d) => {
+                    let _ = write!(out, ",\"day\":{d}");
+                }
+                None => out.push_str(",\"day\":null"),
+            }
+            let _ = write!(
+                out,
+                ",\"day_flows\":{},\"days_done\":{}}}",
+                w.day_flows, w.days_done
+            );
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+impl LivePublisher {
+    /// A fresh publisher; the wall clock starts now.
+    pub fn new() -> Self {
+        LivePublisher {
+            inner: Arc::new(LiveInner {
+                started: Instant::now(),
+                days_total: AtomicU64::new(0),
+                days_completed: AtomicU64::new(0),
+                degraded: AtomicU64::new(0),
+                flows: AtomicU64::new(0),
+                finished: AtomicBool::new(false),
+                ewma_day_ns: AtomicU64::new(0),
+                tables: Mutex::new(LiveTables::default()),
+            }),
+        }
+    }
+
+    /// Declare how many days the run will process (drives the ETA and
+    /// the `/progress` denominator).
+    pub fn set_days_total(&self, n: u64) {
+        self.inner.days_total.store(n, Ordering::Relaxed);
+    }
+
+    /// Mark the run finished and replace the live view with the exact
+    /// final merged snapshot, so post-run reads equal the run's own
+    /// [`MetricsSnapshot`]. The final merge is a superset of everything
+    /// published live, so the view stays monotone across the handoff.
+    pub fn finish(&self, final_metrics: &MetricsSnapshot) {
+        let mut t = lock(&self.inner.tables);
+        t.base = final_metrics.clone();
+        for w in t.workers.values_mut() {
+            w.current_day = None;
+            w.day_flows = 0;
+            w.inflight = MetricsSnapshot::default();
+        }
+        drop(t);
+        self.inner.finished.store(true, Ordering::Release);
+    }
+
+    /// True once [`LivePublisher::finish`] ran.
+    pub fn is_finished(&self) -> bool {
+        self.inner.finished.load(Ordering::Acquire)
+    }
+
+    /// The live metrics view: completed-day base plus every worker's
+    /// latest inflight snapshot.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        let t = lock(&self.inner.tables);
+        let mut snap = t.base.clone();
+        for w in t.workers.values() {
+            snap.merge(&w.inflight);
+        }
+        snap
+    }
+
+    /// [`LivePublisher::metrics`] extended with the run-level
+    /// `study.live.*` gauges (days completed/total, flows, elapsed,
+    /// ETA, degraded count) so one `/metrics` scrape carries the whole
+    /// picture.
+    pub fn exposition_metrics(&self) -> MetricsSnapshot {
+        let p = self.progress();
+        let mut snap = self.metrics();
+        let g = &mut snap.gauges;
+        g.insert("study.live.days_completed".into(), p.days_completed);
+        g.insert("study.live.days_inflight".into(), p.days_inflight);
+        g.insert("study.live.days_total".into(), p.days_total);
+        g.insert("study.live.degraded_days".into(), p.degraded_days);
+        g.insert("study.live.elapsed_ns".into(), p.elapsed_ns);
+        g.insert("study.live.eta_ns".into(), p.eta_ns.unwrap_or(0));
+        g.insert("study.live.flows".into(), p.flows);
+        snap
+    }
+
+    /// A point-in-time progress view.
+    pub fn progress(&self) -> Progress {
+        let finished = self.is_finished();
+        let days_total = self.inner.days_total.load(Ordering::Relaxed);
+        let days_completed = self.inner.days_completed.load(Ordering::Relaxed);
+        let mut flows = self.inner.flows.load(Ordering::Relaxed);
+        let t = lock(&self.inner.tables);
+        let mut workers = Vec::with_capacity(t.workers.len());
+        let mut days_inflight = 0;
+        for (&worker, w) in &t.workers {
+            if w.current_day.is_some() {
+                days_inflight += 1;
+            }
+            flows += w.day_flows;
+            workers.push(WorkerProgress {
+                worker,
+                day: w.current_day,
+                day_flows: w.day_flows,
+                days_done: w.days_done,
+            });
+        }
+        drop(t);
+        let ewma = self.inner.ewma_day_ns.load(Ordering::Relaxed);
+        let eta_ns = if finished {
+            Some(0)
+        } else if ewma == 0 || days_total <= days_completed {
+            None
+        } else {
+            // Remaining days spread over however many workers have
+            // reported in (at least one).
+            let lanes = workers.len().max(1) as u64;
+            Some((days_total - days_completed).saturating_mul(ewma) / lanes)
+        };
+        Progress {
+            status: if finished { "done" } else { "running" },
+            days_total,
+            days_completed,
+            days_inflight,
+            degraded_days: self.inner.degraded.load(Ordering::Relaxed),
+            flows,
+            elapsed_ns: self.inner.started.elapsed().as_nanos() as u64,
+            eta_ns,
+            workers,
+        }
+    }
+
+    /// Failed day attempts observed so far.
+    pub fn degraded_days(&self) -> u64 {
+        self.inner.degraded.load(Ordering::Relaxed)
+    }
+
+    /// Wall clock since the publisher was created.
+    pub fn elapsed(&self) -> std::time::Duration {
+        self.inner.started.elapsed()
+    }
+}
+
+impl RunObserver for LivePublisher {
+    fn day_started(&self, worker: usize, day: Day) {
+        let mut t = lock(&self.inner.tables);
+        let w = t.workers.entry(worker).or_default();
+        w.current_day = Some(day.0);
+        w.day_flows = 0;
+        w.inflight = MetricsSnapshot::default();
+    }
+
+    fn day_tick(&self, worker: usize, _day: Day, flows: u64, registry: Option<&MetricsRegistry>) {
+        let snap = registry.map(MetricsRegistry::snapshot);
+        let mut t = lock(&self.inner.tables);
+        let w = t.workers.entry(worker).or_default();
+        w.day_flows = flows;
+        if let Some(snap) = snap {
+            // Replace, never merge: the day registry's counters are
+            // cumulative for the day, so substitution keeps
+            // base + inflight monotone.
+            w.inflight = snap;
+        }
+    }
+
+    fn day_metrics(&self, worker: usize, _day: Day, duration_ns: u64, metrics: &MetricsSnapshot) {
+        let mut t = lock(&self.inner.tables);
+        t.base.merge(metrics);
+        let w = t.workers.entry(worker).or_default();
+        w.inflight = MetricsSnapshot::default();
+        w.day_flows = 0;
+        drop(t);
+        // Racy-update EWMA: day completions are coarse enough that a
+        // lost update costs nothing but a slightly staler ETA.
+        let prev = self.inner.ewma_day_ns.load(Ordering::Relaxed);
+        let next = if prev == 0 {
+            duration_ns
+        } else {
+            (EWMA_ALPHA * duration_ns as f64 + (1.0 - EWMA_ALPHA) * prev as f64) as u64
+        };
+        self.inner.ewma_day_ns.store(next.max(1), Ordering::Relaxed);
+    }
+
+    fn day_finished(&self, worker: usize, _day: Day, flows: u64) {
+        self.inner.days_completed.fetch_add(1, Ordering::Relaxed);
+        self.inner.flows.fetch_add(flows, Ordering::Relaxed);
+        let mut t = lock(&self.inner.tables);
+        let w = t.workers.entry(worker).or_default();
+        w.current_day = None;
+        w.day_flows = 0;
+        w.days_done += 1;
+    }
+
+    fn day_failed(&self, worker: usize, _day: Day, _attempt: u32, _error: &str) {
+        self.inner.degraded.fetch_add(1, Ordering::Relaxed);
+        // The failed attempt's partial state is discarded, exactly as
+        // the end-of-run merge discards it.
+        let mut t = lock(&self.inner.tables);
+        let w = t.workers.entry(worker).or_default();
+        w.current_day = None;
+        w.day_flows = 0;
+        w.inflight = MetricsSnapshot::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn registry_with(flows: u64) -> MetricsRegistry {
+        let reg = MetricsRegistry::new();
+        reg.counter("pipeline.flows_collected").add(flows);
+        reg
+    }
+
+    #[test]
+    fn live_view_is_monotone_across_ticks_and_day_boundaries() {
+        let live = LivePublisher::new();
+        live.set_days_total(2);
+        let last = std::cell::Cell::new(0);
+        let probe = |live: &LivePublisher| {
+            let v = live.metrics().counter("pipeline.flows_collected");
+            assert!(
+                v >= last.get(),
+                "live counter regressed: {v} < {}",
+                last.get()
+            );
+            last.set(v);
+        };
+
+        live.day_started(0, Day(0));
+        probe(&live);
+        let reg = registry_with(10);
+        live.day_tick(0, Day(0), 10, Some(&reg));
+        probe(&live);
+        reg.counter("pipeline.flows_collected").add(15);
+        live.day_tick(0, Day(0), 25, Some(&reg));
+        probe(&live);
+        // Day completes: final day snapshot >= last inflight.
+        reg.counter("pipeline.flows_collected").add(5);
+        live.day_metrics(0, Day(0), 1_000_000, &reg.snapshot());
+        live.day_finished(0, Day(0), 30);
+        probe(&live);
+        assert_eq!(last.get(), 30);
+
+        // Second day on another worker.
+        live.day_started(1, Day(1));
+        let reg2 = registry_with(7);
+        live.day_tick(1, Day(1), 7, Some(&reg2));
+        probe(&live);
+        assert_eq!(last.get(), 37);
+        live.day_metrics(1, Day(1), 3_000_000, &reg2.snapshot());
+        live.day_finished(1, Day(1), 7);
+        probe(&live);
+
+        let p = live.progress();
+        assert_eq!(p.days_completed, 2);
+        assert_eq!(p.days_inflight, 0);
+        assert_eq!(p.flows, 37);
+        assert_eq!(p.status, "running");
+    }
+
+    #[test]
+    fn progress_tracks_workers_eta_and_finish() {
+        let live = LivePublisher::new();
+        live.set_days_total(10);
+        assert_eq!(live.progress().eta_ns, None, "no ETA before first day");
+
+        live.day_started(3, Day(5));
+        let p = live.progress();
+        assert_eq!(p.days_inflight, 1);
+        assert_eq!(p.workers.len(), 1);
+        assert_eq!(p.workers[0].worker, 3);
+        assert_eq!(p.workers[0].day, Some(5));
+
+        live.day_metrics(3, Day(5), 1_000_000, &MetricsSnapshot::default());
+        live.day_finished(3, Day(5), 100);
+        let p = live.progress();
+        assert_eq!(p.days_completed, 1);
+        // 9 days remain on 1 lane at ~1ms EWMA.
+        let eta = p.eta_ns.expect("ETA after first day");
+        assert!((8_000_000..=10_000_000).contains(&eta), "{eta}");
+
+        // A second, slower day pulls the EWMA (and thus the ETA) up.
+        live.day_started(3, Day(6));
+        live.day_metrics(3, Day(6), 5_000_000, &MetricsSnapshot::default());
+        live.day_finished(3, Day(6), 100);
+        let eta2 = live.progress().eta_ns.expect("ETA");
+        assert!(
+            eta2 > eta,
+            "EWMA must move toward slower days: {eta2} <= {eta}"
+        );
+
+        let mut fin = MetricsSnapshot::default();
+        fin.counters.insert("pipeline.flows_collected".into(), 200);
+        live.finish(&fin);
+        let p = live.progress();
+        assert_eq!(p.status, "done");
+        assert_eq!(p.eta_ns, Some(0));
+        assert_eq!(live.metrics().counter("pipeline.flows_collected"), 200);
+    }
+
+    #[test]
+    fn failed_day_discards_inflight_and_counts_degraded() {
+        let live = LivePublisher::new();
+        live.day_started(0, Day(47));
+        let reg = registry_with(50);
+        live.day_tick(0, Day(47), 50, Some(&reg));
+        assert_eq!(live.metrics().counter("pipeline.flows_collected"), 50);
+        live.day_failed(0, Day(47), 0, "injected");
+        assert_eq!(live.metrics().counter("pipeline.flows_collected"), 0);
+        assert_eq!(live.degraded_days(), 1);
+        assert_eq!(live.progress().days_inflight, 0);
+    }
+
+    #[test]
+    fn progress_json_is_strict_and_complete() {
+        let live = LivePublisher::new();
+        live.set_days_total(121);
+        live.day_started(0, Day(3));
+        live.day_tick(0, Day(3), 42, None);
+        let json = live.progress().to_json();
+        let v: serde_json::Value = serde_json::from_str(&json).expect("strict parse");
+        assert_eq!(v.get("status").unwrap().as_str(), Some("running"));
+        assert_eq!(v.get("days_total").unwrap().as_u64(), Some(121));
+        assert!(v.get("eta_ns").unwrap().is_null());
+        let workers = v.get("workers").unwrap().as_array().unwrap();
+        assert_eq!(workers.len(), 1);
+        assert_eq!(workers[0].get("day").unwrap().as_u64(), Some(3));
+        assert_eq!(workers[0].get("day_flows").unwrap().as_u64(), Some(42));
+    }
+
+    #[test]
+    fn exposition_metrics_carry_live_gauges() {
+        let live = LivePublisher::new();
+        live.set_days_total(4);
+        live.day_started(0, Day(0));
+        live.day_metrics(0, Day(0), 1_000, &MetricsSnapshot::default());
+        live.day_finished(0, Day(0), 9);
+        let snap = live.exposition_metrics();
+        assert_eq!(snap.gauge("study.live.days_completed"), 1);
+        assert_eq!(snap.gauge("study.live.days_total"), 4);
+        assert_eq!(snap.gauge("study.live.flows"), 9);
+        assert!(snap.gauge("study.live.elapsed_ns") > 0);
+    }
+}

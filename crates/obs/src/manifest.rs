@@ -98,6 +98,9 @@ pub struct RunManifest {
     /// Days that failed during the run (quarantined, retried, possibly
     /// recovered). Empty for a clean run.
     pub degraded: Vec<DegradedEntry>,
+    /// Address the live telemetry server listened on, when the run was
+    /// observed over HTTP — provenance of *how* a run was watched.
+    pub serve_addr: Option<String>,
 }
 
 impl RunManifest {
@@ -194,6 +197,34 @@ impl RunManifest {
             out.push_str(&d.to_json());
         }
         out.push(']');
+        out.push_str(",\"serve_addr\":");
+        match &self.serve_addr {
+            Some(addr) => out.push_str(&json::quoted(addr)),
+            None => out.push_str("null"),
+        }
+        // Quantile digest of every histogram the run recorded (upper
+        // bucket bounds; true values lie within 2× below — see
+        // `HistogramSnapshot::quantile`), so a manifest answers "how
+        // slow were the days" without re-deriving from raw buckets.
+        out.push_str(",\"quantiles\":{");
+        let mut first = true;
+        for (name, h) in self.metrics.iter().flat_map(|m| &m.histograms) {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let _ = write!(
+                out,
+                "{}:{{\"count\":{},\"mean\":{:.1},\"p50\":{},\"p95\":{},\"p99\":{}}}",
+                json::quoted(name),
+                h.count(),
+                h.mean(),
+                h.quantile(0.5),
+                h.quantile(0.95),
+                h.quantile(0.99),
+            );
+        }
+        out.push('}');
         out.push_str(",\"metrics\":");
         match &self.metrics {
             Some(m) => out.push_str(&m.to_json()),
@@ -246,7 +277,15 @@ mod tests {
         m.record_trace(&t);
         let mut metrics = MetricsSnapshot::default();
         metrics.counters.insert("pipeline.flows_in".into(), 7);
+        let h = crate::metrics::Histogram::detached();
+        for _ in 0..10 {
+            h.record(1000);
+        }
+        metrics
+            .histograms
+            .insert("study.day_duration_ns".into(), h.snapshot());
         m.metrics = Some(metrics);
+        m.serve_addr = Some("127.0.0.1:9184".into());
         m.degraded.push(DegradedEntry {
             day: 47,
             stage: "stream_day".into(),
@@ -300,6 +339,20 @@ mod tests {
                 .as_u64(),
             Some(7)
         );
+        assert_eq!(
+            v.get("serve_addr").unwrap().as_str(),
+            Some("127.0.0.1:9184")
+        );
+        let q = v
+            .get("quantiles")
+            .unwrap()
+            .get("study.day_duration_ns")
+            .expect("quantile digest");
+        assert_eq!(q.get("count").unwrap().as_u64(), Some(10));
+        // 1000 has bit length 10, so every quantile is the 2^10 bound.
+        assert_eq!(q.get("p50").unwrap().as_u64(), Some(1024));
+        assert_eq!(q.get("p95").unwrap().as_u64(), Some(1024));
+        assert_eq!(q.get("p99").unwrap().as_u64(), Some(1024));
     }
 
     #[test]
@@ -309,5 +362,11 @@ mod tests {
         assert!(v.get("metrics").unwrap().is_null());
         assert_eq!(v.get("top_level_span_ns").unwrap().as_u64(), Some(0));
         assert_eq!(v.get("degraded").unwrap().as_array().unwrap().len(), 0);
+        assert!(v.get("serve_addr").unwrap().is_null());
+        assert_eq!(
+            v.get("quantiles").unwrap().as_object().unwrap().len(),
+            0,
+            "no histograms, no digests"
+        );
     }
 }

@@ -146,7 +146,15 @@ impl HistogramSnapshot {
     }
 
     /// Upper bound of the bucket containing quantile `q` in `[0, 1]`
-    /// (0 if empty). Exponential buckets bound the answer within 2×.
+    /// (0 if empty).
+    ///
+    /// Bucket-boundary error: bucket `i` spans `[2^(i-1), 2^i)`, so the
+    /// returned value is the bucket's *upper* bound and the true
+    /// quantile lies within a factor of 2 below it. That is the price
+    /// of 65 fixed base-2 buckets covering all of `u64` with `Relaxed`
+    /// atomics on the record path; for the latency- and size-shaped
+    /// distributions this crate tracks, order-of-magnitude quantiles
+    /// are what reports need.
     pub fn quantile(&self, q: f64) -> u64 {
         let n = self.count();
         if n == 0 {
@@ -297,6 +305,10 @@ impl MetricsSnapshot {
     }
 
     /// Render as aligned `name value` text lines.
+    ///
+    /// Metrics appear in lexicographic key order (the maps are
+    /// `BTreeMap`s), so two runs producing the same metrics render
+    /// byte-identical reports and diff cleanly.
     pub fn to_text(&self) -> String {
         let width = self
             .counters
@@ -316,10 +328,11 @@ impl MetricsSnapshot {
         for (k, h) in &self.histograms {
             let _ = writeln!(
                 out,
-                "{k:<width$}  n={} mean={:.0} p50≤{} p99≤{}",
+                "{k:<width$}  n={} mean={:.0} p50≤{} p95≤{} p99≤{}",
                 h.count(),
                 h.mean(),
                 h.quantile(0.5),
+                h.quantile(0.95),
                 h.quantile(0.99),
             );
         }
@@ -330,7 +343,8 @@ impl MetricsSnapshot {
     /// conventionally plain dotted identifiers, but the emitter does
     /// not rely on that: every key goes through [`crate::json::quoted`]
     /// so quotes, control characters, and non-ASCII text survive a
-    /// strict parser.
+    /// strict parser. Keys are emitted in lexicographic order, so equal
+    /// snapshots serialize byte-identically.
     pub fn to_json(&self) -> String {
         let mut out = String::from("{\"counters\":{");
         let mut first = true;
@@ -359,11 +373,12 @@ impl MetricsSnapshot {
             first = false;
             let _ = write!(
                 out,
-                "{}:{{\"count\":{},\"sum\":{},\"p50\":{},\"p99\":{}}}",
+                "{}:{{\"count\":{},\"sum\":{},\"p50\":{},\"p95\":{},\"p99\":{}}}",
                 crate::json::quoted(k),
                 h.count(),
                 h.sum,
                 h.quantile(0.5),
+                h.quantile(0.95),
                 h.quantile(0.99),
             );
         }
@@ -466,6 +481,38 @@ mod tests {
         assert!(json.contains("\"x.count\":2"));
         assert!(json.contains("\"x.peak\":5"));
         assert!(json.contains("\"count\":1"));
+        assert!(json.contains("\"p95\":"));
+        assert!(text.contains("p95≤"));
+    }
+
+    #[test]
+    fn renderers_emit_keys_in_sorted_order_regardless_of_insertion() {
+        // Register in deliberately reversed order; output must be
+        // lexicographic so diffs between runs are stable.
+        let reg = MetricsRegistry::new();
+        for name in ["z.last", "m.middle", "a.first"] {
+            reg.counter(name).inc();
+            reg.gauge(&format!("g.{name}")).set(1);
+            reg.histogram(&format!("h.{name}")).record(1);
+        }
+        let snap = reg.snapshot();
+
+        let positions = |hay: &str, needles: &[&str]| -> Vec<usize> {
+            needles
+                .iter()
+                .map(|n| hay.find(n).unwrap_or_else(|| panic!("{n} missing")))
+                .collect()
+        };
+        for rendered in [snap.to_text(), snap.to_json()] {
+            let pos = positions(&rendered, &["a.first", "m.middle", "z.last"]);
+            assert!(pos.windows(2).all(|w| w[0] < w[1]), "counters unsorted");
+            let pos = positions(&rendered, &["g.a.first", "g.m.middle", "g.z.last"]);
+            assert!(pos.windows(2).all(|w| w[0] < w[1]), "gauges unsorted");
+            let pos = positions(&rendered, &["h.a.first", "h.m.middle", "h.z.last"]);
+            assert!(pos.windows(2).all(|w| w[0] < w[1]), "histograms unsorted");
+        }
+        // Equal snapshots serialize byte-identically.
+        assert_eq!(snap.to_json(), reg.snapshot().to_json());
     }
 
     #[test]

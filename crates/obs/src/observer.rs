@@ -1,12 +1,22 @@
 //! Run-level progress events.
 //!
 //! A [`RunObserver`] is shared by every worker of a study run and
-//! receives coarse progress events — one per day or per worker, never
-//! per record, so even a chatty observer cannot slow the pipeline
-//! down. [`NullObserver`] is the zero-cost default; [`TextProgress`]
-//! streams human-readable lines to stderr; [`JsonlSink`] appends one
-//! JSON object per event to any writer for offline analysis.
+//! receives coarse progress events — one per day, per worker, or per
+//! tick interval (thousands of records), never per record, so even a
+//! chatty observer cannot slow the pipeline down. [`NullObserver`] is
+//! the zero-cost default; [`TextProgress`] streams human-readable lines
+//! to stderr; [`JsonlSink`] appends one JSON object per event to any
+//! writer for offline analysis; [`Fanout`] composes two observers so a
+//! run can feed, say, a [`crate::live::LivePublisher`] and a progress
+//! printer at once.
+//!
+//! Two events are *publication hooks* for live telemetry rather than
+//! progress notifications: [`RunObserver::day_tick`] fires every N
+//! records mid-day with the worker's day-scoped registry, and
+//! [`RunObserver::day_metrics`] fires once per completed day with the
+//! day's final snapshot and wall duration. Both default to no-ops.
 
+use crate::metrics::{MetricsRegistry, MetricsSnapshot};
 use nettrace::time::Day;
 use std::io::Write;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -31,6 +41,23 @@ pub trait RunObserver: Send + Sync {
     /// stage's cumulative output record count for that day.
     fn stage_flushed(&self, day: Day, stage: &'static str, records: u64) {
         let _ = (day, stage, records);
+    }
+
+    /// Periodic mid-day publication hook: fires every tick interval
+    /// (see `lockdown_core`'s `PipelineOptions::live_tick`) with the
+    /// flows collected so far this day and, when metrics are on, the
+    /// worker's day-scoped registry. An observer that wants a live
+    /// snapshot takes it here; the default does nothing, so runs
+    /// without live telemetry pay only the virtual call.
+    fn day_tick(&self, worker: usize, day: Day, flows: u64, registry: Option<&MetricsRegistry>) {
+        let _ = (worker, day, flows, registry);
+    }
+
+    /// A day completed: its final metrics snapshot (empty when metrics
+    /// are off) and wall duration, published before the snapshot is
+    /// merged into the worker's running totals.
+    fn day_metrics(&self, worker: usize, day: Day, duration_ns: u64, metrics: &MetricsSnapshot) {
+        let _ = (worker, day, duration_ns, metrics);
     }
 
     /// A worker's day processing failed (panic or typed error) on the
@@ -64,6 +91,26 @@ macro_rules! forward_observer {
                 (**self).stage_flushed(day, stage, records)
             }
 
+            fn day_tick(
+                &self,
+                worker: usize,
+                day: Day,
+                flows: u64,
+                registry: Option<&MetricsRegistry>,
+            ) {
+                (**self).day_tick(worker, day, flows, registry)
+            }
+
+            fn day_metrics(
+                &self,
+                worker: usize,
+                day: Day,
+                duration_ns: u64,
+                metrics: &MetricsSnapshot,
+            ) {
+                (**self).day_metrics(worker, day, duration_ns, metrics)
+            }
+
             fn day_failed(&self, worker: usize, day: Day, attempt: u32, error: &str) {
                 (**self).day_failed(worker, day, attempt, error)
             }
@@ -84,6 +131,50 @@ forward_observer!(&T);
 pub struct NullObserver;
 
 impl RunObserver for NullObserver {}
+
+/// Forwards every event to two observers, `a` first. Nest fanouts to
+/// compose more than two; the study runner uses this to attach a
+/// [`crate::live::LivePublisher`] without displacing the caller's
+/// observer.
+#[derive(Debug)]
+pub struct Fanout<A, B>(pub A, pub B);
+
+impl<A: RunObserver, B: RunObserver> RunObserver for Fanout<A, B> {
+    fn day_started(&self, worker: usize, day: Day) {
+        self.0.day_started(worker, day);
+        self.1.day_started(worker, day);
+    }
+
+    fn day_finished(&self, worker: usize, day: Day, flows: u64) {
+        self.0.day_finished(worker, day, flows);
+        self.1.day_finished(worker, day, flows);
+    }
+
+    fn stage_flushed(&self, day: Day, stage: &'static str, records: u64) {
+        self.0.stage_flushed(day, stage, records);
+        self.1.stage_flushed(day, stage, records);
+    }
+
+    fn day_tick(&self, worker: usize, day: Day, flows: u64, registry: Option<&MetricsRegistry>) {
+        self.0.day_tick(worker, day, flows, registry);
+        self.1.day_tick(worker, day, flows, registry);
+    }
+
+    fn day_metrics(&self, worker: usize, day: Day, duration_ns: u64, metrics: &MetricsSnapshot) {
+        self.0.day_metrics(worker, day, duration_ns, metrics);
+        self.1.day_metrics(worker, day, duration_ns, metrics);
+    }
+
+    fn day_failed(&self, worker: usize, day: Day, attempt: u32, error: &str) {
+        self.0.day_failed(worker, day, attempt, error);
+        self.1.day_failed(worker, day, attempt, error);
+    }
+
+    fn worker_idle(&self, worker: usize) {
+        self.0.worker_idle(worker);
+        self.1.worker_idle(worker);
+    }
+}
 
 /// Streams one human-readable line per event to stderr.
 #[derive(Debug, Default)]
@@ -212,6 +303,8 @@ pub struct CountingObserver {
     workers_idled: AtomicU64,
     days_failed: AtomicU64,
     flows: AtomicU64,
+    ticks: AtomicU64,
+    day_metrics_seen: AtomicU64,
 }
 
 impl CountingObserver {
@@ -249,6 +342,16 @@ impl CountingObserver {
     pub fn flows(&self) -> u64 {
         self.flows.load(Ordering::Relaxed)
     }
+
+    /// Mid-day publication ticks received.
+    pub fn ticks(&self) -> u64 {
+        self.ticks.load(Ordering::Relaxed)
+    }
+
+    /// `day_metrics` publications received (one per completed day).
+    pub fn day_metrics_seen(&self) -> u64 {
+        self.day_metrics_seen.load(Ordering::Relaxed)
+    }
 }
 
 impl RunObserver for CountingObserver {
@@ -259,6 +362,26 @@ impl RunObserver for CountingObserver {
     fn day_finished(&self, _worker: usize, _day: Day, flows: u64) {
         self.days_finished.fetch_add(1, Ordering::Relaxed);
         self.flows.fetch_add(flows, Ordering::Relaxed);
+    }
+
+    fn day_tick(
+        &self,
+        _worker: usize,
+        _day: Day,
+        _flows: u64,
+        _registry: Option<&MetricsRegistry>,
+    ) {
+        self.ticks.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn day_metrics(
+        &self,
+        _worker: usize,
+        _day: Day,
+        _duration_ns: u64,
+        _metrics: &MetricsSnapshot,
+    ) {
+        self.day_metrics_seen.fetch_add(1, Ordering::Relaxed);
     }
 
     fn stage_flushed(&self, _day: Day, _stage: &'static str, _records: u64) {
@@ -323,12 +446,39 @@ mod tests {
         obs.stage_flushed(Day(0), "resolver", 10);
         obs.day_failed(0, Day(2), 0, "boom");
         obs.worker_idle(1);
+        obs.day_tick(1, Day(0), 5, None);
+        obs.day_metrics(1, Day(0), 123, &MetricsSnapshot::default());
         assert_eq!(obs.days_started(), 1);
         assert_eq!(obs.days_finished(), 2);
         assert_eq!(obs.flows(), 15);
         assert_eq!(obs.stages_flushed(), 1);
         assert_eq!(obs.days_failed(), 1);
         assert_eq!(obs.workers_idled(), 1);
+        assert_eq!(obs.ticks(), 1);
+        assert_eq!(obs.day_metrics_seen(), 1);
+    }
+
+    #[test]
+    fn fanout_forwards_every_event_to_both() {
+        let a = CountingObserver::new();
+        let b = CountingObserver::new();
+        let fan = Fanout(&a, &b);
+        fan.day_started(0, Day(0));
+        fan.day_tick(0, Day(0), 3, None);
+        fan.day_metrics(0, Day(0), 9, &MetricsSnapshot::default());
+        fan.day_finished(0, Day(0), 3);
+        fan.stage_flushed(Day(0), "resolver", 3);
+        fan.day_failed(1, Day(1), 0, "boom");
+        fan.worker_idle(0);
+        for obs in [&a, &b] {
+            assert_eq!(obs.days_started(), 1);
+            assert_eq!(obs.ticks(), 1);
+            assert_eq!(obs.day_metrics_seen(), 1);
+            assert_eq!(obs.days_finished(), 1);
+            assert_eq!(obs.stages_flushed(), 1);
+            assert_eq!(obs.days_failed(), 1);
+            assert_eq!(obs.workers_idled(), 1);
+        }
     }
 
     #[test]

@@ -1,0 +1,590 @@
+//! Prometheus text exposition (format version 0.0.4) for
+//! [`MetricsSnapshot`], plus a strict parser used by tests and the
+//! `repro probe` validator.
+//!
+//! The pipeline's dotted metric names (`pipeline.flows_in`) are not
+//! legal Prometheus metric names, so [`render`] sanitizes every name
+//! through [`sanitize_metric_name`] (`.` and any other illegal byte
+//! become `_`). Counters and gauges render as single unlabeled samples;
+//! the base-2 bucket histograms render in the native Prometheus
+//! histogram shape — cumulative `_bucket{le="…"}` samples with exact
+//! power-of-two upper bounds, then `_sum` and `_count` — plus a
+//! companion `<name>_quantile{q="…"}` gauge family carrying the p50,
+//! p95 and p99 estimates from
+//! [`HistogramSnapshot::quantile`](crate::metrics::HistogramSnapshot::quantile).
+//!
+//! ## Quantile error bound
+//!
+//! Quantiles come from exponential (base-2) buckets: the reported value
+//! is the *upper bound* of the bucket containing the quantile, so the
+//! true quantile lies within a factor of 2 below the reported number
+//! (exact for 0 and for bucket-aligned values). This is the documented
+//! trade for a fixed-size, lock-free, mergeable histogram.
+//!
+//! Families are emitted in lexicographic order of sanitized name, so
+//! two exposition dumps of the same state diff cleanly line by line.
+//! Like everything in this crate the emitter and parser are
+//! dependency-free.
+
+use crate::metrics::{HistogramSnapshot, MetricsSnapshot};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// The quantiles surfaced for every histogram, as `(label, q)` pairs.
+pub const QUANTILES: [(&str, f64); 3] = [("0.5", 0.5), ("0.95", 0.95), ("0.99", 0.99)];
+
+/// The `Content-Type` a compliant scraper expects for this format.
+pub const CONTENT_TYPE: &str = "text/plain; version=0.0.4";
+
+fn is_name_start(c: char) -> bool {
+    c.is_ascii_alphabetic() || c == '_' || c == ':'
+}
+
+fn is_name_char(c: char) -> bool {
+    is_name_start(c) || c.is_ascii_digit()
+}
+
+/// Rewrite `name` into a legal Prometheus metric name
+/// (`[a-zA-Z_:][a-zA-Z0-9_:]*`): every illegal character becomes `_`,
+/// and a leading digit gets a `_` prefix. Empty input becomes `"_"`.
+pub fn sanitize_metric_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len());
+    for (i, c) in name.chars().enumerate() {
+        let ok = if i == 0 && out.is_empty() {
+            // A legal-but-not-leading char (digit) keeps its value
+            // behind an underscore prefix rather than being erased.
+            if c.is_ascii_digit() {
+                out.push('_');
+                true
+            } else {
+                is_name_start(c)
+            }
+        } else {
+            is_name_char(c)
+        };
+        out.push(if ok { c } else { '_' });
+    }
+    if out.is_empty() {
+        out.push('_');
+    }
+    out
+}
+
+/// Rewrite `name` into a legal Prometheus label name
+/// (`[a-zA-Z_][a-zA-Z0-9_]*` — like a metric name but without `:`).
+pub fn sanitize_label_name(name: &str) -> String {
+    sanitize_metric_name(name).replace(':', "_")
+}
+
+/// Escape a label value for exposition: `\` → `\\`, `"` → `\"`,
+/// newline → `\n`.
+pub fn escape_label_value(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Inclusive upper bound of histogram bucket `i` as an exposition `le`
+/// value: bucket 0 holds only zero, bucket `i` holds `[2^(i-1), 2^i)`,
+/// and the last bucket's bound is the `u64` maximum.
+fn bucket_le(i: usize) -> String {
+    if i == 0 {
+        "0".to_string()
+    } else if i >= 64 {
+        u64::MAX.to_string()
+    } else {
+        ((1u64 << i) - 1).to_string()
+    }
+}
+
+fn render_histogram(out: &mut String, name: &str, h: &HistogramSnapshot) {
+    let _ = writeln!(out, "# TYPE {name} histogram");
+    let mut cumulative = 0u64;
+    for (i, &c) in h.buckets.iter().enumerate() {
+        if c == 0 {
+            continue;
+        }
+        cumulative += c;
+        let _ = writeln!(out, "{name}_bucket{{le=\"{}\"}} {cumulative}", bucket_le(i));
+    }
+    let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {cumulative}");
+    let _ = writeln!(out, "{name}_sum {}", h.sum);
+    let _ = writeln!(out, "{name}_count {cumulative}");
+}
+
+/// Render a snapshot as Prometheus text exposition. Counters and gauges
+/// become single samples; every histogram becomes a native histogram
+/// family plus a `<name>_quantile` gauge family (see module docs).
+/// Families are sorted lexicographically by sanitized name; if two raw
+/// names sanitize to the same family name, the lexicographically last
+/// raw name wins.
+pub fn render(snap: &MetricsSnapshot) -> String {
+    // (sanitized family name) -> rendered block, ordered.
+    let mut blocks: BTreeMap<String, String> = BTreeMap::new();
+    for (k, v) in &snap.counters {
+        let name = sanitize_metric_name(k);
+        let block = format!("# TYPE {name} counter\n{name} {v}\n");
+        blocks.insert(name, block);
+    }
+    for (k, v) in &snap.gauges {
+        let name = sanitize_metric_name(k);
+        let block = format!("# TYPE {name} gauge\n{name} {v}\n");
+        blocks.insert(name, block);
+    }
+    for (k, h) in &snap.histograms {
+        let name = sanitize_metric_name(k);
+        let mut block = String::new();
+        render_histogram(&mut block, &name, h);
+        let qname = format!("{name}_quantile");
+        let mut qblock = format!("# TYPE {qname} gauge\n");
+        for (label, q) in QUANTILES {
+            let _ = writeln!(qblock, "{qname}{{q=\"{label}\"}} {}", h.quantile(q));
+        }
+        blocks.insert(name, block);
+        blocks.insert(qname, qblock);
+    }
+    let mut out = String::new();
+    for block in blocks.values() {
+        out.push_str(block);
+    }
+    out
+}
+
+/// One parsed sample line: full sample name, labels in source order,
+/// and the value.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sample {
+    /// The sample's metric name (may carry a `_bucket`/`_sum`/`_count`
+    /// suffix relative to its family).
+    pub name: String,
+    /// `(label, value)` pairs in source order.
+    pub labels: Vec<(String, String)>,
+    /// The sample value.
+    pub value: f64,
+}
+
+impl Sample {
+    /// The value of label `name`, if present.
+    pub fn label(&self, name: &str) -> Option<&str> {
+        self.labels
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// One metric family: the `# TYPE` declaration plus its samples.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Family {
+    /// Declared family name.
+    pub name: String,
+    /// Declared kind: `counter`, `gauge`, `histogram`, `summary`, or
+    /// `untyped`.
+    pub kind: String,
+    /// Samples belonging to this family, in source order.
+    pub samples: Vec<Sample>,
+}
+
+/// A parsed exposition document.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Exposition {
+    /// Families in source order.
+    pub families: Vec<Family>,
+}
+
+impl Exposition {
+    /// The family named `name`, if present.
+    pub fn family(&self, name: &str) -> Option<&Family> {
+        self.families.iter().find(|f| f.name == name)
+    }
+
+    /// The value of the single unlabeled sample of family `name`
+    /// (counters and plain gauges), if present.
+    pub fn value(&self, name: &str) -> Option<f64> {
+        let fam = self.family(name)?;
+        fam.samples
+            .iter()
+            .find(|s| s.name == fam.name && s.labels.is_empty())
+            .map(|s| s.value)
+    }
+}
+
+fn parse_value(s: &str) -> Result<f64, String> {
+    match s {
+        "+Inf" => Ok(f64::INFINITY),
+        "-Inf" => Ok(f64::NEG_INFINITY),
+        "NaN" => Ok(f64::NAN),
+        s => s.parse().map_err(|_| format!("bad sample value {s:?}")),
+    }
+}
+
+fn valid_name(s: &str, label: bool) -> bool {
+    let mut chars = s.chars();
+    let Some(first) = chars.next() else {
+        return false;
+    };
+    let start_ok = if label {
+        first.is_ascii_alphabetic() || first == '_'
+    } else {
+        is_name_start(first)
+    };
+    start_ok
+        && chars.all(|c| {
+            if label {
+                c.is_ascii_alphanumeric() || c == '_'
+            } else {
+                is_name_char(c)
+            }
+        })
+}
+
+/// Parse one `name{labels} value` line. `line` has already been
+/// trimmed and is known not to be a comment.
+fn parse_sample(line: &str) -> Result<Sample, String> {
+    let name_end = line
+        .find(|c: char| c == '{' || c.is_ascii_whitespace())
+        .ok_or_else(|| format!("sample line {line:?} has no value"))?;
+    let name = &line[..name_end];
+    if !valid_name(name, false) {
+        return Err(format!("illegal metric name {name:?}"));
+    }
+    let mut labels = Vec::new();
+    let rest = if line[name_end..].starts_with('{') {
+        let body_end = line[name_end..]
+            .find('}')
+            .ok_or_else(|| format!("unterminated label set in {line:?}"))?
+            + name_end;
+        let mut body = &line[name_end + 1..body_end];
+        while !body.is_empty() {
+            let eq = body
+                .find('=')
+                .ok_or_else(|| format!("label without '=' in {line:?}"))?;
+            let lname = body[..eq].trim();
+            if !valid_name(lname, true) {
+                return Err(format!("illegal label name {lname:?} in {line:?}"));
+            }
+            let after = body[eq + 1..].trim_start();
+            if !after.starts_with('"') {
+                return Err(format!("unquoted label value in {line:?}"));
+            }
+            // Scan the quoted value honoring backslash escapes.
+            let mut value = String::new();
+            let mut chars = after[1..].char_indices();
+            let mut consumed = None;
+            while let Some((i, c)) = chars.next() {
+                match c {
+                    '\\' => match chars.next() {
+                        Some((_, 'n')) => value.push('\n'),
+                        Some((_, e @ ('\\' | '"'))) => value.push(e),
+                        other => {
+                            return Err(format!("bad escape {other:?} in {line:?}"));
+                        }
+                    },
+                    '"' => {
+                        consumed = Some(i + 1);
+                        break;
+                    }
+                    c => value.push(c),
+                }
+            }
+            let consumed =
+                consumed.ok_or_else(|| format!("unterminated label value in {line:?}"))?;
+            labels.push((lname.to_string(), value));
+            body = after[1 + consumed..].trim_start();
+            if let Some(b) = body.strip_prefix(',') {
+                body = b.trim_start();
+            } else if !body.is_empty() {
+                return Err(format!("junk after label value in {line:?}"));
+            }
+        }
+        line[body_end + 1..].trim_start()
+    } else {
+        line[name_end..].trim_start()
+    };
+    // `value [timestamp]` — the optional timestamp is ignored.
+    let mut parts = rest.split_ascii_whitespace();
+    let value = parse_value(
+        parts
+            .next()
+            .ok_or_else(|| format!("sample line {line:?} has no value"))?,
+    )?;
+    if parts.clone().count() > 1 {
+        return Err(format!("trailing junk on sample line {line:?}"));
+    }
+    Ok(Sample {
+        name: name.to_string(),
+        labels,
+        value,
+    })
+}
+
+/// True when `sample` may legally belong to a family named `fam` of
+/// kind `kind`.
+fn belongs_to(sample: &str, fam: &str, kind: &str) -> bool {
+    if sample == fam {
+        return true;
+    }
+    match kind {
+        "histogram" => sample
+            .strip_prefix(fam)
+            .is_some_and(|s| matches!(s, "_bucket" | "_sum" | "_count")),
+        "summary" => sample
+            .strip_prefix(fam)
+            .is_some_and(|s| matches!(s, "_sum" | "_count")),
+        _ => false,
+    }
+}
+
+/// Validate the internal consistency of a parsed histogram family:
+/// `le` labels present and sorted, cumulative bucket counts
+/// nondecreasing, `+Inf` bucket equal to `_count`.
+fn check_histogram(fam: &Family) -> Result<(), String> {
+    let mut last_le = f64::NEG_INFINITY;
+    let mut last_cum = 0.0f64;
+    let mut inf_count = None;
+    let mut count = None;
+    for s in &fam.samples {
+        if s.name.ends_with("_bucket") {
+            let le = s
+                .label("le")
+                .ok_or_else(|| format!("{}: bucket sample without le label", fam.name))?;
+            let bound = parse_value(le).map_err(|e| format!("{}: {e}", fam.name))?;
+            if bound <= last_le {
+                return Err(format!("{}: le bounds not increasing at {le}", fam.name));
+            }
+            if s.value < last_cum {
+                return Err(format!(
+                    "{}: cumulative bucket counts decrease at le={le}",
+                    fam.name
+                ));
+            }
+            last_le = bound;
+            last_cum = s.value;
+            if bound.is_infinite() {
+                inf_count = Some(s.value);
+            }
+        } else if s.name.ends_with("_count") {
+            count = Some(s.value);
+        }
+    }
+    let inf = inf_count.ok_or_else(|| format!("{}: histogram without +Inf bucket", fam.name))?;
+    let count = count.ok_or_else(|| format!("{}: histogram without _count", fam.name))?;
+    if (inf - count).abs() > f64::EPSILON {
+        return Err(format!(
+            "{}: +Inf bucket ({inf}) != _count ({count})",
+            fam.name
+        ));
+    }
+    Ok(())
+}
+
+/// Parse and validate a text exposition document. Every sample must
+/// belong to a preceding `# TYPE` family, names and labels must be
+/// legal, and histogram families must be internally consistent
+/// (cumulative nondecreasing buckets, `+Inf` == `_count`). Returns the
+/// structured document or a description of the first violation.
+pub fn parse(text: &str) -> Result<Exposition, String> {
+    let mut doc = Exposition::default();
+    for raw in text.lines() {
+        let line = raw.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('#') {
+            let rest = rest.trim_start();
+            if let Some(decl) = rest.strip_prefix("TYPE ") {
+                let mut it = decl.split_ascii_whitespace();
+                let name = it.next().ok_or("TYPE line without name")?;
+                let kind = it
+                    .next()
+                    .ok_or_else(|| format!("TYPE {name} without kind"))?;
+                if !valid_name(name, false) {
+                    return Err(format!("illegal family name {name:?}"));
+                }
+                if !matches!(
+                    kind,
+                    "counter" | "gauge" | "histogram" | "summary" | "untyped"
+                ) {
+                    return Err(format!("unknown family kind {kind:?}"));
+                }
+                if doc.family(name).is_some() {
+                    return Err(format!("duplicate TYPE declaration for {name}"));
+                }
+                doc.families.push(Family {
+                    name: name.to_string(),
+                    kind: kind.to_string(),
+                    samples: Vec::new(),
+                });
+            }
+            // HELP lines and plain comments are skipped.
+            continue;
+        }
+        let sample = parse_sample(line)?;
+        let fam = doc
+            .families
+            .last_mut()
+            .filter(|f| belongs_to(&sample.name, &f.name, &f.kind))
+            .ok_or_else(|| format!("sample {} outside its TYPE family", sample.name))?;
+        fam.samples.push(sample);
+    }
+    for fam in &doc.families {
+        if fam.kind == "histogram" {
+            check_histogram(fam)?;
+        }
+        if fam.samples.is_empty() {
+            return Err(format!("family {} declared but has no samples", fam.name));
+        }
+    }
+    Ok(doc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::MetricsRegistry;
+
+    #[test]
+    fn names_sanitize_to_legal_prometheus_names() {
+        assert_eq!(
+            sanitize_metric_name("pipeline.flows_in"),
+            "pipeline_flows_in"
+        );
+        assert_eq!(sanitize_metric_name("a-b c\"d"), "a_b_c_d");
+        assert_eq!(sanitize_metric_name("9lives"), "_9lives");
+        assert_eq!(sanitize_metric_name(""), "_");
+        assert_eq!(sanitize_metric_name("ok:name_1"), "ok:name_1");
+        assert_eq!(sanitize_label_name("le:gacy"), "le_gacy");
+        assert_eq!(escape_label_value("a\\b\"c\nd"), "a\\\\b\\\"c\\nd");
+    }
+
+    #[test]
+    fn render_emits_type_lines_and_sorted_families() {
+        let reg = MetricsRegistry::new();
+        reg.counter("z.last").add(1);
+        reg.counter("pipeline.flows_in").add(42);
+        reg.gauge("a.first").set(7);
+        let text = render(&reg.snapshot());
+        assert!(text.contains("# TYPE pipeline_flows_in counter\npipeline_flows_in 42\n"));
+        assert!(text.contains("# TYPE a_first gauge\na_first 7\n"));
+        let a = text.find("a_first").unwrap();
+        let p = text.find("pipeline_flows_in").unwrap();
+        let z = text.find("z_last").unwrap();
+        assert!(a < p && p < z, "families must be sorted:\n{text}");
+    }
+
+    #[test]
+    fn histogram_renders_buckets_sum_count_and_quantiles() {
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram("x.lat");
+        h.record(0);
+        h.record(3); // bucket 2: [2,4)
+        h.record(3);
+        h.record(1000); // bucket 10
+        let text = render(&reg.snapshot());
+        assert!(text.contains("# TYPE x_lat histogram"));
+        // Cumulative counts at exact power-of-two bounds.
+        assert!(text.contains("x_lat_bucket{le=\"0\"} 1"), "{text}");
+        assert!(text.contains("x_lat_bucket{le=\"3\"} 3"), "{text}");
+        assert!(text.contains("x_lat_bucket{le=\"1023\"} 4"), "{text}");
+        assert!(text.contains("x_lat_bucket{le=\"+Inf\"} 4"), "{text}");
+        assert!(text.contains("x_lat_sum 1006"), "{text}");
+        assert!(text.contains("x_lat_count 4"), "{text}");
+        // The quantile companion family.
+        assert!(text.contains("# TYPE x_lat_quantile gauge"), "{text}");
+        assert!(text.contains("x_lat_quantile{q=\"0.5\"} 4"), "{text}");
+        assert!(text.contains("x_lat_quantile{q=\"0.99\"} 1024"), "{text}");
+    }
+
+    #[test]
+    fn rendered_exposition_roundtrips_through_strict_parser() {
+        let reg = MetricsRegistry::new();
+        reg.counter("pipeline.flows_in").add(123);
+        reg.counter("weird name\"here").add(9);
+        reg.gauge("assembler.peak_live_flows").set(17);
+        let h = reg.histogram("study.day_duration_ns");
+        for v in [0, 1, 5, 5, 1_000, 1_000_000, u64::MAX] {
+            h.record(v);
+        }
+        let text = render(&reg.snapshot());
+        let doc = parse(&text).expect("rendered exposition must parse strictly");
+        assert_eq!(doc.value("pipeline_flows_in"), Some(123.0));
+        assert_eq!(doc.value("weird_name_here"), Some(9.0));
+        assert_eq!(doc.value("assembler_peak_live_flows"), Some(17.0));
+        let fam = doc
+            .family("study_day_duration_ns")
+            .expect("histogram family");
+        assert_eq!(fam.kind, "histogram");
+        let inf = fam
+            .samples
+            .iter()
+            .find(|s| s.label("le") == Some("+Inf"))
+            .expect("+Inf bucket");
+        assert_eq!(inf.value, 7.0);
+        let q = doc
+            .family("study_day_duration_ns_quantile")
+            .expect("quantiles");
+        assert_eq!(q.kind, "gauge");
+        assert_eq!(q.samples.len(), 3);
+        assert!(q.samples.iter().any(|s| s.label("q") == Some("0.95")));
+    }
+
+    #[test]
+    fn parser_rejects_malformed_documents() {
+        // Sample before any TYPE declaration.
+        assert!(parse("orphan 1\n").is_err());
+        // Illegal metric name.
+        assert!(parse("# TYPE a counter\n9bad 1\n").is_err());
+        // Sample outside its family.
+        assert!(parse("# TYPE a counter\nb 1\n").is_err());
+        // Unterminated label set.
+        assert!(parse("# TYPE a gauge\na{x=\"1\" 2\n").is_err());
+        // Decreasing cumulative buckets.
+        assert!(parse(concat!(
+            "# TYPE h histogram\n",
+            "h_bucket{le=\"1\"} 5\n",
+            "h_bucket{le=\"2\"} 3\n",
+            "h_bucket{le=\"+Inf\"} 5\n",
+            "h_sum 9\nh_count 5\n"
+        ))
+        .is_err());
+        // +Inf bucket disagrees with _count.
+        assert!(parse(concat!(
+            "# TYPE h histogram\n",
+            "h_bucket{le=\"+Inf\"} 5\n",
+            "h_sum 9\nh_count 4\n"
+        ))
+        .is_err());
+        // Histogram without +Inf.
+        assert!(parse(concat!(
+            "# TYPE h histogram\n",
+            "h_bucket{le=\"1\"} 5\n",
+            "h_sum 9\nh_count 5\n"
+        ))
+        .is_err());
+        // Unknown kind and duplicate family.
+        assert!(parse("# TYPE a widget\na 1\n").is_err());
+        assert!(parse("# TYPE a counter\na 1\n# TYPE a counter\na 2\n").is_err());
+        // Empty family.
+        assert!(parse("# TYPE a counter\n").is_err());
+    }
+
+    #[test]
+    fn parser_handles_labels_with_escapes() {
+        let doc = parse(concat!(
+            "# TYPE g gauge\n",
+            "g{path=\"a\\\\b\",note=\"say \\\"hi\\\"\\n\"} 4\n"
+        ))
+        .expect("parses");
+        let s = &doc.families[0].samples[0];
+        assert_eq!(s.label("path"), Some("a\\b"));
+        assert_eq!(s.label("note"), Some("say \"hi\"\n"));
+        assert_eq!(s.value, 4.0);
+    }
+}

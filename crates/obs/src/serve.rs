@@ -1,0 +1,294 @@
+//! In-run telemetry exposition: a tiny, dependency-free, blocking
+//! HTTP/1.1 server over `std::net::TcpListener`.
+//!
+//! A [`TelemetryServer`] owns one background thread that serves three
+//! read-only endpoints from a [`LivePublisher`]:
+//!
+//! | endpoint    | payload |
+//! |-------------|---------|
+//! | `/metrics`  | Prometheus text exposition ([`crate::prom`]) of the live snapshot plus `study.live.*` run gauges |
+//! | `/healthz`  | liveness JSON: `ok` / `degraded` / `done` plus degraded-day count and uptime |
+//! | `/progress` | run progress JSON: days completed/total, per-worker current day, flows, elapsed, ETA |
+//!
+//! The server never touches pipeline state — it reads the publisher's
+//! coarse snapshots, so a scrape can never slow a worker down.
+//! Connections are handled serially on the accept thread with short
+//! read/write timeouts: the expected clients are `curl`, a Prometheus
+//! scraper, or `repro watch`, one request at a time. Shutdown is
+//! explicit ([`TelemetryServer::shutdown`]) or on drop, and unblocks
+//! the accept loop with a self-connection.
+
+use crate::live::LivePublisher;
+use crate::prom;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Per-connection socket timeout: telemetry clients are local and
+/// tiny; anything slower is stuck and must not wedge the accept loop.
+const IO_TIMEOUT: Duration = Duration::from_secs(2);
+
+/// Largest request head we will read before answering 400.
+const MAX_REQUEST_BYTES: usize = 8192;
+
+/// A running telemetry endpoint bound to a local address.
+#[derive(Debug)]
+pub struct TelemetryServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl TelemetryServer {
+    /// Bind `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and
+    /// start serving `live` on a background thread. The bound address
+    /// — with the real port — is available via
+    /// [`TelemetryServer::addr`].
+    pub fn bind(addr: impl ToSocketAddrs, live: LivePublisher) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let thread_stop = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("telemetry-serve".into())
+            .spawn(move || accept_loop(listener, live, thread_stop))?;
+        Ok(TelemetryServer {
+            addr,
+            stop,
+            handle: Some(handle),
+        })
+    }
+
+    /// The address the server actually bound (port resolved).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop the accept loop and join the serving thread.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        let Some(handle) = self.handle.take() else {
+            return;
+        };
+        self.stop.store(true, Ordering::Release);
+        // Unblock the accept call; an error just means the listener is
+        // already gone.
+        if let Ok(conn) = TcpStream::connect(self.addr) {
+            drop(conn);
+        }
+        let _ = handle.join();
+    }
+}
+
+impl Drop for TelemetryServer {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+fn accept_loop(listener: TcpListener, live: LivePublisher, stop: Arc<AtomicBool>) {
+    for conn in listener.incoming() {
+        if stop.load(Ordering::Acquire) {
+            break;
+        }
+        let Ok(conn) = conn else { continue };
+        // A broken client connection is the client's problem.
+        let _ = handle_conn(conn, &live);
+    }
+}
+
+/// Read the request head (start line + headers) up to the size cap.
+fn read_request_head(conn: &mut TcpStream) -> std::io::Result<String> {
+    let mut buf = Vec::with_capacity(512);
+    let mut chunk = [0u8; 512];
+    loop {
+        let n = conn.read(&mut chunk)?;
+        if n == 0 {
+            break;
+        }
+        buf.extend_from_slice(&chunk[..n]);
+        if buf.windows(4).any(|w| w == b"\r\n\r\n") || buf.len() >= MAX_REQUEST_BYTES {
+            break;
+        }
+    }
+    Ok(String::from_utf8_lossy(&buf).into_owned())
+}
+
+fn write_response(
+    conn: &mut TcpStream,
+    status: &str,
+    content_type: &str,
+    body: &str,
+) -> std::io::Result<()> {
+    write!(
+        conn,
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    )?;
+    conn.flush()
+}
+
+fn handle_conn(mut conn: TcpStream, live: &LivePublisher) -> std::io::Result<()> {
+    conn.set_read_timeout(Some(IO_TIMEOUT))?;
+    conn.set_write_timeout(Some(IO_TIMEOUT))?;
+    let head = read_request_head(&mut conn)?;
+    let mut start = head.lines().next().unwrap_or("").split_ascii_whitespace();
+    let (method, path) = (start.next().unwrap_or(""), start.next().unwrap_or(""));
+    if method != "GET" {
+        return write_response(
+            &mut conn,
+            "405 Method Not Allowed",
+            "text/plain",
+            "telemetry endpoints are GET-only\n",
+        );
+    }
+    // Strip any query string; the endpoints take no parameters.
+    let path = path.split('?').next().unwrap_or("");
+    match path {
+        "/metrics" => {
+            let body = prom::render(&live.exposition_metrics());
+            write_response(&mut conn, "200 OK", prom::CONTENT_TYPE, &body)
+        }
+        "/healthz" => {
+            let p = live.progress();
+            let status = if live.is_finished() {
+                "done"
+            } else if p.degraded_days > 0 {
+                "degraded"
+            } else {
+                "ok"
+            };
+            let body = format!(
+                "{{\"status\":\"{status}\",\"degraded_days\":{},\"days_completed\":{},\"days_total\":{},\"uptime_ns\":{}}}",
+                p.degraded_days, p.days_completed, p.days_total, p.elapsed_ns
+            );
+            write_response(&mut conn, "200 OK", "application/json", &body)
+        }
+        "/progress" => {
+            let body = live.progress().to_json();
+            write_response(&mut conn, "200 OK", "application/json", &body)
+        }
+        "/" => write_response(
+            &mut conn,
+            "200 OK",
+            "text/plain",
+            "live telemetry endpoints: /metrics /healthz /progress\n",
+        ),
+        _ => write_response(&mut conn, "404 Not Found", "text/plain", "not found\n"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::MetricsRegistry;
+    use crate::observer::RunObserver;
+    use nettrace::time::Day;
+
+    /// Minimal HTTP GET against a local server; returns (status, body).
+    fn http_get(addr: SocketAddr, path: &str) -> (u16, String) {
+        let mut conn = TcpStream::connect(addr).expect("connect");
+        write!(
+            conn,
+            "GET {path} HTTP/1.1\r\nHost: test\r\nConnection: close\r\n\r\n"
+        )
+        .unwrap();
+        let mut raw = String::new();
+        conn.read_to_string(&mut raw).expect("read");
+        let status: u16 = raw
+            .split_ascii_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .expect("status");
+        let body = raw
+            .split_once("\r\n\r\n")
+            .map(|(_, b)| b.to_string())
+            .unwrap_or_default();
+        (status, body)
+    }
+
+    fn publisher_with_state() -> LivePublisher {
+        let live = LivePublisher::new();
+        live.set_days_total(121);
+        live.day_started(0, Day(0));
+        let reg = MetricsRegistry::new();
+        reg.counter("pipeline.flows_collected").add(42);
+        reg.histogram("study.day_duration_ns").record(1_000_000);
+        live.day_tick(0, Day(0), 42, Some(&reg));
+        live.day_metrics(0, Day(0), 1_000_000, &reg.snapshot());
+        live.day_finished(0, Day(0), 42);
+        live
+    }
+
+    #[test]
+    fn metrics_endpoint_serves_parseable_exposition() {
+        let server = TelemetryServer::bind("127.0.0.1:0", publisher_with_state()).expect("bind");
+        let (status, body) = http_get(server.addr(), "/metrics");
+        assert_eq!(status, 200);
+        let doc = crate::prom::parse(&body).expect("exposition parses strictly");
+        assert_eq!(doc.value("pipeline_flows_collected"), Some(42.0));
+        assert_eq!(doc.value("study_live_days_completed"), Some(1.0));
+        assert_eq!(doc.value("study_live_days_total"), Some(121.0));
+        assert!(doc.family("study_day_duration_ns").is_some());
+        assert!(doc.family("study_day_duration_ns_quantile").is_some());
+        server.shutdown();
+    }
+
+    #[test]
+    fn healthz_and_progress_serve_strict_json() {
+        let live = publisher_with_state();
+        let server = TelemetryServer::bind("127.0.0.1:0", live.clone()).expect("bind");
+        let (status, body) = http_get(server.addr(), "/healthz");
+        assert_eq!(status, 200);
+        let v: serde_json::Value = serde_json::from_str(&body).expect("healthz JSON");
+        assert_eq!(v.get("status").unwrap().as_str(), Some("ok"));
+        assert_eq!(v.get("degraded_days").unwrap().as_u64(), Some(0));
+
+        let (status, body) = http_get(server.addr(), "/progress");
+        assert_eq!(status, 200);
+        let v: serde_json::Value = serde_json::from_str(&body).expect("progress JSON");
+        assert_eq!(v.get("days_completed").unwrap().as_u64(), Some(1));
+        assert_eq!(v.get("days_total").unwrap().as_u64(), Some(121));
+
+        // A failed day flips health to degraded; finish() flips to done.
+        live.day_failed(1, Day(9), 0, "boom");
+        let (_, body) = http_get(server.addr(), "/healthz");
+        assert!(body.contains("\"status\":\"degraded\""), "{body}");
+        live.finish(&Default::default());
+        let (_, body) = http_get(server.addr(), "/healthz");
+        assert!(body.contains("\"status\":\"done\""), "{body}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn unknown_paths_and_methods_are_rejected() {
+        let server = TelemetryServer::bind("127.0.0.1:0", LivePublisher::new()).expect("bind");
+        let (status, _) = http_get(server.addr(), "/nope");
+        assert_eq!(status, 404);
+        let (status, _) = http_get(server.addr(), "/");
+        assert_eq!(status, 200);
+
+        let mut conn = TcpStream::connect(server.addr()).expect("connect");
+        write!(conn, "POST /metrics HTTP/1.1\r\n\r\n").unwrap();
+        let mut raw = String::new();
+        conn.read_to_string(&mut raw).expect("read");
+        assert!(raw.starts_with("HTTP/1.1 405"), "{raw}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn query_strings_are_ignored_and_shutdown_is_clean() {
+        let server = TelemetryServer::bind("127.0.0.1:0", publisher_with_state()).expect("bind");
+        let addr = server.addr();
+        let (status, _) = http_get(addr, "/progress?verbose=1");
+        assert_eq!(status, 200);
+        server.shutdown();
+        // After shutdown the port no longer answers.
+        assert!(TcpStream::connect_timeout(&addr, Duration::from_millis(200)).is_err());
+    }
+}

@@ -43,7 +43,8 @@ pub mod prelude {
         report, DayFailure, DegradedReport, Study, StudyBuilder, StudyError, StudyRun,
     };
     pub use lockdown_obs::{
-        MetricsRegistry, MetricsSnapshot, NullObserver, RunObserver, TextProgress,
+        LivePublisher, MetricsRegistry, MetricsSnapshot, NullObserver, Progress, RunObserver,
+        TelemetryServer, TextProgress,
     };
     pub use nettrace::time::{Day, Month, Phase, StudyCalendar};
 }

@@ -1,0 +1,157 @@
+//! Live telemetry end-to-end: a served run can be scraped mid-flight
+//! with strictly parseable exposition whose `pipeline.flows*` counters
+//! never regress, and serving is observation-only — figures, stats,
+//! and the manifest config hash are bit-identical to an unserved run
+//! at the same seed and thread count.
+
+use analysis::{export, figures};
+use campussim::SimConfig;
+use lockdown_obs::prom;
+use locked_in_lockdown::prelude::*;
+use std::collections::BTreeMap;
+use std::io::{Read as _, Write as _};
+
+fn tiny() -> SimConfig {
+    SimConfig {
+        scale: 0.02,
+        ..Default::default()
+    }
+}
+
+/// One blocking GET against a local telemetry server; returns the body
+/// after asserting a 200.
+fn http_get(addr: std::net::SocketAddr, path: &str) -> String {
+    let mut conn = std::net::TcpStream::connect(addr).expect("connect");
+    write!(conn, "GET {path} HTTP/1.1\r\nConnection: close\r\n\r\n").expect("send");
+    let mut raw = String::new();
+    conn.read_to_string(&mut raw).expect("read");
+    assert!(raw.starts_with("HTTP/1.1 200"), "{path}: {raw}");
+    raw.split_once("\r\n\r\n")
+        .expect("headers end")
+        .1
+        .to_string()
+}
+
+#[test]
+fn mid_run_scrapes_parse_and_flow_counters_are_monotone() {
+    let live = LivePublisher::new();
+    let server = TelemetryServer::bind("127.0.0.1:0", live.clone()).expect("bind");
+    let addr = server.addr();
+
+    // Scrape continuously from a second thread while the run streams.
+    let poller_live = live.clone();
+    let poller = std::thread::spawn(move || {
+        let mut last: BTreeMap<String, f64> = BTreeMap::new();
+        let mut scrapes = 0u32;
+        while !poller_live.is_finished() {
+            let body = http_get(addr, "/metrics");
+            let exposition = prom::parse(&body).expect("mid-run exposition must parse");
+            for family in &exposition.families {
+                if family.kind != "counter" || !family.name.starts_with("pipeline_flows") {
+                    continue;
+                }
+                for sample in &family.samples {
+                    let prev = last
+                        .insert(family.name.clone(), sample.value)
+                        .unwrap_or(0.0);
+                    assert!(
+                        sample.value >= prev,
+                        "{} regressed mid-run: {} < {prev}",
+                        family.name,
+                        sample.value,
+                    );
+                }
+            }
+            scrapes += 1;
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        }
+        (scrapes, last)
+    });
+
+    let run = Study::builder(tiny())
+        .threads(2)
+        .live(&live)
+        .run()
+        .expect("served run");
+    let (scrapes, last) = poller.join().expect("poller");
+    assert!(
+        scrapes >= 2,
+        "run too fast to observe mid-flight: {scrapes}"
+    );
+
+    // The final scrape state can never exceed the run's own totals, and
+    // after finish() the live view equals them exactly.
+    let flows = run.study.metrics().counter("pipeline.flows_collected");
+    let final_live = live.metrics().counter("pipeline.flows_collected");
+    assert_eq!(final_live, flows);
+    for (name, value) in &last {
+        assert!(*value <= flows as f64, "{name} overshot: {value} > {flows}");
+    }
+
+    // Post-run endpoints report the finished state.
+    let health = http_get(addr, "/healthz");
+    assert!(health.contains("\"status\":\"done\""), "{health}");
+    let progress: serde_json::Value =
+        serde_json::from_str(&http_get(addr, "/progress")).expect("strict progress JSON");
+    let field = |key: &str| progress.get(key).expect(key).clone();
+    assert_eq!(field("status").as_str(), Some("done"));
+    assert_eq!(field("eta_ns").as_u64(), Some(0));
+    assert_eq!(
+        field("days_completed").as_u64(),
+        field("days_total").as_u64()
+    );
+
+    // The exposition carries the run-level live gauges and quantile
+    // companions for the day-duration histogram.
+    let body = http_get(addr, "/metrics");
+    let exposition = prom::parse(&body).expect("final exposition");
+    assert!(exposition.value("study_live_days_completed").is_some());
+    assert!(exposition.family("study_day_duration_ns").is_some());
+    assert!(exposition
+        .family("study_day_duration_ns_quantile")
+        .is_some());
+}
+
+#[test]
+fn serving_is_observation_only_bit_identical_outputs() {
+    let unserved = Study::builder(tiny()).threads(2).run().expect("clean run");
+    let served = Study::builder(tiny())
+        .threads(2)
+        .serve("127.0.0.1:0")
+        .run()
+        .expect("served run");
+
+    let a = unserved.into_study();
+    let b = served.into_study();
+
+    // Headline stats and normalization are bitwise equal.
+    assert_eq!(a.headline(), b.headline());
+    assert_eq!(a.norm_stats, b.norm_stats);
+
+    // Every figure export byte-compares equal.
+    let (ca, sa) = (&a.collector, &a.summary);
+    let (cb, sb) = (&b.collector, &b.summary);
+    assert_eq!(
+        export::fig1_csv(&figures::figure1(ca, sa)),
+        export::fig1_csv(&figures::figure1(cb, sb))
+    );
+    assert_eq!(
+        export::fig4_csv(&figures::figure4(ca, sa)),
+        export::fig4_csv(&figures::figure4(cb, sb))
+    );
+    assert_eq!(
+        export::fig8_csv(&figures::figure8(ca, sa)),
+        export::fig8_csv(&figures::figure8(cb, sb))
+    );
+
+    // Deterministic pipeline counters agree, and so does the manifest
+    // config hash (the provenance fingerprint of the run's inputs).
+    assert_eq!(
+        a.metrics().counter("pipeline.flows_collected"),
+        b.metrics().counter("pipeline.flows_collected")
+    );
+    let ma = report::run_manifest(&a, 2, None);
+    let mb = report::run_manifest(&b, 2, None);
+    assert_eq!(ma.config_hash_hex, mb.config_hash_hex);
+    assert_eq!(ma.seed, mb.seed);
+}
