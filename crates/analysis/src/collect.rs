@@ -10,12 +10,12 @@
 use crate::matrix::{HourWeekMatrix, SparseDaily, VolumeMatrix};
 use appsig::{App, MatchCache, SessionStitcher, SignatureSet};
 use devclass::{is_iot_backend, DeviceProfile, SwitchDetector};
-use dnslog::{DistinctSiteCounter, DomainTable, LabeledFlow};
+use dnslog::{DistinctSiteCounter, DomainId, DomainTable, LabeledFlow};
 use geoloc::{GeoDb, MidpointAccumulator};
 use nettrace::ip::PrefixSet;
 use nettrace::time::{Day, Month, StudyCalendar};
-use nettrace::{DeviceId, Oui};
-use std::collections::HashMap;
+use nettrace::{DeviceId, FastMap, Oui};
+use std::net::Ipv4Addr;
 
 /// Immutable context shared by all collection workers.
 pub struct PipelineCtx {
@@ -65,21 +65,27 @@ pub struct StudyCollector {
     /// Per-device hourly bytes in the four Figure 3 weeks.
     pub hourweek: HourWeekMatrix,
     /// Per-device Steam usage by month.
-    pub steam: HashMap<DeviceId, SteamMonthly>,
+    pub steam: FastMap<DeviceId, SteamMonthly>,
     /// Per-device social-app session durations by month.
-    pub social_hours: HashMap<DeviceId, SocialHours>,
+    pub social_hours: FastMap<DeviceId, SocialHours>,
     /// Per-device daily Switch *gameplay* bytes (update domains filtered).
     pub switch_gameplay: SparseDaily,
     /// Classification evidence per device.
-    pub profiles: HashMap<DeviceId, DeviceProfile>,
+    pub profiles: FastMap<DeviceId, DeviceProfile>,
     /// Nintendo-traffic-fraction Switch detection.
     pub switch_detect: SwitchDetector,
     /// February destination midpoints (CDNs excluded).
-    pub midpoints: HashMap<DeviceId, MidpointAccumulator>,
+    pub midpoints: FastMap<DeviceId, MidpointAccumulator>,
     /// Distinct registered domains per device per month.
     pub sites: DistinctSiteCounter,
     /// Domain classification memo (worker-local, not merged).
     cache: MatchCache,
+    /// Domain → IoT-backend verdict memo (worker-local, not merged;
+    /// the interned table is append-only so entries never go stale).
+    iot_memo: nettrace::FastMap<DomainId, bool>,
+    /// Remote IP → February geolocation memo: `None` for CDN-excluded
+    /// or unlocatable addresses (worker-local, not merged).
+    geo_memo: nettrace::FastMap<Ipv4Addr, Option<(f64, f64)>>,
     /// Open social sessions for the day currently being streamed
     /// (worker-local; drained by [`finish_day`](Self::finish_day),
     /// never merged).
@@ -124,12 +130,13 @@ impl StudyCollector {
         lf: &LabeledFlow,
     ) {
         let month = day.month();
+        let week = HourWeekMatrix::week_of(day);
         let f = &lf.flow;
         let bytes = f.total_bytes();
         let app = ctx.signatures.classify_flow(lf, table, &mut self.cache);
 
         self.volume.add(f.device, day, bytes);
-        self.hourweek.add(f.device, f.ts, bytes);
+        self.hourweek.add_in_week(f.device, week, f.ts, bytes);
 
         if app == Some(App::Zoom) {
             self.zoom.add(f.device, day, bytes);
@@ -154,19 +161,31 @@ impl StudyCollector {
         if matches!(app, Some(App::SwitchGameplay | App::SwitchServices)) {
             profile.console_bytes += bytes;
         }
-        let is_backend = lf
-            .domain
-            .map(|d| is_iot_backend(table.name(d)))
-            .unwrap_or(false);
+        let is_backend = match lf.domain {
+            Some(d) => *self
+                .iot_memo
+                .entry(d)
+                .or_insert_with(|| is_iot_backend(table.name(d))),
+            None => false,
+        };
         profile.iot.add(bytes, is_backend);
 
         // Geographic midpoint (February destinations, CDNs excluded).
-        if StudyCalendar::month_of(f.ts) == Some(Month::Feb) && !ctx.cdns.contains(f.remote) {
-            if let Some(entry) = ctx.geodb.lookup(f.remote) {
+        // Server addresses repeat across thousands of flows, so the
+        // CDN-exclusion and atlas scans are memoized per remote IP.
+        if month == Month::Feb {
+            let geo = *self.geo_memo.entry(f.remote).or_insert_with(|| {
+                if ctx.cdns.contains(f.remote) {
+                    None
+                } else {
+                    ctx.geodb.lookup(f.remote).map(|e| (e.lat, e.lon))
+                }
+            });
+            if let Some((lat, lon)) = geo {
                 self.midpoints
                     .entry(f.device)
                     .or_default()
-                    .add(entry.lat, entry.lon, bytes as f64);
+                    .add(lat, lon, bytes as f64);
             }
         }
 

@@ -5,13 +5,12 @@
 //! (< 1 KB per device) and mergeable for day-parallel collection.
 
 use nettrace::time::{Day, Month, StudyCalendar};
-use nettrace::DeviceId;
-use std::collections::HashMap;
+use nettrace::{DeviceId, FastMap};
 
 /// Dense per-device daily byte counters.
 #[derive(Debug, Default)]
 pub struct VolumeMatrix {
-    rows: HashMap<DeviceId, Box<[u64; StudyCalendar::NUM_DAYS as usize]>>,
+    rows: FastMap<DeviceId, Box<[u64; StudyCalendar::NUM_DAYS as usize]>>,
 }
 
 impl VolumeMatrix {
@@ -114,7 +113,7 @@ impl VolumeMatrix {
 /// Index: `week * 168 + hour_of_week`.
 #[derive(Debug, Default)]
 pub struct HourWeekMatrix {
-    rows: HashMap<DeviceId, Box<[u64; 4 * 168]>>,
+    rows: FastMap<DeviceId, Box<[u64; 4 * 168]>>,
 }
 
 impl HourWeekMatrix {
@@ -132,10 +131,22 @@ impl HourWeekMatrix {
 
     /// Record bytes at a timestamp (no-op outside the four weeks).
     pub fn add(&mut self, device: DeviceId, ts: nettrace::Timestamp, bytes: u64) {
-        let Some(day) = StudyCalendar::day_of(ts) else {
-            return;
-        };
-        let Some(week) = Self::week_of(day) else {
+        let week = StudyCalendar::day_of(ts).and_then(Self::week_of);
+        self.add_in_week(device, week, ts, bytes);
+    }
+
+    /// [`add`](Self::add) with the figure week already resolved from the
+    /// flow's day (no-op when `week` is `None`). The streaming collector
+    /// computes the week once per flow from the day it is processing
+    /// instead of re-deriving the day from the timestamp.
+    pub fn add_in_week(
+        &mut self,
+        device: DeviceId,
+        week: Option<usize>,
+        ts: nettrace::Timestamp,
+        bytes: u64,
+    ) {
+        let Some(week) = week else {
             return;
         };
         let hour = StudyCalendar::hour_of_week(ts);
@@ -179,7 +190,7 @@ impl HourWeekMatrix {
 /// Switch gameplay bytes).
 #[derive(Debug, Default)]
 pub struct SparseDaily {
-    rows: HashMap<DeviceId, HashMap<u16, u64>>,
+    rows: FastMap<DeviceId, FastMap<u16, u64>>,
 }
 
 impl SparseDaily {

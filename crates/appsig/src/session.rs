@@ -15,8 +15,7 @@
 //! start-time order *per device* — global order is not required.
 
 use crate::app::{App, Family};
-use nettrace::{DeviceId, Timestamp};
-use std::collections::HashMap;
+use nettrace::{DeviceId, FastMap, Timestamp};
 
 /// Default merge gap: flows separated by less than this continue the same
 /// user session. 60 s absorbs the keep-alive pauses real apps exhibit;
@@ -65,7 +64,7 @@ struct OpenSession {
 #[derive(Debug)]
 pub struct SessionStitcher {
     merge_gap_micros: i64,
-    open: HashMap<(DeviceId, Family), OpenSession>,
+    open: FastMap<(DeviceId, Family), OpenSession>,
     completed: Vec<Session>,
 }
 
@@ -79,7 +78,7 @@ impl SessionStitcher {
     pub fn with_gap_secs(gap_secs: i64) -> Self {
         SessionStitcher {
             merge_gap_micros: gap_secs * 1_000_000,
-            open: HashMap::new(),
+            open: FastMap::default(),
             completed: Vec::new(),
         }
     }

@@ -16,7 +16,7 @@
 use crate::app::App;
 use dnslog::{DomainId, DomainTable, LabeledFlow};
 use nettrace::ip::{Ipv4Cidr, PrefixSet};
-use std::collections::HashMap;
+use nettrace::FastMap;
 use std::net::Ipv4Addr;
 
 /// One domain-suffix rule.
@@ -33,7 +33,7 @@ pub struct DomainRule {
 pub struct SignatureSet {
     domain_rules: Vec<DomainRule>,
     ip_prefixes: PrefixSet,
-    ip_apps: HashMap<Ipv4Cidr, App>,
+    ip_apps: FastMap<Ipv4Cidr, App>,
 }
 
 impl SignatureSet {
@@ -91,7 +91,7 @@ impl SignatureSet {
     ) -> Option<App> {
         if let Some(dom) = flow.domain {
             if let Some(hit) = cache.lookup(dom) {
-                return hit.or_else(|| self.classify_ip(flow.flow.remote));
+                return hit.or_else(|| self.classify_ip_cached(flow.flow.remote, cache));
             }
             let hit = self.classify_domain(table.name(dom));
             cache.insert(dom, hit);
@@ -99,14 +99,32 @@ impl SignatureSet {
                 return hit;
             }
         }
-        self.classify_ip(flow.flow.remote)
+        self.classify_ip_cached(flow.flow.remote, cache)
+    }
+
+    /// [`classify_ip`](Self::classify_ip) through the cache's per-address
+    /// memo. Remote server addresses repeat across thousands of flows, so
+    /// this turns the longest-prefix scan into one hash probe.
+    fn classify_ip_cached(&self, addr: Ipv4Addr, cache: &mut MatchCache) -> Option<App> {
+        if let Some(hit) = cache.by_ip.get(&addr) {
+            return *hit;
+        }
+        let hit = self.classify_ip(addr);
+        cache.by_ip.insert(addr, hit);
+        hit
     }
 }
 
-/// Memo table for domain classification results.
+/// Memo table for classification results.
+///
+/// Both memos assume the [`SignatureSet`] they were filled against; a
+/// cache must not be reused across different signature sets. The
+/// pipeline keeps one per worker collector, always paired with the
+/// immutable study signatures.
 #[derive(Debug, Default)]
 pub struct MatchCache {
-    by_domain: HashMap<DomainId, Option<App>>,
+    by_domain: FastMap<DomainId, Option<App>>,
+    by_ip: FastMap<Ipv4Addr, Option<App>>,
 }
 
 impl MatchCache {

@@ -1,0 +1,354 @@
+//! Measures the batched hot path's per-flow cost and writes
+//! `results/BENCH_batch.json`.
+//!
+//! Four measurement series over the same busy study days:
+//!
+//! * `legacy` — the per-record streaming driver
+//!   (`process_day_streaming`), kept as the pre-batching reference.
+//! * `off_a`, `off_b` — the batched driver (`process_day_batched`) at
+//!   the default batch size, tracing compiled in but no recorder
+//!   installed. Run twice; the spread between the two series is the
+//!   noise band.
+//! * `on` — the batched driver with a `SpanRecorder` lane installed
+//!   and a `day` span open. Reported relative to `off_a`; batching
+//!   amortizes the per-record instrumentation to one timestamp pair
+//!   per batch, which is what keeps this under the 10 % budget.
+//!
+//! A batch-size sweep (untraced) shows where the amortization flattens
+//! out. With `--check FILE` the run compares its untraced median
+//! against a previously committed artifact and fails if it regressed
+//! by more than 15 % — the CI perf-smoke gate.
+//!
+//! Alongside the JSON the run writes a flamegraph diff from the span
+//! tracing infra: collapsed stacks for one traced pass per driver
+//! (`FLAME_legacy.folded`, `FLAME_batched.folded`, ready for
+//! `flamegraph.pl`/speedscope) plus `FLAME_diff.txt`, a per-span
+//! self-time table showing where the batched driver moved the time.
+//!
+//! ```text
+//! batch_overhead [--reps N] [--out FILE] [--check FILE]
+//! ```
+
+use analysis::collect::{PipelineCtx, StudyCollector};
+use campussim::CampusSim;
+use lockdown_bench::bench_config;
+use lockdown_core::{process_day_batched, process_day_streaming, PipelineOptions};
+use lockdown_obs::{trace, SpanRecorder};
+use nettrace::time::Day;
+use std::process::ExitCode;
+use std::time::Instant;
+
+/// Busy online-term weekdays: one pass processes each once.
+const DAYS: [u16; 5] = [73, 74, 75, 76, 77];
+
+/// Untraced sweep points; `0` is replaced by the default batch size.
+const SWEEP_ROWS: [usize; 5] = [64, 512, 0, 16384, usize::MAX];
+
+/// How a pass drives the day pipeline.
+enum Driver {
+    /// Per-record streaming (`process_day_streaming`).
+    Legacy,
+    /// Batched with the given rows-per-batch (`process_day_batched`).
+    Batched(usize),
+}
+
+fn one_pass(sim: &CampusSim, ctx: &PipelineCtx, driver: &Driver, traced: bool) -> (u64, u64) {
+    let table = sim.directory().table();
+    let key = sim.config().anon_key;
+    let mut flows = 0u64;
+    let t0 = Instant::now();
+    for d in DAYS {
+        let day = Day(d);
+        let mut collector = StudyCollector::new();
+        let _day_span = traced.then(|| trace::span("day").attr("day", u64::from(d)));
+        let opts = PipelineOptions::new(ctx, table, day, key);
+        let stats = match driver {
+            Driver::Legacy => process_day_streaming(opts, &mut collector, sim),
+            Driver::Batched(rows) => {
+                process_day_batched(opts.batch_rows(*rows), &mut collector, sim)
+            }
+        };
+        flows += stats.attributed + stats.unattributed + stats.foreign;
+    }
+    (t0.elapsed().as_nanos() as u64, flows)
+}
+
+fn series(
+    sim: &CampusSim,
+    ctx: &PipelineCtx,
+    reps: usize,
+    driver: &Driver,
+    traced: bool,
+) -> Vec<f64> {
+    let mut out = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        let (ns, flows) = one_pass(sim, ctx, driver, traced);
+        out.push(ns as f64 / flows.max(1) as f64);
+    }
+    out
+}
+
+/// One traced pass under a fresh recorder; returns the finished trace.
+fn traced_pass(sim: &CampusSim, ctx: &PipelineCtx, driver: &Driver) -> lockdown_obs::trace::Trace {
+    let recorder = SpanRecorder::new();
+    let lane = recorder.install(0, "bench");
+    one_pass(sim, ctx, driver, true);
+    drop(lane);
+    recorder.finish()
+}
+
+/// Write the flamegraph artifacts: two collapsed-stack files and the
+/// per-span self-time diff table.
+fn write_flame_diff(
+    dir: &std::path::Path,
+    legacy: &lockdown_obs::trace::Trace,
+    batched: &lockdown_obs::trace::Trace,
+) -> std::io::Result<()> {
+    std::fs::write(dir.join("FLAME_legacy.folded"), legacy.to_collapsed())?;
+    std::fs::write(dir.join("FLAME_batched.folded"), batched.to_collapsed())?;
+
+    let lt = legacy.totals_by_name();
+    let bt = batched.totals_by_name();
+    let lw = legacy.wall_ns().max(1) as f64;
+    let bw = batched.wall_ns().max(1) as f64;
+    let mut names: Vec<&str> = lt.keys().chain(bt.keys()).copied().collect();
+    names.sort_unstable();
+    names.dedup();
+
+    let mut out = String::from(
+        "# Span self-time per driver, one traced pass each (5 busy days).\n\
+         # Collapsed stacks in FLAME_legacy.folded / FLAME_batched.folded.\n\
+         #\n\
+         # span                     legacy_ns      %wall    batched_ns     %wall\n",
+    );
+    for name in names {
+        let l = lt.get(name).copied().unwrap_or(0);
+        let b = bt.get(name).copied().unwrap_or(0);
+        out.push_str(&format!(
+            "{name:<26} {l:>12} {:>8.2}%  {b:>12} {:>8.2}%\n",
+            100.0 * l as f64 / lw,
+            100.0 * b as f64 / bw,
+        ));
+    }
+    out.push_str(&format!(
+        "wall_ns                    {:>12}            {:>12}\n",
+        legacy.wall_ns(),
+        batched.wall_ns(),
+    ));
+    std::fs::write(dir.join("FLAME_diff.txt"), out)
+}
+
+fn median(xs: &[f64]) -> f64 {
+    let mut s = xs.to_vec();
+    s.sort_by(f64::total_cmp);
+    let n = s.len();
+    if n % 2 == 1 {
+        s[n / 2]
+    } else {
+        (s[n / 2 - 1] + s[n / 2]) / 2.0
+    }
+}
+
+fn fmt_series(xs: &[f64]) -> String {
+    let body: Vec<String> = xs.iter().map(|x| format!("{x:.1}")).collect();
+    format!("[{}]", body.join(","))
+}
+
+fn main() -> ExitCode {
+    let mut reps = 7usize;
+    let mut out = std::path::PathBuf::from("results/BENCH_batch.json");
+    let mut check: Option<std::path::PathBuf> = None;
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--reps" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) => reps = n,
+                None => {
+                    eprintln!("batch_overhead: --reps needs a number");
+                    return ExitCode::from(2);
+                }
+            },
+            "--out" => match it.next() {
+                Some(path) => out = path.into(),
+                None => {
+                    eprintln!("batch_overhead: --out needs a path");
+                    return ExitCode::from(2);
+                }
+            },
+            "--check" => match it.next() {
+                Some(path) => check = Some(path.into()),
+                None => {
+                    eprintln!("batch_overhead: --check needs a path");
+                    return ExitCode::from(2);
+                }
+            },
+            other => {
+                eprintln!(
+                    "batch_overhead: unknown argument {other}; usage: batch_overhead [--reps N] [--out FILE] [--check FILE]"
+                );
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let default_rows = lockdown_core::DEFAULT_BATCH_ROWS;
+    let batched = Driver::Batched(default_rows);
+    let sim = CampusSim::new(bench_config());
+    let ctx = PipelineCtx::study();
+    // Warm up caches and the page allocator before anything is timed.
+    let (_, flows_per_pass) = one_pass(&sim, &ctx, &batched, false);
+    eprintln!(
+        "{flows_per_pass} flows per pass over {} days, {reps} reps per series",
+        DAYS.len()
+    );
+
+    let legacy = series(&sim, &ctx, reps, &Driver::Legacy, false);
+    let off_a = series(&sim, &ctx, reps, &batched, false);
+    let recorder = SpanRecorder::new();
+    let lane = recorder.install(0, "bench");
+    let on = series(&sim, &ctx, reps, &batched, true);
+    drop(lane);
+    let spans = recorder.finish().spans.len();
+    let off_b = series(&sim, &ctx, reps, &batched, false);
+
+    let sweep: Vec<(usize, f64)> = SWEEP_ROWS
+        .iter()
+        .map(|&r| {
+            let rows = if r == 0 { default_rows } else { r };
+            (
+                rows,
+                median(&series(&sim, &ctx, reps, &Driver::Batched(rows), false)),
+            )
+        })
+        .collect();
+
+    let (ml, ma, mb, mon) = (median(&legacy), median(&off_a), median(&off_b), median(&on));
+    let spread = |xs: &[f64]| {
+        xs.iter().cloned().fold(f64::MIN, f64::max) - xs.iter().cloned().fold(f64::MAX, f64::min)
+    };
+    let noise_ns = spread(&off_a).max(spread(&off_b));
+    let off_delta_ns = (ma - mb).abs();
+    let overhead_on_pct = 100.0 * (mon - ma) / ma;
+    let speedup_vs_legacy = ml / ma;
+
+    let sweep_json: Vec<String> = sweep
+        .iter()
+        .map(|(rows, ns)| format!("{{\"batch_rows\":{rows},\"ns_per_flow\":{ns:.1}}}"))
+        .collect();
+    let json = format!(
+        concat!(
+            "{{\"bench\":\"batch_overhead\",\"scale\":{},\"days_per_pass\":{},",
+            "\"flows_per_pass\":{},\"reps\":{},\"spans_recorded\":{},",
+            "\"batch_rows_default\":{},",
+            "\"legacy_ns_per_flow\":{},\"off_a_ns_per_flow\":{},",
+            "\"off_b_ns_per_flow\":{},\"on_ns_per_flow\":{},",
+            "\"median_legacy\":{:.1},\"median_off_a\":{:.1},\"median_off_b\":{:.1},",
+            "\"median_on\":{:.1},\"noise_band_ns\":{:.1},\"off_delta_ns\":{:.1},",
+            "\"overhead_on_pct\":{:.2},\"speedup_vs_legacy\":{:.2},",
+            "\"sweep\":[{}],\"off_within_noise\":{}}}"
+        ),
+        lockdown_bench::BENCH_SCALE,
+        DAYS.len(),
+        flows_per_pass,
+        reps,
+        spans,
+        default_rows,
+        fmt_series(&legacy),
+        fmt_series(&off_a),
+        fmt_series(&off_b),
+        fmt_series(&on),
+        ml,
+        ma,
+        mb,
+        mon,
+        noise_ns,
+        off_delta_ns,
+        overhead_on_pct,
+        speedup_vs_legacy,
+        sweep_json.join(","),
+        off_delta_ns <= noise_ns,
+    );
+    if let Some(parent) = out.parent() {
+        if !parent.as_os_str().is_empty() {
+            if let Err(e) = std::fs::create_dir_all(parent) {
+                eprintln!("batch_overhead: creating {} failed: {e}", parent.display());
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if let Err(e) = std::fs::write(&out, &json) {
+        eprintln!("batch_overhead: writing {} failed: {e}", out.display());
+        return ExitCode::FAILURE;
+    }
+    println!("{json}");
+    eprintln!("written to {}", out.display());
+
+    // Flamegraph diff: one traced pass per driver through the span
+    // recorder, exported as collapsed stacks plus a self-time table.
+    let flame_dir = match out.parent() {
+        Some(p) if !p.as_os_str().is_empty() => p.to_path_buf(),
+        _ => std::path::PathBuf::from("."),
+    };
+    let trace_legacy = traced_pass(&sim, &ctx, &Driver::Legacy);
+    let trace_batched = traced_pass(&sim, &ctx, &batched);
+    if let Err(e) = write_flame_diff(&flame_dir, &trace_legacy, &trace_batched) {
+        eprintln!(
+            "batch_overhead: writing flame artifacts to {} failed: {e}",
+            flame_dir.display()
+        );
+        return ExitCode::FAILURE;
+    }
+    eprintln!(
+        "flame artifacts written to {}/FLAME_{{legacy,batched}}.folded and FLAME_diff.txt",
+        flame_dir.display()
+    );
+
+    // Perf-smoke gate: compare against a committed artifact. A fresh
+    // median more than 15 % above the committed one is a regression;
+    // the band absorbs CI-runner jitter while still catching a
+    // reintroduced per-record cost (those show up at 2x, not 1.15x).
+    if let Some(path) = check {
+        let committed = match std::fs::read_to_string(&path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("batch_overhead: reading {} failed: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+        };
+        let parsed: serde_json::Value = match serde_json::from_str(&committed) {
+            Ok(v) => v,
+            Err(e) => {
+                eprintln!("batch_overhead: {} is not valid JSON: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+        };
+        let Some(base) = parsed.get("median_off_a").and_then(|v| v.as_f64()) else {
+            eprintln!(
+                "batch_overhead: {} has no median_off_a field",
+                path.display()
+            );
+            return ExitCode::FAILURE;
+        };
+        let ratio = ma / base;
+        eprintln!(
+            "check: committed {base:.1} ns/flow, measured {ma:.1} ns/flow ({:+.1} %)",
+            (ratio - 1.0) * 100.0
+        );
+        if ratio > 1.15 {
+            eprintln!(
+                "batch_overhead: ns/flow regressed {:.1} % over the committed artifact (>15 % budget)",
+                (ratio - 1.0) * 100.0
+            );
+            return ExitCode::FAILURE;
+        }
+    }
+
+    // Run-to-run stability of the untraced path, as in trace_overhead.
+    if off_delta_ns > noise_ns.max(ma * 0.05) {
+        eprintln!(
+            "batch_overhead: tracing-off medians differ by {off_delta_ns:.1} ns/flow, outside the {noise_ns:.1} ns noise band"
+        );
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

@@ -2,7 +2,7 @@
 //! statistic of *Locked-In during Lock-Down* (IMC '21).
 //!
 //! ```text
-//! repro [--scale S] [--threads N] [--seed X] [--out DIR]
+//! repro [--scale S] [--threads N] [--seed X] [--batch ROWS] [--out DIR]
 //!       [--trace FILE] [--flame FILE] [--progress]
 //!       [--serve ADDR] [--fault-profile NAME] [--strict]
 //!       [all|fig1..fig8|stats|metrics]
@@ -15,6 +15,11 @@
 //! that figure's series; `metrics` dumps the run's per-stage counters as
 //! JSON. `--out DIR` additionally writes the machine-readable figure
 //! files; `--progress` streams per-day progress lines to stderr.
+//! `--batch ROWS` sets the hot path's flow-batch size (a pure
+//! throughput knob: results are bit-identical at every size, and live
+//! progress stays batch-granular — mid-day flow counts and the
+//! `/progress` ETA advance at least once per batch even at large
+//! sizes).
 //!
 //! `--serve ADDR` (e.g. `127.0.0.1:9184`, or port `0` for an ephemeral
 //! one) exposes the run live over HTTP — `/metrics` in Prometheus text
@@ -57,6 +62,7 @@ struct Args {
     scale: f64,
     threads: usize,
     seed: u64,
+    batch_rows: usize,
     out: Option<PathBuf>,
     trace: Option<PathBuf>,
     flame: Option<PathBuf>,
@@ -70,7 +76,7 @@ struct Args {
     command_arg: Option<String>,
 }
 
-const USAGE: &str = "usage: repro [--scale S] [--threads N] [--seed X] [--out DIR] [--trace FILE] [--flame FILE] [--progress] [--serve ADDR] [--fault-profile none|default] [--strict] [all|fig1..fig8|stats|metrics]\n       repro watch ADDR   follow a served run live\n       repro probe ADDR   hit /metrics, /healthz, /progress once, strictly validating each";
+const USAGE: &str = "usage: repro [--scale S] [--threads N] [--seed X] [--batch ROWS] [--out DIR] [--trace FILE] [--flame FILE] [--progress] [--serve ADDR] [--fault-profile none|default] [--strict] [all|fig1..fig8|stats|metrics]\n       repro watch ADDR   follow a served run live\n       repro probe ADDR   hit /metrics, /healthz, /progress once, strictly validating each";
 
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
@@ -79,6 +85,7 @@ fn parse_args() -> Result<Args, String> {
             .map(|n| n.get())
             .unwrap_or(4),
         seed: 0x5eed_2020,
+        batch_rows: lockdown_core::DEFAULT_BATCH_ROWS,
         out: None,
         trace: None,
         flame: None,
@@ -107,6 +114,7 @@ fn parse_args() -> Result<Args, String> {
             "--scale" => args.scale = number_of(&mut it, "--scale")?,
             "--threads" => args.threads = number_of(&mut it, "--threads")?,
             "--seed" => args.seed = number_of(&mut it, "--seed")?,
+            "--batch" => args.batch_rows = number_of(&mut it, "--batch")?,
             "--out" => args.out = Some(PathBuf::from(value_of(&mut it, "--out")?)),
             "--trace" => args.trace = Some(PathBuf::from(value_of(&mut it, "--trace")?)),
             "--flame" => args.flame = Some(PathBuf::from(value_of(&mut it, "--flame")?)),
@@ -358,6 +366,7 @@ fn run(args: Args) -> Result<(), StudyError> {
     let builder = |cfg: SimConfig| {
         let mut b = Study::builder(cfg)
             .threads(args.threads)
+            .batch_rows(args.batch_rows)
             .strict(args.strict);
         if let Some(rec) = &recorder {
             b = b.trace(rec);

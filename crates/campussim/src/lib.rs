@@ -22,6 +22,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod config;
 pub mod domains;
 pub mod fault;
@@ -31,6 +32,7 @@ pub mod packets;
 pub mod population;
 pub mod rng;
 
+pub use batch::{Batcher, DayBatch, DayBatchSink};
 pub use config::{ConfigError, SimConfig};
 pub use domains::{Service, ServiceDirectory, ServiceId, ServiceKind};
 pub use fault::{FaultProfile, FaultStats, FaultingSink};

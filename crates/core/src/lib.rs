@@ -36,8 +36,8 @@ pub mod study;
 
 pub use error::{DayFailure, DegradedReport, StudyError};
 pub use pipeline::{
-    process_day, process_day_streaming, record_fault_stats, DayPipeline, PipelineOptions,
-    DEFAULT_LIVE_TICK,
+    process_day, process_day_batched, process_day_streaming, record_fault_stats, DayPipeline,
+    PipelineOptions, DEFAULT_BATCH_ROWS, DEFAULT_LIVE_TICK,
 };
 pub use report::run_manifest;
 pub use study::{Counterfactual, Study, StudyBuilder, StudyRun};

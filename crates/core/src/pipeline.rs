@@ -24,15 +24,18 @@
 //! branch on a `None`.
 
 use analysis::collect::{PipelineCtx, StudyCollector};
-use campussim::{CampusSim, DaySink, DayTrace, FaultProfile, FaultStats, FaultingSink, UaSighting};
+use campussim::{
+    Batcher, CampusSim, DayBatch, DayBatchSink, DaySink, DayTrace, FaultProfile, FaultStats,
+    FaultingSink, UaSighting,
+};
 use dhcplog::{
     LeaseEvent, LeaseIndex, NormalizeStage, NormalizeStats, Normalizer, DEFAULT_MAX_LEASE_SECS,
 };
-use dnslog::{DnsQuery, DomainTable, LabeledFlow, ResolverMap};
+use dnslog::{DnsQuery, DomainId, DomainTable, LabeledFlow, ResolverMap};
 use lockdown_obs::{trace, Counter, Gauge, MetricsRegistry, NullObserver, RunObserver, StageTimer};
 use nettrace::ip::campus;
 use nettrace::time::Day;
-use nettrace::{DeviceId, FlowRecord, Stage};
+use nettrace::{DeviceId, FlowBatch, FlowRecord, Stage, NO_LABEL};
 use std::time::Instant;
 
 /// Everything a [`DayPipeline`] needs besides its input stream and its
@@ -58,6 +61,7 @@ pub struct PipelineOptions<'a> {
     attempt: u32,
     worker: usize,
     live_tick: u32,
+    batch_rows: usize,
 }
 
 /// Default number of collected flows between two
@@ -65,6 +69,13 @@ pub struct PipelineOptions<'a> {
 /// is invisible next to per-record work, fine enough that a live view
 /// refreshes several times per day even at small scales.
 pub const DEFAULT_LIVE_TICK: u32 = 8192;
+
+/// Default number of flow rows per [`FlowBatch`] on the batched path
+/// ([`process_day_batched`]). Large enough that per-batch work
+/// (stage dispatch, instrumentation, tick checks) amortizes to noise,
+/// small enough that a batch of every column stays comfortably inside
+/// L2 and live progress stays fresh.
+pub const DEFAULT_BATCH_ROWS: usize = 4096;
 
 impl<'a> PipelineOptions<'a> {
     /// Options with labeling on and observability off — the exact
@@ -82,6 +93,7 @@ impl<'a> PipelineOptions<'a> {
             attempt: 0,
             worker: 0,
             live_tick: DEFAULT_LIVE_TICK,
+            batch_rows: DEFAULT_BATCH_ROWS,
         }
     }
 
@@ -139,6 +151,15 @@ impl<'a> PipelineOptions<'a> {
     /// mid-day ticks entirely.
     pub fn live_tick(mut self, every: u32) -> Self {
         self.live_tick = every;
+        self
+    }
+
+    /// Flow rows per batch on the [`process_day_batched`] path
+    /// (default [`DEFAULT_BATCH_ROWS`]; clamped to at least 1).
+    /// Ignored by the per-record drivers. Results are identical at
+    /// every batch size; only amortization changes.
+    pub fn batch_rows(mut self, rows: usize) -> Self {
+        self.batch_rows = rows.max(1);
         self
     }
 }
@@ -296,6 +317,149 @@ impl<'a> DayPipeline<'a> {
                 .observe_flow(self.opts.ctx, self.opts.table, self.opts.day, &lf),
         }
     }
+
+    /// Apply one row-tagged group of lease events: device metadata
+    /// first, then tracker state, sampling the live-binding peak once
+    /// per group. Metadata and tracker state are disjoint, so grouping
+    /// the two sweeps is invisible next to the interleaved per-record
+    /// order, and `max` over per-event samples makes the peak gauge
+    /// bit-identical to sampling after every event.
+    fn apply_leases(&mut self, group: &[(u32, LeaseEvent)]) {
+        for (_, event) in group {
+            if event.action == dhcplog::LeaseAction::Assign {
+                let dev = DeviceId::anonymize(event.mac, self.opts.anon_key);
+                self.collector.observe_device_meta(
+                    dev,
+                    event.mac.oui(),
+                    event.mac.is_locally_administered(),
+                );
+            }
+        }
+        let track_peak = self.counters.is_some();
+        let mut peak = 0u64;
+        self.normalize.time_n(group.len() as u64, |n| {
+            for (_, event) in group {
+                n.record_lease(event);
+                if track_peak {
+                    peak = peak.max(n.tracker().open_count() as u64);
+                }
+            }
+        });
+        if let Some(c) = &self.counters {
+            c.tracker_open_peak.set_max(peak);
+        }
+    }
+
+    /// Apply one row-tagged group of DNS queries to the resolver map,
+    /// one timing touch for the whole group.
+    fn apply_dns(&mut self, group: &[(u32, DnsQuery)]) {
+        self.resolver.time_n(group.len() as u64, |r| {
+            for (_, q) in group {
+                r.record(q);
+            }
+        });
+    }
+
+    /// Drive the batch's raw rows up to `hi` (exclusive) through
+    /// normalize → label → collect, then publish at most one `day_tick`
+    /// for the segment. Equivalent to calling
+    /// [`DaySink::flow`] for each row, with every per-record
+    /// instrumentation touch amortized to once per segment; the tick
+    /// may land a few rows later than the streaming path's (it fires
+    /// between segments, not mid-segment) but always reports the exact
+    /// collected total.
+    fn process_rows(&mut self, flows: &mut FlowBatch, hi: usize) {
+        flows.set_raw_limit(hi);
+        let dev_lo = flows.dev_len();
+        self.normalize.push_batch(flows);
+        let dev_hi = flows.dev_len();
+        if self.opts.labeling {
+            self.resolver.push_batch(flows);
+        } else {
+            flows.advance_dev(dev_hi);
+        }
+        let seg = (dev_hi - dev_lo) as u64;
+        if seg == 0 {
+            return;
+        }
+        if let Some(c) = &self.counters {
+            c.flows_collected.add(seg);
+        }
+        self.collected_total += seg;
+        let t0 = self.collect_busy.is_some().then(Instant::now);
+        for i in dev_lo..dev_hi {
+            let label = flows.label(i);
+            let lf = LabeledFlow {
+                flow: flows.dev_row(i),
+                domain: (label != NO_LABEL).then_some(DomainId(label)),
+            };
+            self.collector
+                .observe_flow(self.opts.ctx, self.opts.table, self.opts.day, &lf);
+        }
+        if let (Some((ns, records)), Some(t0)) = (&mut self.collect_busy, t0) {
+            *ns += t0.elapsed().as_nanos() as u64;
+            *records += seg;
+        }
+        if self.opts.live_tick > 0 {
+            let since = u64::from(self.since_tick) + seg;
+            let tick = u64::from(self.opts.live_tick);
+            if since >= tick {
+                self.since_tick = (since % tick) as u32;
+                self.opts.observer.day_tick(
+                    self.opts.worker,
+                    self.opts.day,
+                    self.collected_total,
+                    self.opts.metrics,
+                );
+            } else {
+                self.since_tick = since as u32;
+            }
+        }
+    }
+}
+
+/// The batched hot path: one [`DayBatch`] at a time, walking flow rows
+/// segment by segment between the row-tagged lease/DNS groups so every
+/// record still observes exactly the stage state it would have seen on
+/// the per-record path. UA sightings apply at batch end (sound because
+/// a batch never splits one device's events across a UA sighting — see
+/// [`campussim::batch`]); per-record counters become per-batch adds.
+impl DayBatchSink for DayPipeline<'_> {
+    fn day_batch(&mut self, batch: &mut DayBatch) {
+        let n = batch.flows.raw_len();
+        if let Some(c) = &self.counters {
+            c.flows_in.add(n as u64);
+            c.dns_queries.add(batch.dns.len() as u64);
+            c.ua_sightings.add(batch.ua.len() as u64);
+        }
+        let (mut row, mut li, mut di) = (0usize, 0usize, 0usize);
+        while row < n || li < batch.leases.len() || di < batch.dns.len() {
+            let next_lease = batch.leases.get(li).map_or(n, |&(t, _)| t as usize);
+            let next_dns = batch.dns.get(di).map_or(n, |&(t, _)| t as usize);
+            let boundary = next_lease.min(next_dns).min(n);
+            if row < boundary {
+                self.process_rows(&mut batch.flows, boundary);
+                row = boundary;
+            }
+            if li < batch.leases.len() && next_lease == boundary {
+                let start = li;
+                while li < batch.leases.len() && batch.leases[li].0 as usize == boundary {
+                    li += 1;
+                }
+                self.apply_leases(&batch.leases[start..li]);
+            }
+            if di < batch.dns.len() && next_dns == boundary {
+                let start = di;
+                while di < batch.dns.len() && batch.dns[di].0 as usize == boundary {
+                    di += 1;
+                }
+                self.apply_dns(&batch.dns[start..di]);
+            }
+        }
+        for s in &batch.ua {
+            self.collector.observe_ua(s.device, s.ua);
+        }
+    }
 }
 
 impl DaySink for DayPipeline<'_> {
@@ -387,6 +551,70 @@ pub fn process_day_streaming(
                 gen_stats
             }
             None => sim.stream_day(day, &mut pipeline),
+        };
+        pipeline.emit_stage_spans();
+        stream_span.set_attr("flows", gen_stats.flows);
+        gen_stats
+    };
+    if let Some(reg) = metrics {
+        reg.counter("gen.devices_present")
+            .add(gen_stats.devices_present);
+        reg.counter("gen.devices_active")
+            .add(gen_stats.devices_active);
+        reg.counter("gen.flows").add(gen_stats.flows);
+        reg.counter("gen.dns_queries").add(gen_stats.dns_queries);
+        reg.counter("gen.lease_events").add(gen_stats.lease_events);
+        reg.counter("gen.ua_sightings").add(gen_stats.ua_sightings);
+    }
+    let _finish_span = trace::span("finish_day");
+    pipeline.finish()
+}
+
+/// Process one day by streaming the generator into a [`Batcher`] and
+/// driving [`FlowBatch`]es of `opts.batch_rows` flows through the
+/// stages in bulk — the hot path. Bit-identical to
+/// [`process_day_streaming`] (and so to [`process_day`]) at every
+/// batch size, seed, and thread count: the batch walk replays the
+/// exact per-device event order, fault injection still happens
+/// per-record upstream of the batcher (same RNG draw order), and every
+/// counter receives the same totals. What changes is amortization —
+/// stage dispatch, busy-time sampling, counter updates, and live ticks
+/// cost once per batch or segment instead of once per record.
+pub fn process_day_batched(
+    opts: PipelineOptions<'_>,
+    collector: &mut StudyCollector,
+    sim: &CampusSim,
+) -> NormalizeStats {
+    let day = opts.day;
+    let metrics = opts.metrics;
+    let batch_rows = opts.batch_rows;
+    let fault = opts.fault.filter(|p| !p.is_noop());
+    if let Some(profile) = fault {
+        if profile.should_panic(day, opts.attempt) {
+            panic!("injected fault-profile panic on day {}", day.0);
+        }
+    }
+    let mut pipeline = DayPipeline::new(opts, collector);
+    let gen_stats = {
+        // Same span shape as the streaming driver, so traces and
+        // flamegraphs from the two paths diff cleanly.
+        let stream_span = trace::span("stream_day");
+        let gen_stats = {
+            let mut batcher = Batcher::new(&mut pipeline, batch_rows);
+            let gen_stats = match fault {
+                Some(profile) => {
+                    let mut sink = FaultingSink::new(profile, day, &mut batcher);
+                    let gen_stats = sim.stream_day(day, &mut sink);
+                    let fault_stats = sink.stats();
+                    if let Some(reg) = metrics {
+                        record_fault_stats(reg, &fault_stats);
+                    }
+                    gen_stats
+                }
+                None => sim.stream_day(day, &mut batcher),
+            };
+            batcher.finish();
+            gen_stats
         };
         pipeline.emit_stage_spans();
         stream_span.set_attr("flows", gen_stats.flows);
@@ -575,6 +803,136 @@ mod tests {
                     "volume divergence for {dev}"
                 );
             }
+        }
+    }
+
+    /// The deterministic (non-timing) metrics every driver must agree
+    /// on, bit for bit.
+    const DETERMINISTIC_COUNTERS: &[&str] = &[
+        "pipeline.flows_in",
+        "pipeline.flows_collected",
+        "pipeline.dns_queries",
+        "pipeline.ua_sightings",
+        "normalize.attributed",
+        "normalize.unattributed",
+        "normalize.foreign",
+        "normalize.lease_events",
+        "resolver.labeled",
+        "resolver.unlabeled",
+        "gen.devices_present",
+        "gen.devices_active",
+        "gen.flows",
+        "gen.dns_queries",
+        "gen.lease_events",
+        "gen.ua_sightings",
+    ];
+    const DETERMINISTIC_GAUGES: &[&str] = &[
+        "normalize.tracker.open_peak",
+        "normalize.tracker.closed_peak",
+        "resolver.ips_peak",
+    ];
+
+    fn assert_same_counters(a: &MetricsRegistry, b: &MetricsRegistry, label: &str) {
+        let (sa, sb) = (a.snapshot(), b.snapshot());
+        for name in DETERMINISTIC_COUNTERS {
+            assert_eq!(
+                sa.counter(name),
+                sb.counter(name),
+                "{label}: counter {name}"
+            );
+        }
+        for name in DETERMINISTIC_GAUGES {
+            assert_eq!(sa.gauge(name), sb.gauge(name), "{label}: gauge {name}");
+        }
+    }
+
+    #[test]
+    fn batched_matches_streaming_at_every_batch_size() {
+        let sim = sim_1pct();
+        let ctx = PipelineCtx::study();
+        let day = Day(47); // shutdown day: mixed present/absent devices
+        let reg_s = MetricsRegistry::new();
+        let mut streamed = StudyCollector::new();
+        let stream_stats = process_day_streaming(
+            PipelineOptions::new(&ctx, sim.directory().table(), day, sim.config().anon_key)
+                .metrics(&reg_s),
+            &mut streamed,
+            &sim,
+        );
+        // Sizes: degenerate 1, a mid-device odd cut, the default, and
+        // larger-than-day (one batch).
+        for rows in [1usize, 997, DEFAULT_BATCH_ROWS, usize::MAX] {
+            let reg_b = MetricsRegistry::new();
+            let mut batched = StudyCollector::new();
+            let batch_stats = process_day_batched(
+                PipelineOptions::new(&ctx, sim.directory().table(), day, sim.config().anon_key)
+                    .metrics(&reg_b)
+                    .batch_rows(rows),
+                &mut batched,
+                &sim,
+            );
+            assert_eq!(stream_stats, batch_stats, "stats at batch_rows={rows}");
+            assert_same_counters(&reg_s, &reg_b, &format!("batch_rows={rows}"));
+            assert_eq!(
+                streamed.volume.device_count(),
+                batched.volume.device_count(),
+                "device count at batch_rows={rows}"
+            );
+            for dev in streamed.volume.devices() {
+                for m in [nettrace::time::Month::Feb, nettrace::time::Month::Mar] {
+                    assert_eq!(
+                        streamed.volume.month_total(dev, m),
+                        batched.volume.month_total(dev, m),
+                        "volume divergence for {dev} at batch_rows={rows}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batched_matches_streaming_under_faults() {
+        let sim = sim_1pct();
+        let ctx = PipelineCtx::study();
+        let day = Day(10);
+        let profile = campussim::FaultProfile::new()
+            .frame_corruption(0.05)
+            .dns_answer_drops(0.05);
+        let reg_s = MetricsRegistry::new();
+        let mut streamed = StudyCollector::new();
+        let stream_stats = process_day_streaming(
+            PipelineOptions::new(&ctx, sim.directory().table(), day, sim.config().anon_key)
+                .metrics(&reg_s)
+                .fault(Some(&profile)),
+            &mut streamed,
+            &sim,
+        );
+        // The fault layer sits upstream of the batcher and draws its
+        // RNG per record, so the corrupted stream — and therefore every
+        // statistic — is identical at any batch size.
+        let reg_b = MetricsRegistry::new();
+        let mut batched = StudyCollector::new();
+        let batch_stats = process_day_batched(
+            PipelineOptions::new(&ctx, sim.directory().table(), day, sim.config().anon_key)
+                .metrics(&reg_b)
+                .fault(Some(&profile))
+                .batch_rows(513),
+            &mut batched,
+            &sim,
+        );
+        assert_eq!(stream_stats, batch_stats);
+        assert_same_counters(&reg_s, &reg_b, "faulted");
+        for name in [
+            "pipeline.errors.flows_dropped",
+            "pipeline.errors.leases_dropped",
+            "pipeline.errors.dns_answers_dropped",
+            "pipeline.errors.dns_duplicated",
+        ] {
+            assert_eq!(
+                reg_s.snapshot().counter(name),
+                reg_b.snapshot().counter(name),
+                "fault counter {name}"
+            );
         }
     }
 

@@ -2,11 +2,16 @@
 //! in parallel over days.
 //!
 //! Parallelism is a work-stealing day queue: workers pull the next day
-//! index off a shared atomic cursor, stream it end-to-end through
-//! [`process_day_streaming`], and merge their collectors at the end.
-//! Which worker processes which day is nondeterministic, but results
-//! are not: days are independent and the collector merge is
-//! commutative, so any schedule produces the same study.
+//! index off a shared atomic cursor, drive it end-to-end through
+//! [`process_day_batched`], and submit the day's outcome to a shared
+//! ordered reducer. Which worker processes which day is
+//! nondeterministic, but results are not — and not merely statistically:
+//! days are independent, integer state merges commutatively, and the
+//! reducer folds the collectors *in calendar order* (buffering
+//! out-of-order arrivals), so even the order-sensitive `f64`
+//! accumulators (social-session hours, geolocation midpoints) come out
+//! bit-identical at every thread count. Figures diff byte-for-byte
+//! across schedules; no float tolerance needed anywhere downstream.
 //!
 //! Runs are configured through [`StudyBuilder`] (see
 //! [`Study::builder`]): thread count, an optional [`RunObserver`] for
@@ -20,16 +25,17 @@
 //! panics contributes *no* partial state — its collector and registry
 //! are simply discarded. The failed day is quarantined on a shared
 //! retry queue and re-attempted once by whichever worker drains its
-//! main queue first. A recovered day is exact (the merge is
-//! commutative and [`StudyCollector::finish_day`] closes all
-//! day-scoped state, so per-day merging equals per-worker
-//! accumulation); a day that fails both attempts is dropped and
+//! main queue first. A recovered day is exact: it submits under its
+//! original calendar index, so the ordered reduction cannot tell a
+//! retried day from a first-try one ([`StudyCollector::finish_day`]
+//! closes all day-scoped state before the collector leaves the
+//! boundary). A day that fails both attempts is dropped and
 //! recorded in the run's [`DegradedReport`]. Under
 //! [`StudyBuilder::strict`] the first failure aborts the run with
 //! [`StudyError::DayFailed`] instead — the CI posture.
 
 use crate::error::{panic_message, DayFailure, DegradedReport, StudyError};
-use crate::pipeline::{process_day_streaming, PipelineOptions};
+use crate::pipeline::{process_day_batched, PipelineOptions, DEFAULT_BATCH_ROWS};
 use analysis::collect::{PipelineCtx, StudyCollector};
 use analysis::figures::{self, StudySummary};
 use analysis::HeadlineStats;
@@ -56,22 +62,114 @@ fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
     m.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
-/// Everything one worker hands back when its queues run dry.
-struct WorkerYield {
+/// Deterministic day-ordered reduction of per-day outcomes.
+///
+/// Workers submit each completed day under its calendar index; the
+/// reducer folds the collectors strictly in index order, buffering
+/// out-of-order arrivals until their turn. Integer state (counters,
+/// normalization stats, metrics) merges commutatively and is folded the
+/// moment it arrives; only the collector — which carries
+/// order-sensitive `f64` accumulators (social-session hours,
+/// geolocation midpoints) — waits for its slot. The result is
+/// bit-identical to a sequential run at any thread count and under any
+/// work-stealing schedule, which is what lets the figure diffs in CI be
+/// exact byte comparisons instead of `1e-9` tolerances.
+struct OrderedReducer {
+    state: Mutex<ReduceState>,
+}
+
+struct ReduceState {
+    /// Next calendar index the collector fold is waiting for.
+    next: usize,
+    /// Out-of-order arrivals: `Some` to merge when reached, `None` for
+    /// a day dropped after failing both attempts (the fold must still
+    /// step over its index).
+    pending: HashMap<usize, Option<StudyCollector>>,
     collector: StudyCollector,
     stats: NormalizeStats,
     metrics: MetricsSnapshot,
 }
 
+impl ReduceState {
+    fn offer(&mut self, index: usize, collector: Option<StudyCollector>) {
+        if index != self.next {
+            self.pending.insert(index, collector);
+            return;
+        }
+        if let Some(c) = collector {
+            self.collector.merge(c);
+        }
+        self.next += 1;
+        while let Some(slot) = self.pending.remove(&self.next) {
+            if let Some(c) = slot {
+                self.collector.merge(c);
+            }
+            self.next += 1;
+        }
+    }
+}
+
+impl OrderedReducer {
+    fn new() -> Self {
+        OrderedReducer {
+            state: Mutex::new(ReduceState {
+                next: 0,
+                pending: HashMap::new(),
+                collector: StudyCollector::new(),
+                stats: NormalizeStats::default(),
+                metrics: MetricsSnapshot::default(),
+            }),
+        }
+    }
+
+    /// Fold in a completed day: stats and metrics immediately
+    /// (commutative), the collector in calendar order.
+    fn submit(&self, index: usize, out: DayOutcome) {
+        let mut s = lock(&self.state);
+        s.stats += out.stats;
+        s.metrics.merge(&out.metrics);
+        s.offer(index, Some(out.collector));
+    }
+
+    /// Record that `index` will never arrive (dropped after two failed
+    /// attempts), so the ordered fold can step over it.
+    fn skip(&self, index: usize) {
+        lock(&self.state).offer(index, None);
+    }
+
+    /// Finish the reduction. Any indices still pending (possible only
+    /// on an aborted run, whose result is discarded anyway) are folded
+    /// in index order as a safety net.
+    fn into_parts(self) -> (StudyCollector, NormalizeStats, MetricsSnapshot) {
+        let mut s = self
+            .state
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner);
+        let mut rest: Vec<usize> = s.pending.keys().copied().collect();
+        rest.sort_unstable();
+        for k in rest {
+            if let Some(Some(c)) = s.pending.remove(&k) {
+                s.collector.merge(c);
+            }
+        }
+        (s.collector, s.stats, s.metrics)
+    }
+}
+
 /// One drain's worth of shared inputs: which simulation, which day
-/// queue, which fault profile, and the stage label failures carry.
+/// queue, which reducer collects the outcomes, which fault profile,
+/// and the stage label failures carry.
 struct DrainPlan<'a> {
     sim: &'a CampusSim,
     days: &'a [Day],
     cursor: &'a AtomicUsize,
-    retry: &'a Mutex<Vec<DayFailure>>,
+    /// Quarantined first-attempt failures, each carrying the day's
+    /// calendar index so a recovery can submit under it.
+    retry: &'a Mutex<Vec<(usize, DayFailure)>>,
+    reducer: &'a OrderedReducer,
     fault: Option<&'a FaultProfile>,
     stage: &'static str,
+    batch_rows: usize,
 }
 
 /// Run-wide failure bookkeeping shared by every worker.
@@ -156,8 +254,9 @@ fn try_day(
         .metrics_opt(registry.as_ref())
         .fault(plan.fault)
         .attempt(attempt)
-        .worker(worker);
-        let day_stats = process_day_streaming(opts, &mut collector, plan.sim);
+        .worker(worker)
+        .batch_rows(plan.batch_rows);
+        let day_stats = process_day_batched(opts, &mut collector, plan.sim);
         day_span.set_attr("flows", day_stats.attributed);
         day_stats
     }));
@@ -183,7 +282,9 @@ fn try_day(
 /// is dry, then adopt quarantined days off the retry queue (each
 /// retried exactly once, possibly pushed there by a different worker).
 /// Every worker that pushes to the retry queue also drains it
-/// afterwards, so no quarantined day is ever orphaned.
+/// afterwards, so no quarantined day is ever orphaned. Outcomes flow
+/// straight into the plan's [`OrderedReducer`] under the day's calendar
+/// index; the worker keeps no per-worker accumulation.
 fn drain_days(
     plan: &DrainPlan<'_>,
     ctx: &PipelineCtx,
@@ -191,18 +292,7 @@ fn drain_days(
     observer: &dyn RunObserver,
     collect_metrics: bool,
     shared: &RunShared,
-) -> WorkerYield {
-    let mut collector = StudyCollector::new();
-    let mut stats = NormalizeStats::default();
-    let mut metrics = MetricsSnapshot::default();
-    let absorb = |collector: &mut StudyCollector,
-                  stats: &mut NormalizeStats,
-                  metrics: &mut MetricsSnapshot,
-                  out: DayOutcome| {
-        collector.merge(out.collector);
-        *stats += out.stats;
-        metrics.merge(&out.metrics);
-    };
+) {
     // First pass over the shared day queue.
     loop {
         if shared.abort.load(Ordering::Relaxed) {
@@ -225,7 +315,7 @@ fn drain_days(
             Ok(out) => {
                 observer.day_metrics(worker, day, out.duration_ns, &out.metrics);
                 observer.day_finished(worker, day, out.stats.attributed);
-                absorb(&mut collector, &mut stats, &mut metrics, out);
+                plan.reducer.submit(i, out);
             }
             Err(error) => {
                 observer.day_failed(worker, day, 0, &error);
@@ -239,16 +329,18 @@ fn drain_days(
                     shared.record_fatal(failure);
                     break;
                 }
-                lock(plan.retry).push(failure);
+                lock(plan.retry).push((i, failure));
             }
         }
     }
-    // Retry pass: one fresh attempt per quarantined day.
+    // Retry pass: one fresh attempt per quarantined day. A recovered
+    // day submits under its original calendar index, so the ordered
+    // fold cannot tell it from a first-try success.
     loop {
         if shared.abort.load(Ordering::Relaxed) {
             break;
         }
-        let Some(first) = lock(plan.retry).pop() else {
+        let Some((index, first)) = lock(plan.retry).pop() else {
             break;
         };
         let day = Day(first.day);
@@ -267,11 +359,12 @@ fn drain_days(
             Ok(out) => {
                 observer.day_metrics(worker, day, out.duration_ns, &out.metrics);
                 observer.day_finished(worker, day, out.stats.attributed);
-                absorb(&mut collector, &mut stats, &mut metrics, out);
+                plan.reducer.submit(index, out);
                 lock(&shared.degraded).recovered.push(first);
             }
             Err(error) => {
                 observer.day_failed(worker, day, 1, &error);
+                plan.reducer.skip(index);
                 lock(&shared.degraded).failed.push(DayFailure {
                     day: day.0,
                     stage: plan.stage.to_string(),
@@ -282,26 +375,6 @@ fn drain_days(
         }
     }
     observer.worker_idle(worker);
-    WorkerYield {
-        collector,
-        stats,
-        metrics,
-    }
-}
-
-/// Merge per-worker results into one collector/stats/metrics triple.
-fn merge_results(
-    results: impl IntoIterator<Item = WorkerYield>,
-) -> (StudyCollector, NormalizeStats, MetricsSnapshot) {
-    let mut collector = StudyCollector::new();
-    let mut stats = NormalizeStats::default();
-    let mut metrics = MetricsSnapshot::default();
-    for y in results {
-        collector.merge(y.collector);
-        stats += y.stats;
-        metrics.merge(&y.metrics);
-    }
-    (collector, stats, metrics)
 }
 
 /// A completed study run.
@@ -443,6 +516,7 @@ pub struct StudyBuilder {
     strict: bool,
     live: Option<LivePublisher>,
     serve_addr: Option<String>,
+    batch_rows: usize,
 }
 
 impl StudyBuilder {
@@ -461,17 +535,28 @@ impl StudyBuilder {
             strict: false,
             live: None,
             serve_addr: None,
+            batch_rows: DEFAULT_BATCH_ROWS,
         }
     }
 
     /// Fan days out over `n` workers (clamped to at least 1). Days are
     /// handed out through a shared work-stealing cursor, so a slow day
     /// (e.g. peak-occupancy February) never leaves the other workers
-    /// idle the way static round-robin chunking did. Deterministic
-    /// regardless of thread count: each day is streamed independently
-    /// and the per-worker collectors merge commutatively.
+    /// idle the way static round-robin chunking did. Bit-deterministic
+    /// regardless of thread count: each day runs independently and the
+    /// shared reducer folds day collectors in calendar order, so even
+    /// `f64` accumulation order is schedule-independent.
     pub fn threads(mut self, n: usize) -> Self {
         self.threads = n.max(1);
+        self
+    }
+
+    /// Rows per flow batch on the hot path (clamped to at least 1;
+    /// default [`DEFAULT_BATCH_ROWS`]). Purely a throughput knob:
+    /// results are bit-identical at every batch size — see
+    /// `tests/stream_vs_batch.rs`.
+    pub fn batch_rows(mut self, rows: usize) -> Self {
+        self.batch_rows = rows.max(1);
         self
     }
 
@@ -576,6 +661,7 @@ impl StudyBuilder {
             strict,
             live,
             serve_addr,
+            batch_rows,
         } = self;
         cfg.validate()?;
         let fault = fault.filter(|p| !p.is_noop());
@@ -624,45 +710,54 @@ impl StudyBuilder {
         let retry = Mutex::new(Vec::new());
         let cf_retry = Mutex::new(Vec::new());
         let shared = RunShared::new(strict);
+        let reducer = OrderedReducer::new();
+        let cf_reducer = OrderedReducer::new();
 
         let plan = DrainPlan {
             sim: &sim,
             days: &days,
             cursor: &cursor,
             retry: &retry,
+            reducer: &reducer,
             fault: fault.as_ref(),
             stage: "pipeline",
+            batch_rows,
         };
         let cf_plan = cf_sim.as_ref().map(|cf_sim| DrainPlan {
             sim: cf_sim,
             days: &days,
             cursor: &cf_cursor,
             retry: &cf_retry,
+            reducer: &cf_reducer,
             fault: None,
             stage: "counterfactual",
+            batch_rows,
         });
 
         let trace_rec = trace_rec.as_ref();
         let worker = |w: usize| {
             let _lane = trace_rec.map(|rec| rec.install(w as u32, &format!("worker {w}")));
             let worker_span = trace::span("worker").attr("worker", w as u64);
-            let main = {
+            {
                 let _span = trace::span("drain.study");
-                drain_days(&plan, &ctx, w, observer.as_ref(), collect_metrics, &shared)
-            };
-            let cf = cf_plan.as_ref().map(|p| {
+                drain_days(&plan, &ctx, w, observer.as_ref(), collect_metrics, &shared);
+            }
+            if let Some(p) = cf_plan.as_ref() {
                 let _span = trace::span("drain.counterfactual");
-                drain_days(p, &ctx, w, observer.as_ref(), collect_metrics, &shared)
-            });
+                drain_days(p, &ctx, w, observer.as_ref(), collect_metrics, &shared);
+            }
             drop(worker_span);
-            (main, cf, Instant::now())
+            Instant::now()
         };
 
-        let results: Vec<(WorkerYield, Option<WorkerYield>, Instant)> = if threads == 1 {
+        let results: Vec<Instant> = if threads == 1 {
             vec![worker(0)]
         } else {
             let worker = &worker;
             let joined: Vec<_> = std::thread::scope(|s| {
+                // The eager collect is the fork: without it the lazy
+                // spawn/join chain would run the workers one at a time.
+                #[allow(clippy::needless_collect)]
                 let handles: Vec<_> = (0..threads).map(|w| s.spawn(move || worker(w))).collect();
                 handles.into_iter().map(|h| h.join()).collect()
             });
@@ -695,9 +790,9 @@ impl StudyBuilder {
         // idle; this histogram records *how long* it sat idle.
         let idle_registry = collect_metrics.then(MetricsRegistry::new);
         if let Some(reg) = &idle_registry {
-            if let Some(latest) = results.iter().map(|(_, _, done)| *done).max() {
+            if let Some(latest) = results.iter().copied().max() {
                 let idle = reg.histogram("study.worker_idle_ns");
-                for (_, _, done) in &results {
+                for done in &results {
                     idle.record(latest.duration_since(*done).as_nanos() as u64);
                 }
             }
@@ -706,13 +801,7 @@ impl StudyBuilder {
         let mut degraded = std::mem::take(&mut *lock(&shared.degraded));
         degraded.sort();
 
-        let mut study_results = Vec::with_capacity(results.len());
-        let mut cf_results = Vec::with_capacity(results.len());
-        for (main, cf, _) in results {
-            study_results.push(main);
-            cf_results.push(cf);
-        }
-        let (collector, norm_stats, mut metrics) = merge_results(study_results);
+        let (collector, norm_stats, mut metrics) = reducer.into_parts();
         if let Some(reg) = &idle_registry {
             metrics.merge(&reg.snapshot());
         }
@@ -727,8 +816,7 @@ impl StudyBuilder {
         };
 
         let counterfactual = cf_sim.map(|cf_sim| {
-            let (cf_collector, cf_norm_stats, cf_metrics) =
-                merge_results(cf_results.into_iter().flatten());
+            let (cf_collector, cf_norm_stats, cf_metrics) = cf_reducer.into_parts();
             let cf_summary = StudySummary::finalize(&cf_collector);
             let cf = Study {
                 sim: cf_sim,
@@ -840,11 +928,10 @@ mod tests {
         assert_eq!(a.norm_stats, b.norm_stats);
         assert_eq!(a.summary.resident.len(), b.summary.resident.len());
         assert_eq!(a.summary.post_shutdown.len(), b.summary.post_shutdown.len());
-        let ha = a.headline();
-        let hb = b.headline();
-        assert_eq!(ha.peak_active, hb.peak_active);
-        assert_eq!(ha.intl_devices, hb.intl_devices);
-        assert!((ha.traffic_growth_feb_to_aprmay - hb.traffic_growth_feb_to_aprmay).abs() < 1e-9);
+        // Bit-exact, floats included: the ordered reduction folds day
+        // collectors in calendar order regardless of which worker ran
+        // which day, so no float tolerance is needed.
+        assert_eq!(a.headline(), b.headline());
         // Metrics are deterministic too: per-worker registries merge
         // commutatively, so thread count cannot change the totals.
         assert_eq!(a.metrics().counters, b.metrics().counters);
@@ -935,14 +1022,12 @@ mod tests {
         assert_eq!(degraded.recovered[0].attempt, 0);
         assert_eq!(degraded.recovered[0].stage, "pipeline");
         assert_eq!(obs.days_failed(), 1);
-        // The retried day's data is present and exact: the run matches
-        // a clean one bit for bit.
+        // The retried day's data is present and exact: the recovered
+        // day submits under its original calendar index, so the run
+        // matches a clean one bit for bit — floats included.
         let clean = Study::builder(tiny()).threads(2).run().unwrap();
         assert_eq!(run.study.norm_stats, clean.study.norm_stats);
-        assert_eq!(
-            run.study.headline().peak_active,
-            clean.study.headline().peak_active
-        );
+        assert_eq!(run.study.headline(), clean.study.headline());
     }
 
     #[test]

@@ -7,8 +7,7 @@
 //! toward detection; only gameplay counts in Figure 8).
 
 use appsig::App;
-use nettrace::{Day, DeviceId, StudyCalendar, Timestamp};
-use std::collections::HashMap;
+use nettrace::{Day, DeviceId, FastMap, StudyCalendar, Timestamp};
 
 /// The detection threshold (fraction of total bytes to Nintendo servers).
 pub const SWITCH_THRESHOLD: f64 = 0.5;
@@ -25,7 +24,7 @@ struct SwitchScore {
 /// Streaming Switch detector over classified flows.
 #[derive(Debug, Default)]
 pub struct SwitchDetector {
-    scores: HashMap<DeviceId, SwitchScore>,
+    scores: FastMap<DeviceId, SwitchScore>,
 }
 
 impl SwitchDetector {

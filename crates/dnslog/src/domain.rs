@@ -7,7 +7,6 @@
 //! keeps the streaming pipeline allocation-free on the hot path.
 
 use nettrace::{Error, Result};
-use std::collections::HashMap;
 use std::fmt;
 
 /// A validated, lower-case DNS name (no trailing dot).
@@ -117,7 +116,7 @@ pub struct DomainId(pub u32);
 #[derive(Debug, Default)]
 pub struct DomainTable {
     names: Vec<DomainName>,
-    ids: HashMap<DomainName, DomainId>,
+    ids: nettrace::FastMap<DomainName, DomainId>,
 }
 
 impl DomainTable {

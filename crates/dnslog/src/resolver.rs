@@ -13,8 +13,7 @@
 use crate::domain::DomainId;
 use crate::query::DnsQuery;
 use nettrace::flow::DeviceFlow;
-use nettrace::Timestamp;
-use std::collections::HashMap;
+use nettrace::{FastMap, Timestamp};
 use std::net::Ipv4Addr;
 
 /// Default freshness horizon: resolutions older than a week stop labeling
@@ -65,7 +64,7 @@ impl LabelStats {
 /// The temporal reverse-resolution index.
 #[derive(Debug, Default)]
 pub struct ResolverMap {
-    by_ip: HashMap<Ipv4Addr, IpHistory>,
+    by_ip: FastMap<Ipv4Addr, IpHistory>,
     freshness_secs: i64,
     label_stats: LabelStats,
 }
@@ -79,7 +78,7 @@ impl ResolverMap {
     /// Empty map with a custom freshness horizon in seconds.
     pub fn with_freshness(freshness_secs: i64) -> Self {
         ResolverMap {
-            by_ip: HashMap::new(),
+            by_ip: FastMap::default(),
             freshness_secs,
             label_stats: LabelStats::default(),
         }
@@ -155,6 +154,41 @@ impl nettrace::Stage for ResolverMap {
             self.label_stats.unlabeled += 1;
         }
         Some(labeled)
+    }
+}
+
+/// The batched twin of the [`Stage`](nettrace::Stage) impl: label the
+/// batch's device window in place by filling the label column
+/// ([`DomainId`] index, or [`NO_LABEL`](nettrace::NO_LABEL) when no
+/// resolution is fresh).
+/// Row-for-row equivalent to pushing each [`DeviceFlow`] through
+/// [`nettrace::Stage::push`], including the coverage counters — one
+/// state load and one accounting update per window instead of per flow.
+///
+/// A real `DomainId` cannot collide with the
+/// [`NO_LABEL`](nettrace::NO_LABEL) sentinel in practice:
+/// [`DomainTable`](crate::DomainTable) ids are sequential intern
+/// indices, and a table would need 2³² − 1 distinct domains before
+/// handing out `u32::MAX`.
+impl nettrace::BatchStage for ResolverMap {
+    fn push_batch(&mut self, batch: &mut nettrace::FlowBatch) -> nettrace::BatchIo {
+        let w = batch.dev_window();
+        for i in w.clone() {
+            let d = batch.dev_row(i);
+            match self.lookup(d.remote, d.ts) {
+                Some(dom) => {
+                    self.label_stats.labeled += 1;
+                    batch.set_label(i, dom.0);
+                }
+                None => self.label_stats.unlabeled += 1,
+            }
+        }
+        batch.advance_dev(w.end);
+        let n = (w.end - w.start) as u64;
+        nettrace::BatchIo {
+            records_in: n,
+            records_out: n,
+        }
     }
 }
 
@@ -248,6 +282,61 @@ mod tests {
         let stats = m.label_stats();
         assert_eq!((stats.labeled, stats.unlabeled), (1, 1));
         assert!((stats.coverage() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn push_batch_labels_like_per_record_push() {
+        use nettrace::{BatchStage, FlowBatch, Stage, NO_LABEL};
+        let mut t = DomainTable::new();
+        let a = t.intern_str("zoom.us").unwrap();
+        let mk = |freshness| {
+            let mut m = ResolverMap::with_freshness(freshness);
+            m.record(&q(100, a, IP));
+            m
+        };
+        let (mut streaming, mut batched) = (mk(3600), mk(3600));
+        let base = DeviceFlow {
+            device: DeviceId(7),
+            ts: Timestamp::from_secs(120),
+            duration_micros: 0,
+            remote: IP,
+            remote_port: 443,
+            proto: Proto::Tcp,
+            tx_bytes: 1,
+            rx_bytes: 2,
+        };
+        let flows = [
+            base, // labeled
+            DeviceFlow {
+                remote: Ipv4Addr::new(203, 0, 113, 9),
+                ..base
+            }, // unknown ip
+            DeviceFlow {
+                ts: Timestamp::from_secs(90),
+                ..base
+            }, // before resolution
+            DeviceFlow {
+                ts: Timestamp::from_secs(100_000),
+                ..base
+            }, // stale
+        ];
+        let expect: Vec<LabeledFlow> = flows.iter().filter_map(|f| streaming.push(*f)).collect();
+        let mut batch = FlowBatch::default();
+        for f in &flows {
+            batch.push_dev(*f);
+        }
+        let io = batched.push_batch(&mut batch);
+        assert_eq!((io.records_in, io.records_out), (4, 4));
+        let got: Vec<LabeledFlow> = (0..batch.dev_len())
+            .map(|i| LabeledFlow {
+                flow: batch.dev_row(i),
+                domain: (batch.label(i) != NO_LABEL).then(|| DomainId(batch.label(i))),
+            })
+            .collect();
+        assert_eq!(got, expect);
+        assert_eq!(batched.label_stats(), streaming.label_stats());
+        // The window is consumed; re-pushing is a no-op.
+        assert_eq!(batched.push_batch(&mut batch).records_in, 0);
     }
 
     #[test]

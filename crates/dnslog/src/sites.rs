@@ -11,8 +11,7 @@
 //! thousands of sites — 64-bit hash collisions are negligible.)
 
 use crate::domain::{DomainId, DomainTable};
-use nettrace::{DeviceId, Month};
-use std::collections::{HashMap, HashSet};
+use nettrace::{DeviceId, FastMap, FastSet, Month};
 
 /// FNV-1a over a string, used as the site key.
 pub fn site_key(registered_domain: &str) -> u64 {
@@ -27,7 +26,10 @@ pub fn site_key(registered_domain: &str) -> u64 {
 /// Streaming per-device, per-month distinct registered-domain counter.
 #[derive(Debug, Default)]
 pub struct DistinctSiteCounter {
-    per_device: HashMap<DeviceId, [HashSet<u64>; 4]>,
+    per_device: FastMap<DeviceId, [FastSet<u64>; 4]>,
+    /// `DomainId` → site key memo (worker-local; dropped on merge — the
+    /// interned table is append-only so memoized entries never go stale).
+    key_memo: FastMap<DomainId, u64>,
 }
 
 impl DistinctSiteCounter {
@@ -44,7 +46,10 @@ impl DistinctSiteCounter {
         domain: DomainId,
         table: &DomainTable,
     ) {
-        let key = site_key(table.name(domain).registered_domain());
+        let key = *self
+            .key_memo
+            .entry(domain)
+            .or_insert_with(|| site_key(table.name(domain).registered_domain()));
         self.per_device.entry(device).or_default()[month.index()].insert(key);
     }
 

@@ -9,7 +9,7 @@
 //! against real traffic.
 
 use nettrace::ip::{Ipv4Cidr, PrefixSet};
-use std::collections::HashMap;
+use nettrace::FastMap;
 use std::fmt;
 use std::net::Ipv4Addr;
 
@@ -57,7 +57,7 @@ pub struct GeoEntry {
 #[derive(Debug, Default)]
 pub struct GeoDb {
     prefixes: PrefixSet,
-    entries: HashMap<Ipv4Cidr, GeoEntry>,
+    entries: FastMap<Ipv4Cidr, GeoEntry>,
 }
 
 impl GeoDb {
@@ -65,7 +65,7 @@ impl GeoDb {
     pub fn new() -> Self {
         GeoDb {
             prefixes: PrefixSet::new(),
-            entries: HashMap::new(),
+            entries: FastMap::default(),
         }
     }
 

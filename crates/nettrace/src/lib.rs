@@ -21,6 +21,9 @@
 //!   analyses and synthetic traces can be inspected with standard tools.
 //! * [`assembler`] — a flow table that turns a packet stream back into flow
 //!   records (the "Zeek" stage of the pipeline).
+//! * [`fasthash`] — the deterministic fxhash-style hasher behind every
+//!   hot-path map (device ids and interned ids are trusted keys; SipHash
+//!   hardening is wasted on them).
 //!
 //! The crate is deliberately free of I/O beyond `pcap` and free of
 //! dependencies beyond `bytes`; everything above it (DHCP normalization,
@@ -30,8 +33,10 @@
 #![warn(missing_docs)]
 
 pub mod assembler;
+pub mod batch;
 pub mod error;
 pub mod ethernet;
+pub mod fasthash;
 pub mod flow;
 pub mod ip;
 pub mod ipv4;
@@ -44,7 +49,9 @@ pub mod time;
 pub mod udp;
 pub mod zeek;
 
+pub use batch::{BatchIo, BatchStage, FlowBatch, PerRecord, NO_LABEL};
 pub use error::{Error, Result};
+pub use fasthash::{FastMap, FastSet};
 pub use flow::{FlowKey, FlowRecord, Proto};
 pub use mac::{DeviceId, MacAddr, Oui};
 pub use stage::Stage;

@@ -1,19 +1,40 @@
-//! Streaming pipeline vs. legacy batch pipeline equivalence.
+//! Three-way pipeline equivalence: legacy batch vs. streamed vs.
+//! batched-SoA.
 //!
-//! A study run streams every day end-to-end through the stage pipeline
-//! (`process_day_streaming`), never materializing a day of flows. The
-//! legacy batch path — materialize a `DayTrace`, batch-build the lease
-//! index and resolver map, collect from a `Vec<LabeledFlow>` — is kept
-//! as `process_day` precisely so this test can hold the two up against
-//! each other: same campus, same days, results must be *identical*,
-//! down to the bitwise-equal `f64`s in the headline statistics.
+//! The repo keeps three drivers for the same record path:
+//!
+//! 1. **legacy batch** (`process_day`): materialize a `DayTrace`,
+//!    batch-build the lease index and resolver map, collect from a
+//!    `Vec<LabeledFlow>`. Kept precisely as the reference oracle.
+//! 2. **streamed** (`process_day_streaming`): one event at a time
+//!    through the stage pipeline, never materializing a day.
+//! 3. **batched-SoA** (`process_day_batched`): the production hot path —
+//!    struct-of-arrays `FlowBatch`es through the `BatchStage` seam.
+//!
+//! Same campus, same days: all three must be *identical*, down to the
+//! bitwise-equal `f64`s in the headline statistics, at every batch size
+//! (including 1, a size that straddles batch cuts mid-device, the
+//! default, and one larger than any day) and under fault injection.
+//! Parallel runs are held to the same standard — the ordered reducer
+//! makes thread count and work-stealing schedule invisible, with no
+//! float tolerance anywhere.
 
 use analysis::collect::{PipelineCtx, StudyCollector};
 use analysis::figures::{headline_stats, StudySummary};
-use campussim::{CampusSim, SimConfig};
+use campussim::{CampusSim, FaultProfile, SimConfig};
 use dhcplog::NormalizeStats;
-use lockdown_core::{process_day, PipelineOptions, Study};
+use lockdown_core::{
+    process_day, process_day_batched, process_day_streaming, PipelineOptions, Study,
+    DEFAULT_BATCH_ROWS,
+};
 use nettrace::time::{Day, StudyCalendar};
+
+fn cfg_1pct() -> SimConfig {
+    SimConfig {
+        scale: 0.01,
+        ..Default::default()
+    }
+}
 
 /// The legacy driver: sequential days, each fully materialized.
 fn run_batch(cfg: SimConfig) -> (CampusSim, StudyCollector, NormalizeStats) {
@@ -30,15 +51,67 @@ fn run_batch(cfg: SimConfig) -> (CampusSim, StudyCollector, NormalizeStats) {
     (sim, collector, stats)
 }
 
+/// The streaming driver: sequential days, one event at a time.
+fn run_streamed(cfg: SimConfig) -> (StudyCollector, NormalizeStats) {
+    let sim = CampusSim::new(cfg);
+    let ctx = PipelineCtx::study();
+    let mut collector = StudyCollector::new();
+    let mut stats = NormalizeStats::default();
+    for day in StudyCalendar::days() {
+        let opts = PipelineOptions::new(&ctx, sim.directory().table(), day, sim.config().anon_key);
+        stats += process_day_streaming(opts, &mut collector, &sim);
+    }
+    (collector, stats)
+}
+
+/// The batched-SoA driver: sequential days, `rows`-row flow batches.
+fn run_batched(cfg: SimConfig, rows: usize) -> (StudyCollector, NormalizeStats) {
+    let sim = CampusSim::new(cfg);
+    let ctx = PipelineCtx::study();
+    let mut collector = StudyCollector::new();
+    let mut stats = NormalizeStats::default();
+    for day in StudyCalendar::days() {
+        let opts = PipelineOptions::new(&ctx, sim.directory().table(), day, sim.config().anon_key)
+            .batch_rows(rows);
+        stats += process_day_batched(opts, &mut collector, &sim);
+    }
+    (collector, stats)
+}
+
+/// Full-study comparison of two collectors: summary sets, device
+/// classifications, and bit-exact headline statistics.
+fn assert_equivalent(
+    a: &StudyCollector,
+    b: &StudyCollector,
+    a_stats: &NormalizeStats,
+    b_stats: &NormalizeStats,
+    label: &str,
+) {
+    assert_eq!(a_stats, b_stats, "normalization stats diverge: {label}");
+    let sa = StudySummary::finalize(a);
+    let sb = StudySummary::finalize(b);
+    assert_eq!(sa.resident, sb.resident, "resident set diverges: {label}");
+    assert_eq!(
+        sa.post_shutdown, sb.post_shutdown,
+        "post-shutdown set diverges: {label}"
+    );
+    assert_eq!(
+        sa.device_types, sb.device_types,
+        "device classification diverges: {label}"
+    );
+    assert_eq!(
+        headline_stats(a, &sa),
+        headline_stats(b, &sb),
+        "headline statistics diverge: {label}"
+    );
+}
+
 #[test]
 fn streaming_study_matches_batch_study() {
-    let cfg = SimConfig {
-        scale: 0.01,
-        ..Default::default()
-    };
-
-    let streamed = Study::builder(cfg.clone()).run().unwrap().into_study();
-    let (_sim, batch_collector, batch_stats) = run_batch(cfg);
+    // `Study` drives the batched-SoA path; holding it against the legacy
+    // batch oracle covers the production default end to end.
+    let streamed = Study::builder(cfg_1pct()).run().unwrap().into_study();
+    let (_sim, batch_collector, batch_stats) = run_batch(cfg_1pct());
 
     assert_eq!(
         streamed.norm_stats, batch_stats,
@@ -58,27 +131,92 @@ fn streaming_study_matches_batch_study() {
 #[test]
 fn parallel_streaming_matches_batch_study() {
     // The work-stealing scheduler assigns days to workers
-    // nondeterministically; the result must not care.
-    let cfg = SimConfig {
-        scale: 0.01,
-        ..Default::default()
-    };
-    let streamed = Study::builder(cfg.clone())
+    // nondeterministically; the result must not care — bit for bit,
+    // floats included. The ordered reducer folds day collectors in
+    // calendar order regardless of schedule, so no tolerance is needed.
+    let streamed = Study::builder(cfg_1pct())
         .threads(4)
         .run()
         .unwrap()
         .into_study();
-    let (_sim, batch_collector, batch_stats) = run_batch(cfg);
+    let (_sim, batch_collector, batch_stats) = run_batch(cfg_1pct());
     assert_eq!(streamed.norm_stats, batch_stats);
     let batch_summary = StudySummary::finalize(&batch_collector);
     let hs = streamed.headline();
     let hb = headline_stats(&batch_collector, &batch_summary);
-    assert_eq!(hs.peak_active, hb.peak_active);
-    assert_eq!(hs.post_shutdown_devices, hb.post_shutdown_devices);
-    assert_eq!(hs.intl_devices, hb.intl_devices);
-    assert_eq!(hs.switches_pre, hb.switches_pre);
-    // f64 aggregates may regroup across workers; same tolerance the
-    // sequential/parallel oracle uses.
-    assert!((hs.traffic_growth_feb_to_aprmay - hb.traffic_growth_feb_to_aprmay).abs() < 1e-9);
-    assert!((hs.sites_growth - hb.sites_growth).abs() < 1e-9);
+    assert_eq!(hs, hb, "headline statistics diverge across schedules");
+}
+
+#[test]
+fn three_way_equivalence_at_every_batch_size() {
+    let (_sim, legacy, legacy_stats) = run_batch(cfg_1pct());
+    let (streamed, stream_stats) = run_streamed(cfg_1pct());
+    assert_equivalent(
+        &legacy,
+        &streamed,
+        &legacy_stats,
+        &stream_stats,
+        "legacy vs streamed",
+    );
+    // Batch size 1 degenerates to per-record; 997 is odd and far from
+    // any power of two, so cuts land mid-device-run; the default is the
+    // production path; a huge size means one batch per day.
+    for rows in [1usize, 997, DEFAULT_BATCH_ROWS, usize::MAX] {
+        let (batched, batch_stats) = run_batched(cfg_1pct(), rows);
+        assert_equivalent(
+            &streamed,
+            &batched,
+            &stream_stats,
+            &batch_stats,
+            &format!("streamed vs batched(rows={rows})"),
+        );
+    }
+}
+
+#[test]
+fn faulted_runs_are_bit_identical_across_threads_and_batch_sizes() {
+    // The fault layer draws its RNG per record upstream of the batcher,
+    // so a corrupted stream is the *same* corrupted stream at any batch
+    // size and thread count.
+    let profile = || {
+        FaultProfile::new()
+            .frame_corruption(0.05)
+            .dns_answer_drops(0.05)
+    };
+    let base = Study::builder(cfg_1pct())
+        .fault_profile(profile())
+        .run()
+        .unwrap()
+        .into_study();
+    for (threads, rows) in [(1usize, 1usize), (4, 513), (4, DEFAULT_BATCH_ROWS)] {
+        let other = Study::builder(cfg_1pct())
+            .fault_profile(profile())
+            .threads(threads)
+            .batch_rows(rows)
+            .run()
+            .unwrap()
+            .into_study();
+        assert_eq!(
+            base.norm_stats, other.norm_stats,
+            "faulted stats diverge at threads={threads} rows={rows}"
+        );
+        assert_eq!(
+            base.headline(),
+            other.headline(),
+            "faulted headline diverges at threads={threads} rows={rows}"
+        );
+        // The fault taxonomy itself is schedule- and batch-invariant.
+        for name in [
+            "pipeline.errors.flows_dropped",
+            "pipeline.errors.leases_dropped",
+            "pipeline.errors.dns_answers_dropped",
+            "pipeline.errors.dns_duplicated",
+        ] {
+            assert_eq!(
+                base.metrics().counter(name),
+                other.metrics().counter(name),
+                "fault counter {name} diverges at threads={threads} rows={rows}"
+            );
+        }
+    }
 }
