@@ -2,24 +2,41 @@
 //! statistic of *Locked-In during Lock-Down* (IMC '21).
 //!
 //! ```text
-//! repro [--scale S] [--threads N] [--seed X] [--batch ROWS] [--out DIR]
-//!       [--trace FILE] [--flame FILE] [--progress]
-//!       [--serve ADDR] [--fault-profile NAME] [--strict]
-//!       [all|fig1..fig8|stats|metrics]
+//! repro run [--scale S] [--threads N] [--seed X] [--batch ROWS]
+//!           [--scenario NAME | --scenario-file PATH] [--out DIR]
+//!           [--trace FILE] [--flame FILE] [--progress]
+//!           [--serve ADDR] [--fault-profile NAME] [--strict]
+//!           [all|fig1..fig8|stats]
+//! repro metrics [run options]
+//! repro matrix [--scale S] [--threads N] [--seed X] [--batch ROWS]
+//!              [--strict] --out DIR [NAME...]
+//! repro scenarios list
+//! repro scenarios show NAME [--toml|--hash]
 //! repro watch ADDR
 //! repro probe ADDR
 //! ```
 //!
-//! `all` (default) runs the full study plus the 2019 counterfactual and
-//! prints the complete report; individual figure subcommands print just
-//! that figure's series; `metrics` dumps the run's per-stage counters as
-//! JSON. `--out DIR` additionally writes the machine-readable figure
-//! files; `--progress` streams per-day progress lines to stderr.
-//! `--batch ROWS` sets the hot path's flow-batch size (a pure
-//! throughput knob: results are bit-identical at every size, and live
-//! progress stays batch-granular — mid-day flow counts and the
-//! `/progress` ETA advance at least once per batch even at large
-//! sizes).
+//! `run all` (the default) runs the full study plus its no-event
+//! counterfactual and prints the complete report; `run figN`/`run
+//! stats` print just that piece; `metrics` dumps the run's per-stage
+//! counters as JSON. `--scenario NAME` selects a built-in scenario
+//! (see `repro scenarios list`); `--scenario-file PATH` loads one from
+//! a scenario TOML file (`docs/SCENARIOS.md` documents the format).
+//! `--out DIR` additionally writes the machine-readable figure files;
+//! `--progress` streams per-day progress lines to stderr. `--batch
+//! ROWS` sets the hot path's flow-batch size (a pure throughput knob:
+//! results are bit-identical at every size).
+//!
+//! `matrix` runs one full study per scenario — every built-in when no
+//! NAMEs are given — writing one figure directory plus `manifest.json`
+//! per cell under `--out DIR` and a cross-scenario `comparison.txt`
+//! (also printed to stdout). Each cell's manifest records the scenario
+//! name and content hash.
+//!
+//! The pre-subcommand flag-soup grammar (`repro --scale 0.05 all`) is
+//! still accepted as a deprecated alias for `repro run`/`repro
+//! metrics` and warns on stderr; it will be removed one release after
+//! the subcommand interface shipped.
 //!
 //! `--serve ADDR` (e.g. `127.0.0.1:9184`, or port `0` for an ephemeral
 //! one) exposes the run live over HTTP — `/metrics` in Prometheus text
@@ -49,20 +66,41 @@
 //! posture.
 //!
 //! Exit codes: 0 success, 1 runtime failure (including strict-mode day
-//! failures), 2 usage error.
+//! failures and scenario-file errors), 2 usage error (including an
+//! unknown built-in scenario name).
 
-use campussim::{FaultProfile, SimConfig};
+use campussim::{FaultProfile, Scenario, SimConfig};
 use lockdown_bench::http;
 use lockdown_core::{report, Study, StudyError, StudyRun};
 use lockdown_obs::{trace, LivePublisher, SpanRecorder, TelemetryServer, TextProgress};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
+/// What the invocation asked for, after alias resolution.
+enum Command {
+    /// `repro run [TARGET]` — TARGET is `all`, `fig1`..`fig8`, `stats`.
+    Run { target: String },
+    /// `repro metrics` — run the study, dump per-stage counters as JSON.
+    Metrics,
+    /// `repro matrix [NAME...]` — one study per scenario.
+    Matrix { names: Vec<String> },
+    /// `repro scenarios list`.
+    ScenariosList,
+    /// `repro scenarios show NAME`.
+    ScenariosShow { name: String },
+    /// `repro watch ADDR`.
+    Watch { addr: String },
+    /// `repro probe ADDR`.
+    Probe { addr: String },
+}
+
 struct Args {
     scale: f64,
     threads: usize,
     seed: u64,
     batch_rows: usize,
+    scenario: Option<String>,
+    scenario_file: Option<PathBuf>,
     out: Option<PathBuf>,
     trace: Option<PathBuf>,
     flame: Option<PathBuf>,
@@ -70,13 +108,32 @@ struct Args {
     serve: Option<String>,
     fault: Option<FaultProfile>,
     strict: bool,
-    command: String,
-    /// Second positional argument: the server address for the `watch`
-    /// and `probe` client commands.
-    command_arg: Option<String>,
+    /// `scenarios show` output selectors.
+    show_toml: bool,
+    show_hash: bool,
+    command: Command,
 }
 
-const USAGE: &str = "usage: repro [--scale S] [--threads N] [--seed X] [--batch ROWS] [--out DIR] [--trace FILE] [--flame FILE] [--progress] [--serve ADDR] [--fault-profile none|default] [--strict] [all|fig1..fig8|stats|metrics]\n       repro watch ADDR   follow a served run live\n       repro probe ADDR   hit /metrics, /healthz, /progress once, strictly validating each";
+const USAGE: &str = "usage: repro run [--scale S] [--threads N] [--seed X] [--batch ROWS] [--scenario NAME | --scenario-file PATH] [--out DIR] [--trace FILE] [--flame FILE] [--progress] [--serve ADDR] [--fault-profile none|default] [--strict] [all|fig1..fig8|stats]\n       repro metrics [run options]          dump per-stage counters as JSON\n       repro matrix [run options] --out DIR [NAME...]   one study per scenario (default: all built-ins)\n       repro scenarios list                 list built-in scenarios\n       repro scenarios show NAME [--toml|--hash]   print a scenario (canonical TOML by default)\n       repro watch ADDR   follow a served run live\n       repro probe ADDR   hit /metrics, /healthz, /progress once, strictly validating each";
+
+/// Legacy first-positional targets from the pre-subcommand grammar,
+/// still accepted (with a stderr warning) for one release.
+fn is_legacy_target(s: &str) -> bool {
+    matches!(
+        s,
+        "all"
+            | "fig1"
+            | "fig2"
+            | "fig3"
+            | "fig4"
+            | "fig5"
+            | "fig6"
+            | "fig7"
+            | "fig8"
+            | "stats"
+            | "metrics"
+    )
+}
 
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
@@ -86,6 +143,8 @@ fn parse_args() -> Result<Args, String> {
             .unwrap_or(4),
         seed: 0x5eed_2020,
         batch_rows: lockdown_core::DEFAULT_BATCH_ROWS,
+        scenario: None,
+        scenario_file: None,
         out: None,
         trace: None,
         flame: None,
@@ -93,10 +152,12 @@ fn parse_args() -> Result<Args, String> {
         serve: None,
         fault: None,
         strict: false,
-        command: "all".to_string(),
-        command_arg: None,
+        show_toml: false,
+        show_hash: false,
+        command: Command::Run {
+            target: "all".to_string(),
+        },
     };
-    let mut seen_command = false;
     fn value_of(it: &mut impl Iterator<Item = String>, flag: &str) -> Result<String, String> {
         it.next().ok_or_else(|| format!("{flag} needs a value"))
     }
@@ -108,6 +169,7 @@ fn parse_args() -> Result<Args, String> {
             .parse()
             .map_err(|_| format!("{flag} needs a number"))
     }
+    let mut positionals: Vec<String> = Vec::new();
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -115,6 +177,10 @@ fn parse_args() -> Result<Args, String> {
             "--threads" => args.threads = number_of(&mut it, "--threads")?,
             "--seed" => args.seed = number_of(&mut it, "--seed")?,
             "--batch" => args.batch_rows = number_of(&mut it, "--batch")?,
+            "--scenario" => args.scenario = Some(value_of(&mut it, "--scenario")?),
+            "--scenario-file" => {
+                args.scenario_file = Some(PathBuf::from(value_of(&mut it, "--scenario-file")?))
+            }
             "--out" => args.out = Some(PathBuf::from(value_of(&mut it, "--out")?)),
             "--trace" => args.trace = Some(PathBuf::from(value_of(&mut it, "--trace")?)),
             "--flame" => args.flame = Some(PathBuf::from(value_of(&mut it, "--flame")?)),
@@ -127,22 +193,118 @@ fn parse_args() -> Result<Args, String> {
                 })?);
             }
             "--strict" => args.strict = true,
+            "--toml" => args.show_toml = true,
+            "--hash" => args.show_hash = true,
             "--help" | "-h" => {
                 eprintln!("{USAGE}");
                 std::process::exit(0);
             }
-            cmd if cmd.starts_with('-') => {
-                return Err(format!("unknown flag {cmd}; {USAGE}"));
+            flag if flag.starts_with('-') => {
+                return Err(format!("unknown flag {flag}; {USAGE}"));
             }
-            cmd if !seen_command => {
-                args.command = cmd.to_string();
-                seen_command = true;
-            }
-            cmd if args.command_arg.is_none() => args.command_arg = Some(cmd.to_string()),
-            cmd => return Err(format!("unexpected argument {cmd}; {USAGE}")),
+            _ => positionals.push(a),
         }
     }
+    if args.scenario.is_some() && args.scenario_file.is_some() {
+        return Err("--scenario and --scenario-file are mutually exclusive".to_string());
+    }
+    if let Some(name) = &args.scenario {
+        if Scenario::builtin(name).is_err() {
+            return Err(format!(
+                "unknown scenario {name:?}; built-ins: {}",
+                Scenario::builtin_names().join(", ")
+            ));
+        }
+    }
+    args.command = parse_command(&positionals)?;
     Ok(args)
+}
+
+/// Map the positional arguments to a [`Command`], resolving the
+/// deprecated pre-subcommand grammar to its `run`/`metrics` successor.
+fn parse_command(positionals: &[String]) -> Result<Command, String> {
+    let mut rest = positionals.iter().map(String::as_str);
+    let too_many = |cmd: &str| format!("unexpected extra argument after `{cmd}`; {USAGE}");
+    let head = match rest.next() {
+        None => {
+            return Ok(Command::Run {
+                target: "all".to_string(),
+            })
+        }
+        Some(h) => h,
+    };
+    let cmd = match head {
+        "run" => {
+            let target = rest.next().unwrap_or("all").to_string();
+            if target == "metrics" || !is_legacy_target(&target) {
+                return Err(format!(
+                    "unknown run target {target:?} (all, fig1..fig8, stats); {USAGE}"
+                ));
+            }
+            Command::Run { target }
+        }
+        "metrics" if positionals.len() == 1 => Command::Metrics,
+        "matrix" => {
+            return Ok(Command::Matrix {
+                names: rest.map(str::to_string).collect(),
+            })
+        }
+        "scenarios" => match rest.next() {
+            Some("list") => Command::ScenariosList,
+            Some("show") => {
+                let name = rest
+                    .next()
+                    .ok_or_else(|| format!("scenarios show needs a scenario name; {USAGE}"))?;
+                Command::ScenariosShow {
+                    name: name.to_string(),
+                }
+            }
+            Some(other) => {
+                return Err(format!(
+                    "unknown scenarios subcommand {other:?} (list, show); {USAGE}"
+                ))
+            }
+            None => {
+                return Err(format!(
+                    "scenarios needs a subcommand (list, show); {USAGE}"
+                ))
+            }
+        },
+        "watch" | "probe" => {
+            let addr = rest.next().ok_or_else(|| {
+                format!("{head} needs a server address, e.g. `repro {head} 127.0.0.1:9184`")
+            })?;
+            if head == "watch" {
+                Command::Watch {
+                    addr: addr.to_string(),
+                }
+            } else {
+                Command::Probe {
+                    addr: addr.to_string(),
+                }
+            }
+        }
+        legacy if is_legacy_target(legacy) => {
+            eprintln!(
+                "repro: warning: bare `repro {legacy}` is deprecated; use `repro run {legacy}` \
+                 (or `repro metrics`) — the old grammar will be removed in the next release"
+            );
+            if legacy == "metrics" {
+                Command::Metrics
+            } else {
+                Command::Run {
+                    target: legacy.to_string(),
+                }
+            }
+        }
+        other => {
+            return Err(format!("unknown command {other:?}; {USAGE}"));
+        }
+    };
+    if rest.next().is_some() {
+        return Err(too_many(head));
+    }
+    Ok(cmd)
 }
 
 fn write_text(path: &std::path::Path, content: &str, what: &str) -> Result<(), StudyError> {
@@ -170,10 +332,21 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    if matches!(args.command.as_str(), "watch" | "probe") {
-        return client_command(&args.command, args.command_arg.as_deref());
-    }
-    match run(args) {
+    let result = match &args.command {
+        Command::Watch { addr } => return exit_of(watch(addr)),
+        Command::Probe { addr } => return exit_of(probe(addr)),
+        Command::ScenariosList => return exit_of(scenarios_list()),
+        Command::ScenariosShow { name } => {
+            let name = name.clone();
+            return exit_of(scenarios_show(&name, args.show_toml, args.show_hash));
+        }
+        Command::Matrix { names } => {
+            let names = names.clone();
+            run_matrix(&args, &names)
+        }
+        Command::Run { .. } | Command::Metrics => run(&args),
+    };
+    match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("repro: {e}");
@@ -182,17 +355,7 @@ fn main() -> ExitCode {
     }
 }
 
-/// Dispatch the telemetry client commands (`watch`, `probe`), which
-/// talk to a `--serve` endpoint instead of running a study.
-fn client_command(cmd: &str, addr: Option<&str>) -> ExitCode {
-    let Some(addr) = addr else {
-        eprintln!("repro: {cmd} needs a server address, e.g. `repro {cmd} 127.0.0.1:9184`");
-        return ExitCode::from(2);
-    };
-    let result = match cmd {
-        "watch" => watch(addr),
-        _ => probe(addr),
-    };
+fn exit_of(result: Result<(), String>) -> ExitCode {
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(msg) => {
@@ -202,6 +365,111 @@ fn client_command(cmd: &str, addr: Option<&str>) -> ExitCode {
     }
 }
 
+/// `repro scenarios list`: one line per built-in.
+fn scenarios_list() -> Result<(), String> {
+    for s in Scenario::builtins() {
+        println!(
+            "{:<24} {}  {:>2} phases  {}",
+            s.name,
+            s.content_hash_hex(),
+            s.phases.len(),
+            s.description
+        );
+    }
+    Ok(())
+}
+
+/// `repro scenarios show NAME`: canonical TOML by default, `--hash`
+/// prints just the 16-hex-digit content hash (for scripting/CI).
+fn scenarios_show(name: &str, _toml: bool, hash: bool) -> Result<(), String> {
+    let s = Scenario::builtin(name).map_err(|_| {
+        format!(
+            "unknown scenario {name:?}; built-ins: {}",
+            Scenario::builtin_names().join(", ")
+        )
+    })?;
+    if hash {
+        println!("{}", s.content_hash_hex());
+    } else {
+        print!("{}", s.to_toml());
+    }
+    Ok(())
+}
+
+/// Resolve the `--scenario`/`--scenario-file` flags to a scenario, or
+/// `None` to run the config's default (`paper-2020`).
+fn load_scenario(args: &Args) -> Result<Option<Scenario>, StudyError> {
+    if let Some(name) = &args.scenario {
+        // Name validity was checked at parse time (usage errors exit 2).
+        return Ok(Scenario::builtin(name).ok());
+    }
+    let Some(path) = &args.scenario_file else {
+        return Ok(None);
+    };
+    let text = std::fs::read_to_string(path).map_err(|source| StudyError::Io {
+        path: path.clone(),
+        source,
+    })?;
+    let scenario = Scenario::parse(&text)
+        .map_err(|e| StudyError::Config(campussim::ConfigError::Scenario(e)))?;
+    Ok(Some(scenario))
+}
+
+/// `repro matrix`: one full study per scenario, figure files and a
+/// scenario-stamped manifest per cell, plus the comparison report.
+fn run_matrix(args: &Args, names: &[String]) -> Result<(), StudyError> {
+    let Some(dir) = &args.out else {
+        eprintln!("repro: matrix needs --out DIR for its per-cell artifacts");
+        std::process::exit(2);
+    };
+    let scenarios: Vec<Scenario> = if names.is_empty() {
+        Scenario::builtins().to_vec()
+    } else {
+        let mut out = Vec::with_capacity(names.len());
+        for name in names {
+            match Scenario::builtin(name) {
+                Ok(s) => out.push(s),
+                Err(_) => {
+                    eprintln!(
+                        "repro: unknown scenario {name:?}; built-ins: {}",
+                        Scenario::builtin_names().join(", ")
+                    );
+                    std::process::exit(2);
+                }
+            }
+        }
+        out
+    };
+    let cfg = SimConfig {
+        scale: args.scale,
+        seed: args.seed,
+        ..Default::default()
+    };
+    eprintln!(
+        "running {} scenario cells at scale {} on {} threads…",
+        scenarios.len(),
+        args.scale,
+        args.threads
+    );
+    let t0 = std::time::Instant::now();
+    let matrix = Study::builder(cfg)
+        .threads(args.threads)
+        .batch_rows(args.batch_rows)
+        .strict(args.strict)
+        .run_matrix(&scenarios)?;
+    eprintln!(
+        "{} cells done in {:.1}s",
+        matrix.cells.len(),
+        t0.elapsed().as_secs_f64()
+    );
+    let written = report::write_matrix_files(&matrix, dir, args.threads)?;
+    eprintln!("{written} matrix files written to {}", dir.display());
+    print!("{}", report::matrix_report(&matrix));
+    Ok(())
+}
+
+/// Dispatch the telemetry client commands (`watch`, `probe`), which
+/// talk to a `--serve` endpoint instead of running a study.
 /// GET a telemetry endpoint, treating any non-2xx status as an error.
 fn http_ok(addr: &str, path: &str) -> Result<http::Response, String> {
     let resp =
@@ -326,16 +594,20 @@ fn probe(addr: &str) -> Result<(), String> {
     Ok(())
 }
 
-fn run(args: Args) -> Result<(), StudyError> {
-    let cfg = SimConfig {
+fn run(args: &Args) -> Result<(), StudyError> {
+    let mut cfg = SimConfig {
         scale: args.scale,
         seed: args.seed,
         ..Default::default()
     };
+    if let Some(scenario) = load_scenario(args)? {
+        cfg.scenario = scenario;
+    }
     eprintln!(
-        "running study at scale {} ({} students) on {} threads…",
+        "running study at scale {} ({} students, scenario {}) on {} threads…",
         args.scale,
         cfg.num_students(),
+        cfg.scenario.name,
         args.threads
     );
     // Bind the telemetry server before the run starts so the bound
@@ -383,7 +655,13 @@ fn run(args: Args) -> Result<(), StudyError> {
         b
     };
 
-    let study = match args.command.as_str() {
+    let target = match &args.command {
+        Command::Metrics => "metrics",
+        Command::Run { target } => target.as_str(),
+        // main() routes every other command elsewhere.
+        _ => "all",
+    };
+    let study = match target {
         "all" => {
             let run = builder(cfg).with_counterfactual().run()?;
             eprintln!(

@@ -8,6 +8,8 @@
 
 use std::fmt;
 
+use crate::scenario::{Scenario, ScenarioError};
+
 /// A structurally invalid [`SimConfig`], caught by
 /// [`SimConfig::validate`] before a run starts rather than as a NaN or
 /// a panic deep inside the generator.
@@ -25,6 +27,8 @@ pub enum ConfigError {
     /// `yoy_growth` must be finite and strictly positive (it is a
     /// multiplicative factor, not a rate).
     BadGrowth(f64),
+    /// The attached scenario failed structural validation.
+    Scenario(ScenarioError),
 }
 
 impl fmt::Display for ConfigError {
@@ -39,6 +43,7 @@ impl fmt::Display for ConfigError {
             ConfigError::BadGrowth(v) => {
                 write!(f, "yoy_growth must be finite and > 0, got {v}")
             }
+            ConfigError::Scenario(e) => write!(f, "scenario: {e}"),
         }
     }
 }
@@ -46,7 +51,6 @@ impl fmt::Display for ConfigError {
 impl std::error::Error for ConfigError {}
 
 /// Top-level simulation configuration.
-#[derive(Debug, Clone)]
 pub struct SimConfig {
     /// Master seed; every random choice derives from it.
     pub seed: u64,
@@ -66,6 +70,9 @@ pub struct SimConfig {
     /// When `false`, generate the 2019-style counterfactual: no pandemic
     /// events, no departures, behaviour locked to the pre-emergency
     /// profile all term. Used for the "+53% vs 2019" statistic.
+    #[deprecated(note = "select a Scenario instead: `pandemic: false` is a shim for \
+                `scenario.counterfactual()` (the built-in `baseline-2019` \
+                for the default config); see SimConfig::resolved_scenario")]
     pub pandemic: bool,
     /// Year-over-year secular traffic growth applied to 2020 baselines
     /// relative to the 2019 counterfactual (≈3%/yr keeps the paper's
@@ -73,9 +80,17 @@ pub struct SimConfig {
     pub yoy_growth: f64,
     /// Anonymization key for MAC → DeviceId (§3 privacy controls).
     pub anon_key: u64,
+    /// The timeline/policy/behaviour scenario driving the model layer.
+    /// Defaults to the built-in `paper-2020`; when [`pandemic`] is
+    /// `false` the run resolves to this scenario's counterfactual twin
+    /// instead (see [`SimConfig::resolved_scenario`]).
+    ///
+    /// [`pandemic`]: SimConfig::pandemic
+    pub scenario: Scenario,
 }
 
 impl Default for SimConfig {
+    #[allow(deprecated)] // constructs the `pandemic` shim field
     fn default() -> Self {
         SimConfig {
             seed: 0x5eed_2020,
@@ -87,7 +102,54 @@ impl Default for SimConfig {
             pandemic: true,
             yoy_growth: 1.03,
             anon_key: 0x0a0a_0a0a_5a5a_5a5a,
+            scenario: Scenario::default(),
         }
+    }
+}
+
+#[allow(deprecated)] // reads the `pandemic` shim field
+impl Clone for SimConfig {
+    fn clone(&self) -> Self {
+        SimConfig {
+            seed: self.seed,
+            scale: self.scale,
+            base_students: self.base_students,
+            intl_fraction: self.intl_fraction,
+            domestic_stay_rate: self.domestic_stay_rate,
+            intl_stay_rate: self.intl_stay_rate,
+            pandemic: self.pandemic,
+            yoy_growth: self.yoy_growth,
+            anon_key: self.anon_key,
+            scenario: self.scenario.clone(),
+        }
+    }
+}
+
+/// Matches the former `#[derive(Debug)]` output byte-for-byte for
+/// configs running the stock paper scenario, so the manifest
+/// `config_hash` (an FNV-1a over `format!("{cfg:?}")`) is stable across
+/// the scenario-engine introduction. Non-default scenarios append their
+/// name and content hash, giving distinct hashes per scenario cell.
+#[allow(deprecated)] // reads the `pandemic` shim field
+impl fmt::Debug for SimConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut s = f.debug_struct("SimConfig");
+        s.field("seed", &self.seed)
+            .field("scale", &self.scale)
+            .field("base_students", &self.base_students)
+            .field("intl_fraction", &self.intl_fraction)
+            .field("domestic_stay_rate", &self.domestic_stay_rate)
+            .field("intl_stay_rate", &self.intl_stay_rate)
+            .field("pandemic", &self.pandemic)
+            .field("yoy_growth", &self.yoy_growth)
+            .field("anon_key", &self.anon_key);
+        if !self.scenario.is_paper_default() {
+            s.field("scenario", &self.scenario.name).field(
+                "scenario_hash",
+                &format_args!("{:016x}", self.scenario.content_hash()),
+            );
+        }
+        s.finish()
     }
 }
 
@@ -124,17 +186,30 @@ impl SimConfig {
         if !self.yoy_growth.is_finite() || self.yoy_growth <= 0.0 {
             return Err(ConfigError::BadGrowth(self.yoy_growth));
         }
+        self.scenario.validate().map_err(ConfigError::Scenario)?;
         Ok(())
+    }
+
+    /// The scenario this config actually runs: the attached scenario
+    /// when [`pandemic`] is `true`, otherwise its counterfactual twin
+    /// (for the default config, the built-in `baseline-2019`). This is
+    /// the single place the deprecated boolean is interpreted.
+    ///
+    /// [`pandemic`]: SimConfig::pandemic
+    #[allow(deprecated)] // interprets the `pandemic` shim field
+    pub fn resolved_scenario(&self) -> Scenario {
+        if self.pandemic {
+            self.scenario.clone()
+        } else {
+            self.scenario.counterfactual()
+        }
     }
 
     /// The counterfactual (2019) version of this config: same population
     /// and seed, pandemic disabled.
+    #[deprecated(note = "use Scenario::counterfactual_of(&cfg) instead")]
     pub fn counterfactual(&self) -> Self {
-        SimConfig {
-            pandemic: false,
-            yoy_growth: 1.0, // the 2019 network predates a year of growth
-            ..self.clone()
-        }
+        Scenario::counterfactual_of(self)
     }
 }
 
@@ -155,7 +230,10 @@ mod tests {
     #[test]
     fn validate_accepts_defaults_and_rejects_nonsense() {
         assert_eq!(SimConfig::default().validate(), Ok(()));
-        assert_eq!(SimConfig::default().counterfactual().validate(), Ok(()));
+        assert_eq!(
+            Scenario::counterfactual_of(&SimConfig::default()).validate(),
+            Ok(())
+        );
         let bad = SimConfig {
             scale: 0.0,
             ..Default::default()
@@ -191,12 +269,46 @@ mod tests {
     }
 
     #[test]
-    fn counterfactual_only_flips_pandemic() {
+    #[allow(deprecated)] // exercises the legacy shim external callers still use
+    fn counterfactual_shim_only_flips_pandemic() {
         let c = SimConfig::default();
         let cf = c.counterfactual();
         assert!(!cf.pandemic);
         assert_eq!(cf.yoy_growth, 1.0);
         assert_eq!(cf.seed, c.seed);
         assert_eq!(cf.num_students(), c.num_students());
+        // The shim and its successor agree.
+        let cf2 = Scenario::counterfactual_of(&c);
+        assert_eq!(format!("{cf:?}"), format!("{cf2:?}"));
+    }
+
+    #[test]
+    fn resolved_scenario_maps_pandemic_bool() {
+        let c = SimConfig::default();
+        assert_eq!(c.resolved_scenario().name, "paper-2020");
+        let cf = Scenario::counterfactual_of(&c);
+        assert_eq!(cf.resolved_scenario().name, "baseline-2019");
+    }
+
+    #[test]
+    fn debug_output_matches_legacy_derive_for_paper_scenario() {
+        // The manifest config hash is FNV-1a over this string; it must
+        // not move for stock-paper runs when the scenario field rides
+        // along.
+        let c = SimConfig::default();
+        let dbg = format!("{c:?}");
+        assert_eq!(
+            dbg,
+            "SimConfig { seed: 1592598560, scale: 0.1, base_students: 13000, \
+             intl_fraction: 0.25, domestic_stay_rate: 0.115, intl_stay_rate: 0.148, \
+             pandemic: true, yoy_growth: 1.03, anon_key: 723401729728207450 }"
+        );
+        assert!(!dbg.contains("scenario"));
+        // A non-default scenario shows up (and changes the hash).
+        let mut alt = SimConfig::default();
+        alt.scenario = Scenario::builtin("favale-elearning").unwrap();
+        let alt_dbg = format!("{alt:?}");
+        assert!(alt_dbg.contains("scenario: \"favale-elearning\""));
+        assert!(alt_dbg.contains("scenario_hash: "));
     }
 }

@@ -12,12 +12,13 @@ use crate::domains::{ServiceDirectory, ServiceId};
 use crate::model::{self, DiurnalKind, SocialApp};
 use crate::population::{Device, DeviceOs, Population, Student, TrueKind};
 use crate::rng::{self, Stream};
+use crate::scenario::Scenario;
 use appsig::App;
 use dhcplog::{LeaseAction, LeaseEvent};
 use dnslog::DnsQuery;
 use nettrace::flow::{FlowRecord, Proto};
 use nettrace::ip::campus;
-use nettrace::time::{Day, Phase, StudyCalendar};
+use nettrace::time::Day;
 use nettrace::{DeviceId, Timestamp};
 use rand::rngs::SmallRng;
 use rand::Rng;
@@ -152,6 +153,12 @@ impl DaySink for DayTrace {
 /// The synthetic campus.
 pub struct CampusSim {
     cfg: SimConfig,
+    /// The resolved scenario (the config's scenario, or its
+    /// counterfactual twin when the legacy `pandemic` shim is false),
+    /// cached once so the per-flow hot path never re-resolves it.
+    scenario: Scenario,
+    /// Effective year-over-year growth (scenario override or config knob).
+    yoy: f64,
     population: Population,
     directory: ServiceDirectory,
 }
@@ -159,10 +166,14 @@ pub struct CampusSim {
 impl CampusSim {
     /// Build the campus for a configuration.
     pub fn new(cfg: SimConfig) -> Self {
+        let scenario = cfg.resolved_scenario();
+        let yoy = scenario.effective_yoy(cfg.yoy_growth);
         let population = Population::build(&cfg);
         let directory = ServiceDirectory::build();
         CampusSim {
             cfg,
+            scenario,
+            yoy,
             population,
             directory,
         }
@@ -171,6 +182,11 @@ impl CampusSim {
     /// The configuration.
     pub fn config(&self) -> &SimConfig {
         &self.cfg
+    }
+
+    /// The resolved scenario this campus runs.
+    pub fn scenario(&self) -> &Scenario {
+        &self.scenario
     }
 
     /// The population (ground truth).
@@ -279,8 +295,7 @@ impl CampusSim {
             day.0 as u64,
             device.index as u64,
         );
-        let phase = StudyCalendar::phase_of(day.start());
-        let post = phase >= Phase::StayAtHome;
+        let post = self.scenario.post_shutdown(day);
         let weekday = day.weekday();
         if srng.gen::<f64>() >= model::active_probability(device.kind, weekday, post) {
             return;
@@ -313,7 +328,6 @@ impl CampusSim {
             student,
             day,
             ip,
-            phase,
             post,
             weekend: weekday.is_weekend(),
             srng,
@@ -374,7 +388,6 @@ struct DeviceDayCtx<'a> {
     student: &'a Student,
     day: Day,
     ip: Ipv4Addr,
-    phase: Phase,
     post: bool,
     weekend: bool,
     srng: SmallRng,
@@ -460,7 +473,7 @@ impl<'a> DeviceDayCtx<'a> {
         } else {
             self.sim.directory.background_us()
         };
-        let breadth = model::web_breadth(self.phase).min(pool.len());
+        let breadth = self.sim.scenario.web_breadth(self.day).min(pool.len());
         // Quadratic skew: low ranks dominate (zipf-like popularity).
         let rank = ((self.srng.gen::<f64>().powi(2)) * breadth as f64) as usize;
         let base = rng::mix(&[
@@ -474,9 +487,9 @@ impl<'a> DeviceDayCtx<'a> {
     /// Background web browsing/streaming.
     fn background_web(&mut self, out: &mut DayTrace) {
         let subpop = self.student.subpop;
-        let mult = model::leisure_multiplier(self.sim.cfg.pandemic, subpop, self.day)
+        let mult = self.sim.scenario.leisure_multiplier(subpop, self.day)
             * model::weekend_volume_factor(self.day.weekday())
-            * self.sim.cfg.yoy_growth
+            * self.sim.yoy
             * self.student.leisure_factor;
         let lambda = model::web_sessions_per_day(self.device.kind) * mult;
         let n = rng::poisson(&mut self.srng, lambda);
@@ -558,8 +571,11 @@ impl<'a> DeviceDayCtx<'a> {
                 300 + ai as u64,
                 sigma,
             );
-            let monthly_hours =
-                model::social_monthly_hours(app, subpop, escalator, month) * engagement;
+            let monthly_hours = self
+                .sim
+                .scenario
+                .social_monthly_hours(app, subpop, escalator, month)
+                * engagement;
             let daily_minutes = monthly_hours * 60.0 / month.num_days() as f64;
             let lambda = daily_minutes / model::SOCIAL_SESSION_MINUTES;
             let n = rng::poisson(&mut self.srng, lambda);
@@ -675,8 +691,8 @@ impl<'a> DeviceDayCtx<'a> {
 
     /// Zoom classes (Figure 5 material).
     fn zoom(&mut self, out: &mut DayTrace) {
-        let mut hours = model::zoom_hours(self.sim.cfg.pandemic, self.day)
-            * rng::lognormal_med(&mut self.srng, 1.0, 0.4);
+        let mut hours =
+            self.sim.scenario.zoom_hours(self.day) * rng::lognormal_med(&mut self.srng, 1.0, 0.4);
         // Not every student attends everything.
         if self.srng.gen::<f64>() < 0.12 {
             return;
@@ -724,7 +740,7 @@ impl<'a> DeviceDayCtx<'a> {
         }
         let subpop = self.student.subpop;
         let month = self.day.month();
-        let sm = model::steam_month(subpop, month);
+        let sm = self.sim.scenario.steam_month(subpop, month);
         let active_month = rng::unit_hash(
             self.seed(),
             Stream::Engagement,
@@ -799,7 +815,7 @@ impl<'a> DeviceDayCtx<'a> {
 
     /// Nintendo Switch (Figure 8 material).
     fn switch_console(&mut self, out: &mut DayTrace) {
-        let mult = model::switch_gameplay_multiplier(self.sim.cfg.pandemic, self.day);
+        let mult = self.sim.scenario.switch_multiplier(self.day);
         let hours = model::SWITCH_GAMEPLAY_HOURS
             * mult
             * self.device.volume_factor.min(4.0)
@@ -834,7 +850,7 @@ impl<'a> DeviceDayCtx<'a> {
             .directory
             .app_services(App::SwitchServices)
             .to_vec();
-        let is_launch_day = self.sim.cfg.pandemic && self.day == model::ANIMAL_CROSSING_DAY;
+        let is_launch_day = self.sim.scenario.policy.console_launch_day == Some(self.day.0);
         let fresh_console = self.device.acquired == Some(self.day);
         let update_p = if is_launch_day {
             0.5
@@ -1178,7 +1194,7 @@ mod tests {
             scale: 0.01,
             ..Default::default()
         };
-        let sim = CampusSim::new(cfg.counterfactual());
+        let sim = CampusSim::new(Scenario::counterfactual_of(&cfg));
         let t_apr = sim.day_trace(Day(74));
         let t_feb = sim.day_trace(Day(11));
         // Populations comparable (nobody left).

@@ -13,6 +13,9 @@
 //! * [`domains`] — the synthetic Internet with geolocatable hosting.
 //! * [`model`] — the behavioural calibration tables (each constant cites
 //!   the claim in the paper it encodes).
+//! * [`scenario`] — the timeline/policy/behaviour description: named
+//!   phases, departure waves, behaviour curves, loaded from data files;
+//!   the paper's timeline is the built-in `paper-2020` scenario.
 //! * [`generator`] — day-by-day materialization into traces.
 //! * [`packets`] — optional packet-level rendering of a trace for
 //!   validating the flow assembler end to end.
@@ -31,6 +34,7 @@ pub mod model;
 pub mod packets;
 pub mod population;
 pub mod rng;
+pub mod scenario;
 
 pub use batch::{Batcher, DayBatch, DayBatchSink};
 pub use config::{ConfigError, SimConfig};
@@ -38,6 +42,7 @@ pub use domains::{Service, ServiceDirectory, ServiceId, ServiceKind};
 pub use fault::{FaultProfile, FaultStats, FaultingSink};
 pub use generator::{CampusSim, DayEvent, DayGenStats, DaySink, DayTrace, UaSighting};
 pub use population::{Device, DeviceOs, Population, Student, TrueKind};
+pub use scenario::{Scenario, ScenarioError};
 
 /// This crate's version, for provenance manifests.
 pub const VERSION: &str = env!("CARGO_PKG_VERSION");

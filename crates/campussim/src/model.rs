@@ -8,8 +8,9 @@
 //! bytes are a free parameter of the substituted workload.
 
 use crate::population::TrueKind;
+use crate::scenario::MonthTable;
 use geoloc::SubPop;
-use nettrace::time::{Day, Month, Phase, StudyCalendar, Weekday};
+use nettrace::time::{Day, Month, Weekday};
 
 /// Social apps measured in Figure 6, in figure order.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -25,55 +26,6 @@ pub enum SocialApp {
 impl SocialApp {
     /// All three, figure order.
     pub const ALL: [SocialApp; 3] = [SocialApp::Facebook, SocialApp::Instagram, SocialApp::TikTok];
-}
-
-/// Day-level leisure (non-Zoom, non-class) volume multiplier relative to
-/// the February baseline.
-///
-/// Encodes: the April spike and May decay back toward pre-pandemic
-/// levels (§4.1, §6); international students' volume rising during break
-/// while domestic stays flat, and staying elevated all term (Figure 4).
-pub fn leisure_multiplier(pandemic: bool, subpop: SubPop, day: Day) -> f64 {
-    let d = day.0 as f64;
-    if !pandemic {
-        // The 2019 counterfactual: no pandemic response, just the usual
-        // in-term drift upward (late-term leisure and finals streaming).
-        // This is what makes the paper's +53%-vs-2019 land below its
-        // +58%-vs-February.
-        return 1.0 + 0.05 * (d / 120.0);
-    }
-    match StudyCalendar::phase_of(day.start()) {
-        Phase::PreEmergency => 1.0,
-        Phase::Emergency => 1.05,
-        Phase::PandemicDeclared => 1.12,
-        Phase::StayAtHome => match subpop {
-            SubPop::Domestic => 1.18,
-            SubPop::International => 1.35,
-        },
-        Phase::Break => match subpop {
-            // The biggest gap in Figure 4: break traffic rises sharply for
-            // international students, stays near-flat for domestic.
-            SubPop::Domestic => 1.28,
-            SubPop::International => 1.95,
-        },
-        Phase::OnlineTerm => {
-            // Peak in early April (study day ≈ 63), linear decay to late May.
-            let (peak, floor) = match subpop {
-                SubPop::Domestic => (1.78, 1.10),
-                SubPop::International => (2.15, 1.50),
-            };
-            if d <= 63.0 {
-                // Ramp from break level to the peak.
-                let base = match subpop {
-                    SubPop::Domestic => 1.28,
-                    SubPop::International => 1.95,
-                };
-                base + (peak - base) * ((d - 58.0) / 5.0).clamp(0.0, 1.0)
-            } else {
-                peak + (floor - peak) * ((d - 63.0) / (120.0 - 63.0)).clamp(0.0, 1.0)
-            }
-        }
-    }
 }
 
 /// Weekend volume discount. The paper's population keeps its weekend dips
@@ -157,106 +109,42 @@ pub fn foreign_web_share(subpop: SubPop, student_unit: f64) -> f64 {
     }
 }
 
-/// How many distinct background sites a device's *home set* spans, per
-/// phase. Growth here drives the "+34% distinct sites" statistic (§4.1).
-pub fn web_breadth(phase: Phase) -> usize {
-    match phase {
-        Phase::PreEmergency | Phase::Emergency => 14,
-        Phase::PandemicDeclared | Phase::StayAtHome => 15,
-        Phase::Break => 18,
-        Phase::OnlineTerm => 21,
-    }
-}
-
-/// Expected Zoom hours for a student on a given day (§5.1: classes
-/// 8am–6pm weekdays after 3/30; small weekend use for clubs/family).
-pub fn zoom_hours(pandemic: bool, day: Day) -> f64 {
-    let weekend = day.weekday().is_weekend();
-    if !pandemic {
-        return if weekend { 0.01 } else { 0.05 };
-    }
-    match StudyCalendar::phase_of(day.start()) {
-        Phase::PreEmergency => {
-            if weekend {
-                0.01
-            } else {
-                0.05
-            }
-        }
-        Phase::Emergency => {
-            if weekend {
-                0.02
-            } else {
-                0.15
-            }
-        }
-        Phase::PandemicDeclared => {
-            if weekend {
-                0.05
-            } else {
-                0.55
-            }
-        }
-        Phase::StayAtHome => {
-            if weekend {
-                0.08
-            } else {
-                0.9 // remote finals week
-            }
-        }
-        Phase::Break => {
-            if weekend {
-                0.08
-            } else {
-                0.12
-            }
-        }
-        Phase::OnlineTerm => {
-            if weekend {
-                0.25 // the paper's small weekend afternoon bump
-            } else {
-                2.6
-            }
-        }
-    }
-}
-
 /// Median Zoom bytes per hour of meeting.
 pub const ZOOM_BYTES_PER_HOUR: f64 = 115e6;
 
 /// Monthly *median* aggregate duration (hours) per active mobile device
-/// for a social app, per sub-population and trend cohort.
+/// for a social app, per sub-population and trend cohort, as an
+/// explicit month-keyed table (the scenario layer scales these by its
+/// behaviour multipliers in `Scenario::social_monthly_hours`).
 ///
 /// Cohorts capture the paper's heterogeneity: "a portion of domestic
 /// users kept increasing their TikTok usage, while some users went back
 /// to pre-pandemic levels in May" (§5.2). `escalator` devices ramp all
 /// study; the majority cohort follows the median trends of Figure 6.
-pub fn social_monthly_hours(app: SocialApp, subpop: SubPop, escalator: bool, month: Month) -> f64 {
-    use Month::*;
-    let m = month.index();
-    let table: [f64; 4] = match (app, subpop, escalator) {
+pub fn social_base_hours(app: SocialApp, subpop: SubPop, escalator: bool) -> MonthTable {
+    match (app, subpop, escalator) {
         // Figure 6a: domestic Facebook flat Feb–Mar, dropping by May;
         // international rising through the shutdown.
-        (SocialApp::Facebook, SubPop::Domestic, false) => [2.2, 2.2, 1.9, 1.25],
-        (SocialApp::Facebook, SubPop::Domestic, true) => [2.2, 2.6, 2.9, 3.1],
-        (SocialApp::Facebook, SubPop::International, false) => [1.05, 1.5, 1.7, 1.6],
-        (SocialApp::Facebook, SubPop::International, true) => [1.05, 1.8, 2.3, 2.5],
+        (SocialApp::Facebook, SubPop::Domestic, false) => MonthTable::new(2.2, 2.2, 1.9, 1.25),
+        (SocialApp::Facebook, SubPop::Domestic, true) => MonthTable::new(2.2, 2.6, 2.9, 3.1),
+        (SocialApp::Facebook, SubPop::International, false) => MonthTable::new(1.05, 1.5, 1.7, 1.6),
+        (SocialApp::Facebook, SubPop::International, true) => MonthTable::new(1.05, 1.8, 2.3, 2.5),
         // Figure 6b: domestic Instagram flat then May decrease;
         // international increases in May.
-        (SocialApp::Instagram, SubPop::Domestic, false) => [2.6, 2.6, 2.45, 1.75],
-        (SocialApp::Instagram, SubPop::Domestic, true) => [2.6, 3.0, 3.2, 3.4],
-        (SocialApp::Instagram, SubPop::International, false) => [1.7, 2.05, 2.05, 3.2],
-        (SocialApp::Instagram, SubPop::International, true) => [1.7, 2.4, 2.8, 3.4],
+        (SocialApp::Instagram, SubPop::Domestic, false) => MonthTable::new(2.6, 2.6, 2.45, 1.75),
+        (SocialApp::Instagram, SubPop::Domestic, true) => MonthTable::new(2.6, 3.0, 3.2, 3.4),
+        (SocialApp::Instagram, SubPop::International, false) => {
+            MonthTable::new(1.7, 2.05, 2.05, 3.2)
+        }
+        (SocialApp::Instagram, SubPop::International, true) => MonthTable::new(1.7, 2.4, 2.8, 3.4),
         // Figure 6c: domestic TikTok median up in March, down in April,
         // back to February's level in May; escalators keep climbing
         // (rising 3rd quartile / 99th percentile).
-        (SocialApp::TikTok, SubPop::Domestic, false) => [3.0, 3.9, 3.1, 2.3],
-        (SocialApp::TikTok, SubPop::Domestic, true) => [3.0, 4.8, 6.6, 8.4],
-        (SocialApp::TikTok, SubPop::International, false) => [1.2, 1.7, 1.8, 1.05],
-        (SocialApp::TikTok, SubPop::International, true) => [1.2, 2.2, 2.9, 3.6],
-    };
-    let _ = (Feb, Mar, Apr, May); // document the index order
-    table[m]
+        (SocialApp::TikTok, SubPop::Domestic, false) => MonthTable::new(3.0, 3.9, 3.1, 2.3),
+        (SocialApp::TikTok, SubPop::Domestic, true) => MonthTable::new(3.0, 4.8, 6.6, 8.4),
+        (SocialApp::TikTok, SubPop::International, false) => MonthTable::new(1.2, 1.7, 1.8, 1.05),
+        (SocialApp::TikTok, SubPop::International, true) => MonthTable::new(1.2, 2.2, 2.9, 3.6),
+    }
 }
 
 /// Fraction of devices in the escalating cohort.
@@ -282,15 +170,15 @@ pub fn social_sigma(app: SocialApp, subpop: SubPop) -> f64 {
 /// Probability a mobile device is active on a social app in a month.
 /// TikTok adoption grows across the study (rising n in Figure 6c).
 pub fn social_monthly_active_prob(app: SocialApp, subpop: SubPop, month: Month) -> f64 {
-    let m = month.index();
-    match (app, subpop) {
-        (SocialApp::Facebook, SubPop::Domestic) => [0.76, 0.76, 0.72, 0.76][m],
-        (SocialApp::Facebook, SubPop::International) => [0.70, 0.71, 0.70, 0.71][m],
-        (SocialApp::Instagram, SubPop::Domestic) => [0.69, 0.69, 0.65, 0.68][m],
-        (SocialApp::Instagram, SubPop::International) => [0.55, 0.59, 0.55, 0.55][m],
-        (SocialApp::TikTok, SubPop::Domestic) => [0.34, 0.40, 0.44, 0.48][m],
-        (SocialApp::TikTok, SubPop::International) => [0.23, 0.30, 0.35, 0.38][m],
-    }
+    let table = match (app, subpop) {
+        (SocialApp::Facebook, SubPop::Domestic) => MonthTable::new(0.76, 0.76, 0.72, 0.76),
+        (SocialApp::Facebook, SubPop::International) => MonthTable::new(0.70, 0.71, 0.70, 0.71),
+        (SocialApp::Instagram, SubPop::Domestic) => MonthTable::new(0.69, 0.69, 0.65, 0.68),
+        (SocialApp::Instagram, SubPop::International) => MonthTable::new(0.55, 0.59, 0.55, 0.55),
+        (SocialApp::TikTok, SubPop::Domestic) => MonthTable::new(0.34, 0.40, 0.44, 0.48),
+        (SocialApp::TikTok, SubPop::International) => MonthTable::new(0.23, 0.30, 0.35, 0.38),
+    };
+    table.get(month)
 }
 
 /// Mean social session length, minutes (sessions per month follow from
@@ -318,18 +206,22 @@ pub struct SteamMonth {
 /// international's jumps in March (the paper's bytes-vs-connections
 /// divergence, §5.3.1). May has the most active domestic devices.
 pub fn steam_month(subpop: SubPop, month: Month) -> SteamMonth {
-    let m = month.index();
-    match subpop {
-        SubPop::Domestic => SteamMonth {
-            active_prob: [0.25, 0.35, 0.35, 0.455][m],
-            median_bytes: [80e6, 300e6, 195e6, 110e6][m],
-            median_conns: [60.0, 48.0, 38.0, 29.0][m],
-        },
-        SubPop::International => SteamMonth {
-            active_prob: [0.22, 0.39, 0.33, 0.33][m],
-            median_bytes: [100e6, 520e6, 450e6, 140e6][m],
-            median_conns: [40.0, 72.0, 50.0, 44.0][m],
-        },
+    let (active, bytes, conns) = match subpop {
+        SubPop::Domestic => (
+            MonthTable::new(0.25, 0.35, 0.35, 0.455),
+            MonthTable::new(80e6, 300e6, 195e6, 110e6),
+            MonthTable::new(60.0, 48.0, 38.0, 29.0),
+        ),
+        SubPop::International => (
+            MonthTable::new(0.22, 0.39, 0.33, 0.33),
+            MonthTable::new(100e6, 520e6, 450e6, 140e6),
+            MonthTable::new(40.0, 72.0, 50.0, 44.0),
+        ),
+    };
+    SteamMonth {
+        active_prob: active.get(month),
+        median_bytes: bytes.get(month),
+        median_conns: conns.get(month),
     }
 }
 
@@ -338,36 +230,6 @@ pub fn steam_month(subpop: SubPop, month: Month) -> SteamMonth {
 pub const STEAM_BYTES_SIGMA: f64 = 2.6;
 /// Dispersion of monthly Steam connection counts.
 pub const STEAM_CONNS_SIGMA: f64 = 1.2;
-
-/// Switch gameplay-hours multiplier per day (Figure 8): heavy spikes
-/// during break and the early Spring term, a trough in late April, and a
-/// rise again in mid-May.
-pub fn switch_gameplay_multiplier(pandemic: bool, day: Day) -> f64 {
-    let weekend_boost = if day.weekday().is_weekend() { 1.4 } else { 1.0 };
-    if !pandemic {
-        return weekend_boost;
-    }
-    let d = day.0 as f64;
-    let base = match StudyCalendar::phase_of(day.start()) {
-        Phase::PreEmergency => 1.0,
-        Phase::Emergency => 1.05,
-        Phase::PandemicDeclared => 1.15,
-        Phase::StayAtHome => 1.6, // Animal Crossing lands 3/20
-        Phase::Break => 2.7,
-        Phase::OnlineTerm => {
-            if d <= 67.0 {
-                2.0 // early-term spill-over
-            } else if d <= 95.0 {
-                // decay to near pre-pandemic by late April
-                2.0 - (d - 67.0) / 28.0
-            } else {
-                // boredom kicks back in through May
-                1.0 + 0.6 * ((d - 95.0) / 25.0).min(1.0)
-            }
-        }
-    };
-    base * weekend_boost
-}
 
 /// Baseline Switch gameplay hours per active day.
 pub const SWITCH_GAMEPLAY_HOURS: f64 = 1.1;
@@ -473,63 +335,10 @@ mod tests {
     use super::*;
 
     #[test]
-    fn leisure_multiplier_shapes() {
-        // Break: international >> domestic.
-        let break_day = Day(52);
-        assert!(
-            leisure_multiplier(true, SubPop::International, break_day)
-                > leisure_multiplier(true, SubPop::Domestic, break_day) + 0.4
-        );
-        // April peak above May floor for both.
-        for sp in [SubPop::Domestic, SubPop::International] {
-            let apr = leisure_multiplier(true, sp, Day(63));
-            let may_end = leisure_multiplier(true, sp, Day(120));
-            assert!(apr > may_end, "{sp:?}: {apr} vs {may_end}");
-            // International stays elevated relative to domestic all term.
-        }
-        assert!(
-            leisure_multiplier(true, SubPop::International, Day(110))
-                > leisure_multiplier(true, SubPop::Domestic, Day(110))
-        );
-        // February is baseline for the pandemic run.
-        assert_eq!(leisure_multiplier(true, SubPop::Domestic, Day(5)), 1.0);
-        // The counterfactual drifts gently upward through the term.
-        let f = |d| leisure_multiplier(false, SubPop::Domestic, Day(d));
-        assert!(f(0) >= 1.0 && f(0) < 1.01);
-        assert!(f(120) > f(0) && f(120) <= 1.06);
-    }
-
-    #[test]
-    fn leisure_multiplier_is_continuousish_across_phase_edges() {
-        // No wild jumps (> 0.6) between consecutive days.
-        for sp in [SubPop::Domestic, SubPop::International] {
-            for d in 0..120u16 {
-                let a = leisure_multiplier(true, sp, Day(d));
-                let b = leisure_multiplier(true, sp, Day(d + 1));
-                assert!((a - b).abs() < 0.8, "jump at day {d}: {a} -> {b}");
-            }
-        }
-    }
-
-    #[test]
-    fn zoom_hours_shape() {
-        // Online term weekday >> everything earlier.
-        assert!(zoom_hours(true, Day(75)) > 2.0); // an April weekday? Day 75 = Apr 16 (Thu)
-        assert!(zoom_hours(true, Day(5)) < 0.1);
-        // Weekends small but nonzero during term.
-        let sat = Day(77); // 2020-04-18 is a Saturday
-        assert_eq!(sat.weekday(), Weekday::Sat);
-        assert!(zoom_hours(true, sat) < 0.5);
-        assert!(zoom_hours(true, sat) > 0.0);
-        // Break is quiet.
-        assert!(zoom_hours(true, Day(53)) < 0.2);
-        // Counterfactual has no ramp.
-        assert!(zoom_hours(false, Day(75)) < 0.1);
-    }
-
-    #[test]
     fn social_tables_match_figure6_trends() {
         use Month::*;
+        let social_monthly_hours =
+            |app, subpop, esc: bool, m| social_base_hours(app, subpop, esc).get(m);
         // 6a: domestic FB declines by May; international rises from Feb.
         let dom = |m| social_monthly_hours(SocialApp::Facebook, SubPop::Domestic, false, m);
         let intl = |m| social_monthly_hours(SocialApp::Facebook, SubPop::International, false, m);
@@ -592,23 +401,6 @@ mod tests {
     }
 
     #[test]
-    fn switch_multiplier_matches_figure8() {
-        // Break >> February.
-        assert!(switch_gameplay_multiplier(true, Day(53)) > 2.0);
-        // Late-April trough near pre-pandemic.
-        let late_apr = switch_gameplay_multiplier(true, Day(88)); // weekday? Apr 29 = Wed
-        assert!(late_apr < 1.4, "{late_apr}");
-        // Mid/late-May rise again.
-        let tue_may = Day(108); // 2020-05-19 Tuesday
-        assert_eq!(tue_may.weekday(), Weekday::Tue);
-        assert!(
-            switch_gameplay_multiplier(true, tue_may) > switch_gameplay_multiplier(true, Day(95))
-        );
-        // Counterfactual: flat except weekends.
-        assert_eq!(switch_gameplay_multiplier(false, tue_may), 1.0);
-    }
-
-    #[test]
     fn diurnal_shapes() {
         // Zoom: silent at night, strong 10am weekdays.
         assert_eq!(diurnal_weight(DiurnalKind::Class, true, false, 3), 0.0);
@@ -641,7 +433,18 @@ mod tests {
     }
 
     #[test]
-    fn web_breadth_grows() {
-        assert!(web_breadth(Phase::OnlineTerm) > web_breadth(Phase::PreEmergency));
+    fn month_table_lookup_is_explicit() {
+        use Month::*;
+        let t = MonthTable::new(1.0, 2.0, 3.0, 4.0);
+        assert_eq!(t.get(Feb), 1.0);
+        assert_eq!(t.get(Mar), 2.0);
+        assert_eq!(t.get(Apr), 3.0);
+        assert_eq!(t.get(May), 4.0);
+        // steam/social tables go through the same explicit lookup.
+        assert_eq!(steam_month(SubPop::Domestic, May).active_prob, 0.455);
+        assert_eq!(
+            social_base_hours(SocialApp::TikTok, SubPop::Domestic, false).get(Mar),
+            3.9
+        );
     }
 }

@@ -8,6 +8,7 @@
 
 use crate::config::SimConfig;
 use crate::rng::{self, Stream};
+use crate::scenario::WaveSpec;
 use devclass::{DeviceType, OuiDb, VendorClass};
 use geoloc::SubPop;
 use nettrace::time::Day;
@@ -104,8 +105,12 @@ pub struct Student {
     /// First day on campus (Day(0) for residents; later for visitors).
     pub arrives: Day,
     /// `None` = stays on campus all study (post-shutdown user);
-    /// `Some(d)` = last day on campus.
+    /// `Some(d)` = last day on campus before departing.
     pub departs: Option<Day>,
+    /// Day the student comes back after departing, for scenarios whose
+    /// departure wave reopens (`None` for the paper timeline: nobody
+    /// returned in spring 2020).
+    pub returns: Option<Day>,
     /// Indices into the population device vector.
     pub devices: Vec<u32>,
     /// Is this student a PC gamer (owns/plays Steam)?
@@ -126,7 +131,7 @@ impl Student {
         }
         match self.departs {
             None => true,
-            Some(d) => day <= d,
+            Some(d) => day <= d || self.returns.is_some_and(|r| day >= r),
         }
     }
 
@@ -178,7 +183,36 @@ const STAYER: Prevalence = Prevalence {
 
 impl Population {
     /// Build the population for `cfg`. Deterministic in `cfg.seed`.
+    ///
+    /// Population structure is driven by the resolved [`Scenario`]: its
+    /// policy block decides whether departures happen at all, which
+    /// wave(s) students leave in and whether they come back, the console
+    /// acquisition window, and the visitor cut-off; its population block
+    /// may override the config's enrollment mix. The per-student RNG
+    /// draw sequence depends only on the wave *structure* (never on
+    /// realized outcomes), so a scenario and its counterfactual twin —
+    /// which keeps the same waves with `departures = false` — build
+    /// bit-identical device inventories.
+    ///
+    /// [`Scenario`]: crate::scenario::Scenario
     pub fn build(cfg: &SimConfig) -> Population {
+        let scenario = cfg.resolved_scenario();
+        let policy = &scenario.policy;
+        let intl_fraction = scenario
+            .population
+            .intl_fraction
+            .unwrap_or(cfg.intl_fraction);
+        let domestic_stay_rate = scenario
+            .population
+            .domestic_stay_rate
+            .unwrap_or(cfg.domestic_stay_rate);
+        let intl_stay_rate = scenario
+            .population
+            .intl_stay_rate
+            .unwrap_or(cfg.intl_stay_rate);
+        let multi_wave = policy.waves.len() > 1;
+        let any_returns = policy.waves.iter().any(|w| w.return_day.is_some());
+        let total_wave_fraction: f64 = policy.waves.iter().map(|w| w.fraction).sum();
         let oui_db = OuiDb::builtin();
         let mobile_ouis = oui_db.ouis_of_class(VendorClass::Mobile);
         let computer_ouis = oui_db.ouis_of_class(VendorClass::Computer);
@@ -201,23 +235,54 @@ impl Population {
 
         for s in 0..n {
             let mut rng = rng::rng_for(cfg.seed, Stream::Population, s as u64, 0);
-            let subpop = if rng.gen::<f64>() < cfg.intl_fraction {
+            let subpop = if rng.gen::<f64>() < intl_fraction {
                 SubPop::International
             } else {
                 SubPop::Domestic
             };
             let stay_rate = match subpop {
-                SubPop::Domestic => cfg.domestic_stay_rate,
-                SubPop::International => cfg.intl_stay_rate,
+                SubPop::Domestic => domestic_stay_rate,
+                SubPop::International => intl_stay_rate,
             };
-            // Draw unconditionally so the 2019 counterfactual consumes the
-            // same RNG stream and realizes a bit-identical population.
+            // Draw unconditionally so the counterfactual twin consumes
+            // the same RNG stream and realizes a bit-identical
+            // population: one departure-day sample per wave, a
+            // wave-selection draw only when there is more than one wave,
+            // and a return draw only when any wave reopens. None of
+            // these depend on whether departures are *enabled*.
             let stay_draw = rng.gen::<f64>();
-            let departure_day = sample_departure_day(&mut rng);
-            let departs = if !cfg.pandemic || stay_draw < stay_rate {
+            let wave_days: Vec<Day> = policy
+                .waves
+                .iter()
+                .map(|w| sample_wave_day(&mut rng, w))
+                .collect();
+            let wave_idx = if multi_wave {
+                let pick: f64 = rng.gen::<f64>() * total_wave_fraction;
+                let mut acc = 0.0;
+                let mut idx = policy.waves.len() - 1;
+                for (i, w) in policy.waves.iter().enumerate() {
+                    acc += w.fraction;
+                    if pick < acc {
+                        idx = i;
+                        break;
+                    }
+                }
+                idx
+            } else {
+                0
+            };
+            let return_draw = if any_returns { rng.gen::<f64>() } else { 1.0 };
+            let departs = if !policy.departures || stay_draw < stay_rate || wave_days.is_empty() {
                 None
             } else {
-                Some(departure_day)
+                Some(wave_days[wave_idx])
+            };
+            let returns = match (departs, policy.waves.get(wave_idx)) {
+                (Some(_), Some(w)) => w
+                    .return_day
+                    .filter(|_| return_draw < w.return_fraction)
+                    .map(Day),
+                _ => None,
             };
             // Keyed on the run-invariant stay *draw*, not on realized
             // departure: device ownership is a selection effect (students
@@ -370,7 +435,7 @@ impl Population {
             }
             let has_switch = rng.gen::<f64>() < prev.switch_;
             let buys_switch = rng.gen::<f64>() < 0.028;
-            let buy_day = Day(rng.gen_range(60..115));
+            let buy_day = Day(rng.gen_range(policy.console_buy_start..policy.console_buy_end));
             if has_switch {
                 add(
                     TrueKind::Switch,
@@ -381,11 +446,12 @@ impl Population {
                 );
             } else if stay_draw < stay_rate && buys_switch {
                 // Lock-down console purchases (Animal Crossing effect,
-                // §5.3.2): a new Switch appears in April or May. The
-                // branch condition must not depend on `cfg.pandemic`, so
-                // the counterfactual realizes the identical device list
-                // (there the console simply exists all along).
-                let acquired = if cfg.pandemic { Some(buy_day) } else { None };
+                // §5.3.2): a new Switch appears inside the scenario's buy
+                // window. The branch condition must not depend on whether
+                // acquisitions are *enabled*, so the counterfactual
+                // realizes the identical device list (there the console
+                // simply exists all along).
+                let acquired = policy.console_acquisitions.then_some(buy_day);
                 add(
                     TrueKind::Switch,
                     &mut devices,
@@ -419,6 +485,7 @@ impl Population {
                 subpop,
                 arrives: Day(0),
                 departs,
+                returns,
                 devices: my_devices,
                 steam_gamer,
                 leisure_factor,
@@ -428,14 +495,15 @@ impl Population {
 
         // Campus visitors: short-stay guests whose devices appear for a
         // few days and must be discarded by the §3 visitor filter. The
-        // lock-down banned visitors, so every window ends before the
-        // stay-at-home order.
+        // lock-down banned visitors, so every window ends at the
+        // scenario's visitor cut-off (the stay-at-home order in the
+        // paper timeline).
         let n_visitors = (n as f64 * 0.30).round() as usize;
         for v in 0..n_visitors {
             let mut rng = rng::rng_for(cfg.seed, Stream::Population, v as u64, 1);
             let arrive = Day(rng.gen_range(0..42));
             let stay_days: u16 = 1 + rng.gen_range(0..6);
-            let depart = Day((arrive.0 + stay_days).min(46));
+            let depart = Day((arrive.0 + stay_days).min(policy.visitor_cutoff));
             let s_index = students.len() as u32;
             let mut my_devices = Vec::new();
             // Visitors bring a phone; a third also carry a laptop.
@@ -485,6 +553,7 @@ impl Population {
                 subpop: SubPop::Domestic,
                 arrives: arrive,
                 departs: Some(depart),
+                returns: None,
                 devices: my_devices,
                 steam_gamer: false,
                 leisure_factor: rng::lognormal_med(&mut rng, 1.0, 0.4),
@@ -526,15 +595,15 @@ impl Population {
     }
 }
 
-/// Sample a departure day from the mid-March exodus: students start
-/// leaving as the pandemic is declared (§4: "students started leaving
-/// campus even before classes became fully remote"), with the bulk gone
-/// by the start of break.
-fn sample_departure_day<R: Rng>(rng: &mut R) -> Day {
-    // Triangular-ish distribution over Mar 8 .. Mar 24, peaking Mar 15.
-    let a = 36.0; // Mar 8  (study day)
-    let c = 43.0; // Mar 15 (peak)
-    let b = 52.0; // Mar 24
+/// Sample a departure day from one scenario wave: a triangular
+/// distribution over `[start, end]` peaking at `peak`. For the paper's
+/// single wave (Mar 8 .. Mar 24, peak Mar 15) this reproduces the
+/// original mid-March exodus sampler draw-for-draw (§4: "students
+/// started leaving campus even before classes became fully remote").
+fn sample_wave_day<R: Rng>(rng: &mut R, wave: &WaveSpec) -> Day {
+    let a = wave.start as f64;
+    let c = wave.peak as f64;
+    let b = wave.end as f64;
     let u: f64 = rng.gen();
     let fc = (c - a) / (b - a);
     let d = if u < fc {
@@ -548,6 +617,7 @@ fn sample_departure_day<R: Rng>(rng: &mut R) -> Day {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::scenario::Scenario;
 
     fn small_cfg() -> SimConfig {
         SimConfig {
@@ -650,12 +720,100 @@ mod tests {
 
     #[test]
     fn counterfactual_has_no_departures_or_new_switches() {
-        let cfg = small_cfg().counterfactual();
+        let cfg = Scenario::counterfactual_of(&small_cfg());
         let p = Population::build(&cfg);
         // Residents all stay; visitors remain short-stay guests in 2019
         // too (their windows are pandemic-independent by construction).
         assert!(p.students.iter().filter(|s| !s.visitor).all(|s| s.stays()));
         assert!(p.devices.iter().all(|d| d.acquired.is_none()));
+    }
+
+    #[test]
+    fn counterfactual_population_is_bit_identical() {
+        // The RNG draw sequence must not depend on realized outcomes:
+        // the twin realizes the same students, devices, and MACs.
+        let cfg = small_cfg();
+        let a = Population::build(&cfg);
+        let b = Population::build(&Scenario::counterfactual_of(&cfg));
+        assert_eq!(a.students.len(), b.students.len());
+        assert_eq!(a.devices.len(), b.devices.len());
+        for (x, y) in a.devices.iter().zip(&b.devices) {
+            assert_eq!(x.mac, y.mac);
+            assert_eq!(x.kind, y.kind);
+            assert_eq!(x.volume_factor.to_bits(), y.volume_factor.to_bits());
+        }
+        for (x, y) in a.students.iter().zip(&b.students) {
+            assert_eq!(x.subpop, y.subpop);
+            assert_eq!(x.leisure_factor.to_bits(), y.leisure_factor.to_bits());
+        }
+    }
+
+    #[test]
+    fn multi_wave_scenario_departures_and_returns() {
+        let mut cfg = SimConfig {
+            scale: 0.5,
+            ..Default::default()
+        };
+        cfg.scenario = Scenario::builtin("staggered-reopening").unwrap();
+        let p = Population::build(&cfg);
+        let mut first_wave = 0usize;
+        let mut second_wave = 0usize;
+        let mut returned = 0usize;
+        for s in p.students.iter().filter(|s| !s.visitor) {
+            match s.departs {
+                None => assert_eq!(s.returns, None),
+                Some(d) if (36..=52).contains(&d.0) => {
+                    first_wave += 1;
+                    if let Some(r) = s.returns {
+                        assert_eq!(r.0, 75, "first wave reopens on day 75");
+                        assert!(!s.on_campus(Day(60)));
+                        assert!(s.on_campus(Day(80)));
+                        returned += 1;
+                    }
+                }
+                Some(d) => {
+                    assert!((100..=110).contains(&d.0), "unexpected wave day {}", d.0);
+                    second_wave += 1;
+                    assert_eq!(s.returns, None, "second wave has no reopening");
+                }
+            }
+        }
+        assert!(first_wave > 0 && second_wave > 0, "both waves populated");
+        // fraction = 0.7 / 0.3: the first wave dominates.
+        assert!(first_wave > second_wave);
+        // return_fraction = 0.55 of the first wave comes back.
+        assert!(returned > 0);
+        let frac = returned as f64 / first_wave as f64;
+        assert!((0.4..0.7).contains(&frac), "return fraction {frac}");
+        // Campus occupancy rebounds at the reopening, then drops again
+        // after the second wave empties it.
+        let on = |d: u16| {
+            p.students
+                .iter()
+                .filter(|s| !s.visitor && s.on_campus(Day(d)))
+                .count()
+        };
+        assert!(on(80) > on(74), "reopening should raise occupancy");
+        assert!(on(120) < on(99), "second wave should lower occupancy");
+    }
+
+    #[test]
+    fn scenario_population_overrides_replace_config_mix() {
+        let mut cfg = SimConfig {
+            scale: 0.5,
+            ..Default::default()
+        };
+        cfg.scenario = Scenario::builtin("favale-elearning").unwrap();
+        let p = Population::build(&cfg);
+        let residents: Vec<&Student> = p.students.iter().filter(|s| !s.visitor).collect();
+        let intl = residents
+            .iter()
+            .filter(|s| s.subpop == SubPop::International)
+            .count();
+        let frac = intl as f64 / residents.len() as f64;
+        // The scenario pins intl_fraction at 0.08, far below the
+        // config's 0.25.
+        assert!((0.05..0.12).contains(&frac), "intl fraction {frac}");
     }
 
     #[test]

@@ -1,0 +1,62 @@
+//! Property tests for the scenario layer: canonical serialization is a
+//! parse fixpoint, parsing never panics on arbitrary input, multiplier
+//! curves stay finite and positive over the whole study window, and
+//! the content hash is formatting-invariant.
+
+use campussim::Scenario;
+use geoloc::SubPop;
+use nettrace::time::Day;
+use proptest::prelude::*;
+
+proptest! {
+    /// Any built-in scenario perturbed through serialize → parse →
+    /// serialize is a fixpoint from the first serialization on.
+    #[test]
+    fn builtin_round_trip_is_a_fixpoint(idx in 0usize..4) {
+        let scenario = &Scenario::builtins()[idx];
+        let once = scenario.to_toml();
+        let reparsed = Scenario::parse(&once).expect("canonical TOML reparses");
+        prop_assert_eq!(&once, &reparsed.to_toml());
+        prop_assert_eq!(scenario.content_hash(), reparsed.content_hash());
+    }
+
+    /// The strict parser rejects or accepts arbitrary input without
+    /// panicking, and whatever it accepts validates.
+    #[test]
+    fn parser_never_panics(input in "\\PC{0,300}") {
+        if let Ok(scenario) = Scenario::parse(&input) {
+            prop_assert!(scenario.validate().is_ok());
+        }
+    }
+
+    /// Behavior multipliers are finite and positive for every day of
+    /// the study window, for every built-in and both subpopulations.
+    #[test]
+    fn multipliers_stay_finite_and_positive(idx in 0usize..4, day in 0u16..121) {
+        let scenario = &Scenario::builtins()[idx];
+        let day = Day(day);
+        for pop in [SubPop::Domestic, SubPop::International] {
+            let leisure = scenario.leisure_multiplier(pop, day);
+            prop_assert!(leisure.is_finite() && leisure > 0.0);
+        }
+        let zoom = scenario.zoom_hours(day);
+        let switch = scenario.switch_multiplier(day);
+        prop_assert!(zoom.is_finite() && zoom >= 0.0);
+        prop_assert!(switch.is_finite() && switch > 0.0);
+        prop_assert!(scenario.web_breadth(day) > 0);
+    }
+
+    /// Reformatting a scenario file (comments, blank lines, spacing)
+    /// does not change its content hash.
+    #[test]
+    fn content_hash_ignores_formatting(idx in 0usize..4, pad in 0usize..5) {
+        let scenario = &Scenario::builtins()[idx];
+        let toml = scenario.to_toml();
+        let noisy: String = toml
+            .lines()
+            .map(|l| format!("{}{l}\n# trailing comment\n", "\n".repeat(pad)))
+            .collect();
+        let reparsed = Scenario::parse(&noisy).expect("noisy TOML still parses");
+        prop_assert_eq!(scenario.content_hash(), reparsed.content_hash());
+    }
+}

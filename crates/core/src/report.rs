@@ -2,7 +2,7 @@
 //! provenance manifest.
 
 use crate::error::StudyError;
-use crate::study::Study;
+use crate::study::{MatrixRun, Study};
 use analysis::ascii;
 use analysis::export;
 use analysis::figures::{self, Fig4Series};
@@ -353,6 +353,9 @@ pub fn run_manifest(study: &Study, threads: usize, trace: Option<&Trace>) -> Run
     // The full config Debug rendering covers every knob, so any config
     // change yields a different fingerprint.
     m.config_hash_hex = format!("{:016x}", fnv1a_64(format!("{cfg:?}").as_bytes()));
+    let scenario = study.scenario();
+    m.scenario = Some(scenario.name.clone());
+    m.scenario_hash_hex = Some(scenario.content_hash_hex());
     m.seed = cfg.seed;
     m.scale = cfg.scale;
     m.threads = threads;
@@ -391,6 +394,71 @@ pub fn run_manifest(study: &Study, threads: usize, trace: Option<&Trace>) -> Run
         m.metrics = Some(metrics.clone());
     }
     m
+}
+
+/// Render a cross-scenario comparison: one row of headline statistics
+/// per matrix cell, so phase-aligned behaviour shifts (a reopening
+/// bump, a second-wave trough) are visible side by side.
+pub fn matrix_report(matrix: &MatrixRun) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "== Scenario matrix: {} cells ==", matrix.cells.len());
+    let _ = writeln!(out);
+    let _ = writeln!(
+        out,
+        "{:<24} {:>16} {:>10} {:>10} {:>10} {:>10} {:>12} {:>10}",
+        "scenario", "hash", "peak", "trough", "post-dev", "intl", "growth", "switches"
+    );
+    for cell in &matrix.cells {
+        let h = cell.run.headline();
+        let _ = writeln!(
+            out,
+            "{:<24} {:>16} {:>10} {:>10} {:>10} {:>10} {:>11.1}% {:>10}",
+            cell.scenario_name,
+            cell.scenario_hash_hex,
+            h.peak_active,
+            h.trough_active,
+            h.post_shutdown_devices,
+            h.intl_devices,
+            100.0 * h.traffic_growth_feb_to_aprmay,
+            h.switches_pre,
+        );
+    }
+    let _ = writeln!(out);
+    let _ = writeln!(
+        out,
+        "(growth = Feb -> Apr/May traffic; all counts at the run's scale)"
+    );
+    out
+}
+
+/// Write a full scenario-matrix artifact tree under `dir`: one
+/// subdirectory per cell (named after the scenario) containing the
+/// cell's figure files and a `manifest.json` recording the scenario
+/// name and content hash, plus a top-level `comparison.txt` with the
+/// cross-scenario report. Returns the total number of files written.
+pub fn write_matrix_files(
+    matrix: &MatrixRun,
+    dir: &Path,
+    threads: usize,
+) -> Result<usize, StudyError> {
+    let span = trace::span("report.matrix");
+    let mut written = 0;
+    for cell in &matrix.cells {
+        let cell_dir = dir.join(&cell.scenario_name);
+        written += write_figure_files(&cell.run, &cell_dir)?;
+        let manifest = run_manifest(&cell.run, threads, None);
+        let path = cell_dir.join("manifest.json");
+        manifest
+            .write(&path)
+            .map_err(|source| StudyError::Io { path, source })?;
+        written += 1;
+    }
+    let path = dir.join("comparison.txt");
+    std::fs::write(&path, matrix_report(matrix))
+        .map_err(|source| StudyError::Io { path, source })?;
+    written += 1;
+    span.set_attr("files", written as u64);
+    Ok(written)
 }
 
 #[cfg(test)]

@@ -39,7 +39,7 @@ use crate::pipeline::{process_day_batched, PipelineOptions, DEFAULT_BATCH_ROWS};
 use analysis::collect::{PipelineCtx, StudyCollector};
 use analysis::figures::{self, StudySummary};
 use analysis::HeadlineStats;
-use campussim::{CampusSim, FaultProfile, SimConfig};
+use campussim::{CampusSim, FaultProfile, Scenario, SimConfig};
 use devclass::{audit_sample, AuditReport, DeviceType};
 use dhcplog::NormalizeStats;
 use geoloc::SubPop;
@@ -416,6 +416,13 @@ impl Study {
         figures::headline_stats(&self.collector, &self.summary)
     }
 
+    /// The resolved scenario this study ran (the config's scenario, or
+    /// its counterfactual twin when the legacy `pandemic` shim was
+    /// false).
+    pub fn scenario(&self) -> &Scenario {
+        self.sim.scenario()
+    }
+
     /// Ground-truth device types from the generator (for validation).
     pub fn ground_truth_types(&self) -> HashMap<DeviceId, DeviceType> {
         self.sim
@@ -629,6 +636,57 @@ impl StudyBuilder {
         self
     }
 
+    /// Run a specific [`Scenario`] instead of the config's (the
+    /// built-in `paper-2020` by default): replaces `cfg.scenario`.
+    /// Combine with [`StudyBuilder::with_counterfactual`] to also run
+    /// the scenario's no-event twin.
+    pub fn scenario(mut self, scenario: Scenario) -> Self {
+        self.cfg.scenario = scenario;
+        self
+    }
+
+    /// Run every scenario in `scenarios` as its own full study — same
+    /// seed, scale, thread count, batch size, strictness, and metrics
+    /// toggle for every cell — and collect the per-cell results for
+    /// cross-scenario comparison. Cells run sequentially; each cell
+    /// fans its days out over this builder's worker pool exactly like
+    /// [`StudyBuilder::run`], so the work-stealing runner and ordered
+    /// reducer keep every cell bit-deterministic.
+    ///
+    /// Observers, tracing, fault injection, and live telemetry are
+    /// per-run concerns and are *not* carried into matrix cells.
+    ///
+    /// Errors on the first cell that fails; completed cells are
+    /// dropped (scenario runs are cheap relative to debugging a
+    /// half-reported matrix).
+    pub fn run_matrix(self, scenarios: &[Scenario]) -> Result<MatrixRun, StudyError> {
+        let StudyBuilder {
+            cfg,
+            threads,
+            collect_metrics,
+            strict,
+            batch_rows,
+            ..
+        } = self;
+        let mut cells = Vec::with_capacity(scenarios.len());
+        for scenario in scenarios {
+            let mut cell_cfg = cfg.clone();
+            cell_cfg.scenario = scenario.clone();
+            let run = StudyBuilder::new(cell_cfg)
+                .threads(threads)
+                .batch_rows(batch_rows)
+                .metrics(collect_metrics)
+                .strict(strict)
+                .run()?;
+            cells.push(MatrixCell {
+                scenario_name: scenario.name.clone(),
+                scenario_hash_hex: scenario.content_hash_hex(),
+                run,
+            });
+        }
+        Ok(MatrixRun { cells })
+    }
+
     /// Also run the 2019 counterfactual (same seed and population
     /// scale, no pandemic) and report Apr/May traffic growth against
     /// it; the paper reports +53%. Both runs share one pool of scoped
@@ -691,7 +749,7 @@ impl StudyBuilder {
             Some(rec) if !trace::enabled() => Some(rec.install(trace::MAIN_LANE, "orchestrator")),
             _ => None,
         };
-        let cf_cfg = counterfactual.then(|| cfg.counterfactual());
+        let cf_cfg = counterfactual.then(|| Scenario::counterfactual_of(&cfg));
         let (sim, cf_sim, ctx) = {
             let _span = trace::span("build_sim");
             (
@@ -901,6 +959,31 @@ impl std::ops::Deref for StudyRun {
 
     fn deref(&self) -> &Study {
         &self.study
+    }
+}
+
+/// One cell of a scenario matrix: a full study run under one scenario.
+pub struct MatrixCell {
+    /// The scenario's name (also the cell's output directory name).
+    pub scenario_name: String,
+    /// The scenario's canonical content hash, as 16 lowercase hex
+    /// digits — recorded in the cell's manifest for provenance.
+    pub scenario_hash_hex: String,
+    /// The completed run.
+    pub run: StudyRun,
+}
+
+/// What [`StudyBuilder::run_matrix`] returns: one completed study per
+/// scenario, in the order requested.
+pub struct MatrixRun {
+    /// Per-scenario cells.
+    pub cells: Vec<MatrixCell>,
+}
+
+impl MatrixRun {
+    /// Find a cell by scenario name.
+    pub fn cell(&self, name: &str) -> Option<&MatrixCell> {
+        self.cells.iter().find(|c| c.scenario_name == name)
     }
 }
 

@@ -75,6 +75,13 @@ pub struct RunManifest {
     pub created_unix_ms: u64,
     /// FNV-1a hash of the full simulation config, as 16 hex digits.
     pub config_hash_hex: String,
+    /// Name of the scenario the run executed (e.g. `paper-2020`), when
+    /// the producing tool is scenario-aware.
+    pub scenario: Option<String>,
+    /// FNV-1a hash of the scenario's canonical serialized form, as 16
+    /// hex digits — ties the artifact to the exact timeline/policy
+    /// content, not just its name.
+    pub scenario_hash_hex: Option<String>,
     /// RNG seed the run used.
     pub seed: u64,
     /// Population scale factor.
@@ -167,6 +174,16 @@ impl RunManifest {
             ",\"config_hash\":{}",
             json::quoted(&self.config_hash_hex)
         );
+        out.push_str(",\"scenario\":");
+        match &self.scenario {
+            Some(name) => out.push_str(&json::quoted(name)),
+            None => out.push_str("null"),
+        }
+        out.push_str(",\"scenario_hash\":");
+        match &self.scenario_hash_hex {
+            Some(h) => out.push_str(&json::quoted(h)),
+            None => out.push_str("null"),
+        }
         let _ = write!(out, ",\"seed\":{}", self.seed);
         // Scale is a small decimal; {:?} prints shortest roundtrip form.
         let _ = write!(out, ",\"scale\":{:?}", self.scale);
@@ -273,6 +290,8 @@ mod tests {
         m.seed = 42;
         m.scale = 0.05;
         m.threads = 2;
+        m.scenario = Some("paper-2020".into());
+        m.scenario_hash_hex = Some(format!("{:016x}", fnv1a_64(b"scenario")));
         m.crate_version("lockdown-obs", "0.1.0");
         m.record_trace(&t);
         let mut metrics = MetricsSnapshot::default();
@@ -298,6 +317,11 @@ mod tests {
         let v: serde_json::Value = serde_json::from_str(&j).expect("manifest parses");
         assert_eq!(v.get("tool").unwrap().as_str(), Some("repro"));
         assert_eq!(v.get("seed").unwrap().as_u64(), Some(42));
+        assert_eq!(v.get("scenario").unwrap().as_str(), Some("paper-2020"));
+        assert_eq!(
+            v.get("scenario_hash").unwrap().as_str().map(str::len),
+            Some(16)
+        );
         assert_eq!(v.get("scale").unwrap().as_f64(), Some(0.05));
         assert_eq!(v.get("threads").unwrap().as_u64(), Some(2));
         assert_eq!(
@@ -360,6 +384,8 @@ mod tests {
         let m = RunManifest::new("repro");
         let v: serde_json::Value = serde_json::from_str(&m.to_json()).expect("parses");
         assert!(v.get("metrics").unwrap().is_null());
+        assert!(v.get("scenario").unwrap().is_null());
+        assert!(v.get("scenario_hash").unwrap().is_null());
         assert_eq!(v.get("top_level_span_ns").unwrap().as_u64(), Some(0));
         assert_eq!(v.get("degraded").unwrap().as_array().unwrap().len(), 0);
         assert!(v.get("serve_addr").unwrap().is_null());

@@ -345,3 +345,53 @@ mod pcap_corruption {
         assert!(errored);
     }
 }
+
+/// Scenario serialization properties, written as deterministic sweeps
+/// (not `proptest!`) so they run identically everywhere: canonical
+/// TOML is a parse fixpoint, the content hash ignores formatting
+/// noise, and single-character corruption never panics the strict
+/// parser.
+mod scenario_round_trip {
+    use campussim::Scenario;
+
+    #[test]
+    fn every_builtin_round_trips_to_a_fixpoint() {
+        for scenario in Scenario::builtins() {
+            let once = scenario.to_toml();
+            let reparsed = Scenario::parse(&once).expect("canonical TOML reparses");
+            assert_eq!(once, reparsed.to_toml(), "{} not a fixpoint", scenario.name);
+            assert_eq!(scenario.content_hash(), reparsed.content_hash());
+        }
+    }
+
+    #[test]
+    fn content_hash_survives_reformatting() {
+        for scenario in Scenario::builtins() {
+            let noisy: String = scenario
+                .to_toml()
+                .lines()
+                .map(|l| format!("\n{l}   \n# formatting noise\n"))
+                .collect();
+            let reparsed = Scenario::parse(&noisy).expect("noisy TOML reparses");
+            assert_eq!(scenario.content_hash(), reparsed.content_hash());
+        }
+    }
+
+    #[test]
+    fn corrupted_scenario_text_never_panics() {
+        let toml = Scenario::builtins()[0].to_toml();
+        for i in 0..toml.len() {
+            // Flip one byte to '?' — the parser must reject or accept,
+            // never panic or loop.
+            let mut bytes = toml.clone().into_bytes();
+            bytes[i] = b'?';
+            if let Ok(corrupted) = String::from_utf8(bytes) {
+                let _ = Scenario::parse(&corrupted);
+            }
+            // And truncate at every char boundary.
+            if toml.is_char_boundary(i) {
+                let _ = Scenario::parse(&toml[..i]);
+            }
+        }
+    }
+}
