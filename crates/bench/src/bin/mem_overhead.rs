@@ -1,0 +1,338 @@
+//! Measures the tracking allocator's cost and pins the pipeline's
+//! allocation density; writes `results/BENCH_memory.json`.
+//!
+//! This binary registers [`TrackingAlloc`] as its global allocator, so
+//! it can measure both sides of the memory-observability feature:
+//!
+//! * `off_a`, `off_b` — the batched driver with the tracker
+//!   *disabled* (the shipping default: one relaxed load and a branch
+//!   per allocator call). Run twice; the spread between the two series
+//!   is the noise band, and the tracker-off overhead must sit inside
+//!   it.
+//! * `on` — the tracker enabled plus per-stage [`AllocScope`]s
+//!   (`track_memory`), the `repro run --mem` configuration.
+//!
+//! A separate deterministic pass per driver (streamed and batched)
+//! runs under one enabled [`AllocScope`] and pins the pipeline's
+//! allocation shape: allocator calls per flow and the pass's net-bytes
+//! high-water mark. Those two numbers are what the CI memory-smoke
+//! gate compares: with `--check FILE` the run fails if either the
+//! batched allocs/flow or the batched peak-net-bytes grew more than
+//! 15 % over the committed artifact — a reintroduced per-record
+//! allocation shows up at 2x, not 1.15x.
+//!
+//! ```text
+//! mem_overhead [--reps N] [--out FILE] [--check FILE]
+//! ```
+
+use analysis::collect::{PipelineCtx, StudyCollector};
+use campussim::CampusSim;
+use lockdown_bench::bench_config;
+use lockdown_core::{process_day_batched, process_day_streaming, PipelineOptions};
+use lockdown_obs::alloc::{self, AllocScope, ScopeDelta, TrackingAlloc};
+use lockdown_obs::MetricsRegistry;
+use nettrace::time::Day;
+use std::process::ExitCode;
+use std::time::Instant;
+
+#[global_allocator]
+static GLOBAL: TrackingAlloc = TrackingAlloc;
+
+/// Busy online-term weekdays: one pass processes each once (the same
+/// window `batch_overhead` measures).
+const DAYS: [u16; 5] = [73, 74, 75, 76, 77];
+
+/// How a pass drives the day pipeline.
+enum Driver {
+    /// Per-record streaming (`process_day_streaming`).
+    Streamed,
+    /// Batched at the default rows-per-batch (`process_day_batched`).
+    Batched,
+}
+
+impl Driver {
+    fn name(&self) -> &'static str {
+        match self {
+            Driver::Streamed => "streamed",
+            Driver::Batched => "batched",
+        }
+    }
+}
+
+/// One pass over the bench days. `mem` turns on per-stage scope
+/// accounting (only meaningful while the tracker is enabled). Metrics
+/// stay attached in every configuration so the off/on comparison
+/// isolates the allocator tracking itself.
+fn one_pass(sim: &CampusSim, ctx: &PipelineCtx, driver: &Driver, mem: bool) -> (u64, u64) {
+    let table = sim.directory().table();
+    let key = sim.config().anon_key;
+    let mut flows = 0u64;
+    let t0 = Instant::now();
+    for d in DAYS {
+        let day = Day(d);
+        let registry = MetricsRegistry::new();
+        let mut collector = StudyCollector::new();
+        let opts = PipelineOptions::new(ctx, table, day, key)
+            .metrics(&registry)
+            .track_memory(mem);
+        let stats = match driver {
+            Driver::Streamed => process_day_streaming(opts, &mut collector, sim),
+            Driver::Batched => process_day_batched(opts, &mut collector, sim),
+        };
+        flows += stats.attributed + stats.unattributed + stats.foreign;
+    }
+    (t0.elapsed().as_nanos() as u64, flows)
+}
+
+fn series(sim: &CampusSim, ctx: &PipelineCtx, reps: usize, mem: bool) -> Vec<f64> {
+    let mut out = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        let (ns, flows) = one_pass(sim, ctx, &Driver::Batched, mem);
+        out.push(ns as f64 / flows.max(1) as f64);
+    }
+    out
+}
+
+/// One pass per driver under an enabled scope: the deterministic
+/// allocation shape (allocs, bytes, net high-water) the gate pins.
+fn counted_pass(sim: &CampusSim, ctx: &PipelineCtx, driver: &Driver) -> (ScopeDelta, u64) {
+    let scope = AllocScope::begin();
+    let (_, flows) = one_pass(sim, ctx, driver, true);
+    (scope.end(), flows)
+}
+
+fn median(xs: &[f64]) -> f64 {
+    let mut s = xs.to_vec();
+    s.sort_by(f64::total_cmp);
+    let n = s.len();
+    if n % 2 == 1 {
+        s[n / 2]
+    } else {
+        (s[n / 2 - 1] + s[n / 2]) / 2.0
+    }
+}
+
+fn fmt_series(xs: &[f64]) -> String {
+    let body: Vec<String> = xs.iter().map(|x| format!("{x:.1}")).collect();
+    format!("[{}]", body.join(","))
+}
+
+/// Gate helper: fail when `measured` grew more than 15 % over the
+/// committed `field` in `parsed`.
+fn check_ratio(parsed: &serde_json::Value, field: &str, measured: f64) -> Result<(), String> {
+    let Some(base) = parsed.get(field).and_then(serde_json::Value::as_f64) else {
+        return Err(format!("committed artifact has no {field} field"));
+    };
+    if base <= 0.0 {
+        return Err(format!("committed {field} is {base}, cannot ratio-check"));
+    }
+    let ratio = measured / base;
+    eprintln!(
+        "check {field}: committed {base:.3}, measured {measured:.3} ({:+.1} %)",
+        (ratio - 1.0) * 100.0
+    );
+    if ratio > 1.15 {
+        return Err(format!(
+            "{field} regressed {:.1} % over the committed artifact (>15 % budget)",
+            (ratio - 1.0) * 100.0
+        ));
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let mut reps = 7usize;
+    let mut out = std::path::PathBuf::from("results/BENCH_memory.json");
+    let mut check: Option<std::path::PathBuf> = None;
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--reps" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) => reps = n,
+                None => {
+                    eprintln!("mem_overhead: --reps needs a number");
+                    return ExitCode::from(2);
+                }
+            },
+            "--out" => match it.next() {
+                Some(path) => out = path.into(),
+                None => {
+                    eprintln!("mem_overhead: --out needs a path");
+                    return ExitCode::from(2);
+                }
+            },
+            "--check" => match it.next() {
+                Some(path) => check = Some(path.into()),
+                None => {
+                    eprintln!("mem_overhead: --check needs a path");
+                    return ExitCode::from(2);
+                }
+            },
+            other => {
+                eprintln!(
+                    "mem_overhead: unknown argument {other}; usage: mem_overhead [--reps N] [--out FILE] [--check FILE]"
+                );
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let sim = CampusSim::new(bench_config());
+    let ctx = PipelineCtx::study();
+    // Warm up caches and the page allocator before anything is timed.
+    let (_, flows_per_pass) = one_pass(&sim, &ctx, &Driver::Batched, false);
+    eprintln!(
+        "{flows_per_pass} flows per pass over {} days, {reps} reps per series",
+        DAYS.len()
+    );
+
+    // Timed series: tracker off, on, off again (the off pair brackets
+    // the on series so drift shows up as an off_a/off_b spread).
+    alloc::disable();
+    let off_a = series(&sim, &ctx, reps, false);
+    if !alloc::enable() {
+        eprintln!("mem_overhead: enable probe failed with TrackingAlloc registered");
+        return ExitCode::FAILURE;
+    }
+    let on = series(&sim, &ctx, reps, true);
+    alloc::disable();
+    let off_b = series(&sim, &ctx, reps, false);
+
+    // Deterministic allocation shape, one counted pass per driver.
+    if !alloc::enable() {
+        eprintln!("mem_overhead: enable probe failed with TrackingAlloc registered");
+        return ExitCode::FAILURE;
+    }
+    let (streamed, streamed_flows) = counted_pass(&sim, &ctx, &Driver::Streamed);
+    let (batched, batched_flows) = counted_pass(&sim, &ctx, &Driver::Batched);
+    alloc::disable();
+    for (name, d, flows) in [
+        ("streamed", &streamed, streamed_flows),
+        ("batched", &batched, batched_flows),
+    ] {
+        eprintln!(
+            "{name}: {} allocs ({:.3}/flow), {:.1} MiB allocated, peak net {:.1} MiB",
+            d.allocs,
+            d.allocs as f64 / flows.max(1) as f64,
+            d.alloc_bytes as f64 / (1 << 20) as f64,
+            d.peak_net_bytes as f64 / (1 << 20) as f64,
+        );
+    }
+
+    let (ma, mb, mon) = (median(&off_a), median(&off_b), median(&on));
+    let spread = |xs: &[f64]| {
+        xs.iter().cloned().fold(f64::MIN, f64::max) - xs.iter().cloned().fold(f64::MAX, f64::min)
+    };
+    let noise_ns = spread(&off_a).max(spread(&off_b));
+    let off_delta_ns = (ma - mb).abs();
+    let overhead_on_pct = 100.0 * (mon - ma) / ma;
+    let allocs_per_flow_streamed = streamed.allocs as f64 / streamed_flows.max(1) as f64;
+    let allocs_per_flow_batched = batched.allocs as f64 / batched_flows.max(1) as f64;
+
+    let driver_json: Vec<String> = [
+        (&Driver::Streamed, &streamed, streamed_flows),
+        (&Driver::Batched, &batched, batched_flows),
+    ]
+    .iter()
+    .map(|(drv, d, flows)| {
+        format!(
+            concat!(
+                "{{\"driver\":\"{}\",\"flows\":{},\"allocs\":{},\"alloc_bytes\":{},",
+                "\"freed_bytes\":{},\"peak_net_bytes\":{},\"allocs_per_flow\":{:.3}}}"
+            ),
+            drv.name(),
+            flows,
+            d.allocs,
+            d.alloc_bytes,
+            d.freed_bytes,
+            d.peak_net_bytes,
+            d.allocs as f64 / (*flows).max(1) as f64,
+        )
+    })
+    .collect();
+    let json = format!(
+        concat!(
+            "{{\"bench\":\"mem_overhead\",\"scale\":{},\"days_per_pass\":{},",
+            "\"flows_per_pass\":{},\"reps\":{},",
+            "\"off_a_ns_per_flow\":{},\"off_b_ns_per_flow\":{},\"on_ns_per_flow\":{},",
+            "\"median_off_a\":{:.1},\"median_off_b\":{:.1},\"median_on\":{:.1},",
+            "\"noise_band_ns\":{:.1},\"off_delta_ns\":{:.1},\"overhead_on_pct\":{:.2},",
+            "\"allocs_per_flow_streamed\":{:.3},\"allocs_per_flow_batched\":{:.3},",
+            "\"peak_net_bytes_streamed\":{},\"peak_net_bytes_batched\":{},",
+            "\"drivers\":[{}],\"off_within_noise\":{}}}"
+        ),
+        lockdown_bench::BENCH_SCALE,
+        DAYS.len(),
+        flows_per_pass,
+        reps,
+        fmt_series(&off_a),
+        fmt_series(&off_b),
+        fmt_series(&on),
+        ma,
+        mb,
+        mon,
+        noise_ns,
+        off_delta_ns,
+        overhead_on_pct,
+        allocs_per_flow_streamed,
+        allocs_per_flow_batched,
+        streamed.peak_net_bytes,
+        batched.peak_net_bytes,
+        driver_json.join(","),
+        off_delta_ns <= noise_ns,
+    );
+    if let Some(parent) = out.parent() {
+        if !parent.as_os_str().is_empty() {
+            if let Err(e) = std::fs::create_dir_all(parent) {
+                eprintln!("mem_overhead: creating {} failed: {e}", parent.display());
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if let Err(e) = std::fs::write(&out, &json) {
+        eprintln!("mem_overhead: writing {} failed: {e}", out.display());
+        return ExitCode::FAILURE;
+    }
+    println!("{json}");
+    eprintln!("written to {}", out.display());
+
+    // Memory-smoke gate: the allocation *shape* must not regress. Wall
+    // time has its own gate in batch_overhead; here the committed
+    // numbers are deterministic counts, so 15 % is generous — a
+    // reintroduced per-record allocation doubles allocs/flow.
+    if let Some(path) = check {
+        let committed = match std::fs::read_to_string(&path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("mem_overhead: reading {} failed: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+        };
+        let parsed: serde_json::Value = match serde_json::from_str(&committed) {
+            Ok(v) => v,
+            Err(e) => {
+                eprintln!("mem_overhead: {} is not valid JSON: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+        };
+        for (field, measured) in [
+            ("allocs_per_flow_batched", allocs_per_flow_batched),
+            ("peak_net_bytes_batched", batched.peak_net_bytes as f64),
+        ] {
+            if let Err(msg) = check_ratio(&parsed, field, measured) {
+                eprintln!("mem_overhead: {msg}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    // Run-to-run stability of the tracker-off path: the two off series
+    // bracketing the on series must agree within the noise band.
+    if off_delta_ns > noise_ns.max(ma * 0.05) {
+        eprintln!(
+            "mem_overhead: tracker-off medians differ by {off_delta_ns:.1} ns/flow, outside the {noise_ns:.1} ns noise band"
+        );
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

@@ -4,7 +4,7 @@
 //! ```text
 //! repro run [--scale S] [--threads N] [--seed X] [--batch ROWS]
 //!           [--scenario NAME | --scenario-file PATH] [--out DIR]
-//!           [--trace FILE] [--flame FILE] [--progress]
+//!           [--trace FILE] [--flame FILE] [--progress] [--mem]
 //!           [--serve ADDR] [--fault-profile NAME] [--strict]
 //!           [all|fig1..fig8|stats]
 //! repro metrics [run options]
@@ -12,7 +12,7 @@
 //!              [--strict] --out DIR [NAME...]
 //! repro scenarios list
 //! repro scenarios show NAME [--toml|--hash]
-//! repro watch ADDR
+//! repro watch ADDR [--interval MS]
 //! repro probe ADDR
 //! ```
 //!
@@ -33,10 +33,12 @@
 //! (also printed to stdout). Each cell's manifest records the scenario
 //! name and content hash.
 //!
-//! The pre-subcommand flag-soup grammar (`repro --scale 0.05 all`) is
-//! still accepted as a deprecated alias for `repro run`/`repro
-//! metrics` and warns on stderr; it will be removed one release after
-//! the subcommand interface shipped.
+//! `--mem` tracks allocation through the study: `repro` registers the
+//! [`lockdown_obs::TrackingAlloc`] wrapper as its global allocator, so
+//! the run records day- and stage-attributed `mem.*` counters, a
+//! run-wide peak, and a `memory` section in `manifest.json`. Tracking
+//! is observation-only — figures and non-`mem.*` metrics are
+//! byte-identical with it on or off.
 //!
 //! `--serve ADDR` (e.g. `127.0.0.1:9184`, or port `0` for an ephemeral
 //! one) exposes the run live over HTTP — `/metrics` in Prometheus text
@@ -44,10 +46,11 @@
 //! to stderr before the run starts. Serving is observation-only:
 //! results are bit-identical to an unserved run at the same seed and
 //! thread count. `repro watch ADDR` follows a served run from another
-//! terminal with a one-line-per-worker live view, and `repro probe
-//! ADDR` hits all three endpoints once, strictly validating the
-//! exposition and JSON (the CI smoke check). See
-//! `docs/OBSERVABILITY.md`.
+//! terminal with a one-line-per-worker live view (polling every 500 ms
+//! unless `--interval MS` says otherwise, and showing live/peak memory
+//! when the served run has `--mem` on), and `repro probe ADDR` hits
+//! all three endpoints once, strictly validating the exposition and
+//! JSON (the CI smoke check). See `docs/OBSERVABILITY.md`.
 //!
 //! `--trace FILE` records a span timeline of the whole run (workers,
 //! days, pipeline stages, report emission) and writes it as Chrome
@@ -72,9 +75,16 @@
 use campussim::{FaultProfile, Scenario, SimConfig};
 use lockdown_bench::http;
 use lockdown_core::{report, Study, StudyError, StudyRun};
-use lockdown_obs::{trace, LivePublisher, SpanRecorder, TelemetryServer, TextProgress};
+use lockdown_obs::{
+    trace, LivePublisher, SpanRecorder, TelemetryServer, TextProgress, TrackingAlloc,
+};
 use std::path::PathBuf;
 use std::process::ExitCode;
+
+/// The tracking wrapper is always registered; until `--mem` enables it
+/// the cost is one relaxed load and a branch per allocator call.
+#[global_allocator]
+static GLOBAL: TrackingAlloc = TrackingAlloc;
 
 /// What the invocation asked for, after alias resolution.
 enum Command {
@@ -105,33 +115,25 @@ struct Args {
     trace: Option<PathBuf>,
     flame: Option<PathBuf>,
     progress: bool,
+    mem: bool,
     serve: Option<String>,
     fault: Option<FaultProfile>,
     strict: bool,
+    /// `repro watch` poll interval, milliseconds.
+    interval_ms: u64,
     /// `scenarios show` output selectors.
     show_toml: bool,
     show_hash: bool,
     command: Command,
 }
 
-const USAGE: &str = "usage: repro run [--scale S] [--threads N] [--seed X] [--batch ROWS] [--scenario NAME | --scenario-file PATH] [--out DIR] [--trace FILE] [--flame FILE] [--progress] [--serve ADDR] [--fault-profile none|default] [--strict] [all|fig1..fig8|stats]\n       repro metrics [run options]          dump per-stage counters as JSON\n       repro matrix [run options] --out DIR [NAME...]   one study per scenario (default: all built-ins)\n       repro scenarios list                 list built-in scenarios\n       repro scenarios show NAME [--toml|--hash]   print a scenario (canonical TOML by default)\n       repro watch ADDR   follow a served run live\n       repro probe ADDR   hit /metrics, /healthz, /progress once, strictly validating each";
+const USAGE: &str = "usage: repro run [--scale S] [--threads N] [--seed X] [--batch ROWS] [--scenario NAME | --scenario-file PATH] [--out DIR] [--trace FILE] [--flame FILE] [--progress] [--mem] [--serve ADDR] [--fault-profile none|default] [--strict] [all|fig1..fig8|stats]\n       repro metrics [run options]          dump per-stage counters as JSON\n       repro matrix [run options] --out DIR [NAME...]   one study per scenario (default: all built-ins)\n       repro scenarios list                 list built-in scenarios\n       repro scenarios show NAME [--toml|--hash]   print a scenario (canonical TOML by default)\n       repro watch ADDR [--interval MS]   follow a served run live (poll every MS ms, default 500)\n       repro probe ADDR   hit /metrics, /healthz, /progress once, strictly validating each";
 
-/// Legacy first-positional targets from the pre-subcommand grammar,
-/// still accepted (with a stderr warning) for one release.
-fn is_legacy_target(s: &str) -> bool {
+/// Valid `repro run` targets.
+fn is_run_target(s: &str) -> bool {
     matches!(
         s,
-        "all"
-            | "fig1"
-            | "fig2"
-            | "fig3"
-            | "fig4"
-            | "fig5"
-            | "fig6"
-            | "fig7"
-            | "fig8"
-            | "stats"
-            | "metrics"
+        "all" | "fig1" | "fig2" | "fig3" | "fig4" | "fig5" | "fig6" | "fig7" | "fig8" | "stats"
     )
 }
 
@@ -149,9 +151,11 @@ fn parse_args() -> Result<Args, String> {
         trace: None,
         flame: None,
         progress: false,
+        mem: false,
         serve: None,
         fault: None,
         strict: false,
+        interval_ms: 500,
         show_toml: false,
         show_hash: false,
         command: Command::Run {
@@ -185,6 +189,16 @@ fn parse_args() -> Result<Args, String> {
             "--trace" => args.trace = Some(PathBuf::from(value_of(&mut it, "--trace")?)),
             "--flame" => args.flame = Some(PathBuf::from(value_of(&mut it, "--flame")?)),
             "--progress" => args.progress = true,
+            "--mem" => args.mem = true,
+            "--interval" => {
+                let ms: u64 = number_of(&mut it, "--interval")?;
+                if !(1..=60_000).contains(&ms) {
+                    return Err(format!(
+                        "--interval must be between 1 and 60000 milliseconds, got {ms}"
+                    ));
+                }
+                args.interval_ms = ms;
+            }
             "--serve" => args.serve = Some(value_of(&mut it, "--serve")?),
             "--fault-profile" => {
                 let name = value_of(&mut it, "--fault-profile")?;
@@ -220,8 +234,7 @@ fn parse_args() -> Result<Args, String> {
     Ok(args)
 }
 
-/// Map the positional arguments to a [`Command`], resolving the
-/// deprecated pre-subcommand grammar to its `run`/`metrics` successor.
+/// Map the positional arguments to a [`Command`].
 fn parse_command(positionals: &[String]) -> Result<Command, String> {
     let mut rest = positionals.iter().map(String::as_str);
     let too_many = |cmd: &str| format!("unexpected extra argument after `{cmd}`; {USAGE}");
@@ -236,14 +249,14 @@ fn parse_command(positionals: &[String]) -> Result<Command, String> {
     let cmd = match head {
         "run" => {
             let target = rest.next().unwrap_or("all").to_string();
-            if target == "metrics" || !is_legacy_target(&target) {
+            if !is_run_target(&target) {
                 return Err(format!(
                     "unknown run target {target:?} (all, fig1..fig8, stats); {USAGE}"
                 ));
             }
             Command::Run { target }
         }
-        "metrics" if positionals.len() == 1 => Command::Metrics,
+        "metrics" => Command::Metrics,
         "matrix" => {
             return Ok(Command::Matrix {
                 names: rest.map(str::to_string).collect(),
@@ -284,19 +297,6 @@ fn parse_command(positionals: &[String]) -> Result<Command, String> {
                 }
             }
         }
-        legacy if is_legacy_target(legacy) => {
-            eprintln!(
-                "repro: warning: bare `repro {legacy}` is deprecated; use `repro run {legacy}` \
-                 (or `repro metrics`) — the old grammar will be removed in the next release"
-            );
-            if legacy == "metrics" {
-                Command::Metrics
-            } else {
-                Command::Run {
-                    target: legacy.to_string(),
-                }
-            }
-        }
         other => {
             return Err(format!("unknown command {other:?}; {USAGE}"));
         }
@@ -333,7 +333,7 @@ fn main() -> ExitCode {
         }
     };
     let result = match &args.command {
-        Command::Watch { addr } => return exit_of(watch(addr)),
+        Command::Watch { addr } => return exit_of(watch(addr, args.interval_ms)),
         Command::Probe { addr } => return exit_of(probe(addr)),
         Command::ScenariosList => return exit_of(scenarios_list()),
         Command::ScenariosShow { name } => {
@@ -456,6 +456,7 @@ fn run_matrix(args: &Args, names: &[String]) -> Result<(), StudyError> {
         .threads(args.threads)
         .batch_rows(args.batch_rows)
         .strict(args.strict)
+        .track_memory(args.mem)
         .run_matrix(&scenarios)?;
     eprintln!(
         "{} cells done in {:.1}s",
@@ -480,10 +481,11 @@ fn http_ok(addr: &str, path: &str) -> Result<http::Response, String> {
     Ok(resp)
 }
 
-/// `repro watch ADDR`: poll `/progress` every 500 ms and keep a live
-/// multi-line view on the terminal (redrawn in place when stdout is a
-/// TTY) until the served run reports `done` or the server goes away.
-fn watch(addr: &str) -> Result<(), String> {
+/// `repro watch ADDR`: poll `/progress` every `interval_ms` (default
+/// 500 ms, `--interval`) and keep a live multi-line view on the
+/// terminal (redrawn in place when stdout is a TTY) until the served
+/// run reports `done` or the server goes away.
+fn watch(addr: &str, interval_ms: u64) -> Result<(), String> {
     use std::io::IsTerminal;
     let redraw = std::io::stdout().is_terminal();
     let mut reached_once = false;
@@ -515,7 +517,7 @@ fn watch(addr: &str) -> Result<(), String> {
         if v.get("status").and_then(serde_json::Value::as_str) == Some("done") {
             return Ok(());
         }
-        std::thread::sleep(std::time::Duration::from_millis(500));
+        std::thread::sleep(std::time::Duration::from_millis(interval_ms));
     }
 }
 
@@ -534,8 +536,20 @@ fn render_progress(v: &serde_json::Value) -> Vec<String> {
         .get("status")
         .and_then(serde_json::Value::as_str)
         .unwrap_or("unknown");
+    // Memory appears only when the served run tracks it (`--mem`).
+    let mem = match (
+        v.get("mem_live_bytes").and_then(serde_json::Value::as_u64),
+        v.get("mem_peak_bytes").and_then(serde_json::Value::as_u64),
+    ) {
+        (Some(live), Some(peak)) => format!(
+            " · mem {:.1} MiB (peak {:.1})",
+            live as f64 / (1 << 20) as f64,
+            peak as f64 / (1 << 20) as f64,
+        ),
+        _ => String::new(),
+    };
     let mut lines = vec![format!(
-        "[{status}] {}/{} days · {} in flight · {} degraded · {} flows · elapsed {:.1}s · eta {eta}",
+        "[{status}] {}/{} days · {} in flight · {} degraded · {} flows · elapsed {:.1}s · eta {eta}{mem}",
         num(v, "days_completed"),
         num(v, "days_total"),
         num(v, "days_inflight"),
@@ -610,6 +624,9 @@ fn run(args: &Args) -> Result<(), StudyError> {
         cfg.scenario.name,
         args.threads
     );
+    if args.mem {
+        eprintln!("memory tracking: on (mem.* metrics, manifest memory section)");
+    }
     // Bind the telemetry server before the run starts so the bound
     // address (important with port 0) is known — and printed — while
     // there is still time to attach `repro watch` or a scraper.
@@ -639,7 +656,8 @@ fn run(args: &Args) -> Result<(), StudyError> {
         let mut b = Study::builder(cfg)
             .threads(args.threads)
             .batch_rows(args.batch_rows)
-            .strict(args.strict);
+            .strict(args.strict)
+            .track_memory(args.mem);
         if let Some(rec) = &recorder {
             b = b.trace(rec);
         }

@@ -90,7 +90,11 @@ pub struct SimConfig {
 }
 
 impl Default for SimConfig {
-    #[allow(deprecated)] // constructs the `pandemic` shim field
+    // The one sanctioned *construction* of the deprecated `pandemic`
+    // shim field: every other internal site goes through `clone` (and
+    // thus functional update from this value) or the
+    // `shim_pandemic`/`with_shim_pandemic` accessors below.
+    #[allow(deprecated)]
     fn default() -> Self {
         SimConfig {
             seed: 0x5eed_2020,
@@ -107,7 +111,6 @@ impl Default for SimConfig {
     }
 }
 
-#[allow(deprecated)] // reads the `pandemic` shim field
 impl Clone for SimConfig {
     fn clone(&self) -> Self {
         SimConfig {
@@ -117,11 +120,12 @@ impl Clone for SimConfig {
             intl_fraction: self.intl_fraction,
             domestic_stay_rate: self.domestic_stay_rate,
             intl_stay_rate: self.intl_stay_rate,
-            pandemic: self.pandemic,
             yoy_growth: self.yoy_growth,
             anon_key: self.anon_key,
             scenario: self.scenario.clone(),
+            ..Self::default()
         }
+        .with_shim_pandemic(self.shim_pandemic())
     }
 }
 
@@ -130,7 +134,6 @@ impl Clone for SimConfig {
 /// `config_hash` (an FNV-1a over `format!("{cfg:?}")`) is stable across
 /// the scenario-engine introduction. Non-default scenarios append their
 /// name and content hash, giving distinct hashes per scenario cell.
-#[allow(deprecated)] // reads the `pandemic` shim field
 impl fmt::Debug for SimConfig {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let mut s = f.debug_struct("SimConfig");
@@ -140,7 +143,7 @@ impl fmt::Debug for SimConfig {
             .field("intl_fraction", &self.intl_fraction)
             .field("domestic_stay_rate", &self.domestic_stay_rate)
             .field("intl_stay_rate", &self.intl_stay_rate)
-            .field("pandemic", &self.pandemic)
+            .field("pandemic", &self.shim_pandemic())
             .field("yoy_growth", &self.yoy_growth)
             .field("anon_key", &self.anon_key);
         if !self.scenario.is_paper_default() {
@@ -154,6 +157,27 @@ impl fmt::Debug for SimConfig {
 }
 
 impl SimConfig {
+    /// The one sanctioned *read* of the deprecated [`pandemic`] shim
+    /// field; internal code calls this instead of carrying its own
+    /// `#[allow(deprecated)]`.
+    ///
+    /// [`pandemic`]: SimConfig::pandemic
+    #[allow(deprecated)]
+    pub(crate) fn shim_pandemic(&self) -> bool {
+        self.pandemic
+    }
+
+    /// The one sanctioned *write* of the deprecated [`pandemic`] shim
+    /// field (see [`shim_pandemic`]).
+    ///
+    /// [`pandemic`]: SimConfig::pandemic
+    /// [`shim_pandemic`]: SimConfig::shim_pandemic
+    #[allow(deprecated)]
+    pub(crate) fn with_shim_pandemic(mut self, on: bool) -> Self {
+        self.pandemic = on;
+        self
+    }
+
     /// Config with a given scale, other knobs default.
     pub fn at_scale(scale: f64) -> Self {
         SimConfig {
@@ -196,9 +220,8 @@ impl SimConfig {
     /// the single place the deprecated boolean is interpreted.
     ///
     /// [`pandemic`]: SimConfig::pandemic
-    #[allow(deprecated)] // interprets the `pandemic` shim field
     pub fn resolved_scenario(&self) -> Scenario {
-        if self.pandemic {
+        if self.shim_pandemic() {
             self.scenario.clone()
         } else {
             self.scenario.counterfactual()

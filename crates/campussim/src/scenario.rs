@@ -800,12 +800,9 @@ impl Scenario {
     /// seed; the resolved scenario becomes the counterfactual twin and
     /// year-over-year growth is unwound.
     pub fn counterfactual_of(cfg: &SimConfig) -> SimConfig {
-        #[allow(deprecated)]
-        SimConfig {
-            pandemic: false,
-            yoy_growth: 1.0,
-            ..cfg.clone()
-        }
+        let mut twin = cfg.clone().with_shim_pandemic(false);
+        twin.yoy_growth = 1.0;
+        twin
     }
 
     /// Stable content hash of the canonical serialization, recorded in

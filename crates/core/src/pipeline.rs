@@ -32,7 +32,10 @@ use dhcplog::{
     LeaseEvent, LeaseIndex, NormalizeStage, NormalizeStats, Normalizer, DEFAULT_MAX_LEASE_SECS,
 };
 use dnslog::{DnsQuery, DomainId, DomainTable, LabeledFlow, ResolverMap};
-use lockdown_obs::{trace, Counter, Gauge, MetricsRegistry, NullObserver, RunObserver, StageTimer};
+use lockdown_obs::{
+    trace, AllocScope, Counter, Gauge, MetricsRegistry, NullObserver, RunObserver, ScopeDelta,
+    StageTimer,
+};
 use nettrace::ip::campus;
 use nettrace::time::Day;
 use nettrace::{DeviceId, FlowBatch, FlowRecord, Stage, NO_LABEL};
@@ -62,6 +65,7 @@ pub struct PipelineOptions<'a> {
     worker: usize,
     live_tick: u32,
     batch_rows: usize,
+    track_memory: bool,
 }
 
 /// Default number of collected flows between two
@@ -94,6 +98,7 @@ impl<'a> PipelineOptions<'a> {
             worker: 0,
             live_tick: DEFAULT_LIVE_TICK,
             batch_rows: DEFAULT_BATCH_ROWS,
+            track_memory: false,
         }
     }
 
@@ -162,6 +167,63 @@ impl<'a> PipelineOptions<'a> {
         self.batch_rows = rows.max(1);
         self
     }
+
+    /// Attribute allocation deltas to the pipeline's stage seams as
+    /// `mem.stage.*` counters and peak gauges (default off). Only
+    /// effective when a metrics registry is set and the process runs
+    /// under an enabled [`lockdown_obs::TrackingAlloc`]; with the
+    /// tracker off the scopes read zero, so callers normally gate this
+    /// on [`lockdown_obs::alloc::enable`]. Off costs nothing: no scope
+    /// is ever opened.
+    pub fn track_memory(mut self, on: bool) -> Self {
+        self.track_memory = on;
+        self
+    }
+}
+
+/// Per-stage allocation tallies for one day, accumulated from one
+/// [`AllocScope`] per stage touch on the batched path.
+#[derive(Clone, Copy, Default)]
+struct StageMemTally {
+    alloc_bytes: u64,
+    freed_bytes: u64,
+    allocs: u64,
+    deallocs: u64,
+    /// Largest net growth observed inside any single stage touch —
+    /// the stage's transient high-water mark, merged across days by
+    /// `max`.
+    peak_net_bytes: u64,
+}
+
+impl StageMemTally {
+    fn absorb(&mut self, d: ScopeDelta) {
+        self.alloc_bytes += d.alloc_bytes;
+        self.freed_bytes += d.freed_bytes;
+        self.allocs += d.allocs;
+        self.deallocs += d.deallocs;
+        self.peak_net_bytes = self.peak_net_bytes.max(d.peak_net_bytes);
+    }
+
+    fn publish(&self, reg: &MetricsRegistry, stage: &str) {
+        reg.counter(&format!("mem.stage.{stage}.alloc_bytes"))
+            .add(self.alloc_bytes);
+        reg.counter(&format!("mem.stage.{stage}.freed_bytes"))
+            .add(self.freed_bytes);
+        reg.counter(&format!("mem.stage.{stage}.allocs"))
+            .add(self.allocs);
+        reg.counter(&format!("mem.stage.{stage}.deallocs"))
+            .add(self.deallocs);
+        reg.gauge(&format!("mem.stage.{stage}.peak_net_bytes"))
+            .set_max(self.peak_net_bytes);
+    }
+}
+
+/// Allocation attribution for the three stage seams of one day.
+#[derive(Clone, Copy, Default)]
+struct MemTallies {
+    normalize: StageMemTally,
+    resolver: StageMemTally,
+    collect: StageMemTally,
 }
 
 /// Hot-path counter handles, acquired once per day at registration time
@@ -210,6 +272,10 @@ pub struct DayPipeline<'a> {
     collected_total: u64,
     /// Flows collected since the last `day_tick`.
     since_tick: u32,
+    /// Per-stage allocation tallies, populated only when
+    /// [`PipelineOptions::track_memory`] is on (batched path only; the
+    /// per-record drivers report day-level memory, not stage-level).
+    mem: Option<MemTallies>,
 }
 
 impl<'a> DayPipeline<'a> {
@@ -231,6 +297,7 @@ impl<'a> DayPipeline<'a> {
             collect_busy: trace::enabled().then_some((0, 0)),
             collected_total: 0,
             since_tick: 0,
+            mem: (opts.track_memory && opts.metrics.is_some()).then(MemTallies::default),
             opts,
         }
     }
@@ -272,6 +339,11 @@ impl<'a> DayPipeline<'a> {
             reg.counter("resolver.unlabeled").add(labels.unlabeled);
             reg.gauge("resolver.ips_peak")
                 .set_max(self.resolver.inner().ip_count() as u64);
+            if let Some(mem) = &self.mem {
+                mem.normalize.publish(reg, "normalize");
+                mem.resolver.publish(reg, "resolver");
+                mem.collect.publish(reg, "collect");
+            }
         }
         let labels = self.resolver.inner().label_stats();
         self.opts
@@ -337,6 +409,7 @@ impl<'a> DayPipeline<'a> {
         }
         let track_peak = self.counters.is_some();
         let mut peak = 0u64;
+        let scope = self.mem.is_some().then(AllocScope::begin);
         self.normalize.time_n(group.len() as u64, |n| {
             for (_, event) in group {
                 n.record_lease(event);
@@ -345,6 +418,9 @@ impl<'a> DayPipeline<'a> {
                 }
             }
         });
+        if let (Some(s), Some(m)) = (scope, &mut self.mem) {
+            m.normalize.absorb(s.end());
+        }
         if let Some(c) = &self.counters {
             c.tracker_open_peak.set_max(peak);
         }
@@ -353,11 +429,15 @@ impl<'a> DayPipeline<'a> {
     /// Apply one row-tagged group of DNS queries to the resolver map,
     /// one timing touch for the whole group.
     fn apply_dns(&mut self, group: &[(u32, DnsQuery)]) {
+        let scope = self.mem.is_some().then(AllocScope::begin);
         self.resolver.time_n(group.len() as u64, |r| {
             for (_, q) in group {
                 r.record(q);
             }
         });
+        if let (Some(s), Some(m)) = (scope, &mut self.mem) {
+            m.resolver.absorb(s.end());
+        }
     }
 
     /// Drive the batch's raw rows up to `hi` (exclusive) through
@@ -371,10 +451,18 @@ impl<'a> DayPipeline<'a> {
     fn process_rows(&mut self, flows: &mut FlowBatch, hi: usize) {
         flows.set_raw_limit(hi);
         let dev_lo = flows.dev_len();
+        let scope = self.mem.is_some().then(AllocScope::begin);
         self.normalize.push_batch(flows);
+        if let (Some(s), Some(m)) = (scope, &mut self.mem) {
+            m.normalize.absorb(s.end());
+        }
         let dev_hi = flows.dev_len();
         if self.opts.labeling {
+            let scope = self.mem.is_some().then(AllocScope::begin);
             self.resolver.push_batch(flows);
+            if let (Some(s), Some(m)) = (scope, &mut self.mem) {
+                m.resolver.absorb(s.end());
+            }
         } else {
             flows.advance_dev(dev_hi);
         }
@@ -387,6 +475,7 @@ impl<'a> DayPipeline<'a> {
         }
         self.collected_total += seg;
         let t0 = self.collect_busy.is_some().then(Instant::now);
+        let scope = self.mem.is_some().then(AllocScope::begin);
         for i in dev_lo..dev_hi {
             let label = flows.label(i);
             let lf = LabeledFlow {
@@ -395,6 +484,9 @@ impl<'a> DayPipeline<'a> {
             };
             self.collector
                 .observe_flow(self.opts.ctx, self.opts.table, self.opts.day, &lf);
+        }
+        if let (Some(s), Some(m)) = (scope, &mut self.mem) {
+            m.collect.absorb(s.end());
         }
         if let (Some((ns, records)), Some(t0)) = (&mut self.collect_busy, t0) {
             *ns += t0.elapsed().as_nanos() as u64;

@@ -7,7 +7,7 @@ use analysis::ascii;
 use analysis::export;
 use analysis::figures::{self, Fig4Series};
 use devclass::FigureBucket;
-use lockdown_obs::manifest::{fnv1a_64, DegradedEntry, RunManifest};
+use lockdown_obs::manifest::{fnv1a_64, DegradedEntry, MemorySection, RunManifest, StageMemory};
 use lockdown_obs::{trace, Trace};
 use std::fmt::Write as _;
 use std::path::Path;
@@ -332,6 +332,21 @@ pub fn metrics_report(study: &Study) -> String {
             degraded.failed.len()
         );
     }
+    // Memory headline, present only when the run tracked allocation.
+    if m.gauges.contains_key("mem.peak_bytes") {
+        let allocs = m.counter("mem.allocs");
+        let per_flow = if flows > 0 {
+            allocs as f64 / flows as f64
+        } else {
+            0.0
+        };
+        let _ = writeln!(
+            out,
+            "-- Memory: peak {:.1} MiB, live {:.1} MiB at finalize, {allocs} allocs ({per_flow:.3}/flow) --",
+            m.gauge("mem.peak_bytes") as f64 / (1 << 20) as f64,
+            m.gauge("mem.live_bytes") as f64 / (1 << 20) as f64,
+        );
+    }
     out.push_str(&m.to_text());
     out
 }
@@ -393,7 +408,47 @@ pub fn run_manifest(study: &Study, threads: usize, trace: Option<&Trace>) -> Run
     {
         m.metrics = Some(metrics.clone());
     }
+    m.memory = memory_section(study);
     m
+}
+
+/// Harvest the manifest `memory` section from a run's `mem.*` metrics;
+/// `None` when the run did not track allocation.
+fn memory_section(study: &Study) -> Option<MemorySection> {
+    let m = study.metrics();
+    if !m.gauges.contains_key("mem.peak_bytes") {
+        return None;
+    }
+    let flows = m.counter("pipeline.flows_in");
+    let allocs = m.counter("mem.allocs");
+    let per_stage = ["normalize", "resolver", "collect"]
+        .into_iter()
+        .map(|stage| {
+            (
+                stage.to_string(),
+                StageMemory {
+                    alloc_bytes: m.counter(&format!("mem.stage.{stage}.alloc_bytes")),
+                    allocs: m.counter(&format!("mem.stage.{stage}.allocs")),
+                    peak_net_bytes: m.gauge(&format!("mem.stage.{stage}.peak_net_bytes")),
+                },
+            )
+        })
+        .collect();
+    Some(MemorySection {
+        peak_bytes: m.gauge("mem.peak_bytes"),
+        live_bytes: m.gauge("mem.live_bytes"),
+        alloc_bytes: m.counter("mem.alloc_bytes"),
+        freed_bytes: m.counter("mem.freed_bytes"),
+        allocs,
+        deallocs: m.counter("mem.deallocs"),
+        reallocs: m.counter("mem.reallocs"),
+        allocs_per_flow: if flows > 0 {
+            allocs as f64 / flows as f64
+        } else {
+            0.0
+        },
+        per_stage,
+    })
 }
 
 /// Render a cross-scenario comparison: one row of headline statistics

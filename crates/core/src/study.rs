@@ -44,8 +44,8 @@ use devclass::{audit_sample, AuditReport, DeviceType};
 use dhcplog::NormalizeStats;
 use geoloc::SubPop;
 use lockdown_obs::{
-    trace, Fanout, LivePublisher, MetricsRegistry, MetricsSnapshot, NullObserver, RunObserver,
-    SpanRecorder, TelemetryServer,
+    alloc, trace, AllocScope, Fanout, LivePublisher, MetricsRegistry, MetricsSnapshot,
+    NullObserver, RunObserver, SpanRecorder, TelemetryServer,
 };
 use nettrace::time::{Day, Month, StudyCalendar};
 use nettrace::DeviceId;
@@ -170,6 +170,10 @@ struct DrainPlan<'a> {
     fault: Option<&'a FaultProfile>,
     stage: &'static str,
     batch_rows: usize,
+    /// Attribute allocation deltas to days and stages (`mem.*`
+    /// metrics). Set only when the run's builder asked for it *and*
+    /// the process-global tracking allocator probe succeeded.
+    track_memory: bool,
 }
 
 /// Run-wide failure bookkeeping shared by every worker.
@@ -238,6 +242,11 @@ fn try_day(
     if let Some(reg) = &registry {
         reg.gauge("study.days_inflight").set_max(inflight);
     }
+    // The day-level allocation scope opens before the isolation
+    // boundary and closes after it on the same thread (the panic is
+    // caught, so `end` always runs), covering everything the day
+    // allocates — generation, stages, collection.
+    let mem_scope = (plan.track_memory && registry.is_some()).then(AllocScope::begin);
     let t0 = Instant::now();
     let result = catch_unwind(AssertUnwindSafe(|| {
         let day_span = trace::span(span_name)
@@ -255,17 +264,27 @@ fn try_day(
         .fault(plan.fault)
         .attempt(attempt)
         .worker(worker)
-        .batch_rows(plan.batch_rows);
+        .batch_rows(plan.batch_rows)
+        .track_memory(plan.track_memory);
         let day_stats = process_day_batched(opts, &mut collector, plan.sim);
         day_span.set_attr("flows", day_stats.attributed);
         day_stats
     }));
     let duration_ns = t0.elapsed().as_nanos() as u64;
     shared.inflight.fetch_sub(1, Ordering::Relaxed);
+    let mem_delta = mem_scope.map(AllocScope::end);
     match result {
         Ok(stats) => {
             if let Some(reg) = &registry {
                 reg.histogram("study.day_duration_ns").record(duration_ns);
+                if let Some(d) = mem_delta {
+                    reg.counter("mem.day.alloc_bytes").add(d.alloc_bytes);
+                    reg.counter("mem.day.freed_bytes").add(d.freed_bytes);
+                    reg.counter("mem.day.allocs").add(d.allocs);
+                    reg.counter("mem.day.deallocs").add(d.deallocs);
+                    reg.gauge("mem.day.peak_net_bytes")
+                        .set_max(d.peak_net_bytes);
+                }
             }
             Ok(DayOutcome {
                 collector,
@@ -524,6 +543,7 @@ pub struct StudyBuilder {
     live: Option<LivePublisher>,
     serve_addr: Option<String>,
     batch_rows: usize,
+    track_memory: bool,
 }
 
 impl StudyBuilder {
@@ -543,7 +563,26 @@ impl StudyBuilder {
             live: None,
             serve_addr: None,
             batch_rows: DEFAULT_BATCH_ROWS,
+            track_memory: false,
         }
+    }
+
+    /// Track allocation during the run (default off): day- and
+    /// stage-attributed `mem.*` counters and peak gauges land in the
+    /// run's metrics, and run-wide totals (peak bytes, live bytes,
+    /// alloc/dealloc/realloc counts) are recorded at finalize.
+    ///
+    /// Requires the binary to have registered
+    /// [`lockdown_obs::TrackingAlloc`] as its `#[global_allocator]`
+    /// (like `repro` does); otherwise the enable probe fails and the
+    /// run silently proceeds untracked. Also requires
+    /// [`StudyBuilder::metrics`] to stay on — with metrics off there is
+    /// nowhere to record. Tracking is observation-only: figures,
+    /// non-`mem.*` metrics, and config hashes are byte-identical with
+    /// it on or off.
+    pub fn track_memory(mut self, on: bool) -> Self {
+        self.track_memory = on;
+        self
     }
 
     /// Fan days out over `n` workers (clamped to at least 1). Days are
@@ -666,6 +705,7 @@ impl StudyBuilder {
             collect_metrics,
             strict,
             batch_rows,
+            track_memory,
             ..
         } = self;
         let mut cells = Vec::with_capacity(scenarios.len());
@@ -677,6 +717,7 @@ impl StudyBuilder {
                 .batch_rows(batch_rows)
                 .metrics(collect_metrics)
                 .strict(strict)
+                .track_memory(track_memory)
                 .run()?;
             cells.push(MatrixCell {
                 scenario_name: scenario.name.clone(),
@@ -720,9 +761,16 @@ impl StudyBuilder {
             live,
             serve_addr,
             batch_rows,
+            track_memory,
         } = self;
         cfg.validate()?;
         let fault = fault.filter(|p| !p.is_noop());
+        // Enable allocation tracking before the simulation is built so
+        // the population and directory allocations count toward the
+        // run's peak. `enable` probes for a registered tracker; without
+        // one the run proceeds untracked.
+        let mem_on = track_memory && collect_metrics && alloc::enable();
+        let mem_base = mem_on.then(alloc::stats);
         // A serve address implies a publisher even if the caller didn't
         // attach one explicitly.
         let live = live.or_else(|| serve_addr.as_ref().map(|_| LivePublisher::new()));
@@ -762,6 +810,7 @@ impl StudyBuilder {
         if let Some(live) = &live {
             let passes = 1 + u64::from(cf_sim.is_some());
             live.set_days_total(days.len() as u64 * passes);
+            live.set_mem_tracking(mem_on);
         }
         let cursor = AtomicUsize::new(0);
         let cf_cursor = AtomicUsize::new(0);
@@ -780,6 +829,7 @@ impl StudyBuilder {
             fault: fault.as_ref(),
             stage: "pipeline",
             batch_rows,
+            track_memory: mem_on,
         };
         let cf_plan = cf_sim.as_ref().map(|cf_sim| DrainPlan {
             sim: cf_sim,
@@ -790,6 +840,7 @@ impl StudyBuilder {
             fault: None,
             stage: "counterfactual",
             batch_rows,
+            track_memory: mem_on,
         });
 
         let trace_rec = trace_rec.as_ref();
@@ -854,6 +905,21 @@ impl StudyBuilder {
                     idle.record(latest.duration_since(*done).as_nanos() as u64);
                 }
             }
+        }
+
+        // Run-wide memory accounting: counters as the delta since the
+        // run's base snapshot (so back-to-back runs in one process stay
+        // comparable), peak/live as the tracker's absolute values.
+        if let (Some(reg), Some(base)) = (&idle_registry, mem_base.as_ref()) {
+            let now = alloc::stats();
+            let d = now.since(base);
+            reg.counter("mem.alloc_bytes").add(d.alloc_bytes);
+            reg.counter("mem.freed_bytes").add(d.freed_bytes);
+            reg.counter("mem.allocs").add(d.allocs);
+            reg.counter("mem.deallocs").add(d.deallocs);
+            reg.counter("mem.reallocs").add(d.reallocs);
+            reg.gauge("mem.peak_bytes").set_max(now.peak_bytes);
+            reg.gauge("mem.live_bytes").set_max(now.live_bytes);
         }
 
         let mut degraded = std::mem::take(&mut *lock(&shared.degraded));

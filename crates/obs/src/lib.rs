@@ -34,6 +34,12 @@
 //! * [`manifest`] — [`RunManifest`], a provenance record (config hash,
 //!   seed, crate versions, span totals, metrics snapshot) that makes an
 //!   artifact directory self-describing.
+//! * [`alloc`] — [`TrackingAlloc`], a counting `GlobalAlloc` wrapper
+//!   (live/peak bytes, alloc/dealloc/realloc counts) with per-thread
+//!   [`AllocScope`]s that attribute allocation deltas to the same
+//!   day/stage seams the timers already instrument. Near-zero cost
+//!   when tracking is off: one `Relaxed` load and a branch per
+//!   allocator call.
 //!
 //! Instrumentation is zero-cost when off: every instrumented call site
 //! takes an `Option` of a handle (or the [`NullObserver`]; for spans,
@@ -50,9 +56,12 @@
 //! assert_eq!(snap.counter("pipeline.flows_in"), 3);
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny`, not `forbid`: the `alloc` module's `GlobalAlloc` impl is the
+// one sanctioned unsafe block in the crate and opts out locally.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod alloc;
 pub mod json;
 pub mod live;
 pub mod manifest;
@@ -63,8 +72,9 @@ pub mod serve;
 pub mod timer;
 pub mod trace;
 
+pub use alloc::{AllocScope, AllocStats, ScopeDelta, TrackingAlloc};
 pub use live::{LivePublisher, Progress, WorkerProgress};
-pub use manifest::{DegradedEntry, RunManifest};
+pub use manifest::{DegradedEntry, MemorySection, RunManifest, StageMemory};
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry, MetricsSnapshot};
 pub use observer::{CountingObserver, Fanout, JsonlSink, NullObserver, RunObserver, TextProgress};
 pub use serve::TelemetryServer;

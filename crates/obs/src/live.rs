@@ -52,6 +52,11 @@ struct WorkerLive {
 #[derive(Debug, Default)]
 struct LiveTables {
     base: MetricsSnapshot,
+    /// Flows from completed days. Guarded by the same lock as the
+    /// per-worker `day_flows` so a day's count moves from inflight to
+    /// done in one transition — concurrent `/progress` readers never
+    /// see the day counted twice or not at all.
+    flows_done: u64,
     workers: BTreeMap<usize, WorkerLive>,
 }
 
@@ -62,11 +67,12 @@ struct LiveInner {
     days_completed: AtomicU64,
     /// Failed day *attempts* observed (a recovered day counts once).
     degraded: AtomicU64,
-    /// Flows from completed days.
-    flows: AtomicU64,
     finished: AtomicBool,
     /// EWMA of day wall durations in ns; 0 = no sample yet.
     ewma_day_ns: AtomicU64,
+    /// The served run has allocation tracking on; `/progress` and
+    /// `/metrics` read the tracker's process-global live/peak bytes.
+    mem_tracking: AtomicBool,
     tables: Mutex<LiveTables>,
 }
 
@@ -120,6 +126,12 @@ pub struct Progress {
     /// nanoseconds; `None` until the first day completes (or once
     /// finished).
     pub eta_ns: Option<u64>,
+    /// Bytes currently live in the process per the tracking allocator;
+    /// `None` when the run is not tracking memory.
+    pub mem_live_bytes: Option<u64>,
+    /// The tracking allocator's live-bytes high-water mark; `None`
+    /// when the run is not tracking memory.
+    pub mem_peak_bytes: Option<u64>,
     /// Per-worker rows, ordered by worker index.
     pub workers: Vec<WorkerProgress>,
 }
@@ -140,6 +152,18 @@ impl Progress {
                 let _ = write!(out, ",\"eta_ns\":{eta}");
             }
             None => out.push_str(",\"eta_ns\":null"),
+        }
+        match self.mem_live_bytes {
+            Some(b) => {
+                let _ = write!(out, ",\"mem_live_bytes\":{b}");
+            }
+            None => out.push_str(",\"mem_live_bytes\":null"),
+        }
+        match self.mem_peak_bytes {
+            Some(b) => {
+                let _ = write!(out, ",\"mem_peak_bytes\":{b}");
+            }
+            None => out.push_str(",\"mem_peak_bytes\":null"),
         }
         out.push_str(",\"workers\":[");
         for (i, w) in self.workers.iter().enumerate() {
@@ -173,9 +197,9 @@ impl LivePublisher {
                 days_total: AtomicU64::new(0),
                 days_completed: AtomicU64::new(0),
                 degraded: AtomicU64::new(0),
-                flows: AtomicU64::new(0),
                 finished: AtomicBool::new(false),
                 ewma_day_ns: AtomicU64::new(0),
+                mem_tracking: AtomicBool::new(false),
                 tables: Mutex::new(LiveTables::default()),
             }),
         }
@@ -185,6 +209,14 @@ impl LivePublisher {
     /// the `/progress` denominator).
     pub fn set_days_total(&self, n: u64) {
         self.inner.days_total.store(n, Ordering::Relaxed);
+    }
+
+    /// Declare whether the served run tracks memory. When on,
+    /// [`LivePublisher::progress`] and
+    /// [`LivePublisher::exposition_metrics`] read the process-global
+    /// [`crate::alloc`] live/peak bytes into their views.
+    pub fn set_mem_tracking(&self, on: bool) {
+        self.inner.mem_tracking.store(on, Ordering::Relaxed);
     }
 
     /// Mark the run finished and replace the live view with the exact
@@ -234,6 +266,10 @@ impl LivePublisher {
         g.insert("study.live.elapsed_ns".into(), p.elapsed_ns);
         g.insert("study.live.eta_ns".into(), p.eta_ns.unwrap_or(0));
         g.insert("study.live.flows".into(), p.flows);
+        if let (Some(live_b), Some(peak_b)) = (p.mem_live_bytes, p.mem_peak_bytes) {
+            g.insert("mem.live_bytes".into(), live_b);
+            g.insert("mem.peak_bytes".into(), peak_b);
+        }
         snap
     }
 
@@ -242,8 +278,8 @@ impl LivePublisher {
         let finished = self.is_finished();
         let days_total = self.inner.days_total.load(Ordering::Relaxed);
         let days_completed = self.inner.days_completed.load(Ordering::Relaxed);
-        let mut flows = self.inner.flows.load(Ordering::Relaxed);
         let t = lock(&self.inner.tables);
+        let mut flows = t.flows_done;
         let mut workers = Vec::with_capacity(t.workers.len());
         let mut days_inflight = 0;
         for (&worker, w) in &t.workers {
@@ -270,6 +306,11 @@ impl LivePublisher {
             let lanes = workers.len().max(1) as u64;
             Some((days_total - days_completed).saturating_mul(ewma) / lanes)
         };
+        let mem = self
+            .inner
+            .mem_tracking
+            .load(Ordering::Relaxed)
+            .then(crate::alloc::stats);
         Progress {
             status: if finished { "done" } else { "running" },
             days_total,
@@ -279,6 +320,8 @@ impl LivePublisher {
             flows,
             elapsed_ns: self.inner.started.elapsed().as_nanos() as u64,
             eta_ns,
+            mem_live_bytes: mem.as_ref().map(|s| s.live_bytes),
+            mem_peak_bytes: mem.as_ref().map(|s| s.peak_bytes),
             workers,
         }
     }
@@ -321,7 +364,10 @@ impl RunObserver for LivePublisher {
         t.base.merge(metrics);
         let w = t.workers.entry(worker).or_default();
         w.inflight = MetricsSnapshot::default();
-        w.day_flows = 0;
+        // `day_flows` stays until `day_finished` folds it into
+        // `flows_done` in the same locked transition; clearing it here
+        // would let a concurrent `/progress` read see the day's flows
+        // in neither bucket.
         drop(t);
         // Racy-update EWMA: day completions are coarse enough that a
         // lost update costs nothing but a slightly staler ETA.
@@ -336,8 +382,8 @@ impl RunObserver for LivePublisher {
 
     fn day_finished(&self, worker: usize, _day: Day, flows: u64) {
         self.inner.days_completed.fetch_add(1, Ordering::Relaxed);
-        self.inner.flows.fetch_add(flows, Ordering::Relaxed);
         let mut t = lock(&self.inner.tables);
+        t.flows_done += flows;
         let w = t.workers.entry(worker).or_default();
         w.current_day = None;
         w.day_flows = 0;
@@ -477,10 +523,40 @@ mod tests {
         assert_eq!(v.get("status").unwrap().as_str(), Some("running"));
         assert_eq!(v.get("days_total").unwrap().as_u64(), Some(121));
         assert!(v.get("eta_ns").unwrap().is_null());
+        assert!(v.get("mem_live_bytes").unwrap().is_null());
+        assert!(v.get("mem_peak_bytes").unwrap().is_null());
         let workers = v.get("workers").unwrap().as_array().unwrap();
         assert_eq!(workers.len(), 1);
         assert_eq!(workers[0].get("day").unwrap().as_u64(), Some(3));
         assert_eq!(workers[0].get("day_flows").unwrap().as_u64(), Some(42));
+    }
+
+    #[test]
+    fn mem_tracking_flag_surfaces_tracker_state_in_views() {
+        let live = LivePublisher::new();
+        // Off by default: no mem fields in progress, no mem gauges.
+        let p = live.progress();
+        assert_eq!(p.mem_live_bytes, None);
+        assert_eq!(p.mem_peak_bytes, None);
+        assert!(!live
+            .exposition_metrics()
+            .gauges
+            .contains_key("mem.peak_bytes"));
+
+        // On: the fields appear. This test binary has no tracking
+        // allocator registered, so the values are the tracker's
+        // resting zeros — presence, not magnitude, is the contract.
+        live.set_mem_tracking(true);
+        let p = live.progress();
+        assert_eq!(p.mem_live_bytes, Some(crate::alloc::stats().live_bytes));
+        assert!(p.mem_peak_bytes.is_some());
+        let snap = live.exposition_metrics();
+        assert!(snap.gauges.contains_key("mem.live_bytes"));
+        assert!(snap.gauges.contains_key("mem.peak_bytes"));
+        let json = live.progress().to_json();
+        let v: serde_json::Value = serde_json::from_str(&json).expect("strict parse");
+        assert!(v.get("mem_live_bytes").unwrap().as_u64().is_some());
+        assert!(v.get("mem_peak_bytes").unwrap().as_u64().is_some());
     }
 
     #[test]

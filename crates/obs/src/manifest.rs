@@ -59,6 +59,76 @@ impl DegradedEntry {
     }
 }
 
+/// One stage's row in a manifest's per-stage memory table: how much the
+/// stage allocated over the run and its largest within-touch transient.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StageMemory {
+    /// Bytes the stage allocated across the run.
+    pub alloc_bytes: u64,
+    /// Allocator calls the stage made across the run.
+    pub allocs: u64,
+    /// Largest net growth inside any single stage touch, bytes.
+    pub peak_net_bytes: u64,
+}
+
+/// The `memory` section of a manifest: run-wide allocation accounting
+/// from the tracking allocator, present only when the run tracked
+/// memory (`repro run --mem` / `StudyBuilder::track_memory`).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MemorySection {
+    /// The tracker's live-bytes high-water mark over the run.
+    pub peak_bytes: u64,
+    /// Bytes still live when the run finalized.
+    pub live_bytes: u64,
+    /// Bytes allocated over the run.
+    pub alloc_bytes: u64,
+    /// Bytes freed over the run.
+    pub freed_bytes: u64,
+    /// Allocation calls over the run.
+    pub allocs: u64,
+    /// Deallocation calls over the run.
+    pub deallocs: u64,
+    /// Reallocation calls over the run.
+    pub reallocs: u64,
+    /// Allocation calls per collected flow — the density the memory
+    /// regression gate pins.
+    pub allocs_per_flow: f64,
+    /// Per-stage attribution (`normalize`, `resolver`, `collect`).
+    pub per_stage: BTreeMap<String, StageMemory>,
+}
+
+impl MemorySection {
+    fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        let _ = write!(out, "\"peak_bytes\":{}", self.peak_bytes);
+        let _ = write!(out, ",\"live_bytes\":{}", self.live_bytes);
+        let _ = write!(out, ",\"alloc_bytes\":{}", self.alloc_bytes);
+        let _ = write!(out, ",\"freed_bytes\":{}", self.freed_bytes);
+        let _ = write!(out, ",\"allocs\":{}", self.allocs);
+        let _ = write!(out, ",\"deallocs\":{}", self.deallocs);
+        let _ = write!(out, ",\"reallocs\":{}", self.reallocs);
+        let _ = write!(out, ",\"allocs_per_flow\":{:.3}", self.allocs_per_flow);
+        out.push_str(",\"per_stage\":{");
+        let mut first = true;
+        for (name, s) in &self.per_stage {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let _ = write!(
+                out,
+                "{}:{{\"alloc_bytes\":{},\"allocs\":{},\"peak_net_bytes\":{}}}",
+                json::quoted(name),
+                s.alloc_bytes,
+                s.allocs,
+                s.peak_net_bytes,
+            );
+        }
+        out.push_str("}}");
+        out
+    }
+}
+
 /// Provenance record for one pipeline run.
 ///
 /// Build one with [`RunManifest::new`], fill in the identity fields,
@@ -108,6 +178,8 @@ pub struct RunManifest {
     /// Address the live telemetry server listened on, when the run was
     /// observed over HTTP — provenance of *how* a run was watched.
     pub serve_addr: Option<String>,
+    /// Allocation accounting, when the run tracked memory.
+    pub memory: Option<MemorySection>,
 }
 
 impl RunManifest {
@@ -219,6 +291,11 @@ impl RunManifest {
             Some(addr) => out.push_str(&json::quoted(addr)),
             None => out.push_str("null"),
         }
+        out.push_str(",\"memory\":");
+        match &self.memory {
+            Some(mem) => out.push_str(&mem.to_json()),
+            None => out.push_str("null"),
+        }
         // Quantile digest of every histogram the run recorded (upper
         // bucket bounds; true values lie within 2× below — see
         // `HistogramSnapshot::quantile`), so a manifest answers "how
@@ -305,6 +382,26 @@ mod tests {
             .insert("study.day_duration_ns".into(), h.snapshot());
         m.metrics = Some(metrics);
         m.serve_addr = Some("127.0.0.1:9184".into());
+        m.memory = Some(MemorySection {
+            peak_bytes: 1 << 24,
+            live_bytes: 1 << 20,
+            alloc_bytes: 1 << 30,
+            freed_bytes: (1 << 30) - (1 << 20),
+            allocs: 5_000,
+            deallocs: 4_900,
+            reallocs: 100,
+            allocs_per_flow: 0.125,
+            per_stage: [(
+                "normalize".to_string(),
+                StageMemory {
+                    alloc_bytes: 1 << 16,
+                    allocs: 320,
+                    peak_net_bytes: 1 << 12,
+                },
+            )]
+            .into_iter()
+            .collect(),
+        });
         m.degraded.push(DegradedEntry {
             day: 47,
             stage: "stream_day".into(),
@@ -367,6 +464,13 @@ mod tests {
             v.get("serve_addr").unwrap().as_str(),
             Some("127.0.0.1:9184")
         );
+        let mem = v.get("memory").expect("memory section");
+        assert_eq!(mem.get("peak_bytes").unwrap().as_u64(), Some(1 << 24));
+        assert_eq!(mem.get("allocs").unwrap().as_u64(), Some(5_000));
+        assert_eq!(mem.get("allocs_per_flow").unwrap().as_f64(), Some(0.125));
+        let stage = mem.get("per_stage").unwrap().get("normalize").unwrap();
+        assert_eq!(stage.get("allocs").unwrap().as_u64(), Some(320));
+        assert_eq!(stage.get("peak_net_bytes").unwrap().as_u64(), Some(1 << 12));
         let q = v
             .get("quantiles")
             .unwrap()
@@ -389,6 +493,7 @@ mod tests {
         assert_eq!(v.get("top_level_span_ns").unwrap().as_u64(), Some(0));
         assert_eq!(v.get("degraded").unwrap().as_array().unwrap().len(), 0);
         assert!(v.get("serve_addr").unwrap().is_null());
+        assert!(v.get("memory").unwrap().is_null());
         assert_eq!(
             v.get("quantiles").unwrap().as_object().unwrap().len(),
             0,

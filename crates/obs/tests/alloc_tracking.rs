@@ -1,0 +1,97 @@
+//! Live-end tests for `lockdown_obs::alloc`: this test binary
+//! registers [`TrackingAlloc`] as its global allocator, so the enable
+//! probe succeeds and scopes see real allocator traffic.
+//!
+//! Everything runs inside ONE `#[test]` function: tracking state is
+//! process-global and the harness runs tests concurrently, so separate
+//! tests toggling `enable`/`disable` would race each other.
+
+use lockdown_obs::alloc::{self, AllocScope, TrackingAlloc};
+
+#[global_allocator]
+static GLOBAL: TrackingAlloc = TrackingAlloc;
+
+#[test]
+fn tracking_allocator_counts_scopes_and_peaks() {
+    // Disabled by default: nothing counted yet, scopes read zero.
+    assert!(!alloc::is_enabled());
+    let pre = AllocScope::begin();
+    drop(std::hint::black_box(vec![0u8; 4096]));
+    assert_eq!(pre.end(), alloc::ScopeDelta::default());
+    assert_eq!(alloc::stats().allocs, 0);
+
+    // The probe sees the registered wrapper.
+    assert!(alloc::enable(), "TrackingAlloc is registered");
+    assert!(alloc::is_enabled());
+    let s0 = alloc::stats();
+    assert!(s0.allocs >= 1, "the probe allocation itself is counted");
+
+    // A scope attributes this thread's traffic.
+    let scope = AllocScope::begin();
+    let block = std::hint::black_box(vec![0u8; 1 << 16]);
+    drop(std::hint::black_box(block));
+    let d = scope.end();
+    assert!(d.allocs >= 1, "{d:?}");
+    assert!(d.alloc_bytes >= 1 << 16, "{d:?}");
+    assert!(d.freed_bytes >= 1 << 16, "{d:?}");
+    assert!(d.peak_net_bytes >= 1 << 16, "{d:?}");
+
+    // Nested scopes: the inner scope's traffic folds into the outer
+    // one, and the outer peak covers the inner high-water mark.
+    let outer = AllocScope::begin();
+    let keep = std::hint::black_box(vec![1u8; 8192]);
+    let inner = AllocScope::begin();
+    drop(std::hint::black_box(vec![2u8; 1 << 17]));
+    let di = inner.end();
+    let douter = outer.end();
+    drop(keep);
+    assert!(di.peak_net_bytes >= 1 << 17, "{di:?}");
+    assert!(
+        douter.alloc_bytes >= di.alloc_bytes + 8192,
+        "outer covers inner: {douter:?} vs {di:?}"
+    );
+    assert!(
+        douter.peak_net_bytes >= di.peak_net_bytes + 8192,
+        "outer peak rides on the held buffer: {douter:?} vs {di:?}"
+    );
+
+    // Global identities: live = allocated - freed (when nonnegative;
+    // `live_bytes` clamps at zero), and peak bounds live. This thread
+    // is not alone — the harness allocates too — so only identities and
+    // monotonicity are asserted, not exact values.
+    let s1 = alloc::stats();
+    assert!(s1.alloc_bytes >= s0.alloc_bytes);
+    assert!(s1.peak_bytes >= s1.live_bytes);
+    let signed_live = s1.alloc_bytes as i64 - s1.freed_bytes as i64;
+    if signed_live >= 0 {
+        // Allow a small skew: the three counters are read one after
+        // another and a harness thread may allocate in between.
+        let drift = (s1.live_bytes as i64 - signed_live).abs();
+        assert!(drift <= 1 << 16, "live {} vs {signed_live}", s1.live_bytes);
+    }
+
+    // A deliberately retained allocation moves live and peak.
+    let before = alloc::stats();
+    let held = std::hint::black_box(vec![0u64; 1 << 15]); // 256 KiB
+    let during = alloc::stats();
+    assert!(during.peak_bytes >= before.peak_bytes);
+    assert!(during.alloc_bytes > before.alloc_bytes);
+    drop(std::hint::black_box(held));
+
+    // A scope on another thread sees only that thread's traffic.
+    let other = std::thread::spawn(|| {
+        let scope = AllocScope::begin();
+        drop(std::hint::black_box(vec![3u8; 1 << 14]));
+        scope.end()
+    })
+    .join()
+    .unwrap();
+    assert!(other.alloc_bytes >= 1 << 14, "{other:?}");
+
+    // Disable: tallies freeze for this thread's scopes.
+    alloc::disable();
+    assert!(!alloc::is_enabled());
+    let frozen = AllocScope::begin();
+    drop(std::hint::black_box(vec![0u8; 4096]));
+    assert_eq!(frozen.end(), alloc::ScopeDelta::default());
+}

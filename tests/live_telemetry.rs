@@ -113,6 +113,106 @@ fn mid_run_scrapes_parse_and_flow_counters_are_monotone() {
 }
 
 #[test]
+fn concurrent_scrapes_see_strict_monotone_snapshots() {
+    let live = LivePublisher::new();
+    let server = TelemetryServer::bind("127.0.0.1:0", live.clone()).expect("bind");
+    let addr = server.addr();
+
+    // Several /metrics and /progress clients scrape in parallel while
+    // the run streams; every response must parse strictly and every
+    // client's view must be monotone on its own timeline, regardless of
+    // how requests interleave at the server.
+    let spawn_metrics = |live: LivePublisher| {
+        std::thread::spawn(move || {
+            let mut last: BTreeMap<String, f64> = BTreeMap::new();
+            let mut scrapes = 0u32;
+            while !live.is_finished() {
+                let body = http_get(addr, "/metrics");
+                let exposition = prom::parse(&body).expect("exposition parses under contention");
+                for family in &exposition.families {
+                    if family.kind != "counter" || !family.name.starts_with("pipeline_flows") {
+                        continue;
+                    }
+                    for sample in &family.samples {
+                        let prev = last
+                            .insert(family.name.clone(), sample.value)
+                            .unwrap_or(0.0);
+                        assert!(
+                            sample.value >= prev,
+                            "{} regressed under concurrent scrapes: {} < {prev}",
+                            family.name,
+                            sample.value,
+                        );
+                    }
+                }
+                scrapes += 1;
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            }
+            scrapes
+        })
+    };
+    let spawn_progress = |live: LivePublisher| {
+        std::thread::spawn(move || {
+            let (mut last_days, mut last_flows) = (0u64, 0u64);
+            let mut scrapes = 0u32;
+            while !live.is_finished() {
+                let v: serde_json::Value = serde_json::from_str(&http_get(addr, "/progress"))
+                    .expect("strict progress JSON under contention");
+                let field = |key: &str| v.get(key).expect(key).as_u64().expect(key);
+                let status = v.get("status").expect("status").as_str().expect("status");
+                assert!(
+                    matches!(status, "idle" | "running" | "done"),
+                    "unknown status {status:?}"
+                );
+                let (days, total, flows) =
+                    (field("days_completed"), field("days_total"), field("flows"));
+                assert!(days <= total || total == 0, "{days} > {total}");
+                assert!(days >= last_days, "days regressed: {days} < {last_days}");
+                assert!(
+                    flows >= last_flows,
+                    "flows regressed: {flows} < {last_flows}"
+                );
+                (last_days, last_flows) = (days, flows);
+                scrapes += 1;
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            }
+            scrapes
+        })
+    };
+    let metrics_pollers: Vec<_> = (0..3).map(|_| spawn_metrics(live.clone())).collect();
+    let progress_pollers: Vec<_> = (0..3).map(|_| spawn_progress(live.clone())).collect();
+
+    let run = Study::builder(tiny())
+        .threads(2)
+        .live(&live)
+        .run()
+        .expect("served run");
+
+    let mut scrapes = 0u32;
+    for poller in metrics_pollers {
+        scrapes += poller.join().expect("metrics poller");
+    }
+    for poller in progress_pollers {
+        scrapes += poller.join().expect("progress poller");
+    }
+    assert!(scrapes >= 6, "pollers barely ran: {scrapes} scrapes");
+
+    // After the run every client sees the same settled endpoint state.
+    let progress: serde_json::Value =
+        serde_json::from_str(&http_get(addr, "/progress")).expect("final progress JSON");
+    assert_eq!(
+        progress.get("status").and_then(|s| s.as_str()),
+        Some("done")
+    );
+    assert_eq!(
+        progress.get("days_completed").and_then(|d| d.as_u64()),
+        progress.get("days_total").and_then(|d| d.as_u64()),
+    );
+    let flows = run.study.metrics().counter("pipeline.flows_collected");
+    assert_eq!(live.metrics().counter("pipeline.flows_collected"), flows);
+}
+
+#[test]
 fn serving_is_observation_only_bit_identical_outputs() {
     let unserved = Study::builder(tiny()).threads(2).run().expect("clean run");
     let served = Study::builder(tiny())
