@@ -11,12 +11,14 @@
 
 pub mod ascii;
 pub mod collect;
+pub mod digest;
 pub mod export;
 pub mod figures;
 pub mod matrix;
 pub mod stats;
 
 pub use collect::{PipelineCtx, StudyCollector};
+pub use digest::{DigestFigures, LogHist, ShardDigest};
 pub use export::ExportError;
 pub use figures::{headline_stats, HeadlineStats, StudySummary};
 pub use stats::BoxStats;

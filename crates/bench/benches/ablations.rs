@@ -154,8 +154,7 @@ fn ablate_session_gap(c: &mut Criterion) {
 /// higher thresholds miss chatty IoT gear.
 fn ablate_iot_threshold(c: &mut Criterion) {
     let s = study();
-    let truth: HashMap<DeviceId, devclass::DeviceType> =
-        s.ground_truth_types().into_iter().collect();
+    let truth: HashMap<DeviceId, devclass::DeviceType> = s.ground_truth_types().clone();
     let mut g = c.benchmark_group("ablate_iot_threshold");
     for threshold in [0.3f64, 0.5, 0.7, 0.9] {
         let classifier = Classifier::new().with_iot_threshold(threshold);

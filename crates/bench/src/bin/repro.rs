@@ -60,6 +60,21 @@
 //! `manifest.json` provenance record (as does `--out`); see
 //! `docs/TRACING.md`.
 //!
+//! `--shards K` partitions the synthetic population into K
+//! deterministic shards that are generated, streamed, and dropped one
+//! at a time — the exact path: figures and config hash are
+//! byte-identical to an unsharded run at any K and thread count, while
+//! peak memory tracks the largest shard instead of the whole campus.
+//! `--shards auto` goes further for million-device scales: the shard
+//! count is derived from `--mem-budget BYTES` (default 512 MiB) and
+//! the run streams per-shard *digests* instead of full collectors —
+//! headline statistics stay exact, distribution figures carry a ≤2×
+//! quantile approximation, and the counterfactual and classification
+//! audit are skipped (no run-level device table exists). Both modes
+//! record a `sharding` section in `manifest.json` and surface the
+//! shard count in `/progress`. See `DESIGN.md` and `README.md` for the
+//! scale recipe.
+//!
 //! `--fault-profile NAME` injects seeded, deterministic input
 //! corruption (`none` or `default`; see `docs/ROBUSTNESS.md`): the run
 //! completes gracefully, counts every dropped and repaired record
@@ -104,11 +119,27 @@ enum Command {
     Probe { addr: String },
 }
 
+/// The `--shards` flag, parsed.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum ShardsArg {
+    /// No flag: monolithic unless `--mem-budget` derives a partition.
+    Off,
+    /// `--shards K`: exact sharded run with a fixed shard count.
+    Fixed(u32),
+    /// `--shards auto`: digest mode, shard count from the memory budget.
+    Auto,
+}
+
+/// Default `--mem-budget` when `--shards auto` is used without one.
+const DEFAULT_MEM_BUDGET: u64 = 512 << 20;
+
 struct Args {
     scale: f64,
     threads: usize,
     seed: u64,
     batch_rows: usize,
+    shards: ShardsArg,
+    mem_budget: Option<u64>,
     scenario: Option<String>,
     scenario_file: Option<PathBuf>,
     out: Option<PathBuf>,
@@ -127,7 +158,7 @@ struct Args {
     command: Command,
 }
 
-const USAGE: &str = "usage: repro run [--scale S] [--threads N] [--seed X] [--batch ROWS] [--scenario NAME | --scenario-file PATH] [--out DIR] [--trace FILE] [--flame FILE] [--progress] [--mem] [--serve ADDR] [--fault-profile none|default] [--strict] [all|fig1..fig8|stats]\n       repro metrics [run options]          dump per-stage counters as JSON\n       repro matrix [run options] --out DIR [NAME...]   one study per scenario (default: all built-ins)\n       repro scenarios list                 list built-in scenarios\n       repro scenarios show NAME [--toml|--hash]   print a scenario (canonical TOML by default)\n       repro watch ADDR [--interval MS]   follow a served run live (poll every MS ms, default 500)\n       repro probe ADDR   hit /metrics, /healthz, /progress once, strictly validating each";
+const USAGE: &str = "usage: repro run [--scale S] [--threads N] [--seed X] [--batch ROWS] [--shards K|auto] [--mem-budget BYTES] [--scenario NAME | --scenario-file PATH] [--out DIR] [--trace FILE] [--flame FILE] [--progress] [--mem] [--serve ADDR] [--fault-profile none|default] [--strict] [all|fig1..fig8|stats]\n       repro metrics [run options]          dump per-stage counters as JSON\n       repro matrix [run options] --out DIR [NAME...]   one study per scenario (default: all built-ins)\n       repro scenarios list                 list built-in scenarios\n       repro scenarios show NAME [--toml|--hash]   print a scenario (canonical TOML by default)\n       repro watch ADDR [--interval MS]   follow a served run live (poll every MS ms, default 500)\n       repro probe ADDR   hit /metrics, /healthz, /progress once, strictly validating each";
 
 /// Valid `repro run` targets.
 fn is_run_target(s: &str) -> bool {
@@ -145,6 +176,8 @@ fn parse_args() -> Result<Args, String> {
             .unwrap_or(4),
         seed: 0x5eed_2020,
         batch_rows: lockdown_core::DEFAULT_BATCH_ROWS,
+        shards: ShardsArg::Off,
+        mem_budget: None,
         scenario: None,
         scenario_file: None,
         out: None,
@@ -181,6 +214,27 @@ fn parse_args() -> Result<Args, String> {
             "--threads" => args.threads = number_of(&mut it, "--threads")?,
             "--seed" => args.seed = number_of(&mut it, "--seed")?,
             "--batch" => args.batch_rows = number_of(&mut it, "--batch")?,
+            "--shards" => {
+                let v = value_of(&mut it, "--shards")?;
+                args.shards = if v == "auto" {
+                    ShardsArg::Auto
+                } else {
+                    let k: u32 = v.parse().map_err(|_| {
+                        format!("--shards needs a positive count or `auto`, got {v:?}")
+                    })?;
+                    if k == 0 {
+                        return Err("--shards must be at least 1 (or `auto`)".to_string());
+                    }
+                    ShardsArg::Fixed(k)
+                };
+            }
+            "--mem-budget" => {
+                let b: u64 = number_of(&mut it, "--mem-budget")?;
+                if b == 0 {
+                    return Err("--mem-budget must be positive (bytes)".to_string());
+                }
+                args.mem_budget = Some(b);
+            }
             "--scenario" => args.scenario = Some(value_of(&mut it, "--scenario")?),
             "--scenario-file" => {
                 args.scenario_file = Some(PathBuf::from(value_of(&mut it, "--scenario-file")?))
@@ -452,12 +506,24 @@ fn run_matrix(args: &Args, names: &[String]) -> Result<(), StudyError> {
         args.threads
     );
     let t0 = std::time::Instant::now();
-    let matrix = Study::builder(cfg)
+    if args.shards == ShardsArg::Auto {
+        eprintln!(
+            "repro: matrix does not support --shards auto (digest mode); use a fixed --shards K"
+        );
+        std::process::exit(2);
+    }
+    let mut b = Study::builder(cfg)
         .threads(args.threads)
         .batch_rows(args.batch_rows)
         .strict(args.strict)
-        .track_memory(args.mem)
-        .run_matrix(&scenarios)?;
+        .track_memory(args.mem);
+    if let ShardsArg::Fixed(k) = args.shards {
+        b = b.shards(k);
+    }
+    if let Some(budget) = args.mem_budget {
+        b = b.mem_budget(budget);
+    }
+    let matrix = b.run_matrix(&scenarios)?;
     eprintln!(
         "{} cells done in {:.1}s",
         matrix.cells.len(),
@@ -658,6 +724,12 @@ fn run(args: &Args) -> Result<(), StudyError> {
             .batch_rows(args.batch_rows)
             .strict(args.strict)
             .track_memory(args.mem);
+        if let ShardsArg::Fixed(k) = args.shards {
+            b = b.shards(k);
+        }
+        if let Some(budget) = args.mem_budget {
+            b = b.mem_budget(budget);
+        }
         if let Some(rec) = &recorder {
             b = b.trace(rec);
         }
@@ -679,6 +751,72 @@ fn run(args: &Args) -> Result<(), StudyError> {
         // main() routes every other command elsewhere.
         _ => "all",
     };
+
+    if args.shards == ShardsArg::Auto {
+        // Digest mode: shard count derives from the memory budget, the
+        // pipeline streams per-shard digests, the counterfactual and
+        // audit are skipped.
+        let budget = args.mem_budget.unwrap_or(DEFAULT_MEM_BUDGET);
+        eprintln!(
+            "sharded digest mode: memory budget {:.0} MiB",
+            budget as f64 / (1 << 20) as f64
+        );
+        let d = builder(cfg).mem_budget(budget).run_digest()?;
+        eprintln!(
+            "digest study done in {:.1}s ({} shards, merge depth {})",
+            t0.elapsed().as_secs_f64(),
+            d.sharding().shards,
+            d.sharding().merge_depth,
+        );
+        if !d.degraded().is_empty() {
+            eprintln!(
+                "degraded run: {} day(s) recovered on retry, {} day(s) dropped",
+                d.degraded().recovered.len(),
+                d.degraded().failed.len()
+            );
+        }
+        match target {
+            "all" => println!("{}", report::digest_text_report(&d)),
+            "metrics" => println!("{}", d.metrics().to_json()),
+            "stats" => println!("{:#?}", d.headline()),
+            cmd => print_one_digest(&d, cmd)?,
+        }
+        if let Some(dir) = &args.out {
+            let written = report::write_digest_figure_files(&d, dir)?;
+            eprintln!("{written} figure files written to {}", dir.display());
+        }
+        drop(main_lane);
+        let trace_data = recorder.map(|rec| rec.finish());
+        if let Some(t) = &trace_data {
+            if let Some(path) = &args.trace {
+                write_text(path, &t.to_chrome_json(), "chrome trace")?;
+            }
+            if let Some(path) = &args.flame {
+                write_text(path, &t.to_collapsed(), "collapsed stacks")?;
+            }
+        }
+        if args.out.is_some() || args.trace.is_some() || args.flame.is_some() {
+            let mut manifest = report::digest_manifest(&d, args.threads);
+            if let Some(t) = &trace_data {
+                manifest.record_trace(t);
+            }
+            if manifest.wall_ns == 0 {
+                manifest.wall_ns = t0.elapsed().as_nanos() as u64;
+            }
+            manifest.serve_addr = telemetry
+                .as_ref()
+                .map(|(_, server)| server.addr().to_string());
+            for path in manifest_targets(args) {
+                manifest.write(&path).map_err(|source| StudyError::Io {
+                    path: path.clone(),
+                    source,
+                })?;
+                eprintln!("manifest written to {}", path.display());
+            }
+        }
+        return Ok(());
+    }
+
     let study = match target {
         "all" => {
             let run = builder(cfg).with_counterfactual().run()?;
@@ -733,19 +871,7 @@ fn run(args: &Args) -> Result<(), StudyError> {
         manifest.serve_addr = telemetry
             .as_ref()
             .map(|(_, server)| server.addr().to_string());
-        let mut targets: Vec<PathBuf> = Vec::new();
-        for dir in args.out.iter().cloned().chain(
-            args.trace
-                .iter()
-                .chain(args.flame.iter())
-                .filter_map(|p| p.parent().map(|d| d.to_path_buf())),
-        ) {
-            let path = dir.join("manifest.json");
-            if !targets.contains(&path) {
-                targets.push(path);
-            }
-        }
-        for path in targets {
+        for path in manifest_targets(args) {
             manifest.write(&path).map_err(|source| StudyError::Io {
                 path: path.clone(),
                 source,
@@ -754,6 +880,24 @@ fn run(args: &Args) -> Result<(), StudyError> {
         }
     }
     Ok(())
+}
+
+/// Every directory that should receive a `manifest.json` (deduped):
+/// `--out`, plus the parents of `--trace`/`--flame`.
+fn manifest_targets(args: &Args) -> Vec<PathBuf> {
+    let mut targets: Vec<PathBuf> = Vec::new();
+    for dir in args.out.iter().cloned().chain(
+        args.trace
+            .iter()
+            .chain(args.flame.iter())
+            .filter_map(|p| p.parent().map(|d| d.to_path_buf())),
+    ) {
+        let path = dir.join("manifest.json");
+        if !targets.contains(&path) {
+            targets.push(path);
+        }
+    }
+    targets
 }
 
 /// One stderr line summarizing how the run degraded, if it did.
@@ -791,6 +935,28 @@ fn print_one(study: &Study, cmd: &str) -> Result<(), StudyError> {
             let audit = study.classification_audit(100);
             println!("{audit:#?}");
         }
+        other => {
+            eprintln!("unknown subcommand {other}; see --help");
+            std::process::exit(2);
+        }
+    }
+    Ok(())
+}
+
+/// Digest-mode twin of [`print_one`], rendering from the merged shard
+/// digests. `stats` is handled by the caller.
+fn print_one_digest(d: &lockdown_core::DigestStudy, cmd: &str) -> Result<(), StudyError> {
+    use analysis::export;
+    let f = &d.figures;
+    match cmd {
+        "fig1" => print!("{}", export::fig1_csv(&f.fig1)),
+        "fig2" => print!("{}", export::fig2_csv(&f.fig2)),
+        "fig3" => print!("{}", export::fig3_csv(&f.fig3)),
+        "fig4" => print!("{}", export::fig4_csv(&f.fig4)),
+        "fig5" => print!("{}", export::fig5_csv(&f.fig5)),
+        "fig6" => print!("{}", export::fig6_json(&f.fig6)?),
+        "fig7" => print!("{}", export::fig7_json(&f.fig7)?),
+        "fig8" => print!("{}", export::fig8_csv(&f.fig8)),
         other => {
             eprintln!("unknown subcommand {other}; see --help");
             std::process::exit(2);

@@ -1,0 +1,354 @@
+//! Measures the sharded runner's scale-out behaviour and pins the
+//! memory-bounded-scale claim; writes `results/BENCH_scale.json`.
+//!
+//! Two questions, one artifact:
+//!
+//! * **Sharding overhead** — an exact sharded run repeats per-day fixed
+//!   work once per shard, so ns/flow grows with K. The K sweep
+//!   (`1, 2, 4` at the low scale) pins that curve.
+//! * **Memory-bounded scale-out** — the headline claim: a sharded
+//!   digest run's peak allocation must stay within 2× across a 10×
+//!   population-scale pair under the same `--budget`, because the
+//!   partition (not the population) bounds the working set. The run
+//!   fails (exit 1) if the measured `peak_ratio_10x` exceeds 2.0.
+//!
+//! Every configuration runs in its own child process (the binary
+//! re-execs itself with `--one`), so the tracking allocator's
+//! process-global high-water mark measures exactly one run — sequenced
+//! in-process runs would contaminate each other's peaks.
+//!
+//! ```text
+//! scale_overhead [--scale-lo S] [--scale-hi S] [--budget BYTES]
+//!                [--threads N] [--out FILE]
+//! ```
+//!
+//! The default pair (0.05 → 0.5) is sized for a small CI box; the
+//! claim is ratio-based, so it transfers to larger pairs unchanged —
+//! see `EXPERIMENTS.md` for the honest-scale discussion.
+
+use campussim::SimConfig;
+use lockdown_core::Study;
+use lockdown_obs::{alloc, TrackingAlloc};
+use std::process::ExitCode;
+use std::time::Instant;
+
+#[global_allocator]
+static GLOBAL: TrackingAlloc = TrackingAlloc;
+
+/// One measured configuration, as reported by a `--one` child.
+struct Measured {
+    label: String,
+    mode: &'static str,
+    scale: f64,
+    shards: u32,
+    wall_ns: u64,
+    flows: u64,
+    /// Process-global allocation high-water mark over the run.
+    peak_bytes: u64,
+    /// Largest per-shard within-day net growth (0 in monolithic runs
+    /// without sharding, or when day scopes recorded nothing).
+    peak_shard_bytes: u64,
+}
+
+impl Measured {
+    fn ns_per_flow(&self) -> f64 {
+        self.wall_ns as f64 / self.flows.max(1) as f64
+    }
+
+    fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"label\":\"{}\",\"mode\":\"{}\",\"scale\":{},\"shards\":{},",
+                "\"wall_ns\":{},\"flows\":{},\"ns_per_flow\":{:.1},",
+                "\"peak_bytes\":{},\"peak_shard_bytes\":{}}}"
+            ),
+            self.label,
+            self.mode,
+            self.scale,
+            self.shards,
+            self.wall_ns,
+            self.flows,
+            self.ns_per_flow(),
+            self.peak_bytes,
+            self.peak_shard_bytes,
+        )
+    }
+}
+
+/// Run one configuration in this process and report it on stdout.
+/// `mode` is `exact` (fixed `shards`) or `digest` (auto from `budget`).
+fn run_one(mode: &str, scale: f64, shards: u32, budget: u64, threads: usize) -> Result<(), String> {
+    let cfg = SimConfig::at_scale(scale);
+    let t0 = Instant::now();
+    let (k, flows, peak_shard) = match mode {
+        "exact" => {
+            let s = Study::builder(cfg)
+                .threads(threads)
+                .shards(shards)
+                .track_memory(true)
+                .run()
+                .map_err(|e| format!("exact run failed: {e}"))?
+                .into_study();
+            let peak = s
+                .sharding()
+                .per_shard_peak_bytes
+                .iter()
+                .copied()
+                .max()
+                .unwrap_or(0);
+            (s.sharding().shards, s.norm_stats.attributed, peak)
+        }
+        "digest" => {
+            let d = Study::builder(cfg)
+                .threads(threads)
+                .mem_budget(budget)
+                .track_memory(true)
+                .run_digest()
+                .map_err(|e| format!("digest run failed: {e}"))?;
+            let peak = d
+                .sharding()
+                .per_shard_peak_bytes
+                .iter()
+                .copied()
+                .max()
+                .unwrap_or(0);
+            (d.sharding().shards, d.norm_stats.attributed, peak)
+        }
+        other => return Err(format!("unknown --one mode {other:?}")),
+    };
+    let m = Measured {
+        label: format!("{mode}@{scale}"),
+        mode: if mode == "exact" { "exact" } else { "digest" },
+        scale,
+        shards: k,
+        wall_ns: t0.elapsed().as_nanos() as u64,
+        flows,
+        peak_bytes: alloc::stats().peak_bytes,
+        peak_shard_bytes: peak_shard,
+    };
+    println!("{}", m.to_json());
+    Ok(())
+}
+
+/// Spawn this binary in `--one` mode and parse the child's JSON line.
+fn spawn_one(
+    mode: &str,
+    scale: f64,
+    shards: u32,
+    budget: u64,
+    threads: usize,
+) -> Result<Measured, String> {
+    let exe = std::env::current_exe().map_err(|e| format!("cannot find own binary: {e}"))?;
+    let out = std::process::Command::new(exe)
+        .args([
+            "--one",
+            mode,
+            "--scale-lo",
+            &format!("{scale}"),
+            "--shards",
+            &format!("{shards}"),
+            "--budget",
+            &format!("{budget}"),
+            "--threads",
+            &format!("{threads}"),
+        ])
+        .output()
+        .map_err(|e| format!("spawning child failed: {e}"))?;
+    if !out.status.success() {
+        return Err(format!(
+            "child {mode}@{scale} failed: {}",
+            String::from_utf8_lossy(&out.stderr)
+        ));
+    }
+    let body = String::from_utf8_lossy(&out.stdout);
+    let line = body
+        .lines()
+        .find(|l| l.starts_with('{'))
+        .ok_or_else(|| format!("child {mode}@{scale} printed no JSON"))?;
+    let v: serde_json::Value =
+        serde_json::from_str(line).map_err(|e| format!("child JSON invalid: {e}"))?;
+    let u = |k: &str| v.get(k).and_then(serde_json::Value::as_u64).unwrap_or(0);
+    Ok(Measured {
+        label: v
+            .get("label")
+            .and_then(serde_json::Value::as_str)
+            .unwrap_or("?")
+            .to_string(),
+        mode: if v.get("mode").and_then(serde_json::Value::as_str) == Some("exact") {
+            "exact"
+        } else {
+            "digest"
+        },
+        scale: v
+            .get("scale")
+            .and_then(serde_json::Value::as_f64)
+            .unwrap_or(0.0),
+        shards: u("shards") as u32,
+        wall_ns: u("wall_ns"),
+        flows: u("flows"),
+        peak_bytes: u("peak_bytes"),
+        peak_shard_bytes: u("peak_shard_bytes"),
+    })
+}
+
+fn main() -> ExitCode {
+    let mut scale_lo = 0.05f64;
+    let mut scale_hi = 0.5f64;
+    let mut budget: u64 = 16 << 20;
+    let mut threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(2);
+    let mut out = std::path::PathBuf::from("results/BENCH_scale.json");
+    let mut one: Option<String> = None;
+    let mut shards_arg: u32 = 1;
+    let mut it = std::env::args().skip(1);
+    let usage = "usage: scale_overhead [--scale-lo S] [--scale-hi S] [--budget BYTES] [--threads N] [--out FILE]";
+    while let Some(a) = it.next() {
+        let mut num = |flag: &str| -> Result<f64, String> {
+            it.next()
+                .and_then(|v| v.parse().ok())
+                .ok_or_else(|| format!("{flag} needs a number"))
+        };
+        let r = match a.as_str() {
+            "--scale-lo" => num("--scale-lo").map(|v| scale_lo = v),
+            "--scale-hi" => num("--scale-hi").map(|v| scale_hi = v),
+            "--budget" => num("--budget").map(|v| budget = v as u64),
+            "--threads" => num("--threads").map(|v| threads = (v as usize).max(1)),
+            "--shards" => num("--shards").map(|v| shards_arg = (v as u32).max(1)),
+            "--one" => {
+                one = it.next();
+                if one.is_none() {
+                    Err("--one needs a mode (exact|digest)".to_string())
+                } else {
+                    Ok(())
+                }
+            }
+            "--out" => {
+                out = match it.next() {
+                    Some(p) => p.into(),
+                    None => {
+                        eprintln!("scale_overhead: --out needs a path");
+                        return ExitCode::from(2);
+                    }
+                };
+                Ok(())
+            }
+            other => Err(format!("unknown argument {other}; {usage}")),
+        };
+        if let Err(msg) = r {
+            eprintln!("scale_overhead: {msg}");
+            return ExitCode::from(2);
+        }
+    }
+
+    // Child mode: run one configuration, print one JSON line, exit.
+    if let Some(mode) = one {
+        return match run_one(&mode, scale_lo, shards_arg, budget, threads) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(msg) => {
+                eprintln!("scale_overhead: {msg}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    eprintln!(
+        "scale pair {scale_lo} -> {scale_hi} ({}x), budget {:.0} MiB, {threads} threads",
+        scale_hi / scale_lo,
+        budget as f64 / (1 << 20) as f64
+    );
+
+    // Exact K sweep at the low scale: the sharding-overhead curve.
+    let mut sweep: Vec<Measured> = Vec::new();
+    for k in [1u32, 2, 4] {
+        match spawn_one("exact", scale_lo, k, budget, threads) {
+            Ok(m) => {
+                eprintln!(
+                    "exact K={k}: {:.1} ns/flow, peak {:.1} MiB",
+                    m.ns_per_flow(),
+                    m.peak_bytes as f64 / (1 << 20) as f64
+                );
+                sweep.push(m);
+            }
+            Err(msg) => {
+                eprintln!("scale_overhead: {msg}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    // The 10x digest pair under one budget.
+    let mut pair: Vec<Measured> = Vec::new();
+    for scale in [scale_lo, scale_hi] {
+        match spawn_one("digest", scale, 0, budget, threads) {
+            Ok(m) => {
+                eprintln!(
+                    "digest @{scale}: {} shards, {:.1} ns/flow, peak {:.1} MiB",
+                    m.shards,
+                    m.ns_per_flow(),
+                    m.peak_bytes as f64 / (1 << 20) as f64
+                );
+                pair.push(m);
+            }
+            Err(msg) => {
+                eprintln!("scale_overhead: {msg}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let overhead_k4_pct =
+        100.0 * (sweep[2].ns_per_flow() - sweep[0].ns_per_flow()) / sweep[0].ns_per_flow();
+    let scale_ratio = scale_hi / scale_lo;
+    let peak_ratio = pair[1].peak_bytes as f64 / pair[0].peak_bytes.max(1) as f64;
+    let flows_ratio = pair[1].flows as f64 / pair[0].flows.max(1) as f64;
+
+    let runs: Vec<String> = sweep
+        .iter()
+        .chain(pair.iter())
+        .map(Measured::to_json)
+        .collect();
+    let json = format!(
+        concat!(
+            "{{\"bench\":\"scale_overhead\",\"scale_lo\":{},\"scale_hi\":{},",
+            "\"scale_ratio\":{:.1},\"budget_bytes\":{},\"threads\":{},",
+            "\"exact_overhead_k4_pct\":{:.2},",
+            "\"digest_flows_ratio\":{:.2},\"digest_peak_ratio_10x\":{:.3},",
+            "\"peak_within_2x\":{},\"runs\":[{}]}}"
+        ),
+        scale_lo,
+        scale_hi,
+        scale_ratio,
+        budget,
+        threads,
+        overhead_k4_pct,
+        flows_ratio,
+        peak_ratio,
+        peak_ratio <= 2.0,
+        runs.join(","),
+    );
+    if let Some(parent) = out.parent() {
+        if !parent.as_os_str().is_empty() {
+            if let Err(e) = std::fs::create_dir_all(parent) {
+                eprintln!("scale_overhead: creating {} failed: {e}", parent.display());
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if let Err(e) = std::fs::write(&out, &json) {
+        eprintln!("scale_overhead: writing {} failed: {e}", out.display());
+        return ExitCode::FAILURE;
+    }
+    println!("{json}");
+    eprintln!("written to {}", out.display());
+
+    // The headline gate: population grew {scale_ratio}x, flows grew
+    // ~{flows_ratio}x, peak allocation must stay within 2x.
+    if peak_ratio > 2.0 {
+        eprintln!(
+            "scale_overhead: digest peak grew {peak_ratio:.2}x across the {scale_ratio:.0}x scale pair (>2x budget)"
+        );
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

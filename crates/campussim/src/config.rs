@@ -51,6 +51,7 @@ impl fmt::Display for ConfigError {
 impl std::error::Error for ConfigError {}
 
 /// Top-level simulation configuration.
+#[derive(Clone)]
 pub struct SimConfig {
     /// Master seed; every random choice derives from it.
     pub seed: u64,
@@ -67,13 +68,6 @@ pub struct SimConfig {
     /// Probability an international student stays (higher: flights home
     /// were scarce, §4.2).
     pub intl_stay_rate: f64,
-    /// When `false`, generate the 2019-style counterfactual: no pandemic
-    /// events, no departures, behaviour locked to the pre-emergency
-    /// profile all term. Used for the "+53% vs 2019" statistic.
-    #[deprecated(note = "select a Scenario instead: `pandemic: false` is a shim for \
-                `scenario.counterfactual()` (the built-in `baseline-2019` \
-                for the default config); see SimConfig::resolved_scenario")]
-    pub pandemic: bool,
     /// Year-over-year secular traffic growth applied to 2020 baselines
     /// relative to the 2019 counterfactual (≈3%/yr keeps the paper's
     /// 58%-vs-Feb and 53%-vs-2019 statistics distinct).
@@ -81,20 +75,13 @@ pub struct SimConfig {
     /// Anonymization key for MAC → DeviceId (§3 privacy controls).
     pub anon_key: u64,
     /// The timeline/policy/behaviour scenario driving the model layer.
-    /// Defaults to the built-in `paper-2020`; when [`pandemic`] is
-    /// `false` the run resolves to this scenario's counterfactual twin
-    /// instead (see [`SimConfig::resolved_scenario`]).
-    ///
-    /// [`pandemic`]: SimConfig::pandemic
+    /// Defaults to the built-in `paper-2020`. For the 2019-style
+    /// counterfactual twin of a config, use
+    /// [`Scenario::counterfactual_of`].
     pub scenario: Scenario,
 }
 
 impl Default for SimConfig {
-    // The one sanctioned *construction* of the deprecated `pandemic`
-    // shim field: every other internal site goes through `clone` (and
-    // thus functional update from this value) or the
-    // `shim_pandemic`/`with_shim_pandemic` accessors below.
-    #[allow(deprecated)]
     fn default() -> Self {
         SimConfig {
             seed: 0x5eed_2020,
@@ -103,7 +90,6 @@ impl Default for SimConfig {
             intl_fraction: 0.25,
             domestic_stay_rate: 0.115,
             intl_stay_rate: 0.148,
-            pandemic: true,
             yoy_growth: 1.03,
             anon_key: 0x0a0a_0a0a_5a5a_5a5a,
             scenario: Scenario::default(),
@@ -111,29 +97,14 @@ impl Default for SimConfig {
     }
 }
 
-impl Clone for SimConfig {
-    fn clone(&self) -> Self {
-        SimConfig {
-            seed: self.seed,
-            scale: self.scale,
-            base_students: self.base_students,
-            intl_fraction: self.intl_fraction,
-            domestic_stay_rate: self.domestic_stay_rate,
-            intl_stay_rate: self.intl_stay_rate,
-            yoy_growth: self.yoy_growth,
-            anon_key: self.anon_key,
-            scenario: self.scenario.clone(),
-            ..Self::default()
-        }
-        .with_shim_pandemic(self.shim_pandemic())
-    }
-}
-
-/// Matches the former `#[derive(Debug)]` output byte-for-byte for
-/// configs running the stock paper scenario, so the manifest
-/// `config_hash` (an FNV-1a over `format!("{cfg:?}")`) is stable across
-/// the scenario-engine introduction. Non-default scenarios append their
-/// name and content hash, giving distinct hashes per scenario cell.
+/// Matches the pre-scenario-engine `#[derive(Debug)]` output
+/// byte-for-byte for configs running the stock paper scenario, so the
+/// manifest `config_hash` (an FNV-1a over `format!("{cfg:?}")`) is
+/// stable across both the scenario-engine introduction and the removal
+/// of the legacy `pandemic` field: the printed `pandemic` flag is now
+/// *derived* from the scenario (`true` iff it has pandemic-era events).
+/// Non-default scenarios append their name and content hash, giving
+/// distinct hashes per scenario cell.
 impl fmt::Debug for SimConfig {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let mut s = f.debug_struct("SimConfig");
@@ -143,7 +114,7 @@ impl fmt::Debug for SimConfig {
             .field("intl_fraction", &self.intl_fraction)
             .field("domestic_stay_rate", &self.domestic_stay_rate)
             .field("intl_stay_rate", &self.intl_stay_rate)
-            .field("pandemic", &self.shim_pandemic())
+            .field("pandemic", &!self.scenario.is_baseline())
             .field("yoy_growth", &self.yoy_growth)
             .field("anon_key", &self.anon_key);
         if !self.scenario.is_paper_default() {
@@ -157,27 +128,6 @@ impl fmt::Debug for SimConfig {
 }
 
 impl SimConfig {
-    /// The one sanctioned *read* of the deprecated [`pandemic`] shim
-    /// field; internal code calls this instead of carrying its own
-    /// `#[allow(deprecated)]`.
-    ///
-    /// [`pandemic`]: SimConfig::pandemic
-    #[allow(deprecated)]
-    pub(crate) fn shim_pandemic(&self) -> bool {
-        self.pandemic
-    }
-
-    /// The one sanctioned *write* of the deprecated [`pandemic`] shim
-    /// field (see [`shim_pandemic`]).
-    ///
-    /// [`pandemic`]: SimConfig::pandemic
-    /// [`shim_pandemic`]: SimConfig::shim_pandemic
-    #[allow(deprecated)]
-    pub(crate) fn with_shim_pandemic(mut self, on: bool) -> Self {
-        self.pandemic = on;
-        self
-    }
-
     /// Config with a given scale, other knobs default.
     pub fn at_scale(scale: f64) -> Self {
         SimConfig {
@@ -214,25 +164,12 @@ impl SimConfig {
         Ok(())
     }
 
-    /// The scenario this config actually runs: the attached scenario
-    /// when [`pandemic`] is `true`, otherwise its counterfactual twin
-    /// (for the default config, the built-in `baseline-2019`). This is
-    /// the single place the deprecated boolean is interpreted.
-    ///
-    /// [`pandemic`]: SimConfig::pandemic
+    /// The scenario this config runs. Kept as the single resolution
+    /// point the generator and population code call (historically this
+    /// interpreted the legacy `pandemic` boolean; today the scenario
+    /// field is authoritative).
     pub fn resolved_scenario(&self) -> Scenario {
-        if self.shim_pandemic() {
-            self.scenario.clone()
-        } else {
-            self.scenario.counterfactual()
-        }
-    }
-
-    /// The counterfactual (2019) version of this config: same population
-    /// and seed, pandemic disabled.
-    #[deprecated(note = "use Scenario::counterfactual_of(&cfg) instead")]
-    pub fn counterfactual(&self) -> Self {
-        Scenario::counterfactual_of(self)
+        self.scenario.clone()
     }
 }
 
@@ -292,21 +229,22 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)] // exercises the legacy shim external callers still use
-    fn counterfactual_shim_only_flips_pandemic() {
+    fn counterfactual_of_swaps_in_the_baseline_scenario() {
         let c = SimConfig::default();
-        let cf = c.counterfactual();
-        assert!(!cf.pandemic);
+        let cf = Scenario::counterfactual_of(&c);
+        assert_eq!(cf.scenario.name, "baseline-2019");
+        assert!(cf.scenario.is_baseline());
         assert_eq!(cf.yoy_growth, 1.0);
         assert_eq!(cf.seed, c.seed);
         assert_eq!(cf.num_students(), c.num_students());
-        // The shim and its successor agree.
-        let cf2 = Scenario::counterfactual_of(&c);
-        assert_eq!(format!("{cf:?}"), format!("{cf2:?}"));
+        // The twin advertises itself in Debug (and thus the config hash).
+        let dbg = format!("{cf:?}");
+        assert!(dbg.contains("pandemic: false"));
+        assert!(dbg.contains("scenario: \"baseline-2019\""));
     }
 
     #[test]
-    fn resolved_scenario_maps_pandemic_bool() {
+    fn resolved_scenario_is_the_attached_scenario() {
         let c = SimConfig::default();
         assert_eq!(c.resolved_scenario().name, "paper-2020");
         let cf = Scenario::counterfactual_of(&c);
@@ -317,7 +255,7 @@ mod tests {
     fn debug_output_matches_legacy_derive_for_paper_scenario() {
         // The manifest config hash is FNV-1a over this string; it must
         // not move for stock-paper runs when the scenario field rides
-        // along.
+        // along (or when the legacy boolean field is gone, as now).
         let c = SimConfig::default();
         let dbg = format!("{c:?}");
         assert_eq!(

@@ -231,12 +231,30 @@ pub struct FaultingSink<'a, S: DaySink> {
 impl<'a, S: DaySink> FaultingSink<'a, S> {
     /// Wrap `inner` for `day`. The RNG is keyed by (profile seed, day),
     /// so the same day corrupts identically on any worker and any
-    /// attempt.
+    /// attempt. Equivalent to [`for_shard`](Self::for_shard) with
+    /// shard 0 (the monolithic / single-shard path).
     pub fn new(profile: &'a FaultProfile, day: Day, inner: &'a mut S) -> Self {
+        Self::for_shard(profile, day, 0, inner)
+    }
+
+    /// Wrap `inner` for `day` of population shard `shard`. The RNG is
+    /// keyed by (profile seed, day, shard): each shard gets its own
+    /// deterministic fault weather, reproducible on any worker and any
+    /// attempt. Shard 0 reproduces the pre-sharding [`new`](Self::new)
+    /// stream exactly, so single-shard faulted runs stay bit-identical
+    /// to historic output. Fault *positions* are positional within a
+    /// shard's stream by design, so faulted figures are comparable
+    /// across thread counts but not across different K.
+    pub fn for_shard(profile: &'a FaultProfile, day: Day, shard: u32, inner: &'a mut S) -> Self {
         FaultingSink {
             inner,
             profile,
-            rng: rng::rng_for(profile.seed, Stream::Faults, u64::from(day.0), 0),
+            rng: rng::rng_for(
+                profile.seed,
+                Stream::Faults,
+                u64::from(day.0),
+                u64::from(shard),
+            ),
             stats: FaultStats::default(),
         }
     }

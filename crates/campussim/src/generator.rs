@@ -23,6 +23,7 @@ use nettrace::{DeviceId, Timestamp};
 use rand::rngs::SmallRng;
 use rand::Rng;
 use std::net::Ipv4Addr;
+use std::sync::Arc;
 
 /// A User-Agent observation from cleartext HTTP metadata.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -150,26 +151,38 @@ impl DaySink for DayTrace {
     }
 }
 
-/// The synthetic campus.
+/// The synthetic campus — the whole of it, or one population shard.
 pub struct CampusSim {
     cfg: SimConfig,
-    /// The resolved scenario (the config's scenario, or its
-    /// counterfactual twin when the legacy `pandemic` shim is false),
-    /// cached once so the per-flow hot path never re-resolves it.
+    /// The resolved scenario, cached once so the per-flow hot path
+    /// never re-resolves it.
     scenario: Scenario,
     /// Effective year-over-year growth (scenario override or config knob).
     yoy: f64,
     population: Population,
-    directory: ServiceDirectory,
+    directory: Arc<ServiceDirectory>,
 }
 
 impl CampusSim {
     /// Build the campus for a configuration.
     pub fn new(cfg: SimConfig) -> Self {
+        let population = Population::build(&cfg);
+        let directory = Arc::new(ServiceDirectory::build());
+        Self::for_shard(cfg, population, directory)
+    }
+
+    /// Build a campus over one population shard (or any pre-built
+    /// population), sharing the service directory across shards. The
+    /// generator keys every RNG stream on global device indices, so a
+    /// shard sim emits bit-identically to the same devices inside a
+    /// monolithic sim.
+    pub fn for_shard(
+        cfg: SimConfig,
+        population: Population,
+        directory: Arc<ServiceDirectory>,
+    ) -> Self {
         let scenario = cfg.resolved_scenario();
         let yoy = scenario.effective_yoy(cfg.yoy_growth);
-        let population = Population::build(&cfg);
-        let directory = ServiceDirectory::build();
         CampusSim {
             cfg,
             scenario,
@@ -177,6 +190,12 @@ impl CampusSim {
             population,
             directory,
         }
+    }
+
+    /// A clonable handle on the shared service directory (for building
+    /// further shard sims without rebuilding the world).
+    pub fn directory_handle(&self) -> Arc<ServiceDirectory> {
+        Arc::clone(&self.directory)
     }
 
     /// The configuration.
@@ -373,7 +392,7 @@ impl CampusSim {
                 .devices
                 .iter()
                 .copied()
-                .find(|&i| self.population.devices[i as usize].kind == kind)
+                .find(|&i| self.population.device(i).kind == kind)
         };
         pick(TrueKind::Laptop)
             .or_else(|| pick(TrueKind::Desktop))

@@ -16,6 +16,9 @@
 //! * [`scenario`] — the timeline/policy/behaviour description: named
 //!   phases, departure waves, behaviour curves, loaded from data files;
 //!   the paper's timeline is the built-in `paper-2020` scenario.
+//! * [`shard`] — deterministic population partitioning for
+//!   memory-bounded scale-out: build and drain one shard at a time
+//!   without ever materializing the full device table.
 //! * [`generator`] — day-by-day materialization into traces.
 //! * [`packets`] — optional packet-level rendering of a trace for
 //!   validating the flow assembler end to end.
@@ -35,6 +38,7 @@ pub mod packets;
 pub mod population;
 pub mod rng;
 pub mod scenario;
+pub mod shard;
 
 pub use batch::{Batcher, DayBatch, DayBatchSink};
 pub use config::{ConfigError, SimConfig};
@@ -43,6 +47,7 @@ pub use fault::{FaultProfile, FaultStats, FaultingSink};
 pub use generator::{CampusSim, DayEvent, DayGenStats, DaySink, DayTrace, UaSighting};
 pub use population::{Device, DeviceOs, Population, Student, TrueKind};
 pub use scenario::{Scenario, ScenarioError};
+pub use shard::{PopulationPlan, Shard, ShardSpec};
 
 /// This crate's version, for provenance manifests.
 pub const VERSION: &str = env!("CARGO_PKG_VERSION");

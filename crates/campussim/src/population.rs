@@ -5,10 +5,18 @@
 //! sampled from the mid-March exodus), and a set of devices with real
 //! vendor OUIs, operating systems, and observation quirks (randomized
 //! MACs, silent User-Agents) that feed the classifier's error model.
+//!
+//! Every resident draws all of its attributes from a private RNG stream
+//! (`rng_for(seed, Population, s, 0)`) and every visitor from its own
+//! (`rng_for(seed, Population, v, 1)`), so any contiguous range of
+//! students can be realized independently of the rest of the campus.
+//! That independence is the seam the sharding layer
+//! ([`crate::shard::PopulationPlan`]) is built on: a shard's slice of
+//! the population is bit-identical to the same slice of the full build.
 
 use crate::config::SimConfig;
 use crate::rng::{self, Stream};
-use crate::scenario::WaveSpec;
+use crate::scenario::{Scenario, WaveSpec};
 use devclass::{DeviceType, OuiDb, VendorClass};
 use geoloc::SubPop;
 use nettrace::time::Day;
@@ -70,7 +78,9 @@ pub enum DeviceOs {
 /// One device in the study.
 #[derive(Debug, Clone)]
 pub struct Device {
-    /// Dense device index (stable across runs with the same config).
+    /// Dense device index (stable across runs with the same config, and
+    /// *global* across shards: a sharded build assigns the same indices
+    /// as the monolithic build).
     pub index: u32,
     /// Hardware address.
     pub mac: MacAddr,
@@ -84,7 +94,7 @@ pub struct Device {
     pub randomized_mac: bool,
     /// True when the device emits observable User-Agent strings.
     pub ua_visible: bool,
-    /// Index of the owning student.
+    /// Index of the owning student (global across shards).
     pub owner: u32,
     /// Multiplicative volume factor (log-normal per device, with a
     /// heavy-tail boost on a few IoT/companion devices — the cause of the
@@ -98,7 +108,7 @@ pub struct Device {
 /// One student.
 #[derive(Debug, Clone)]
 pub struct Student {
-    /// Dense student index.
+    /// Dense student index (global across shards).
     pub index: u32,
     /// Sub-population ground truth.
     pub subpop: SubPop,
@@ -111,7 +121,7 @@ pub struct Student {
     /// departure wave reopens (`None` for the paper timeline: nobody
     /// returned in spring 2020).
     pub returns: Option<Day>,
-    /// Indices into the population device vector.
+    /// Global device indices owned by this student.
     pub devices: Vec<u32>,
     /// Is this student a PC gamer (owns/plays Steam)?
     pub steam_gamer: bool,
@@ -142,13 +152,25 @@ impl Student {
     }
 }
 
-/// The whole campus.
+/// The campus — the whole of it (monolithic [`Population::build`], or a
+/// one-shard plan), or one shard's slice of it.
+///
+/// A sharded population keeps *global* student and device indices in its
+/// entries while holding only its own slice of the vectors, so indexed
+/// lookups must go through [`student`](Population::student) and
+/// [`device`](Population::device), which translate global indices to
+/// local slots. For a monolithic build both bases are zero and the
+/// translation is the identity.
 #[derive(Debug)]
 pub struct Population {
-    /// All students.
+    /// The students of this (sub-)population, in global index order.
     pub students: Vec<Student>,
-    /// All devices.
+    /// The devices of this (sub-)population, in global index order.
     pub devices: Vec<Device>,
+    /// Global index of `students[0]`.
+    pub(crate) student_base: u32,
+    /// Global index of `devices[0]`.
+    pub(crate) device_base: u32,
 }
 
 /// Per-kind device prevalence for leavers and stayers. Stayers carry more
@@ -181,23 +203,31 @@ const STAYER: Prevalence = Prevalence {
     companion_mean: 1.35,
 };
 
-impl Population {
-    /// Build the population for `cfg`. Deterministic in `cfg.seed`.
-    ///
-    /// Population structure is driven by the resolved [`Scenario`]: its
-    /// policy block decides whether departures happen at all, which
-    /// wave(s) students leave in and whether they come back, the console
-    /// acquisition window, and the visitor cut-off; its population block
-    /// may override the config's enrollment mix. The per-student RNG
-    /// draw sequence depends only on the wave *structure* (never on
-    /// realized outcomes), so a scenario and its counterfactual twin —
-    /// which keeps the same waves with `departures = false` — build
-    /// bit-identical device inventories.
-    ///
-    /// [`Scenario`]: crate::scenario::Scenario
-    pub fn build(cfg: &SimConfig) -> Population {
+/// Resolved population knobs plus the OUI pools: everything the
+/// per-student realizers need besides the student index. Built once per
+/// build/plan and shared across shards.
+pub(crate) struct PopulationEnv {
+    seed: u64,
+    anon_key: u64,
+    scenario: Scenario,
+    intl_fraction: f64,
+    domestic_stay_rate: f64,
+    intl_stay_rate: f64,
+    multi_wave: bool,
+    any_returns: bool,
+    total_wave_fraction: f64,
+    mobile_ouis: Vec<Oui>,
+    computer_ouis: Vec<Oui>,
+    iot_ouis: Vec<Oui>,
+    ambiguous_ouis: Vec<Oui>,
+    nintendo_ouis: Vec<Oui>,
+    n_residents: usize,
+    n_visitors: usize,
+}
+
+impl PopulationEnv {
+    pub(crate) fn new(cfg: &SimConfig) -> PopulationEnv {
         let scenario = cfg.resolved_scenario();
-        let policy = &scenario.policy;
         let intl_fraction = scenario
             .population
             .intl_fraction
@@ -210,14 +240,10 @@ impl Population {
             .population
             .intl_stay_rate
             .unwrap_or(cfg.intl_stay_rate);
-        let multi_wave = policy.waves.len() > 1;
-        let any_returns = policy.waves.iter().any(|w| w.return_day.is_some());
-        let total_wave_fraction: f64 = policy.waves.iter().map(|w| w.fraction).sum();
+        let multi_wave = scenario.policy.waves.len() > 1;
+        let any_returns = scenario.policy.waves.iter().any(|w| w.return_day.is_some());
+        let total_wave_fraction: f64 = scenario.policy.waves.iter().map(|w| w.fraction).sum();
         let oui_db = OuiDb::builtin();
-        let mobile_ouis = oui_db.ouis_of_class(VendorClass::Mobile);
-        let computer_ouis = oui_db.ouis_of_class(VendorClass::Computer);
-        let iot_ouis = oui_db.ouis_of_class(VendorClass::Iot);
-        let ambiguous_ouis = oui_db.ouis_of_class(VendorClass::Ambiguous);
         let nintendo_ouis: Vec<Oui> = oui_db
             .ouis_of_class(VendorClass::Console)
             .into_iter()
@@ -228,345 +254,471 @@ impl Population {
                 )
             })
             .collect();
+        let n_residents = cfg.num_students();
+        let n_visitors = (n_residents as f64 * 0.30).round() as usize;
+        PopulationEnv {
+            seed: cfg.seed,
+            anon_key: cfg.anon_key,
+            intl_fraction,
+            domestic_stay_rate,
+            intl_stay_rate,
+            multi_wave,
+            any_returns,
+            total_wave_fraction,
+            mobile_ouis: oui_db.ouis_of_class(VendorClass::Mobile),
+            computer_ouis: oui_db.ouis_of_class(VendorClass::Computer),
+            iot_ouis: oui_db.ouis_of_class(VendorClass::Iot),
+            ambiguous_ouis: oui_db.ouis_of_class(VendorClass::Ambiguous),
+            nintendo_ouis,
+            n_residents,
+            n_visitors,
+            scenario,
+        }
+    }
 
-        let n = cfg.num_students();
-        let mut students = Vec::with_capacity(n);
+    /// Number of resident students.
+    pub(crate) fn n_residents(&self) -> usize {
+        self.n_residents
+    }
+
+    /// Number of campus visitors.
+    pub(crate) fn n_visitors(&self) -> usize {
+        self.n_visitors
+    }
+
+    /// Realize resident `s` from its private RNG stream. `device_base`
+    /// is the global index the resident's first device gets; the draw
+    /// sequence never depends on it, so the same resident realizes
+    /// identical attribute values whether built monolithically or
+    /// inside a shard. Returned devices are in emit order.
+    pub(crate) fn realize_resident(&self, s: usize, device_base: u32) -> (Student, Vec<Device>) {
+        let policy = &self.scenario.policy;
+        let mut rng = rng::rng_for(self.seed, Stream::Population, s as u64, 0);
+        let subpop = if rng.gen::<f64>() < self.intl_fraction {
+            SubPop::International
+        } else {
+            SubPop::Domestic
+        };
+        let stay_rate = match subpop {
+            SubPop::Domestic => self.domestic_stay_rate,
+            SubPop::International => self.intl_stay_rate,
+        };
+        // Draw unconditionally so the counterfactual twin consumes
+        // the same RNG stream and realizes a bit-identical
+        // population: one departure-day sample per wave, a
+        // wave-selection draw only when there is more than one wave,
+        // and a return draw only when any wave reopens. None of
+        // these depend on whether departures are *enabled*.
+        let stay_draw = rng.gen::<f64>();
+        let wave_days: Vec<Day> = policy
+            .waves
+            .iter()
+            .map(|w| sample_wave_day(&mut rng, w))
+            .collect();
+        let wave_idx = if self.multi_wave {
+            let pick: f64 = rng.gen::<f64>() * self.total_wave_fraction;
+            let mut acc = 0.0;
+            let mut idx = policy.waves.len() - 1;
+            for (i, w) in policy.waves.iter().enumerate() {
+                acc += w.fraction;
+                if pick < acc {
+                    idx = i;
+                    break;
+                }
+            }
+            idx
+        } else {
+            0
+        };
+        let return_draw = if self.any_returns {
+            rng.gen::<f64>()
+        } else {
+            1.0
+        };
+        let departs = if !policy.departures || stay_draw < stay_rate || wave_days.is_empty() {
+            None
+        } else {
+            Some(wave_days[wave_idx])
+        };
+        let returns = match (departs, policy.waves.get(wave_idx)) {
+            (Some(_), Some(w)) => w
+                .return_day
+                .filter(|_| return_draw < w.return_fraction)
+                .map(Day),
+            _ => None,
+        };
+        // Keyed on the run-invariant stay *draw*, not on realized
+        // departure: device ownership is a selection effect (students
+        // with more gear in the dorm were likelier to stay), so the
+        // 2019 counterfactual realizes the identical inventory.
+        let prev = if stay_draw < stay_rate {
+            &STAYER
+        } else {
+            &LEAVER
+        };
+        let steam_gamer = rng.gen::<f64>()
+            < match subpop {
+                SubPop::Domestic => 0.52,
+                SubPop::International => 0.72,
+            };
+        let leisure_factor = rng::lognormal_med(&mut rng, 1.0, 0.45);
+
         let mut devices: Vec<Device> = Vec::new();
-
-        for s in 0..n {
-            let mut rng = rng::rng_for(cfg.seed, Stream::Population, s as u64, 0);
-            let subpop = if rng.gen::<f64>() < intl_fraction {
-                SubPop::International
-            } else {
-                SubPop::Domestic
-            };
-            let stay_rate = match subpop {
-                SubPop::Domestic => domestic_stay_rate,
-                SubPop::International => intl_stay_rate,
-            };
-            // Draw unconditionally so the counterfactual twin consumes
-            // the same RNG stream and realizes a bit-identical
-            // population: one departure-day sample per wave, a
-            // wave-selection draw only when there is more than one wave,
-            // and a return draw only when any wave reopens. None of
-            // these depend on whether departures are *enabled*.
-            let stay_draw = rng.gen::<f64>();
-            let wave_days: Vec<Day> = policy
-                .waves
-                .iter()
-                .map(|w| sample_wave_day(&mut rng, w))
-                .collect();
-            let wave_idx = if multi_wave {
-                let pick: f64 = rng.gen::<f64>() * total_wave_fraction;
-                let mut acc = 0.0;
-                let mut idx = policy.waves.len() - 1;
-                for (i, w) in policy.waves.iter().enumerate() {
-                    acc += w.fraction;
-                    if pick < acc {
-                        idx = i;
-                        break;
-                    }
+        let mut my_devices = Vec::new();
+        let add = |kind: TrueKind,
+                   devices: &mut Vec<Device>,
+                   my: &mut Vec<u32>,
+                   rng: &mut rand::rngs::SmallRng,
+                   acquired: Option<Day>| {
+            let index = device_base + devices.len() as u32;
+            let (oui, os, randomized, ua_visible) = match kind {
+                TrueKind::Phone => {
+                    let ios = rng.gen::<f64>() < 0.55;
+                    let oui = if ios {
+                        self.ambiguous_ouis[rng.gen_range(0..self.ambiguous_ouis.len())]
+                    } else {
+                        self.mobile_ouis[rng.gen_range(0..self.mobile_ouis.len())]
+                    };
+                    // A sliver of phones browse in desktop-site mode:
+                    // their UA claims a desktop OS, producing the
+                    // paper's rare *affirmative* misclassifications.
+                    let os = if rng.gen::<f64>() < 0.03 {
+                        DeviceOs::Windows
+                    } else if ios {
+                        DeviceOs::Ios
+                    } else {
+                        DeviceOs::Android
+                    };
+                    // Modern phones randomize WiFi MACs ~40% of the time
+                    // in this era; most still emit UAs via app traffic.
+                    (oui, os, rng.gen::<f64>() < 0.40, rng.gen::<f64>() < 0.84)
                 }
-                idx
-            } else {
-                0
-            };
-            let return_draw = if any_returns { rng.gen::<f64>() } else { 1.0 };
-            let departs = if !policy.departures || stay_draw < stay_rate || wave_days.is_empty() {
-                None
-            } else {
-                Some(wave_days[wave_idx])
-            };
-            let returns = match (departs, policy.waves.get(wave_idx)) {
-                (Some(_), Some(w)) => w
-                    .return_day
-                    .filter(|_| return_draw < w.return_fraction)
-                    .map(Day),
-                _ => None,
-            };
-            // Keyed on the run-invariant stay *draw*, not on realized
-            // departure: device ownership is a selection effect (students
-            // with more gear in the dorm were likelier to stay), so the
-            // 2019 counterfactual realizes the identical inventory.
-            let prev = if stay_draw < stay_rate {
-                &STAYER
-            } else {
-                &LEAVER
-            };
-            let steam_gamer = rng.gen::<f64>()
-                < match subpop {
-                    SubPop::Domestic => 0.52,
-                    SubPop::International => 0.72,
-                };
-            let leisure_factor = rng::lognormal_med(&mut rng, 1.0, 0.45);
-
-            let mut my_devices = Vec::new();
-            let add = |kind: TrueKind,
-                       devices: &mut Vec<Device>,
-                       my: &mut Vec<u32>,
-                       rng: &mut rand::rngs::SmallRng,
-                       acquired: Option<Day>| {
-                let index = devices.len() as u32;
-                let (oui, os, randomized, ua_visible) = match kind {
-                    TrueKind::Phone => {
-                        let ios = rng.gen::<f64>() < 0.55;
-                        let oui = if ios {
-                            ambiguous_ouis[rng.gen_range(0..ambiguous_ouis.len())]
-                        } else {
-                            mobile_ouis[rng.gen_range(0..mobile_ouis.len())]
-                        };
-                        // A sliver of phones browse in desktop-site mode:
-                        // their UA claims a desktop OS, producing the
-                        // paper's rare *affirmative* misclassifications.
-                        let os = if rng.gen::<f64>() < 0.03 {
-                            DeviceOs::Windows
-                        } else if ios {
-                            DeviceOs::Ios
-                        } else {
-                            DeviceOs::Android
-                        };
-                        // Modern phones randomize WiFi MACs ~40% of the time
-                        // in this era; most still emit UAs via app traffic.
-                        (oui, os, rng.gen::<f64>() < 0.40, rng.gen::<f64>() < 0.84)
-                    }
-                    TrueKind::Laptop => {
-                        let mac_book = rng.gen::<f64>() < 0.45;
-                        let oui = if mac_book {
-                            ambiguous_ouis[rng.gen_range(0..ambiguous_ouis.len())]
-                        } else {
-                            computer_ouis[rng.gen_range(0..computer_ouis.len())]
-                        };
-                        let os = if mac_book {
-                            DeviceOs::MacOs
-                        } else if rng.gen::<f64>() < 0.92 {
-                            DeviceOs::Windows
-                        } else {
-                            DeviceOs::Linux
-                        };
-                        (oui, os, rng.gen::<f64>() < 0.08, rng.gen::<f64>() < 0.85)
-                    }
-                    TrueKind::Desktop => {
-                        let oui = computer_ouis[rng.gen_range(0..computer_ouis.len())];
-                        (oui, DeviceOs::Windows, false, rng.gen::<f64>() < 0.85)
-                    }
-                    TrueKind::Iot => {
-                        let oui = iot_ouis[rng.gen_range(0..iot_ouis.len())];
-                        (oui, DeviceOs::None, false, false)
-                    }
-                    TrueKind::Switch => {
-                        let oui = nintendo_ouis[rng.gen_range(0..nintendo_ouis.len())];
-                        (oui, DeviceOs::None, false, false)
-                    }
-                    TrueKind::Companion => {
-                        // Tablets/e-readers: ambiguous vendor or randomized
-                        // address. A quarter browse with a recognizable
-                        // mobile UA (classifiable tablets); the rest never
-                        // speak observable HTTP — the paper's conservative
-                        // "unknown" devices.
-                        let oui = ambiguous_ouis[rng.gen_range(0..ambiguous_ouis.len())];
-                        let tablet_ua = rng.gen::<f64>() < 0.18;
-                        let os = if tablet_ua {
-                            DeviceOs::Ios
-                        } else {
-                            DeviceOs::None
-                        };
-                        (oui, os, rng.gen::<f64>() < 0.6, tablet_ua)
-                    }
-                };
-                let mut mac = MacAddr::from_oui_suffix(oui, index);
-                if randomized {
-                    // Set the locally-administered bit, as OS randomization
-                    // does; the original OUI is no longer meaningful.
-                    let mut octets = mac.0;
-                    octets[0] |= 0x02;
-                    octets[1] ^= (index >> 3) as u8; // decouple from vendor
-                    mac = MacAddr(octets);
+                TrueKind::Laptop => {
+                    let mac_book = rng.gen::<f64>() < 0.45;
+                    let oui = if mac_book {
+                        self.ambiguous_ouis[rng.gen_range(0..self.ambiguous_ouis.len())]
+                    } else {
+                        self.computer_ouis[rng.gen_range(0..self.computer_ouis.len())]
+                    };
+                    let os = if mac_book {
+                        DeviceOs::MacOs
+                    } else if rng.gen::<f64>() < 0.92 {
+                        DeviceOs::Windows
+                    } else {
+                        DeviceOs::Linux
+                    };
+                    (oui, os, rng.gen::<f64>() < 0.08, rng.gen::<f64>() < 0.85)
                 }
-                // Device-level volume heterogeneity; a few IoT/companion
-                // devices are extreme (always-on cameras, seed boxes).
-                let mut volume_factor = rng::lognormal_med(rng, 1.0, 0.55);
-                if matches!(kind, TrueKind::Iot | TrueKind::Companion) && rng.gen::<f64>() < 0.03 {
-                    volume_factor *= rng.gen_range(80.0..400.0);
+                TrueKind::Desktop => {
+                    let oui = self.computer_ouis[rng.gen_range(0..self.computer_ouis.len())];
+                    (oui, DeviceOs::Windows, false, rng.gen::<f64>() < 0.85)
                 }
-                devices.push(Device {
-                    index,
-                    mac,
-                    id: DeviceId::anonymize(mac, 0), // re-keyed below
-                    kind,
-                    os,
-                    randomized_mac: randomized,
-                    ua_visible,
-                    owner: s as u32,
-                    volume_factor,
-                    acquired,
-                });
-                my.push(index);
+                TrueKind::Iot => {
+                    let oui = self.iot_ouis[rng.gen_range(0..self.iot_ouis.len())];
+                    (oui, DeviceOs::None, false, false)
+                }
+                TrueKind::Switch => {
+                    let oui = self.nintendo_ouis[rng.gen_range(0..self.nintendo_ouis.len())];
+                    (oui, DeviceOs::None, false, false)
+                }
+                TrueKind::Companion => {
+                    // Tablets/e-readers: ambiguous vendor or randomized
+                    // address. A quarter browse with a recognizable
+                    // mobile UA (classifiable tablets); the rest never
+                    // speak observable HTTP — the paper's conservative
+                    // "unknown" devices.
+                    let oui = self.ambiguous_ouis[rng.gen_range(0..self.ambiguous_ouis.len())];
+                    let tablet_ua = rng.gen::<f64>() < 0.18;
+                    let os = if tablet_ua {
+                        DeviceOs::Ios
+                    } else {
+                        DeviceOs::None
+                    };
+                    (oui, os, rng.gen::<f64>() < 0.6, tablet_ua)
+                }
             };
-
-            if rng.gen::<f64>() < prev.phone {
-                add(
-                    TrueKind::Phone,
-                    &mut devices,
-                    &mut my_devices,
-                    &mut rng,
-                    None,
-                );
+            let mut mac = MacAddr::from_oui_suffix(oui, index);
+            if randomized {
+                // Set the locally-administered bit, as OS randomization
+                // does; the original OUI is no longer meaningful.
+                let mut octets = mac.0;
+                octets[0] |= 0x02;
+                octets[1] ^= (index >> 3) as u8; // decouple from vendor
+                mac = MacAddr(octets);
             }
-            if rng.gen::<f64>() < prev.laptop {
-                add(
-                    TrueKind::Laptop,
-                    &mut devices,
-                    &mut my_devices,
-                    &mut rng,
-                    None,
-                );
+            // Device-level volume heterogeneity; a few IoT/companion
+            // devices are extreme (always-on cameras, seed boxes).
+            let mut volume_factor = rng::lognormal_med(rng, 1.0, 0.55);
+            if matches!(kind, TrueKind::Iot | TrueKind::Companion) && rng.gen::<f64>() < 0.03 {
+                volume_factor *= rng.gen_range(80.0..400.0);
             }
-            if rng.gen::<f64>() < prev.desktop {
-                add(
-                    TrueKind::Desktop,
-                    &mut devices,
-                    &mut my_devices,
-                    &mut rng,
-                    None,
-                );
-            }
-            for _ in 0..rng::poisson(&mut rng, prev.iot_mean) {
-                add(TrueKind::Iot, &mut devices, &mut my_devices, &mut rng, None);
-            }
-            let has_switch = rng.gen::<f64>() < prev.switch_;
-            let buys_switch = rng.gen::<f64>() < 0.028;
-            let buy_day = Day(rng.gen_range(policy.console_buy_start..policy.console_buy_end));
-            if has_switch {
-                add(
-                    TrueKind::Switch,
-                    &mut devices,
-                    &mut my_devices,
-                    &mut rng,
-                    None,
-                );
-            } else if stay_draw < stay_rate && buys_switch {
-                // Lock-down console purchases (Animal Crossing effect,
-                // §5.3.2): a new Switch appears inside the scenario's buy
-                // window. The branch condition must not depend on whether
-                // acquisitions are *enabled*, so the counterfactual
-                // realizes the identical device list (there the console
-                // simply exists all along).
-                let acquired = policy.console_acquisitions.then_some(buy_day);
-                add(
-                    TrueKind::Switch,
-                    &mut devices,
-                    &mut my_devices,
-                    &mut rng,
-                    acquired,
-                );
-            }
-            for _ in 0..rng::poisson(&mut rng, prev.companion_mean) {
-                add(
-                    TrueKind::Companion,
-                    &mut devices,
-                    &mut my_devices,
-                    &mut rng,
-                    None,
-                );
-            }
-            // Everyone has at least a phone: guarantee non-empty inventory.
-            if my_devices.is_empty() {
-                add(
-                    TrueKind::Phone,
-                    &mut devices,
-                    &mut my_devices,
-                    &mut rng,
-                    None,
-                );
-            }
-
-            students.push(Student {
-                index: s as u32,
-                subpop,
-                arrives: Day(0),
-                departs,
-                returns,
-                devices: my_devices,
-                steam_gamer,
-                leisure_factor,
-                visitor: false,
+            devices.push(Device {
+                index,
+                mac,
+                id: DeviceId::anonymize(mac, self.anon_key),
+                kind,
+                os,
+                randomized_mac: randomized,
+                ua_visible,
+                owner: s as u32,
+                volume_factor,
+                acquired,
             });
+            my.push(index);
+        };
+
+        if rng.gen::<f64>() < prev.phone {
+            add(
+                TrueKind::Phone,
+                &mut devices,
+                &mut my_devices,
+                &mut rng,
+                None,
+            );
+        }
+        if rng.gen::<f64>() < prev.laptop {
+            add(
+                TrueKind::Laptop,
+                &mut devices,
+                &mut my_devices,
+                &mut rng,
+                None,
+            );
+        }
+        if rng.gen::<f64>() < prev.desktop {
+            add(
+                TrueKind::Desktop,
+                &mut devices,
+                &mut my_devices,
+                &mut rng,
+                None,
+            );
+        }
+        for _ in 0..rng::poisson(&mut rng, prev.iot_mean) {
+            add(TrueKind::Iot, &mut devices, &mut my_devices, &mut rng, None);
+        }
+        let has_switch = rng.gen::<f64>() < prev.switch_;
+        let buys_switch = rng.gen::<f64>() < 0.028;
+        let buy_day = Day(rng.gen_range(policy.console_buy_start..policy.console_buy_end));
+        if has_switch {
+            add(
+                TrueKind::Switch,
+                &mut devices,
+                &mut my_devices,
+                &mut rng,
+                None,
+            );
+        } else if stay_draw < stay_rate && buys_switch {
+            // Lock-down console purchases (Animal Crossing effect,
+            // §5.3.2): a new Switch appears inside the scenario's buy
+            // window. The branch condition must not depend on whether
+            // acquisitions are *enabled*, so the counterfactual
+            // realizes the identical device list (there the console
+            // simply exists all along).
+            let acquired = policy.console_acquisitions.then_some(buy_day);
+            add(
+                TrueKind::Switch,
+                &mut devices,
+                &mut my_devices,
+                &mut rng,
+                acquired,
+            );
+        }
+        for _ in 0..rng::poisson(&mut rng, prev.companion_mean) {
+            add(
+                TrueKind::Companion,
+                &mut devices,
+                &mut my_devices,
+                &mut rng,
+                None,
+            );
+        }
+        // Everyone has at least a phone: guarantee non-empty inventory.
+        if my_devices.is_empty() {
+            add(
+                TrueKind::Phone,
+                &mut devices,
+                &mut my_devices,
+                &mut rng,
+                None,
+            );
         }
 
+        let student = Student {
+            index: s as u32,
+            subpop,
+            arrives: Day(0),
+            departs,
+            returns,
+            devices: my_devices,
+            steam_gamer,
+            leisure_factor,
+            visitor: false,
+        };
+        (student, devices)
+    }
+
+    /// Realize visitor `v` from its private RNG stream. `s_index` is the
+    /// visitor's global student index (`n_residents + v`) and
+    /// `device_base` the global index of its first device; neither
+    /// affects the draw sequence.
+    pub(crate) fn realize_visitor(
+        &self,
+        v: usize,
+        s_index: u32,
+        device_base: u32,
+    ) -> (Student, Vec<Device>) {
         // Campus visitors: short-stay guests whose devices appear for a
         // few days and must be discarded by the §3 visitor filter. The
         // lock-down banned visitors, so every window ends at the
         // scenario's visitor cut-off (the stay-at-home order in the
         // paper timeline).
-        let n_visitors = (n as f64 * 0.30).round() as usize;
-        for v in 0..n_visitors {
-            let mut rng = rng::rng_for(cfg.seed, Stream::Population, v as u64, 1);
-            let arrive = Day(rng.gen_range(0..42));
-            let stay_days: u16 = 1 + rng.gen_range(0..6);
-            let depart = Day((arrive.0 + stay_days).min(policy.visitor_cutoff));
-            let s_index = students.len() as u32;
-            let mut my_devices = Vec::new();
-            // Visitors bring a phone; a third also carry a laptop.
-            let phone_ios = rng.gen::<f64>() < 0.55;
-            let (oui, os) = if phone_ios {
-                (
-                    ambiguous_ouis[rng.gen_range(0..ambiguous_ouis.len())],
-                    DeviceOs::Ios,
-                )
-            } else {
-                (
-                    mobile_ouis[rng.gen_range(0..mobile_ouis.len())],
-                    DeviceOs::Android,
-                )
+        let policy = &self.scenario.policy;
+        let mut rng = rng::rng_for(self.seed, Stream::Population, v as u64, 1);
+        let arrive = Day(rng.gen_range(0..42));
+        let stay_days: u16 = 1 + rng.gen_range(0..6);
+        let depart = Day((arrive.0 + stay_days).min(policy.visitor_cutoff));
+        let mut devices: Vec<Device> = Vec::new();
+        let mut my_devices = Vec::new();
+        // Visitors bring a phone; a third also carry a laptop.
+        let phone_ios = rng.gen::<f64>() < 0.55;
+        let (oui, os) = if phone_ios {
+            (
+                self.ambiguous_ouis[rng.gen_range(0..self.ambiguous_ouis.len())],
+                DeviceOs::Ios,
+            )
+        } else {
+            (
+                self.mobile_ouis[rng.gen_range(0..self.mobile_ouis.len())],
+                DeviceOs::Android,
+            )
+        };
+        let mut push_visitor_device =
+            |kind: TrueKind, oui: Oui, os: DeviceOs, rng: &mut rand::rngs::SmallRng| {
+                let index = device_base + devices.len() as u32;
+                let randomized = rng.gen::<f64>() < 0.5;
+                let mut mac = MacAddr::from_oui_suffix(oui, 0x40_0000 + index);
+                if randomized {
+                    let mut octets = mac.0;
+                    octets[0] |= 0x02;
+                    mac = MacAddr(octets);
+                }
+                devices.push(Device {
+                    index,
+                    mac,
+                    id: DeviceId::anonymize(mac, self.anon_key),
+                    kind,
+                    os,
+                    randomized_mac: randomized,
+                    ua_visible: rng.gen::<f64>() < 0.6,
+                    owner: s_index,
+                    volume_factor: rng::lognormal_med(rng, 1.0, 0.5),
+                    acquired: None,
+                });
+                my_devices.push(index);
             };
-            let mut push_visitor_device =
-                |kind: TrueKind, oui: Oui, os: DeviceOs, rng: &mut rand::rngs::SmallRng| {
-                    let index = devices.len() as u32;
-                    let randomized = rng.gen::<f64>() < 0.5;
-                    let mut mac = MacAddr::from_oui_suffix(oui, 0x40_0000 + index);
-                    if randomized {
-                        let mut octets = mac.0;
-                        octets[0] |= 0x02;
-                        mac = MacAddr(octets);
-                    }
-                    devices.push(Device {
-                        index,
-                        mac,
-                        id: DeviceId::anonymize(mac, 0),
-                        kind,
-                        os,
-                        randomized_mac: randomized,
-                        ua_visible: rng.gen::<f64>() < 0.6,
-                        owner: s_index,
-                        volume_factor: rng::lognormal_med(rng, 1.0, 0.5),
-                        acquired: None,
-                    });
-                    my_devices.push(index);
-                };
-            push_visitor_device(TrueKind::Phone, oui, os, &mut rng);
-            if rng.gen::<f64>() < 0.33 {
-                let oui = computer_ouis[rng.gen_range(0..computer_ouis.len())];
-                push_visitor_device(TrueKind::Laptop, oui, DeviceOs::Windows, &mut rng);
-            }
-            students.push(Student {
-                index: s_index,
-                subpop: SubPop::Domestic,
-                arrives: arrive,
-                departs: Some(depart),
-                returns: None,
-                devices: my_devices,
-                steam_gamer: false,
-                leisure_factor: rng::lognormal_med(&mut rng, 1.0, 0.4),
-                visitor: true,
-            });
+        push_visitor_device(TrueKind::Phone, oui, os, &mut rng);
+        if rng.gen::<f64>() < 0.33 {
+            let oui = self.computer_ouis[rng.gen_range(0..self.computer_ouis.len())];
+            push_visitor_device(TrueKind::Laptop, oui, DeviceOs::Windows, &mut rng);
         }
+        let student = Student {
+            index: s_index,
+            subpop: SubPop::Domestic,
+            arrives: arrive,
+            departs: Some(depart),
+            returns: None,
+            devices: my_devices,
+            steam_gamer: false,
+            leisure_factor: rng::lognormal_med(&mut rng, 1.0, 0.4),
+            visitor: true,
+        };
+        (student, devices)
+    }
+}
 
-        // Re-key anonymized ids under the configured anonymization key.
-        for d in &mut devices {
-            d.id = DeviceId::anonymize(d.mac, cfg.anon_key);
+impl Population {
+    /// Build the whole population for `cfg`. Deterministic in `cfg.seed`.
+    ///
+    /// Population structure is driven by the resolved [`Scenario`]: its
+    /// policy block decides whether departures happen at all, which
+    /// wave(s) students leave in and whether they come back, the console
+    /// acquisition window, and the visitor cut-off; its population block
+    /// may override the config's enrollment mix. The per-student RNG
+    /// draw sequence depends only on the wave *structure* (never on
+    /// realized outcomes), so a scenario and its counterfactual twin —
+    /// which keeps the same waves with `departures = false` — build
+    /// bit-identical device inventories.
+    ///
+    /// For memory-bounded builds of large campuses, partition the same
+    /// population into independently buildable shards with
+    /// [`PopulationPlan`](crate::shard::PopulationPlan) instead.
+    ///
+    /// [`Scenario`]: crate::scenario::Scenario
+    pub fn build(cfg: &SimConfig) -> Population {
+        Self::build_full(&PopulationEnv::new(cfg))
+    }
+
+    /// The monolithic build: all residents, then all visitors.
+    pub(crate) fn build_full(env: &PopulationEnv) -> Population {
+        let n = env.n_residents();
+        let mut students = Vec::with_capacity(n + env.n_visitors());
+        let mut devices: Vec<Device> = Vec::new();
+        for s in 0..n {
+            let (student, devs) = env.realize_resident(s, devices.len() as u32);
+            students.push(student);
+            devices.extend(devs);
         }
+        for v in 0..env.n_visitors() {
+            let s_index = students.len() as u32;
+            let (student, devs) = env.realize_visitor(v, s_index, devices.len() as u32);
+            students.push(student);
+            devices.extend(devs);
+        }
+        Population {
+            students,
+            devices,
+            student_base: 0,
+            device_base: 0,
+        }
+    }
 
-        Population { students, devices }
+    /// Assemble a (sub-)population from pre-realized parts. Internal to
+    /// the shard planner.
+    pub(crate) fn from_parts(
+        students: Vec<Student>,
+        devices: Vec<Device>,
+        student_base: u32,
+        device_base: u32,
+    ) -> Population {
+        Population {
+            students,
+            devices,
+            student_base,
+            device_base,
+        }
+    }
+
+    /// Global index of `students[0]` (0 for a monolithic build).
+    pub fn student_base(&self) -> u32 {
+        self.student_base
+    }
+
+    /// Global index of `devices[0]` (0 for a monolithic build).
+    pub fn device_base(&self) -> u32 {
+        self.device_base
+    }
+
+    /// The student with *global* index `index`. Panics if the student
+    /// is not part of this (sub-)population.
+    pub fn student(&self, index: u32) -> &Student {
+        &self.students[(index - self.student_base) as usize]
+    }
+
+    /// The device with *global* index `index`. Panics if the device is
+    /// not part of this (sub-)population.
+    pub fn device(&self, index: u32) -> &Device {
+        &self.devices[(index - self.device_base) as usize]
     }
 
     /// Devices owned by post-shutdown (staying) students, excluding
@@ -574,13 +726,13 @@ impl Population {
     pub fn post_shutdown_devices(&self) -> Vec<&Device> {
         self.devices
             .iter()
-            .filter(|d| self.students[d.owner as usize].stays())
+            .filter(|d| self.student(d.owner).stays())
             .collect()
     }
 
     /// The owning student of a device.
     pub fn owner_of(&self, d: &Device) -> &Student {
-        &self.students[d.owner as usize]
+        self.student(d.owner)
     }
 
     /// Is `device` present on campus on `day`? (Owner present, and the
@@ -591,7 +743,7 @@ impl Population {
                 return false;
             }
         }
-        self.students[device.owner as usize].on_campus(day)
+        self.student(device.owner).on_campus(day)
     }
 }
 
@@ -666,11 +818,7 @@ mod tests {
         let visitors = p.students.iter().filter(|s| s.visitor).count();
         assert_eq!(visitors, 195);
         // ~2.7 devices per resident on average.
-        let resident_devices = p
-            .devices
-            .iter()
-            .filter(|d| !p.students[d.owner as usize].visitor)
-            .count();
+        let resident_devices = p.devices.iter().filter(|d| !p.owner_of(d).visitor).count();
         let per_student = resident_devices as f64 / residents as f64;
         assert!((2.0..3.6).contains(&per_student), "{per_student}");
     }

@@ -795,12 +795,12 @@ impl Scenario {
         twin
     }
 
-    /// The counterfactual *config* for a run: the successor of the
-    /// deprecated [`SimConfig::counterfactual`]. Same population and
-    /// seed; the resolved scenario becomes the counterfactual twin and
+    /// The counterfactual *config* for a run: same population and seed;
+    /// the attached scenario becomes its counterfactual twin and
     /// year-over-year growth is unwound.
     pub fn counterfactual_of(cfg: &SimConfig) -> SimConfig {
-        let mut twin = cfg.clone().with_shim_pandemic(false);
+        let mut twin = cfg.clone();
+        twin.scenario = cfg.scenario.counterfactual();
         twin.yoy_growth = 1.0;
         twin
     }

@@ -40,7 +40,10 @@ pub use pipeline::{
     PipelineOptions, DEFAULT_BATCH_ROWS, DEFAULT_LIVE_TICK,
 };
 pub use report::run_manifest;
-pub use study::{Counterfactual, MatrixCell, MatrixRun, Study, StudyBuilder, StudyRun};
+pub use study::{
+    Counterfactual, DigestStudy, MatrixCell, MatrixRun, ShardingReport, Study, StudyBuilder,
+    StudyRun,
+};
 
 /// This crate's version, for provenance manifests.
 pub const VERSION: &str = env!("CARGO_PKG_VERSION");

@@ -63,6 +63,7 @@ pub struct PipelineOptions<'a> {
     fault: Option<&'a FaultProfile>,
     attempt: u32,
     worker: usize,
+    shard: u32,
     live_tick: u32,
     batch_rows: usize,
     track_memory: bool,
@@ -96,6 +97,7 @@ impl<'a> PipelineOptions<'a> {
             fault: None,
             attempt: 0,
             worker: 0,
+            shard: 0,
             live_tick: DEFAULT_LIVE_TICK,
             batch_rows: DEFAULT_BATCH_ROWS,
             track_memory: false,
@@ -148,6 +150,16 @@ impl<'a> PipelineOptions<'a> {
     /// [`RunObserver::day_tick`] publication.
     pub fn worker(mut self, worker: usize) -> Self {
         self.worker = worker;
+        self
+    }
+
+    /// Which population shard this day belongs to (default 0, the
+    /// monolithic path). Only consulted by the fault injector, whose
+    /// RNG is keyed by (seed, day, shard) so each shard gets its own
+    /// deterministic fault weather; shard 0 reproduces the historic
+    /// single-population fault stream exactly.
+    pub fn shard(mut self, shard: u32) -> Self {
+        self.shard = shard;
         self
     }
 
@@ -634,7 +646,7 @@ pub fn process_day_streaming(
         let stream_span = trace::span("stream_day");
         let gen_stats = match fault {
             Some(profile) => {
-                let mut sink = FaultingSink::new(profile, day, &mut pipeline);
+                let mut sink = FaultingSink::for_shard(profile, day, opts.shard, &mut pipeline);
                 let gen_stats = sim.stream_day(day, &mut sink);
                 let fault_stats = sink.stats();
                 if let Some(reg) = metrics {
@@ -695,7 +707,7 @@ pub fn process_day_batched(
             let mut batcher = Batcher::new(&mut pipeline, batch_rows);
             let gen_stats = match fault {
                 Some(profile) => {
-                    let mut sink = FaultingSink::new(profile, day, &mut batcher);
+                    let mut sink = FaultingSink::for_shard(profile, day, opts.shard, &mut batcher);
                     let gen_stats = sim.stream_day(day, &mut sink);
                     let fault_stats = sink.stats();
                     if let Some(reg) = metrics {

@@ -2,12 +2,15 @@
 //! provenance manifest.
 
 use crate::error::StudyError;
-use crate::study::{MatrixRun, Study};
+use crate::study::{DigestStudy, MatrixRun, ShardingReport, Study};
 use analysis::ascii;
 use analysis::export;
 use analysis::figures::{self, Fig4Series};
+use analysis::DigestFigures;
 use devclass::FigureBucket;
-use lockdown_obs::manifest::{fnv1a_64, DegradedEntry, MemorySection, RunManifest, StageMemory};
+use lockdown_obs::manifest::{
+    fnv1a_64, DegradedEntry, MemorySection, RunManifest, ShardingSection, StageMemory,
+};
 use lockdown_obs::{trace, Trace};
 use std::fmt::Write as _;
 use std::path::Path;
@@ -18,19 +21,51 @@ pub fn text_report(study: &Study, growth_vs_2019: Option<f64>) -> String {
     let _span = trace::span("report.text");
     let c = &study.collector;
     let s = &study.summary;
-    let mut out = String::new();
-    let scale = study.sim.config().scale;
-    let rescale = 1.0 / scale;
+    let figs = DigestFigures {
+        fig1: figures::figure1(c, s),
+        fig2: figures::figure2(c, s),
+        fig3: figures::figure3(c, s),
+        fig4: figures::figure4(c, s),
+        fig5: figures::figure5(c, s),
+        fig6: figures::figure6(c, s),
+        fig7: figures::figure7(c, s),
+        fig8: figures::figure8(c, s),
+        headline: study.headline(),
+    };
+    let mut out = figures_text(&figs, study.sim.config().scale, growth_vs_2019);
+    let audit = study.classification_audit(100);
+    let _ = writeln!(
+        out,
+        "classification audit: {}/{} correct, {} affirmative errors, {} conservative unknowns (paper: 84/100, 2, 14)",
+        audit.correct, audit.sampled, audit.affirmative_errors, audit.conservative_unknown
+    );
+    out
+}
 
-    let f1 = figures::figure1(c, s);
-    let f2 = figures::figure2(c, s);
-    let f3 = figures::figure3(c, s);
-    let f4 = figures::figure4(c, s);
-    let f5 = figures::figure5(c, s);
-    let f6 = figures::figure6(c, s);
-    let f7 = figures::figure7(c, s);
-    let f8 = figures::figure8(c, s);
-    let h = study.headline();
+/// Render a digest run's report: the same figure graphics and headline
+/// table as [`text_report`], from merged shard digests instead of a
+/// run-level collector. Headline statistics are exact; distribution
+/// figures carry the digest's ≤2× quantile approximation. There is no
+/// classification-audit line — digest mode keeps no device table to
+/// audit against.
+pub fn digest_text_report(d: &DigestStudy) -> String {
+    let _span = trace::span("report.text");
+    let sh = d.sharding();
+    let mut out = format!(
+        "== digest mode: {} shards, merge depth {}, headline exact, distribution figures ≤2× ==\n\n",
+        sh.shards, sh.merge_depth
+    );
+    out.push_str(&figures_text(&d.figures, d.cfg.scale, None));
+    out
+}
+
+/// The figure/headline body shared by the exact and digest reports.
+fn figures_text(figs: &DigestFigures, scale: f64, growth_vs_2019: Option<f64>) -> String {
+    let mut out = String::new();
+    let rescale = 1.0 / scale;
+    let (f1, f2, f3, f4) = (&figs.fig1, &figs.fig2, &figs.fig3, &figs.fig4);
+    let (f5, f6, f7, f8) = (&figs.fig5, &figs.fig6, &figs.fig7, &figs.fig8);
+    let h = &figs.headline;
 
     let _ = writeln!(
         out,
@@ -233,12 +268,6 @@ pub fn text_report(study: &Study, growth_vs_2019: Option<f64>) -> String {
         "{}",
         row("new Switches in Apr/May", h.switches_new as f64, "40")
     );
-    let audit = study.classification_audit(100);
-    let _ = writeln!(
-        out,
-        "classification audit: {}/{} correct, {} affirmative errors, {} conservative unknowns (paper: 84/100, 2, 14)",
-        audit.correct, audit.sampled, audit.affirmative_errors, audit.conservative_unknown
-    );
 
     out
 }
@@ -275,10 +304,53 @@ pub fn write_figure_files(study: &Study, dir: &Path) -> Result<usize, StudyError
     Ok(written)
 }
 
+/// Write a digest run's figure files into `dir` — same names and
+/// formats as [`write_figure_files`], rendered from the merged shard
+/// digests. Returns the number of files written.
+pub fn write_digest_figure_files(d: &DigestStudy, dir: &Path) -> Result<usize, StudyError> {
+    let span = trace::span("report.figures");
+    std::fs::create_dir_all(dir).map_err(|source| StudyError::Io {
+        path: dir.to_path_buf(),
+        source,
+    })?;
+    let f = &d.figures;
+    let files: [(&str, String); 8] = [
+        ("fig1.csv", export::fig1_csv(&f.fig1)),
+        ("fig2.csv", export::fig2_csv(&f.fig2)),
+        ("fig3.csv", export::fig3_csv(&f.fig3)),
+        ("fig4.csv", export::fig4_csv(&f.fig4)),
+        ("fig5.csv", export::fig5_csv(&f.fig5)),
+        ("fig6.json", export::fig6_json(&f.fig6)?),
+        ("fig7.json", export::fig7_json(&f.fig7)?),
+        ("fig8.csv", export::fig8_csv(&f.fig8)),
+    ];
+    let mut written = 0;
+    for (name, content) in files {
+        let path = dir.join(name);
+        std::fs::write(&path, content).map_err(|source| StudyError::Io { path, source })?;
+        written += 1;
+    }
+    span.set_attr("files", written as u64);
+    Ok(written)
+}
+
 /// Render the run's per-stage counters as an aligned text block, with a
 /// one-line attribution/labeling summary on top. Empty-run safe.
 pub fn metrics_report(study: &Study) -> String {
-    let m = study.metrics();
+    metrics_text(study.metrics(), study.degraded(), study.sharding())
+}
+
+/// Digest twin of [`metrics_report`]: same counters and quantile lines,
+/// from a sharded digest run.
+pub fn digest_metrics_report(d: &DigestStudy) -> String {
+    metrics_text(d.metrics(), d.degraded(), d.sharding())
+}
+
+fn metrics_text(
+    m: &lockdown_obs::MetricsSnapshot,
+    degraded: &crate::error::DegradedReport,
+    sharding: &ShardingReport,
+) -> String {
     let flows = m.counter("pipeline.flows_in");
     let attributed = m.counter("normalize.attributed");
     let labeled = m.counter("resolver.labeled");
@@ -323,7 +395,6 @@ pub fn metrics_report(study: &Study) -> String {
             "-- Degraded input: {dropped} records dropped, {repaired} repaired (see pipeline.errors.* / assembler.malformed.*) --"
         );
     }
-    let degraded = study.degraded();
     if !degraded.is_empty() {
         let _ = writeln!(
             out,
@@ -331,6 +402,9 @@ pub fn metrics_report(study: &Study) -> String {
             degraded.recovered.len(),
             degraded.failed.len()
         );
+    }
+    if let Some(line) = sharding_line(sharding) {
+        let _ = writeln!(out, "{line}");
     }
     // Memory headline, present only when the run tracked allocation.
     if m.gauges.contains_key("mem.peak_bytes") {
@@ -408,14 +482,107 @@ pub fn run_manifest(study: &Study, threads: usize, trace: Option<&Trace>) -> Run
     {
         m.metrics = Some(metrics.clone());
     }
-    m.memory = memory_section(study);
+    m.memory = memory_section(metrics);
+    m.sharding = sharding_section(study.sharding());
     m
+}
+
+/// Build the provenance manifest for a completed digest run — the
+/// digest twin of [`run_manifest`], with a `sharding` section always
+/// present (a digest run is sharded by construction).
+pub fn digest_manifest(d: &DigestStudy, threads: usize) -> RunManifest {
+    let mut m = RunManifest::new("repro");
+    m.config_hash_hex = format!("{:016x}", fnv1a_64(format!("{:?}", d.cfg).as_bytes()));
+    m.scenario = Some(d.cfg.scenario.name.clone());
+    m.scenario_hash_hex = Some(d.cfg.scenario.content_hash_hex());
+    m.seed = d.cfg.seed;
+    m.scale = d.cfg.scale;
+    m.threads = threads;
+    for (name, version) in [
+        ("lockdown-core", crate::VERSION),
+        ("lockdown-obs", lockdown_obs::VERSION),
+        ("nettrace", nettrace::VERSION),
+        ("campussim", campussim::VERSION),
+        ("analysis", analysis::VERSION),
+        ("dhcplog", dhcplog::VERSION),
+        ("dnslog", dnslog::VERSION),
+        ("devclass", devclass::VERSION),
+        ("geoloc", geoloc::VERSION),
+        ("appsig", appsig::VERSION),
+    ] {
+        m.crate_version(name, version);
+    }
+    let degraded = d.degraded();
+    for (list, recovered) in [(&degraded.recovered, true), (&degraded.failed, false)] {
+        for f in list.iter() {
+            m.degraded.push(DegradedEntry {
+                day: f.day,
+                stage: f.stage.clone(),
+                error: f.error.clone(),
+                attempt: f.attempt,
+                recovered,
+            });
+        }
+    }
+    let metrics = d.metrics();
+    if !(metrics.counters.is_empty() && metrics.gauges.is_empty() && metrics.histograms.is_empty())
+    {
+        m.metrics = Some(metrics.clone());
+    }
+    m.memory = memory_section(metrics);
+    let sh = d.sharding();
+    m.sharding = Some(ShardingSection {
+        shards: sh.shards,
+        mode: sh.mode.to_string(),
+        merge_depth: sh.merge_depth,
+        per_shard_peak_bytes: peak_list(sh),
+    });
+    m
+}
+
+/// The run's sharded-mode summary for text reports; `None` for the
+/// monolithic identity partition (nothing to report).
+fn sharding_line(sh: &ShardingReport) -> Option<String> {
+    if sh.shards <= 1 && sh.merge_depth <= 1 {
+        return None;
+    }
+    let peak = peak_list(sh).into_iter().max().unwrap_or(0);
+    Some(format!(
+        "-- Sharding: {} shards ({}), merge depth {}, peak shard ≤ {:.1} MiB --",
+        sh.shards,
+        sh.mode,
+        sh.merge_depth,
+        peak as f64 / (1 << 20) as f64,
+    ))
+}
+
+/// Manifest `sharding` section from a run's report; `None` for the
+/// monolithic identity partition so unsharded manifests are unchanged.
+fn sharding_section(sh: &ShardingReport) -> Option<ShardingSection> {
+    if sh.shards <= 1 && sh.merge_depth <= 1 {
+        return None;
+    }
+    Some(ShardingSection {
+        shards: sh.shards,
+        mode: sh.mode.to_string(),
+        merge_depth: sh.merge_depth,
+        per_shard_peak_bytes: peak_list(sh),
+    })
+}
+
+/// Per-shard peak bytes, dropping the all-zero vector an untracked run
+/// records (the gauge never fired) so manifests don't carry noise.
+fn peak_list(sh: &ShardingReport) -> Vec<u64> {
+    if sh.per_shard_peak_bytes.iter().all(|&b| b == 0) {
+        Vec::new()
+    } else {
+        sh.per_shard_peak_bytes.clone()
+    }
 }
 
 /// Harvest the manifest `memory` section from a run's `mem.*` metrics;
 /// `None` when the run did not track allocation.
-fn memory_section(study: &Study) -> Option<MemorySection> {
-    let m = study.metrics();
+fn memory_section(m: &lockdown_obs::MetricsSnapshot) -> Option<MemorySection> {
     if !m.gauges.contains_key("mem.peak_bytes") {
         return None;
     }

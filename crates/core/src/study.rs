@@ -18,6 +18,25 @@
 //! progress events, per-stage metrics collection, the 2019
 //! counterfactual, a seeded [`FaultProfile`], and strict mode.
 //!
+//! ## Sharded scale-out
+//!
+//! With [`StudyBuilder::shards`] (or a [`StudyBuilder::mem_budget`],
+//! from which a shard count is derived), the population is partitioned
+//! by [`campussim::PopulationPlan`] into K deterministic shards and the
+//! work queue becomes (shard × day): each shard's sub-campus is built
+//! lazily when a worker first touches one of its days and dropped as
+//! soon as its last day resolves, so at most a few shards of devices
+//! are ever resident. The merge is hierarchical — days fold into a
+//! per-shard reducer in calendar order, sealed shards fold into the
+//! run in shard-id order — and because every cross-device reduction in
+//! the figures is either integer, integer-valued `f64`, or sorted
+//! before use, the K > 1 exact path is *byte-identical* to the
+//! monolithic K = 1 path at any thread count. For populations whose
+//! merged collector itself would not fit, [`StudyBuilder::run_digest`]
+//! reduces each sealed shard to a fixed-size [`ShardDigest`] instead
+//! (exact headline statistics, ≤2× approximate distribution figures)
+//! and never holds more than one shard's collector.
+//!
 //! ## Fault isolation
 //!
 //! Each day runs inside its own isolation boundary: a fresh per-day
@@ -37,9 +56,12 @@
 use crate::error::{panic_message, DayFailure, DegradedReport, StudyError};
 use crate::pipeline::{process_day_batched, PipelineOptions, DEFAULT_BATCH_ROWS};
 use analysis::collect::{PipelineCtx, StudyCollector};
+use analysis::digest::{DigestFigures, ShardDigest};
 use analysis::figures::{self, StudySummary};
 use analysis::HeadlineStats;
-use campussim::{CampusSim, FaultProfile, Scenario, SimConfig};
+use campussim::{
+    CampusSim, FaultProfile, PopulationPlan, Scenario, ServiceDirectory, Shard, SimConfig,
+};
 use devclass::{audit_sample, AuditReport, DeviceType};
 use dhcplog::NormalizeStats;
 use geoloc::SubPop;
@@ -49,10 +71,10 @@ use lockdown_obs::{
 };
 use nettrace::time::{Day, Month, StudyCalendar};
 use nettrace::DeviceId;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Mutex, MutexGuard, PoisonError};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock, PoisonError};
 use std::time::Instant;
 
 /// Poison-tolerant lock: a worker that panicked inside a day boundary
@@ -219,12 +241,27 @@ struct DayOutcome {
     duration_ns: u64,
 }
 
+/// Everything one day attempt needs besides the day itself: which sim
+/// to stream from (the whole campus, or one shard's sub-campus), the
+/// fault profile, and the throughput/observability knobs. Both the
+/// monolithic [`DrainPlan`] and the sharded plan build one of these per
+/// attempt, so [`try_day`] is the single isolation boundary for every
+/// execution mode.
+struct DayJob<'a> {
+    sim: &'a CampusSim,
+    fault: Option<&'a FaultProfile>,
+    batch_rows: usize,
+    track_memory: bool,
+    /// Population shard this day belongs to (0 on the monolithic path).
+    shard: u32,
+}
+
 /// Run one day inside the isolation boundary: a fresh collector and
 /// registry, under `catch_unwind`. On panic the day's partial state is
 /// discarded and the rendered payload is returned as the error.
 #[allow(clippy::too_many_arguments)]
 fn try_day(
-    plan: &DrainPlan<'_>,
+    job: &DayJob<'_>,
     ctx: &PipelineCtx,
     day: Day,
     worker: usize,
@@ -246,27 +283,31 @@ fn try_day(
     // boundary and closes after it on the same thread (the panic is
     // caught, so `end` always runs), covering everything the day
     // allocates — generation, stages, collection.
-    let mem_scope = (plan.track_memory && registry.is_some()).then(AllocScope::begin);
+    let mem_scope = (job.track_memory && registry.is_some()).then(AllocScope::begin);
     let t0 = Instant::now();
     let result = catch_unwind(AssertUnwindSafe(|| {
         let day_span = trace::span(span_name)
             .attr("day", u64::from(day.0))
             .attr("worker", worker as u64)
             .attr("attempt", u64::from(attempt));
+        if job.shard != 0 {
+            day_span.set_attr("shard", u64::from(job.shard));
+        }
         let opts = PipelineOptions::new(
             ctx,
-            plan.sim.directory().table(),
+            job.sim.directory().table(),
             day,
-            plan.sim.config().anon_key,
+            job.sim.config().anon_key,
         )
         .observer(observer)
         .metrics_opt(registry.as_ref())
-        .fault(plan.fault)
+        .fault(job.fault)
         .attempt(attempt)
         .worker(worker)
-        .batch_rows(plan.batch_rows)
-        .track_memory(plan.track_memory);
-        let day_stats = process_day_batched(opts, &mut collector, plan.sim);
+        .shard(job.shard)
+        .batch_rows(job.batch_rows)
+        .track_memory(job.track_memory);
+        let day_stats = process_day_batched(opts, &mut collector, job.sim);
         day_span.set_attr("flows", day_stats.attributed);
         day_stats
     }));
@@ -312,6 +353,13 @@ fn drain_days(
     collect_metrics: bool,
     shared: &RunShared,
 ) {
+    let job = DayJob {
+        sim: plan.sim,
+        fault: plan.fault,
+        batch_rows: plan.batch_rows,
+        track_memory: plan.track_memory,
+        shard: 0,
+    };
     // First pass over the shared day queue.
     loop {
         if shared.abort.load(Ordering::Relaxed) {
@@ -321,7 +369,7 @@ fn drain_days(
         let Some(&day) = plan.days.get(i) else { break };
         observer.day_started(worker, day);
         match try_day(
-            plan,
+            &job,
             ctx,
             day,
             worker,
@@ -365,7 +413,7 @@ fn drain_days(
         let day = Day(first.day);
         observer.day_started(worker, day);
         match try_day(
-            plan,
+            &job,
             ctx,
             day,
             worker,
@@ -396,6 +444,343 @@ fn drain_days(
     observer.worker_idle(worker);
 }
 
+/// How a run's population was partitioned and merged — surfaced in the
+/// manifest's `sharding` section and the reports.
+#[derive(Debug, Clone)]
+pub struct ShardingReport {
+    /// Number of population shards (1 = monolithic).
+    pub shards: u32,
+    /// `"exact"` (full collectors merged) or `"digest"` (fixed-size
+    /// per-shard digests merged).
+    pub mode: &'static str,
+    /// Merge hierarchy depth: 1 = days → run; 2 = days → shard → run;
+    /// 3 = days → shard → digest → run.
+    pub merge_depth: u32,
+    /// Peak net day-allocation bytes observed per shard, in shard-id
+    /// order (zeros when memory tracking was off).
+    pub per_shard_peak_bytes: Vec<u64>,
+}
+
+impl ShardingReport {
+    /// The monolithic single-shard report.
+    fn monolithic(peak_net_bytes: u64) -> Self {
+        ShardingReport {
+            shards: 1,
+            mode: "exact",
+            merge_depth: 1,
+            per_shard_peak_bytes: vec![peak_net_bytes],
+        }
+    }
+}
+
+/// Shard-ordered digest accumulation (the digest-mode run sink).
+/// Mirrors [`ReduceState`]: digests fold strictly in shard-id order,
+/// buffering out-of-order seals — belt and braces, since every digest
+/// field is additive anyway.
+struct DigestAcc {
+    next: u32,
+    pending: BTreeMap<u32, Option<ShardDigest>>,
+    merged: ShardDigest,
+    stats: NormalizeStats,
+    metrics: MetricsSnapshot,
+}
+
+impl DigestAcc {
+    fn new() -> Self {
+        DigestAcc {
+            next: 0,
+            pending: BTreeMap::new(),
+            merged: ShardDigest::empty(),
+            stats: NormalizeStats::default(),
+            metrics: MetricsSnapshot::default(),
+        }
+    }
+
+    fn offer(&mut self, shard: u32, digest: Option<ShardDigest>) {
+        if shard != self.next {
+            self.pending.insert(shard, digest);
+            return;
+        }
+        if let Some(d) = digest {
+            self.merged.merge(&d);
+        }
+        self.next += 1;
+        while let Some(slot) = self.pending.remove(&self.next) {
+            if let Some(d) = slot {
+                self.merged.merge(&d);
+            }
+            self.next += 1;
+        }
+    }
+
+    fn into_parts(mut self) -> (ShardDigest, NormalizeStats, MetricsSnapshot) {
+        let rest: Vec<u32> = self.pending.keys().copied().collect();
+        for k in rest {
+            if let Some(Some(d)) = self.pending.remove(&k) {
+                self.merged.merge(&d);
+            }
+        }
+        (self.merged, self.stats, self.metrics)
+    }
+}
+
+/// Where sealed shards go: the exact path reuses [`OrderedReducer`]
+/// keyed by shard id (full collectors, byte-identical to monolithic);
+/// the digest path folds fixed-size [`ShardDigest`]s instead, so the
+/// run never holds more than one shard's collector.
+enum ShardSink {
+    Exact(Box<OrderedReducer>),
+    Digest(Box<Mutex<DigestAcc>>),
+}
+
+/// One shard's slot in the sharded work queue: the lazily-built
+/// sub-campus, its own day-ordered reducer, and a countdown of
+/// unresolved days. When the countdown hits zero the slot is sealed —
+/// reduced into the run sink — and the sub-campus dropped, bounding
+/// resident memory to the shards currently in flight.
+struct ShardSlot {
+    shard: Shard,
+    sim: Mutex<Option<Arc<CampusSim>>>,
+    reducer: Mutex<Option<OrderedReducer>>,
+    remaining: AtomicUsize,
+    peak_bytes: AtomicU64,
+}
+
+/// The sharded analogue of [`DrainPlan`]: one global cursor over the
+/// (shard × day) grid, shard-major so a shard's days cluster in time
+/// and its sub-campus can be dropped early.
+struct ShardedPlan<'a> {
+    cfg: &'a SimConfig,
+    directory: Arc<ServiceDirectory>,
+    slots: Vec<ShardSlot>,
+    days: &'a [Day],
+    cursor: AtomicUsize,
+    retry: Mutex<Vec<(usize, DayFailure)>>,
+    sink: ShardSink,
+    fault: Option<&'a FaultProfile>,
+    stage: &'static str,
+    batch_rows: usize,
+    track_memory: bool,
+}
+
+/// Fresh queue slots for a shard set, each owing `days` day outcomes.
+fn shard_slots(shards: Vec<Shard>, days: usize) -> Vec<ShardSlot> {
+    shards
+        .into_iter()
+        .map(|shard| ShardSlot {
+            shard,
+            sim: Mutex::new(None),
+            reducer: Mutex::new(Some(OrderedReducer::new())),
+            remaining: AtomicUsize::new(days),
+            peak_bytes: AtomicU64::new(0),
+        })
+        .collect()
+}
+
+impl<'a> ShardedPlan<'a> {
+    /// The shard's sub-campus, built on first touch. Building happens
+    /// under the slot's lock so concurrent first-touchers build once;
+    /// the population realization replays the exact per-student RNG
+    /// ranges of the monolithic build, so this sim emits bit-identical
+    /// traffic for its devices.
+    fn shard_sim(&self, slot: &ShardSlot) -> Arc<CampusSim> {
+        let mut guard = lock(&slot.sim);
+        if let Some(sim) = guard.as_ref() {
+            return Arc::clone(sim);
+        }
+        let span = trace::span("build_shard").attr("shard", u64::from(slot.shard.id()));
+        let population = slot.shard.build();
+        let sim = Arc::new(CampusSim::for_shard(
+            self.cfg.clone(),
+            population,
+            Arc::clone(&self.directory),
+        ));
+        drop(span);
+        *guard = Some(Arc::clone(&sim));
+        sim
+    }
+
+    /// Mark one of the slot's days fully resolved (success, recovered,
+    /// or dropped); seal the shard when it was the last one.
+    fn day_resolved(&self, slot: &ShardSlot) {
+        if slot.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+            self.seal(slot);
+        }
+    }
+
+    /// Seal a drained shard: close its day-ordered reduction, record
+    /// its peak, hand the result to the run sink, and drop its
+    /// sub-campus.
+    fn seal(&self, slot: &ShardSlot) {
+        let _span = trace::span("seal_shard").attr("shard", u64::from(slot.shard.id()));
+        let Some(reducer) = lock(&slot.reducer).take() else {
+            return;
+        };
+        let (collector, stats, metrics) = reducer.into_parts();
+        slot.peak_bytes
+            .store(metrics.gauge("mem.day.peak_net_bytes"), Ordering::Relaxed);
+        match &self.sink {
+            ShardSink::Exact(run) => run.submit(
+                slot.shard.id() as usize,
+                DayOutcome {
+                    collector,
+                    stats,
+                    metrics,
+                    duration_ns: 0,
+                },
+            ),
+            ShardSink::Digest(acc) => {
+                // Classification and segmentation are per-device and a
+                // device's whole history lives in its one shard, so the
+                // per-shard summary equals the device's slice of the
+                // run-level one.
+                let summary = StudySummary::finalize(&collector);
+                let digest = ShardDigest::extract(&collector, &summary);
+                drop(collector);
+                let mut a = lock(acc);
+                a.stats += stats;
+                a.metrics.merge(&metrics);
+                a.offer(slot.shard.id(), Some(digest));
+            }
+        }
+        *lock(&slot.sim) = None;
+    }
+
+    /// Record that a shard day was dropped after both attempts, so the
+    /// shard's ordered fold (and its seal countdown) can step over it.
+    fn skip_day(&self, slot: &ShardSlot, day_index: usize) {
+        if let Some(r) = lock(&slot.reducer).as_ref() {
+            r.skip(day_index);
+        }
+        self.day_resolved(slot);
+    }
+
+    fn submit_day(&self, slot: &ShardSlot, day_index: usize, out: DayOutcome) {
+        if let Some(r) = lock(&slot.reducer).as_ref() {
+            r.submit(day_index, out);
+        }
+        self.day_resolved(slot);
+    }
+}
+
+/// One worker's share of a sharded run: pull (shard, day) cells off the
+/// global cursor, then adopt quarantined cells off the retry queue —
+/// the same discipline as [`drain_days`], lifted to the grid.
+fn drain_shards(
+    plan: &ShardedPlan<'_>,
+    ctx: &PipelineCtx,
+    worker: usize,
+    observer: &dyn RunObserver,
+    collect_metrics: bool,
+    shared: &RunShared,
+) {
+    let nd = plan.days.len();
+    let total = plan.slots.len() * nd;
+    loop {
+        if shared.abort.load(Ordering::Relaxed) {
+            break;
+        }
+        let i = plan.cursor.fetch_add(1, Ordering::Relaxed);
+        if i >= total {
+            break;
+        }
+        let (slot, day_index) = (&plan.slots[i / nd], i % nd);
+        let day = plan.days[day_index];
+        let sim = plan.shard_sim(slot);
+        observer.day_started(worker, day);
+        let job = DayJob {
+            sim: &sim,
+            fault: plan.fault,
+            batch_rows: plan.batch_rows,
+            track_memory: plan.track_memory,
+            shard: slot.shard.id(),
+        };
+        match try_day(
+            &job,
+            ctx,
+            day,
+            worker,
+            0,
+            observer,
+            collect_metrics,
+            shared,
+            "day",
+        ) {
+            Ok(out) => {
+                observer.day_metrics(worker, day, out.duration_ns, &out.metrics);
+                observer.day_finished(worker, day, out.stats.attributed);
+                plan.submit_day(slot, day_index, out);
+            }
+            Err(error) => {
+                observer.day_failed(worker, day, 0, &error);
+                let failure = DayFailure {
+                    day: day.0,
+                    stage: plan.stage.to_string(),
+                    error,
+                    attempt: 0,
+                };
+                if shared.strict {
+                    shared.record_fatal(failure);
+                    break;
+                }
+                lock(&plan.retry).push((i, failure));
+            }
+        }
+    }
+    // Retry pass: identical contract to the monolithic one — a
+    // recovered cell submits under its original day index inside its
+    // shard, so the hierarchical fold cannot tell it from a first-try
+    // success.
+    loop {
+        if shared.abort.load(Ordering::Relaxed) {
+            break;
+        }
+        let Some((i, first)) = lock(&plan.retry).pop() else {
+            break;
+        };
+        let (slot, day_index) = (&plan.slots[i / nd], i % nd);
+        let day = plan.days[day_index];
+        let sim = plan.shard_sim(slot);
+        observer.day_started(worker, day);
+        let job = DayJob {
+            sim: &sim,
+            fault: plan.fault,
+            batch_rows: plan.batch_rows,
+            track_memory: plan.track_memory,
+            shard: slot.shard.id(),
+        };
+        match try_day(
+            &job,
+            ctx,
+            day,
+            worker,
+            1,
+            observer,
+            collect_metrics,
+            shared,
+            "day.retry",
+        ) {
+            Ok(out) => {
+                observer.day_metrics(worker, day, out.duration_ns, &out.metrics);
+                observer.day_finished(worker, day, out.stats.attributed);
+                plan.submit_day(slot, day_index, out);
+                lock(&shared.degraded).recovered.push(first);
+            }
+            Err(error) => {
+                observer.day_failed(worker, day, 1, &error);
+                plan.skip_day(slot, day_index);
+                lock(&shared.degraded).failed.push(DayFailure {
+                    day: day.0,
+                    stage: plan.stage.to_string(),
+                    error,
+                    attempt: 1,
+                });
+            }
+        }
+    }
+    observer.worker_idle(worker);
+}
+
 /// A completed study run.
 pub struct Study {
     /// The synthetic campus it ran against.
@@ -408,12 +793,40 @@ pub struct Study {
     pub norm_stats: NormalizeStats,
     metrics: MetricsSnapshot,
     degraded: DegradedReport,
+    sharding: ShardingReport,
+    /// Lazily materialized ground-truth views (built once on first
+    /// request, then borrowed — callers used to pay a full-population
+    /// clone per call).
+    truth_types: OnceLock<HashMap<DeviceId, DeviceType>>,
+    truth_subpop: OnceLock<HashMap<DeviceId, SubPop>>,
 }
 
 impl Study {
     /// Configure a run: `Study::builder(cfg).threads(8).run()?`.
     pub fn builder(cfg: SimConfig) -> StudyBuilder {
         StudyBuilder::new(cfg)
+    }
+
+    fn assemble(
+        sim: CampusSim,
+        collector: StudyCollector,
+        summary: StudySummary,
+        norm_stats: NormalizeStats,
+        metrics: MetricsSnapshot,
+        degraded: DegradedReport,
+        sharding: ShardingReport,
+    ) -> Study {
+        Study {
+            sim,
+            collector,
+            summary,
+            norm_stats,
+            metrics,
+            degraded,
+            sharding,
+            truth_types: OnceLock::new(),
+            truth_subpop: OnceLock::new(),
+        }
     }
 
     /// Run-level per-stage counters (sessions generated, flows
@@ -430,51 +843,58 @@ impl Study {
         &self.degraded
     }
 
+    /// How the run's population was partitioned and merged (shard
+    /// count, mode, merge depth, per-shard peaks).
+    pub fn sharding(&self) -> &ShardingReport {
+        &self.sharding
+    }
+
     /// The paper's headline statistics for this run.
     pub fn headline(&self) -> HeadlineStats {
         figures::headline_stats(&self.collector, &self.summary)
     }
 
-    /// The resolved scenario this study ran (the config's scenario, or
-    /// its counterfactual twin when the legacy `pandemic` shim was
-    /// false).
+    /// The resolved scenario this study ran (the config's scenario;
+    /// for a counterfactual run, the scenario's no-event twin).
     pub fn scenario(&self) -> &Scenario {
         self.sim.scenario()
     }
 
     /// Ground-truth device types from the generator (for validation).
-    pub fn ground_truth_types(&self) -> HashMap<DeviceId, DeviceType> {
-        self.sim
-            .population()
-            .devices
-            .iter()
-            .map(|d| (d.id, d.kind.true_type()))
-            .collect()
+    /// Built once on first call and cached; the returned map is
+    /// borrowed from the study, so repeated audits no longer clone the
+    /// full device table.
+    pub fn ground_truth_types(&self) -> &HashMap<DeviceId, DeviceType> {
+        self.truth_types.get_or_init(|| {
+            self.sim
+                .population()
+                .devices
+                .iter()
+                .map(|d| (d.id, d.kind.true_type()))
+                .collect()
+        })
     }
 
-    /// Ground-truth sub-populations.
-    pub fn ground_truth_subpop(&self) -> HashMap<DeviceId, SubPop> {
-        self.sim
-            .population()
-            .devices
-            .iter()
-            .map(|d| {
-                (
-                    d.id,
-                    self.sim.population().students[d.owner as usize].subpop,
-                )
-            })
-            .collect()
+    /// Ground-truth sub-populations, cached and borrowed like
+    /// [`Study::ground_truth_types`].
+    pub fn ground_truth_subpop(&self) -> &HashMap<DeviceId, SubPop> {
+        self.truth_subpop.get_or_init(|| {
+            self.sim
+                .population()
+                .devices
+                .iter()
+                .map(|d| (d.id, self.sim.population().student(d.owner).subpop))
+                .collect()
+        })
     }
 
     /// Reproduce the paper's manual 100-device classification audit
     /// against generator ground truth (§3: 84 correct / 2 affirmative
     /// errors / 14 conservative unknowns).
     pub fn classification_audit(&self, sample: usize) -> AuditReport {
-        let truth = self.ground_truth_types();
         audit_sample(
             &self.summary.device_types,
-            &truth,
+            self.ground_truth_types(),
             sample,
             self.sim.config().seed,
         )
@@ -544,12 +964,14 @@ pub struct StudyBuilder {
     serve_addr: Option<String>,
     batch_rows: usize,
     track_memory: bool,
+    shards: u32,
+    mem_budget: Option<u64>,
 }
 
 impl StudyBuilder {
     /// Defaults: sequential, silent observer, metrics on, no tracing,
     /// no counterfactual, no fault injection, graceful (non-strict)
-    /// degradation.
+    /// degradation, monolithic (single-shard) population.
     pub fn new(cfg: SimConfig) -> Self {
         StudyBuilder {
             cfg,
@@ -564,6 +986,43 @@ impl StudyBuilder {
             serve_addr: None,
             batch_rows: DEFAULT_BATCH_ROWS,
             track_memory: false,
+            shards: 0,
+            mem_budget: None,
+        }
+    }
+
+    /// Partition the population into exactly `k` deterministic shards
+    /// (0, the default, means "derive": from [`StudyBuilder::mem_budget`]
+    /// if one is set, else 1). `k = 1` is the monolithic path,
+    /// bit-identical to not calling this at all; `k > 1` drains the
+    /// (shard × day) grid with lazily built, eagerly dropped
+    /// sub-campuses and hierarchically merges shard reductions in
+    /// shard-id order — still byte-identical figures at any `k` and any
+    /// thread count.
+    pub fn shards(mut self, k: u32) -> Self {
+        self.shards = k;
+        self
+    }
+
+    /// Derive the shard count from a peak-memory budget (bytes) using
+    /// the population plan's per-device footprint estimate, instead of
+    /// fixing it with [`StudyBuilder::shards`]. An explicit non-zero
+    /// `shards` wins over the budget.
+    pub fn mem_budget(mut self, bytes: u64) -> Self {
+        self.mem_budget = Some(bytes);
+        self
+    }
+
+    /// Resolve the effective shard partition. Requires a validated
+    /// config (the plan scans scenario-driven population knobs).
+    fn effective_shards(&self) -> Vec<Shard> {
+        let plan = PopulationPlan::new(&self.cfg);
+        if self.shards > 0 {
+            plan.shards(self.shards)
+        } else if let Some(budget) = self.mem_budget {
+            plan.auto_shards(budget)
+        } else {
+            plan.shards(1)
         }
     }
 
@@ -706,19 +1165,25 @@ impl StudyBuilder {
             strict,
             batch_rows,
             track_memory,
+            shards,
+            mem_budget,
             ..
         } = self;
         let mut cells = Vec::with_capacity(scenarios.len());
         for scenario in scenarios {
             let mut cell_cfg = cfg.clone();
             cell_cfg.scenario = scenario.clone();
-            let run = StudyBuilder::new(cell_cfg)
+            let mut cell = StudyBuilder::new(cell_cfg)
                 .threads(threads)
                 .batch_rows(batch_rows)
                 .metrics(collect_metrics)
                 .strict(strict)
                 .track_memory(track_memory)
-                .run()?;
+                .shards(shards);
+            if let Some(budget) = mem_budget {
+                cell = cell.mem_budget(budget);
+            }
+            let run = cell.run()?;
             cells.push(MatrixCell {
                 scenario_name: scenario.name.clone(),
                 scenario_hash_hex: scenario.content_hash_hex(),
@@ -749,6 +1214,44 @@ impl StudyBuilder {
     /// completes without that day and records it in
     /// [`Study::degraded`].
     pub fn run(self) -> Result<StudyRun, StudyError> {
+        self.cfg.validate()?;
+        // Only resolve a partition when sharding was actually asked
+        // for: the plan's counting pass is an O(population) RNG replay
+        // the monolithic path should not pay.
+        if self.shards > 1 || (self.shards == 0 && self.mem_budget.is_some()) {
+            let shards = self.effective_shards();
+            if shards.len() > 1 {
+                return match self.run_partitioned(shards, false)? {
+                    PartitionedRun::Exact(run) => Ok(*run),
+                    PartitionedRun::Digest(_) => unreachable!("exact mode requested"),
+                };
+            }
+        }
+        self.run_monolithic()
+    }
+
+    /// Sharded digest run: partition the population (per
+    /// [`StudyBuilder::shards`] / [`StudyBuilder::mem_budget`]), drain
+    /// the (shard × day) grid, and reduce every sealed shard to a
+    /// fixed-size [`ShardDigest`] so the run never holds more than one
+    /// shard's collector. Headline statistics are exact at any shard
+    /// count; distribution figures are ≤2× approximations (see
+    /// [`analysis::digest`]). The counterfactual is not run in digest
+    /// mode (its cohort comparison needs the exact run-level
+    /// collector), and there is no classification audit — the full
+    /// device table is never materialized.
+    pub fn run_digest(self) -> Result<DigestStudy, StudyError> {
+        self.cfg.validate()?;
+        let shards = self.effective_shards();
+        match self.run_partitioned(shards, true)? {
+            PartitionedRun::Digest(d) => Ok(*d),
+            PartitionedRun::Exact(_) => unreachable!("digest mode requested"),
+        }
+    }
+
+    /// The classic single-population path, byte-for-byte the historic
+    /// behaviour (shard dimension absent from spans and fault streams).
+    fn run_monolithic(self) -> Result<StudyRun, StudyError> {
         let StudyBuilder {
             cfg,
             threads,
@@ -762,6 +1265,7 @@ impl StudyBuilder {
             serve_addr,
             batch_rows,
             track_memory,
+            ..
         } = self;
         cfg.validate()?;
         let fault = fault.filter(|p| !p.is_noop());
@@ -930,26 +1434,25 @@ impl StudyBuilder {
             metrics.merge(&reg.snapshot());
         }
         let summary = StudySummary::finalize(&collector);
-        let study = Study {
-            sim,
-            collector,
-            summary,
-            norm_stats,
-            metrics,
-            degraded,
-        };
+        let sharding = ShardingReport::monolithic(metrics.gauge("mem.day.peak_net_bytes"));
+        let study = Study::assemble(
+            sim, collector, summary, norm_stats, metrics, degraded, sharding,
+        );
 
         let counterfactual = cf_sim.map(|cf_sim| {
             let (cf_collector, cf_norm_stats, cf_metrics) = cf_reducer.into_parts();
             let cf_summary = StudySummary::finalize(&cf_collector);
-            let cf = Study {
-                sim: cf_sim,
-                collector: cf_collector,
-                summary: cf_summary,
-                norm_stats: cf_norm_stats,
-                metrics: cf_metrics,
-                degraded: DegradedReport::default(),
-            };
+            let cf_sharding =
+                ShardingReport::monolithic(cf_metrics.gauge("mem.day.peak_net_bytes"));
+            let cf = Study::assemble(
+                cf_sim,
+                cf_collector,
+                cf_summary,
+                cf_norm_stats,
+                cf_metrics,
+                DegradedReport::default(),
+                cf_sharding,
+            );
             // Compare the *same cohort*: the 2020 post-shutdown users,
             // whose devices exist identically in the counterfactual
             // population (same seed, unconditional population draws).
@@ -982,6 +1485,340 @@ impl StudyBuilder {
             counterfactual,
             telemetry,
         })
+    }
+
+    /// The sharded runner behind both the K > 1 exact path and digest
+    /// mode: one (shard × day) grid, lazily built and eagerly dropped
+    /// sub-campuses, hierarchical merge through the chosen sink.
+    fn run_partitioned(
+        self,
+        shards: Vec<Shard>,
+        digest: bool,
+    ) -> Result<PartitionedRun, StudyError> {
+        let StudyBuilder {
+            cfg,
+            threads,
+            observer,
+            counterfactual,
+            collect_metrics,
+            trace: trace_rec,
+            fault,
+            strict,
+            live,
+            serve_addr,
+            batch_rows,
+            track_memory,
+            ..
+        } = self;
+        let k = shards.len() as u32;
+        let fault = fault.filter(|p| !p.is_noop());
+        let mem_on = track_memory && collect_metrics && alloc::enable();
+        let mem_base = mem_on.then(alloc::stats);
+        let live = live.or_else(|| serve_addr.as_ref().map(|_| LivePublisher::new()));
+        let telemetry = match (&live, serve_addr) {
+            (Some(live), Some(addr)) => Some(
+                TelemetryServer::bind(&addr, live.clone())
+                    .map_err(|source| StudyError::Serve { addr, source })?,
+            ),
+            _ => None,
+        };
+        let observer: Box<dyn RunObserver> = match &live {
+            Some(l) => Box::new(Fanout(l.clone(), observer)),
+            None => observer,
+        };
+        let _orchestration_lane = match &trace_rec {
+            Some(rec) if !trace::enabled() => Some(rec.install(trace::MAIN_LANE, "orchestrator")),
+            _ => None,
+        };
+        // Digest mode skips the counterfactual: its same-cohort
+        // comparison needs the exact run-level collector.
+        let counterfactual = counterfactual && !digest;
+        let cf_cfg = counterfactual.then(|| Scenario::counterfactual_of(&cfg));
+        // One service directory for every shard of both runs — the
+        // synthetic Internet is population-independent world state.
+        let (directory, ctx) = {
+            let _span = trace::span("build_sim");
+            (Arc::new(ServiceDirectory::build()), PipelineCtx::study())
+        };
+        let days: Vec<Day> = StudyCalendar::days().collect();
+        if let Some(live) = &live {
+            let passes = 1 + u64::from(cf_cfg.is_some());
+            live.set_days_total(days.len() as u64 * u64::from(k) * passes);
+            live.set_mem_tracking(mem_on);
+            live.set_shards(k);
+        }
+        let shared = RunShared::new(strict);
+        let sink = if digest {
+            ShardSink::Digest(Box::new(Mutex::new(DigestAcc::new())))
+        } else {
+            ShardSink::Exact(Box::new(OrderedReducer::new()))
+        };
+        let plan = ShardedPlan {
+            cfg: &cfg,
+            directory: Arc::clone(&directory),
+            slots: shard_slots(shards, days.len()),
+            days: &days,
+            cursor: AtomicUsize::new(0),
+            retry: Mutex::new(Vec::new()),
+            sink,
+            fault: fault.as_ref(),
+            stage: "pipeline",
+            batch_rows,
+            track_memory: mem_on,
+        };
+        let cf_plan = cf_cfg.as_ref().map(|cf_cfg| {
+            // The counterfactual always runs clean and merges exactly;
+            // it is compared cohort-by-cohort, never digested.
+            ShardedPlan {
+                cfg: cf_cfg,
+                directory: Arc::clone(&directory),
+                slots: shard_slots(PopulationPlan::new(cf_cfg).shards(k), days.len()),
+                days: &days,
+                cursor: AtomicUsize::new(0),
+                retry: Mutex::new(Vec::new()),
+                sink: ShardSink::Exact(Box::new(OrderedReducer::new())),
+                fault: None,
+                stage: "counterfactual",
+                batch_rows,
+                track_memory: mem_on,
+            }
+        });
+
+        let trace_rec = trace_rec.as_ref();
+        let worker = |w: usize| {
+            let _lane = trace_rec.map(|rec| rec.install(w as u32, &format!("worker {w}")));
+            let worker_span = trace::span("worker").attr("worker", w as u64);
+            {
+                let _span = trace::span("drain.study");
+                drain_shards(&plan, &ctx, w, observer.as_ref(), collect_metrics, &shared);
+            }
+            if let Some(p) = cf_plan.as_ref() {
+                let _span = trace::span("drain.counterfactual");
+                drain_shards(p, &ctx, w, observer.as_ref(), collect_metrics, &shared);
+            }
+            drop(worker_span);
+            Instant::now()
+        };
+
+        let results: Vec<Instant> = if threads == 1 {
+            vec![worker(0)]
+        } else {
+            let worker = &worker;
+            let joined: Vec<_> = std::thread::scope(|s| {
+                #[allow(clippy::needless_collect)]
+                let handles: Vec<_> = (0..threads).map(|w| s.spawn(move || worker(w))).collect();
+                handles.into_iter().map(|h| h.join()).collect()
+            });
+            let mut out = Vec::with_capacity(joined.len());
+            for j in joined {
+                match j {
+                    Ok(y) => out.push(y),
+                    Err(payload) => {
+                        return Err(StudyError::WorkerPanicked {
+                            detail: panic_message(payload.as_ref()),
+                        })
+                    }
+                }
+            }
+            out
+        };
+
+        if let Some(failure) = lock(&shared.first_err).take() {
+            return Err(StudyError::DayFailed(failure));
+        }
+
+        let _finalize_span = trace::span("finalize");
+
+        let idle_registry = collect_metrics.then(MetricsRegistry::new);
+        if let Some(reg) = &idle_registry {
+            if let Some(latest) = results.iter().copied().max() {
+                let idle = reg.histogram("study.worker_idle_ns");
+                for done in &results {
+                    idle.record(latest.duration_since(*done).as_nanos() as u64);
+                }
+            }
+        }
+        if let (Some(reg), Some(base)) = (&idle_registry, mem_base.as_ref()) {
+            let now = alloc::stats();
+            let d = now.since(base);
+            reg.counter("mem.alloc_bytes").add(d.alloc_bytes);
+            reg.counter("mem.freed_bytes").add(d.freed_bytes);
+            reg.counter("mem.allocs").add(d.allocs);
+            reg.counter("mem.deallocs").add(d.deallocs);
+            reg.counter("mem.reallocs").add(d.reallocs);
+            reg.gauge("mem.peak_bytes").set_max(now.peak_bytes);
+            reg.gauge("mem.live_bytes").set_max(now.live_bytes);
+        }
+
+        let mut degraded = std::mem::take(&mut *lock(&shared.degraded));
+        degraded.sort();
+
+        let per_shard_peak = |slots: &[ShardSlot]| -> Vec<u64> {
+            slots
+                .iter()
+                .map(|s| s.peak_bytes.load(Ordering::Relaxed))
+                .collect()
+        };
+        let ShardedPlan { sink, slots, .. } = plan;
+
+        match sink {
+            ShardSink::Exact(reducer) => {
+                let (collector, norm_stats, mut metrics) = reducer.into_parts();
+                if let Some(reg) = &idle_registry {
+                    metrics.merge(&reg.snapshot());
+                }
+                let summary = StudySummary::finalize(&collector);
+                let sharding = ShardingReport {
+                    shards: k,
+                    mode: "exact",
+                    merge_depth: 2,
+                    per_shard_peak_bytes: per_shard_peak(&slots),
+                };
+                // Full-population twin for ground truth and audits —
+                // built after the drain so it never adds to the run's
+                // sharded working set. Byte-identical to the shard
+                // union (the plan's compatibility guarantee).
+                let sim = {
+                    let _span = trace::span("build_sim");
+                    CampusSim::new(cfg.clone())
+                };
+                let study = Study::assemble(
+                    sim, collector, summary, norm_stats, metrics, degraded, sharding,
+                );
+
+                let counterfactual = cf_plan.map(|p| {
+                    let cf_cfg = p.cfg.clone();
+                    let ShardedPlan { sink, slots, .. } = p;
+                    let ShardSink::Exact(cf_reducer) = sink else {
+                        unreachable!("counterfactual is always exact");
+                    };
+                    let (cf_collector, cf_norm_stats, cf_metrics) = cf_reducer.into_parts();
+                    let cf_summary = StudySummary::finalize(&cf_collector);
+                    let cf_sharding = ShardingReport {
+                        shards: k,
+                        mode: "exact",
+                        merge_depth: 2,
+                        per_shard_peak_bytes: per_shard_peak(&slots),
+                    };
+                    let cf_sim = {
+                        let _span = trace::span("build_sim");
+                        CampusSim::new(cf_cfg)
+                    };
+                    let cf = Study::assemble(
+                        cf_sim,
+                        cf_collector,
+                        cf_summary,
+                        cf_norm_stats,
+                        cf_metrics,
+                        DegradedReport::default(),
+                        cf_sharding,
+                    );
+                    let cohort = &study.summary.post_shutdown;
+                    let cf_traffic = cf.aprmay_daily_traffic_over(cohort);
+                    let growth_vs_2019 = if cf_traffic > 0.0 {
+                        study.aprmay_daily_traffic_over(cohort) / cf_traffic - 1.0
+                    } else {
+                        0.0
+                    };
+                    Counterfactual {
+                        study: cf,
+                        growth_vs_2019,
+                    }
+                });
+
+                if let Some(live) = &live {
+                    let mut final_metrics = study.metrics.clone();
+                    if let Some(cf) = &counterfactual {
+                        final_metrics.merge(&cf.study.metrics);
+                    }
+                    live.finish(&final_metrics);
+                }
+
+                Ok(PartitionedRun::Exact(Box::new(StudyRun {
+                    study,
+                    counterfactual,
+                    telemetry,
+                })))
+            }
+            ShardSink::Digest(acc) => {
+                let (merged, norm_stats, mut metrics) = acc
+                    .into_inner()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .into_parts();
+                if let Some(reg) = &idle_registry {
+                    metrics.merge(&reg.snapshot());
+                }
+                let sharding = ShardingReport {
+                    shards: k,
+                    mode: "digest",
+                    merge_depth: 3,
+                    per_shard_peak_bytes: per_shard_peak(&slots),
+                };
+                if let Some(live) = &live {
+                    live.finish(&metrics);
+                }
+                Ok(PartitionedRun::Digest(Box::new(DigestStudy {
+                    cfg,
+                    figures: merged.render(),
+                    resident_devices: merged.resident_devices(),
+                    norm_stats,
+                    metrics,
+                    degraded,
+                    sharding,
+                    telemetry,
+                })))
+            }
+        }
+    }
+}
+
+/// What [`StudyBuilder::run_partitioned`] yields, depending on sink.
+enum PartitionedRun {
+    Exact(Box<StudyRun>),
+    Digest(Box<DigestStudy>),
+}
+
+/// A completed sharded digest run: the paper's figures and headline
+/// statistics without a run-level collector or device table. Headline
+/// statistics are exact; distribution figures are ≤2× approximations
+/// (see [`analysis::digest`] for the precise contract). No
+/// counterfactual, no classification audit.
+pub struct DigestStudy {
+    /// The configuration the run executed.
+    pub cfg: SimConfig,
+    /// Rendered figures plus exact headline statistics.
+    pub figures: DigestFigures,
+    /// Residents (devices passing the 14-day filter) across all shards.
+    pub resident_devices: usize,
+    /// Aggregate normalization statistics (exact).
+    pub norm_stats: NormalizeStats,
+    metrics: MetricsSnapshot,
+    degraded: DegradedReport,
+    sharding: ShardingReport,
+    /// The live telemetry server, still serving the run's final state,
+    /// if [`StudyBuilder::serve`] was requested.
+    pub telemetry: Option<TelemetryServer>,
+}
+
+impl DigestStudy {
+    /// The paper's headline statistics — exact at any shard count.
+    pub fn headline(&self) -> &HeadlineStats {
+        &self.figures.headline
+    }
+
+    /// Run-level merged metrics.
+    pub fn metrics(&self) -> &MetricsSnapshot {
+        &self.metrics
+    }
+
+    /// Days that failed and were retried or dropped.
+    pub fn degraded(&self) -> &DegradedReport {
+        &self.degraded
+    }
+
+    /// Shard partition and merge summary.
+    pub fn sharding(&self) -> &ShardingReport {
+        &self.sharding
     }
 }
 

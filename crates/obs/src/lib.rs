@@ -74,7 +74,7 @@ pub mod trace;
 
 pub use alloc::{AllocScope, AllocStats, ScopeDelta, TrackingAlloc};
 pub use live::{LivePublisher, Progress, WorkerProgress};
-pub use manifest::{DegradedEntry, MemorySection, RunManifest, StageMemory};
+pub use manifest::{DegradedEntry, MemorySection, RunManifest, ShardingSection, StageMemory};
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry, MetricsSnapshot};
 pub use observer::{CountingObserver, Fanout, JsonlSink, NullObserver, RunObserver, TextProgress};
 pub use serve::TelemetryServer;

@@ -73,6 +73,8 @@ struct LiveInner {
     /// The served run has allocation tracking on; `/progress` and
     /// `/metrics` read the tracker's process-global live/peak bytes.
     mem_tracking: AtomicBool,
+    /// Population shards in the served run (1 = monolithic).
+    shards: AtomicU64,
     tables: Mutex<LiveTables>,
 }
 
@@ -132,6 +134,9 @@ pub struct Progress {
     /// The tracking allocator's live-bytes high-water mark; `None`
     /// when the run is not tracking memory.
     pub mem_peak_bytes: Option<u64>,
+    /// Population shards the run partitions devices into (1 =
+    /// monolithic).
+    pub shards: u64,
     /// Per-worker rows, ordered by worker index.
     pub workers: Vec<WorkerProgress>,
 }
@@ -165,6 +170,7 @@ impl Progress {
             }
             None => out.push_str(",\"mem_peak_bytes\":null"),
         }
+        let _ = write!(out, ",\"shards\":{}", self.shards);
         out.push_str(",\"workers\":[");
         for (i, w) in self.workers.iter().enumerate() {
             if i > 0 {
@@ -200,6 +206,7 @@ impl LivePublisher {
                 finished: AtomicBool::new(false),
                 ewma_day_ns: AtomicU64::new(0),
                 mem_tracking: AtomicBool::new(false),
+                shards: AtomicU64::new(1),
                 tables: Mutex::new(LiveTables::default()),
             }),
         }
@@ -217,6 +224,14 @@ impl LivePublisher {
     /// [`crate::alloc`] live/peak bytes into their views.
     pub fn set_mem_tracking(&self, on: bool) {
         self.inner.mem_tracking.store(on, Ordering::Relaxed);
+    }
+
+    /// Declare how many population shards the run partitions devices
+    /// into (surfaced verbatim in `/progress`; 1 = monolithic).
+    pub fn set_shards(&self, k: u32) {
+        self.inner
+            .shards
+            .store(u64::from(k.max(1)), Ordering::Relaxed);
     }
 
     /// Mark the run finished and replace the live view with the exact
@@ -322,6 +337,7 @@ impl LivePublisher {
             eta_ns,
             mem_live_bytes: mem.as_ref().map(|s| s.live_bytes),
             mem_peak_bytes: mem.as_ref().map(|s| s.peak_bytes),
+            shards: self.inner.shards.load(Ordering::Relaxed),
             workers,
         }
     }
@@ -525,6 +541,7 @@ mod tests {
         assert!(v.get("eta_ns").unwrap().is_null());
         assert!(v.get("mem_live_bytes").unwrap().is_null());
         assert!(v.get("mem_peak_bytes").unwrap().is_null());
+        assert_eq!(v.get("shards").unwrap().as_u64(), Some(1));
         let workers = v.get("workers").unwrap().as_array().unwrap();
         assert_eq!(workers.len(), 1);
         assert_eq!(workers[0].get("day").unwrap().as_u64(), Some(3));

@@ -129,6 +129,43 @@ impl MemorySection {
     }
 }
 
+/// The `sharding` section of a manifest: how the run partitioned its
+/// population and merged the shard reductions. Present only for runs
+/// that went through the sharded runner (or when the producer chooses
+/// to record the monolithic identity partition).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ShardingSection {
+    /// Number of population shards the run partitioned devices into.
+    pub shards: u32,
+    /// `"exact"` (byte-identical figures) or `"digest"` (exact
+    /// headline, ≤2× distribution figures).
+    pub mode: String,
+    /// Depth of the hierarchical merge: 1 monolithic, 2 day→shard→run
+    /// exact, 3 with the digest layer on top.
+    pub merge_depth: u32,
+    /// Peak net pipeline bytes observed per shard, in shard-id order
+    /// (empty when the run did not track memory).
+    pub per_shard_peak_bytes: Vec<u64>,
+}
+
+impl ShardingSection {
+    fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        let _ = write!(out, "\"shards\":{}", self.shards);
+        let _ = write!(out, ",\"mode\":{}", json::quoted(&self.mode));
+        let _ = write!(out, ",\"merge_depth\":{}", self.merge_depth);
+        out.push_str(",\"per_shard_peak_bytes\":[");
+        for (i, b) in self.per_shard_peak_bytes.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{b}");
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
 /// Provenance record for one pipeline run.
 ///
 /// Build one with [`RunManifest::new`], fill in the identity fields,
@@ -180,6 +217,9 @@ pub struct RunManifest {
     pub serve_addr: Option<String>,
     /// Allocation accounting, when the run tracked memory.
     pub memory: Option<MemorySection>,
+    /// Population partition and merge summary, when the run used the
+    /// sharded runner.
+    pub sharding: Option<ShardingSection>,
 }
 
 impl RunManifest {
@@ -296,6 +336,11 @@ impl RunManifest {
             Some(mem) => out.push_str(&mem.to_json()),
             None => out.push_str("null"),
         }
+        out.push_str(",\"sharding\":");
+        match &self.sharding {
+            Some(s) => out.push_str(&s.to_json()),
+            None => out.push_str("null"),
+        }
         // Quantile digest of every histogram the run recorded (upper
         // bucket bounds; true values lie within 2× below — see
         // `HistogramSnapshot::quantile`), so a manifest answers "how
@@ -409,6 +454,12 @@ mod tests {
             attempt: 1,
             recovered: true,
         });
+        m.sharding = Some(ShardingSection {
+            shards: 4,
+            mode: "exact".into(),
+            merge_depth: 2,
+            per_shard_peak_bytes: vec![1 << 20, 1 << 21, 1 << 20, 1 << 19],
+        });
 
         let j = m.to_json();
         let v: serde_json::Value = serde_json::from_str(&j).expect("manifest parses");
@@ -471,6 +522,18 @@ mod tests {
         let stage = mem.get("per_stage").unwrap().get("normalize").unwrap();
         assert_eq!(stage.get("allocs").unwrap().as_u64(), Some(320));
         assert_eq!(stage.get("peak_net_bytes").unwrap().as_u64(), Some(1 << 12));
+        let sh = v.get("sharding").expect("sharding section");
+        assert_eq!(sh.get("shards").unwrap().as_u64(), Some(4));
+        assert_eq!(sh.get("mode").unwrap().as_str(), Some("exact"));
+        assert_eq!(sh.get("merge_depth").unwrap().as_u64(), Some(2));
+        assert_eq!(
+            sh.get("per_shard_peak_bytes")
+                .unwrap()
+                .as_array()
+                .unwrap()
+                .len(),
+            4
+        );
         let q = v
             .get("quantiles")
             .unwrap()
@@ -494,6 +557,7 @@ mod tests {
         assert_eq!(v.get("degraded").unwrap().as_array().unwrap().len(), 0);
         assert!(v.get("serve_addr").unwrap().is_null());
         assert!(v.get("memory").unwrap().is_null());
+        assert!(v.get("sharding").unwrap().is_null());
         assert_eq!(
             v.get("quantiles").unwrap().as_object().unwrap().len(),
             0,
