@@ -1,6 +1,6 @@
 //! Fixed-size per-shard study digests for memory-bounded scale-out.
 //!
-//! The run-level [`StudyCollector`](crate::collect::StudyCollector) is
+//! The run-level [`StudyCollector`] is
 //! O(devices): fine for one campus, fatal for a million-device one. In
 //! sharded digest mode each population shard drains its days into its
 //! own collector, the collector is reduced to a [`ShardDigest`] — a few
@@ -36,6 +36,15 @@ const ND: usize = StudyCalendar::NUM_DAYS as usize;
 const MONTHS: [Month; 4] = [Month::Feb, Month::Mar, Month::Apr, Month::May];
 /// The paper's shutdown day (2020-03-19), as in `headline_stats`.
 const SHUTDOWN_DAY: usize = 47;
+
+/// The guaranteed worst-case multiplicative error of a [`LogHist`]
+/// quantile against the exact R-7 quantile of the same samples: each
+/// bracketing order statistic is estimated by its bucket's geometric
+/// midpoint, within (0.75, 1.5]× of the sample, and interpolation
+/// preserves those factors — so 1.5× by construction, advertised with
+/// headroom as 2×. Figure 3 renormalizes one quantile by another, so
+/// its propagated bound is `QUANTILE_BOUND²`.
+pub const QUANTILE_BOUND: f64 = 2.0;
 
 /// A log2-bucketed histogram of positive `u64` samples. 64 buckets of
 /// 8 bytes each: 512 bytes regardless of how many samples it absorbs.
@@ -73,6 +82,14 @@ impl LogHist {
         self.counts.iter().sum()
     }
 
+    /// The raw per-bucket counts (bucket `i` holds samples `v` with
+    /// `floor(log2(v)) == i`). Read-only accuracy instrumentation seam:
+    /// lets `accuracy` and external audits inspect the resolution the
+    /// digest actually had, without widening the mutation surface.
+    pub fn bucket_counts(&self) -> &[u64; 64] {
+        &self.counts
+    }
+
     /// Add another histogram (shard merge). Purely additive, so the
     /// result is independent of merge order.
     pub fn merge(&mut self, other: &LogHist) {
@@ -81,24 +98,43 @@ impl LogHist {
         }
     }
 
-    /// Approximate `q`-quantile (0 ≤ q ≤ 1): the geometric midpoint of
-    /// the bucket containing the rank-`q` sample. `None` when empty.
+    /// Approximate `q`-quantile (0 ≤ q ≤ 1). `None` when empty.
+    ///
+    /// Follows the same R-7 convention as `stats::percentile`: the
+    /// fractional rank `h = q·(n−1)` interpolates linearly between the
+    /// two bracketing order statistics — here estimated by their
+    /// buckets' geometric midpoints. Each midpoint sits within
+    /// (0.75, 1.5]× of its sample, and a convex combination with the
+    /// exact path's weights preserves those factors, so the estimate
+    /// stays within 1.5× of the exact interpolated quantile — inside
+    /// the advertised [`QUANTILE_BOUND`] even on sparse heavy-tailed
+    /// data where the bracketing samples straddle many buckets.
     pub fn quantile(&self, q: f64) -> Option<f64> {
         let total = self.count();
         if total == 0 {
             return None;
         }
-        // Rank under the same R-7 convention as `stats::percentile`:
-        // index q*(n-1), rounded to the containing sample.
-        let rank = (q * (total - 1) as f64).round() as u64;
+        let h = q * (total - 1) as f64;
+        let lo = self.value_at_rank(h.floor() as u64);
+        let frac = h - h.floor();
+        if frac == 0.0 {
+            return Some(lo);
+        }
+        let hi = self.value_at_rank(h.ceil() as u64);
+        Some(lo + frac * (hi - lo))
+    }
+
+    /// Geometric midpoint of the bucket holding the sample at `rank`
+    /// (0-based over the recorded samples in value order).
+    fn value_at_rank(&self, rank: u64) -> f64 {
         let mut seen = 0u64;
         for (i, &c) in self.counts.iter().enumerate() {
             seen += c;
             if c > 0 && seen > rank {
-                return Some(1.5 * (1u64 << i) as f64);
+                return 1.5 * (1u64 << i) as f64;
             }
         }
-        Some(1.5 * (1u64 << 63) as f64)
+        1.5 * (1u64 << 63) as f64
     }
 
     /// Five-number-plus-tails box from the histogram, or `None` if no
@@ -143,6 +179,7 @@ pub struct ShardDigest {
     identified: usize,
     intl: usize,
     post_month_bytes: [u64; 4],
+    post_aprmay_device_days: u64,
     sites_sum: [u64; 4],
     switches_pre: usize,
     switches_post: usize,
@@ -190,6 +227,7 @@ impl ShardDigest {
             identified: 0,
             intl: 0,
             post_month_bytes: [0; 4],
+            post_aprmay_device_days: 0,
             sites_sum: [0; 4],
             switches_pre: 0,
             switches_post: 0,
@@ -261,6 +299,13 @@ impl ShardDigest {
             for (mi, m) in MONTHS.iter().enumerate() {
                 d.post_month_bytes[mi] += c.volume.month_total(dev, *m);
                 d.sites_sum[mi] += c.sites.count(dev, *m) as u64;
+            }
+            for m in [Month::Apr, Month::May] {
+                for dd in m.first_day().0..m.first_day().0 + m.num_days() {
+                    if c.volume.active_on(dev, Day(dd)) {
+                        d.post_aprmay_device_days += 1;
+                    }
+                }
             }
 
             let Some(&sp) = s.subpop.get(&dev) else {
@@ -386,6 +431,7 @@ impl ShardDigest {
             self.post_month_bytes[mi] += other.post_month_bytes[mi];
             self.sites_sum[mi] += other.sites_sum[mi];
         }
+        self.post_aprmay_device_days += other.post_aprmay_device_days;
         self.switches_pre += other.switches_pre;
         self.switches_post += other.switches_post;
         self.switches_new += other.switches_new;
@@ -407,6 +453,20 @@ impl ShardDigest {
     /// Residents counted by this digest (after the 14-day filter).
     pub fn resident_devices(&self) -> usize {
         self.resident
+    }
+
+    /// Mean Apr/May bytes per active device-day over this digest's own
+    /// post-shutdown users. **Exact and additive** (a ratio of two exact
+    /// sums), but an *aggregate* statistic: unlike
+    /// `Study::aprmay_daily_traffic_over`, it cannot be restricted to
+    /// another run's cohort, so cross-run comparisons built on it
+    /// compare each run's own population mix.
+    pub fn aprmay_daily_traffic(&self) -> f64 {
+        if self.post_aprmay_device_days == 0 {
+            return 0.0;
+        }
+        (self.post_month_bytes[2] + self.post_month_bytes[3]) as f64
+            / self.post_aprmay_device_days as f64
     }
 
     /// Headline statistics. **Exact**: every field is computed from
@@ -618,6 +678,14 @@ mod tests {
         // Quantile is within 2× of the true value by construction.
         let m = h.quantile(0.5).unwrap();
         assert!(m >= 3.0 / 2.0 && m <= 3.0 * 2.0);
+        // Fractional ranks interpolate between bucket midpoints the
+        // same way R-7 interpolates between samples: with 7 samples,
+        // q=0.75 has rank 4.5, halfway between ranks 4 ([8,16) → 12)
+        // and 5 ([8,16) → 12).
+        assert_eq!(h.quantile(0.75), Some(12.0));
+        // q=11/12 → rank 5.5, halfway between 12 and 768.
+        let v = h.quantile(11.0 / 12.0).unwrap();
+        assert!((v - 390.0).abs() < 1e-9, "{v}");
     }
 
     #[test]

@@ -9,6 +9,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod accuracy;
 pub mod ascii;
 pub mod collect;
 pub mod digest;
@@ -17,8 +18,9 @@ pub mod figures;
 pub mod matrix;
 pub mod stats;
 
+pub use accuracy::{AccuracyReport, FigureAccuracy, FigureClass, FIGURE_CLASSES};
 pub use collect::{PipelineCtx, StudyCollector};
-pub use digest::{DigestFigures, LogHist, ShardDigest};
+pub use digest::{DigestFigures, LogHist, ShardDigest, QUANTILE_BOUND};
 pub use export::ExportError;
 pub use figures::{headline_stats, HeadlineStats, StudySummary};
 pub use stats::BoxStats;

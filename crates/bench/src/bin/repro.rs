@@ -13,7 +13,10 @@
 //! repro scenarios list
 //! repro scenarios show NAME [--toml|--hash]
 //! repro watch ADDR [--interval MS]
-//! repro probe ADDR
+//! repro probe ADDR|DIR
+//! repro compare A B [--report FILE] [--json]
+//! repro compare --converge [--scales LIST] [--check FILE]
+//!               [--report FILE] [--json]
 //! ```
 //!
 //! `run all` (the default) runs the full study plus its no-event
@@ -50,7 +53,11 @@
 //! unless `--interval MS` says otherwise, and showing live/peak memory
 //! when the served run has `--mem` on), and `repro probe ADDR` hits
 //! all three endpoints once, strictly validating the exposition and
-//! JSON (the CI smoke check). See `docs/OBSERVABILITY.md`.
+//! JSON — including the per-shard `shard_loads` rows in `/progress`
+//! (the CI smoke check). `repro probe DIR` instead validates a run
+//! directory's `manifest.json`: the `accuracy` section's figure
+//! contracts and the `sharding` section's per-shard telemetry arrays.
+//! See `docs/OBSERVABILITY.md`.
 //!
 //! `--trace FILE` records a span timeline of the whole run (workers,
 //! days, pipeline stages, report emission) and writes it as Chrome
@@ -69,11 +76,27 @@
 //! count is derived from `--mem-budget BYTES` (default 512 MiB) and
 //! the run streams per-shard *digests* instead of full collectors —
 //! headline statistics stay exact, distribution figures carry a ≤2×
-//! quantile approximation, and the counterfactual and classification
-//! audit are skipped (no run-level device table exists). Both modes
-//! record a `sharding` section in `manifest.json` and surface the
-//! shard count in `/progress`. See `DESIGN.md` and `README.md` for the
-//! scale recipe.
+//! quantile approximation, and the counterfactual streams as a second
+//! digest ladder (reported as an *aggregate* growth ratio, not the
+//! exact path's cohort-matched one); only the classification audit is
+//! skipped (no run-level device table exists). Both modes record
+//! `sharding` and `accuracy` sections in `manifest.json` and surface
+//! per-shard load rows in `/progress`. See `DESIGN.md` and `README.md`
+//! for the scale recipe.
+//!
+//! `compare A B` diffs two `--out` run directories — manifest identity
+//! (config hash, scenario, seed, versions, degraded/sharding/memory),
+//! headline drift from the manifests' `accuracy` sections, and a
+//! value-by-value figure-file diff with per-file tolerances derived
+//! from the two runs' modes (exact-vs-exact demands equality; a digest
+//! side is allowed its contractual quantile ratio). Exit 1 when any
+//! figure file drifts past its tolerance. `compare --converge` instead
+//! runs an in-process digest scale ladder (`--scales`, default
+//! `0.02,0.06,0.2`) and reports how the scale-invariant headline
+//! ratios drift across rungs — `--report FILE` writes the
+//! `BENCH_convergence.json` artifact and `--check FILE` gates the
+//! measured drift against a committed baseline (the CI convergence
+//! smoke).
 //!
 //! `--fault-profile NAME` injects seeded, deterministic input
 //! corruption (`none` or `default`; see `docs/ROBUSTNESS.md`): the run
@@ -115,8 +138,16 @@ enum Command {
     ScenariosShow { name: String },
     /// `repro watch ADDR`.
     Watch { addr: String },
-    /// `repro probe ADDR`.
+    /// `repro probe ADDR|DIR`.
     Probe { addr: String },
+    /// `repro compare [A B]` — cross-run diff, or the convergence
+    /// ladder when `--converge` is set (then A/B stay empty).
+    Compare {
+        /// First run directory (required unless `--converge`).
+        a: Option<String>,
+        /// Second run directory (required unless `--converge`).
+        b: Option<String>,
+    },
 }
 
 /// The `--shards` flag, parsed.
@@ -155,10 +186,20 @@ struct Args {
     /// `scenarios show` output selectors.
     show_toml: bool,
     show_hash: bool,
+    /// `compare --converge`: run the digest scale ladder.
+    converge: bool,
+    /// `--scales LIST`: the ladder's population scales.
+    scales: Option<Vec<f64>>,
+    /// `--check FILE`: gate the ladder against a committed baseline.
+    check: Option<PathBuf>,
+    /// `--report FILE`: write the comparison/ladder JSON artifact.
+    report: Option<PathBuf>,
+    /// `--json`: print JSON instead of the text report.
+    json: bool,
     command: Command,
 }
 
-const USAGE: &str = "usage: repro run [--scale S] [--threads N] [--seed X] [--batch ROWS] [--shards K|auto] [--mem-budget BYTES] [--scenario NAME | --scenario-file PATH] [--out DIR] [--trace FILE] [--flame FILE] [--progress] [--mem] [--serve ADDR] [--fault-profile none|default] [--strict] [all|fig1..fig8|stats]\n       repro metrics [run options]          dump per-stage counters as JSON\n       repro matrix [run options] --out DIR [NAME...]   one study per scenario (default: all built-ins)\n       repro scenarios list                 list built-in scenarios\n       repro scenarios show NAME [--toml|--hash]   print a scenario (canonical TOML by default)\n       repro watch ADDR [--interval MS]   follow a served run live (poll every MS ms, default 500)\n       repro probe ADDR   hit /metrics, /healthz, /progress once, strictly validating each";
+const USAGE: &str = "usage: repro run [--scale S] [--threads N] [--seed X] [--batch ROWS] [--shards K|auto] [--mem-budget BYTES] [--scenario NAME | --scenario-file PATH] [--out DIR] [--trace FILE] [--flame FILE] [--progress] [--mem] [--serve ADDR] [--fault-profile none|default] [--strict] [all|fig1..fig8|stats]\n       repro metrics [run options]          dump per-stage counters as JSON\n       repro matrix [run options] --out DIR [NAME...]   one study per scenario (default: all built-ins)\n       repro scenarios list                 list built-in scenarios\n       repro scenarios show NAME [--toml|--hash]   print a scenario (canonical TOML by default)\n       repro watch ADDR [--interval MS]   follow a served run live (poll every MS ms, default 500)\n       repro probe ADDR|DIR   validate a served run's endpoints, or a run directory's manifest accuracy/sharding sections\n       repro compare A B [--report FILE] [--json]   diff two run directories (manifest, headline drift, figure files)\n       repro compare --converge [--scales LIST] [--check FILE] [--report FILE] [--json]   digest scale ladder (default scales 0.02,0.06,0.2)";
 
 /// Valid `repro run` targets.
 fn is_run_target(s: &str) -> bool {
@@ -191,6 +232,11 @@ fn parse_args() -> Result<Args, String> {
         interval_ms: 500,
         show_toml: false,
         show_hash: false,
+        converge: false,
+        scales: None,
+        check: None,
+        report: None,
+        json: false,
         command: Command::Run {
             target: "all".to_string(),
         },
@@ -263,6 +309,27 @@ fn parse_args() -> Result<Args, String> {
             "--strict" => args.strict = true,
             "--toml" => args.show_toml = true,
             "--hash" => args.show_hash = true,
+            "--converge" => args.converge = true,
+            "--json" => args.json = true,
+            "--check" => args.check = Some(PathBuf::from(value_of(&mut it, "--check")?)),
+            "--report" => args.report = Some(PathBuf::from(value_of(&mut it, "--report")?)),
+            "--scales" => {
+                let list = value_of(&mut it, "--scales")?;
+                let mut scales = Vec::new();
+                for part in list.split(',') {
+                    let s: f64 = part.trim().parse().map_err(|_| {
+                        format!("--scales needs comma-separated numbers, got {part:?}")
+                    })?;
+                    if s <= 0.0 || s.is_nan() {
+                        return Err(format!("--scales entries must be positive, got {s}"));
+                    }
+                    scales.push(s);
+                }
+                if scales.len() < 2 {
+                    return Err("--scales needs at least two scales for a ladder".to_string());
+                }
+                args.scales = Some(scales);
+            }
             "--help" | "-h" => {
                 eprintln!("{USAGE}");
                 std::process::exit(0);
@@ -337,6 +404,10 @@ fn parse_command(positionals: &[String]) -> Result<Command, String> {
                 ))
             }
         },
+        "compare" => Command::Compare {
+            a: rest.next().map(str::to_string),
+            b: rest.next().map(str::to_string),
+        },
         "watch" | "probe" => {
             let addr = rest.next().ok_or_else(|| {
                 format!("{head} needs a server address, e.g. `repro {head} 127.0.0.1:9184`")
@@ -389,6 +460,10 @@ fn main() -> ExitCode {
     let result = match &args.command {
         Command::Watch { addr } => return exit_of(watch(addr, args.interval_ms)),
         Command::Probe { addr } => return exit_of(probe(addr)),
+        Command::Compare { a, b } => {
+            let (a, b) = (a.clone(), b.clone());
+            return exit_of(compare_cmd(&args, a.as_deref(), b.as_deref()));
+        }
         Command::ScenariosList => return exit_of(scenarios_list()),
         Command::ScenariosShow { name } => {
             let name = name.clone();
@@ -640,11 +715,17 @@ fn render_progress(v: &serde_json::Value) -> Vec<String> {
     lines
 }
 
-/// `repro probe ADDR`: hit all three endpoints once and validate them
-/// strictly — `/metrics` through the exposition parser, the JSON
-/// endpoints through a strict JSON parser. Exit 0 means a scraper
-/// would be happy; this is the CI smoke check.
+/// `repro probe ADDR|DIR`: against a server, hit all three endpoints
+/// once and validate them strictly — `/metrics` through the exposition
+/// parser, the JSON endpoints through a strict JSON parser, and the
+/// per-shard `shard_loads` rows in `/progress` structurally. Against a
+/// run directory, validate the manifest's `accuracy` and `sharding`
+/// sections instead. Exit 0 means a scraper (or `repro compare`) would
+/// be happy; this is the CI smoke check.
 fn probe(addr: &str) -> Result<(), String> {
+    if std::path::Path::new(addr).is_dir() {
+        return probe_dir(std::path::Path::new(addr));
+    }
     let metrics = http_ok(addr, "/metrics")?;
     let exposition = lockdown_obs::prom::parse(&metrics.body)
         .map_err(|e| format!("/metrics is not valid Prometheus exposition: {e}"))?;
@@ -658,6 +739,21 @@ fn probe(addr: &str) -> Result<(), String> {
         .get("status")
         .and_then(serde_json::Value::as_str)
         .ok_or("/healthz has no status field")?;
+    // Per-shard load telemetry: the key must exist (empty on a
+    // monolithic run) and every row must be structurally complete.
+    let shard_loads = progress
+        .get("shard_loads")
+        .and_then(serde_json::Value::as_array)
+        .ok_or("/progress has no shard_loads array — server predates per-shard load telemetry")?;
+    for row in shard_loads {
+        for key in ["shard", "days_done", "flows", "wall_ns"] {
+            if row.get(key).and_then(serde_json::Value::as_u64).is_none() {
+                return Err(format!(
+                    "/progress shard_loads row is missing {key}: {row:?}"
+                ));
+            }
+        }
+    }
     let u = |key: &str| {
         progress
             .get(key)
@@ -665,12 +761,150 @@ fn probe(addr: &str) -> Result<(), String> {
             .unwrap_or(0)
     };
     println!(
-        "probe {addr}: {} metric families · health {status} · {}/{} days · {} flows",
+        "probe {addr}: {} metric families · health {status} · {}/{} days · {} flows · {} shard load rows",
         exposition.families.len(),
         u("days_completed"),
         u("days_total"),
         u("flows"),
+        shard_loads.len(),
     );
+    Ok(())
+}
+
+/// `repro probe DIR`: validate a run directory's `manifest.json` — the
+/// `accuracy` section (mode, bound, headline values, per-figure
+/// contracts) and, when the run was sharded, the per-shard telemetry
+/// arrays in the `sharding` section. Gives a clear error for artifacts
+/// that predate the accuracy instrumentation.
+fn probe_dir(dir: &std::path::Path) -> Result<(), String> {
+    let path = dir.join("manifest.json");
+    let text = std::fs::read_to_string(&path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    let m: serde_json::Value = serde_json::from_str(&text)
+        .map_err(|e| format!("{} is not valid JSON: {e}", path.display()))?;
+    let accuracy = match m.get("accuracy") {
+        Some(a) if !a.is_null() => a,
+        _ => {
+            return Err(format!(
+                "{} has no accuracy section — this run predates the accuracy \
+                 instrumentation; regenerate the artifacts with a current `repro run --out`",
+                path.display()
+            ))
+        }
+    };
+    let mode = accuracy
+        .get("mode")
+        .and_then(serde_json::Value::as_str)
+        .ok_or("accuracy section has no mode")?;
+    let bound = accuracy
+        .get("guaranteed_bound")
+        .and_then(serde_json::Value::as_f64)
+        .ok_or("accuracy section has no guaranteed_bound")?;
+    let headline = accuracy
+        .get("headline")
+        .and_then(serde_json::Value::as_object)
+        .ok_or("accuracy section has no headline object")?;
+    let figures = accuracy
+        .get("figures")
+        .and_then(serde_json::Value::as_array)
+        .ok_or("accuracy section has no figures array")?;
+    for f in figures {
+        for key in ["figure", "kind", "bound"] {
+            if f.get(key).is_none() {
+                return Err(format!("accuracy figure contract is missing {key}: {f:?}"));
+            }
+        }
+    }
+    let mut shard_note = String::new();
+    if let Some(sh) = m.get("sharding").filter(|s| !s.is_null()) {
+        let shards = sh
+            .get("shards")
+            .and_then(serde_json::Value::as_u64)
+            .ok_or("sharding section has no shard count")?;
+        for key in ["per_shard_flows", "per_shard_bytes", "per_shard_wall_ns"] {
+            let len = sh
+                .get(key)
+                .and_then(serde_json::Value::as_array)
+                .ok_or_else(|| {
+                    format!(
+                        "sharding section has no {key} array — this run predates \
+                         per-shard load telemetry; regenerate with a current `repro run --out`"
+                    )
+                })?
+                .len();
+            if len as u64 != shards {
+                return Err(format!(
+                    "sharding.{key} has {len} entries for {shards} shards"
+                ));
+            }
+        }
+        shard_note = format!(" · {shards} shards with load telemetry");
+    }
+    println!(
+        "probe {}: accuracy mode {mode} (bound ≤{bound}×) · {} headline stats · {} figure contracts{shard_note}",
+        dir.display(),
+        headline.len(),
+        figures.len(),
+    );
+    Ok(())
+}
+
+/// `repro compare`: cross-run diff of two artifact directories, or the
+/// digest convergence ladder under `--converge`. Exit 1 when the diff
+/// exceeds tolerance or the ladder fails its `--check` gate.
+fn compare_cmd(args: &Args, a: Option<&str>, b: Option<&str>) -> Result<(), String> {
+    use lockdown_bench::compare;
+    if args.converge {
+        if a.is_some() || b.is_some() {
+            return Err(format!(
+                "compare --converge runs its own ladder and takes no run directories; {USAGE}"
+            ));
+        }
+        let default_scales = [0.02, 0.06, 0.2];
+        let scales: &[f64] = args.scales.as_deref().unwrap_or(&default_scales);
+        let budget = args.mem_budget.unwrap_or(DEFAULT_MEM_BUDGET);
+        eprintln!(
+            "convergence ladder: {} digest runs at scales {:?}, seed {:#x}…",
+            scales.len(),
+            scales,
+            args.seed
+        );
+        let report = compare::converge(scales, args.seed, args.threads, budget)
+            .map_err(|e| format!("ladder run failed: {e}"))?;
+        if args.json {
+            println!("{}", report.to_json());
+        } else {
+            print!("{}", report.to_text());
+        }
+        if let Some(path) = &args.report {
+            write_text(path, &report.to_json(), "convergence artifact")
+                .map_err(|e| e.to_string())?;
+        }
+        if let Some(path) = &args.check {
+            let committed = std::fs::read_to_string(path)
+                .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+            let verdict = compare::check_convergence(&report, &committed)?;
+            println!("{verdict}");
+        }
+        return Ok(());
+    }
+    let (Some(a), Some(b)) = (a, b) else {
+        return Err(format!(
+            "compare needs two run directories (or --converge); {USAGE}"
+        ));
+    };
+    let report = compare::compare_dirs(std::path::Path::new(a), std::path::Path::new(b))?;
+    if args.json {
+        println!("{}", report.to_json());
+    } else {
+        print!("{}", report.to_text());
+    }
+    if let Some(path) = &args.report {
+        write_text(path, &report.to_json(), "comparison artifact").map_err(|e| e.to_string())?;
+    }
+    if !report.within_tolerance() {
+        return Err("figure drift exceeds the mode tolerance (see report above)".to_string());
+    }
     Ok(())
 }
 
@@ -753,15 +987,20 @@ fn run(args: &Args) -> Result<(), StudyError> {
     };
 
     if args.shards == ShardsArg::Auto {
-        // Digest mode: shard count derives from the memory budget, the
-        // pipeline streams per-shard digests, the counterfactual and
-        // audit are skipped.
+        // Digest mode: shard count derives from the memory budget and
+        // the pipeline streams per-shard digests. The full report
+        // (`all`) also streams the counterfactual as a second digest
+        // ladder; only the classification audit is skipped.
         let budget = args.mem_budget.unwrap_or(DEFAULT_MEM_BUDGET);
         eprintln!(
             "sharded digest mode: memory budget {:.0} MiB",
             budget as f64 / (1 << 20) as f64
         );
-        let d = builder(cfg).mem_budget(budget).run_digest()?;
+        let mut b = builder(cfg).mem_budget(budget);
+        if target == "all" {
+            b = b.with_counterfactual();
+        }
+        let d = b.run_digest()?;
         eprintln!(
             "digest study done in {:.1}s ({} shards, merge depth {})",
             t0.elapsed().as_secs_f64(),
@@ -865,6 +1104,13 @@ fn run(args: &Args) -> Result<(), StudyError> {
     }
     if args.out.is_some() || args.trace.is_some() || args.flame.is_some() {
         let mut manifest = report::run_manifest(&study, args.threads, trace_data.as_ref());
+        // The exact `all` target above ran with the cohort-matched
+        // counterfactual; record that in the accuracy contract.
+        if target == "all" {
+            if let Some(acc) = manifest.accuracy.as_mut() {
+                acc.counterfactual = "cohort-exact".to_string();
+            }
+        }
         if manifest.wall_ns == 0 {
             manifest.wall_ns = t0.elapsed().as_nanos() as u64;
         }

@@ -1,0 +1,914 @@
+//! Cross-run comparison engine: typed diffs of two run artifact
+//! directories, and the digest convergence ladder.
+//!
+//! [`compare_dirs`] reads the `manifest.json` and figure files of two
+//! `repro --out` directories and reports three layers of drift:
+//!
+//! 1. **Manifest identity** — config hash, scenario, seed, scale,
+//!    crate versions, degraded days, sharding and memory sections.
+//! 2. **Headline drift** — the `accuracy` section's headline values
+//!    (exact under every mode) compared as relative deltas.
+//! 3. **Figure-file numeric diff** — every figure file compared value
+//!    by value, with a per-file tolerance derived from the two runs'
+//!    modes: exact-vs-exact demands equality, digest comparisons allow
+//!    the digest contract's quantile ratio (≤2×, fig3 ≤4× after
+//!    renormalization), and box-plot `n` counts stay exact always.
+//!
+//! [`converge`] drives a digest-mode scale ladder and reports how the
+//! scale-invariant headline ratios drift across scales — the artifact
+//! behind `results/BENCH_convergence.json` and the CI convergence gate.
+
+use lockdown_core::{Study, StudyError};
+use lockdown_obs::json::quoted;
+use serde_json::Value;
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+/// Ratio slack so a bound like 2.0 is not failed by float noise.
+const RATIO_EPS: f64 = 1e-9;
+
+/// Relative-delta floor: denominators are clamped to this.
+const REL_EPS: f64 = 1e-12;
+
+/// The figure files a run directory carries, with the per-file quantile
+/// tolerance that applies when either side of a comparison is a digest
+/// run. Exact-vs-exact comparisons use 1.0 (equality) everywhere.
+pub const FIGURE_FILES: [(&str, f64); 8] = [
+    ("fig1.csv", 1.0),
+    ("fig2.csv", 2.0),
+    ("fig3.csv", 4.0),
+    ("fig4.csv", 2.0),
+    ("fig5.csv", 1.0),
+    ("fig6.json", 2.0),
+    ("fig7.json", 2.0),
+    ("fig8.csv", 1.0),
+];
+
+/// Numeric accumulator shared by the CSV and JSON walkers.
+#[derive(Debug, Default, Clone)]
+struct Acc {
+    compared: usize,
+    mismatched: usize,
+    max_ratio: f64,
+    max_abs_delta: f64,
+}
+
+impl Acc {
+    fn pair(&mut self, a: f64, b: f64, exact: bool) {
+        self.compared += 1;
+        self.max_abs_delta = self.max_abs_delta.max((a - b).abs());
+        if a == b {
+            self.max_ratio = self.max_ratio.max(1.0);
+            return;
+        }
+        if exact || a == 0.0 || b == 0.0 || a.signum() != b.signum() {
+            // One-sided zeros and sign flips have no meaningful ratio;
+            // under an exact contract any difference is a mismatch.
+            self.mismatched += 1;
+            return;
+        }
+        let (a, b) = (a.abs(), b.abs());
+        self.max_ratio = self.max_ratio.max((a / b).max(b / a));
+    }
+}
+
+/// One figure file's numeric diff.
+#[derive(Debug, Clone)]
+pub struct FigureFileDiff {
+    /// File name (e.g. `fig2.csv`).
+    pub file: &'static str,
+    /// Allowed worst-case value ratio for this comparison.
+    pub tolerance: f64,
+    /// Numeric value pairs compared.
+    pub compared: usize,
+    /// Structural or exactness mismatches (shape, text, one-sided
+    /// zeros, sign flips, `n` counts differing).
+    pub mismatched: usize,
+    /// Largest measured value ratio (max(a/b, b/a); 0 if nothing
+    /// compared).
+    pub max_ratio: f64,
+    /// Largest absolute delta.
+    pub max_abs_delta: f64,
+    /// Set when the file could not be compared at all (missing on one
+    /// or both sides, unreadable, unparseable).
+    pub note: Option<String>,
+}
+
+impl FigureFileDiff {
+    /// True when the file's measured drift sits inside its tolerance.
+    pub fn within(&self) -> bool {
+        if self.note.is_some() || self.mismatched > 0 {
+            return false;
+        }
+        if self.tolerance <= 1.0 {
+            self.max_ratio <= 1.0 + RATIO_EPS
+        } else {
+            self.max_ratio <= self.tolerance + RATIO_EPS
+        }
+    }
+}
+
+/// One headline statistic's cross-run drift.
+#[derive(Debug, Clone)]
+pub struct HeadlineDrift {
+    /// Statistic name, from the manifest `accuracy.headline` object.
+    pub stat: String,
+    /// Value in run A.
+    pub a: f64,
+    /// Value in run B.
+    pub b: f64,
+    /// `|a − b| / max(|a|, |b|, ε)`.
+    pub rel_delta: f64,
+}
+
+/// The full typed comparison of two run directories.
+#[derive(Debug, Clone)]
+pub struct CompareReport {
+    /// Directory of run A.
+    pub a: PathBuf,
+    /// Directory of run B.
+    pub b: PathBuf,
+    /// Producing mode of run A (`exact`/`digest`; from the manifest).
+    pub mode_a: String,
+    /// Producing mode of run B.
+    pub mode_b: String,
+    /// Config hashes equal — same simulation config on both sides.
+    pub config_hash_matches: bool,
+    /// Scenario names and content hashes equal.
+    pub scenario_matches: bool,
+    /// Seeds equal.
+    pub seed_matches: bool,
+    /// Population scale of run A.
+    pub scale_a: f64,
+    /// Population scale of run B.
+    pub scale_b: f64,
+    /// Crate version maps equal.
+    pub crates_match: bool,
+    /// Degraded-day entries in run A's manifest.
+    pub degraded_a: usize,
+    /// Degraded-day entries in run B's manifest.
+    pub degraded_b: usize,
+    /// Shard counts (1 when the manifest has no sharding section).
+    pub shards_a: u64,
+    /// Shard count of run B.
+    pub shards_b: u64,
+    /// Manifest `memory.peak_bytes`, when each run tracked memory.
+    pub mem_peak_a: Option<u64>,
+    /// Peak of run B.
+    pub mem_peak_b: Option<u64>,
+    /// Headline drift rows (empty when either manifest predates the
+    /// `accuracy` section).
+    pub headline: Vec<HeadlineDrift>,
+    /// Per-figure-file numeric diffs.
+    pub figures: Vec<FigureFileDiff>,
+}
+
+impl CompareReport {
+    /// Largest headline relative delta (0 when nothing compared).
+    pub fn headline_max_rel_delta(&self) -> f64 {
+        self.headline
+            .iter()
+            .map(|h| h.rel_delta)
+            .fold(0.0, f64::max)
+    }
+
+    /// True when every figure file sits inside its tolerance. Headline
+    /// drift and identity mismatches are reported, not gated — two
+    /// runs at different scales legitimately differ in headline counts.
+    pub fn within_tolerance(&self) -> bool {
+        self.figures.iter().all(FigureFileDiff::within)
+    }
+
+    /// Render as an aligned text report.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "== compare {} ({}) vs {} ({}) ==",
+            self.a.display(),
+            self.mode_a,
+            self.b.display(),
+            self.mode_b,
+        );
+        let tick = |same: bool| if same { "match" } else { "DIFFER" };
+        let _ = writeln!(out, "config hash: {}", tick(self.config_hash_matches));
+        let _ = writeln!(out, "scenario:    {}", tick(self.scenario_matches));
+        let _ = writeln!(out, "seed:        {}", tick(self.seed_matches));
+        let _ = writeln!(
+            out,
+            "scale:       {} vs {}{}",
+            self.scale_a,
+            self.scale_b,
+            if self.scale_a == self.scale_b {
+                ""
+            } else {
+                "  (cross-scale: headline deltas are expected)"
+            }
+        );
+        let _ = writeln!(out, "crates:      {}", tick(self.crates_match));
+        let _ = writeln!(
+            out,
+            "degraded:    {} vs {} day entries",
+            self.degraded_a, self.degraded_b
+        );
+        let _ = writeln!(out, "shards:      {} vs {}", self.shards_a, self.shards_b);
+        if let (Some(pa), Some(pb)) = (self.mem_peak_a, self.mem_peak_b) {
+            let _ = writeln!(
+                out,
+                "mem peak:    {:.1} MiB vs {:.1} MiB",
+                pa as f64 / (1 << 20) as f64,
+                pb as f64 / (1 << 20) as f64
+            );
+        }
+        if self.headline.is_empty() {
+            let _ = writeln!(
+                out,
+                "headline:    (no accuracy section on one side — pre-accuracy manifest)"
+            );
+        } else {
+            let _ = writeln!(
+                out,
+                "headline:    max rel delta {:.3e} over {} stats",
+                self.headline_max_rel_delta(),
+                self.headline.len()
+            );
+            for h in &self.headline {
+                if h.rel_delta > 0.0 {
+                    let _ = writeln!(
+                        out,
+                        "   {:<34} {:>14.3} vs {:>14.3}  ({:+.2}%)",
+                        h.stat,
+                        h.a,
+                        h.b,
+                        100.0 * (h.b - h.a) / h.a.abs().max(REL_EPS)
+                    );
+                }
+            }
+        }
+        let _ = writeln!(out, "figures:");
+        for f in &self.figures {
+            let status = match &f.note {
+                Some(note) => format!("SKIP ({note})"),
+                None if f.within() => "ok".to_string(),
+                None => "EXCEEDS".to_string(),
+            };
+            let _ = writeln!(
+                out,
+                "   {:<10} ≤{:<4} {:>6} values  {:>3} mismatched  max ratio {:<8.4} max |Δ| {:<12.4} {status}",
+                f.file, f.tolerance, f.compared, f.mismatched, f.max_ratio, f.max_abs_delta,
+            );
+        }
+        let _ = writeln!(
+            out,
+            "verdict: {}",
+            if self.within_tolerance() {
+                "WITHIN TOLERANCE"
+            } else {
+                "DRIFT EXCEEDS TOLERANCE"
+            }
+        );
+        out
+    }
+
+    /// Render as a strict JSON object.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        let _ = write!(out, "\"a\":{}", quoted(&self.a.display().to_string()));
+        let _ = write!(out, ",\"b\":{}", quoted(&self.b.display().to_string()));
+        let _ = write!(out, ",\"mode_a\":{}", quoted(&self.mode_a));
+        let _ = write!(out, ",\"mode_b\":{}", quoted(&self.mode_b));
+        let _ = write!(out, ",\"config_hash_matches\":{}", self.config_hash_matches);
+        let _ = write!(out, ",\"scenario_matches\":{}", self.scenario_matches);
+        let _ = write!(out, ",\"seed_matches\":{}", self.seed_matches);
+        let _ = write!(out, ",\"scale_a\":{:?}", self.scale_a);
+        let _ = write!(out, ",\"scale_b\":{:?}", self.scale_b);
+        let _ = write!(out, ",\"crates_match\":{}", self.crates_match);
+        let _ = write!(out, ",\"degraded_a\":{}", self.degraded_a);
+        let _ = write!(out, ",\"degraded_b\":{}", self.degraded_b);
+        let _ = write!(out, ",\"shards_a\":{}", self.shards_a);
+        let _ = write!(out, ",\"shards_b\":{}", self.shards_b);
+        let _ = write!(
+            out,
+            ",\"headline_max_rel_delta\":{:?}",
+            self.headline_max_rel_delta()
+        );
+        out.push_str(",\"headline\":[");
+        for (i, h) in self.headline.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"stat\":{},\"a\":{:?},\"b\":{:?},\"rel_delta\":{:?}}}",
+                quoted(&h.stat),
+                h.a,
+                h.b,
+                h.rel_delta
+            );
+        }
+        out.push_str("],\"figures\":[");
+        for (i, f) in self.figures.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"file\":{},\"tolerance\":{:?},\"compared\":{},\"mismatched\":{},\"max_ratio\":{:?},\"max_abs_delta\":{:?},\"within\":{}",
+                quoted(f.file), f.tolerance, f.compared, f.mismatched, f.max_ratio,
+                f.max_abs_delta, f.within(),
+            );
+            match &f.note {
+                Some(n) => {
+                    let _ = write!(out, ",\"note\":{}}}", quoted(n));
+                }
+                None => out.push_str(",\"note\":null}"),
+            }
+        }
+        let _ = write!(out, "],\"within_tolerance\":{}}}", self.within_tolerance());
+        out
+    }
+}
+
+fn read_manifest(dir: &Path) -> Result<Value, String> {
+    let path = dir.join("manifest.json");
+    let text = std::fs::read_to_string(&path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    serde_json::from_str(&text).map_err(|e| format!("{} is not valid JSON: {e}", path.display()))
+}
+
+/// A manifest's producing mode: `accuracy.mode` when present, else the
+/// `sharding.mode`, else `exact` (a monolithic pre-sharding manifest).
+fn mode_of(m: &Value) -> String {
+    m.get("accuracy")
+        .and_then(|a| a.get("mode"))
+        .or_else(|| m.get("sharding").and_then(|s| s.get("mode")))
+        .and_then(Value::as_str)
+        .unwrap_or("exact")
+        .to_string()
+}
+
+/// Compare two `repro --out` run directories. Errors only on missing
+/// or unreadable manifests; missing figure files degrade to per-file
+/// notes so partial artifacts still produce a report.
+pub fn compare_dirs(a: &Path, b: &Path) -> Result<CompareReport, String> {
+    let ma = read_manifest(a)?;
+    let mb = read_manifest(b)?;
+    let mode_a = mode_of(&ma);
+    let mode_b = mode_of(&mb);
+    let digest_involved = mode_a == "digest" || mode_b == "digest";
+
+    let str_eq =
+        |key: &str| ma.get(key).and_then(Value::as_str) == mb.get(key).and_then(Value::as_str);
+    let scale = |m: &Value| m.get("scale").and_then(Value::as_f64).unwrap_or(0.0);
+    let degraded = |m: &Value| {
+        m.get("degraded")
+            .and_then(Value::as_array)
+            .map(Vec::len)
+            .unwrap_or(0)
+    };
+    let shards = |m: &Value| {
+        m.get("sharding")
+            .and_then(|s| s.get("shards"))
+            .and_then(Value::as_u64)
+            .unwrap_or(1)
+    };
+    let mem_peak = |m: &Value| {
+        m.get("memory")
+            .and_then(|s| s.get("peak_bytes"))
+            .and_then(Value::as_u64)
+    };
+
+    // Headline drift from the two accuracy sections, keyed by stat name.
+    let mut headline = Vec::new();
+    if let (Some(ha), Some(hb)) = (
+        ma.get("accuracy")
+            .and_then(|x| x.get("headline"))
+            .and_then(Value::as_object),
+        mb.get("accuracy")
+            .and_then(|x| x.get("headline"))
+            .and_then(Value::as_object),
+    ) {
+        for (stat, va) in ha {
+            let (Some(va), Some(vb)) = (va.as_f64(), hb.get(stat).and_then(Value::as_f64)) else {
+                continue;
+            };
+            let rel_delta = (va - vb).abs() / va.abs().max(vb.abs()).max(REL_EPS);
+            headline.push(HeadlineDrift {
+                stat: stat.clone(),
+                a: va,
+                b: vb,
+                rel_delta,
+            });
+        }
+    }
+
+    let figures = FIGURE_FILES
+        .iter()
+        .map(|&(file, digest_tol)| {
+            let tolerance = if digest_involved { digest_tol } else { 1.0 };
+            diff_figure_file(&a.join(file), &b.join(file), file, tolerance)
+        })
+        .collect();
+
+    Ok(CompareReport {
+        a: a.to_path_buf(),
+        b: b.to_path_buf(),
+        mode_a,
+        mode_b,
+        config_hash_matches: str_eq("config_hash"),
+        scenario_matches: str_eq("scenario") && str_eq("scenario_hash"),
+        seed_matches: ma.get("seed").and_then(Value::as_u64)
+            == mb.get("seed").and_then(Value::as_u64),
+        scale_a: scale(&ma),
+        scale_b: scale(&mb),
+        crates_match: ma.get("crates") == mb.get("crates"),
+        degraded_a: degraded(&ma),
+        degraded_b: degraded(&mb),
+        shards_a: shards(&ma),
+        shards_b: shards(&mb),
+        mem_peak_a: mem_peak(&ma),
+        mem_peak_b: mem_peak(&mb),
+        headline,
+        figures,
+    })
+}
+
+/// Diff one figure file pair: positional numeric comparison for CSVs,
+/// parallel structural walk for JSON box tables.
+fn diff_figure_file(pa: &Path, pb: &Path, file: &'static str, tolerance: f64) -> FigureFileDiff {
+    let mut diff = FigureFileDiff {
+        file,
+        tolerance,
+        compared: 0,
+        mismatched: 0,
+        max_ratio: 0.0,
+        max_abs_delta: 0.0,
+        note: None,
+    };
+    let (ta, tb) = match (std::fs::read_to_string(pa), std::fs::read_to_string(pb)) {
+        (Ok(a), Ok(b)) => (a, b),
+        (ra, rb) => {
+            let side =
+                |r: &std::io::Result<String>, p: &Path| r.is_err().then(|| p.display().to_string());
+            diff.note = Some(format!(
+                "missing: {}",
+                [side(&ra, pa), side(&rb, pb)]
+                    .into_iter()
+                    .flatten()
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            ));
+            return diff;
+        }
+    };
+    let mut acc = Acc::default();
+    if file.ends_with(".json") {
+        match (
+            serde_json::from_str::<Value>(&ta),
+            serde_json::from_str::<Value>(&tb),
+        ) {
+            (Ok(va), Ok(vb)) => walk_json(&va, &vb, false, &mut acc),
+            _ => {
+                diff.note = Some("unparseable JSON".to_string());
+                return diff;
+            }
+        }
+    } else {
+        diff_csv(&ta, &tb, &mut acc);
+    }
+    diff.compared = acc.compared;
+    diff.mismatched = acc.mismatched;
+    diff.max_ratio = acc.max_ratio;
+    diff.max_abs_delta = acc.max_abs_delta;
+    diff
+}
+
+/// Positional CSV diff: numeric tokens pair up as values, non-numeric
+/// tokens (headers, labels) must match exactly, and any shape
+/// difference (line or field count) is a mismatch.
+fn diff_csv(a: &str, b: &str, acc: &mut Acc) {
+    let la: Vec<&str> = a.lines().collect();
+    let lb: Vec<&str> = b.lines().collect();
+    acc.mismatched += la.len().abs_diff(lb.len());
+    for (ra, rb) in la.iter().zip(&lb) {
+        let fa: Vec<&str> = ra.split(',').collect();
+        let fb: Vec<&str> = rb.split(',').collect();
+        acc.mismatched += fa.len().abs_diff(fb.len());
+        for (va, vb) in fa.iter().zip(&fb) {
+            match (va.parse::<f64>(), vb.parse::<f64>()) {
+                (Ok(x), Ok(y)) => acc.pair(x, y, false),
+                _ => {
+                    if va != vb {
+                        acc.mismatched += 1;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Parallel JSON walk. Box-plot `n` counts are additive and exact under
+/// every mode, so they are compared with `exact` regardless of the
+/// file's tolerance.
+fn walk_json(a: &Value, b: &Value, exact: bool, acc: &mut Acc) {
+    match (a, b) {
+        (Value::Object(oa), Value::Object(ob)) => {
+            acc.mismatched += oa.len().abs_diff(ob.len());
+            for (key, va) in oa {
+                match ob.get(key) {
+                    Some(vb) => walk_json(va, vb, exact || key == "n", acc),
+                    None => acc.mismatched += 1,
+                }
+            }
+        }
+        (Value::Array(xa), Value::Array(xb)) => {
+            acc.mismatched += xa.len().abs_diff(xb.len());
+            for (va, vb) in xa.iter().zip(xb) {
+                walk_json(va, vb, exact, acc);
+            }
+        }
+        (Value::Number(x), Value::Number(y)) => acc.pair(*x, *y, exact),
+        (Value::Null, Value::Null) => {}
+        (Value::Bool(x), Value::Bool(y)) if x == y => {}
+        (Value::String(x), Value::String(y)) if x == y => {}
+        _ => acc.mismatched += 1,
+    }
+}
+
+/// One rung of the convergence ladder: the scale-invariant headline
+/// ratios of a digest run at one population scale.
+#[derive(Debug, Clone)]
+pub struct ConvergencePoint {
+    /// Population scale factor of this rung.
+    pub scale: f64,
+    /// Shards the memory budget derived at this scale.
+    pub shards: u32,
+    /// Feb → Apr/May traffic growth (paper: +58%).
+    pub traffic_growth: f64,
+    /// Feb → Apr/May distinct-sites growth (paper: +34%).
+    pub sites_growth: f64,
+    /// International share of identified devices (paper: 18%).
+    pub intl_share: f64,
+    /// Post-shutdown share of resident devices.
+    pub post_share: f64,
+    /// Trough / peak active-device ratio across the study window.
+    pub trough_peak_ratio: f64,
+}
+
+/// Accessor for one scale-invariant ratio of a [`ConvergencePoint`].
+type InvariantFn = fn(&ConvergencePoint) -> f64;
+
+/// The named invariants a [`ConvergencePoint`] carries, as accessors.
+const INVARIANTS: [(&str, InvariantFn); 5] = [
+    ("traffic_growth", |p| p.traffic_growth),
+    ("sites_growth", |p| p.sites_growth),
+    ("intl_share", |p| p.intl_share),
+    ("post_share", |p| p.post_share),
+    ("trough_peak_ratio", |p| p.trough_peak_ratio),
+];
+
+/// A completed convergence ladder: one digest run per scale, plus the
+/// drift of every invariant across successive rungs.
+#[derive(Debug, Clone)]
+pub struct ConvergenceReport {
+    /// RNG seed every rung ran with.
+    pub seed: u64,
+    /// Memory budget handed to digest mode, bytes.
+    pub mem_budget: u64,
+    /// Worker threads per rung.
+    pub threads: usize,
+    /// The ladder, in ascending scale order.
+    pub points: Vec<ConvergencePoint>,
+}
+
+impl ConvergenceReport {
+    /// Per-invariant drift: the largest relative delta between
+    /// successive rungs.
+    pub fn drifts(&self) -> Vec<(&'static str, f64)> {
+        INVARIANTS
+            .iter()
+            .map(|&(name, get)| {
+                let worst = self
+                    .points
+                    .windows(2)
+                    .map(|w| {
+                        let (x, y) = (get(&w[0]), get(&w[1]));
+                        (x - y).abs() / x.abs().max(y.abs()).max(REL_EPS)
+                    })
+                    .fold(0.0, f64::max);
+                (name, worst)
+            })
+            .collect()
+    }
+
+    /// The ladder's headline number: the worst invariant drift.
+    pub fn max_drift(&self) -> f64 {
+        self.drifts().iter().map(|&(_, d)| d).fold(0.0, f64::max)
+    }
+
+    /// Render as a strict JSON artifact (`BENCH_convergence.json`).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        let _ = write!(out, "\"seed\":{}", self.seed);
+        let _ = write!(out, ",\"mem_budget\":{}", self.mem_budget);
+        let _ = write!(out, ",\"threads\":{}", self.threads);
+        out.push_str(",\"points\":[");
+        for (i, p) in self.points.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"scale\":{:?},\"shards\":{},\"traffic_growth\":{:?},\"sites_growth\":{:?},\"intl_share\":{:?},\"post_share\":{:?},\"trough_peak_ratio\":{:?}}}",
+                p.scale, p.shards, p.traffic_growth, p.sites_growth, p.intl_share,
+                p.post_share, p.trough_peak_ratio,
+            );
+        }
+        out.push_str("],\"drift\":{");
+        for (i, (name, d)) in self.drifts().into_iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{}:{:?}", quoted(name), d);
+        }
+        let _ = write!(out, "}},\"max_drift\":{:?}}}", self.max_drift());
+        out
+    }
+
+    /// Render as an aligned text table.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "== convergence ladder: {} scales, seed {:#x}, budget {:.0} MiB ==",
+            self.points.len(),
+            self.seed,
+            self.mem_budget as f64 / (1 << 20) as f64
+        );
+        let _ = writeln!(
+            out,
+            "{:<8} {:>7} {:>15} {:>13} {:>11} {:>11} {:>18}",
+            "scale",
+            "shards",
+            "traffic_growth",
+            "sites_growth",
+            "intl_share",
+            "post_share",
+            "trough_peak_ratio"
+        );
+        for p in &self.points {
+            let _ = writeln!(
+                out,
+                "{:<8} {:>7} {:>14.1}% {:>12.1}% {:>10.1}% {:>10.1}% {:>18.4}",
+                p.scale,
+                p.shards,
+                100.0 * p.traffic_growth,
+                100.0 * p.sites_growth,
+                100.0 * p.intl_share,
+                100.0 * p.post_share,
+                p.trough_peak_ratio,
+            );
+        }
+        for (name, d) in self.drifts() {
+            let _ = writeln!(out, "drift {:<18} {:.4}", name, d);
+        }
+        let _ = writeln!(out, "max drift: {:.4}", self.max_drift());
+        out
+    }
+}
+
+/// Run the digest convergence ladder: one digest-mode study per scale
+/// (ascending), collecting the scale-invariant headline ratios.
+pub fn converge(
+    scales: &[f64],
+    seed: u64,
+    threads: usize,
+    mem_budget: u64,
+) -> Result<ConvergenceReport, StudyError> {
+    let mut scales: Vec<f64> = scales.to_vec();
+    scales.sort_by(f64::total_cmp);
+    let mut points = Vec::with_capacity(scales.len());
+    for scale in scales {
+        let cfg = campussim::SimConfig {
+            scale,
+            seed,
+            ..Default::default()
+        };
+        let d = Study::builder(cfg)
+            .threads(threads)
+            .mem_budget(mem_budget)
+            .run_digest()?;
+        let h = d.headline();
+        points.push(ConvergencePoint {
+            scale,
+            shards: d.sharding().shards,
+            traffic_growth: h.traffic_growth_feb_to_aprmay,
+            sites_growth: h.sites_growth,
+            intl_share: h.intl_devices as f64 / h.identified_devices.max(1) as f64,
+            post_share: h.post_shutdown_devices as f64 / d.resident_devices.max(1) as f64,
+            trough_peak_ratio: f64::from(h.trough_active) / f64::from(h.peak_active.max(1)),
+        });
+    }
+    Ok(ConvergenceReport {
+        seed,
+        mem_budget,
+        threads,
+        points,
+    })
+}
+
+/// Gate a measured ladder against a committed baseline artifact:
+/// the measured max drift may exceed the committed one by at most
+/// 1.5× plus a 0.02 absolute allowance (the same ratio-gate shape as
+/// the perf and memory smoke checks). Returns the one-line verdict, or
+/// an error describing the regression.
+pub fn check_convergence(
+    measured: &ConvergenceReport,
+    committed_json: &str,
+) -> Result<String, String> {
+    let committed: Value = serde_json::from_str(committed_json)
+        .map_err(|e| format!("committed convergence baseline is not valid JSON: {e}"))?;
+    let committed_drift = committed
+        .get("max_drift")
+        .and_then(Value::as_f64)
+        .ok_or("committed convergence baseline has no max_drift field")?;
+    let allowed = committed_drift * 1.5 + 0.02;
+    let got = measured.max_drift();
+    if got > allowed {
+        return Err(format!(
+            "convergence drift regression: measured max drift {got:.4} exceeds allowed {allowed:.4} (committed {committed_drift:.4} × 1.5 + 0.02)"
+        ));
+    }
+    Ok(format!(
+        "convergence gate ok: measured max drift {got:.4} ≤ allowed {allowed:.4} (committed {committed_drift:.4})"
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A minimal synthetic run directory: manifest with an accuracy
+    /// section plus one CSV and one JSON figure file; the rest missing.
+    fn fake_run_dir(name: &str, median: f64) -> PathBuf {
+        let dir = std::env::temp_dir()
+            .join("lockdown_compare_test")
+            .join(name);
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        std::fs::write(
+            dir.join("manifest.json"),
+            r#"{"tool":"repro","config_hash":"abc","scenario":"paper-2020","scenario_hash":"def","seed":7,"scale":0.01,"crates":{"analysis":"0.1.0"},"degraded":[],"memory":null,"sharding":{"shards":2,"mode":"digest","merge_depth":3,"per_shard_peak_bytes":[],"per_shard_flows":[5,6],"per_shard_bytes":[50,60],"per_shard_wall_ns":[1,2]},"accuracy":{"mode":"digest","guaranteed_bound":4.0,"counterfactual":"not-requested","headline":{"peak_active":52.0,"sites_growth":0.34},"figures":[]}}"#,
+        )
+        .expect("manifest");
+        std::fs::write(dir.join("fig1.csv"), "day,total\n0,10\n1,12\n").expect("fig1");
+        std::fs::write(
+            dir.join("fig6.json"),
+            format!(r#"{{"boxes":[{{"n":4,"median":{median}}}]}}"#),
+        )
+        .expect("fig6");
+        dir
+    }
+
+    #[test]
+    fn self_compare_reports_zero_drift() {
+        let dir = fake_run_dir("self", 1.5);
+        let r = compare_dirs(&dir, &dir).expect("compare");
+        assert_eq!(r.mode_a, "digest");
+        assert!(r.config_hash_matches && r.scenario_matches && r.seed_matches);
+        assert!(r.crates_match);
+        assert_eq!(r.headline_max_rel_delta(), 0.0);
+        assert_eq!(r.headline.len(), 2);
+        // Present files compare clean; absent ones carry notes but the
+        // present ones drive the verdict in this synthetic layout.
+        let fig1 = r
+            .figures
+            .iter()
+            .find(|f| f.file == "fig1.csv")
+            .expect("fig1 diff");
+        assert!(fig1.within(), "{fig1:?}");
+        assert_eq!(fig1.mismatched, 0);
+        assert_eq!(fig1.max_ratio, 1.0);
+        let fig6 = r
+            .figures
+            .iter()
+            .find(|f| f.file == "fig6.json")
+            .expect("fig6 diff");
+        assert!(fig6.within(), "{fig6:?}");
+        let v: Value = serde_json::from_str(&r.to_json()).expect("report json parses");
+        assert_eq!(
+            v.get("headline_max_rel_delta").and_then(Value::as_f64),
+            Some(0.0)
+        );
+        assert!(r.to_text().contains("max rel delta"));
+    }
+
+    #[test]
+    fn digest_tolerance_allows_bounded_and_rejects_unbounded_drift() {
+        let a = fake_run_dir("tol-a", 1.5);
+        let b = fake_run_dir("tol-b", 2.9); // ratio ≈1.93 < 2×
+        let r = compare_dirs(&a, &b).expect("compare");
+        let fig6 = r
+            .figures
+            .iter()
+            .find(|f| f.file == "fig6.json")
+            .expect("fig6");
+        assert!(fig6.within(), "ratio {:.3} should pass ≤2×", fig6.max_ratio);
+        let c = fake_run_dir("tol-c", 3.2); // ratio ≈2.13 > 2×
+        let r = compare_dirs(&a, &c).expect("compare");
+        let fig6 = r
+            .figures
+            .iter()
+            .find(|f| f.file == "fig6.json")
+            .expect("fig6");
+        assert!(
+            !fig6.within(),
+            "ratio {:.3} should fail ≤2×",
+            fig6.max_ratio
+        );
+    }
+
+    #[test]
+    fn json_walk_keeps_n_exact() {
+        let a: Value = serde_json::from_str(r#"{"n":4,"median":1.0}"#).expect("a");
+        let b: Value = serde_json::from_str(r#"{"n":5,"median":1.0}"#).expect("b");
+        let mut acc = Acc::default();
+        walk_json(&a, &b, false, &mut acc);
+        assert_eq!(acc.mismatched, 1, "n drift must be a mismatch, not a ratio");
+    }
+
+    #[test]
+    fn real_run_self_compare_is_driftless() {
+        let dir = std::env::temp_dir()
+            .join("lockdown_compare_test")
+            .join("real");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let cfg = campussim::SimConfig {
+            scale: 0.01,
+            seed: 3,
+            ..Default::default()
+        };
+        let d = Study::builder(cfg)
+            .threads(2)
+            .shards(2)
+            .run_digest()
+            .expect("digest study");
+        lockdown_core::report::write_digest_figure_files(&d, &dir).expect("figure files");
+        let manifest = lockdown_core::report::digest_manifest(&d, 2);
+        manifest
+            .write(&dir.join("manifest.json"))
+            .expect("manifest");
+        let r = compare_dirs(&dir, &dir).expect("compare");
+        assert!(r.within_tolerance(), "{}", r.to_text());
+        assert_eq!(r.headline_max_rel_delta(), 0.0);
+        assert!(r.config_hash_matches && r.seed_matches && r.crates_match);
+        for f in &r.figures {
+            assert!(f.note.is_none(), "{}: {:?}", f.file, f.note);
+            assert_eq!(f.mismatched, 0, "{}", f.file);
+            assert!(f.compared > 0, "{} compared nothing", f.file);
+            assert_eq!(f.max_abs_delta, 0.0, "{}", f.file);
+        }
+    }
+
+    #[test]
+    fn convergence_math_and_gate() {
+        let report = ConvergenceReport {
+            seed: 7,
+            mem_budget: 1 << 24,
+            threads: 2,
+            points: vec![
+                ConvergencePoint {
+                    scale: 0.02,
+                    shards: 2,
+                    traffic_growth: 0.50,
+                    sites_growth: 0.30,
+                    intl_share: 0.18,
+                    post_share: 0.20,
+                    trough_peak_ratio: 0.15,
+                },
+                ConvergencePoint {
+                    scale: 0.06,
+                    shards: 4,
+                    traffic_growth: 0.55,
+                    sites_growth: 0.30,
+                    intl_share: 0.18,
+                    post_share: 0.20,
+                    trough_peak_ratio: 0.15,
+                },
+            ],
+        };
+        let drift = report.max_drift();
+        assert!((drift - 0.05 / 0.55).abs() < 1e-12, "drift {drift}");
+        let json = report.to_json();
+        let v: Value = serde_json::from_str(&json).expect("artifact parses");
+        assert_eq!(v.get("max_drift").and_then(Value::as_f64), Some(drift));
+        assert_eq!(
+            v.get("points").and_then(Value::as_array).map(Vec::len),
+            Some(2)
+        );
+        // Gate: identical baseline passes, much-worse measurement fails.
+        check_convergence(&report, &json).expect("self gate passes");
+        let mut worse = report.clone();
+        worse.points[1].traffic_growth = 2.0;
+        assert!(check_convergence(&worse, &json).is_err());
+    }
+}

@@ -5,6 +5,7 @@
 
 use campussim::SimConfig;
 
+pub mod compare;
 pub mod http;
 
 /// The scale used inside criterion benches: small enough that one

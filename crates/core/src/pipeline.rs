@@ -243,6 +243,7 @@ struct MemTallies {
 struct PipelineCounters {
     flows_in: Counter,
     flows_collected: Counter,
+    bytes_collected: Counter,
     dns_queries: Counter,
     ua_sightings: Counter,
     tracker_open_peak: Gauge,
@@ -253,6 +254,7 @@ impl PipelineCounters {
         PipelineCounters {
             flows_in: reg.counter("pipeline.flows_in"),
             flows_collected: reg.counter("pipeline.flows_collected"),
+            bytes_collected: reg.counter("pipeline.bytes_collected"),
             dns_queries: reg.counter("pipeline.dns_queries"),
             ua_sightings: reg.counter("pipeline.ua_sightings"),
             tracker_open_peak: reg.gauge("normalize.tracker.open_peak"),
@@ -374,6 +376,7 @@ impl<'a> DayPipeline<'a> {
     fn collect(&mut self, lf: LabeledFlow) {
         if let Some(c) = &self.counters {
             c.flows_collected.inc();
+            c.bytes_collected.add(lf.flow.total_bytes());
         }
         self.collected_total += 1;
         if self.opts.live_tick > 0 {
@@ -486,6 +489,8 @@ impl<'a> DayPipeline<'a> {
             c.flows_collected.add(seg);
         }
         self.collected_total += seg;
+        let tally_bytes = self.counters.is_some();
+        let mut seg_bytes = 0u64;
         let t0 = self.collect_busy.is_some().then(Instant::now);
         let scope = self.mem.is_some().then(AllocScope::begin);
         for i in dev_lo..dev_hi {
@@ -494,8 +499,14 @@ impl<'a> DayPipeline<'a> {
                 flow: flows.dev_row(i),
                 domain: (label != NO_LABEL).then_some(DomainId(label)),
             };
+            if tally_bytes {
+                seg_bytes += lf.flow.total_bytes();
+            }
             self.collector
                 .observe_flow(self.opts.ctx, self.opts.table, self.opts.day, &lf);
+        }
+        if let Some(c) = &self.counters {
+            c.bytes_collected.add(seg_bytes);
         }
         if let (Some(s), Some(m)) = (scope, &mut self.mem) {
             m.collect.absorb(s.end());
@@ -915,6 +926,7 @@ mod tests {
     const DETERMINISTIC_COUNTERS: &[&str] = &[
         "pipeline.flows_in",
         "pipeline.flows_collected",
+        "pipeline.bytes_collected",
         "pipeline.dns_queries",
         "pipeline.ua_sightings",
         "normalize.attributed",

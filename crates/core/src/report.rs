@@ -5,11 +5,13 @@ use crate::error::StudyError;
 use crate::study::{DigestStudy, MatrixRun, ShardingReport, Study};
 use analysis::ascii;
 use analysis::export;
+use analysis::figures::HeadlineStats;
 use analysis::figures::{self, Fig4Series};
 use analysis::DigestFigures;
 use devclass::FigureBucket;
 use lockdown_obs::manifest::{
-    fnv1a_64, DegradedEntry, MemorySection, RunManifest, ShardingSection, StageMemory,
+    fnv1a_64, AccuracySection, DegradedEntry, FigureContract, MemorySection, RunManifest,
+    ShardingSection, StageMemory,
 };
 use lockdown_obs::{trace, Trace};
 use std::fmt::Write as _;
@@ -56,6 +58,19 @@ pub fn digest_text_report(d: &DigestStudy) -> String {
         sh.shards, sh.merge_depth
     );
     out.push_str(&figures_text(&d.figures, d.cfg.scale, None));
+    if let Some(cf) = &d.counterfactual {
+        let _ = writeln!(
+            out,
+            "{:<46} {:>11.1}%                | +53% (cohort-matched; this is the aggregate ratio)",
+            "traffic vs 2019 counterfactual (Apr/May)",
+            100.0 * cf.aggregate_growth_vs_2019
+        );
+        let _ = writeln!(
+            out,
+            "   2019 twin: {} resident devices (digest-streamed, same error contract)",
+            cf.resident_devices
+        );
+    }
     out
 }
 
@@ -406,6 +421,20 @@ fn metrics_text(
     if let Some(line) = sharding_line(sharding) {
         let _ = writeln!(out, "{line}");
     }
+    if let Some(line) = accuracy_line(sharding) {
+        let _ = writeln!(out, "{line}");
+    }
+    // Per-shard load table: how evenly the (shard × day) grid spread.
+    for (i, &flows) in sharding.per_shard_flows.iter().enumerate() {
+        let bytes = sharding.per_shard_bytes.get(i).copied().unwrap_or(0);
+        let wall = sharding.per_shard_wall_ns.get(i).copied().unwrap_or(0);
+        let _ = writeln!(
+            out,
+            "   shard {i}: {flows} flows, {:.1} MiB collected, {:.1} ms busy",
+            bytes as f64 / (1 << 20) as f64,
+            wall as f64 / 1e6,
+        );
+    }
     // Memory headline, present only when the run tracked allocation.
     if m.gauges.contains_key("mem.peak_bytes") {
         let allocs = m.counter("mem.allocs");
@@ -484,6 +513,13 @@ pub fn run_manifest(study: &Study, threads: usize, trace: Option<&Trace>) -> Run
     }
     m.memory = memory_section(metrics);
     m.sharding = sharding_section(study.sharding());
+    // The caller flips `counterfactual` to "cohort-exact" when it ran
+    // one — the study itself doesn't carry that request.
+    m.accuracy = Some(accuracy_section(
+        "exact",
+        "not-requested",
+        &study.headline(),
+    ));
     m
 }
 
@@ -536,8 +572,64 @@ pub fn digest_manifest(d: &DigestStudy, threads: usize) -> RunManifest {
         mode: sh.mode.to_string(),
         merge_depth: sh.merge_depth,
         per_shard_peak_bytes: peak_list(sh),
+        per_shard_flows: sh.per_shard_flows.clone(),
+        per_shard_bytes: sh.per_shard_bytes.clone(),
+        per_shard_wall_ns: sh.per_shard_wall_ns.clone(),
     });
+    m.accuracy = Some(accuracy_section(
+        "digest",
+        if d.counterfactual.is_some() {
+            "aggregate-digest"
+        } else {
+            "not-requested"
+        },
+        d.headline(),
+    ));
     m
+}
+
+/// Build the manifest `accuracy` section: the producing mode's error
+/// contract per figure plus the run's (always exact) headline values,
+/// so two manifests alone suffice for a cross-run drift check.
+fn accuracy_section(mode: &str, counterfactual: &str, h: &HeadlineStats) -> AccuracySection {
+    let exact = mode == "exact";
+    let figures: Vec<FigureContract> = analysis::accuracy::FIGURE_CLASSES
+        .iter()
+        .map(|c| FigureContract {
+            figure: c.figure.to_string(),
+            kind: if exact || c.exact { "exact" } else { "approx" }.to_string(),
+            bound: if exact || c.exact { 1.0 } else { c.bound },
+        })
+        .collect();
+    let guaranteed_bound = figures.iter().map(|f| f.bound).fold(1.0, f64::max);
+    AccuracySection {
+        mode: mode.to_string(),
+        guaranteed_bound,
+        counterfactual: counterfactual.to_string(),
+        headline: analysis::accuracy::headline_fields(h)
+            .iter()
+            .map(|&(name, value)| (name.to_string(), value))
+            .collect(),
+        figures,
+    }
+}
+
+/// One-line accuracy contract for the text report; `None` for the
+/// monolithic identity partition (trivially exact, nothing to say).
+fn accuracy_line(sh: &ShardingReport) -> Option<String> {
+    if sh.shards <= 1 && sh.merge_depth <= 1 {
+        return None;
+    }
+    Some(if sh.mode == "digest" {
+        format!(
+            "-- Accuracy: digest mode — headline exact, distribution figures ≤{:.0}× (fig3 ≤{:.0}×) --",
+            analysis::QUANTILE_BOUND,
+            analysis::QUANTILE_BOUND * analysis::QUANTILE_BOUND,
+        )
+    } else {
+        "-- Accuracy: exact mode — figures byte-identical to the monolithic reduction --"
+            .to_string()
+    })
 }
 
 /// The run's sharded-mode summary for text reports; `None` for the
@@ -567,6 +659,9 @@ fn sharding_section(sh: &ShardingReport) -> Option<ShardingSection> {
         mode: sh.mode.to_string(),
         merge_depth: sh.merge_depth,
         per_shard_peak_bytes: peak_list(sh),
+        per_shard_flows: sh.per_shard_flows.clone(),
+        per_shard_bytes: sh.per_shard_bytes.clone(),
+        per_shard_wall_ns: sh.per_shard_wall_ns.clone(),
     })
 }
 

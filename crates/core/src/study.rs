@@ -459,6 +459,15 @@ pub struct ShardingReport {
     /// Peak net day-allocation bytes observed per shard, in shard-id
     /// order (zeros when memory tracking was off).
     pub per_shard_peak_bytes: Vec<u64>,
+    /// Flows attributed per shard over the run, in shard-id order
+    /// (empty for monolithic runs, which have no per-shard seam).
+    pub per_shard_flows: Vec<u64>,
+    /// Flow payload bytes collected per shard, in shard-id order
+    /// (zeros when the run did not collect metrics; empty monolithic).
+    pub per_shard_bytes: Vec<u64>,
+    /// Worker wall time spent on each shard's days, nanoseconds, in
+    /// shard-id order (empty for monolithic runs).
+    pub per_shard_wall_ns: Vec<u64>,
 }
 
 impl ShardingReport {
@@ -469,6 +478,9 @@ impl ShardingReport {
             mode: "exact",
             merge_depth: 1,
             per_shard_peak_bytes: vec![peak_net_bytes],
+            per_shard_flows: Vec::new(),
+            per_shard_bytes: Vec::new(),
+            per_shard_wall_ns: Vec::new(),
         }
     }
 }
@@ -544,6 +556,11 @@ struct ShardSlot {
     reducer: Mutex<Option<OrderedReducer>>,
     remaining: AtomicUsize,
     peak_bytes: AtomicU64,
+    /// Load tallies across the shard's resolved days, feeding the
+    /// manifest `sharding` section and `/progress` shard rows.
+    flows: AtomicU64,
+    bytes: AtomicU64,
+    wall_ns: AtomicU64,
 }
 
 /// The sharded analogue of [`DrainPlan`]: one global cursor over the
@@ -573,6 +590,9 @@ fn shard_slots(shards: Vec<Shard>, days: usize) -> Vec<ShardSlot> {
             reducer: Mutex::new(Some(OrderedReducer::new())),
             remaining: AtomicUsize::new(days),
             peak_bytes: AtomicU64::new(0),
+            flows: AtomicU64::new(0),
+            bytes: AtomicU64::new(0),
+            wall_ns: AtomicU64::new(0),
         })
         .collect()
 }
@@ -656,6 +676,16 @@ impl<'a> ShardedPlan<'a> {
     }
 
     fn submit_day(&self, slot: &ShardSlot, day_index: usize, out: DayOutcome) {
+        // Fold the day into the shard's load tallies before the outcome
+        // moves into the reducer. Bytes stay zero when metrics are off,
+        // exactly like `peak_bytes` when memory tracking is off.
+        slot.flows
+            .fetch_add(out.stats.attributed, Ordering::Relaxed);
+        slot.bytes.fetch_add(
+            out.metrics.counter("pipeline.bytes_collected"),
+            Ordering::Relaxed,
+        );
+        slot.wall_ns.fetch_add(out.duration_ns, Ordering::Relaxed);
         if let Some(r) = lock(&slot.reducer).as_ref() {
             r.submit(day_index, out);
         }
@@ -709,6 +739,12 @@ fn drain_shards(
             Ok(out) => {
                 observer.day_metrics(worker, day, out.duration_ns, &out.metrics);
                 observer.day_finished(worker, day, out.stats.attributed);
+                observer.shard_day_finished(
+                    slot.shard.id(),
+                    day,
+                    out.stats.attributed,
+                    out.duration_ns,
+                );
                 plan.submit_day(slot, day_index, out);
             }
             Err(error) => {
@@ -763,6 +799,12 @@ fn drain_shards(
             Ok(out) => {
                 observer.day_metrics(worker, day, out.duration_ns, &out.metrics);
                 observer.day_finished(worker, day, out.stats.attributed);
+                observer.shard_day_finished(
+                    slot.shard.id(),
+                    day,
+                    out.stats.attributed,
+                    out.duration_ns,
+                );
                 plan.submit_day(slot, day_index, out);
                 lock(&shared.degraded).recovered.push(first);
             }
@@ -1530,9 +1572,10 @@ impl StudyBuilder {
             Some(rec) if !trace::enabled() => Some(rec.install(trace::MAIN_LANE, "orchestrator")),
             _ => None,
         };
-        // Digest mode skips the counterfactual: its same-cohort
-        // comparison needs the exact run-level collector.
-        let counterfactual = counterfactual && !digest;
+        // Digest mode streams the counterfactual through its own digest
+        // sink: no run-level collector, so the growth comparison is the
+        // aggregate ratio (each run over its own active post-shutdown
+        // devices) rather than the exact path's cohort-matched one.
         let cf_cfg = counterfactual.then(|| Scenario::counterfactual_of(&cfg));
         // One service directory for every shard of both runs — the
         // synthetic Internet is population-independent world state.
@@ -1567,8 +1610,9 @@ impl StudyBuilder {
             track_memory: mem_on,
         };
         let cf_plan = cf_cfg.as_ref().map(|cf_cfg| {
-            // The counterfactual always runs clean and merges exactly;
-            // it is compared cohort-by-cohort, never digested.
+            // The counterfactual always runs clean and mirrors the main
+            // run's sink: exact (cohort-matched comparison) or digest
+            // (aggregate comparison, fixed-size memory).
             ShardedPlan {
                 cfg: cf_cfg,
                 directory: Arc::clone(&directory),
@@ -1576,7 +1620,11 @@ impl StudyBuilder {
                 days: &days,
                 cursor: AtomicUsize::new(0),
                 retry: Mutex::new(Vec::new()),
-                sink: ShardSink::Exact(Box::new(OrderedReducer::new())),
+                sink: if digest {
+                    ShardSink::Digest(Box::new(Mutex::new(DigestAcc::new())))
+                } else {
+                    ShardSink::Exact(Box::new(OrderedReducer::new()))
+                },
                 fault: None,
                 stage: "counterfactual",
                 batch_rows,
@@ -1653,12 +1701,30 @@ impl StudyBuilder {
         let mut degraded = std::mem::take(&mut *lock(&shared.degraded));
         degraded.sort();
 
-        let per_shard_peak = |slots: &[ShardSlot]| -> Vec<u64> {
-            slots
-                .iter()
-                .map(|s| s.peak_bytes.load(Ordering::Relaxed))
-                .collect()
-        };
+        let sharding_report =
+            |slots: &[ShardSlot], mode: &'static str, merge_depth: u32| -> ShardingReport {
+                ShardingReport {
+                    shards: k,
+                    mode,
+                    merge_depth,
+                    per_shard_peak_bytes: slots
+                        .iter()
+                        .map(|s| s.peak_bytes.load(Ordering::Relaxed))
+                        .collect(),
+                    per_shard_flows: slots
+                        .iter()
+                        .map(|s| s.flows.load(Ordering::Relaxed))
+                        .collect(),
+                    per_shard_bytes: slots
+                        .iter()
+                        .map(|s| s.bytes.load(Ordering::Relaxed))
+                        .collect(),
+                    per_shard_wall_ns: slots
+                        .iter()
+                        .map(|s| s.wall_ns.load(Ordering::Relaxed))
+                        .collect(),
+                }
+            };
         let ShardedPlan { sink, slots, .. } = plan;
 
         match sink {
@@ -1668,12 +1734,7 @@ impl StudyBuilder {
                     metrics.merge(&reg.snapshot());
                 }
                 let summary = StudySummary::finalize(&collector);
-                let sharding = ShardingReport {
-                    shards: k,
-                    mode: "exact",
-                    merge_depth: 2,
-                    per_shard_peak_bytes: per_shard_peak(&slots),
-                };
+                let sharding = sharding_report(&slots, "exact", 2);
                 // Full-population twin for ground truth and audits —
                 // built after the drain so it never adds to the run's
                 // sharded working set. Byte-identical to the shard
@@ -1690,16 +1751,11 @@ impl StudyBuilder {
                     let cf_cfg = p.cfg.clone();
                     let ShardedPlan { sink, slots, .. } = p;
                     let ShardSink::Exact(cf_reducer) = sink else {
-                        unreachable!("counterfactual is always exact");
+                        unreachable!("counterfactual mirrors the exact main sink");
                     };
                     let (cf_collector, cf_norm_stats, cf_metrics) = cf_reducer.into_parts();
                     let cf_summary = StudySummary::finalize(&cf_collector);
-                    let cf_sharding = ShardingReport {
-                        shards: k,
-                        mode: "exact",
-                        merge_depth: 2,
-                        per_shard_peak_bytes: per_shard_peak(&slots),
-                    };
+                    let cf_sharding = sharding_report(&slots, "exact", 2);
                     let cf_sim = {
                         let _span = trace::span("build_sim");
                         CampusSim::new(cf_cfg)
@@ -1748,15 +1804,42 @@ impl StudyBuilder {
                 if let Some(reg) = &idle_registry {
                     metrics.merge(&reg.snapshot());
                 }
-                let sharding = ShardingReport {
-                    shards: k,
-                    mode: "digest",
-                    merge_depth: 3,
-                    per_shard_peak_bytes: per_shard_peak(&slots),
-                };
+                let sharding = sharding_report(&slots, "digest", 3);
+                // The streamed counterfactual: same digest contract as
+                // the main pass, compared in aggregate (no run-level
+                // collector to cohort-match against).
+                let counterfactual = cf_plan.map(|p| {
+                    let ShardedPlan { sink, .. } = p;
+                    let ShardSink::Digest(cf_acc) = sink else {
+                        unreachable!("counterfactual mirrors the digest main sink");
+                    };
+                    let (cf_merged, _cf_stats, cf_metrics) = cf_acc
+                        .into_inner()
+                        .unwrap_or_else(PoisonError::into_inner)
+                        .into_parts();
+                    let cf_traffic = cf_merged.aprmay_daily_traffic();
+                    let aggregate_growth_vs_2019 = if cf_traffic > 0.0 {
+                        merged.aprmay_daily_traffic() / cf_traffic - 1.0
+                    } else {
+                        0.0
+                    };
+                    (
+                        DigestCounterfactual {
+                            figures: cf_merged.render(),
+                            resident_devices: cf_merged.resident_devices(),
+                            aggregate_growth_vs_2019,
+                        },
+                        cf_metrics,
+                    )
+                });
                 if let Some(live) = &live {
-                    live.finish(&metrics);
+                    let mut final_metrics = metrics.clone();
+                    if let Some((_, cf_metrics)) = &counterfactual {
+                        final_metrics.merge(cf_metrics);
+                    }
+                    live.finish(&final_metrics);
                 }
+                let counterfactual = counterfactual.map(|(cf, _)| cf);
                 Ok(PartitionedRun::Digest(Box::new(DigestStudy {
                     cfg,
                     figures: merged.render(),
@@ -1765,6 +1848,7 @@ impl StudyBuilder {
                     metrics,
                     degraded,
                     sharding,
+                    counterfactual,
                     telemetry,
                 })))
             }
@@ -1781,8 +1865,10 @@ enum PartitionedRun {
 /// A completed sharded digest run: the paper's figures and headline
 /// statistics without a run-level collector or device table. Headline
 /// statistics are exact; distribution figures are ≤2× approximations
-/// (see [`analysis::digest`] for the precise contract). No
-/// counterfactual, no classification audit.
+/// (see [`analysis::digest`] for the precise contract). The
+/// counterfactual, when requested, streams through its own digest and
+/// is compared in aggregate (see [`DigestCounterfactual`]). No
+/// classification audit.
 pub struct DigestStudy {
     /// The configuration the run executed.
     pub cfg: SimConfig,
@@ -1795,9 +1881,30 @@ pub struct DigestStudy {
     metrics: MetricsSnapshot,
     degraded: DegradedReport,
     sharding: ShardingReport,
+    /// The streamed 2019 counterfactual, if
+    /// [`StudyBuilder::with_counterfactual`] was requested.
+    pub counterfactual: Option<DigestCounterfactual>,
     /// The live telemetry server, still serving the run's final state,
     /// if [`StudyBuilder::serve`] was requested.
     pub telemetry: Option<TelemetryServer>,
+}
+
+/// The digest-mode 2019 counterfactual: the no-pandemic twin's rendered
+/// figures under the same error contract as the main digest pass.
+///
+/// Unlike the exact path's [`Counterfactual`], the growth comparison is
+/// an *aggregate* ratio — each run's Apr/May traffic per active
+/// post-shutdown device-day over its own population — because neither
+/// side keeps a run-level collector to cohort-match against.
+pub struct DigestCounterfactual {
+    /// Rendered counterfactual figures plus exact headline statistics.
+    pub figures: DigestFigures,
+    /// Counterfactual residents (devices passing the 14-day filter).
+    pub resident_devices: usize,
+    /// Apr/May per-device-day traffic of the 2020 run over the 2019
+    /// twin, minus 1. Aggregate, not cohort-matched: expect it near but
+    /// not equal to the exact path's `growth_vs_2019`.
+    pub aggregate_growth_vs_2019: f64,
 }
 
 impl DigestStudy {

@@ -73,8 +73,11 @@ pub mod timer;
 pub mod trace;
 
 pub use alloc::{AllocScope, AllocStats, ScopeDelta, TrackingAlloc};
-pub use live::{LivePublisher, Progress, WorkerProgress};
-pub use manifest::{DegradedEntry, MemorySection, RunManifest, ShardingSection, StageMemory};
+pub use live::{LivePublisher, Progress, ShardLoad, WorkerProgress};
+pub use manifest::{
+    AccuracySection, DegradedEntry, FigureContract, MemorySection, RunManifest, ShardingSection,
+    StageMemory,
+};
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry, MetricsSnapshot};
 pub use observer::{CountingObserver, Fanout, JsonlSink, NullObserver, RunObserver, TextProgress};
 pub use serve::TelemetryServer;

@@ -50,6 +50,13 @@ struct WorkerLive {
 }
 
 #[derive(Debug, Default)]
+struct ShardLive {
+    days_done: u64,
+    flows: u64,
+    wall_ns: u64,
+}
+
+#[derive(Debug, Default)]
 struct LiveTables {
     base: MetricsSnapshot,
     /// Flows from completed days. Guarded by the same lock as the
@@ -58,6 +65,9 @@ struct LiveTables {
     /// see the day counted twice or not at all.
     flows_done: u64,
     workers: BTreeMap<usize, WorkerLive>,
+    /// Per-shard load tallies, fed by `shard_day_finished`; empty on
+    /// monolithic runs (the event never fires there).
+    shards: BTreeMap<u32, ShardLive>,
 }
 
 #[derive(Debug)]
@@ -106,6 +116,22 @@ pub struct WorkerProgress {
     pub days_done: u64,
 }
 
+/// One shard's accumulated load in a [`Progress`] view. Fed by the
+/// sharded runner's per-(shard, day) completion events; a shard's row
+/// totals every resolved cell, across the factual and (when streamed)
+/// counterfactual passes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardLoad {
+    /// Shard id (shard-major grid order).
+    pub shard: u32,
+    /// (shard, day) cells resolved so far.
+    pub days_done: u64,
+    /// Flows attributed by this shard so far.
+    pub flows: u64,
+    /// Worker wall time spent on this shard's cells, nanoseconds.
+    pub wall_ns: u64,
+}
+
 /// A point-in-time progress view of the run.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Progress {
@@ -139,6 +165,9 @@ pub struct Progress {
     pub shards: u64,
     /// Per-worker rows, ordered by worker index.
     pub workers: Vec<WorkerProgress>,
+    /// Per-shard load rows, ordered by shard id; empty on monolithic
+    /// runs.
+    pub shard_loads: Vec<ShardLoad>,
 }
 
 impl Progress {
@@ -187,6 +216,17 @@ impl Progress {
                 out,
                 ",\"day_flows\":{},\"days_done\":{}}}",
                 w.day_flows, w.days_done
+            );
+        }
+        out.push_str("],\"shard_loads\":[");
+        for (i, s) in self.shard_loads.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"shard\":{},\"days_done\":{},\"flows\":{},\"wall_ns\":{}}}",
+                s.shard, s.days_done, s.flows, s.wall_ns
             );
         }
         out.push_str("]}");
@@ -309,6 +349,15 @@ impl LivePublisher {
                 days_done: w.days_done,
             });
         }
+        let mut shard_loads = Vec::with_capacity(t.shards.len());
+        for (&shard, s) in &t.shards {
+            shard_loads.push(ShardLoad {
+                shard,
+                days_done: s.days_done,
+                flows: s.flows,
+                wall_ns: s.wall_ns,
+            });
+        }
         drop(t);
         let ewma = self.inner.ewma_day_ns.load(Ordering::Relaxed);
         let eta_ns = if finished {
@@ -339,6 +388,7 @@ impl LivePublisher {
             mem_peak_bytes: mem.as_ref().map(|s| s.peak_bytes),
             shards: self.inner.shards.load(Ordering::Relaxed),
             workers,
+            shard_loads,
         }
     }
 
@@ -404,6 +454,14 @@ impl RunObserver for LivePublisher {
         w.current_day = None;
         w.day_flows = 0;
         w.days_done += 1;
+    }
+
+    fn shard_day_finished(&self, shard: u32, _day: Day, flows: u64, duration_ns: u64) {
+        let mut t = lock(&self.inner.tables);
+        let s = t.shards.entry(shard).or_default();
+        s.days_done += 1;
+        s.flows += flows;
+        s.wall_ns += duration_ns;
     }
 
     fn day_failed(&self, worker: usize, _day: Day, _attempt: u32, _error: &str) {
@@ -546,6 +604,35 @@ mod tests {
         assert_eq!(workers.len(), 1);
         assert_eq!(workers[0].get("day").unwrap().as_u64(), Some(3));
         assert_eq!(workers[0].get("day_flows").unwrap().as_u64(), Some(42));
+        // Monolithic run: the key is always present, the array empty.
+        assert_eq!(v.get("shard_loads").unwrap().as_array().unwrap().len(), 0);
+    }
+
+    #[test]
+    fn shard_loads_accumulate_and_round_trip() {
+        let live = LivePublisher::new();
+        live.set_shards(3);
+        live.shard_day_finished(1, Day(0), 10, 500);
+        live.shard_day_finished(0, Day(0), 7, 300);
+        live.shard_day_finished(1, Day(1), 5, 250);
+        let p = live.progress();
+        assert_eq!(p.shard_loads.len(), 2);
+        // Ordered by shard id, not arrival order.
+        assert_eq!(p.shard_loads[0].shard, 0);
+        assert_eq!(p.shard_loads[0].days_done, 1);
+        assert_eq!(p.shard_loads[0].flows, 7);
+        assert_eq!(p.shard_loads[0].wall_ns, 300);
+        assert_eq!(p.shard_loads[1].shard, 1);
+        assert_eq!(p.shard_loads[1].days_done, 2);
+        assert_eq!(p.shard_loads[1].flows, 15);
+        assert_eq!(p.shard_loads[1].wall_ns, 750);
+        let v: serde_json::Value = serde_json::from_str(&p.to_json()).expect("strict parse");
+        let loads = v.get("shard_loads").unwrap().as_array().unwrap();
+        assert_eq!(loads.len(), 2);
+        assert_eq!(loads[1].get("shard").unwrap().as_u64(), Some(1));
+        assert_eq!(loads[1].get("days_done").unwrap().as_u64(), Some(2));
+        assert_eq!(loads[1].get("flows").unwrap().as_u64(), Some(15));
+        assert_eq!(loads[1].get("wall_ns").unwrap().as_u64(), Some(750));
     }
 
     #[test]

@@ -146,20 +146,110 @@ pub struct ShardingSection {
     /// Peak net pipeline bytes observed per shard, in shard-id order
     /// (empty when the run did not track memory).
     pub per_shard_peak_bytes: Vec<u64>,
+    /// Flows attributed per shard over the whole run, in shard-id
+    /// order (empty when the producer predates load telemetry).
+    pub per_shard_flows: Vec<u64>,
+    /// Flow bytes collected per shard over the whole run, in shard-id
+    /// order (zeros when the run did not collect metrics).
+    pub per_shard_bytes: Vec<u64>,
+    /// Worker wall time spent per shard, nanoseconds, in shard-id
+    /// order.
+    pub per_shard_wall_ns: Vec<u64>,
 }
 
 impl ShardingSection {
     fn to_json(&self) -> String {
+        fn list_u64(out: &mut String, key: &str, v: &[u64]) {
+            let _ = write!(out, ",{}:[", json::quoted(key));
+            for (i, b) in v.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "{b}");
+            }
+            out.push(']');
+        }
         let mut out = String::from("{");
         let _ = write!(out, "\"shards\":{}", self.shards);
         let _ = write!(out, ",\"mode\":{}", json::quoted(&self.mode));
         let _ = write!(out, ",\"merge_depth\":{}", self.merge_depth);
-        out.push_str(",\"per_shard_peak_bytes\":[");
-        for (i, b) in self.per_shard_peak_bytes.iter().enumerate() {
+        list_u64(&mut out, "per_shard_peak_bytes", &self.per_shard_peak_bytes);
+        list_u64(&mut out, "per_shard_flows", &self.per_shard_flows);
+        list_u64(&mut out, "per_shard_bytes", &self.per_shard_bytes);
+        list_u64(&mut out, "per_shard_wall_ns", &self.per_shard_wall_ns);
+        out.push('}');
+        out
+    }
+}
+
+/// One figure's row in an [`AccuracySection`]: the error contract the
+/// producing mode guarantees for that figure family.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FigureContract {
+    /// Figure family name (e.g. `"fig2.median"`).
+    pub figure: String,
+    /// `"exact"` or `"approx"`.
+    pub kind: String,
+    /// Guaranteed worst-case quantile ratio for this figure under the
+    /// producing mode (1.0 when exact).
+    pub bound: f64,
+}
+
+/// The `accuracy` section of a manifest: the error contract of the
+/// producing mode plus the run's headline statistics, so two run
+/// directories can be compared for drift from their manifests alone.
+///
+/// Present on every manifest a contract-aware producer writes; its
+/// absence marks an artifact from an older producer.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct AccuracySection {
+    /// `"exact"` (every figure byte-identical to the monolithic
+    /// reduction) or `"digest"` (exact headline, bounded-error
+    /// distribution figures).
+    pub mode: String,
+    /// Worst-case quantile ratio across all figures under this mode
+    /// (1.0 exact, 4.0 digest — fig3's renormalized ratio bound).
+    pub guaranteed_bound: f64,
+    /// How the counterfactual baseline was produced:
+    /// `"cohort-exact"`, `"aggregate-digest"`, or `"not-requested"`.
+    pub counterfactual: String,
+    /// Headline statistics as `(name, value)` rows, in a fixed order —
+    /// exact under every mode, so cross-run deltas here are real drift.
+    pub headline: Vec<(String, f64)>,
+    /// Per-figure error contracts.
+    pub figures: Vec<FigureContract>,
+}
+
+impl AccuracySection {
+    fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        let _ = write!(out, "\"mode\":{}", json::quoted(&self.mode));
+        let _ = write!(out, ",\"guaranteed_bound\":{:?}", self.guaranteed_bound);
+        let _ = write!(
+            out,
+            ",\"counterfactual\":{}",
+            json::quoted(&self.counterfactual)
+        );
+        out.push_str(",\"headline\":{");
+        for (i, (name, value)) in self.headline.iter().enumerate() {
             if i > 0 {
                 out.push(',');
             }
-            let _ = write!(out, "{b}");
+            let _ = write!(out, "{}:{:?}", json::quoted(name), value);
+        }
+        out.push('}');
+        out.push_str(",\"figures\":[");
+        for (i, f) in self.figures.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"figure\":{},\"kind\":{},\"bound\":{:?}}}",
+                json::quoted(&f.figure),
+                json::quoted(&f.kind),
+                f.bound,
+            );
         }
         out.push_str("]}");
         out
@@ -220,6 +310,9 @@ pub struct RunManifest {
     /// Population partition and merge summary, when the run used the
     /// sharded runner.
     pub sharding: Option<ShardingSection>,
+    /// Error contract and headline statistics of the producing mode,
+    /// when the producer is contract-aware.
+    pub accuracy: Option<AccuracySection>,
 }
 
 impl RunManifest {
@@ -341,6 +434,11 @@ impl RunManifest {
             Some(s) => out.push_str(&s.to_json()),
             None => out.push_str("null"),
         }
+        out.push_str(",\"accuracy\":");
+        match &self.accuracy {
+            Some(a) => out.push_str(&a.to_json()),
+            None => out.push_str("null"),
+        }
         // Quantile digest of every histogram the run recorded (upper
         // bucket bounds; true values lie within 2× below — see
         // `HistogramSnapshot::quantile`), so a manifest answers "how
@@ -459,6 +557,30 @@ mod tests {
             mode: "exact".into(),
             merge_depth: 2,
             per_shard_peak_bytes: vec![1 << 20, 1 << 21, 1 << 20, 1 << 19],
+            per_shard_flows: vec![10, 20, 30, 40],
+            per_shard_bytes: vec![100, 200, 300, 400],
+            per_shard_wall_ns: vec![1_000, 2_000, 3_000, 4_000],
+        });
+        m.accuracy = Some(AccuracySection {
+            mode: "digest".into(),
+            guaranteed_bound: 4.0,
+            counterfactual: "aggregate-digest".into(),
+            headline: vec![
+                ("peak_active".into(), 5200.0),
+                ("traffic_growth_feb_to_aprmay".into(), 3.26),
+            ],
+            figures: vec![
+                FigureContract {
+                    figure: "fig1".into(),
+                    kind: "exact".into(),
+                    bound: 1.0,
+                },
+                FigureContract {
+                    figure: "fig2.median".into(),
+                    kind: "approx".into(),
+                    bound: 2.0,
+                },
+            ],
         });
 
         let j = m.to_json();
@@ -534,6 +656,44 @@ mod tests {
                 .len(),
             4
         );
+        assert_eq!(
+            sh.get("per_shard_flows").unwrap().as_array().unwrap().len(),
+            4
+        );
+        assert_eq!(
+            sh.get("per_shard_bytes")
+                .unwrap()
+                .as_array()
+                .unwrap()
+                .iter()
+                .map(|b| b.as_u64().unwrap())
+                .sum::<u64>(),
+            1_000
+        );
+        assert_eq!(
+            sh.get("per_shard_wall_ns").unwrap().as_array().unwrap()[3].as_u64(),
+            Some(4_000)
+        );
+        let acc = v.get("accuracy").expect("accuracy section");
+        assert_eq!(acc.get("mode").unwrap().as_str(), Some("digest"));
+        assert_eq!(acc.get("guaranteed_bound").unwrap().as_f64(), Some(4.0));
+        assert_eq!(
+            acc.get("counterfactual").unwrap().as_str(),
+            Some("aggregate-digest")
+        );
+        assert_eq!(
+            acc.get("headline")
+                .unwrap()
+                .get("traffic_growth_feb_to_aprmay")
+                .unwrap()
+                .as_f64(),
+            Some(3.26)
+        );
+        let figs = acc.get("figures").unwrap().as_array().unwrap();
+        assert_eq!(figs.len(), 2);
+        assert_eq!(figs[1].get("figure").unwrap().as_str(), Some("fig2.median"));
+        assert_eq!(figs[1].get("kind").unwrap().as_str(), Some("approx"));
+        assert_eq!(figs[1].get("bound").unwrap().as_f64(), Some(2.0));
         let q = v
             .get("quantiles")
             .unwrap()
@@ -558,6 +718,7 @@ mod tests {
         assert!(v.get("serve_addr").unwrap().is_null());
         assert!(v.get("memory").unwrap().is_null());
         assert!(v.get("sharding").unwrap().is_null());
+        assert!(v.get("accuracy").unwrap().is_null());
         assert_eq!(
             v.get("quantiles").unwrap().as_object().unwrap().len(),
             0,

@@ -37,6 +37,14 @@ pub trait RunObserver: Send + Sync {
         let _ = (worker, day, flows);
     }
 
+    /// A sharded run resolved one (shard, day) grid cell: `flows` were
+    /// attributed and the cell took `duration_ns` of worker wall time.
+    /// Fires once per cell *in addition to* [`RunObserver::day_finished`]
+    /// (which carries no shard identity); monolithic runs never emit it.
+    fn shard_day_finished(&self, shard: u32, day: Day, flows: u64, duration_ns: u64) {
+        let _ = (shard, day, flows, duration_ns);
+    }
+
     /// A pipeline stage flushed its day-scoped state. `records` is the
     /// stage's cumulative output record count for that day.
     fn stage_flushed(&self, day: Day, stage: &'static str, records: u64) {
@@ -85,6 +93,10 @@ macro_rules! forward_observer {
 
             fn day_finished(&self, worker: usize, day: Day, flows: u64) {
                 (**self).day_finished(worker, day, flows)
+            }
+
+            fn shard_day_finished(&self, shard: u32, day: Day, flows: u64, duration_ns: u64) {
+                (**self).shard_day_finished(shard, day, flows, duration_ns)
             }
 
             fn stage_flushed(&self, day: Day, stage: &'static str, records: u64) {
@@ -148,6 +160,11 @@ impl<A: RunObserver, B: RunObserver> RunObserver for Fanout<A, B> {
     fn day_finished(&self, worker: usize, day: Day, flows: u64) {
         self.0.day_finished(worker, day, flows);
         self.1.day_finished(worker, day, flows);
+    }
+
+    fn shard_day_finished(&self, shard: u32, day: Day, flows: u64, duration_ns: u64) {
+        self.0.shard_day_finished(shard, day, flows, duration_ns);
+        self.1.shard_day_finished(shard, day, flows, duration_ns);
     }
 
     fn stage_flushed(&self, day: Day, stage: &'static str, records: u64) {
@@ -305,6 +322,7 @@ pub struct CountingObserver {
     flows: AtomicU64,
     ticks: AtomicU64,
     day_metrics_seen: AtomicU64,
+    shard_days: AtomicU64,
 }
 
 impl CountingObserver {
@@ -352,6 +370,11 @@ impl CountingObserver {
     pub fn day_metrics_seen(&self) -> u64 {
         self.day_metrics_seen.load(Ordering::Relaxed)
     }
+
+    /// Sharded (shard, day) cells reported through `shard_day_finished`.
+    pub fn shard_days_finished(&self) -> u64 {
+        self.shard_days.load(Ordering::Relaxed)
+    }
 }
 
 impl RunObserver for CountingObserver {
@@ -362,6 +385,10 @@ impl RunObserver for CountingObserver {
     fn day_finished(&self, _worker: usize, _day: Day, flows: u64) {
         self.days_finished.fetch_add(1, Ordering::Relaxed);
         self.flows.fetch_add(flows, Ordering::Relaxed);
+    }
+
+    fn shard_day_finished(&self, _shard: u32, _day: Day, _flows: u64, _duration_ns: u64) {
+        self.shard_days.fetch_add(1, Ordering::Relaxed);
     }
 
     fn day_tick(
@@ -467,6 +494,7 @@ mod tests {
         fan.day_tick(0, Day(0), 3, None);
         fan.day_metrics(0, Day(0), 9, &MetricsSnapshot::default());
         fan.day_finished(0, Day(0), 3);
+        fan.shard_day_finished(2, Day(0), 3, 77);
         fan.stage_flushed(Day(0), "resolver", 3);
         fan.day_failed(1, Day(1), 0, "boom");
         fan.worker_idle(0);
@@ -475,6 +503,7 @@ mod tests {
             assert_eq!(obs.ticks(), 1);
             assert_eq!(obs.day_metrics_seen(), 1);
             assert_eq!(obs.days_finished(), 1);
+            assert_eq!(obs.shard_days_finished(), 1);
             assert_eq!(obs.stages_flushed(), 1);
             assert_eq!(obs.days_failed(), 1);
             assert_eq!(obs.workers_idled(), 1);

@@ -1,0 +1,122 @@
+//! The digest accuracy contract, measured: every distribution figure a
+//! digest run renders stays within its guaranteed multiplicative bound
+//! of the exact computation, at every shard count and scale, and the
+//! headline statistics stay bit-identical. This is the empirical check
+//! behind the manifest `accuracy` section's promises.
+
+use analysis::accuracy::{self, FIGURE_CLASSES};
+use analysis::LogHist;
+use campussim::SimConfig;
+use lockdown_core::Study;
+use proptest::prelude::*;
+
+fn config(scale: f64) -> SimConfig {
+    SimConfig {
+        scale,
+        seed: 0xacc1,
+        ..Default::default()
+    }
+}
+
+/// Digest figures honor every per-figure bound in `FIGURE_CLASSES`
+/// against the exact path, across shard counts and scales. K = 1
+/// isolates pure histogram error; larger K adds the merge, which is
+/// additive and must not widen the error.
+#[test]
+fn digest_error_within_bounds_across_shards_and_scales() {
+    for scale in [0.01, 0.02] {
+        let exact = Study::builder(config(scale))
+            .threads(2)
+            .run()
+            .expect("exact study")
+            .into_study();
+        let reference = accuracy::exact_figures(&exact.collector, &exact.summary);
+        for k in [1u32, 2, 7, 64] {
+            let d = Study::builder(config(scale))
+                .threads(2)
+                .shards(k)
+                .run_digest()
+                .expect("digest study");
+            assert_eq!(d.sharding().shards, k);
+            let report = accuracy::compare(&d.figures, &reference);
+            assert!(
+                report.within_bounds(),
+                "scale {scale} K={k} violates the contract:\n{}",
+                report.to_text()
+            );
+            assert_eq!(
+                report.headline_max_abs_delta, 0.0,
+                "headline must be exact at scale {scale} K={k}"
+            );
+            assert_eq!(report.figures.len(), FIGURE_CLASSES.len());
+        }
+    }
+}
+
+/// A figure set compared against itself reports zero drift — the
+/// instrument itself cannot invent error.
+#[test]
+fn self_comparison_is_driftless() {
+    let d = Study::builder(config(0.01))
+        .threads(2)
+        .shards(2)
+        .run_digest()
+        .expect("digest study");
+    let report = accuracy::compare(&d.figures, &d.figures);
+    assert!(report.within_bounds());
+    assert_eq!(report.headline_max_abs_delta, 0.0);
+    assert_eq!(report.worst_ratio(), 1.0);
+    for f in &report.figures {
+        assert_eq!(f.mismatched, 0, "{}", f.figure);
+        assert_eq!(f.max_abs_delta, 0.0, "{}", f.figure);
+    }
+}
+
+/// The digest counterfactual rides the same contract: streamed as a
+/// second digest ladder, its aggregate growth ratio is finite and its
+/// 2019 twin population is nonempty.
+#[test]
+fn digest_counterfactual_streams_alongside_factual() {
+    let d = Study::builder(config(0.01))
+        .threads(2)
+        .shards(2)
+        .with_counterfactual()
+        .run_digest()
+        .expect("digest study");
+    let cf = d.counterfactual.as_ref().expect("counterfactual digest");
+    assert!(cf.resident_devices > 0);
+    assert!(cf.aggregate_growth_vs_2019.is_finite());
+    // Without the flag the field stays empty — no silent extra work.
+    let plain = Study::builder(config(0.01))
+        .threads(2)
+        .shards(2)
+        .run_digest()
+        .expect("digest study");
+    assert!(plain.counterfactual.is_none());
+}
+
+proptest! {
+    /// `LogHist::quantile` is within `QUANTILE_BOUND` of the exact R-7
+    /// quantile for arbitrary positive samples and probabilities — the
+    /// bound the manifest advertises, checked sample-free of any
+    /// pipeline context.
+    #[test]
+    fn loghist_quantile_within_bound(
+        values in proptest::collection::vec(1u64..1 << 48, 1..200),
+        q in 0.0f64..=1.0,
+    ) {
+        let mut h = LogHist::new();
+        for &v in &values {
+            h.record(v);
+        }
+        let mut sorted: Vec<f64> = values.iter().map(|&v| v as f64).collect();
+        sorted.sort_by(f64::total_cmp);
+        let exact = analysis::stats::percentile_sorted(&sorted, q).expect("nonempty");
+        let approx = h.quantile(q).expect("nonempty");
+        prop_assert!(
+            approx <= exact * analysis::QUANTILE_BOUND + 1e-9
+                && approx >= exact / analysis::QUANTILE_BOUND - 1e-9,
+            "q={q}: approx {approx} vs exact {exact} exceeds the bound"
+        );
+    }
+}
